@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Ablation for the paper's Section 2 claim: replacing ldmatrix with
+ * equivalent but simpler per-thread data movements in GEMM kernels
+ * "causes performance drops by as much as 17%".  We build the same
+ * Ampere GEMM with the ldmatrix/ldmatrix.trans fragment loads swapped
+ * for scalar ld.shared at identical fragment coordinates (numerically
+ * identical result, more instructions and shared-memory traffic).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/engines.h"
+#include "bench/bench_common.h"
+#include "ops/tc_gemm.h"
+
+namespace graphene
+{
+namespace
+{
+
+constexpr int64_t kM = 5376, kN = 5376, kK = 2048;
+
+sim::KernelProfile
+gemmProf(Device &dev, bool disableLdmatrix, bool swizzle = true)
+{
+    ops::TcGemmConfig cfg =
+        baselines::heuristicGemmConfig(dev.arch(), kM, kN, kK);
+    cfg.disableLdmatrix = disableLdmatrix;
+    cfg.swizzle = swizzle;
+    return dev.launch(ops::buildTcGemm(dev.arch(), cfg),
+                      LaunchMode::Timing);
+}
+
+double
+gemmUs(Device &dev, bool disableLdmatrix)
+{
+    return gemmProf(dev, disableLdmatrix).timing.timeUs;
+}
+
+void
+runAblation(benchmark::State &state, bool disable)
+{
+    Device dev(GpuArch::ampere());
+    dev.allocateVirtual("%A", ScalarType::Fp16, kM * kK);
+    dev.allocateVirtual("%B", ScalarType::Fp16, kK * kN);
+    dev.allocateVirtual("%C", ScalarType::Fp16, kM * kN);
+    double us = 0;
+    for (auto _ : state) {
+        us = gemmUs(dev, disable);
+        state.SetIterationTime(us * 1e-6);
+    }
+    state.counters["sim_us"] = us;
+}
+
+BENCHMARK_CAPTURE(runAblation, with_ldmatrix, false)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(runAblation, without_ldmatrix, true)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+} // namespace graphene
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    using namespace graphene;
+    using namespace graphene::bench;
+    printHeader("Ablation (paper Section 2): GEMM with vs without "
+                "ldmatrix (Ampere, 5376x5376x2048)");
+    Device dev(GpuArch::ampere());
+    dev.allocateVirtual("%A", ScalarType::Fp16, kM * kK);
+    dev.allocateVirtual("%B", ScalarType::Fp16, kK * kN);
+    dev.allocateVirtual("%C", ScalarType::Fp16, kM * kN);
+    const auto with = gemmProf(dev, false);
+    const auto without = gemmProf(dev, true);
+    char extra[128];
+    std::snprintf(extra, sizeof extra,
+                  "%.0f issue slots, %.0f smem wavefronts / block",
+                  with.perBlock.issueSlots,
+                  with.perBlock.smemWavefronts);
+    printRow("with ldmatrix", with.timing.timeUs, extra);
+    std::snprintf(extra, sizeof extra,
+                  "%.0f issue (%.2fx), %.0f wavefronts (%.2fx), "
+                  "time drop %.1f%%",
+                  without.perBlock.issueSlots,
+                  without.perBlock.issueSlots
+                      / with.perBlock.issueSlots,
+                  without.perBlock.smemWavefronts,
+                  without.perBlock.smemWavefronts
+                      / with.perBlock.smemWavefronts,
+                  100.0 * (without.timing.timeUs - with.timing.timeUs)
+                      / without.timing.timeUs);
+    printRow("per-thread loads instead", without.timing.timeUs, extra);
+    std::printf("  In the pure-throughput model the extra "
+                "instruction-issue and shared-memory\n  pressure stays "
+                "below the tensor-pipe bound at this shape; on real "
+                "hardware\n  (latency, issue contention) the paper "
+                "measures up to a 17%% drop.  With the\n  shared-memory "
+                "pipe closer to the bound (naive layouts) the drop "
+                "surfaces:\n");
+    const auto withN = gemmProf(dev, false, false);
+    const auto withoutN = gemmProf(dev, true, false);
+    std::snprintf(extra, sizeof extra, "drop %.1f%%",
+                  100.0 * (withoutN.timing.timeUs - withN.timing.timeUs)
+                      / withoutN.timing.timeUs);
+    printRow("naive layouts, with ldmatrix", withN.timing.timeUs, "");
+    printRow("naive layouts, per-thread loads", withoutN.timing.timeUs,
+             extra);
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Ablation: swizzled vs naive shared-memory layouts (the layouts of
+ * paper Section 3.2 / Fig. 3) in the GEMM and FMHA kernels, on both
+ * architectures.  Swizzles remove bank conflicts in the staging stores
+ * and fragment loads; without them the kernels serialize on the
+ * shared-memory pipe.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/engines.h"
+#include "bench/bench_common.h"
+#include "ops/fmha.h"
+#include "ops/tc_gemm.h"
+
+namespace graphene
+{
+namespace
+{
+
+double
+gemmUs(Device &dev, bool swizzle, double *wavefronts = nullptr)
+{
+    ops::TcGemmConfig cfg =
+        baselines::heuristicGemmConfig(dev.arch(), 2048, 2048, 1024);
+    cfg.swizzle = swizzle;
+    auto prof = dev.launch(ops::buildTcGemm(dev.arch(), cfg),
+                           LaunchMode::Timing);
+    if (wavefronts)
+        *wavefronts = prof.perBlock.smemWavefronts;
+    return prof.timing.timeUs;
+}
+
+double
+fmhaUs(Device &dev, bool swizzle)
+{
+    ops::FmhaConfig cfg;
+    cfg.swizzle = swizzle;
+    auto prof = dev.launch(ops::buildFusedFmha(dev.arch(), cfg),
+                           LaunchMode::Timing);
+    return prof.timing.timeUs;
+}
+
+void
+runSwizzle(benchmark::State &state, const std::string &archName,
+           bool swizzle)
+{
+    Device dev(bench::archByName(archName));
+    dev.allocateVirtual("%A", ScalarType::Fp16, 2048 * 1024);
+    dev.allocateVirtual("%B", ScalarType::Fp16, 1024 * 2048);
+    dev.allocateVirtual("%C", ScalarType::Fp16, 2048 * 2048);
+    double us = 0;
+    for (auto _ : state) {
+        us = gemmUs(dev, swizzle);
+        state.SetIterationTime(us * 1e-6);
+    }
+    state.counters["sim_us"] = us;
+}
+
+BENCHMARK_CAPTURE(runSwizzle, ampere_swizzled, "ampere", true)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(runSwizzle, ampere_naive, "ampere", false)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(runSwizzle, volta_swizzled, "volta", true)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(runSwizzle, volta_naive, "volta", false)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+} // namespace graphene
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    using namespace graphene;
+    using namespace graphene::bench;
+    printHeader("Ablation: swizzled vs naive shared-memory layouts");
+    for (const std::string archName : {"volta", "ampere"}) {
+        const GpuArch &arch = archByName(archName);
+        Device dev(arch);
+        dev.allocateVirtual("%A", ScalarType::Fp16, 2048 * 1024);
+        dev.allocateVirtual("%B", ScalarType::Fp16, 1024 * 2048);
+        dev.allocateVirtual("%C", ScalarType::Fp16, 2048 * 2048);
+        const int64_t elems = 32 * 16 * 384 * 64;
+        for (const char *n : {"%Q", "%K", "%V", "%O"})
+            dev.allocateVirtual(n, ScalarType::Fp16, elems);
+        std::printf("  %s\n", arch.name.c_str());
+        double wavesSw = 0, wavesNaive = 0;
+        const double gSw = gemmUs(dev, true, &wavesSw);
+        const double gNa = gemmUs(dev, false, &wavesNaive);
+        char extra[96];
+        std::snprintf(extra, sizeof extra,
+                      "%.0f smem wavefronts/block", wavesSw);
+        printRow("GEMM 2048^2x1024, swizzled", gSw, extra);
+        std::snprintf(extra, sizeof extra,
+                      "%.0f wavefronts, %.2fx slower", wavesNaive,
+                      gNa / gSw);
+        printRow("GEMM 2048^2x1024, naive", gNa, extra);
+        const double fSw = fmhaUs(dev, true);
+        const double fNa = fmhaUs(dev, false);
+        printRow("FMHA (BERT shape), swizzled", fSw, "");
+        std::snprintf(extra, sizeof extra, "%.2fx slower", fNa / fSw);
+        printRow("FMHA (BERT shape), naive", fNa, extra);
+    }
+    return 0;
+}

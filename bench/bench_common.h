@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benchmarks.
+ *
+ * Every bench binary prints the rows/series of one paper table or
+ * figure, computed from *simulated* kernel times (see DESIGN.md for the
+ * substitution rationale).  Where google-benchmark timing loops are
+ * used, the manual-time hook reports the simulated time so the
+ * benchmark output reads in the same units as the paper.
+ */
+
+#ifndef GRAPHENE_BENCH_COMMON_H
+#define GRAPHENE_BENCH_COMMON_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "runtime/device.h"
+
+namespace graphene
+{
+namespace bench
+{
+
+inline void
+printHeader(const std::string &title)
+{
+    std::printf("\n==== %s ====\n", title.c_str());
+}
+
+inline void
+printRow(const std::string &label, double timeUs,
+         const std::string &extra = "")
+{
+    std::printf("  %-42s %10.1f us  %s\n", label.c_str(), timeUs,
+                extra.c_str());
+}
+
+inline const GpuArch &
+archByName(const std::string &name)
+{
+    return name == "volta" ? GpuArch::volta() : GpuArch::ampere();
+}
+
+} // namespace bench
+} // namespace graphene
+
+#endif // GRAPHENE_BENCH_COMMON_H

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Paper Fig. 9: Graphene GEMM vs cuBLAS on Volta and Ampere.
+ *
+ * Methodology follows the paper: problem sizes that evenly divide the
+ * SMs (M=N=5120, K=2048 on Volta; M=N=5376, K=2048 on Ampere), the
+ * same 128x128x32 thread-block tile as the library kernel, and
+ * percent-of-peak compute/memory throughput as the profiler reports
+ * them.  Expected shape: speedup == 1.0x (Graphene expresses the same
+ * optimizations) and the kernels are compute-bound at high tensor-core
+ * utilization.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/engines.h"
+#include "bench/bench_common.h"
+#include "ops/tc_gemm.h"
+
+namespace graphene
+{
+namespace
+{
+
+struct Fig9Case
+{
+    const GpuArch *arch;
+    int64_t m, n, k;
+};
+
+Fig9Case
+caseFor(const std::string &archName)
+{
+    if (archName == "volta")
+        return {&GpuArch::volta(), 5120, 5120, 2048};
+    return {&GpuArch::ampere(), 5376, 5376, 2048};
+}
+
+void
+runFig9(benchmark::State &state, const std::string &archName,
+        bool graphene)
+{
+    const Fig9Case c = caseFor(archName);
+    Device dev(*c.arch);
+    dev.allocateVirtual("%A", ScalarType::Fp16, c.m * c.k);
+    dev.allocateVirtual("%B", ScalarType::Fp16, c.k * c.n);
+    dev.allocateVirtual("%C", ScalarType::Fp16, c.m * c.n);
+
+    sim::KernelProfile prof;
+    for (auto _ : state) {
+        if (graphene) {
+            // Graphene uses exactly the library's tile sizes (paper
+            // methodology) and its own generator.
+            ops::TcGemmConfig cfg =
+                baselines::heuristicGemmConfig(*c.arch, c.m, c.n, c.k);
+            prof = dev.launch(ops::buildTcGemm(*c.arch, cfg),
+                              LaunchMode::Timing);
+        } else {
+            baselines::CublasLike blas(dev);
+            prof = blas.gemm(c.m, c.n, c.k, "%A", "%B", "%C");
+        }
+        state.SetIterationTime(prof.timing.timeUs * 1e-6);
+    }
+    state.counters["sim_us"] = prof.timing.timeUs;
+    state.counters["tensor_pct"] = prof.timing.tensorPipePct;
+    state.counters["dram_pct"] = prof.timing.dramPct;
+    state.counters["tflops"] = 2.0 * c.m * c.n * c.k
+        / (prof.timing.timeUs * 1e-6) / 1e12;
+}
+
+BENCHMARK_CAPTURE(runFig9, volta_cublas, "volta", false)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(runFig9, volta_graphene, "volta", true)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(runFig9, ampere_cublas, "ampere", false)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(runFig9, ampere_graphene, "ampere", true)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+} // namespace graphene
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    using namespace graphene;
+    using namespace graphene::bench;
+    printHeader("Fig. 9: Graphene GEMM vs cuBLAS (speedup & %-of-peak)");
+    for (const std::string archName : {"volta", "ampere"}) {
+        const auto c = caseFor(archName);
+        Device dev(*c.arch);
+        dev.allocateVirtual("%A", ScalarType::Fp16, c.m * c.k);
+        dev.allocateVirtual("%B", ScalarType::Fp16, c.k * c.n);
+        dev.allocateVirtual("%C", ScalarType::Fp16, c.m * c.n);
+        baselines::CublasLike blas(dev);
+        auto lib = blas.gemm(c.m, c.n, c.k, "%A", "%B", "%C");
+        ops::TcGemmConfig cfg =
+            baselines::heuristicGemmConfig(*c.arch, c.m, c.n, c.k);
+        auto gph = dev.launch(ops::buildTcGemm(*c.arch, cfg),
+                              LaunchMode::Timing);
+        std::printf("  %s  (M=N=%lld, K=%lld, tile 128x128x32)\n",
+                    c.arch->name.c_str(), (long long)c.m,
+                    (long long)c.k);
+        char extra[128];
+        std::snprintf(extra, sizeof extra,
+                      "compute %.0f%%  memory %.0f%%  bound by %s",
+                      lib.timing.tensorPipePct, lib.timing.dramPct,
+                      lib.timing.boundBy.c_str());
+        printRow("cuBLAS-like", lib.timing.timeUs, extra);
+        std::snprintf(extra, sizeof extra,
+                      "compute %.0f%%  memory %.0f%%  speedup %.2fx",
+                      gph.timing.tensorPipePct, gph.timing.dramPct,
+                      lib.timing.timeUs / gph.timing.timeUs);
+        printRow("Graphene", gph.timing.timeUs, extra);
+    }
+    return 0;
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Paper Fig. 11: fusing multiple MLP layers (GEMM + bias + ReLU) into
+ * one kernel vs the cumulative cuBLASLt per-layer lowering, for 1..20
+ * layers (N=K=128, M=2048).  Expected shape: the fused kernel wins and
+ * the advantage grows with the layer count (paper: up to 2.39x) as the
+ * library pays one launch plus a global-memory activation round trip
+ * per layer.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/engines.h"
+#include "bench/bench_common.h"
+#include "ops/mlp.h"
+
+namespace graphene
+{
+namespace
+{
+
+constexpr int64_t kM = 2048, kWidth = 128, kMaxLayers = 20;
+
+Device *
+makeDevice(const GpuArch &arch)
+{
+    auto *dev = new Device(arch);
+    dev->allocateVirtual("%x", ScalarType::Fp16, kM * kWidth);
+    dev->allocateVirtual("%W", ScalarType::Fp16,
+                         kMaxLayers * kWidth * kWidth);
+    dev->allocateVirtual("%b", ScalarType::Fp16, kMaxLayers * kWidth);
+    dev->allocateVirtual("%y", ScalarType::Fp16, kM * kWidth);
+    return dev;
+}
+
+double
+fusedUs(Device &dev, int64_t layers)
+{
+    ops::FusedMlpConfig cfg;
+    cfg.m = kM;
+    cfg.width = kWidth;
+    cfg.layers = layers;
+    auto prof = dev.launch(ops::buildFusedMlp(dev.arch(), cfg),
+                           LaunchMode::Timing);
+    return prof.timing.timeUs;
+}
+
+double
+libraryUs(Device &dev, int64_t layers)
+{
+    // One cuBLASLt bias+relu GEMM per layer, ping-ponging through
+    // global activations; measure a single layer and scale.
+    baselines::CublasLtLike lt(dev);
+    auto one = lt.gemmEpilogue(kM, kWidth, kWidth,
+                               ops::Epilogue::BiasRelu, false, "%x",
+                               "%W", "%y", "%b");
+    return one.timing.timeUs * static_cast<double>(layers);
+}
+
+void
+runFig11(benchmark::State &state, const std::string &archName,
+         int64_t layers, bool fused)
+{
+    std::unique_ptr<Device> dev(
+        makeDevice(bench::archByName(archName)));
+    double us = 0;
+    for (auto _ : state) {
+        us = fused ? fusedUs(*dev, layers) : libraryUs(*dev, layers);
+        state.SetIterationTime(us * 1e-6);
+    }
+    state.counters["sim_us"] = us;
+}
+
+BENCHMARK_CAPTURE(runFig11, ampere_fused_8, "ampere", 8, true)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(runFig11, ampere_cublaslt_8, "ampere", 8, false)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(runFig11, volta_fused_8, "volta", 8, true)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(runFig11, volta_cublaslt_8, "volta", 8, false)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+} // namespace graphene
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    using namespace graphene;
+    using namespace graphene::bench;
+    printHeader("Fig. 11: fused MLP vs cumulative cuBLASLt "
+                "(M=2048, N=K=128)");
+    for (const std::string archName : {"volta", "ampere"}) {
+        const GpuArch &arch = archByName(archName);
+        std::unique_ptr<Device> dev(makeDevice(arch));
+        std::printf("  %s\n", arch.name.c_str());
+        std::printf("    layers   cuBLASLt(us)   fused(us)   speedup\n");
+        for (int64_t layers : {1, 2, 4, 8, 12, 16, 20}) {
+            const double lib = libraryUs(*dev, layers);
+            const double fus = fusedUs(*dev, layers);
+            std::printf("    %6lld %13.1f %11.1f %8.2fx\n",
+                        (long long)layers, lib, fus, lib / fus);
+        }
+    }
+    return 0;
+}

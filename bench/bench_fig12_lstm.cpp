@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Paper Fig. 12: the simplified LSTM-cell computation
+ * out = relu(x*Wx + h*Wh + bias) under three lowerings:
+ *   1. five library kernels (cuBLAS GEMM x2, cuDNN add, bias, relu);
+ *   2. two cuBLASLt kernels (GEMM; accumulate-GEMM with fused
+ *      bias+relu);
+ *   3. the fused Graphene kernel.
+ * Expected shape: fused beats the 5-kernel baseline by ~1.7-1.9x
+ * (paper: 1.75x Volta / 1.82x Ampere) and still beats the 2-kernel
+ * cuBLASLt lowering.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/engines.h"
+#include "bench/bench_common.h"
+#include "ops/lstm.h"
+
+namespace graphene
+{
+namespace
+{
+
+constexpr int64_t kM = 8192, kN = 256, kK = 256;
+
+Device *
+makeDevice(const GpuArch &arch)
+{
+    auto *dev = new Device(arch);
+    for (const char *n : {"%x", "%h"})
+        dev->allocateVirtual(n, ScalarType::Fp16, kM * kK);
+    for (const char *n : {"%Wx", "%Wh"})
+        dev->allocateVirtual(n, ScalarType::Fp16, kK * kN);
+    dev->allocateVirtual("%bias", ScalarType::Fp16, kN);
+    for (const char *n : {"%g1", "%g2", "%sum", "%out"})
+        dev->allocateVirtual(n, ScalarType::Fp16, kM * kN);
+    return dev;
+}
+
+double
+fiveKernelUs(Device &dev)
+{
+    dev.resetStream();
+    baselines::CublasLike blas(dev);
+    baselines::CudnnLike dnn(dev);
+    blas.gemm(kM, kN, kK, "%x", "%Wx", "%g1");
+    blas.gemm(kM, kN, kK, "%h", "%Wh", "%g2");
+    dnn.add(kM * kN, "%g1", "%g2", "%sum");
+    dnn.biasAct(kM, kN, OpKind::Identity, "%sum", "%bias", "%sum");
+    dnn.relu(kM * kN, "%sum", "%out");
+    return dev.streamTimeUs();
+}
+
+double
+twoKernelUs(Device &dev)
+{
+    dev.resetStream();
+    baselines::CublasLtLike lt(dev);
+    lt.gemmEpilogue(kM, kN, kK, ops::Epilogue::None, false, "%x", "%Wx",
+                    "%out", "%bias");
+    lt.gemmEpilogue(kM, kN, kK, ops::Epilogue::BiasRelu, true, "%h",
+                    "%Wh", "%out", "%bias");
+    return dev.streamTimeUs();
+}
+
+double
+fusedUs(Device &dev)
+{
+    ops::FusedLstmConfig cfg;
+    cfg.m = kM;
+    cfg.n = kN;
+    cfg.k = kK;
+    // The same tile heuristics the library kernels use.
+    const auto tiles =
+        baselines::heuristicGemmConfig(dev.arch(), kM, kN, kK);
+    cfg.bm = tiles.bm;
+    cfg.bn = tiles.bn;
+    cfg.bk = tiles.bk;
+    cfg.wm = tiles.wm;
+    cfg.wn = tiles.wn;
+    auto prof = dev.launch(ops::buildFusedLstm(dev.arch(), cfg),
+                           LaunchMode::Timing);
+    return prof.timing.timeUs;
+}
+
+void
+runFig12(benchmark::State &state, const std::string &archName,
+         int variant)
+{
+    std::unique_ptr<Device> dev(
+        makeDevice(bench::archByName(archName)));
+    double us = 0;
+    for (auto _ : state) {
+        us = variant == 0 ? fiveKernelUs(*dev)
+            : variant == 1 ? twoKernelUs(*dev)
+                           : fusedUs(*dev);
+        state.SetIterationTime(us * 1e-6);
+    }
+    state.counters["sim_us"] = us;
+}
+
+BENCHMARK_CAPTURE(runFig12, volta_5kernel, "volta", 0)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(runFig12, volta_cublaslt, "volta", 1)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(runFig12, volta_fused, "volta", 2)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(runFig12, ampere_5kernel, "ampere", 0)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(runFig12, ampere_cublaslt, "ampere", 1)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(runFig12, ampere_fused, "ampere", 2)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+} // namespace graphene
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    using namespace graphene;
+    using namespace graphene::bench;
+    printHeader("Fig. 12: fused LSTM cell (M=8192, N=K=256)");
+    for (const std::string archName : {"volta", "ampere"}) {
+        const GpuArch &arch = archByName(archName);
+        std::unique_ptr<Device> dev(makeDevice(arch));
+        const double five = fiveKernelUs(*dev);
+        const double two = twoKernelUs(*dev);
+        const double fused = fusedUs(*dev);
+        std::printf("  %s\n", arch.name.c_str());
+        printRow("5 kernels (cuBLAS + cuDNN)", five, "1.00x");
+        char extra[64];
+        std::snprintf(extra, sizeof extra, "%.2fx", five / two);
+        printRow("2 kernels (cuBLASLt accumulate)", two, extra);
+        std::snprintf(extra, sizeof extra, "%.2fx", five / fused);
+        printRow("Graphene fused (1 kernel)", fused, extra);
+    }
+    return 0;
+}

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Paper Fig. 13: Layernorm (hidden size 1024) across the PyTorch
+ * implementation spectrum — eager (one kernel per primitive),
+ * TorchScript JIT (two kernels), the built-in fused kernel, NVIDIA
+ * Apex — vs the Graphene-generated fused kernel.  Expected shape:
+ * eager is far slowest, JIT in between, and Graphene matches the best
+ * fused implementation (Apex).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/engines.h"
+#include "bench/bench_common.h"
+#include "ops/layernorm.h"
+
+namespace graphene
+{
+namespace
+{
+
+constexpr int64_t kHidden = 1024;
+
+Device *
+makeDevice(const GpuArch &arch, int64_t rows)
+{
+    auto *dev = new Device(arch);
+    dev->allocateVirtual("%x", ScalarType::Fp16, rows * kHidden);
+    dev->allocateVirtual("%gamma", ScalarType::Fp16, kHidden);
+    dev->allocateVirtual("%beta", ScalarType::Fp16, kHidden);
+    dev->allocateVirtual("%y", ScalarType::Fp16, rows * kHidden);
+    return dev;
+}
+
+double
+grapheneUs(Device &dev, int64_t rows)
+{
+    ops::LayernormConfig cfg;
+    cfg.rows = rows;
+    cfg.cols = kHidden;
+    cfg.vectorized = true;
+    auto prof = dev.launch(ops::buildLayernormFused(dev.arch(), cfg),
+                           LaunchMode::Timing);
+    return prof.timing.timeUs;
+}
+
+void
+runFig13(benchmark::State &state, const std::string &archName,
+         int64_t rows, int impl)
+{
+    std::unique_ptr<Device> dev(
+        makeDevice(bench::archByName(archName), rows));
+    double us = 0;
+    for (auto _ : state) {
+        if (impl < 4) {
+            baselines::TorchLike torch(*dev);
+            dev->resetStream();
+            torch.layernorm(static_cast<baselines::TorchLayernorm>(impl),
+                            rows, kHidden, "%x", "%gamma", "%beta",
+                            "%y");
+            us = dev->streamTimeUs();
+        } else {
+            us = grapheneUs(*dev, rows);
+        }
+        state.SetIterationTime(us * 1e-6);
+    }
+    state.counters["sim_us"] = us;
+}
+
+BENCHMARK_CAPTURE(runFig13, ampere_eager, "ampere", 8192, 0)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(runFig13, ampere_jit, "ampere", 8192, 1)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(runFig13, ampere_fused, "ampere", 8192, 2)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(runFig13, ampere_apex, "ampere", 8192, 3)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(runFig13, ampere_graphene, "ampere", 8192, 4)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+} // namespace graphene
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    using namespace graphene;
+    using namespace graphene::bench;
+    printHeader("Fig. 13: Layernorm (hidden 1024), rows swept");
+    for (const std::string archName : {"volta", "ampere"}) {
+        const GpuArch &arch = archByName(archName);
+        std::printf("  %s\n", arch.name.c_str());
+        std::printf("    %8s %10s %10s %10s %10s %10s\n", "rows",
+                    "eager", "jit", "fused", "apex", "graphene");
+        for (int64_t rows : {1024, 4096, 16384, 65536}) {
+            std::unique_ptr<Device> dev(makeDevice(arch, rows));
+            baselines::TorchLike torch(*dev);
+            double t[5];
+            for (int impl = 0; impl < 4; ++impl) {
+                dev->resetStream();
+                torch.layernorm(
+                    static_cast<baselines::TorchLayernorm>(impl), rows,
+                    kHidden, "%x", "%gamma", "%beta", "%y");
+                t[impl] = dev->streamTimeUs();
+            }
+            t[4] = grapheneUs(*dev, rows);
+            std::printf("    %8lld %9.1fus %9.1fus %9.1fus %9.1fus "
+                        "%9.1fus\n",
+                        (long long)rows, t[0], t[1], t[2], t[3], t[4]);
+        }
+    }
+    return 0;
+}

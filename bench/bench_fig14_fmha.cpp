@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Paper Fig. 14: fused multi-head attention at the MLPerf BERT
+ * inference shape (batch 32, 16 heads, head dim 64, sequence 384):
+ *   - unfused baseline: two cuBLAS batched GEMMs + a custom softmax
+ *     kernel, scores round-tripping through global memory;
+ *   - the handwritten "MLPerf/TensorRT" kernel stand-in: the same
+ *     fusion WITHOUT the optimized (swizzled) shared-memory layouts;
+ *   - the Graphene fused kernel with swizzled layouts.
+ * Expected shape: fused kernels win big over the baseline; Graphene
+ * edges out the handwritten kernel thanks to the layouts (the paper's
+ * "small speedup over the MLPerf kernels").
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/engines.h"
+#include "bench/bench_common.h"
+#include "ops/fmha.h"
+
+namespace graphene
+{
+namespace
+{
+
+constexpr int64_t kBatch = 32, kHeads = 16, kSeq = 384, kDim = 64;
+
+Device *
+makeDevice(const GpuArch &arch)
+{
+    auto *dev = new Device(arch);
+    const int64_t elems = kBatch * kHeads * kSeq * kDim;
+    for (const char *n : {"%Q", "%K", "%V", "%O"})
+        dev->allocateVirtual(n, ScalarType::Fp16, elems);
+    return dev;
+}
+
+double
+baselineUs(Device &dev)
+{
+    dev.resetStream();
+    baselines::TorchLike torch(dev);
+    torch.attentionUnfused(kBatch * kHeads, kSeq, kDim, "%Q", "%K",
+                           "%V", "%O");
+    return dev.streamTimeUs();
+}
+
+double
+fusedUs(Device &dev, bool grapheneLayouts)
+{
+    ops::FmhaConfig cfg;
+    cfg.batch = kBatch;
+    cfg.heads = kHeads;
+    cfg.seq = kSeq;
+    cfg.headDim = kDim;
+    cfg.handwrittenLayouts = !grapheneLayouts;
+    auto prof = dev.launch(ops::buildFusedFmha(dev.arch(), cfg),
+                           LaunchMode::Timing);
+    return prof.timing.timeUs;
+}
+
+void
+runFig14(benchmark::State &state, const std::string &archName,
+         int variant)
+{
+    std::unique_ptr<Device> dev(
+        makeDevice(bench::archByName(archName)));
+    double us = 0;
+    for (auto _ : state) {
+        us = variant == 0 ? baselineUs(*dev)
+            : variant == 1 ? fusedUs(*dev, false)
+                           : fusedUs(*dev, true);
+        state.SetIterationTime(us * 1e-6);
+    }
+    state.counters["sim_us"] = us;
+}
+
+BENCHMARK_CAPTURE(runFig14, ampere_unfused, "ampere", 0)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(runFig14, ampere_mlperf, "ampere", 1)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(runFig14, ampere_graphene, "ampere", 2)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+} // namespace graphene
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    using namespace graphene;
+    using namespace graphene::bench;
+    printHeader("Fig. 14: FMHA (MLPerf BERT shape: 32x16x384x64)");
+    for (const std::string archName : {"volta", "ampere"}) {
+        const GpuArch &arch = archByName(archName);
+        std::unique_ptr<Device> dev(makeDevice(arch));
+        const double base = baselineUs(*dev);
+        const double mlperf = fusedUs(*dev, false);
+        const double gph = fusedUs(*dev, true);
+        std::printf("  %s\n", arch.name.c_str());
+        printRow("cuBLAS + softmax (unfused)", base, "1.00x");
+        char extra[64];
+        std::snprintf(extra, sizeof extra, "%.2fx", base / mlperf);
+        printRow("handwritten fused (MLPerf stand-in)", mlperf, extra);
+        std::snprintf(extra, sizeof extra, "%.2fx (vs handwritten %.2fx)",
+                      base / gph, mlperf / gph);
+        printRow("Graphene fused", gph, extra);
+    }
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Paper Fig. 15: injecting the Graphene fused FMHA kernel into
+ * Transformer-family networks and measuring the end-to-end inference
+ * speedup over the per-op (PyTorch-like) lowering.  Expected shape:
+ * speedups grow with the fraction of inference time attention takes
+ * (paper: up to 59%).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "models/transformer.h"
+
+namespace graphene
+{
+namespace
+{
+
+void
+runFig15(benchmark::State &state, int networkIdx, bool fused)
+{
+    const auto networks = models::TransformerConfig::paperNetworks();
+    const auto &cfg = networks[static_cast<size_t>(networkIdx)];
+    models::E2EResult r;
+    for (auto _ : state) {
+        r = models::runTransformerInference(GpuArch::ampere(), cfg);
+        state.SetIterationTime((fused ? r.fusedUs : r.baselineUs)
+                               * 1e-6);
+    }
+    state.counters["speedup"] = r.speedup();
+    state.counters["attn_pct"] = r.attentionSharePct;
+}
+
+BENCHMARK_CAPTURE(runFig15, bert_base_pytorch, 0, false)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(runFig15, bert_base_fused, 0, true)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(runFig15, bert_large_fused, 1, true)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace graphene
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    using namespace graphene;
+    using namespace graphene::bench;
+    printHeader("Fig. 15: end-to-end Transformer inference with the "
+                "fused FMHA injected (Ampere)");
+    std::printf("    %-14s %12s %12s %9s %10s\n", "network",
+                "pytorch(us)", "fused(us)", "speedup", "attn share");
+    for (const auto &cfg : models::TransformerConfig::paperNetworks()) {
+        auto r = models::runTransformerInference(GpuArch::ampere(), cfg);
+        std::printf("    %-14s %12.0f %12.0f %8.2fx %9.0f%%\n",
+                    r.network.c_str(), r.baselineUs, r.fusedUs,
+                    r.speedup(), r.attentionSharePct);
+    }
+    std::printf("  (speedup correlates with the attention share, as in "
+                "the paper)\n");
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Fused multi-head attention at the MLPerf BERT shape (paper Fig. 14)
+ * plus the end-to-end injection experiment (Fig. 15): validates the
+ * fused kernel functionally at a reduced size, then reports the
+ * BERT-shaped timing against the unfused baseline and the end-to-end
+ * Transformer speedups.
+ */
+
+#include <cstdio>
+
+#include "baselines/engines.h"
+#include "models/transformer.h"
+#include "ops/fmha.h"
+#include "runtime/reference.h"
+#include "support/rng.h"
+
+using namespace graphene;
+
+int
+main()
+{
+    const GpuArch &arch = GpuArch::ampere();
+
+    // ------------------------------------------------ functional check
+    ops::FmhaConfig small;
+    small.batch = 1;
+    small.heads = 4;
+    small.seq = 128;
+    const int64_t elems = small.batch * small.heads * small.seq * 64;
+    Device dev(arch);
+    Rng rng(3);
+    for (const char *n : {"%Q", "%K", "%V"}) {
+        std::vector<double> v(elems);
+        for (auto &x : v)
+            x = rng.uniform(-1, 1);
+        dev.upload(n, ScalarType::Fp16, v);
+    }
+    dev.upload("%O", ScalarType::Fp16, std::vector<double>(elems, 0));
+    dev.launch(ops::buildFusedFmha(arch, small), LaunchMode::Functional);
+
+    auto q = dev.download("%Q"), k = dev.download("%K"),
+         v = dev.download("%V"), o = dev.download("%O");
+    double worst = 0;
+    const int64_t hd = small.seq * 64;
+    for (int64_t h = 0; h < small.batch * small.heads; ++h) {
+        auto ref = ref::attention(
+            {q.begin() + h * hd, q.begin() + (h + 1) * hd},
+            {k.begin() + h * hd, k.begin() + (h + 1) * hd},
+            {v.begin() + h * hd, v.begin() + (h + 1) * hd}, small.seq,
+            64);
+        worst = std::max(worst, ref::maxRelDiff(
+            {o.begin() + h * hd, o.begin() + (h + 1) * hd}, ref, 0.5));
+    }
+    std::printf("fused FMHA functional check: max relative error %.4f\n",
+                worst);
+
+    // --------------------------------- Fig. 14: the MLPerf BERT shape
+    ops::FmhaConfig bert; // 32 x 16 x 384 x 64
+    Device tdev(arch);
+    const int64_t big = bert.batch * bert.heads * bert.seq * 64;
+    for (const char *n : {"%Q", "%K", "%V", "%O"})
+        tdev.allocateVirtual(n, ScalarType::Fp16, big);
+    auto fused = tdev.launch(ops::buildFusedFmha(arch, bert),
+                             LaunchMode::Timing);
+    baselines::TorchLike torch(tdev);
+    tdev.resetStream();
+    torch.attentionUnfused(bert.batch * bert.heads, bert.seq, 64, "%Q",
+                           "%K", "%V", "%O");
+    const double baseUs = tdev.streamTimeUs();
+    std::printf("BERT shape: fused %.1f us vs unfused %.1f us -> "
+                "%.2fx\n",
+                fused.timing.timeUs, baseUs,
+                baseUs / fused.timing.timeUs);
+
+    // ------------------------------------ Fig. 15: end-to-end networks
+    std::printf("\nend-to-end inference with the fused FMHA injected:\n");
+    for (const auto &cfg : models::TransformerConfig::paperNetworks()) {
+        auto r = models::runTransformerInference(arch, cfg);
+        std::printf("  %-14s %.2fx speedup (attention was %.0f%% of "
+                    "the baseline)\n",
+                    r.network.c_str(), r.speedup(),
+                    r.attentionSharePct);
+    }
+    std::printf("%s\n", worst < 0.05 ? "OK" : "MISMATCH");
+    return worst < 0.05 ? 0 : 1;
+}

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * A tour of Graphene's tensor shapes, layouts, and tiles — the
+ * paper's Figs. 3-6 printed and visualized:
+ *
+ *   - column/row-major and hierarchical-dimension memory layouts;
+ *   - contiguous, interleaved, and hierarchically non-contiguous tiles;
+ *   - logical thread groups (the ldmatrix arrangement and Volta
+ *     quad-pairs) with their generated index expressions.
+ */
+
+#include <cstdio>
+
+#include "ir/tensor.h"
+#include "ir/thread_group.h"
+#include "layout/algebra.h"
+
+using namespace graphene;
+
+namespace
+{
+
+/** Print the physical offset of every logical (i, j). */
+void
+show(const char *title, const Layout &l, int64_t rows, int64_t cols)
+{
+    std::printf("%s  %s\n", title, l.str().c_str());
+    for (int64_t i = 0; i < rows; ++i) {
+        std::printf("   ");
+        for (int64_t j = 0; j < cols; ++j)
+            std::printf(" %3lld", (long long)l(i, j));
+        std::printf("\n");
+    }
+}
+
+/** Color each element by the tile it belongs to. */
+void
+showTiles(const char *title, const Layout &inner, const Layout &outer,
+          const Layout &base, int64_t rows, int64_t cols)
+{
+    std::printf("%s\n   outer (tiles) %s\n   inner (tile)  %s\n", title,
+                outer.str().c_str(), inner.str().c_str());
+    std::vector<int64_t> owner(static_cast<size_t>(base.cosize()), -1);
+    for (int64_t o = 0; o < outer.size(); ++o)
+        for (int64_t i = 0; i < inner.size(); ++i)
+            owner[static_cast<size_t>(outer(o) + inner(i))] = o;
+    for (int64_t i = 0; i < rows; ++i) {
+        std::printf("   ");
+        for (int64_t j = 0; j < cols; ++j)
+            std::printf(" T%lld", (long long)owner[static_cast<size_t>(
+                                      base(i, j))]);
+        std::printf("\n");
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("==== Fig. 3: memory layouts of a 4x8 tensor ====\n");
+    show("(a) column-major", Layout::colMajor(IntTuple{4, 8}), 4, 8);
+    show("(b) row-major", Layout::rowMajor(IntTuple{4, 8}), 4, 8);
+    show("(c) hierarchical second dimension",
+         Layout(IntTuple{4, IntTuple{2, 4}}, IntTuple{2, IntTuple{1, 8}}),
+         4, 8);
+    std::printf("    (logical 2-D coordinates still work: the "
+                "hierarchical coordinate is internal)\n");
+
+    std::printf("\n==== Fig. 4: tiling the column-major 4x8 tensor "
+                "====\n");
+    auto a = Layout::colMajor(IntTuple{4, 8});
+    {
+        auto [inner, outer] = tileByDim(a, {Layout::vector(2),
+                                            Layout::vector(4)});
+        showTiles("(b) contiguous 2x4 tiles", inner, outer, a, 4, 8);
+    }
+    {
+        auto [inner, outer] = tileByDim(
+            a, {Layout(IntTuple(2), IntTuple(2)), Layout::vector(4)});
+        showTiles("(c) rows interleaved ([2:2] tile size)", inner, outer,
+                  a, 4, 8);
+    }
+    {
+        auto [inner, outer] = tileByDim(
+            a, {Layout(IntTuple(2), IntTuple(2)),
+                Layout(IntTuple{2, 2}, IntTuple{1, 4})});
+        showTiles("(d) hierarchical tile size [(2,2):(1,4)]", inner,
+                  outer, a, 4, 8);
+    }
+
+    std::printf("\n==== Fig. 5: the warp as a logical thread tensor "
+                "====\n");
+    auto warp = ThreadGroup::threads("#warp", Layout::vector(32), 256);
+    auto groups = warp.tile({Layout::vector(8)}).reshape(IntTuple{2, 2});
+    std::printf("  %s tiled into 2x2 groups of 8\n",
+                warp.typeStr().c_str());
+    auto idx = groups.indices(0);
+    std::printf("  group coordinates of a thread: (%s, %s)\n",
+                idx[0]->str().c_str(), idx[1]->str().c_str());
+    std::printf("  index within the group: %s\n",
+                groups.indices(1)[0]->str().c_str());
+
+    std::printf("\n==== Fig. 6: Volta quad-pairs ====\n");
+    auto qp = warp.tile({Layout(IntTuple{4, 2}, IntTuple{1, 16})});
+    std::printf("  quad-pair tile: %s\n", qp.level(1).str().c_str());
+    std::printf("  quad-pair 0 holds threads:");
+    for (int64_t i = 0; i < 8; ++i)
+        std::printf(" %lld", (long long)qp.level(1)(i));
+    std::printf("\n");
+
+    std::printf("\n==== Swizzled layouts (Section 3.2) ====\n");
+    Swizzle sw(3, 3, 3);
+    std::printf("  %s on a [8,64] fp16 tile: column 0's rows land in "
+                "banks:",
+                sw.str().c_str());
+    for (int64_t r = 0; r < 8; ++r)
+        std::printf(" %lld", (long long)(sw(r * 64) * 2 / 4 % 32));
+    std::printf("\n  (distinct banks -> conflict-free column access)\n");
+    return 0;
+}

@@ -1,0 +1,506 @@
+#include "arch/atomic_specs.h"
+
+#include <map>
+#include <sstream>
+
+#include "layout/algebra.h"
+#include "support/check.h"
+
+namespace graphene
+{
+
+namespace
+{
+
+/** True when the view's element enumeration is physically contiguous. */
+bool
+viewContiguous(const TensorView &view)
+{
+    // Combine all levels into one layout and coalesce; contiguous means
+    // a single unit-stride mode (or a single element).
+    std::vector<Layout> modes;
+    for (int i = view.numLevels() - 1; i >= 0; --i)
+        modes.push_back(view.level(i));
+    Layout combined = modes.size() == 1 ? modes[0] : Layout::concat(modes);
+    Layout c = coalesce(combined);
+    if (c.size() == 1)
+        return true;
+    return c.shape().isLeaf() && c.stride().isLeaf()
+        && c.stride().value() == 1;
+}
+
+std::string
+vecSuffix(int64_t bytes)
+{
+    switch (bytes) {
+      case 1: return "u8";
+      case 2: return "u16";
+      case 4: return "u32";
+      case 8: return "v2.u32";
+      case 16: return "v4.u32";
+      default: break;
+    }
+    panic("unsupported vector width");
+}
+
+void
+addMoveWidths(std::vector<AtomicSpecInfo> &entries, AtomicOpcode opcode,
+              const std::string &space, MemorySpace src, MemorySpace dst,
+              ScalarType scalar)
+{
+    // Widest first: the matcher scans in order.
+    for (int64_t elems : {8, 4, 2, 1}) {
+        const int64_t bytes = elems * scalarSizeBytes(scalar);
+        if (bytes > 16)
+            continue;
+        AtomicSpecInfo info;
+        info.opcode = opcode;
+        info.kind = SpecKind::Move;
+        const bool isStore = opcode == AtomicOpcode::StGlobal
+            || opcode == AtomicOpcode::StShared;
+        info.instruction = (isStore ? "st." : "ld.") + space + "."
+            + vecSuffix(bytes);
+        info.groupSize = 1;
+        info.srcMem = src;
+        info.dstMem = dst;
+        info.scalar = scalar;
+        info.elemsIn0 = elems;
+        info.elemsOut = elems;
+        info.requiresContiguous = elems > 1;
+        info.pipe = Pipe::Lsu;
+        entries.push_back(info);
+    }
+}
+
+} // namespace
+
+AtomicSpecRegistry::AtomicSpecRegistry(const GpuArch &arch)
+{
+    // ------------------------------------------------------ MatMul ---
+    if (arch.hasLdmatrix) {
+        // Ampere warp-wide tensor core MMAs (Table 2, last row).
+        AtomicSpecInfo mma;
+        mma.opcode = AtomicOpcode::MmaM16N8K16;
+        mma.kind = SpecKind::MatMul;
+        mma.instruction =
+            "mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32";
+        mma.groupSize = 32;
+        mma.scalar = ScalarType::Fp16;
+        mma.accumScalar = ScalarType::Fp32;
+        mma.elemsIn0 = 8; // A fragment per thread
+        mma.elemsIn1 = 4; // B fragment per thread
+        mma.elemsOut = 4; // accumulator per thread
+        mma.pipe = Pipe::Tensor;
+        mma.flopsPerGroup = 2 * 16 * 8 * 16;
+        entries_.push_back(mma);
+
+        AtomicSpecInfo mma8 = mma;
+        mma8.opcode = AtomicOpcode::MmaM16N8K8;
+        mma8.instruction =
+            "mma.sync.aligned.m16n8k8.row.col.f32.f16.f16.f32";
+        mma8.elemsIn0 = 4;
+        mma8.elemsIn1 = 2;
+        mma8.flopsPerGroup = 2 * 16 * 8 * 8;
+        entries_.push_back(mma8);
+    } else {
+        // Volta quad-pair tensor core MMA (Table 2, 10th row).
+        AtomicSpecInfo mma;
+        mma.opcode = AtomicOpcode::MmaM8N8K4;
+        mma.kind = SpecKind::MatMul;
+        mma.instruction =
+            "mma.sync.aligned.m8n8k4.row.col.f32.f16.f16.f32";
+        mma.groupSize = 8; // one quad-pair
+        mma.scalar = ScalarType::Fp16;
+        mma.accumScalar = ScalarType::Fp32;
+        mma.elemsIn0 = 4;
+        mma.elemsIn1 = 4;
+        mma.elemsOut = 8;
+        mma.pipe = Pipe::Tensor;
+        mma.flopsPerGroup = 2 * 8 * 8 * 4;
+        entries_.push_back(mma);
+    }
+    {
+        // Scalar fused multiply-add (hfma / fmaf rows of Table 2).
+        AtomicSpecInfo h2;
+        h2.opcode = AtomicOpcode::Hfma2;
+        h2.kind = SpecKind::MatMul;
+        h2.instruction = "fma.rn.f16x2";
+        h2.scalar = ScalarType::Fp16;
+        h2.accumScalar = ScalarType::Fp16;
+        h2.elemsIn0 = 2;
+        h2.elemsIn1 = 2;
+        h2.elemsOut = 2;
+        h2.pipe = Pipe::Fp16;
+        h2.flopsPerGroup = 4;
+        entries_.push_back(h2);
+
+        AtomicSpecInfo hfma;
+        hfma.opcode = AtomicOpcode::FmaScalar;
+        hfma.kind = SpecKind::MatMul;
+        hfma.instruction = "fma.rn.f16";
+        hfma.scalar = ScalarType::Fp16;
+        hfma.accumScalar = ScalarType::Fp16;
+        hfma.elemsIn0 = 1;
+        hfma.elemsIn1 = 1;
+        hfma.elemsOut = 1;
+        hfma.pipe = Pipe::Fp16;
+        hfma.flopsPerGroup = 2;
+        entries_.push_back(hfma);
+
+        AtomicSpecInfo fma = hfma;
+        fma.instruction = "fma.rn.f32";
+        fma.scalar = ScalarType::Fp32;
+        fma.accumScalar = ScalarType::Fp32;
+        fma.pipe = Pipe::Fp32;
+        entries_.push_back(fma);
+
+        // Mixed-precision scalar path (fp16 inputs, fp32 accumulate).
+        AtomicSpecInfo mixed = fma;
+        mixed.scalar = ScalarType::Fp16;
+        entries_.push_back(mixed);
+    }
+
+    // ------------------------------------------------------- Moves ---
+    if (arch.hasLdmatrix) {
+        AtomicSpecInfo ldm;
+        ldm.opcode = AtomicOpcode::Ldmatrix;
+        ldm.kind = SpecKind::Move;
+        ldm.instruction = "ldmatrix.sync.aligned.m8n8.x4.shared.b16";
+        ldm.groupSize = 32;
+        ldm.srcMem = MemorySpace::SH;
+        ldm.dstMem = MemorySpace::RF;
+        ldm.scalar = ScalarType::Fp16;
+        ldm.elemsIn0 = 8; // one 8-element row address per thread
+        ldm.elemsOut = 8; // eight values received per thread
+        ldm.requiresContiguous = true; // the row must be contiguous
+        ldm.pipe = Pipe::Lsu;
+        entries_.push_back(ldm);
+
+        AtomicSpecInfo ldmt = ldm;
+        ldmt.opcode = AtomicOpcode::LdmatrixTrans;
+        ldmt.instruction =
+            "ldmatrix.sync.aligned.m8n8.x4.trans.shared.b16";
+        ldmt.hintOnly = true;
+        entries_.push_back(ldmt);
+    }
+    if (arch.hasCpAsync) {
+        for (int64_t elems : {8, 4}) {
+            AtomicSpecInfo cp;
+            cp.opcode = AtomicOpcode::CpAsync;
+            cp.kind = SpecKind::Move;
+            cp.instruction = "cp.async.cg.shared.global";
+            cp.groupSize = 1;
+            cp.srcMem = MemorySpace::GL;
+            cp.dstMem = MemorySpace::SH;
+            cp.scalar = ScalarType::Fp16;
+            cp.elemsIn0 = elems;
+            cp.elemsOut = elems;
+            cp.requiresContiguous = true;
+            cp.pipe = Pipe::Lsu;
+            entries_.push_back(cp);
+        }
+    }
+    for (ScalarType scalar : {ScalarType::Fp16, ScalarType::Fp32,
+                              ScalarType::Int32}) {
+        addMoveWidths(entries_, AtomicOpcode::LdGlobal, "global",
+                      MemorySpace::GL, MemorySpace::RF, scalar);
+        addMoveWidths(entries_, AtomicOpcode::StGlobal, "global",
+                      MemorySpace::RF, MemorySpace::GL, scalar);
+        addMoveWidths(entries_, AtomicOpcode::LdShared, "shared",
+                      MemorySpace::SH, MemorySpace::RF, scalar);
+        addMoveWidths(entries_, AtomicOpcode::StShared, "shared",
+                      MemorySpace::RF, MemorySpace::SH, scalar);
+        // Register-to-register copies (any per-thread count).
+        AtomicSpecInfo mov;
+        mov.opcode = AtomicOpcode::MoveReg;
+        mov.kind = SpecKind::Move;
+        mov.instruction = "mov.b32";
+        mov.srcMem = MemorySpace::RF;
+        mov.dstMem = MemorySpace::RF;
+        mov.scalar = scalar;
+        mov.elemsIn0 = -1;
+        mov.elemsOut = -1;
+        mov.pipe = Pipe::Fp32;
+        entries_.push_back(mov);
+    }
+
+    // --------------------------------------------------- Pointwise ---
+    for (ScalarType scalar : {ScalarType::Fp16, ScalarType::Fp32}) {
+        if (scalar == ScalarType::Fp16) {
+            for (OpKind op : {OpKind::Add, OpKind::Sub, OpKind::Mul,
+                              OpKind::Max, OpKind::Min}) {
+                AtomicSpecInfo v2;
+                v2.opcode = AtomicOpcode::BinaryVector2;
+                v2.kind = SpecKind::BinaryPointwise;
+                v2.instruction = pointwiseInstruction(op, scalar, 2);
+                v2.scalar = scalar;
+                v2.accumScalar = scalar;
+                v2.elemsIn0 = 2;
+                v2.elemsIn1 = 2;
+                v2.elemsOut = 2;
+                v2.opFilter = op;
+                v2.pipe = Pipe::Fp16;
+                v2.flopsPerGroup = 2;
+                entries_.push_back(v2);
+            }
+        }
+        AtomicSpecInfo un;
+        un.opcode = AtomicOpcode::UnaryScalar;
+        un.kind = SpecKind::UnaryPointwise;
+        un.instruction = ""; // resolved per-op by codegen
+        un.scalar = scalar;
+        un.accumScalar = scalar;
+        un.elemsIn0 = 1;
+        un.elemsOut = 1;
+        un.pipe = Pipe::Fp32; // sfu ops adjusted by the cost model
+        un.flopsPerGroup = 1;
+        entries_.push_back(un);
+
+        AtomicSpecInfo bi;
+        bi.opcode = AtomicOpcode::BinaryScalar;
+        bi.kind = SpecKind::BinaryPointwise;
+        bi.instruction = "";
+        bi.scalar = scalar;
+        bi.accumScalar = scalar;
+        bi.elemsIn0 = 1;
+        bi.elemsIn1 = 1;
+        bi.elemsOut = 1;
+        bi.pipe = Pipe::Fp32;
+        bi.flopsPerGroup = 1;
+        entries_.push_back(bi);
+    }
+
+    // --------------------------------------------------- Reduction ---
+    for (ScalarType scalar : {ScalarType::Fp16, ScalarType::Fp32}) {
+        AtomicSpecInfo red;
+        red.opcode = AtomicOpcode::ReduceSerial;
+        red.kind = SpecKind::Reduction;
+        red.instruction = "";
+        red.scalar = scalar;
+        red.accumScalar = scalar;
+        red.elemsIn0 = -1;
+        red.elemsOut = 1;
+        red.pipe = Pipe::Fp32;
+        entries_.push_back(red);
+    }
+
+    // -------------------------------------------------------- Shfl ---
+    for (ScalarType scalar : {ScalarType::Fp16, ScalarType::Fp32}) {
+        AtomicSpecInfo sh;
+        sh.opcode = AtomicOpcode::ShflSync;
+        sh.kind = SpecKind::Shfl;
+        sh.instruction = "shfl.sync.bfly.b32";
+        sh.groupSize = 32;
+        sh.scalar = scalar;
+        sh.accumScalar = scalar;
+        sh.elemsIn0 = 1;
+        sh.elemsOut = 1;
+        sh.pipe = Pipe::Lsu;
+        entries_.push_back(sh);
+    }
+
+    // -------------------------------------------------------- Init ---
+    for (ScalarType scalar : {ScalarType::Fp16, ScalarType::Fp32,
+                              ScalarType::Int32}) {
+        AtomicSpecInfo init;
+        init.opcode = AtomicOpcode::InitReg;
+        init.kind = SpecKind::Init;
+        init.instruction = "mov.b32";
+        init.scalar = scalar;
+        init.accumScalar = scalar;
+        init.elemsIn0 = 0;
+        init.elemsOut = -1;
+        init.dstMem = MemorySpace::RF;
+        init.pipe = Pipe::Fp32;
+        entries_.push_back(init);
+    }
+}
+
+const AtomicSpecRegistry &
+AtomicSpecRegistry::forArch(const GpuArch &arch)
+{
+    static std::map<int, AtomicSpecRegistry> cache;
+    auto it = cache.find(arch.smVersion);
+    if (it == cache.end())
+        it = cache.emplace(arch.smVersion, AtomicSpecRegistry(arch)).first;
+    return it->second;
+}
+
+bool
+AtomicSpecRegistry::matches(const AtomicSpecInfo &info,
+                            const Spec &spec) const
+{
+    if (info.kind != spec.kind())
+        return false;
+    if (spec.execThreads().totalSize() != info.groupSize)
+        return false;
+    // Atomic hints disambiguate instruction families with identical
+    // operand patterns (e.g. ldmatrix vs ldmatrix.trans).
+    if (!spec.atomicHint().empty()
+        && info.instruction.find(spec.atomicHint()) == std::string::npos)
+        return false;
+    if (info.hintOnly && spec.atomicHint().empty())
+        return false;
+
+    const auto &ins = spec.inputs();
+    const auto &outs = spec.outputs();
+
+    switch (spec.kind()) {
+      case SpecKind::Move: {
+        const auto &src = ins.at(0);
+        const auto &dst = outs.at(0);
+        if (src.memory() != info.srcMem || dst.memory() != info.dstMem)
+            return false;
+        if (src.scalar() != info.scalar)
+            return false;
+        // Register-to-register moves may convert (cvt); memory moves
+        // must preserve the element type.
+        if (dst.scalar() != info.scalar
+            && info.opcode != AtomicOpcode::MoveReg)
+            return false;
+        if (info.elemsIn0 >= 0 && src.totalSize() != info.elemsIn0)
+            return false;
+        if (info.elemsOut >= 0 && dst.totalSize() != info.elemsOut)
+            return false;
+        if (info.requiresContiguous) {
+            // The memory-side view must be physically contiguous (and
+            // unswizzled vector access for ld/st; ldmatrix rows are
+            // checked per row which equals the whole per-thread view).
+            const TensorView &memView =
+                src.memory() == MemorySpace::RF ? dst : src;
+            if (!viewContiguous(memView))
+                return false;
+            // A vector access must not straddle the swizzle atom: the
+            // swizzle only permutes element-offset bits >= base, so a
+            // contiguous run of up to 2^base elements stays contiguous.
+            if (info.opcode != AtomicOpcode::Ldmatrix
+                && !memView.swizzle().isIdentity()
+                && memView.totalSize()
+                    > (int64_t{1} << memView.swizzle().base()))
+                return false;
+        }
+        return true;
+      }
+      case SpecKind::MatMul: {
+        const auto &a = ins.at(0);
+        const auto &b = ins.at(1);
+        const auto &d = outs.at(0);
+        if (a.scalar() != info.scalar || b.scalar() != info.scalar)
+            return false;
+        if (d.scalar() != info.accumScalar)
+            return false;
+        // Scalar FMA tolerates memory operands (the compiler fuses the
+        // loads, as in the paper's Fig. 8 generated code); tensor-core
+        // fragments and hfma2 must live in registers.
+        if (info.opcode != AtomicOpcode::FmaScalar
+            && (a.memory() != MemorySpace::RF
+                || b.memory() != MemorySpace::RF
+                || d.memory() != MemorySpace::RF))
+            return false;
+        return a.totalSize() == info.elemsIn0
+            && b.totalSize() == info.elemsIn1
+            && d.totalSize() == info.elemsOut;
+      }
+      case SpecKind::UnaryPointwise:
+      case SpecKind::BinaryPointwise: {
+        if (info.opFilter && *info.opFilter != spec.op())
+            return false;
+        const auto &out = outs.at(0);
+        if (out.scalar() != info.accumScalar)
+            return false;
+        if (info.elemsOut >= 0 && out.totalSize() != info.elemsOut)
+            return false;
+        for (const auto &in : ins)
+            if (in.scalar() != info.scalar)
+                return false;
+        if (spec.kind() == SpecKind::BinaryPointwise
+            && info.opcode == AtomicOpcode::BinaryVector2
+            && spec.hasScalarOperand())
+            return false;
+        return true;
+      }
+      case SpecKind::Reduction: {
+        const auto &in = ins.at(0);
+        const auto &out = outs.at(0);
+        return in.scalar() == info.scalar && out.totalSize() == 1
+            && in.memory() == MemorySpace::RF
+            && out.memory() == MemorySpace::RF;
+      }
+      case SpecKind::Shfl: {
+        const auto &in = ins.at(0);
+        return in.scalar() == info.scalar && in.totalSize() == 1
+            && outs.at(0).totalSize() == 1;
+      }
+      case SpecKind::Init: {
+        const auto &out = outs.at(0);
+        return out.scalar() == info.scalar
+            && out.memory() == info.dstMem;
+      }
+      default:
+        return false;
+    }
+}
+
+const AtomicSpecInfo *
+AtomicSpecRegistry::match(const Spec &spec, std::string *why) const
+{
+    for (const auto &info : entries_)
+        if (matches(info, spec))
+            return &info;
+    if (why) {
+        std::ostringstream msg;
+        msg << "no atomic spec matches leaf " << spec.headerStr()
+            << " [group=" << spec.execThreads().totalSize();
+        for (const auto &in : spec.inputs())
+            msg << ", in " << in.typeStr();
+        for (const auto &out : spec.outputs())
+            msg << ", out " << out.typeStr();
+        msg << "]; candidates of kind " << specKindName(spec.kind())
+            << ":";
+        for (const auto &info : entries_)
+            if (info.kind == spec.kind())
+                msg << "\n  " << info.instruction
+                    << " (group=" << info.groupSize
+                    << ", elems=" << info.elemsIn0 << "/" << info.elemsIn1
+                    << "/" << info.elemsOut << ")";
+        *why = msg.str();
+    }
+    return nullptr;
+}
+
+const AtomicSpecInfo &
+AtomicSpecRegistry::matchOrThrow(const Spec &spec) const
+{
+    std::string why;
+    const AtomicSpecInfo *info = match(spec, &why);
+    if (!info)
+        fatal(why);
+    return *info;
+}
+
+std::string
+pointwiseInstruction(OpKind op, ScalarType scalar, int64_t width)
+{
+    const std::string suffix = scalar == ScalarType::Fp16
+        ? (width == 2 ? "f16x2" : "f16")
+        : "f32";
+    switch (op) {
+      case OpKind::Add: return "add." + suffix;
+      case OpKind::Sub: return "sub." + suffix;
+      case OpKind::Mul: return "mul." + suffix;
+      case OpKind::Div: return "div.approx." + suffix;
+      case OpKind::Max: return "max." + suffix;
+      case OpKind::Min: return "min." + suffix;
+      case OpKind::Exp: return "ex2.approx." + suffix;
+      case OpKind::Relu: return "max." + suffix; // max(x, 0)
+      case OpKind::Gelu: return "gelu." + suffix; // emitted as sequence
+      case OpKind::Tanh: return "tanh.approx." + suffix;
+      case OpKind::Sigmoid: return "sigmoid." + suffix; // sequence
+      case OpKind::Rsqrt: return "rsqrt.approx." + suffix;
+      case OpKind::Neg: return "neg." + suffix;
+      case OpKind::Identity: return "mov.b32";
+    }
+    panic("unknown op kind");
+}
+
+} // namespace graphene

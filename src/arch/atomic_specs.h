@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Atomic specifications (paper Section 5.2, Table 2): the executable
+ * leaf specs.  Each entry pairs a matching pattern — spec kind, thread
+ * group size, operand memory spaces / scalar types / per-thread element
+ * counts, contiguity requirements — with the PTX instruction that
+ * implements it.
+ *
+ * During code generation every leaf spec is matched against the
+ * registry of the target architecture; an unmatched leaf is a
+ * compile-time error that reports the near misses.
+ */
+
+#ifndef GRAPHENE_ARCH_ATOMIC_SPECS_H
+#define GRAPHENE_ARCH_ATOMIC_SPECS_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/gpu_arch.h"
+#include "ir/spec.h"
+
+namespace graphene
+{
+
+/** Identifies the simulator/codegen behaviour of an atomic spec. */
+enum class AtomicOpcode
+{
+    // Per-thread data movement (widths resolved by elemsPerThread).
+    LdGlobal,
+    StGlobal,
+    LdShared,
+    StShared,
+    MoveReg,   // RF -> RF register copy
+    CpAsync,   // GL -> SH without a register round-trip (Ampere)
+    // Collective data movement.
+    Ldmatrix,       // warp-wide SH -> RF fragment load (Ampere)
+    LdmatrixTrans,  // transposed variant (B operands)
+    // Matrix multiply-accumulate.
+    FmaScalar,     // one thread, d += a*b (fp32 or fp16)
+    Hfma2,         // one thread, two fp16 lanes
+    MmaM8N8K4,     // Volta quad-pair tensor core
+    MmaM16N8K8,    // Ampere warp tensor core
+    MmaM16N8K16,   // Ampere warp tensor core
+    // Pointwise and the rest.
+    UnaryScalar,
+    BinaryScalar,
+    BinaryVector2, // fp16x2
+    ReduceSerial,
+    ShflSync,
+    InitReg,
+};
+
+/** Execution pipe an instruction occupies (for the timing model). */
+enum class Pipe
+{
+    Lsu,    // load/store issue
+    Tensor, // tensor cores
+    Fp32,   // FMA/ALU fp32
+    Fp16,   // fp16x2 vector math
+    Sfu,    // special function (exp, rsqrt)
+};
+
+struct AtomicSpecInfo
+{
+    AtomicOpcode opcode;
+    SpecKind kind;
+    std::string instruction; // PTX mnemonic for codegen / reports
+
+    int64_t groupSize = 1;   // participating threads
+    MemorySpace srcMem = MemorySpace::RF;
+    MemorySpace dstMem = MemorySpace::RF;
+    ScalarType scalar = ScalarType::Fp32;     // input element type
+    ScalarType accumScalar = ScalarType::Fp32; // matmul/output type
+
+    // Per-thread element counts; -1 = any.
+    int64_t elemsIn0 = 1;
+    int64_t elemsIn1 = 0;
+    int64_t elemsOut = 1;
+
+    /** Memory-side per-thread view must coalesce to [n:1] (vector op). */
+    bool requiresContiguous = false;
+
+    /** Restrict to one pointwise op; nullopt accepts any. */
+    std::optional<OpKind> opFilter;
+
+    /** Entry is only eligible when the spec carries an atomic hint
+     *  that the instruction mnemonic contains. */
+    bool hintOnly = false;
+
+    Pipe pipe = Pipe::Lsu;
+
+    /** FLOPs performed by the whole thread group per execution. */
+    int64_t flopsPerGroup = 0;
+};
+
+/**
+ * The per-architecture registry of atomic specs.
+ */
+class AtomicSpecRegistry
+{
+  public:
+    /** Registry for @p arch (cached singletons). */
+    static const AtomicSpecRegistry &forArch(const GpuArch &arch);
+
+    /**
+     * Match a leaf spec.  Returns the highest-priority entry whose
+     * pattern matches, or nullptr; @p why (optional) receives a
+     * diagnostic describing the spec and the near-misses.
+     */
+    const AtomicSpecInfo *match(const Spec &spec,
+                                std::string *why = nullptr) const;
+
+    /** Match or raise Error with the diagnostic. */
+    const AtomicSpecInfo &matchOrThrow(const Spec &spec) const;
+
+    const std::vector<AtomicSpecInfo> &all() const { return entries_; }
+
+  private:
+    explicit AtomicSpecRegistry(const GpuArch &arch);
+
+    bool matches(const AtomicSpecInfo &info, const Spec &spec) const;
+
+    std::vector<AtomicSpecInfo> entries_;
+};
+
+/** Resolve the PTX mnemonic of a pointwise scalar op (codegen). */
+std::string pointwiseInstruction(OpKind op, ScalarType scalar,
+                                 int64_t width);
+
+} // namespace graphene
+
+#endif // GRAPHENE_ARCH_ATOMIC_SPECS_H

@@ -1,0 +1,78 @@
+#include "arch/gpu_arch.h"
+
+namespace graphene
+{
+
+double
+GpuArch::tensorPeakTflops() const
+{
+    return tensorFlopsPerCycle * numSms * clockGhz / 1000.0;
+}
+
+double
+GpuArch::fp32PeakTflops() const
+{
+    return fp32FlopsPerCycle * numSms * clockGhz / 1000.0;
+}
+
+const GpuArch &
+GpuArch::volta()
+{
+    static const GpuArch arch = [] {
+        GpuArch a;
+        a.name = "V100 (SM70, Volta)";
+        a.smVersion = 70;
+        a.numSms = 80;
+        a.clockGhz = 1.312;
+        a.dramBandwidthGBs = 900.0;
+        a.l2Bytes = 6ll << 20;
+        a.sharedMemPerSmBytes = 96 * 1024;
+        a.maxSharedMemPerBlockBytes = 96 * 1024;
+        a.maxThreadsPerSm = 2048;
+        a.maxBlocksPerSm = 32;
+        // 8 tensor cores/SM x 64 fp16 FMA/cycle = 1024 FLOP/cycle.
+        a.tensorFlopsPerCycle = 1024;
+        a.fp32FlopsPerCycle = 128; // 64 FMA units
+        a.fp16FlopsPerCycle = 256;
+        a.sfuOpsPerCycle = 16;
+        a.issueSlotsPerCycle = 4;
+        a.sectorBytes = 32;
+        a.kernelLaunchOverheadUs = 5.0;
+        a.hasLdmatrix = false;
+        a.hasCpAsync = false;
+        return a;
+    }();
+    return arch;
+}
+
+const GpuArch &
+GpuArch::ampere()
+{
+    static const GpuArch arch = [] {
+        GpuArch a;
+        a.name = "RTX A6000 (SM86, Ampere)";
+        a.smVersion = 86;
+        a.numSms = 84;
+        a.clockGhz = 1.41;
+        a.dramBandwidthGBs = 768.0;
+        a.l2Bytes = 6ll << 20;
+        a.sharedMemPerSmBytes = 100 * 1024;
+        a.maxSharedMemPerBlockBytes = 99 * 1024;
+        a.maxThreadsPerSm = 1536;
+        a.maxBlocksPerSm = 16;
+        // 4 tensor cores/SM x 128 fp16 FMA/cycle (fp32 accumulate).
+        a.tensorFlopsPerCycle = 512;
+        a.fp32FlopsPerCycle = 256; // 128 FMA units
+        a.fp16FlopsPerCycle = 256;
+        a.sfuOpsPerCycle = 16;
+        a.issueSlotsPerCycle = 4;
+        a.sectorBytes = 32;
+        a.kernelLaunchOverheadUs = 4.0;
+        a.hasLdmatrix = true;
+        a.hasCpAsync = true;
+        return a;
+    }();
+    return arch;
+}
+
+} // namespace graphene

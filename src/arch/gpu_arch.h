@@ -1,0 +1,74 @@
+/**
+ * @file
+ * GPU architecture descriptions used for atomic-spec selection and by
+ * the timing model.  Two architectures are modeled after the paper's
+ * evaluation hardware: a V100 (SM70, "Volta") and an RTX A6000 (SM86,
+ * "Ampere").  Parameters are taken from the public whitepapers; the
+ * simulator's cost model is calibrated against these peaks, and all
+ * experimental results are reported *relative* to them (as the paper
+ * reports percent-of-peak from Nsight Compute).
+ */
+
+#ifndef GRAPHENE_ARCH_GPU_ARCH_H
+#define GRAPHENE_ARCH_GPU_ARCH_H
+
+#include <cstdint>
+#include <string>
+
+namespace graphene
+{
+
+struct GpuArch
+{
+    std::string name;
+    int smVersion = 70;
+
+    // SM / clock / memory.
+    int numSms = 80;
+    double clockGhz = 1.312;       // base (locked) clock
+    double dramBandwidthGBs = 900; // device memory bandwidth
+    int64_t l2Bytes = 6 << 20;
+
+    // Occupancy limits.
+    int64_t sharedMemPerSmBytes = 96 * 1024;
+    int64_t maxSharedMemPerBlockBytes = 96 * 1024;
+    int64_t maxThreadsPerSm = 2048;
+    int64_t maxBlocksPerSm = 32;
+
+    // Per-SM per-cycle throughputs (FLOPs count multiply and add).
+    double tensorFlopsPerCycle = 1024; // fp16 tensor cores
+    double fp32FlopsPerCycle = 128;    // FMA units
+    double fp16FlopsPerCycle = 256;    // half2 vector math
+    double sfuOpsPerCycle = 16;        // exp/rsqrt special function
+    double issueSlotsPerCycle = 4;     // warp instructions issued per cycle
+
+    // Shared memory: 32 banks x 4 bytes, one 128B wavefront per cycle.
+    int smemBanks = 32;
+    int smemBankBytes = 4;
+
+    // Global memory sectors (coalescing granularity).
+    int64_t sectorBytes = 32;
+
+    // Host-side cost of launching one kernel (microseconds).
+    double kernelLaunchOverheadUs = 5.0;
+
+    // Instruction-set features.
+    bool hasLdmatrix = false;
+    bool hasCpAsync = false;
+
+    /** Peak fp16 tensor-core throughput in TFLOP/s. */
+    double tensorPeakTflops() const;
+
+    /** Peak fp32 FMA throughput in TFLOP/s. */
+    double fp32PeakTflops() const;
+
+    /** The paper's Volta machine: Tesla V100 (SM70). */
+    static const GpuArch &volta();
+
+    /** The paper's Ampere machine: RTX A6000 (SM86). */
+    static const GpuArch &ampere();
+};
+
+} // namespace graphene
+
+#endif // GRAPHENE_ARCH_GPU_ARCH_H

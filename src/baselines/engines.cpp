@@ -1,0 +1,295 @@
+#include "baselines/engines.h"
+
+#include <cmath>
+
+#include "ops/layernorm.h"
+#include "ops/pointwise.h"
+#include "ops/softmax.h"
+#include "support/check.h"
+
+namespace graphene
+{
+namespace baselines
+{
+
+ops::TcGemmConfig
+heuristicGemmConfig(const GpuArch &arch, int64_t m, int64_t n, int64_t k)
+{
+    (void)arch;
+    ops::TcGemmConfig cfg;
+    cfg.m = m;
+    cfg.n = n;
+    cfg.k = k;
+    // Library-style tile selection: large tiles for large problems,
+    // smaller tiles to keep enough blocks in flight otherwise.
+    if (m % 128 == 0 && n % 128 == 0 && m >= 512 && n >= 512) {
+        cfg.bm = cfg.bn = 128;
+    } else if (m % 64 == 0 && n % 128 == 0) {
+        cfg.bm = 64;
+        cfg.bn = 128;
+        cfg.wm = 32;
+        cfg.wn = 64;
+    } else if (m % 128 == 0 && n % 64 == 0) {
+        cfg.bm = 128;
+        cfg.bn = 64;
+        cfg.wm = 64;
+        cfg.wn = 32;
+    } else {
+        GRAPHENE_CHECK(m % 64 == 0 && n % 64 == 0)
+            << "GEMM " << m << "x" << n << " not supported by the "
+            << "library heuristics";
+        cfg.bm = cfg.bn = 64;
+        cfg.wm = 32;
+        cfg.wn = 32;
+    }
+    cfg.bk = k % 32 == 0 ? 32 : 16;
+    GRAPHENE_CHECK(k % cfg.bk == 0) << "K=" << k << " granularity";
+    return cfg;
+}
+
+sim::KernelProfile
+CublasLike::gemm(int64_t m, int64_t n, int64_t k, const std::string &a,
+                 const std::string &b, const std::string &c,
+                 LaunchMode mode)
+{
+    ops::TcGemmConfig cfg = heuristicGemmConfig(device_.arch(), m, n, k);
+    cfg.aName = a;
+    cfg.bName = b;
+    cfg.cName = c;
+    return device_.launch(ops::buildTcGemm(device_.arch(), cfg), mode);
+}
+
+sim::KernelProfile
+CublasLike::gemmBatched(int64_t batch, int64_t m, int64_t n, int64_t k,
+                        bool bTransposed, double alpha,
+                        const std::string &a, const std::string &b,
+                        const std::string &c, LaunchMode mode)
+{
+    ops::TcGemmConfig cfg = heuristicGemmConfig(device_.arch(), m, n, k);
+    cfg.batch = batch;
+    cfg.batchStrideA = m * k;
+    cfg.batchStrideB = k * n;
+    cfg.batchStrideC = m * n;
+    cfg.bTransposed = bTransposed;
+    cfg.alpha = alpha;
+    cfg.aName = a;
+    cfg.bName = b;
+    cfg.cName = c;
+    return device_.launch(ops::buildTcGemm(device_.arch(), cfg), mode);
+}
+
+sim::KernelProfile
+CublasLtLike::gemmEpilogue(int64_t m, int64_t n, int64_t k,
+                           ops::Epilogue epilogue, bool accumulate,
+                           const std::string &a, const std::string &b,
+                           const std::string &c, const std::string &bias,
+                           LaunchMode mode)
+{
+    ops::TcGemmConfig cfg = heuristicGemmConfig(device_.arch(), m, n, k);
+    cfg.epilogue = epilogue;
+    cfg.loadC = accumulate;
+    cfg.aName = a;
+    cfg.bName = b;
+    cfg.cName = c;
+    cfg.biasName = bias;
+    return device_.launch(ops::buildTcGemm(device_.arch(), cfg), mode);
+}
+
+sim::KernelProfile
+CudnnLike::add(int64_t count, const std::string &a, const std::string &b,
+               const std::string &out, LaunchMode mode)
+{
+    return device_.launch(
+        ops::buildBinaryPointwise(device_.arch(), OpKind::Add, count, a,
+                                  b, out),
+        mode);
+}
+
+sim::KernelProfile
+CudnnLike::biasAct(int64_t rows, int64_t cols, OpKind act,
+                   const std::string &in, const std::string &bias,
+                   const std::string &out, LaunchMode mode)
+{
+    return device_.launch(
+        ops::buildBiasAct(device_.arch(), rows, cols, act, in, bias,
+                          out),
+        mode);
+}
+
+sim::KernelProfile
+CudnnLike::relu(int64_t count, const std::string &in,
+                const std::string &out, LaunchMode mode)
+{
+    return device_.launch(
+        ops::buildUnaryPointwise(device_.arch(), OpKind::Relu, count, in,
+                                 out),
+        mode);
+}
+
+std::string
+torchLayernormName(TorchLayernorm impl)
+{
+    switch (impl) {
+      case TorchLayernorm::Eager: return "PyTorch Eager";
+      case TorchLayernorm::Jit: return "PyTorch JIT";
+      case TorchLayernorm::Fused: return "PyTorch Fused";
+      case TorchLayernorm::Apex: return "NVIDIA Apex";
+    }
+    return "?";
+}
+
+double
+TorchLike::layernorm(TorchLayernorm impl, int64_t rows, int64_t cols,
+                     const std::string &x, const std::string &gamma,
+                     const std::string &beta, const std::string &y,
+                     LaunchMode mode)
+{
+    const GpuArch &arch = device_.arch();
+    const double before = device_.streamTimeUs();
+    ops::LayernormConfig cfg;
+    cfg.rows = rows;
+    cfg.cols = cols;
+    cfg.inName = x;
+    cfg.gammaName = gamma;
+    cfg.betaName = beta;
+    cfg.outName = y;
+    cfg.statsName = x + "_ln_stats";
+
+    auto scratch = [&](const std::string &suffix, ScalarType scalar,
+                       int64_t count) {
+        const std::string name = x + "_ln_" + suffix;
+        if (!device_.memory().contains(name)) {
+            if (mode == LaunchMode::Timing)
+                device_.allocateVirtual(name, scalar, count);
+            else
+                device_.allocate(name, scalar, count);
+        }
+        return name;
+    };
+
+    switch (impl) {
+      case TorchLayernorm::Eager: {
+        // One kernel per primitive, every intermediate in DRAM:
+        // mean, center, square, var, inv-std, normalize, scale, shift.
+        const auto mean = scratch("mean", ScalarType::Fp32, rows);
+        const auto centered = scratch("centered", ScalarType::Fp16,
+                                      rows * cols);
+        const auto sq = scratch("sq", ScalarType::Fp16, rows * cols);
+        const auto var = scratch("var", ScalarType::Fp32, rows);
+        const auto xhat = scratch("xhat", ScalarType::Fp16, rows * cols);
+        device_.launch(ops::buildRowReduce(arch, OpKind::Add, rows, cols,
+                                           1.0 / cols, x, mean),
+                       mode);
+        device_.launch(ops::buildRowBroadcast(arch, OpKind::Sub, rows,
+                                              cols, x, mean, centered),
+                       mode);
+        device_.launch(ops::buildBinaryPointwise(arch, OpKind::Mul,
+                                                 rows * cols, centered,
+                                                 centered, sq),
+                       mode);
+        device_.launch(ops::buildRowReduce(arch, OpKind::Add, rows, cols,
+                                           1.0 / cols, sq, var),
+                       mode);
+        // inv = rsqrt(var + eps) on the small [rows] vector; modeled
+        // with a row-broadcast multiply after folding rsqrt into the
+        // next kernel is what JIT would do — eager launches it alone.
+        const auto inv = scratch("inv", ScalarType::Fp32, rows);
+        {
+            // A dedicated tiny kernel: inv[i] = rsqrt(var[i] + eps).
+            const int64_t grid = ceilDiv(rows, 256);
+            Kernel k("eager_rsqrt", grid, 256);
+            auto one = ops::perThread(256);
+            auto idx = add(mul(ops::bid(grid), constant(256)),
+                           ops::tid(256));
+            TensorView vin("%v", var, Layout(), ScalarType::Fp32,
+                           MemorySpace::GL);
+            TensorView vout("%o", inv, Layout(), ScalarType::Fp32,
+                            MemorySpace::GL);
+            k.addParam(TensorView::global(var, Layout::vector(rows),
+                                          ScalarType::Fp32), true);
+            k.addParam(TensorView::global(inv, Layout::vector(rows),
+                                          ScalarType::Fp32), false);
+            std::vector<StmtPtr> guarded = {
+                call(Spec::move(one, vin.offsetBy(idx),
+                                ops::scalarReg("%r"))),
+                call(Spec::binaryScalar(OpKind::Add, one,
+                                        ops::scalarReg("%r"), 1e-5,
+                                        ops::scalarReg("%r"))),
+                call(Spec::unary(OpKind::Rsqrt, one,
+                                 ops::scalarReg("%r"),
+                                 ops::scalarReg("%r"))),
+                call(Spec::move(one, ops::scalarReg("%r"),
+                                vout.offsetBy(idx))),
+            };
+            k.setBody({
+                alloc("%r", ScalarType::Fp32, MemorySpace::RF, 1),
+                ifStmt(lessThan(idx, constant(rows)),
+                       std::move(guarded)),
+            });
+            device_.launch(k, mode);
+        }
+        device_.launch(ops::buildRowBroadcast(arch, OpKind::Mul, rows,
+                                              cols, centered, inv,
+                                              xhat),
+                       mode);
+        device_.launch(ops::buildColBroadcast(arch, OpKind::Mul, rows,
+                                              cols, xhat, gamma, xhat),
+                       mode);
+        device_.launch(ops::buildColBroadcast(arch, OpKind::Add, rows,
+                                              cols, xhat, beta, y),
+                       mode);
+        break;
+      }
+      case TorchLayernorm::Jit: {
+        scratch("stats", ScalarType::Fp32, rows * 2);
+        device_.launch(ops::buildLayernormStats(arch, cfg), mode);
+        device_.launch(ops::buildLayernormApply(arch, cfg), mode);
+        break;
+      }
+      case TorchLayernorm::Fused:
+        cfg.vectorized = false;
+        device_.launch(ops::buildLayernormFused(arch, cfg), mode);
+        break;
+      case TorchLayernorm::Apex:
+        cfg.vectorized = true;
+        device_.launch(ops::buildLayernormFused(arch, cfg), mode);
+        break;
+    }
+    return device_.streamTimeUs() - before;
+}
+
+double
+TorchLike::attentionUnfused(int64_t batchHeads, int64_t seq,
+                            int64_t headDim, const std::string &q,
+                            const std::string &k, const std::string &v,
+                            const std::string &o, LaunchMode mode)
+{
+    const double before = device_.streamTimeUs();
+    const std::string scores = q + "_attn_scores";
+    const std::string probs = q + "_attn_probs";
+    const int64_t scoreElems = batchHeads * seq * seq;
+    for (const auto &name : {scores, probs}) {
+        if (!device_.memory().contains(name)) {
+            if (mode == LaunchMode::Timing)
+                device_.allocateVirtual(name, ScalarType::Fp16,
+                                        scoreElems);
+            else
+                device_.allocate(name, ScalarType::Fp16, scoreElems);
+        }
+    }
+    CublasLike blas(device_);
+    const double scale = 1.0 / std::sqrt(static_cast<double>(headDim));
+    // S = alpha * Q K^T (batched), softmax, O = P V (batched).
+    blas.gemmBatched(batchHeads, seq, seq, headDim, /*bT=*/true, scale,
+                     q, k, scores, mode);
+    device_.launch(ops::buildRowSoftmax(device_.arch(),
+                                        batchHeads * seq, seq, 1.0,
+                                        scores, probs),
+                   mode);
+    blas.gemmBatched(batchHeads, seq, headDim, seq, /*bT=*/false, 1.0,
+                     probs, v, o, mode);
+    return device_.streamTimeUs() - before;
+}
+
+} // namespace baselines
+} // namespace graphene

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Library-engine stand-ins for the paper's baselines.
+ *
+ * Each engine owns a set of pre-built Graphene kernels with
+ * library-style heuristics and launches them on the shared Device —
+ * one kernel launch (and launch overhead) per library call, with all
+ * intermediates round-tripping through global memory.  These are the
+ * semantics the paper's baseline measurements have:
+ *
+ *  - CublasLike      : single-op GEMM with runtime tile heuristics
+ *                      (Fig. 9's comparison target)
+ *  - CublasLtLike    : GEMM with fused pointwise epilogues and the
+ *                      beta=1 accumulate mode (Figs. 10-12)
+ *  - CudnnLike       : standalone pointwise kernels (Fig. 12's 5-kernel
+ *                      lowering)
+ *  - TorchLike       : the four Layernorm implementations of Fig. 13
+ *                      (eager, JIT, built-in fused, Apex) and an
+ *                      unfused attention (Fig. 14 baseline)
+ */
+
+#ifndef GRAPHENE_BASELINES_ENGINES_H
+#define GRAPHENE_BASELINES_ENGINES_H
+
+#include "ops/tc_gemm.h"
+#include "runtime/device.h"
+
+namespace graphene
+{
+namespace baselines
+{
+
+/** Tile-size heuristic mimicking library kernel selection. */
+ops::TcGemmConfig heuristicGemmConfig(const GpuArch &arch, int64_t m,
+                                      int64_t n, int64_t k);
+
+class CublasLike
+{
+  public:
+    explicit CublasLike(Device &device) : device_(device) {}
+
+    /** C = A * B; returns the kernel profile. */
+    sim::KernelProfile gemm(int64_t m, int64_t n, int64_t k,
+                            const std::string &a, const std::string &b,
+                            const std::string &c,
+                            LaunchMode mode = LaunchMode::Timing);
+
+    /** Batched C_i = alpha * A_i * B_i(^T). */
+    sim::KernelProfile gemmBatched(int64_t batch, int64_t m, int64_t n,
+                                   int64_t k, bool bTransposed,
+                                   double alpha, const std::string &a,
+                                   const std::string &b,
+                                   const std::string &c,
+                                   LaunchMode mode = LaunchMode::Timing);
+
+  private:
+    Device &device_;
+};
+
+class CublasLtLike
+{
+  public:
+    explicit CublasLtLike(Device &device) : device_(device) {}
+
+    /** C (+)= A * B with a fused epilogue (bias/activation). */
+    sim::KernelProfile gemmEpilogue(int64_t m, int64_t n, int64_t k,
+                                    ops::Epilogue epilogue,
+                                    bool accumulate,
+                                    const std::string &a,
+                                    const std::string &b,
+                                    const std::string &c,
+                                    const std::string &bias,
+                                    LaunchMode mode = LaunchMode::Timing);
+
+  private:
+    Device &device_;
+};
+
+class CudnnLike
+{
+  public:
+    explicit CudnnLike(Device &device) : device_(device) {}
+
+    sim::KernelProfile add(int64_t count, const std::string &a,
+                           const std::string &b, const std::string &out,
+                           LaunchMode mode = LaunchMode::Timing);
+
+    sim::KernelProfile biasAct(int64_t rows, int64_t cols, OpKind act,
+                               const std::string &in,
+                               const std::string &bias,
+                               const std::string &out,
+                               LaunchMode mode = LaunchMode::Timing);
+
+    sim::KernelProfile relu(int64_t count, const std::string &in,
+                            const std::string &out,
+                            LaunchMode mode = LaunchMode::Timing);
+
+  private:
+    Device &device_;
+};
+
+/** Which PyTorch Layernorm implementation to model (Fig. 13). */
+enum class TorchLayernorm
+{
+    Eager,   // one kernel per primitive op (~10 launches)
+    Jit,     // TorchScript fusion: stats kernel + apply kernel
+    Fused,   // built-in fused kernel (scalar loads)
+    Apex,    // NVIDIA Apex fused kernel (vectorized loads)
+};
+
+std::string torchLayernormName(TorchLayernorm impl);
+
+class TorchLike
+{
+  public:
+    explicit TorchLike(Device &device) : device_(device) {}
+
+    /**
+     * y = layernorm(x) over [rows, cols] with weights gamma/beta.
+     * Launches the kernel sequence of the chosen implementation and
+     * returns the total time (microseconds) including per-launch
+     * overheads.  Scratch buffers named "<x>_ln_*" are (virtually)
+     * allocated on demand.
+     */
+    double layernorm(TorchLayernorm impl, int64_t rows, int64_t cols,
+                     const std::string &x, const std::string &gamma,
+                     const std::string &beta, const std::string &y,
+                     LaunchMode mode = LaunchMode::Timing);
+
+    /**
+     * Unfused multi-head attention (the Fig. 14 baseline): batched
+     * Q K^T GEMM, standalone softmax, batched P V GEMM, with the
+     * [batch*heads, seq, seq] score tensor round-tripping through
+     * global memory.  Returns total time.
+     */
+    double attentionUnfused(int64_t batchHeads, int64_t seq,
+                            int64_t headDim, const std::string &q,
+                            const std::string &k, const std::string &v,
+                            const std::string &o,
+                            LaunchMode mode = LaunchMode::Timing);
+
+  private:
+    Device &device_;
+};
+
+} // namespace baselines
+} // namespace graphene
+
+#endif // GRAPHENE_BASELINES_ENGINES_H

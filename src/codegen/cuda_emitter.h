@@ -1,0 +1,41 @@
+/**
+ * @file
+ * CUDA C++ code generation (paper Section 5.5).
+ *
+ * Since decomposed Graphene IR precisely describes the implementation,
+ * code generation "boils down to printing the IR as valid CUDA C++":
+ * control flow prints as loops/ifs, leaf specs print as the matched
+ * atomic instruction (plain C++ for scalar ops, inline PTX for tensor
+ * instructions like ldmatrix/mma.sync), and tensor accesses print as
+ * the algebraically simplified index expressions derived from the
+ * layouts.
+ *
+ * The emitted index arithmetic uses exactly the same Expr ASTs the
+ * simulator evaluates, so the printed kernel is cross-validated against
+ * the executed semantics by construction (and by tests that re-parse
+ * emitted expressions).
+ */
+
+#ifndef GRAPHENE_CODEGEN_CUDA_EMITTER_H
+#define GRAPHENE_CODEGEN_CUDA_EMITTER_H
+
+#include <string>
+
+#include "arch/gpu_arch.h"
+#include "ir/kernel.h"
+
+namespace graphene
+{
+
+/** Generate the full CUDA C++ translation unit for @p kernel. */
+std::string emitCuda(const Kernel &kernel, const GpuArch &arch);
+
+/** Sanitize an IR name ("%acc" -> "acc") for use as a C identifier. */
+std::string sanitizeName(const std::string &name);
+
+/** Render an Expr as CUDA C++ (tid -> threadIdx.x, bid -> blockIdx.x). */
+std::string cudaExpr(const ExprPtr &e);
+
+} // namespace graphene
+
+#endif // GRAPHENE_CODEGEN_CUDA_EMITTER_H

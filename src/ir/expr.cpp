@@ -1,0 +1,639 @@
+#include "ir/expr.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "support/check.h"
+
+namespace graphene
+{
+
+Expr::Expr(ExprKind kind, int64_t value, std::string name, ExprPtr lhs,
+           ExprPtr rhs, int64_t extent)
+    : kind_(kind), value_(value), name_(std::move(name)),
+      lhs_(std::move(lhs)), rhs_(std::move(rhs)), extent_(extent)
+{}
+
+int64_t
+Expr::constValue() const
+{
+    GRAPHENE_ASSERT(kind_ == ExprKind::Const) << "constValue on " << str();
+    return value_;
+}
+
+const std::string &
+Expr::varName() const
+{
+    GRAPHENE_ASSERT(kind_ == ExprKind::Var) << "varName on non-var";
+    return name_;
+}
+
+std::optional<std::pair<int64_t, int64_t>>
+Expr::range() const
+{
+    using Range = std::pair<int64_t, int64_t>;
+    switch (kind_) {
+      case ExprKind::Const:
+        return Range{value_, value_};
+      case ExprKind::Var:
+        if (extent_ > 0)
+            return Range{0, extent_ - 1};
+        return std::nullopt;
+      default:
+        break;
+    }
+    const auto lr = lhs_->range();
+    const auto rr = rhs_->range();
+    if (!lr || !rr)
+        return std::nullopt;
+    switch (kind_) {
+      case ExprKind::Add:
+        return Range{lr->first + rr->first, lr->second + rr->second};
+      case ExprKind::Sub:
+        return Range{lr->first - rr->second, lr->second - rr->first};
+      case ExprKind::Mul: {
+        const int64_t c[4] = {lr->first * rr->first, lr->first * rr->second,
+                              lr->second * rr->first,
+                              lr->second * rr->second};
+        int64_t lo = c[0], hi = c[0];
+        for (int i = 1; i < 4; ++i) {
+            lo = std::min(lo, c[i]);
+            hi = std::max(hi, c[i]);
+        }
+        return Range{lo, hi};
+      }
+      case ExprKind::Div:
+        if (rr->first == rr->second && rr->first > 0 && lr->first >= 0)
+            return Range{lr->first / rr->first, lr->second / rr->first};
+        return std::nullopt;
+      case ExprKind::Mod:
+        if (rr->first == rr->second && rr->first > 0 && lr->first >= 0) {
+            if (lr->second < rr->first)
+                return Range{lr->first, lr->second};
+            return Range{0, rr->first - 1};
+        }
+        return std::nullopt;
+      case ExprKind::Min:
+        return Range{std::min(lr->first, rr->first),
+                     std::min(lr->second, rr->second)};
+      case ExprKind::Max:
+        return Range{std::max(lr->first, rr->first),
+                     std::max(lr->second, rr->second)};
+      case ExprKind::Lt:
+      case ExprKind::And:
+        return Range{0, 1};
+      case ExprKind::Xor:
+        if (lr->first >= 0 && rr->first >= 0) {
+            // Bound by the next power of two above both maxima.
+            int64_t bound = 1;
+            while (bound <= lr->second || bound <= rr->second)
+                bound <<= 1;
+            return Range{0, bound - 1};
+        }
+        return std::nullopt;
+      default:
+        return std::nullopt;
+    }
+}
+
+int64_t
+Expr::eval(const std::function<int64_t(const std::string &)> &lookup) const
+{
+    switch (kind_) {
+      case ExprKind::Const:
+        return value_;
+      case ExprKind::Var:
+        return lookup(name_);
+      default:
+        break;
+    }
+    const int64_t a = lhs_->eval(lookup);
+    const int64_t b = rhs_->eval(lookup);
+    switch (kind_) {
+      case ExprKind::Add: return a + b;
+      case ExprKind::Sub: return a - b;
+      case ExprKind::Mul: return a * b;
+      case ExprKind::Div:
+        GRAPHENE_CHECK(b != 0) << "division by zero evaluating " << str();
+        return a / b;
+      case ExprKind::Mod:
+        GRAPHENE_CHECK(b != 0) << "mod by zero evaluating " << str();
+        return a % b;
+      case ExprKind::Min: return std::min(a, b);
+      case ExprKind::Max: return std::max(a, b);
+      case ExprKind::Lt: return a < b ? 1 : 0;
+      case ExprKind::And: return (a != 0 && b != 0) ? 1 : 0;
+      case ExprKind::Xor: return a ^ b;
+      default:
+        panic("unhandled expr kind in eval");
+    }
+}
+
+bool
+Expr::equals(const Expr &other) const
+{
+    if (kind_ != other.kind_)
+        return false;
+    switch (kind_) {
+      case ExprKind::Const:
+        return value_ == other.value_;
+      case ExprKind::Var:
+        return name_ == other.name_;
+      default:
+        return lhs_->equals(*other.lhs_) && rhs_->equals(*other.rhs_);
+    }
+}
+
+std::string
+Expr::str() const
+{
+    switch (kind_) {
+      case ExprKind::Const:
+        return std::to_string(value_);
+      case ExprKind::Var:
+        return name_;
+      case ExprKind::Min:
+        return "min(" + lhs_->str() + ", " + rhs_->str() + ")";
+      case ExprKind::Max:
+        return "max(" + lhs_->str() + ", " + rhs_->str() + ")";
+      default:
+        break;
+    }
+    const char *op = nullptr;
+    switch (kind_) {
+      case ExprKind::Add: op = " + "; break;
+      case ExprKind::Sub: op = " - "; break;
+      case ExprKind::Mul: op = " * "; break;
+      case ExprKind::Div: op = " / "; break;
+      case ExprKind::Mod: op = " % "; break;
+      case ExprKind::Lt:  op = " < "; break;
+      case ExprKind::And: op = " && "; break;
+      case ExprKind::Xor: op = " ^ "; break;
+      default:
+        panic("unhandled expr kind in str");
+    }
+    return "(" + lhs_->str() + op + rhs_->str() + ")";
+}
+
+namespace
+{
+
+ExprPtr
+makeNode(ExprKind kind, ExprPtr a, ExprPtr b)
+{
+    return std::make_shared<Expr>(kind, 0, "", std::move(a), std::move(b),
+                                  0);
+}
+
+/**
+ * True when @p e is structurally a multiple of @p c: a constant multiple,
+ * or a Mul with a constant-multiple factor, or a sum of multiples.
+ */
+bool
+isMultipleOf(const ExprPtr &e, int64_t c)
+{
+    if (c == 1)
+        return true;
+    int64_t v;
+    if (isConst(e, &v))
+        return v % c == 0;
+    switch (e->kind()) {
+      case ExprKind::Mul:
+        if (isConst(e->rhs(), &v) && v % c == 0)
+            return true;
+        if (isConst(e->lhs(), &v) && v % c == 0)
+            return true;
+        return false;
+      case ExprKind::Add:
+      case ExprKind::Sub:
+        return isMultipleOf(e->lhs(), c) && isMultipleOf(e->rhs(), c);
+      default:
+        return false;
+    }
+}
+
+/** Divide a structural multiple of @p c by c exactly. */
+ExprPtr
+divideMultiple(const ExprPtr &e, int64_t c)
+{
+    if (c == 1)
+        return e;
+    int64_t v;
+    if (isConst(e, &v))
+        return constant(v / c);
+    switch (e->kind()) {
+      case ExprKind::Mul:
+        if (isConst(e->rhs(), &v) && v % c == 0)
+            return mul(e->lhs(), constant(v / c));
+        if (isConst(e->lhs(), &v) && v % c == 0)
+            return mul(constant(v / c), e->rhs());
+        break;
+      case ExprKind::Add:
+        return add(divideMultiple(e->lhs(), c), divideMultiple(e->rhs(), c));
+      case ExprKind::Sub:
+        return sub(divideMultiple(e->lhs(), c), divideMultiple(e->rhs(), c));
+      default:
+        break;
+    }
+    panic("divideMultiple on non-multiple");
+}
+
+bool
+nonNegative(const ExprPtr &e)
+{
+    const auto r = e->range();
+    return r && r->first >= 0;
+}
+
+} // namespace
+
+ExprPtr
+constant(int64_t value)
+{
+    return std::make_shared<Expr>(ExprKind::Const, value, "", nullptr,
+                                  nullptr, 0);
+}
+
+ExprPtr
+variable(const std::string &name, int64_t extent)
+{
+    return std::make_shared<Expr>(ExprKind::Var, 0, name, nullptr, nullptr,
+                                  extent);
+}
+
+ExprPtr
+add(ExprPtr a, ExprPtr b)
+{
+    int64_t ca, cb;
+    if (isConst(a, &ca) && isConst(b, &cb))
+        return constant(ca + cb);
+    if (isConst(a, &ca) && ca == 0)
+        return b;
+    if (isConst(b, &cb) && cb == 0)
+        return a;
+    return makeNode(ExprKind::Add, std::move(a), std::move(b));
+}
+
+ExprPtr
+sub(ExprPtr a, ExprPtr b)
+{
+    int64_t ca, cb;
+    if (isConst(a, &ca) && isConst(b, &cb))
+        return constant(ca - cb);
+    if (isConst(b, &cb) && cb == 0)
+        return a;
+    if (a->equals(*b))
+        return constant(0);
+    return makeNode(ExprKind::Sub, std::move(a), std::move(b));
+}
+
+ExprPtr
+mul(ExprPtr a, ExprPtr b)
+{
+    int64_t ca, cb;
+    if (isConst(a, &ca) && isConst(b, &cb))
+        return constant(ca * cb);
+    if (isConst(a, &ca)) {
+        if (ca == 0)
+            return constant(0);
+        if (ca == 1)
+            return b;
+        // Canonicalize constants to the right.
+        return makeNode(ExprKind::Mul, std::move(b), std::move(a));
+    }
+    if (isConst(b, &cb)) {
+        if (cb == 0)
+            return constant(0);
+        if (cb == 1)
+            return a;
+        // (x * c1) * c2 -> x * (c1*c2)
+        if (a->kind() == ExprKind::Mul && isConst(a->rhs(), &ca))
+            return mul(a->lhs(), constant(ca * cb));
+    }
+    return makeNode(ExprKind::Mul, std::move(a), std::move(b));
+}
+
+ExprPtr
+floorDiv(ExprPtr a, ExprPtr b)
+{
+    int64_t ca, cb;
+    if (isConst(a, &ca) && isConst(b, &cb)) {
+        GRAPHENE_CHECK(cb != 0) << "constant division by zero";
+        return constant(ca / cb);
+    }
+    if (isConst(b, &cb)) {
+        GRAPHENE_CHECK(cb != 0) << "division by zero";
+        if (cb == 1)
+            return a;
+        // x / c == 0 when 0 <= x < c.
+        const auto r = a->range();
+        if (r && r->first >= 0 && r->second < cb)
+            return constant(0);
+        // Structural multiple: (x * (m*c)) / c -> x * m.
+        if (isMultipleOf(a, cb) && nonNegative(a))
+            return divideMultiple(a, cb);
+        // (x / c1) / c2 -> x / (c1*c2)
+        int64_t c1;
+        if (a->kind() == ExprKind::Div && isConst(a->rhs(), &c1))
+            return floorDiv(a->lhs(), constant(c1 * cb));
+        // (a' + b') / c -> a'/c + b'/c when a' is a multiple of c and
+        // b' is non-negative (floor distributes).
+        if (a->kind() == ExprKind::Add) {
+            if (isMultipleOf(a->lhs(), cb) && nonNegative(a->lhs())
+                && nonNegative(a->rhs()))
+                return add(divideMultiple(a->lhs(), cb),
+                           floorDiv(a->rhs(), constant(cb)));
+            if (isMultipleOf(a->rhs(), cb) && nonNegative(a->rhs())
+                && nonNegative(a->lhs()))
+                return add(floorDiv(a->lhs(), constant(cb)),
+                           divideMultiple(a->rhs(), cb));
+        }
+    }
+    return makeNode(ExprKind::Div, std::move(a), std::move(b));
+}
+
+ExprPtr
+mod(ExprPtr a, ExprPtr b)
+{
+    int64_t ca, cb;
+    if (isConst(a, &ca) && isConst(b, &cb)) {
+        GRAPHENE_CHECK(cb != 0) << "constant mod by zero";
+        return constant(ca % cb);
+    }
+    if (isConst(b, &cb)) {
+        GRAPHENE_CHECK(cb != 0) << "mod by zero";
+        if (cb == 1)
+            return constant(0);
+        // x % c == x when 0 <= x < c (the paper's M % 256 -> M rule).
+        const auto r = a->range();
+        if (r && r->first >= 0 && r->second < cb)
+            return a;
+        // Multiples vanish.
+        if (isMultipleOf(a, cb) && nonNegative(a))
+            return constant(0);
+        // (a' + b') % c -> b' % c when a' is a multiple of c.
+        if (a->kind() == ExprKind::Add) {
+            if (isMultipleOf(a->lhs(), cb) && nonNegative(a->lhs())
+                && nonNegative(a->rhs()))
+                return mod(a->rhs(), constant(cb));
+            if (isMultipleOf(a->rhs(), cb) && nonNegative(a->rhs())
+                && nonNegative(a->lhs()))
+                return mod(a->lhs(), constant(cb));
+        }
+        // (x % (m*c)) % c -> x % c
+        int64_t c1;
+        if (a->kind() == ExprKind::Mod && isConst(a->rhs(), &c1)
+            && c1 % cb == 0)
+            return mod(a->lhs(), constant(cb));
+    }
+    return makeNode(ExprKind::Mod, std::move(a), std::move(b));
+}
+
+ExprPtr
+exprMin(ExprPtr a, ExprPtr b)
+{
+    int64_t ca, cb;
+    if (isConst(a, &ca) && isConst(b, &cb))
+        return constant(std::min(ca, cb));
+    if (a->equals(*b))
+        return a;
+    const auto ra = a->range();
+    const auto rb = b->range();
+    if (ra && rb) {
+        if (ra->second <= rb->first)
+            return a;
+        if (rb->second <= ra->first)
+            return b;
+    }
+    return makeNode(ExprKind::Min, std::move(a), std::move(b));
+}
+
+ExprPtr
+exprMax(ExprPtr a, ExprPtr b)
+{
+    int64_t ca, cb;
+    if (isConst(a, &ca) && isConst(b, &cb))
+        return constant(std::max(ca, cb));
+    if (a->equals(*b))
+        return a;
+    const auto ra = a->range();
+    const auto rb = b->range();
+    if (ra && rb) {
+        if (ra->first >= rb->second)
+            return a;
+        if (rb->first >= ra->second)
+            return b;
+    }
+    return makeNode(ExprKind::Max, std::move(a), std::move(b));
+}
+
+ExprPtr
+lessThan(ExprPtr a, ExprPtr b)
+{
+    int64_t ca, cb;
+    if (isConst(a, &ca) && isConst(b, &cb))
+        return constant(ca < cb ? 1 : 0);
+    const auto ra = a->range();
+    const auto rb = b->range();
+    if (ra && rb) {
+        if (ra->second < rb->first)
+            return constant(1);
+        if (ra->first >= rb->second)
+            return constant(0);
+    }
+    return makeNode(ExprKind::Lt, std::move(a), std::move(b));
+}
+
+ExprPtr
+logicalAnd(ExprPtr a, ExprPtr b)
+{
+    int64_t ca, cb;
+    if (isConst(a, &ca))
+        return ca != 0 ? b : constant(0);
+    if (isConst(b, &cb))
+        return cb != 0 ? a : constant(0);
+    return makeNode(ExprKind::And, std::move(a), std::move(b));
+}
+
+ExprPtr
+bitXor(ExprPtr a, ExprPtr b)
+{
+    int64_t ca, cb;
+    if (isConst(a, &ca) && isConst(b, &cb))
+        return constant(ca ^ cb);
+    if (isConst(b, &cb) && cb == 0)
+        return a;
+    if (isConst(a, &ca) && ca == 0)
+        return b;
+    return makeNode(ExprKind::Xor, std::move(a), std::move(b));
+}
+
+bool
+isConst(const ExprPtr &e, int64_t *value)
+{
+    if (e->kind() != ExprKind::Const)
+        return false;
+    if (value)
+        *value = e->constValue();
+    return true;
+}
+
+bool
+exprUsesVar(const ExprPtr &e, const std::string &name)
+{
+    if (!e)
+        return false;
+    if (e->kind() == ExprKind::Var)
+        return e->varName() == name;
+    if (e->kind() == ExprKind::Const)
+        return false;
+    return exprUsesVar(e->lhs(), name) || exprUsesVar(e->rhs(), name);
+}
+
+// ---------------------------------------------------------------------
+// Parser (tests only): precedence climbing over + - * / % ^ && < min max.
+
+namespace
+{
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text), pos_(0) {}
+
+    ExprPtr
+    parse()
+    {
+        ExprPtr e = parseBinary(0);
+        skipSpace();
+        GRAPHENE_CHECK(pos_ == text_.size())
+            << "trailing characters in expression: '" << text_.substr(pos_)
+            << "'";
+        return e;
+    }
+
+  private:
+    // Precedence: && (1) < < (2) < ^ (3) < +- (4) < */% (5).
+    int
+    precedenceOf(const std::string &op)
+    {
+        if (op == "&&") return 1;
+        if (op == "<") return 2;
+        if (op == "^") return 3;
+        if (op == "+" || op == "-") return 4;
+        if (op == "*" || op == "/" || op == "%") return 5;
+        return -1;
+    }
+
+    ExprPtr
+    parseBinary(int minPrec)
+    {
+        ExprPtr lhs = parsePrimary();
+        for (;;) {
+            skipSpace();
+            const std::string op = peekOp();
+            const int prec = precedenceOf(op);
+            if (prec < 0 || prec < minPrec)
+                return lhs;
+            pos_ += op.size();
+            ExprPtr rhs = parseBinary(prec + 1);
+            if (op == "+") lhs = add(lhs, rhs);
+            else if (op == "-") lhs = sub(lhs, rhs);
+            else if (op == "*") lhs = mul(lhs, rhs);
+            else if (op == "/") lhs = floorDiv(lhs, rhs);
+            else if (op == "%") lhs = mod(lhs, rhs);
+            else if (op == "^") lhs = bitXor(lhs, rhs);
+            else if (op == "<") lhs = lessThan(lhs, rhs);
+            else if (op == "&&") lhs = logicalAnd(lhs, rhs);
+        }
+    }
+
+    std::string
+    peekOp()
+    {
+        if (pos_ >= text_.size())
+            return "";
+        if (text_.compare(pos_, 2, "&&") == 0)
+            return "&&";
+        const char c = text_[pos_];
+        if (c == '+' || c == '-' || c == '*' || c == '/' || c == '%'
+            || c == '^' || c == '<')
+            return std::string(1, c);
+        return "";
+    }
+
+    ExprPtr
+    parsePrimary()
+    {
+        skipSpace();
+        GRAPHENE_CHECK(pos_ < text_.size()) << "unexpected end of expression";
+        const char c = text_[pos_];
+        if (c == '-') {
+            ++pos_;
+            return sub(constant(0), parsePrimary());
+        }
+        if (c == '(') {
+            ++pos_;
+            ExprPtr e = parseBinary(0);
+            skipSpace();
+            GRAPHENE_CHECK(pos_ < text_.size() && text_[pos_] == ')')
+                << "expected ')' in expression";
+            ++pos_;
+            return e;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            int64_t v = 0;
+            while (pos_ < text_.size()
+                   && std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                v = v * 10 + (text_[pos_++] - '0');
+            return constant(v);
+        }
+        GRAPHENE_CHECK(std::isalpha(static_cast<unsigned char>(c))
+                       || c == '_')
+            << "unexpected character '" << c << "' in expression";
+        std::string name;
+        while (pos_ < text_.size()
+               && (std::isalnum(static_cast<unsigned char>(text_[pos_]))
+                   || text_[pos_] == '_' || text_[pos_] == '.'))
+            name.push_back(text_[pos_++]);
+        if (name == "min" || name == "max") {
+            skipSpace();
+            GRAPHENE_CHECK(pos_ < text_.size() && text_[pos_] == '(')
+                << "expected '(' after " << name;
+            ++pos_;
+            ExprPtr a = parseBinary(0);
+            skipSpace();
+            GRAPHENE_CHECK(pos_ < text_.size() && text_[pos_] == ',')
+                << "expected ',' in " << name;
+            ++pos_;
+            ExprPtr b = parseBinary(0);
+            skipSpace();
+            GRAPHENE_CHECK(pos_ < text_.size() && text_[pos_] == ')')
+                << "expected ')' in " << name;
+            ++pos_;
+            return name == "min" ? exprMin(a, b) : exprMax(a, b);
+        }
+        return variable(name);
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size()
+               && std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    const std::string &text_;
+    size_t pos_;
+};
+
+} // namespace
+
+ExprPtr
+parseExpr(const std::string &text)
+{
+    return Parser(text).parse();
+}
+
+} // namespace graphene

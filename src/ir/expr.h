@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Symbolic integer expressions.
+ *
+ * Graphene generates all scalar thread-index and buffer-access
+ * arithmetic from layouts at code-generation time (paper Sections 4/5.5)
+ * and simplifies the result algebraically (Section 3.4, e.g.
+ * (M % 256) -> M iff M < 256).  Expr is the AST for that arithmetic:
+ * immutable nodes built through smart constructors that constant-fold
+ * and apply range-based rewrites eagerly.
+ */
+
+#ifndef GRAPHENE_IR_EXPR_H
+#define GRAPHENE_IR_EXPR_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace graphene
+{
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/** Expression node kinds. */
+enum class ExprKind
+{
+    Const,
+    Var,
+    Add,
+    Sub,
+    Mul,
+    Div, // floor division (C semantics on non-negative operands)
+    Mod,
+    Min,
+    Max,
+    Lt,  // 0/1 comparison, used for predication
+    And, // logical and on 0/1 values
+    Xor, // bitwise xor, used for swizzled addressing
+};
+
+/**
+ * An immutable integer expression node.  Use the free-function smart
+ * constructors (constant, variable, add, ...) which simplify eagerly.
+ */
+class Expr : public std::enable_shared_from_this<Expr>
+{
+  public:
+    Expr(ExprKind kind, int64_t value, std::string name, ExprPtr lhs,
+         ExprPtr rhs, int64_t extent);
+
+    ExprKind kind() const { return kind_; }
+
+    /** Constant value (Const only). */
+    int64_t constValue() const;
+
+    /** Variable name (Var only). */
+    const std::string &varName() const;
+
+    /** Declared extent of a Var: value in [0, extent); 0 = unknown. */
+    int64_t varExtent() const { return extent_; }
+
+    const ExprPtr &lhs() const { return lhs_; }
+    const ExprPtr &rhs() const { return rhs_; }
+
+    /** Conservative value range [lo, hi]; nullopt when unbounded. */
+    std::optional<std::pair<int64_t, int64_t>> range() const;
+
+    /** Evaluate with variable bindings supplied by @p lookup. */
+    int64_t eval(const std::function<int64_t(const std::string &)> &lookup)
+        const;
+
+    /** Structural equality. */
+    bool equals(const Expr &other) const;
+
+    /** CUDA C++ rendering, e.g. "((bid_m * 128) + (k * 1024))". */
+    std::string str() const;
+
+  private:
+    ExprKind kind_;
+    int64_t value_;
+    std::string name_;
+    ExprPtr lhs_;
+    ExprPtr rhs_;
+    int64_t extent_;
+};
+
+/** Integer literal. */
+ExprPtr constant(int64_t value);
+
+/** Variable with optional extent hint (value in [0, extent); 0=unknown). */
+ExprPtr variable(const std::string &name, int64_t extent = 0);
+
+ExprPtr add(ExprPtr a, ExprPtr b);
+ExprPtr sub(ExprPtr a, ExprPtr b);
+ExprPtr mul(ExprPtr a, ExprPtr b);
+ExprPtr floorDiv(ExprPtr a, ExprPtr b);
+ExprPtr mod(ExprPtr a, ExprPtr b);
+ExprPtr exprMin(ExprPtr a, ExprPtr b);
+ExprPtr exprMax(ExprPtr a, ExprPtr b);
+ExprPtr lessThan(ExprPtr a, ExprPtr b);
+ExprPtr logicalAnd(ExprPtr a, ExprPtr b);
+ExprPtr bitXor(ExprPtr a, ExprPtr b);
+
+/** True (and sets @p value) when @p e is a constant. */
+bool isConst(const ExprPtr &e, int64_t *value = nullptr);
+
+/** True when @p e references the variable @p name. */
+bool exprUsesVar(const ExprPtr &e, const std::string &name);
+
+/**
+ * Parse the textual form produced by Expr::str() (plus unparenthesized
+ * arithmetic); used by tests to round-trip generated index expressions.
+ */
+ExprPtr parseExpr(const std::string &text);
+
+} // namespace graphene
+
+#endif // GRAPHENE_IR_EXPR_H

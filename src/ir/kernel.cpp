@@ -1,0 +1,101 @@
+#include "ir/kernel.h"
+
+#include "support/check.h"
+
+namespace graphene
+{
+
+namespace
+{
+
+void
+collectAllocs(const std::vector<StmtPtr> &stmts,
+              std::vector<const Stmt *> &out)
+{
+    for (const auto &s : stmts) {
+        switch (s->kind) {
+          case StmtKind::Alloc:
+            out.push_back(s.get());
+            break;
+          case StmtKind::For:
+          case StmtKind::If:
+            collectAllocs(s->body, out);
+            collectAllocs(s->elseBody, out);
+            break;
+          case StmtKind::SpecCall:
+            collectAllocs(s->spec->body(), out);
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+int64_t
+countLeaves(const std::vector<StmtPtr> &stmts)
+{
+    int64_t n = 0;
+    for (const auto &s : stmts) {
+        switch (s->kind) {
+          case StmtKind::For:
+          case StmtKind::If:
+            n += countLeaves(s->body) + countLeaves(s->elseBody);
+            break;
+          case StmtKind::SpecCall:
+            if (s->spec->isLeaf())
+                ++n;
+            else
+                n += countLeaves(s->spec->body());
+            break;
+          default:
+            break;
+        }
+    }
+    return n;
+}
+
+} // namespace
+
+Kernel::Kernel(std::string name, int64_t gridSize, int64_t blockSize)
+    : name_(std::move(name)), gridSize_(gridSize), blockSize_(blockSize)
+{
+    GRAPHENE_CHECK(gridSize > 0 && blockSize > 0)
+        << "invalid launch configuration " << gridSize << "x" << blockSize;
+    GRAPHENE_CHECK(blockSize <= 1024)
+        << "block size " << blockSize << " exceeds the 1024-thread limit";
+}
+
+void
+Kernel::addParam(const TensorView &param, bool isConstInput)
+{
+    GRAPHENE_CHECK(param.memory() == MemorySpace::GL)
+        << "kernel parameters must be global tensors: " << param.typeStr();
+    params_.push_back(param);
+    paramConst_.push_back(isConstInput);
+}
+
+int64_t
+Kernel::sharedMemoryBytes() const
+{
+    int64_t bytes = 0;
+    for (const Stmt *a : allocations())
+        if (a->allocMemory == MemorySpace::SH)
+            bytes += a->allocCount * scalarSizeBytes(a->allocScalar);
+    return bytes;
+}
+
+std::vector<const Stmt *>
+Kernel::allocations() const
+{
+    std::vector<const Stmt *> out;
+    collectAllocs(body_, out);
+    return out;
+}
+
+int64_t
+Kernel::countLeafSpecs() const
+{
+    return countLeaves(body_);
+}
+
+} // namespace graphene

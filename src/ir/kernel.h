@@ -1,0 +1,68 @@
+/**
+ * @file
+ * A Graphene kernel: the outermost spec (paper Fig. 8) — global
+ * parameter tensors, the launch configuration, and the decomposition
+ * body.
+ */
+
+#ifndef GRAPHENE_IR_KERNEL_H
+#define GRAPHENE_IR_KERNEL_H
+
+#include <string>
+#include <vector>
+
+#include "ir/stmt.h"
+
+namespace graphene
+{
+
+class Kernel
+{
+  public:
+    Kernel(std::string name, int64_t gridSize, int64_t blockSize);
+
+    const std::string &name() const { return name_; }
+    int64_t gridSize() const { return gridSize_; }
+    int64_t blockSize() const { return blockSize_; }
+
+    /** Add a global-memory parameter tensor (signature order). */
+    void addParam(const TensorView &param, bool isConstInput);
+
+    const std::vector<TensorView> &params() const { return params_; }
+    bool paramIsConst(int i) const { return paramConst_[i]; }
+
+    void setBody(std::vector<StmtPtr> body) { body_ = std::move(body); }
+    const std::vector<StmtPtr> &body() const { return body_; }
+
+    /**
+     * Expected DRAM traffic for the whole launch, in bytes (0 = use
+     * the raw per-block request volume).  Generators that stage tiles
+     * through shared memory set this to the compulsory traffic: the L2
+     * (6 MB on both modeled GPUs) captures the block-tile panel reuse
+     * at the paper's problem sizes, so requested != DRAM traffic.
+     */
+    void setDramBytesHint(double bytes) { dramBytesHint_ = bytes; }
+    double dramBytesHint() const { return dramBytesHint_; }
+
+    /** Total shared-memory bytes over all Alloc statements. */
+    int64_t sharedMemoryBytes() const;
+
+    /** All Alloc statements (recursively). */
+    std::vector<const Stmt *> allocations() const;
+
+    /** Count of SpecCall leaves (recursively; diagnostic). */
+    int64_t countLeafSpecs() const;
+
+  private:
+    std::string name_;
+    int64_t gridSize_;
+    int64_t blockSize_;
+    std::vector<TensorView> params_;
+    std::vector<bool> paramConst_;
+    std::vector<StmtPtr> body_;
+    double dramBytesHint_ = 0;
+};
+
+} // namespace graphene
+
+#endif // GRAPHENE_IR_KERNEL_H

@@ -1,0 +1,110 @@
+#include "ir/printer.h"
+
+#include <sstream>
+
+#include "support/check.h"
+
+namespace graphene
+{
+
+namespace
+{
+
+std::string
+pad(int level)
+{
+    return std::string(level * 2, ' ');
+}
+
+void
+printStmt(std::ostringstream &out, const StmtPtr &stmt, int level)
+{
+    const std::string p = pad(level);
+    switch (stmt->kind) {
+      case StmtKind::For:
+        out << p << "for(" << stmt->loopVar << "=" << stmt->begin << "; "
+            << stmt->loopVar << " < " << stmt->end << "; " << stmt->loopVar
+            << " += " << stmt->step << ")";
+        if (stmt->uniformCost)
+            out << " /*uniform*/";
+        out << " {\n";
+        for (const auto &s : stmt->body)
+            printStmt(out, s, level + 1);
+        out << p << "}\n";
+        break;
+      case StmtKind::If:
+        out << p << "if (" << stmt->cond->str() << ") {\n";
+        for (const auto &s : stmt->body)
+            printStmt(out, s, level + 1);
+        if (!stmt->elseBody.empty()) {
+            out << p << "} else {\n";
+            for (const auto &s : stmt->elseBody)
+                printStmt(out, s, level + 1);
+        }
+        out << p << "}\n";
+        break;
+      case StmtKind::Sync:
+        out << p << (stmt->warpScope ? "syncwarp" : "syncthreads") << "\n";
+        break;
+      case StmtKind::SpecCall: {
+        const Spec &spec = *stmt->spec;
+        out << p << spec.headerStr();
+        if (!spec.isLeaf()) {
+            out << " {\n";
+            // Operand types, paper-style.
+            for (const auto &t : spec.inputs())
+                out << pad(level + 1) << "// in  " << t.typeStr() << "\n";
+            for (const auto &t : spec.outputs())
+                out << pad(level + 1) << "// out " << t.typeStr() << "\n";
+            for (const auto &s : spec.body())
+                printStmt(out, s, level + 1);
+            out << p << "}\n";
+        } else {
+            out << "\n";
+            for (const auto &t : spec.inputs())
+                out << pad(level + 1) << "// in  " << t.typeStr() << "\n";
+            for (const auto &t : spec.outputs())
+                out << pad(level + 1) << "// out " << t.typeStr() << "\n";
+        }
+        break;
+      }
+      case StmtKind::Alloc:
+        out << p << "Allocate " << stmt->allocName << ":["
+            << stmt->allocCount << "]."
+            << scalarTypeName(stmt->allocScalar) << "."
+            << memorySpaceName(stmt->allocMemory);
+        if (!stmt->allocSwizzle.isIdentity())
+            out << "." << stmt->allocSwizzle.str();
+        out << "\n";
+        break;
+      case StmtKind::Comment:
+        out << p << "// " << stmt->text << "\n";
+        break;
+    }
+}
+
+} // namespace
+
+std::string
+printStmts(const std::vector<StmtPtr> &stmts, int indentLevel)
+{
+    std::ostringstream out;
+    for (const auto &s : stmts)
+        printStmt(out, s, indentLevel);
+    return out.str();
+}
+
+std::string
+printKernel(const Kernel &kernel)
+{
+    std::ostringstream out;
+    out << "kernel " << kernel.name() << " <<<" << kernel.gridSize()
+        << ", " << kernel.blockSize() << ">>> {\n";
+    for (const auto &param : kernel.params())
+        out << "  param " << param.typeStr() << "\n";
+    out << printStmts(kernel.body(), 1);
+    out << "}\n";
+    return out.str();
+}
+
+} // namespace graphene

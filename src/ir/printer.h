@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Textual rendering of Graphene IR (the notation of paper Figs. 1d/8).
+ */
+
+#ifndef GRAPHENE_IR_PRINTER_H
+#define GRAPHENE_IR_PRINTER_H
+
+#include <string>
+
+#include "ir/kernel.h"
+
+namespace graphene
+{
+
+/** Render a whole kernel as Graphene IR text. */
+std::string printKernel(const Kernel &kernel);
+
+/** Render a statement list (used recursively; exposed for tests). */
+std::string printStmts(const std::vector<StmtPtr> &stmts, int indentLevel);
+
+} // namespace graphene
+
+#endif // GRAPHENE_IR_PRINTER_H

@@ -1,0 +1,64 @@
+#include "ir/scalar_type.h"
+
+#include "support/check.h"
+
+namespace graphene
+{
+
+int64_t
+scalarSizeBytes(ScalarType type)
+{
+    switch (type) {
+      case ScalarType::Fp16:
+      case ScalarType::Bf16:
+        return 2;
+      case ScalarType::Fp32:
+      case ScalarType::Int32:
+        return 4;
+      case ScalarType::Int8:
+      case ScalarType::Pred:
+        return 1;
+    }
+    panic("unknown scalar type");
+}
+
+std::string
+scalarTypeName(ScalarType type)
+{
+    switch (type) {
+      case ScalarType::Fp16: return "fp16";
+      case ScalarType::Bf16: return "bf16";
+      case ScalarType::Fp32: return "fp32";
+      case ScalarType::Int32: return "i32";
+      case ScalarType::Int8: return "i8";
+      case ScalarType::Pred: return "pred";
+    }
+    panic("unknown scalar type");
+}
+
+std::string
+scalarCudaName(ScalarType type)
+{
+    switch (type) {
+      case ScalarType::Fp16: return "half";
+      case ScalarType::Bf16: return "nv_bfloat16";
+      case ScalarType::Fp32: return "float";
+      case ScalarType::Int32: return "int";
+      case ScalarType::Int8: return "signed char";
+      case ScalarType::Pred: return "bool";
+    }
+    panic("unknown scalar type");
+}
+
+std::string
+memorySpaceName(MemorySpace space)
+{
+    switch (space) {
+      case MemorySpace::GL: return "GL";
+      case MemorySpace::SH: return "SH";
+      case MemorySpace::RF: return "RF";
+    }
+    panic("unknown memory space");
+}
+
+} // namespace graphene

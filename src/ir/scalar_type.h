@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Scalar element types and GPU memory spaces (paper Fig. 2).
+ */
+
+#ifndef GRAPHENE_IR_SCALAR_TYPE_H
+#define GRAPHENE_IR_SCALAR_TYPE_H
+
+#include <cstdint>
+#include <string>
+
+namespace graphene
+{
+
+/** Scalar element types of Graphene data tensors. */
+enum class ScalarType
+{
+    Fp16,
+    Bf16,
+    Fp32,
+    Int32,
+    Int8,
+    Pred, // predicate / boolean
+};
+
+/** Size of a scalar element in bytes. */
+int64_t scalarSizeBytes(ScalarType type);
+
+/** Paper-style name: "fp16", "fp32", "i32", ... */
+std::string scalarTypeName(ScalarType type);
+
+/** CUDA C++ type name: "half", "float", "int", ... */
+std::string scalarCudaName(ScalarType type);
+
+/**
+ * GPU memory spaces (paper Fig. 2): global (GL, off-chip), shared
+ * (SH, on-chip per thread-block), registers (RF, thread-local).
+ */
+enum class MemorySpace
+{
+    GL,
+    SH,
+    RF,
+};
+
+/** Paper-style label: "GL", "SH", "RF". */
+std::string memorySpaceName(MemorySpace space);
+
+} // namespace graphene
+
+#endif // GRAPHENE_IR_SCALAR_TYPE_H

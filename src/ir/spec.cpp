@@ -1,0 +1,247 @@
+#include "ir/spec.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "support/check.h"
+
+namespace graphene
+{
+
+std::string
+specKindName(SpecKind kind)
+{
+    switch (kind) {
+      case SpecKind::Move: return "Move";
+      case SpecKind::MatMul: return "MatMul";
+      case SpecKind::UnaryPointwise: return "UnaryPointwise";
+      case SpecKind::BinaryPointwise: return "BinaryPointwise";
+      case SpecKind::Reduction: return "Reduction";
+      case SpecKind::Shfl: return "Shfl";
+      case SpecKind::Init: return "Init";
+      case SpecKind::Generic: return "Spec";
+    }
+    panic("unknown spec kind");
+}
+
+std::string
+opKindName(OpKind op)
+{
+    switch (op) {
+      case OpKind::Add: return "add";
+      case OpKind::Sub: return "sub";
+      case OpKind::Mul: return "mul";
+      case OpKind::Div: return "div";
+      case OpKind::Max: return "max";
+      case OpKind::Min: return "min";
+      case OpKind::Exp: return "exp";
+      case OpKind::Relu: return "relu";
+      case OpKind::Gelu: return "gelu";
+      case OpKind::Tanh: return "tanh";
+      case OpKind::Sigmoid: return "sigmoid";
+      case OpKind::Rsqrt: return "rsqrt";
+      case OpKind::Neg: return "neg";
+      case OpKind::Identity: return "id";
+    }
+    panic("unknown op kind");
+}
+
+double
+applyOp(OpKind op, double a, double b)
+{
+    switch (op) {
+      case OpKind::Add: return a + b;
+      case OpKind::Sub: return a - b;
+      case OpKind::Mul: return a * b;
+      case OpKind::Div: return a / b;
+      case OpKind::Max: return std::max(a, b);
+      case OpKind::Min: return std::min(a, b);
+      case OpKind::Exp: return std::exp(a);
+      case OpKind::Relu: return a > 0.0 ? a : 0.0;
+      case OpKind::Gelu:
+        // tanh approximation used by BERT-style models.
+        return 0.5 * a
+            * (1.0 + std::tanh(0.7978845608028654
+                               * (a + 0.044715 * a * a * a)));
+      case OpKind::Tanh: return std::tanh(a);
+      case OpKind::Sigmoid: return 1.0 / (1.0 + std::exp(-a));
+      case OpKind::Rsqrt: return 1.0 / std::sqrt(a);
+      case OpKind::Neg: return -a;
+      case OpKind::Identity: return a;
+    }
+    panic("unknown op kind");
+}
+
+double
+reductionIdentity(OpKind op)
+{
+    switch (op) {
+      case OpKind::Add:
+        return 0.0;
+      case OpKind::Mul:
+        return 1.0;
+      case OpKind::Max:
+        return -std::numeric_limits<double>::infinity();
+      case OpKind::Min:
+        return std::numeric_limits<double>::infinity();
+      default:
+        break;
+    }
+    fatal("op '" + opKindName(op) + "' is not a reduction operator");
+}
+
+SpecPtr
+Spec::move(ThreadGroup threads, TensorView src, TensorView dst)
+{
+    auto s = SpecPtr(new Spec());
+    s->kind_ = SpecKind::Move;
+    s->execThreads_ = std::move(threads);
+    s->inputs_ = {std::move(src)};
+    s->outputs_ = {std::move(dst)};
+    return s;
+}
+
+SpecPtr
+Spec::matmul(ThreadGroup threads, TensorView a, TensorView b, TensorView d)
+{
+    auto s = SpecPtr(new Spec());
+    s->kind_ = SpecKind::MatMul;
+    s->execThreads_ = std::move(threads);
+    s->inputs_ = {std::move(a), std::move(b)};
+    s->outputs_ = {std::move(d)};
+    return s;
+}
+
+SpecPtr
+Spec::unary(OpKind op, ThreadGroup threads, TensorView in, TensorView out)
+{
+    auto s = SpecPtr(new Spec());
+    s->kind_ = SpecKind::UnaryPointwise;
+    s->op_ = op;
+    s->execThreads_ = std::move(threads);
+    s->inputs_ = {std::move(in)};
+    s->outputs_ = {std::move(out)};
+    return s;
+}
+
+SpecPtr
+Spec::binary(OpKind op, ThreadGroup threads, TensorView a, TensorView b,
+             TensorView out)
+{
+    auto s = SpecPtr(new Spec());
+    s->kind_ = SpecKind::BinaryPointwise;
+    s->op_ = op;
+    s->execThreads_ = std::move(threads);
+    s->inputs_ = {std::move(a), std::move(b)};
+    s->outputs_ = {std::move(out)};
+    return s;
+}
+
+SpecPtr
+Spec::binaryScalar(OpKind op, ThreadGroup threads, TensorView a,
+                   double scalarOperand, TensorView out)
+{
+    auto s = SpecPtr(new Spec());
+    s->kind_ = SpecKind::BinaryPointwise;
+    s->op_ = op;
+    s->execThreads_ = std::move(threads);
+    s->inputs_ = {std::move(a)};
+    s->outputs_ = {std::move(out)};
+    s->scalarOperand_ = scalarOperand;
+    s->hasScalarOperand_ = true;
+    return s;
+}
+
+SpecPtr
+Spec::reduction(OpKind op, ThreadGroup threads, TensorView in,
+                TensorView out)
+{
+    auto s = SpecPtr(new Spec());
+    s->kind_ = SpecKind::Reduction;
+    s->op_ = op;
+    s->execThreads_ = std::move(threads);
+    s->inputs_ = {std::move(in)};
+    s->outputs_ = {std::move(out)};
+    return s;
+}
+
+SpecPtr
+Spec::shfl(ShflMode mode, int64_t arg, ThreadGroup threads, TensorView in,
+           TensorView out)
+{
+    auto s = SpecPtr(new Spec());
+    s->kind_ = SpecKind::Shfl;
+    s->shflMode_ = mode;
+    s->shflArg_ = arg;
+    s->execThreads_ = std::move(threads);
+    s->inputs_ = {std::move(in)};
+    s->outputs_ = {std::move(out)};
+    return s;
+}
+
+SpecPtr
+Spec::init(double value, ThreadGroup threads, TensorView out)
+{
+    auto s = SpecPtr(new Spec());
+    s->kind_ = SpecKind::Init;
+    s->initValue_ = value;
+    s->execThreads_ = std::move(threads);
+    s->outputs_ = {std::move(out)};
+    return s;
+}
+
+SpecPtr
+Spec::generic(const std::string &name, ThreadGroup threads,
+              std::vector<TensorView> inputs,
+              std::vector<TensorView> outputs)
+{
+    auto s = SpecPtr(new Spec());
+    s->kind_ = SpecKind::Generic;
+    s->name_ = name;
+    s->execThreads_ = std::move(threads);
+    s->inputs_ = std::move(inputs);
+    s->outputs_ = std::move(outputs);
+    return s;
+}
+
+std::string
+Spec::headerStr() const
+{
+    std::ostringstream out;
+    out << specKindName(kind_);
+    if (kind_ == SpecKind::Generic && !name_.empty())
+        out << "[" << name_ << "]";
+    if (kind_ == SpecKind::UnaryPointwise
+        || kind_ == SpecKind::BinaryPointwise
+        || kind_ == SpecKind::Reduction)
+        out << "<" << opKindName(op_) << ">";
+    out << "<<<";
+    if (execBlocks_)
+        out << execBlocks_->name() << ", ";
+    out << execThreads_.name() << ">>>(";
+    bool first = true;
+    for (const auto &t : inputs_) {
+        if (!first)
+            out << ", ";
+        out << t.name();
+        first = false;
+    }
+    if (hasScalarOperand_) {
+        if (!first)
+            out << ", ";
+        out << scalarOperand_;
+    }
+    out << ") -> (";
+    first = true;
+    for (const auto &t : outputs_) {
+        if (!first)
+            out << ", ";
+        out << t.name();
+        first = false;
+    }
+    out << ")";
+    return out.str();
+}
+
+} // namespace graphene

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Specifications (paper Section 5): self-contained collective
+ * computations mapping data tensors onto logical thread groups.
+ *
+ * A spec captures input/output tensor views and an execution
+ * configuration <<<blocks, threads>>>.  Its optional decomposition
+ * (body) implements it with control flow and nested specs; a spec
+ * without a body is a leaf that must match one of the target
+ * architecture's *atomic specs* (Table 2) at code-generation time.
+ */
+
+#ifndef GRAPHENE_IR_SPEC_H
+#define GRAPHENE_IR_SPEC_H
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/tensor.h"
+#include "ir/thread_group.h"
+
+namespace graphene
+{
+
+struct Stmt;
+using StmtPtr = std::shared_ptr<Stmt>;
+
+/** The built-in specification kinds (paper Table 1). */
+enum class SpecKind
+{
+    Move,
+    MatMul,
+    UnaryPointwise,
+    BinaryPointwise,
+    Reduction,
+    Shfl,
+    Init,
+    Generic,
+};
+
+std::string specKindName(SpecKind kind);
+
+/** Scalar operations parameterizing pointwise/reduction specs. */
+enum class OpKind
+{
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Max,
+    Min,
+    Exp,
+    Relu,
+    Gelu,
+    Tanh,
+    Sigmoid,
+    Rsqrt,
+    Neg,
+    Identity,
+};
+
+std::string opKindName(OpKind op);
+
+/** Apply an OpKind numerically (unary ops ignore @p b). */
+double applyOp(OpKind op, double a, double b = 0.0);
+
+/** Identity element of a reduction op (Add -> 0, Max -> -inf, ...). */
+double reductionIdentity(OpKind op);
+
+/** Warp shuffle addressing modes (shfl.sync variants). */
+enum class ShflMode
+{
+    Bfly,
+    Down,
+    Idx,
+};
+
+class Spec;
+using SpecPtr = std::shared_ptr<Spec>;
+
+/**
+ * A specification instance.  Built through the static factories; the
+ * decomposition body is attached with setBody().
+ */
+class Spec
+{
+  public:
+    /** Data movement: dst <- src. */
+    static SpecPtr move(ThreadGroup threads, TensorView src,
+                        TensorView dst);
+
+    /** Matrix multiply-accumulate: d += a * b (d is read-modified). */
+    static SpecPtr matmul(ThreadGroup threads, TensorView a, TensorView b,
+                          TensorView d);
+
+    /** Elementwise unary: out = op(in). */
+    static SpecPtr unary(OpKind op, ThreadGroup threads, TensorView in,
+                         TensorView out);
+
+    /** Elementwise binary: out = op(a, b). */
+    static SpecPtr binary(OpKind op, ThreadGroup threads, TensorView a,
+                          TensorView b, TensorView out);
+
+    /**
+     * Elementwise binary with a scalar rhs broadcast: out = op(a, c).
+     */
+    static SpecPtr binaryScalar(OpKind op, ThreadGroup threads,
+                                TensorView a, double scalarOperand,
+                                TensorView out);
+
+    /** Reduce the (1-D logical) input view into the output view. */
+    static SpecPtr reduction(OpKind op, ThreadGroup threads, TensorView in,
+                             TensorView out);
+
+    /** Warp data exchange; lane delta/index in @p arg. */
+    static SpecPtr shfl(ShflMode mode, int64_t arg, ThreadGroup threads,
+                        TensorView in, TensorView out);
+
+    /** Uniformly assign @p value to the output view. */
+    static SpecPtr init(double value, ThreadGroup threads, TensorView out);
+
+    /** Fused computation defined entirely by its decomposition. */
+    static SpecPtr generic(const std::string &name, ThreadGroup threads,
+                           std::vector<TensorView> inputs,
+                           std::vector<TensorView> outputs);
+
+    SpecKind kind() const { return kind_; }
+    const std::string &name() const { return name_; }
+    OpKind op() const { return op_; }
+    ShflMode shflMode() const { return shflMode_; }
+    int64_t shflArg() const { return shflArg_; }
+    double scalarOperand() const { return scalarOperand_; }
+    bool hasScalarOperand() const { return hasScalarOperand_; }
+    double initValue() const { return initValue_; }
+
+    const ThreadGroup &execThreads() const { return execThreads_; }
+    const std::vector<TensorView> &inputs() const { return inputs_; }
+    const std::vector<TensorView> &outputs() const { return outputs_; }
+
+    /** The decomposition; empty for leaf specs. */
+    const std::vector<StmtPtr> &body() const { return body_; }
+    bool isLeaf() const { return body_.empty(); }
+
+    /** Attach the decomposition. */
+    void setBody(std::vector<StmtPtr> body) { body_ = std::move(body); }
+
+    /** Optional per-block execution group (informational). */
+    void setExecBlocks(ThreadGroup blocks) { execBlocks_ = std::move(blocks); }
+    const std::optional<ThreadGroup> &execBlocks() const
+    {
+        return execBlocks_;
+    }
+
+    /**
+     * A hint naming the atomic instruction family this leaf must lower
+     * to, for the rare cases where operand types alone are ambiguous
+     * (e.g. ldmatrix vs ldmatrix.trans).  The matcher only considers
+     * entries whose instruction mentions the hint.
+     */
+    void setAtomicHint(const std::string &hint) { atomicHint_ = hint; }
+    const std::string &atomicHint() const { return atomicHint_; }
+
+    /** One-line header, e.g. "Move<<<#warp>>>(%src) -> (%dst)". */
+    std::string headerStr() const;
+
+  private:
+    Spec() = default;
+
+    SpecKind kind_ = SpecKind::Generic;
+    std::string name_;
+    OpKind op_ = OpKind::Add;
+    ShflMode shflMode_ = ShflMode::Bfly;
+    int64_t shflArg_ = 0;
+    double scalarOperand_ = 0.0;
+    bool hasScalarOperand_ = false;
+    double initValue_ = 0.0;
+    std::string atomicHint_;
+    std::optional<ThreadGroup> execBlocks_;
+    ThreadGroup execThreads_;
+    std::vector<TensorView> inputs_;
+    std::vector<TensorView> outputs_;
+    std::vector<StmtPtr> body_;
+};
+
+} // namespace graphene
+
+#endif // GRAPHENE_IR_SPEC_H

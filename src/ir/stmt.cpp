@@ -1,0 +1,106 @@
+#include "ir/stmt.h"
+
+#include "support/check.h"
+
+namespace graphene
+{
+
+StmtPtr
+forStmt(const std::string &var, int64_t begin, int64_t end, int64_t step,
+        std::vector<StmtPtr> body, bool unroll)
+{
+    GRAPHENE_CHECK(step > 0) << "loop step must be positive";
+    auto s = std::make_shared<Stmt>();
+    s->kind = StmtKind::For;
+    s->loopVar = var;
+    s->begin = begin;
+    s->end = end;
+    s->step = step;
+    s->body = std::move(body);
+    s->unroll = unroll;
+    return s;
+}
+
+StmtPtr
+forStmtUniform(const std::string &var, int64_t begin, int64_t end,
+               int64_t step, std::vector<StmtPtr> body, bool unroll)
+{
+    auto s = forStmt(var, begin, end, step, std::move(body), unroll);
+    s->uniformCost = true;
+    return s;
+}
+
+StmtPtr
+ifStmt(ExprPtr cond, std::vector<StmtPtr> thenBody,
+       std::vector<StmtPtr> elseBody)
+{
+    auto s = std::make_shared<Stmt>();
+    s->kind = StmtKind::If;
+    s->cond = std::move(cond);
+    s->body = std::move(thenBody);
+    s->elseBody = std::move(elseBody);
+    return s;
+}
+
+StmtPtr
+syncThreads()
+{
+    auto s = std::make_shared<Stmt>();
+    s->kind = StmtKind::Sync;
+    s->warpScope = false;
+    return s;
+}
+
+StmtPtr
+syncWarp()
+{
+    auto s = std::make_shared<Stmt>();
+    s->kind = StmtKind::Sync;
+    s->warpScope = true;
+    return s;
+}
+
+StmtPtr
+call(SpecPtr spec)
+{
+    GRAPHENE_CHECK(spec != nullptr) << "call of null spec";
+    auto s = std::make_shared<Stmt>();
+    s->kind = StmtKind::SpecCall;
+    s->spec = std::move(spec);
+    return s;
+}
+
+StmtPtr
+alloc(const std::string &name, ScalarType scalar, MemorySpace memory,
+      int64_t count, Swizzle swizzle)
+{
+    GRAPHENE_CHECK(count > 0) << "allocation of " << count << " elements";
+    GRAPHENE_CHECK(memory != MemorySpace::GL)
+        << "kernels cannot allocate global memory";
+    auto s = std::make_shared<Stmt>();
+    s->kind = StmtKind::Alloc;
+    s->allocName = name;
+    s->allocScalar = scalar;
+    s->allocMemory = memory;
+    s->allocCount = count;
+    s->allocSwizzle = swizzle;
+    return s;
+}
+
+StmtPtr
+comment(const std::string &text)
+{
+    auto s = std::make_shared<Stmt>();
+    s->kind = StmtKind::Comment;
+    s->text = text;
+    return s;
+}
+
+ExprPtr
+loopVarExpr(const Stmt &forLoop)
+{
+    GRAPHENE_ASSERT(forLoop.kind == StmtKind::For) << "not a for loop";
+    return variable(forLoop.loopVar, forLoop.end);
+}
+
+} // namespace graphene

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Statements: the control flow inside spec decompositions (paper
+ * Section 5.4 — loops, conditionals, synchronization — plus Allocate
+ * for temporaries, paper Table 1).
+ */
+
+#ifndef GRAPHENE_IR_STMT_H
+#define GRAPHENE_IR_STMT_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/spec.h"
+
+namespace graphene
+{
+
+enum class StmtKind
+{
+    For,
+    If,
+    Sync,
+    SpecCall,
+    Alloc,
+    Comment,
+};
+
+/**
+ * A single IR statement.  Plain aggregate with a kind discriminator;
+ * construct through the factory functions below.
+ */
+struct Stmt
+{
+    StmtKind kind = StmtKind::Comment;
+
+    // For
+    std::string loopVar;
+    int64_t begin = 0;
+    int64_t end = 0;
+    int64_t step = 1;
+    bool unroll = false;
+    /**
+     * Timing-mode hint: iterations have identical cost, so the
+     * simulator may execute a prefix and extrapolate (see
+     * sim::Executor).  Functional mode always runs every iteration.
+     */
+    bool uniformCost = false;
+
+    // For body / If then-branch.
+    std::vector<StmtPtr> body;
+    // If else-branch.
+    std::vector<StmtPtr> elseBody;
+
+    // If
+    ExprPtr cond;
+
+    // Sync
+    bool warpScope = false;
+
+    // SpecCall
+    SpecPtr spec;
+
+    // Alloc
+    std::string allocName;
+    ScalarType allocScalar = ScalarType::Fp32;
+    MemorySpace allocMemory = MemorySpace::SH;
+    int64_t allocCount = 0;
+    Swizzle allocSwizzle;
+
+    // Comment
+    std::string text;
+};
+
+/** Counted loop [begin, end) with optional full unrolling. */
+StmtPtr forStmt(const std::string &var, int64_t begin, int64_t end,
+                int64_t step, std::vector<StmtPtr> body,
+                bool unroll = true);
+
+/** Loop whose iterations the timing model may extrapolate. */
+StmtPtr forStmtUniform(const std::string &var, int64_t begin, int64_t end,
+                       int64_t step, std::vector<StmtPtr> body,
+                       bool unroll = false);
+
+/** Conditional (cond is an integer expression, non-zero = taken). */
+StmtPtr ifStmt(ExprPtr cond, std::vector<StmtPtr> thenBody,
+               std::vector<StmtPtr> elseBody = {});
+
+/** __syncthreads(). */
+StmtPtr syncThreads();
+
+/** __syncwarp(). */
+StmtPtr syncWarp();
+
+/** Invoke a (possibly decomposed) spec. */
+StmtPtr call(SpecPtr spec);
+
+/** Allocate a temporary buffer (Allocate spec, Table 1). */
+StmtPtr alloc(const std::string &name, ScalarType scalar,
+              MemorySpace memory, int64_t count,
+              Swizzle swizzle = Swizzle());
+
+/** Source comment carried into generated code. */
+StmtPtr comment(const std::string &text);
+
+/** Loop variable as a range-annotated expression. */
+ExprPtr loopVarExpr(const Stmt &forLoop);
+
+} // namespace graphene
+
+#endif // GRAPHENE_IR_STMT_H

@@ -1,0 +1,252 @@
+#include "ir/tensor.h"
+
+#include <sstream>
+
+#include "support/check.h"
+
+namespace graphene
+{
+
+ExprPtr
+symbolicCrd2Idx(const Layout &layout, const std::vector<ExprPtr> &coords)
+{
+    GRAPHENE_CHECK(static_cast<int>(coords.size()) == layout.rank())
+        << "expected " << layout.rank() << " coordinates for "
+        << layout.str() << ", got " << coords.size();
+    ExprPtr total = constant(0);
+    for (int dim = 0; dim < layout.rank(); ++dim) {
+        const Layout mode = layout.mode(dim);
+        const auto modes = flatModes(mode);
+        ExprPtr coord = coords[dim];
+        int64_t cv;
+        if (isConst(coord, &cv)) {
+            // Constant coordinate: evaluate directly through the layout.
+            GRAPHENE_CHECK(cv >= 0 && cv < mode.size())
+                << "coordinate " << cv << " out of bounds for dim " << dim
+                << " of " << layout.str();
+            total = add(total, constant(mode(cv)));
+            continue;
+        }
+        // Hierarchical decomposition, colexicographic: the j-th leaf
+        // digit of the logical index is (c / radix_j) % s_j.
+        int64_t radix = 1;
+        for (const auto &[s, d] : modes) {
+            ExprPtr digit = mod(floorDiv(coord, constant(radix)),
+                                constant(s));
+            total = add(total, mul(digit, constant(d)));
+            radix *= s;
+        }
+    }
+    return total;
+}
+
+TensorView::TensorView(std::string name, std::string buffer, Layout layout,
+                       ScalarType scalar, MemorySpace memory,
+                       Swizzle swizzle)
+    : name_(std::move(name)), buffer_(std::move(buffer)),
+      scalar_(scalar), memory_(memory), levels_{std::move(layout)},
+      offset_(constant(0)), swizzle_(swizzle)
+{}
+
+TensorView
+TensorView::global(const std::string &name, Layout layout,
+                   ScalarType scalar)
+{
+    return TensorView(name, name, std::move(layout), scalar,
+                      MemorySpace::GL);
+}
+
+TensorView
+TensorView::shared(const std::string &name, Layout layout,
+                   ScalarType scalar, Swizzle swizzle)
+{
+    return TensorView(name, name, std::move(layout), scalar,
+                      MemorySpace::SH, swizzle);
+}
+
+TensorView
+TensorView::registers(const std::string &name, Layout layout,
+                      ScalarType scalar)
+{
+    return TensorView(name, name, std::move(layout), scalar,
+                      MemorySpace::RF);
+}
+
+const Layout &
+TensorView::level(int i) const
+{
+    GRAPHENE_ASSERT(i >= 0 && i < numLevels())
+        << "level " << i << " of " << typeStr();
+    return levels_[i];
+}
+
+int64_t
+TensorView::totalSize() const
+{
+    int64_t n = 1;
+    for (const auto &l : levels_)
+        n *= l.size();
+    return n;
+}
+
+TensorView
+TensorView::named(const std::string &newName) const
+{
+    TensorView copy = *this;
+    copy.name_ = newName;
+    return copy;
+}
+
+TensorView
+TensorView::tile(const std::vector<std::optional<Layout>> &tilers) const
+{
+    const Layout &target = levels_.front();
+    GRAPHENE_CHECK(static_cast<int>(tilers.size()) == target.rank())
+        << "tile of " << typeStr() << " expects " << target.rank()
+        << " tilers, got " << tilers.size();
+    std::vector<Layout> resolved;
+    for (int i = 0; i < target.rank(); ++i) {
+        if (tilers[i])
+            resolved.push_back(*tilers[i]);
+        else
+            resolved.push_back(Layout::vector(target.dimSize(i)));
+    }
+    auto [inner, outerL] = tileByDim(target, resolved);
+    TensorView copy = *this;
+    copy.levels_.erase(copy.levels_.begin());
+    copy.levels_.insert(copy.levels_.begin(), inner);
+    copy.levels_.insert(copy.levels_.begin(), outerL);
+    return copy;
+}
+
+TensorView
+TensorView::index(const std::vector<ExprPtr> &coords) const
+{
+    const Layout &target = levels_.front();
+    ExprPtr contribution = symbolicCrd2Idx(target, coords);
+    TensorView copy = *this;
+    copy.offset_ = add(offset_, contribution);
+    copy.levels_.erase(copy.levels_.begin());
+    if (copy.levels_.empty())
+        copy.levels_.push_back(Layout()); // rank-0 scalar view
+    return copy;
+}
+
+TensorView
+TensorView::reshape(const IntTuple &newShape) const
+{
+    TensorView copy = *this;
+    copy.levels_.front() = reshapeRowMajor(levels_.front(), newShape);
+    return copy;
+}
+
+TensorView
+TensorView::offsetBy(ExprPtr delta) const
+{
+    TensorView copy = *this;
+    copy.offset_ = add(offset_, std::move(delta));
+    return copy;
+}
+
+TensorView
+TensorView::withLayout(Layout layout) const
+{
+    TensorView copy = *this;
+    copy.levels_ = {std::move(layout)};
+    return copy;
+}
+
+int64_t
+TensorView::elementAddress(
+    const std::vector<int64_t> &levelIndices,
+    const std::function<int64_t(const std::string &)> &lookup) const
+{
+    GRAPHENE_ASSERT(levelIndices.size() == levels_.size())
+        << "element address needs one index per level of " << typeStr();
+    int64_t addr = offset_->eval(lookup);
+    for (size_t i = 0; i < levels_.size(); ++i)
+        addr += levels_[i](levelIndices[i]);
+    return swizzle_(addr);
+}
+
+namespace
+{
+
+/**
+ * Symbolic application of an XOR swizzle: addr ^ ((addr & mask) >>
+ * shift), expressed with a div/mod decomposition:
+ * ((addr / 2^(m+s)) % 2^b) * 2^m.  Selectors of both stages read the
+ * pre-swizzle address.
+ */
+ExprPtr
+applySwizzleExpr(ExprPtr addr, const Swizzle &sw)
+{
+    if (sw.isIdentity())
+        return addr;
+    ExprPtr result = addr;
+    auto stage = [&](int bBits, int m, int s) {
+        if (bBits == 0)
+            return;
+        ExprPtr sel = mod(floorDiv(addr, constant(int64_t{1} << (m + s))),
+                          constant(int64_t{1} << bBits));
+        result = bitXor(result, mul(sel, constant(int64_t{1} << m)));
+    };
+    stage(sw.bits(), sw.base(), sw.shift());
+    stage(sw.bits2(), sw.base2(), sw.shift2());
+    return result;
+}
+
+} // namespace
+
+ExprPtr
+TensorView::elementAddressExpr(const std::vector<int64_t> &levelIndices)
+    const
+{
+    GRAPHENE_ASSERT(levelIndices.size() == levels_.size())
+        << "element address needs one index per level of " << typeStr();
+    ExprPtr addr = offset_;
+    int64_t fixed = 0;
+    for (size_t i = 0; i < levels_.size(); ++i)
+        fixed += levels_[i](levelIndices[i]);
+    addr = add(addr, constant(fixed));
+    return applySwizzleExpr(addr, swizzle_);
+}
+
+ExprPtr
+TensorView::addressExpr(const std::vector<std::vector<ExprPtr>> &coords)
+    const
+{
+    GRAPHENE_ASSERT(coords.size() == levels_.size())
+        << "addressExpr needs coordinates for every level of " << typeStr();
+    ExprPtr addr = offset_;
+    for (size_t i = 0; i < levels_.size(); ++i)
+        addr = add(addr, symbolicCrd2Idx(levels_[i], coords[i]));
+    return applySwizzleExpr(addr, swizzle_);
+}
+
+std::string
+TensorView::typeStr() const
+{
+    std::ostringstream out;
+    out << name_ << ":";
+    for (const auto &l : levels_)
+        out << "[" << l.shape().str() << ":" << l.stride().str() << "].";
+    out << scalarTypeName(scalar_) << "." << memorySpaceName(memory_);
+    if (!swizzle_.isIdentity())
+        out << "." << swizzle_.str();
+    return out.str();
+}
+
+bool
+TensorView::operator==(const TensorView &other) const
+{
+    if (buffer_ != other.buffer_ || scalar_ != other.scalar_
+        || memory_ != other.memory_ || levels_.size() != other.levels_.size())
+        return false;
+    for (size_t i = 0; i < levels_.size(); ++i)
+        if (levels_[i] != other.levels_[i])
+            return false;
+    return offset_->equals(*other.offset_) && swizzle_ == other.swizzle_;
+}
+
+} // namespace graphene

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Data tensor views: Graphene's first-class tensors (paper Section 3).
+ *
+ * A TensorView names a region of a buffer in some memory space together
+ * with a *hierarchy of layouts* (levels).  Level 0 is the outermost
+ * arrangement; deeper levels are the nested tile shapes.  The paper's
+ * type  %6:[2,2].[8,8].fp16.SH  is a view with two levels.
+ *
+ * Views are produced from parameter/allocation tensors by tiling
+ * (tile), indexing (index — consumes the outermost level and
+ * accumulates a symbolic offset), and reshaping.  The symbolic offset
+ * may reference thread indices and loop variables; this is how data
+ * tiles are mapped onto logical thread groups.
+ */
+
+#ifndef GRAPHENE_IR_TENSOR_H
+#define GRAPHENE_IR_TENSOR_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/expr.h"
+#include "ir/scalar_type.h"
+#include "layout/algebra.h"
+#include "layout/layout.h"
+
+namespace graphene
+{
+
+/** Symbolic analogue of Layout::crd2idx: coordinates are expressions,
+ *  one per top-level dimension (hierarchical dimensions decompose the
+ *  logical index colexicographically with div/mod). */
+ExprPtr symbolicCrd2Idx(const Layout &layout,
+                        const std::vector<ExprPtr> &coords);
+
+class TensorView
+{
+  public:
+    TensorView() = default;
+
+    /** A fresh view over a whole buffer. */
+    TensorView(std::string name, std::string buffer, Layout layout,
+               ScalarType scalar, MemorySpace memory,
+               Swizzle swizzle = Swizzle());
+
+    /** Convenience factories; buffer name defaults to the tensor name. */
+    static TensorView global(const std::string &name, Layout layout,
+                             ScalarType scalar);
+    static TensorView shared(const std::string &name, Layout layout,
+                             ScalarType scalar,
+                             Swizzle swizzle = Swizzle());
+    static TensorView registers(const std::string &name, Layout layout,
+                                ScalarType scalar);
+
+    const std::string &name() const { return name_; }
+    const std::string &buffer() const { return buffer_; }
+    ScalarType scalar() const { return scalar_; }
+    MemorySpace memory() const { return memory_; }
+    const Swizzle &swizzle() const { return swizzle_; }
+    const ExprPtr &offset() const { return offset_; }
+
+    /** Number of layout levels (1 = untiled). */
+    int numLevels() const { return static_cast<int>(levels_.size()); }
+
+    /** Layout of level @p i (0 = outermost). */
+    const Layout &level(int i) const;
+
+    /** Outermost layout. */
+    const Layout &outer() const { return level(0); }
+
+    /** Total elements across all levels. */
+    int64_t totalSize() const;
+
+    /** Rename the view (IR cosmetics). */
+    TensorView named(const std::string &newName) const;
+
+    /**
+     * Tile the outermost level per dimension (paper Fig. 4).  Each
+     * tiler is a 1-D layout; std::nullopt keeps the dimension whole
+     * (the paper's "_").  The result gains one level: level 0 becomes
+     * the arrangement of tiles and level 1 the tile itself; previously
+     * nested levels shift deeper.
+     */
+    TensorView tile(const std::vector<std::optional<Layout>> &tilers) const;
+
+    /**
+     * Index the outermost level with one expression per dimension,
+     * consuming it: the result has one level fewer (a rank-0 scalar
+     * view keeps a single [1:0] level) and its offset accumulates the
+     * symbolic crd2idx contribution.
+     */
+    TensorView index(const std::vector<ExprPtr> &coords) const;
+
+    /** Reshape the outermost level (lexicographic, paper-style). */
+    TensorView reshape(const IntTuple &newShape) const;
+
+    /** Copy with @p delta added to the symbolic offset. */
+    TensorView offsetBy(ExprPtr delta) const;
+
+    /** Copy with a different outermost layout over the same buffer. */
+    TensorView withLayout(Layout layout) const;
+
+    /**
+     * The address (element offset into the buffer) of a single element
+     * identified by a linear logical index per level, evaluated
+     * numerically with @p lookup resolving free variables.  Swizzling
+     * is applied.  Used by the simulator.
+     */
+    int64_t elementAddress(
+        const std::vector<int64_t> &levelIndices,
+        const std::function<int64_t(const std::string &)> &lookup) const;
+
+    /**
+     * Symbolic address of an element given per-level linear indices as
+     * constants (for unrolled code generation).  Swizzling is applied.
+     */
+    ExprPtr elementAddressExpr(const std::vector<int64_t> &levelIndices)
+        const;
+
+    /**
+     * Symbolic address with per-level coordinate expressions:
+     * coords[level][dim].  Swizzling is applied.
+     */
+    ExprPtr addressExpr(const std::vector<std::vector<ExprPtr>> &coords)
+        const;
+
+    /** Paper-style type string, e.g. "%A:[2,2].[1,2].fp16.RF". */
+    std::string typeStr() const;
+
+    bool operator==(const TensorView &other) const;
+
+  private:
+    std::string name_;
+    std::string buffer_;
+    ScalarType scalar_ = ScalarType::Fp32;
+    MemorySpace memory_ = MemorySpace::GL;
+    std::vector<Layout> levels_;
+    ExprPtr offset_;
+    Swizzle swizzle_;
+};
+
+} // namespace graphene
+
+#endif // GRAPHENE_IR_TENSOR_H

@@ -1,0 +1,134 @@
+#include "ir/thread_group.h"
+
+#include <sstream>
+
+#include "support/check.h"
+
+namespace graphene
+{
+
+ThreadGroup
+ThreadGroup::threads(const std::string &name, Layout layout,
+                     int64_t blockSize)
+{
+    ThreadGroup g;
+    g.name_ = name;
+    g.isBlock_ = false;
+    g.poolSize_ = blockSize;
+    g.levels_.push_back(std::move(layout));
+    return g;
+}
+
+ThreadGroup
+ThreadGroup::blocks(const std::string &name, Layout layout,
+                    int64_t gridSize)
+{
+    ThreadGroup g;
+    g.name_ = name;
+    g.isBlock_ = true;
+    g.poolSize_ = gridSize;
+    g.levels_.push_back(std::move(layout));
+    return g;
+}
+
+const Layout &
+ThreadGroup::level(int i) const
+{
+    GRAPHENE_ASSERT(i >= 0 && i < numLevels())
+        << "level " << i << " of " << typeStr();
+    return levels_[i];
+}
+
+int64_t
+ThreadGroup::totalSize() const
+{
+    int64_t n = 1;
+    for (const auto &l : levels_)
+        n *= l.size();
+    return n;
+}
+
+ThreadGroup
+ThreadGroup::named(const std::string &newName) const
+{
+    ThreadGroup copy = *this;
+    copy.name_ = newName;
+    return copy;
+}
+
+ThreadGroup
+ThreadGroup::tile(const std::vector<std::optional<Layout>> &tilers) const
+{
+    const Layout &target = levels_.front();
+    GRAPHENE_CHECK(static_cast<int>(tilers.size()) == target.rank())
+        << "tile of " << typeStr() << " expects " << target.rank()
+        << " tilers, got " << tilers.size();
+    std::vector<Layout> resolved;
+    for (int i = 0; i < target.rank(); ++i) {
+        if (tilers[i])
+            resolved.push_back(*tilers[i]);
+        else
+            resolved.push_back(Layout::vector(target.dimSize(i)));
+    }
+    auto [inner, outerL] = tileByDim(target, resolved);
+    ThreadGroup copy = *this;
+    copy.levels_.erase(copy.levels_.begin());
+    copy.levels_.insert(copy.levels_.begin(), inner);
+    copy.levels_.insert(copy.levels_.begin(), outerL);
+    return copy;
+}
+
+ThreadGroup
+ThreadGroup::reshape(const IntTuple &newShape) const
+{
+    ThreadGroup copy = *this;
+    copy.levels_.front() = reshapeRowMajor(levels_.front(), newShape);
+    return copy;
+}
+
+ExprPtr
+ThreadGroup::physicalVar() const
+{
+    return variable(isBlock_ ? "bid" : "tid", poolSize_);
+}
+
+std::vector<ExprPtr>
+ThreadGroup::indices(int levelIdx) const
+{
+    const Layout &l = level(levelIdx);
+    const ExprPtr id = physicalVar();
+    std::vector<ExprPtr> out;
+    for (int dim = 0; dim < l.rank(); ++dim) {
+        const auto modes = flatModes(l.mode(dim));
+        ExprPtr coord = constant(0);
+        int64_t radix = 1;
+        for (const auto &[s, d] : modes) {
+            GRAPHENE_CHECK(d > 0)
+                << "thread group layout must be injective: " << l.str();
+            ExprPtr digit = mod(floorDiv(id, constant(d)), constant(s));
+            coord = add(coord, mul(digit, constant(radix)));
+            radix *= s;
+        }
+        out.push_back(coord);
+    }
+    return out;
+}
+
+ExprPtr
+ThreadGroup::physicalIndex() const
+{
+    return physicalVar();
+}
+
+std::string
+ThreadGroup::typeStr() const
+{
+    std::ostringstream out;
+    out << name_ << ":";
+    for (const auto &l : levels_)
+        out << "[" << l.shape().str() << ":" << l.stride().str() << "].";
+    out << (isBlock_ ? "block" : "thread");
+    return out.str();
+}
+
+} // namespace graphene

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Logical thread groups (paper Section 4): the GPU compute hierarchy
+ * represented as tensors of processing elements.
+ *
+ * A ThreadGroup maps logical coordinates to the *physical* linear
+ * thread index within a thread-block (or block index within the grid).
+ * Tiling and reshaping thread groups works exactly like data tensors;
+ * `indices()` produces the scalar index expressions (in terms of
+ * threadIdx.x / blockIdx.x) that CUDA code generation emits — the gray
+ * boxes of the paper's Fig. 5.
+ */
+
+#ifndef GRAPHENE_IR_THREAD_GROUP_H
+#define GRAPHENE_IR_THREAD_GROUP_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/expr.h"
+#include "layout/algebra.h"
+#include "layout/layout.h"
+
+namespace graphene
+{
+
+class ThreadGroup
+{
+  public:
+    ThreadGroup() = default;
+
+    /** A group of threads within a block of @p blockSize threads. */
+    static ThreadGroup threads(const std::string &name, Layout layout,
+                               int64_t blockSize);
+
+    /** A group of blocks within a grid of @p gridSize blocks. */
+    static ThreadGroup blocks(const std::string &name, Layout layout,
+                              int64_t gridSize);
+
+    const std::string &name() const { return name_; }
+    bool isBlockLevel() const { return isBlock_; }
+
+    /** Physical pool size (blockDim.x or gridDim.x). */
+    int64_t poolSize() const { return poolSize_; }
+
+    int numLevels() const { return static_cast<int>(levels_.size()); }
+    const Layout &level(int i) const;
+    const Layout &outer() const { return level(0); }
+
+    /** Total number of processing elements in the group. */
+    int64_t totalSize() const;
+
+    ThreadGroup named(const std::string &newName) const;
+
+    /** Tile the outermost level (like data tensors, Fig. 5b). */
+    ThreadGroup tile(const std::vector<std::optional<Layout>> &tilers)
+        const;
+
+    /** Reshape the outermost level lexicographically (Fig. 5c). */
+    ThreadGroup reshape(const IntTuple &newShape) const;
+
+    /**
+     * Logical coordinate expressions of the executing thread (or block)
+     * with respect to the layout of level @p levelIdx: one expression
+     * per top-level dimension, in terms of the physical index variable
+     * ("tid" or "bid").  E.g. the warp tiled as in Fig. 1 produces
+     * ((tid / 16) % 2) and ((tid / 8) % 2).
+     */
+    std::vector<ExprPtr> indices(int levelIdx = 0) const;
+
+    /**
+     * The single scalar physical-index expression of this group when it
+     * identifies exactly one processing element per coordinate; the
+     * paper's #4.scalar().
+     */
+    ExprPtr physicalIndex() const;
+
+    /** Paper-style type string, e.g. "#warp:[2,2].[8].thread". */
+    std::string typeStr() const;
+
+    /** The physical index variable: "tid" or "bid", range-annotated. */
+    ExprPtr physicalVar() const;
+
+  private:
+    std::string name_;
+    bool isBlock_ = false;
+    int64_t poolSize_ = 1;
+    std::vector<Layout> levels_;
+};
+
+} // namespace graphene
+
+#endif // GRAPHENE_IR_THREAD_GROUP_H

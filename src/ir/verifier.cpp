@@ -1,0 +1,198 @@
+#include "ir/verifier.h"
+
+#include <set>
+#include <sstream>
+
+#include "support/check.h"
+#include "support/string_utils.h"
+
+namespace graphene
+{
+
+namespace
+{
+
+class Verifier
+{
+  public:
+    explicit Verifier(const Kernel &kernel) : kernel_(kernel) {}
+
+    std::vector<std::string>
+    run()
+    {
+        for (const auto &p : kernel_.params())
+            knownBuffers_.insert(p.buffer());
+        // Allocations may appear anywhere; gather them up-front so a
+        // view may reference an allocation later in the body (the
+        // builder APIs create views before emitting the alloc).
+        std::set<std::string> allocNames;
+        for (const Stmt *a : kernel_.allocations()) {
+            if (!allocNames.insert(a->allocName).second)
+                problem("duplicate allocation name '" + a->allocName + "'");
+            knownBuffers_.insert(a->allocName);
+        }
+        checkStmts(kernel_.body());
+        return problems_;
+    }
+
+  private:
+    void
+    problem(const std::string &msg)
+    {
+        problems_.push_back(msg);
+    }
+
+    void
+    checkStmts(const std::vector<StmtPtr> &stmts)
+    {
+        for (const auto &s : stmts)
+            checkStmt(*s);
+    }
+
+    void
+    checkStmt(const Stmt &stmt)
+    {
+        switch (stmt.kind) {
+          case StmtKind::For:
+            if (stmt.body.empty())
+                problem("empty loop body for loop over '" + stmt.loopVar
+                        + "'");
+            if (stmt.end <= stmt.begin)
+                problem("loop over '" + stmt.loopVar
+                        + "' has empty iteration space");
+            checkStmts(stmt.body);
+            break;
+          case StmtKind::If:
+            checkStmts(stmt.body);
+            checkStmts(stmt.elseBody);
+            break;
+          case StmtKind::SpecCall:
+            checkSpec(*stmt.spec);
+            break;
+          default:
+            break;
+        }
+    }
+
+    void
+    checkView(const TensorView &view, const Spec &spec)
+    {
+        if (!knownBuffers_.count(view.buffer()))
+            problem("view '" + view.name() + "' in "
+                    + specKindName(spec.kind())
+                    + " references unknown buffer '" + view.buffer() + "'");
+        if (view.memory() == MemorySpace::RF
+            && !view.swizzle().isIdentity())
+            problem("register view '" + view.name() + "' cannot be "
+                    "swizzled");
+    }
+
+    void
+    checkSpec(const Spec &spec)
+    {
+        for (const auto &v : spec.inputs())
+            checkView(v, spec);
+        for (const auto &v : spec.outputs())
+            checkView(v, spec);
+
+        switch (spec.kind()) {
+          case SpecKind::Move: {
+            const auto &src = spec.inputs().at(0);
+            const auto &dst = spec.outputs().at(0);
+            // A Move must transfer equally many values.  A view is
+            // *per-thread* when it is thread-local (RF) or its offset
+            // depends on the thread index; collective views are shared
+            // by the whole group.  Per-thread counts scale by the
+            // group size.
+            const int64_t group = spec.execThreads().totalSize();
+            auto effective = [&](const TensorView &v) {
+                const bool perThread = v.memory() == MemorySpace::RF
+                    || exprUsesVar(v.offset(), "tid");
+                return v.totalSize() * (perThread ? group : 1);
+            };
+            const int64_t srcCount = effective(src);
+            const int64_t dstCount = effective(dst);
+            if (srcCount != dstCount) {
+                std::ostringstream msg;
+                msg << "Move transfers " << srcCount << " source vs "
+                    << dstCount << " destination values: "
+                    << src.typeStr() << " -> " << dst.typeStr();
+                problem(msg.str());
+            }
+            break;
+          }
+          case SpecKind::BinaryPointwise:
+            if (!spec.hasScalarOperand()
+                && spec.inputs().size() == 2
+                && spec.inputs()[0].totalSize()
+                    != spec.inputs()[1].totalSize())
+                problem("BinaryPointwise operand sizes differ: "
+                        + spec.inputs()[0].typeStr() + " vs "
+                        + spec.inputs()[1].typeStr());
+            [[fallthrough]];
+          case SpecKind::UnaryPointwise:
+            if (!spec.inputs().empty()
+                && spec.inputs()[0].totalSize()
+                    != spec.outputs()[0].totalSize())
+                problem(specKindName(spec.kind())
+                        + " input/output sizes differ: "
+                        + spec.inputs()[0].typeStr() + " vs "
+                        + spec.outputs()[0].typeStr());
+            break;
+          case SpecKind::MatMul: {
+            if (spec.isLeaf()) {
+                const auto &a = spec.inputs().at(0);
+                const auto &b = spec.inputs().at(1);
+                const auto &d = spec.outputs().at(0);
+                // Scalar fma: all rank-0; fragment mma validated by the
+                // atomic matcher.  Here check the serial 2-D case.
+                if (a.outer().rank() == 2 && b.outer().rank() == 2
+                    && d.outer().rank() == 2
+                    && spec.execThreads().totalSize() == 1) {
+                    const int64_t m = a.outer().dimSize(0);
+                    const int64_t k = a.outer().dimSize(1);
+                    const int64_t k2 = b.outer().dimSize(0);
+                    const int64_t n = b.outer().dimSize(1);
+                    if (k != k2 || d.outer().dimSize(0) != m
+                        || d.outer().dimSize(1) != n) {
+                        std::ostringstream msg;
+                        msg << "MatMul shapes not conformable: "
+                            << a.typeStr() << " x " << b.typeStr()
+                            << " -> " << d.typeStr();
+                        problem(msg.str());
+                    }
+                }
+            }
+            break;
+          }
+          default:
+            break;
+        }
+
+        checkStmts(spec.body());
+    }
+
+    const Kernel &kernel_;
+    std::set<std::string> knownBuffers_;
+    std::vector<std::string> problems_;
+};
+
+} // namespace
+
+std::vector<std::string>
+verifyKernel(const Kernel &kernel)
+{
+    return Verifier(kernel).run();
+}
+
+void
+verifyKernelOrThrow(const Kernel &kernel)
+{
+    const auto problems = verifyKernel(kernel);
+    if (problems.empty())
+        return;
+    fatal("kernel '" + kernel.name() + "' is malformed:\n  "
+          + join(problems, "\n  "));
+}
+
+} // namespace graphene

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Structural well-formedness checks on Graphene kernels, run before
+ * code generation and simulation.
+ */
+
+#ifndef GRAPHENE_IR_VERIFIER_H
+#define GRAPHENE_IR_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+#include "ir/kernel.h"
+
+namespace graphene
+{
+
+/**
+ * Verify a kernel; returns a list of human-readable problems (empty =
+ * well-formed).  Checks include:
+ *  - Move/pointwise specs: matching element counts between views;
+ *  - MatMul leaf specs: conformable shapes;
+ *  - buffers referenced by views are parameters or allocations;
+ *  - allocations have unique names;
+ *  - register views in collective specs are thread-local (RF);
+ *  - loop bodies non-empty.
+ */
+std::vector<std::string> verifyKernel(const Kernel &kernel);
+
+/** Verify and raise Error listing all problems when non-empty. */
+void verifyKernelOrThrow(const Kernel &kernel);
+
+} // namespace graphene
+
+#endif // GRAPHENE_IR_VERIFIER_H

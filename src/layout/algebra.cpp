@@ -1,0 +1,281 @@
+#include "layout/algebra.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/check.h"
+
+namespace graphene
+{
+
+namespace
+{
+
+/** Flattened (size, stride) pairs in logical (colex) order. */
+std::vector<std::pair<int64_t, int64_t>>
+flatten(const Layout &a)
+{
+    const auto shapes = a.shape().flatten();
+    const auto strides = a.stride().flatten();
+    std::vector<std::pair<int64_t, int64_t>> modes;
+    modes.reserve(shapes.size());
+    for (size_t i = 0; i < shapes.size(); ++i)
+        modes.emplace_back(shapes[i], strides[i]);
+    return modes;
+}
+
+/** Build a flat Layout from mode pairs; empty becomes [1:0]. */
+Layout
+fromModes(const std::vector<std::pair<int64_t, int64_t>> &modes)
+{
+    if (modes.empty())
+        return Layout(IntTuple(1), IntTuple(0));
+    if (modes.size() == 1)
+        return Layout(IntTuple(modes[0].first), IntTuple(modes[0].second));
+    std::vector<IntTuple> shape, stride;
+    for (const auto &[s, d] : modes) {
+        shape.emplace_back(s);
+        stride.emplace_back(d);
+    }
+    return Layout(IntTuple(std::move(shape)), IntTuple(std::move(stride)));
+}
+
+/** Coalesced flattened modes of @p a. */
+std::vector<std::pair<int64_t, int64_t>>
+coalescedModes(const Layout &a)
+{
+    std::vector<std::pair<int64_t, int64_t>> out;
+    for (const auto &[s, d] : flatten(a)) {
+        if (s == 1)
+            continue;
+        if (!out.empty() && out.back().second * out.back().first == d
+            && out.back().second != 0) {
+            out.back().first *= s;
+        } else if (!out.empty() && out.back().second == 0 && d == 0) {
+            out.back().first *= s;
+        } else {
+            out.emplace_back(s, d);
+        }
+    }
+    return out;
+}
+
+/** Compose coalesced modes of A with a single (shape, stride) leaf. */
+std::vector<std::pair<int64_t, int64_t>>
+composeLeaf(const std::vector<std::pair<int64_t, int64_t>> &a, int64_t shape,
+            int64_t stride)
+{
+    std::vector<std::pair<int64_t, int64_t>> out;
+    if (shape == 1)
+        return out;
+    if (stride == 0) {
+        out.emplace_back(shape, 0);
+        return out;
+    }
+    int64_t restShape = shape;
+    int64_t restStride = stride;
+    for (size_t i = 0; i + 1 < a.size(); ++i) {
+        const auto [si, di] = a[i];
+        const int64_t s1 = shapeDiv(si, restStride);
+        if (s1 > 1) {
+            const int64_t take = std::min(s1, restShape);
+            out.emplace_back(take, restStride * di);
+            GRAPHENE_CHECK(restShape % take == 0 || restShape <= s1)
+                << "layout composition: shape " << restShape
+                << " does not divide mode of extent " << s1;
+            restShape = ceilDiv(restShape, take);
+        }
+        restStride = shapeDiv(restStride, si);
+        if (restShape == 1)
+            break;
+    }
+    if (restShape > 1 || out.empty()) {
+        GRAPHENE_CHECK(!a.empty()) << "composition with empty layout";
+        out.emplace_back(restShape, restStride * a.back().second);
+    }
+    return out;
+}
+
+} // namespace
+
+Layout
+coalesce(const Layout &layout)
+{
+    return fromModes(coalescedModes(layout));
+}
+
+Layout
+composition(const Layout &a, const Layout &b)
+{
+    if (!b.shape().isLeaf()) {
+        std::vector<Layout> modes;
+        for (int i = 0; i < b.rank(); ++i)
+            modes.push_back(composition(a, b.mode(i)));
+        return Layout::concat(modes);
+    }
+    const auto aModes = coalescedModes(a);
+    auto result = composeLeaf(aModes, b.shape().value(), b.stride().value());
+    // Merge contiguous modes in the result, preserving a 1-D logical
+    // shape: the result of composing with a leaf is logically 1-D, but
+    // may need multiple physical strides (a hierarchical dimension).
+    std::vector<std::pair<int64_t, int64_t>> merged;
+    for (const auto &[s, d] : result) {
+        if (s == 1)
+            continue;
+        if (!merged.empty() && merged.back().second * merged.back().first == d
+            && merged.back().second != 0)
+            merged.back().first *= s;
+        else
+            merged.emplace_back(s, d);
+    }
+    if (merged.empty())
+        return Layout(IntTuple(1), IntTuple(0));
+    if (merged.size() == 1)
+        return Layout(IntTuple(merged[0].first), IntTuple(merged[0].second));
+    // Hierarchical 1-D dimension: shape (s0,s1,...), stride (d0,d1,...).
+    std::vector<IntTuple> shape, stride;
+    for (const auto &[s, d] : merged) {
+        shape.emplace_back(s);
+        stride.emplace_back(d);
+    }
+    return Layout(IntTuple(std::move(shape)), IntTuple(std::move(stride)));
+}
+
+Layout
+complement(const Layout &a, int64_t cosizeHint)
+{
+    // Collect injective modes (drop stride-0 and size-1), sort by stride.
+    std::vector<std::pair<int64_t, int64_t>> modes;
+    for (const auto &[s, d] : flatten(a)) {
+        if (s == 1 || d == 0)
+            continue;
+        modes.emplace_back(d, s); // sort key first: (stride, size)
+    }
+    std::sort(modes.begin(), modes.end());
+
+    std::vector<std::pair<int64_t, int64_t>> out;
+    int64_t current = 1;
+    for (const auto &[d, s] : modes) {
+        GRAPHENE_CHECK(d % current == 0)
+            << "complement: stride " << d << " not divisible by current "
+            << "extent " << current << " in " << a.str();
+        if (d / current > 1)
+            out.emplace_back(d / current, current);
+        current = s * d;
+    }
+    if (ceilDiv(cosizeHint, current) > 1)
+        out.emplace_back(ceilDiv(cosizeHint, current), current);
+    // Coalesce.
+    std::vector<std::pair<int64_t, int64_t>> merged;
+    for (const auto &[s, d] : out) {
+        if (!merged.empty() && merged.back().second * merged.back().first == d)
+            merged.back().first *= s;
+        else
+            merged.emplace_back(s, d);
+    }
+    return fromModes(merged);
+}
+
+Layout
+logicalDivide(const Layout &a, const Layout &b)
+{
+    Layout rest = complement(b, a.size());
+    return composition(a, Layout::concat({b, rest}));
+}
+
+std::pair<Layout, Layout>
+tileByDim(const Layout &a, const std::vector<Layout> &tilers)
+{
+    GRAPHENE_CHECK(static_cast<size_t>(a.rank()) == tilers.size())
+        << "tileByDim: layout rank " << a.rank() << " but "
+        << tilers.size() << " tilers given";
+    std::vector<Layout> inner, outer;
+    for (int i = 0; i < a.rank(); ++i) {
+        Layout divided = logicalDivide(a.mode(i), tilers[i]);
+        GRAPHENE_ASSERT(divided.rank() == 2)
+            << "logicalDivide produced rank " << divided.rank();
+        inner.push_back(divided.mode(0));
+        outer.push_back(divided.mode(1));
+    }
+    return {Layout::concat(inner), Layout::concat(outer)};
+}
+
+Layout
+reshapeRowMajor(const Layout &a, const IntTuple &newShape)
+{
+    GRAPHENE_CHECK(newShape.product() == a.size())
+        << "reshape: new shape " << newShape << " has size "
+        << newShape.product() << " but layout has size " << a.size();
+    return composition(a, Layout::rowMajor(newShape));
+}
+
+Layout
+reshapeColMajor(const Layout &a, const IntTuple &newShape)
+{
+    GRAPHENE_CHECK(newShape.product() == a.size())
+        << "reshape: new shape " << newShape << " has size "
+        << newShape.product() << " but layout has size " << a.size();
+    return composition(a, Layout::colMajor(newShape));
+}
+
+std::vector<std::pair<int64_t, int64_t>>
+flatModes(const Layout &a)
+{
+    return flatten(a);
+}
+
+Swizzle::Swizzle(int bits, int base, int shift)
+    : bits_(bits), base_(base), shift_(shift)
+{
+    GRAPHENE_CHECK(bits >= 0 && base >= 0 && shift >= 0)
+        << "invalid swizzle parameters";
+}
+
+Swizzle
+Swizzle::then(int bits, int base, int shift) const
+{
+    GRAPHENE_CHECK(bits2_ == 0) << "swizzle already has two stages";
+    Swizzle s = *this;
+    s.bits2_ = bits;
+    s.base2_ = base;
+    s.shift2_ = shift;
+    return s;
+}
+
+int64_t
+Swizzle::operator()(int64_t offset) const
+{
+    int64_t result = offset;
+    if (bits_ != 0) {
+        const int64_t mask = ((int64_t{1} << bits_) - 1)
+            << (base_ + shift_);
+        result ^= (offset & mask) >> shift_;
+    }
+    if (bits2_ != 0) {
+        const int64_t mask = ((int64_t{1} << bits2_) - 1)
+            << (base2_ + shift2_);
+        result ^= (offset & mask) >> shift2_;
+    }
+    return result;
+}
+
+bool
+Swizzle::operator==(const Swizzle &other) const
+{
+    return bits_ == other.bits_ && base_ == other.base_
+        && shift_ == other.shift_ && bits2_ == other.bits2_
+        && base2_ == other.base2_ && shift2_ == other.shift2_;
+}
+
+std::string
+Swizzle::str() const
+{
+    std::ostringstream out;
+    out << "Sw<" << bits_ << "," << base_ << "," << shift_ << ">";
+    if (bits2_ != 0)
+        out << "+Sw<" << bits2_ << "," << base2_ << "," << shift2_
+            << ">";
+    return out.str();
+}
+
+} // namespace graphene

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The layout algebra: the operations Graphene uses to tile and reshape
+ * data and thread tensors (paper Sections 3.3/3.4, following CuTe's
+ * shape algebra).
+ *
+ * All operations treat a layout as a function from a linear logical
+ * index (colexicographic coordinate order) to a physical offset, and are
+ * specified by functional identities:
+ *   - coalesce(A)           == A          (as a function)
+ *   - composition(A, B)(i)  == A(B(i))
+ *   - complement(A, M)      enumerates the offsets "skipped" by A
+ *   - logicalDivide(A, B)   == composition(A, (B, complement(B, size(A))))
+ */
+
+#ifndef GRAPHENE_LAYOUT_ALGEBRA_H
+#define GRAPHENE_LAYOUT_ALGEBRA_H
+
+#include <utility>
+#include <vector>
+
+#include "layout/layout.h"
+
+namespace graphene
+{
+
+/**
+ * Simplify @p layout to a minimal flat layout with identical function.
+ * Size-1 modes are dropped and contiguous mode pairs are merged.
+ * The result has depth <= 1 (a leaf pair or flat tuple pair).
+ */
+Layout coalesce(const Layout &layout);
+
+/**
+ * Functional composition: result(i) == a(b(i)) for all i in [0, size(b)).
+ * Requires the usual divisibility conditions between b's strides/shapes
+ * and a's shape (checked; raises Error otherwise).
+ */
+Layout composition(const Layout &a, const Layout &b);
+
+/**
+ * The layout enumerating offsets *not* reached by @p a, completing it to
+ * a covering of [0, cosizeHint).  @p a must have distinct, divisible
+ * strides (checked).
+ */
+Layout complement(const Layout &a, int64_t cosizeHint);
+
+/**
+ * Divide @p a by the tiler @p b: a rank-2 layout ((tile), (rest)) where
+ * mode 0 iterates inside one tile and mode 1 iterates over tiles.
+ */
+Layout logicalDivide(const Layout &a, const Layout &b);
+
+/**
+ * Per-dimension tiling used by Graphene's tensor.tile(...) (Fig. 4).
+ *
+ * @param a        the layout to tile (rank r)
+ * @param tilers   one 1-D tiler layout per top-level dimension of @p a.
+ *                 An "untiled" dimension passes the full-dim tiler
+ *                 [dimSize : 1].
+ * @return (inner, outer): inner is the tile layout (rank r: per-dim tile
+ *         modes), outer iterates over tiles (rank r: per-dim rest modes).
+ *         Strides of both refer to scalar elements of the original
+ *         tensor, per the paper's convention.
+ */
+std::pair<Layout, Layout> tileByDim(const Layout &a,
+                                    const std::vector<Layout> &tilers);
+
+/**
+ * Reinterpret the logical shape of @p a as @p newShape (same total
+ * size).  Lexicographic ("row-major", right-most new coordinate varies
+ * fastest) matches the reshape used in the paper's Fig. 1/5.
+ */
+Layout reshapeRowMajor(const Layout &a, const IntTuple &newShape);
+
+/** Colexicographic reshape (left-most new coordinate fastest). */
+Layout reshapeColMajor(const Layout &a, const IntTuple &newShape);
+
+/**
+ * For a bijective-onto-its-image layout, the component expressions of
+ * the inverse map are ((idx / stride) % shape) per flattened mode; this
+ * helper returns the flattened (shape, stride) mode list in logical
+ * order, which callers (e.g. thread-index generation) turn into
+ * expressions.  Each entry is (size, stride).
+ */
+std::vector<std::pair<int64_t, int64_t>> flatModes(const Layout &a);
+
+/**
+ * An XOR swizzle on physical offsets (CuTe's Swizzle<B,M,S>):
+ * bits [m+s, m+s+b) of the offset are XORed into bits [m, m+b).
+ * Used for bank-conflict-free shared memory layouts.
+ *
+ * A swizzle may carry a second stage (another (bits, base, shift)
+ * term XORed in, selector bits taken from the original offset); this
+ * is needed when two access patterns with different strides must both
+ * be conflict-free on the same buffer (e.g. a transposed staging
+ * store plus a row-fragment load).
+ */
+class Swizzle
+{
+  public:
+    /** Identity swizzle. */
+    Swizzle() : bits_(0), base_(0), shift_(0) {}
+
+    Swizzle(int bits, int base, int shift);
+
+    /** Add a second XOR stage; returns the composite. */
+    Swizzle then(int bits, int base, int shift) const;
+
+    /** Apply to a physical offset. */
+    int64_t operator()(int64_t offset) const;
+
+    bool isIdentity() const { return bits_ == 0 && bits2_ == 0; }
+    bool hasSecondStage() const { return bits2_ != 0; }
+
+    int bits() const { return bits_; }
+    int base() const { return base_; }
+    int shift() const { return shift_; }
+    int bits2() const { return bits2_; }
+    int base2() const { return base2_; }
+    int shift2() const { return shift2_; }
+
+    bool operator==(const Swizzle &other) const;
+
+    std::string str() const;
+
+  private:
+    int bits_;
+    int base_;
+    int shift_;
+    int bits2_ = 0;
+    int base2_ = 0;
+    int shift2_ = 0;
+};
+
+} // namespace graphene
+
+#endif // GRAPHENE_LAYOUT_ALGEBRA_H

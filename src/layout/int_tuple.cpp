@@ -1,0 +1,191 @@
+#include "layout/int_tuple.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "support/check.h"
+
+namespace graphene
+{
+
+IntTuple
+IntTuple::fromInts(const std::vector<int64_t> &values)
+{
+    std::vector<IntTuple> modes;
+    modes.reserve(values.size());
+    for (int64_t v : values)
+        modes.emplace_back(v);
+    return IntTuple(std::move(modes));
+}
+
+int64_t
+IntTuple::value() const
+{
+    GRAPHENE_ASSERT(leaf_) << "value() on non-leaf IntTuple " << str();
+    return value_;
+}
+
+int
+IntTuple::rank() const
+{
+    return leaf_ ? 1 : static_cast<int>(modes_.size());
+}
+
+int
+IntTuple::depth() const
+{
+    if (leaf_)
+        return 0;
+    int d = 0;
+    for (const auto &m : modes_)
+        d = std::max(d, m.depth());
+    return d + 1;
+}
+
+int64_t
+IntTuple::product() const
+{
+    if (leaf_)
+        return value_;
+    int64_t p = 1;
+    for (const auto &m : modes_)
+        p *= m.product();
+    return p;
+}
+
+int
+IntTuple::numLeaves() const
+{
+    if (leaf_)
+        return 1;
+    int n = 0;
+    for (const auto &m : modes_)
+        n += m.numLeaves();
+    return n;
+}
+
+const IntTuple &
+IntTuple::mode(int i) const
+{
+    if (leaf_) {
+        GRAPHENE_ASSERT(i == 0) << "mode " << i << " on leaf";
+        return *this;
+    }
+    GRAPHENE_ASSERT(i >= 0 && i < static_cast<int>(modes_.size()))
+        << "mode " << i << " out of range for " << str();
+    return modes_[i];
+}
+
+IntTuple &
+IntTuple::modeMutable(int i)
+{
+    GRAPHENE_ASSERT(!leaf_) << "modeMutable on leaf";
+    GRAPHENE_ASSERT(i >= 0 && i < static_cast<int>(modes_.size()))
+        << "mode " << i << " out of range for " << str();
+    return modes_[i];
+}
+
+std::vector<IntTuple>
+IntTuple::modes() const
+{
+    if (leaf_)
+        return {*this};
+    return modes_;
+}
+
+std::vector<int64_t>
+IntTuple::flatten() const
+{
+    std::vector<int64_t> out;
+    if (leaf_) {
+        out.push_back(value_);
+        return out;
+    }
+    for (const auto &m : modes_) {
+        auto sub = m.flatten();
+        out.insert(out.end(), sub.begin(), sub.end());
+    }
+    return out;
+}
+
+void
+IntTuple::append(const IntTuple &mode)
+{
+    if (leaf_) {
+        modes_.clear();
+        modes_.emplace_back(value_);
+        leaf_ = false;
+        value_ = 0;
+    }
+    modes_.push_back(mode);
+}
+
+bool
+IntTuple::operator==(const IntTuple &other) const
+{
+    if (leaf_ != other.leaf_)
+        return false;
+    if (leaf_)
+        return value_ == other.value_;
+    if (modes_.size() != other.modes_.size())
+        return false;
+    for (size_t i = 0; i < modes_.size(); ++i)
+        if (!(modes_[i] == other.modes_[i]))
+            return false;
+    return true;
+}
+
+bool
+IntTuple::congruent(const IntTuple &other) const
+{
+    if (leaf_ || other.leaf_)
+        return leaf_ && other.leaf_;
+    if (modes_.size() != other.modes_.size())
+        return false;
+    for (size_t i = 0; i < modes_.size(); ++i)
+        if (!modes_[i].congruent(other.modes_[i]))
+            return false;
+    return true;
+}
+
+std::string
+IntTuple::str() const
+{
+    if (leaf_)
+        return std::to_string(value_);
+    std::ostringstream out;
+    out << "(";
+    for (size_t i = 0; i < modes_.size(); ++i) {
+        if (i)
+            out << ",";
+        out << modes_[i].str();
+    }
+    out << ")";
+    return out.str();
+}
+
+std::ostream &
+operator<<(std::ostream &os, const IntTuple &t)
+{
+    return os << t.str();
+}
+
+int64_t
+ceilDiv(int64_t a, int64_t b)
+{
+    GRAPHENE_ASSERT(b > 0) << "ceilDiv by " << b;
+    return (a + b - 1) / b;
+}
+
+int64_t
+shapeDiv(int64_t a, int64_t b)
+{
+    GRAPHENE_ASSERT(a >= 0 && b > 0) << "shapeDiv(" << a << "," << b << ")";
+    if (a % b == 0)
+        return a / b;
+    GRAPHENE_CHECK(b % a == 0)
+        << "shapeDiv(" << a << "," << b << "): neither divides the other";
+    return 1;
+}
+
+} // namespace graphene

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Recursive integer tuples — the building block of Graphene shapes.
+ *
+ * Graphene (Section 3.1) defines
+ *     IntTuple = (Size, ..., Size);  Size = IntExpr | IntTuple
+ * i.e., an integer tuple is either a single integer or a tuple of nested
+ * integer tuples.  Hierarchical dimensions (a dimension whose size is
+ * itself a tuple) are what allow Graphene to express multiple strides per
+ * dimension and therefore swizzled/interleaved memory layouts (Fig. 3)
+ * and non-contiguous tiles (Fig. 4).
+ *
+ * This is a dynamic (runtime-valued) analogue of CuTe's IntTuple.
+ */
+
+#ifndef GRAPHENE_LAYOUT_INT_TUPLE_H
+#define GRAPHENE_LAYOUT_INT_TUPLE_H
+
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace graphene
+{
+
+/**
+ * A recursive integer tuple: either a leaf int64 or an ordered list of
+ * nested IntTuples.
+ *
+ * Terminology (matching CuTe):
+ *  - rank:  number of top-level modes (leaf => 0-ary access, rank() == 1
+ *           by convention when treated as a 1-tuple; we report leaf rank
+ *           as 1 for ergonomic iteration and provide isLeaf()).
+ *  - depth: leaf => 0; tuple => 1 + max depth of modes.
+ *  - size:  product of all leaves.
+ */
+class IntTuple
+{
+  public:
+    /** Leaf 0. */
+    IntTuple() : leaf_(true), value_(0) {}
+
+    /** Leaf value. */
+    IntTuple(int64_t value) : leaf_(true), value_(value) {}
+    IntTuple(int value) : leaf_(true), value_(value) {}
+
+    /** Tuple of nested modes. */
+    IntTuple(std::initializer_list<IntTuple> modes)
+        : leaf_(false), value_(0), modes_(modes)
+    {}
+
+    explicit IntTuple(std::vector<IntTuple> modes)
+        : leaf_(false), value_(0), modes_(std::move(modes))
+    {}
+
+    /** Build a rank-n tuple from a vector of plain integers. */
+    static IntTuple fromInts(const std::vector<int64_t> &values);
+
+    bool isLeaf() const { return leaf_; }
+
+    /** Leaf value; error when not a leaf. */
+    int64_t value() const;
+
+    /** Number of top-level modes. A leaf has rank 1 (itself). */
+    int rank() const;
+
+    /** Nesting depth: leaf 0, flat tuple 1, etc. */
+    int depth() const;
+
+    /** Product of all leaf values. */
+    int64_t product() const;
+
+    /** Number of leaves. */
+    int numLeaves() const;
+
+    /** Mode @p i; a leaf returns itself for i == 0. */
+    const IntTuple &mode(int i) const;
+
+    /** Mutable access to mode @p i (tuple only). */
+    IntTuple &modeMutable(int i);
+
+    /** All modes as a vector (a leaf yields a single-element vector). */
+    std::vector<IntTuple> modes() const;
+
+    /** Flatten to the ordered list of leaf values. */
+    std::vector<int64_t> flatten() const;
+
+    /** Append a mode at top level (converts a leaf into a 1-tuple first). */
+    void append(const IntTuple &mode);
+
+    /** Structural equality. */
+    bool operator==(const IntTuple &other) const;
+    bool operator!=(const IntTuple &other) const { return !(*this == other); }
+
+    /**
+     * True if this and @p other have identical nesting structure
+     * (values may differ).  Shapes and strides of a layout must be
+     * congruent.
+     */
+    bool congruent(const IntTuple &other) const;
+
+    /** Print as e.g. "(2,(2,2),8)"; a leaf prints as a bare integer. */
+    std::string str() const;
+
+  private:
+    bool leaf_;
+    int64_t value_;
+    std::vector<IntTuple> modes_;
+};
+
+std::ostream &operator<<(std::ostream &os, const IntTuple &t);
+
+/** ceil(a / b) for positive integers. */
+int64_t ceilDiv(int64_t a, int64_t b);
+
+/**
+ * CuTe's shape_div: a/b when b divides a; otherwise requires a to divide
+ * b and returns 1.  Raises Error when neither divides.
+ */
+int64_t shapeDiv(int64_t a, int64_t b);
+
+} // namespace graphene
+
+#endif // GRAPHENE_LAYOUT_INT_TUPLE_H

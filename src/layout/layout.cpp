@@ -1,0 +1,240 @@
+#include "layout/layout.h"
+
+#include <algorithm>
+#include <ostream>
+#include <unordered_set>
+
+#include "support/check.h"
+
+namespace graphene
+{
+
+namespace
+{
+
+/** Compact column-major strides for @p shape, starting at @p current. */
+IntTuple
+compactColMajor(const IntTuple &shape, int64_t &current)
+{
+    if (shape.isLeaf()) {
+        int64_t stride = current;
+        current *= shape.value();
+        return IntTuple(stride);
+    }
+    std::vector<IntTuple> strides;
+    for (int i = 0; i < shape.rank(); ++i)
+        strides.push_back(compactColMajor(shape.mode(i), current));
+    return IntTuple(std::move(strides));
+}
+
+/** Recursive coordinate-to-index with colex scalar expansion. */
+int64_t
+crd2idxImpl(const IntTuple &coord, const IntTuple &shape,
+            const IntTuple &stride)
+{
+    if (coord.isLeaf()) {
+        if (shape.isLeaf()) {
+            GRAPHENE_CHECK(coord.value() >= 0 && coord.value() < shape.value()
+
+                           )
+                << "coordinate " << coord.value() << " out of bounds for "
+                << "dimension of size " << shape.value();
+            return coord.value() * stride.value();
+        }
+        // Scalar coordinate into a nested mode: decompose
+        // colexicographically (left-most nested mode fastest).
+        int64_t rem = coord.value();
+        int64_t offset = 0;
+        for (int i = 0; i < shape.rank(); ++i) {
+            const int64_t modeSize = shape.mode(i).product();
+            offset += crd2idxImpl(IntTuple(rem % modeSize), shape.mode(i),
+                                  stride.mode(i));
+            rem /= modeSize;
+        }
+        GRAPHENE_CHECK(rem == 0)
+            << "linear coordinate " << coord.value()
+            << " out of bounds for shape " << shape;
+        return offset;
+    }
+    GRAPHENE_CHECK(!shape.isLeaf() && coord.rank() == shape.rank())
+        << "coordinate " << coord << " incompatible with shape " << shape;
+    int64_t offset = 0;
+    for (int i = 0; i < coord.rank(); ++i)
+        offset += crd2idxImpl(coord.mode(i), shape.mode(i), stride.mode(i));
+    return offset;
+}
+
+IntTuple
+idx2crdImpl(int64_t &rem, const IntTuple &shape)
+{
+    if (shape.isLeaf()) {
+        const int64_t c = rem % shape.value();
+        rem /= shape.value();
+        return IntTuple(c);
+    }
+    std::vector<IntTuple> coords;
+    for (int i = 0; i < shape.rank(); ++i)
+        coords.push_back(idx2crdImpl(rem, shape.mode(i)));
+    return IntTuple(std::move(coords));
+}
+
+} // namespace
+
+Layout::Layout() : shape_(1), stride_(0)
+{}
+
+Layout::Layout(IntTuple shape, IntTuple stride)
+    : shape_(std::move(shape)), stride_(std::move(stride))
+{
+    GRAPHENE_CHECK(shape_.congruent(stride_))
+        << "shape " << shape_ << " and stride " << stride_
+        << " are not congruent";
+}
+
+Layout
+Layout::colMajor(const IntTuple &shape)
+{
+    int64_t current = 1;
+    IntTuple stride = compactColMajor(shape, current);
+    return Layout(shape, stride);
+}
+
+Layout
+Layout::rowMajor(const IntTuple &shape)
+{
+    if (shape.isLeaf())
+        return colMajor(shape);
+    // Reverse the top-level modes, lay out column-major, reverse back.
+    std::vector<IntTuple> reversed = shape.modes();
+    std::reverse(reversed.begin(), reversed.end());
+    int64_t current = 1;
+    IntTuple revStride = compactColMajor(IntTuple(reversed), current);
+    std::vector<IntTuple> strides = revStride.modes();
+    std::reverse(strides.begin(), strides.end());
+    return Layout(shape, IntTuple(std::move(strides)));
+}
+
+Layout
+Layout::vector(int64_t n)
+{
+    return Layout(IntTuple(n), IntTuple(1));
+}
+
+int64_t
+Layout::cosize() const
+{
+    if (size() == 0)
+        return 0;
+    // For non-negative strides: offset of the last coordinate + 1.
+    const auto shapes = shape_.flatten();
+    const auto strides = stride_.flatten();
+    int64_t last = 0;
+    for (size_t i = 0; i < shapes.size(); ++i)
+        last += (shapes[i] - 1) * strides[i];
+    return last + 1;
+}
+
+int64_t
+Layout::dimSize(int dim) const
+{
+    return shape_.mode(dim).product();
+}
+
+Layout
+Layout::mode(int dim) const
+{
+    return Layout(shape_.mode(dim), stride_.mode(dim));
+}
+
+int64_t
+Layout::crd2idx(const IntTuple &coord) const
+{
+    return crd2idxImpl(coord, shape_, stride_);
+}
+
+int64_t
+Layout::operator()(int64_t linearIdx) const
+{
+    return crd2idxImpl(IntTuple(linearIdx), shape_, stride_);
+}
+
+int64_t
+Layout::operator()(int64_t i, int64_t j) const
+{
+    return crd2idx(IntTuple{IntTuple(i), IntTuple(j)});
+}
+
+IntTuple
+Layout::idx2crd(int64_t linearIdx) const
+{
+    GRAPHENE_CHECK(linearIdx >= 0 && linearIdx < size())
+        << "index " << linearIdx << " out of range for " << str();
+    int64_t rem = linearIdx;
+    return idx2crdImpl(rem, shape_);
+}
+
+std::vector<int64_t>
+Layout::allOffsets() const
+{
+    std::vector<int64_t> out;
+    const int64_t n = size();
+    out.reserve(n);
+    for (int64_t i = 0; i < n; ++i)
+        out.push_back((*this)(i));
+    return out;
+}
+
+bool
+Layout::isInjective() const
+{
+    std::unordered_set<int64_t> seen;
+    const int64_t n = size();
+    for (int64_t i = 0; i < n; ++i)
+        if (!seen.insert((*this)(i)).second)
+            return false;
+    return true;
+}
+
+Layout
+Layout::appended(const Layout &mode) const
+{
+    IntTuple shape = shape_;
+    IntTuple stride = stride_;
+    shape.append(mode.shape());
+    stride.append(mode.stride());
+    return Layout(shape, stride);
+}
+
+Layout
+Layout::concat(const std::vector<Layout> &modes)
+{
+    GRAPHENE_CHECK(!modes.empty()) << "concat of zero layouts";
+    if (modes.size() == 1)
+        return modes[0];
+    std::vector<IntTuple> shapes, strides;
+    for (const auto &m : modes) {
+        shapes.push_back(m.shape());
+        strides.push_back(m.stride());
+    }
+    return Layout(IntTuple(std::move(shapes)), IntTuple(std::move(strides)));
+}
+
+bool
+Layout::operator==(const Layout &other) const
+{
+    return shape_ == other.shape_ && stride_ == other.stride_;
+}
+
+std::string
+Layout::str() const
+{
+    return "[" + shape_.str() + ":" + stride_.str() + "]";
+}
+
+std::ostream &
+operator<<(std::ostream &os, const Layout &layout)
+{
+    return os << layout.str();
+}
+
+} // namespace graphene

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Graphene layouts: a shape and a stride, both recursive integer tuples.
+ *
+ * A layout is a function from logical coordinates to a linear offset in
+ * physical memory (in units of the innermost scalar element type — the
+ * paper's convention, Section 3.3).  Hierarchical dimensions (a mode
+ * whose shape is itself a tuple) carry multiple strides per logical
+ * dimension and express layouts beyond row/column-major (Fig. 3c/d).
+ *
+ * Layouts also describe *thread* arrangements (Section 4): a logical
+ * thread group is a layout mapping logical thread coordinates to the
+ * physical linear thread index within a thread-block.
+ */
+
+#ifndef GRAPHENE_LAYOUT_LAYOUT_H
+#define GRAPHENE_LAYOUT_LAYOUT_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "layout/int_tuple.h"
+
+namespace graphene
+{
+
+/**
+ * A layout: congruent (shape, stride) integer tuples.
+ *
+ * As a function, for a flattened layout ((s0,...,sn),(d0,...,dn)) and a
+ * coordinate (c0,...,cn):  offset = sum_i c_i * d_i.
+ * A linear (1-D) index is converted to a coordinate colexicographically
+ * (left-most mode varies fastest), following CuTe.
+ */
+class Layout
+{
+  public:
+    /** Scalar layout [1:0]. */
+    Layout();
+
+    /** Layout with explicit shape and stride (must be congruent). */
+    Layout(IntTuple shape, IntTuple stride);
+
+    /** Compact column-major layout of @p shape (left mode fastest). */
+    static Layout colMajor(const IntTuple &shape);
+
+    /** Compact row-major layout of @p shape (right mode fastest). */
+    static Layout rowMajor(const IntTuple &shape);
+
+    /** 1-D contiguous layout [n:1]. */
+    static Layout vector(int64_t n);
+
+    const IntTuple &shape() const { return shape_; }
+    const IntTuple &stride() const { return stride_; }
+
+    /** Number of top-level (logical) dimensions. */
+    int rank() const { return shape_.rank(); }
+
+    /** Total number of elements (product of the shape). */
+    int64_t size() const { return shape_.product(); }
+
+    /**
+     * One past the largest offset produced over the layout's domain
+     * (for positive strides): max(f) + 1, or 0 for an empty layout.
+     */
+    int64_t cosize() const;
+
+    /** Logical extent of top-level dimension @p dim (hierarchical dims
+     *  report the product of their nested sizes). */
+    int64_t dimSize(int dim) const;
+
+    /** Sub-layout of top-level mode @p dim. */
+    Layout mode(int dim) const;
+
+    /**
+     * Map a coordinate to a linear offset.  The coordinate may be:
+     *  - congruent with the shape (per-leaf indices),
+     *  - a leaf integer per top-level dimension (hierarchical dimensions
+     *    decompose the logical index colexicographically — the paper's
+     *    "logical 2-D coordinates" into swizzled layouts), or
+     *  - a single leaf integer (fully linearized, colex).
+     */
+    int64_t crd2idx(const IntTuple &coord) const;
+
+    /** Map a linear logical index [0, size()) to an offset (colex). */
+    int64_t operator()(int64_t linearIdx) const;
+
+    /** Map a 2-argument logical coordinate (rank-2 convenience). */
+    int64_t operator()(int64_t i, int64_t j) const;
+
+    /** Convert a linear logical index to a congruent coordinate. */
+    IntTuple idx2crd(int64_t linearIdx) const;
+
+    /** All offsets in logical (colex) order; size() entries. */
+    std::vector<int64_t> allOffsets() const;
+
+    /**
+     * True if the layout is injective over its domain (no two logical
+     * coordinates map to the same offset).  O(size) check.
+     */
+    bool isInjective() const;
+
+    /** Append another top-level mode. */
+    Layout appended(const Layout &mode) const;
+
+    /** Concatenate layouts as modes of a new layout: (a, b, ...). */
+    static Layout concat(const std::vector<Layout> &modes);
+
+    bool operator==(const Layout &other) const;
+    bool operator!=(const Layout &other) const { return !(*this == other); }
+
+    /** Paper notation, e.g. "[(4,8):(8,1)]". */
+    std::string str() const;
+
+  private:
+    IntTuple shape_;
+    IntTuple stride_;
+};
+
+std::ostream &operator<<(std::ostream &os, const Layout &layout);
+
+} // namespace graphene
+
+#endif // GRAPHENE_LAYOUT_LAYOUT_H

@@ -1,0 +1,129 @@
+#include "models/transformer.h"
+
+#include "baselines/engines.h"
+#include "ops/fmha.h"
+#include "ops/pointwise.h"
+#include "support/check.h"
+
+namespace graphene
+{
+namespace models
+{
+
+std::vector<TransformerConfig>
+TransformerConfig::paperNetworks()
+{
+    return {
+        {"BERT-base", 12, 768, 12, 384, 32},
+        {"BERT-large", 24, 1024, 16, 384, 32},
+        {"DistilBERT", 6, 768, 12, 384, 32},
+        {"RoBERTa-base", 12, 768, 12, 512, 16},
+        {"GPT2-medium", 24, 1024, 16, 512, 8},
+    };
+}
+
+E2EResult
+runTransformerInference(const GpuArch &arch, const TransformerConfig &cfg)
+{
+    GRAPHENE_CHECK(cfg.hidden % cfg.heads == 0)
+        << "heads must divide the hidden size";
+    GRAPHENE_CHECK(cfg.headDim() == 64)
+        << "the FMHA kernel is specialized for head dim 64";
+    GRAPHENE_CHECK(cfg.seq % 128 == 0) << "sequence granularity";
+
+    Device dev(arch);
+    baselines::CublasLtLike lt(dev);
+    baselines::CudnnLike dnn(dev);
+    baselines::TorchLike torch(dev);
+
+    const int64_t T = cfg.tokens();
+    const int64_t H = cfg.hidden;
+    const int64_t F = cfg.ffn();
+    const int64_t BH = cfg.batch * cfg.heads;
+    const int64_t S = cfg.seq;
+    const int64_t D = cfg.headDim();
+
+    // Virtual activations/weights (timing only).
+    auto v = [&](const std::string &name, int64_t count) {
+        dev.allocateVirtual(name, ScalarType::Fp16, count);
+    };
+    v("%act", T * H);
+    v("%qkv", T * 3 * H);
+    v("%wqkv", H * 3 * H);
+    v("%bqkv", 3 * H);
+    v("%q", BH * S * D);
+    v("%k", BH * S * D);
+    v("%vv", BH * S * D);
+    v("%attn", BH * S * D);
+    v("%attnT", T * H);
+    v("%wo", H * H);
+    v("%bo", H);
+    v("%proj", T * H);
+    v("%res", T * H);
+    v("%gamma", H);
+    v("%beta", H);
+    v("%w1", H * F);
+    v("%b1", F);
+    v("%ffn1", T * F);
+    v("%w2", F * H);
+    v("%b2", H);
+    v("%ffn2", T * H);
+
+    E2EResult result;
+    result.network = cfg.name;
+
+    // ---- the per-layer pipeline excluding attention ----------------
+    dev.resetStream();
+    // QKV projection with fused bias.
+    lt.gemmEpilogue(T, 3 * H, H, ops::Epilogue::Bias, false, "%act",
+                    "%wqkv", "%qkv", "%bqkv");
+    // [tokens, 3H] -> per-head Q/K/V layout: a copy/permute kernel
+    // (both lowerings pay it).
+    dev.launch(ops::buildUnaryPointwise(arch, OpKind::Identity,
+                                        T * 3 * H, "%qkv", "%qkv"),
+               LaunchMode::Timing);
+    // Output projection + bias, residual add, layernorm.
+    lt.gemmEpilogue(T, H, H, ops::Epilogue::Bias, false, "%attnT", "%wo",
+                    "%proj", "%bo");
+    dnn.add(T * H, "%proj", "%act", "%res");
+    torch.layernorm(baselines::TorchLayernorm::Fused, T, H, "%res",
+                    "%gamma", "%beta", "%res");
+    // Feed-forward: FC1 (bias+gelu), FC2 (bias), residual, layernorm.
+    lt.gemmEpilogue(T, F, H, ops::Epilogue::BiasGelu, false, "%res",
+                    "%w1", "%ffn1", "%b1");
+    lt.gemmEpilogue(T, H, F, ops::Epilogue::Bias, false, "%ffn1", "%w2",
+                    "%ffn2", "%b2");
+    dnn.add(T * H, "%ffn2", "%res", "%res");
+    torch.layernorm(baselines::TorchLayernorm::Fused, T, H, "%res",
+                    "%gamma", "%beta", "%res");
+    result.layerCommonUs = dev.streamTimeUs();
+
+    // ---- attention: baseline vs fused -------------------------------
+    dev.resetStream();
+    torch.attentionUnfused(BH, S, D, "%q", "%k", "%vv", "%attn");
+    result.attnBaselineUs = dev.streamTimeUs();
+
+    dev.resetStream();
+    ops::FmhaConfig fcfg;
+    fcfg.batch = cfg.batch;
+    fcfg.heads = cfg.heads;
+    fcfg.seq = S;
+    fcfg.headDim = D;
+    fcfg.qName = "%q";
+    fcfg.kName = "%k";
+    fcfg.vName = "%vv";
+    fcfg.oName = "%attn";
+    dev.launch(ops::buildFusedFmha(arch, fcfg), LaunchMode::Timing);
+    result.attnFusedUs = dev.streamTimeUs();
+
+    const double layers = static_cast<double>(cfg.layers);
+    result.baselineUs = layers
+        * (result.layerCommonUs + result.attnBaselineUs);
+    result.fusedUs = layers * (result.layerCommonUs + result.attnFusedUs);
+    result.attentionSharePct = 100.0 * layers * result.attnBaselineUs
+        / result.baselineUs;
+    return result;
+}
+
+} // namespace models
+} // namespace graphene

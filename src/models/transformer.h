@@ -1,0 +1,63 @@
+/**
+ * @file
+ * End-to-end Transformer inference (paper Fig. 15).
+ *
+ * A minimal encoder-stack graph executor: each layer is lowered
+ * per-op onto the baseline library engines (the "regular PyTorch
+ * inference" of the paper), and the attention subgraph can be swapped
+ * for the fused Graphene FMHA kernel.  The reported speedup is the
+ * end-to-end ratio; it correlates with the fraction of time attention
+ * takes — exactly the relationship Fig. 15 plots.
+ */
+
+#ifndef GRAPHENE_MODELS_TRANSFORMER_H
+#define GRAPHENE_MODELS_TRANSFORMER_H
+
+#include <string>
+#include <vector>
+
+#include "runtime/device.h"
+
+namespace graphene
+{
+namespace models
+{
+
+struct TransformerConfig
+{
+    std::string name;
+    int64_t layers = 12;
+    int64_t hidden = 768;
+    int64_t heads = 12;
+    int64_t seq = 384;
+    int64_t batch = 32;
+
+    int64_t ffn() const { return 4 * hidden; }
+    int64_t headDim() const { return hidden / heads; }
+    int64_t tokens() const { return batch * seq; }
+
+    /** The five networks evaluated in the paper's Fig. 15. */
+    static std::vector<TransformerConfig> paperNetworks();
+};
+
+struct E2EResult
+{
+    std::string network;
+    double baselineUs = 0; // per-op library lowering
+    double fusedUs = 0;    // with the Graphene FMHA injected
+    double attentionSharePct = 0; // of the baseline time
+    double layerCommonUs = 0;
+    double attnBaselineUs = 0;
+    double attnFusedUs = 0;
+
+    double speedup() const { return baselineUs / fusedUs; }
+};
+
+/** Time one full inference (timing mode, per-layer memoization). */
+E2EResult runTransformerInference(const GpuArch &arch,
+                                  const TransformerConfig &cfg);
+
+} // namespace models
+} // namespace graphene
+
+#endif // GRAPHENE_MODELS_TRANSFORMER_H

@@ -1,0 +1,196 @@
+#include "numerics/half.h"
+
+#include <cmath>
+#include <cstring>
+#include <ostream>
+
+namespace graphene
+{
+
+namespace
+{
+
+uint32_t
+floatBits(float value)
+{
+    uint32_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    return bits;
+}
+
+float
+bitsToFloat(uint32_t bits)
+{
+    float value;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+}
+
+} // namespace
+
+uint16_t
+floatToHalfBits(float value)
+{
+    const uint32_t f = floatBits(value);
+    const uint32_t sign = (f >> 16) & 0x8000u;
+    const uint32_t absF = f & 0x7fffffffu;
+
+    // NaN / Inf.
+    if (absF >= 0x7f800000u) {
+        if (absF > 0x7f800000u) {
+            // NaN: keep a quiet NaN, preserve top mantissa bits.
+            uint32_t mant = (absF >> 13) & 0x3ffu;
+            return static_cast<uint16_t>(sign | 0x7c00u | 0x200u | mant);
+        }
+        return static_cast<uint16_t>(sign | 0x7c00u);
+    }
+
+    // Overflow to infinity: exponent >= 16 after re-bias.
+    if (absF >= 0x47800000u) // 65536.0f
+        return static_cast<uint16_t>(sign | 0x7c00u);
+
+    // Normal range for half: exponent >= -14.
+    if (absF >= 0x38800000u) { // 2^-14
+        const uint32_t exp = ((absF >> 23) & 0xffu) - 127 + 15;
+        const uint32_t mant = absF & 0x7fffffu;
+        uint32_t half = (exp << 10) | (mant >> 13);
+        // Round to nearest even on the 13 truncated bits.
+        const uint32_t rem = mant & 0x1fffu;
+        if (rem > 0x1000u || (rem == 0x1000u && (half & 1u)))
+            ++half; // may carry into the exponent, which is correct.
+        return static_cast<uint16_t>(sign | half);
+    }
+
+    // Subnormal half (or underflow to zero).
+    if (absF < 0x33000000u) // 2^-25: rounds to zero
+        return static_cast<uint16_t>(sign);
+
+    // Value in [2^-25, 2^-14): produce a subnormal with RNE.
+    const int shift = 126 - static_cast<int>((absF >> 23) & 0xffu);
+    uint32_t mant = (absF & 0x7fffffu) | 0x800000u;
+    // We need to shift the 24-bit mantissa right by (shift + 11) bits to
+    // land in the 10-bit subnormal field.
+    const int totalShift = shift + 11 + 3; // see derivation below
+    // Simpler and fully correct approach: round via scaled integer math.
+    (void)mant;
+    (void)totalShift;
+    const float scaled = bitsToFloat(absF) * 16777216.0f; // 2^24
+    // half subnormal ulp is 2^-24; value/ulp = value * 2^24.
+    uint32_t q = static_cast<uint32_t>(scaled);
+    const float frac = scaled - static_cast<float>(q);
+    if (frac > 0.5f || (frac == 0.5f && (q & 1u)))
+        ++q;
+    return static_cast<uint16_t>(sign | (q & 0x3ffu));
+}
+
+float
+halfBitsToFloat(uint16_t bits)
+{
+    const uint32_t sign = static_cast<uint32_t>(bits & 0x8000u) << 16;
+    const uint32_t exp = (bits >> 10) & 0x1fu;
+    const uint32_t mant = bits & 0x3ffu;
+
+    if (exp == 0) {
+        if (mant == 0)
+            return bitsToFloat(sign);
+        // Subnormal: value = mant * 2^-24.
+        float value = static_cast<float>(mant) * 5.9604644775390625e-08f;
+        return bits & 0x8000u ? -value : value;
+    }
+    if (exp == 0x1f) {
+        if (mant == 0)
+            return bitsToFloat(sign | 0x7f800000u);
+        return bitsToFloat(sign | 0x7f800000u | (mant << 13) | 0x400000u);
+    }
+    const uint32_t f = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+    return bitsToFloat(f);
+}
+
+uint16_t
+floatToBfloat16Bits(float value)
+{
+    uint32_t f = floatBits(value);
+    if ((f & 0x7fffffffu) > 0x7f800000u) {
+        // NaN: quiet it.
+        return static_cast<uint16_t>((f >> 16) | 0x0040u);
+    }
+    const uint32_t rem = f & 0xffffu;
+    uint32_t upper = f >> 16;
+    if (rem > 0x8000u || (rem == 0x8000u && (upper & 1u)))
+        ++upper;
+    return static_cast<uint16_t>(upper);
+}
+
+float
+bfloat16BitsToFloat(uint16_t bits)
+{
+    return bitsToFloat(static_cast<uint32_t>(bits) << 16);
+}
+
+Half
+Half::fromBits(uint16_t bits)
+{
+    Half h;
+    h.bits_ = bits;
+    return h;
+}
+
+bool
+Half::isNan() const
+{
+    return (bits_ & 0x7c00u) == 0x7c00u && (bits_ & 0x3ffu) != 0;
+}
+
+bool
+Half::isInf() const
+{
+    return (bits_ & 0x7fffu) == 0x7c00u;
+}
+
+Half
+halfFma(Half a, Half b, Half c)
+{
+    const double exact = static_cast<double>(a.toFloat())
+        * static_cast<double>(b.toFloat()) + static_cast<double>(c.toFloat());
+    return Half(static_cast<float>(exact));
+}
+
+Bfloat16
+Bfloat16::fromBits(uint16_t bits)
+{
+    Bfloat16 b;
+    b.bits_ = bits;
+    return b;
+}
+
+std::ostream &
+operator<<(std::ostream &os, Half h)
+{
+    return os << h.toFloat();
+}
+
+std::ostream &
+operator<<(std::ostream &os, Bfloat16 b)
+{
+    return os << b.toFloat();
+}
+
+double
+roundToPrecision(double value, RoundTo target)
+{
+    switch (target) {
+      case RoundTo::Fp32:
+        return static_cast<double>(static_cast<float>(value));
+      case RoundTo::Fp16:
+        return static_cast<double>(
+            Half(static_cast<float>(value)).toFloat());
+      case RoundTo::Bf16:
+        return static_cast<double>(
+            Bfloat16(static_cast<float>(value)).toFloat());
+      case RoundTo::Int32:
+        return static_cast<double>(static_cast<int32_t>(value));
+    }
+    return value;
+}
+
+} // namespace graphene

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Software implementations of the reduced-precision floating point types
+ * used by GPU tensor computations: IEEE binary16 (fp16) and bfloat16.
+ *
+ * The simulator executes every kernel with these types so that numerical
+ * results are bit-comparable with what fp16 GPU hardware would produce
+ * (round-to-nearest-even at every operation, fp32 accumulation inside
+ * tensor-core MMA sequences).
+ */
+
+#ifndef GRAPHENE_NUMERICS_HALF_H
+#define GRAPHENE_NUMERICS_HALF_H
+
+#include <cstdint>
+#include <iosfwd>
+
+namespace graphene
+{
+
+/** Convert an fp32 value to IEEE binary16 bits with round-to-nearest-even. */
+uint16_t floatToHalfBits(float value);
+
+/** Convert IEEE binary16 bits to fp32 (exact). */
+float halfBitsToFloat(uint16_t bits);
+
+/** Convert an fp32 value to bfloat16 bits with round-to-nearest-even. */
+uint16_t floatToBfloat16Bits(float value);
+
+/** Convert bfloat16 bits to fp32 (exact). */
+float bfloat16BitsToFloat(uint16_t bits);
+
+/**
+ * IEEE binary16 value type.
+ *
+ * Arithmetic converts to fp32, computes, and rounds back — matching the
+ * behaviour of scalar HFMA-style GPU instructions.
+ */
+class Half
+{
+  public:
+    Half() : bits_(0) {}
+    explicit Half(float value) : bits_(floatToHalfBits(value)) {}
+
+    static Half fromBits(uint16_t bits);
+
+    uint16_t bits() const { return bits_; }
+    float toFloat() const { return halfBitsToFloat(bits_); }
+    explicit operator float() const { return toFloat(); }
+
+    bool isNan() const;
+    bool isInf() const;
+
+    Half operator+(Half other) const { return Half(toFloat() + other.toFloat()); }
+    Half operator-(Half other) const { return Half(toFloat() - other.toFloat()); }
+    Half operator*(Half other) const { return Half(toFloat() * other.toFloat()); }
+    Half operator/(Half other) const { return Half(toFloat() / other.toFloat()); }
+
+    bool operator==(Half other) const { return toFloat() == other.toFloat(); }
+    bool operator!=(Half other) const { return !(*this == other); }
+    bool operator<(Half other) const { return toFloat() < other.toFloat(); }
+
+  private:
+    uint16_t bits_;
+};
+
+/**
+ * Fused multiply-add in fp16: a*b+c computed in full precision, rounded
+ * once to fp16 (the semantics of the HFMA instruction).
+ */
+Half halfFma(Half a, Half b, Half c);
+
+/** bfloat16 value type (truncated-mantissa fp32). */
+class Bfloat16
+{
+  public:
+    Bfloat16() : bits_(0) {}
+    explicit Bfloat16(float value) : bits_(floatToBfloat16Bits(value)) {}
+
+    static Bfloat16 fromBits(uint16_t bits);
+
+    uint16_t bits() const { return bits_; }
+    float toFloat() const { return bfloat16BitsToFloat(bits_); }
+    explicit operator float() const { return toFloat(); }
+
+  private:
+    uint16_t bits_;
+};
+
+std::ostream &operator<<(std::ostream &os, Half h);
+std::ostream &operator<<(std::ostream &os, Bfloat16 b);
+
+/**
+ * Round a double to the precision of the named scalar type.
+ * Used by the simulator to model storage into typed registers/memory.
+ */
+enum class RoundTo { Fp32, Fp16, Bf16, Int32 };
+double roundToPrecision(double value, RoundTo target);
+
+} // namespace graphene
+
+#endif // GRAPHENE_NUMERICS_HALF_H

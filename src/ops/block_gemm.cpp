@@ -1,0 +1,303 @@
+#include "ops/block_gemm.h"
+
+#include "support/check.h"
+
+namespace graphene
+{
+namespace ops
+{
+
+BlockGemm::BlockGemm(const GpuArch &arch, int64_t mTile, int64_t nTile,
+                     int64_t wm, int64_t wn)
+    : arch_(arch), ampere_(arch.hasLdmatrix), mTile_(mTile),
+      nTile_(nTile), wm_(wm), wn_(wn)
+{
+    GRAPHENE_CHECK(mTile % wm == 0 && nTile % wn == 0)
+        << "warp tile " << wm << "x" << wn
+        << " must divide the block tile " << mTile << "x" << nTile;
+    if (ampere_) {
+        GRAPHENE_CHECK(wm % 16 == 0 && wn % 16 == 0)
+            << "Ampere warp tile must be a multiple of 16x16";
+    } else {
+        GRAPHENE_CHECK(wm % 32 == 0 && wn % 8 == 0)
+            << "Volta warp tile must be a multiple of 32x8";
+    }
+    warpsM_ = mTile / wm;
+    warpsN_ = nTile / wn;
+    fragsM_ = ampere_ ? wm / 16 : 0;
+    fragsN_ = wn / 8;
+    stripsPerQp_ = ampere_ ? 0 : wm / 32;
+}
+
+int64_t
+BlockGemm::accCount() const
+{
+    return ampere_ ? fragsM_ * fragsN_ * 4 : stripsPerQp_ * fragsN_ * 8;
+}
+
+ExprPtr
+BlockGemm::warpM() const
+{
+    auto warpId = floorDiv(tid(blockSize()), constant(32));
+    return mod(warpId, constant(warpsM_));
+}
+
+ExprPtr
+BlockGemm::warpN() const
+{
+    auto warpId = floorDiv(tid(blockSize()), constant(32));
+    return floorDiv(warpId, constant(warpsM_));
+}
+
+ExprPtr
+BlockGemm::laneId() const
+{
+    return mod(tid(blockSize()), constant(32));
+}
+
+std::vector<StmtPtr>
+BlockGemm::allocFragments() const
+{
+    std::vector<StmtPtr> out;
+    out.push_back(alloc(accName, ScalarType::Fp32, MemorySpace::RF,
+                        accCount()));
+    out.push_back(alloc(afragName, ScalarType::Fp16, MemorySpace::RF,
+                        ampere_ ? fragsM_ * 8 : stripsPerQp_ * 8));
+    out.push_back(alloc(bfragName, ScalarType::Fp16, MemorySpace::RF,
+                        ampere_ ? (wn_ / 16) * 8 : fragsN_ * 8));
+    return out;
+}
+
+StmtPtr
+BlockGemm::initAcc() const
+{
+    TensorView acc("%accv", accName, Layout::vector(accCount()),
+                   ScalarType::Fp32, MemorySpace::RF);
+    return call(Spec::init(0.0, perThread(blockSize()), acc));
+}
+
+namespace
+{
+
+TensorView
+regs(const std::string &buf, int64_t count, ScalarType scalar,
+     int64_t offset)
+{
+    TensorView v("%v", buf, Layout::vector(count), scalar,
+                 MemorySpace::RF);
+    if (offset != 0)
+        v = v.offsetBy(constant(offset));
+    return v;
+}
+
+TensorView
+smemVec(const SmemOperand &op, int64_t count, ExprPtr row, ExprPtr col)
+{
+    TensorView v("%sv", op.buffer,
+                 count == 1 ? Layout() : Layout::vector(count),
+                 ScalarType::Fp16, MemorySpace::SH, op.swizzle);
+    return v.offsetBy(add(mul(row, constant(op.rowStride)), col));
+}
+
+} // namespace
+
+std::vector<StmtPtr>
+BlockGemm::tileCompute(const SmemOperand &a, ExprPtr aRow0, ExprPtr aCol0,
+                       const SmemOperand &b, ExprPtr bRow0, ExprPtr bCol0,
+                       int64_t kDepth, bool disableLdmatrix) const
+{
+    GRAPHENE_CHECK(kDepth % kStep() == 0)
+        << "k depth " << kDepth << " not a multiple of " << kStep();
+    const int64_t blockSz = blockSize();
+    auto one = perThread(blockSz);
+    auto warpG = perWarp(blockSz);
+    auto lane = laneId();
+    auto wM = warpM();
+    auto wN = warpN();
+
+    std::vector<StmtPtr> out;
+
+    if (ampere_) {
+        for (int64_t k16 = 0; k16 < kDepth / 16; ++k16) {
+            // A fragments: ldmatrix.x4 per 16-row m-block.
+            for (int64_t fi = 0; fi < fragsM_; ++fi) {
+                ExprPtr row = add(
+                    aRow0,
+                    add(add(mul(wM, constant(wm_)), constant(fi * 16)),
+                        add(mul(mod(floorDiv(lane, constant(8)),
+                                    constant(2)),
+                                constant(8)),
+                            mod(lane, constant(8)))));
+                ExprPtr col = add(
+                    aCol0,
+                    add(constant(k16 * 16),
+                        mul(floorDiv(lane, constant(16)), constant(8))));
+                auto dst = regs(afragName, 8, ScalarType::Fp16, fi * 8);
+                if (disableLdmatrix) {
+                    for (int64_t v = 0; v < 8; ++v) {
+                        ExprPtr fm = add(
+                            aRow0,
+                            add(add(mul(wM, constant(wm_)),
+                                    constant(fi * 16
+                                             + 8 * ((v / 2) % 2))),
+                                floorDiv(lane, constant(4))));
+                        ExprPtr fk = add(
+                            aCol0,
+                            add(constant(k16 * 16 + v % 2 + 8 * (v / 4)),
+                                mul(mod(lane, constant(4)),
+                                    constant(2))));
+                        out.push_back(call(Spec::move(
+                            one, smemVec(a, 1, fm, fk),
+                            regs(afragName, 1, ScalarType::Fp16,
+                                 fi * 8 + v))));
+                    }
+                } else {
+                    out.push_back(call(Spec::move(
+                        warpG, smemVec(a, 8, row, col), dst)));
+                }
+            }
+            // B fragments: ldmatrix.x4.trans per 16-wide n-block.
+            for (int64_t fj = 0; fj < wn_ / 16; ++fj) {
+                ExprPtr row = add(
+                    bRow0,
+                    add(constant(k16 * 16),
+                        add(mul(mod(floorDiv(lane, constant(8)),
+                                    constant(2)),
+                                constant(8)),
+                            mod(lane, constant(8)))));
+                ExprPtr col = add(
+                    bCol0,
+                    add(add(mul(wN, constant(wn_)), constant(fj * 16)),
+                        mul(floorDiv(lane, constant(16)),
+                            constant(8))));
+                auto dst = regs(bfragName, 8, ScalarType::Fp16, fj * 8);
+                if (disableLdmatrix) {
+                    for (int64_t v = 0; v < 8; ++v) {
+                        ExprPtr fk = add(
+                            bRow0,
+                            add(constant(k16 * 16 + 8 * ((v / 2) % 2)
+                                         + v % 2),
+                                mul(mod(lane, constant(4)),
+                                    constant(2))));
+                        ExprPtr fn = add(
+                            bCol0,
+                            add(add(mul(wN, constant(wn_)),
+                                    constant(fj * 16 + 8 * (v / 4))),
+                                floorDiv(lane, constant(4))));
+                        out.push_back(call(Spec::move(
+                            one, smemVec(b, 1, fk, fn),
+                            regs(bfragName, 1, ScalarType::Fp16,
+                                 fj * 8 + v))));
+                    }
+                } else {
+                    auto mv = Spec::move(warpG, smemVec(b, 8, row, col),
+                                         dst);
+                    mv->setAtomicHint("trans");
+                    out.push_back(call(mv));
+                }
+            }
+            // MMA grid.
+            for (int64_t mi = 0; mi < fragsM_; ++mi)
+                for (int64_t nj = 0; nj < fragsN_; ++nj)
+                    out.push_back(call(Spec::matmul(
+                        warpG,
+                        regs(afragName, 8, ScalarType::Fp16, mi * 8),
+                        regs(bfragName, 4, ScalarType::Fp16,
+                             (nj / 2) * 8 + 4 * (nj % 2)),
+                        regs(accName, 4, ScalarType::Fp32,
+                             (mi * fragsN_ + nj) * 4))));
+        }
+    } else {
+        auto qpG = perQuadPair(blockSz);
+        ExprPtr qpIdx = floorDiv(mod(lane, constant(16)), constant(4));
+        ExprPtr qpLane = add(mod(lane, constant(4)),
+                             mul(floorDiv(lane, constant(16)),
+                                 constant(4)));
+        for (int64_t k8 = 0; k8 < kDepth / 8; ++k8) {
+            for (int64_t s = 0; s < stripsPerQp_; ++s) {
+                ExprPtr aRow = add(
+                    aRow0,
+                    add(mul(wM, constant(wm_)),
+                        add(mul(add(mul(qpIdx, constant(stripsPerQp_)),
+                                    constant(s)),
+                                constant(8)),
+                            qpLane)));
+                out.push_back(call(Spec::move(
+                    one,
+                    smemVec(a, 8, aRow, add(aCol0, constant(k8 * 8))),
+                    regs(afragName, 8, ScalarType::Fp16, s * 8))));
+            }
+            for (int64_t nj = 0; nj < fragsN_; ++nj) {
+                // b operand row within the transposed [n, k] tensor.
+                ExprPtr bRow = add(
+                    bRow0,
+                    add(mul(wN, constant(wn_)),
+                        add(constant(nj * 8), qpLane)));
+                out.push_back(call(Spec::move(
+                    one,
+                    smemVec(b, 8, bRow, add(bCol0, constant(k8 * 8))),
+                    regs(bfragName, 8, ScalarType::Fp16, nj * 8))));
+            }
+            for (int64_t kk = 0; kk < 2; ++kk)
+                for (int64_t s = 0; s < stripsPerQp_; ++s)
+                    for (int64_t nj = 0; nj < fragsN_; ++nj)
+                        out.push_back(call(Spec::matmul(
+                            qpG,
+                            regs(afragName, 4, ScalarType::Fp16,
+                                 s * 8 + 4 * kk),
+                            regs(bfragName, 4, ScalarType::Fp16,
+                                 nj * 8 + 4 * kk),
+                            regs(accName, 8, ScalarType::Fp32,
+                                 (s * fragsN_ + nj) * 8))));
+        }
+    }
+    return out;
+}
+
+void
+BlockGemm::forEachAccVector(
+    const std::function<void(ExprPtr, ExprPtr, int64_t, int64_t)> &fn)
+    const
+{
+    auto lane = laneId();
+    auto wM = warpM();
+    auto wN = warpN();
+    if (ampere_) {
+        for (int64_t mi = 0; mi < fragsM_; ++mi)
+            for (int64_t nj = 0; nj < fragsN_; ++nj)
+                for (int64_t h = 0; h < 2; ++h) {
+                    const int64_t accOff = (mi * fragsN_ + nj) * 4
+                        + 2 * h;
+                    ExprPtr mLocal = add(
+                        mul(wM, constant(wm_)),
+                        add(constant(mi * 16 + 8 * h),
+                            floorDiv(lane, constant(4))));
+                    ExprPtr nLocal = add(
+                        mul(wN, constant(wn_)),
+                        add(constant(nj * 8),
+                            mul(mod(lane, constant(4)), constant(2))));
+                    fn(mLocal, nLocal, accOff, 2);
+                }
+    } else {
+        ExprPtr qpIdx = floorDiv(mod(lane, constant(16)), constant(4));
+        ExprPtr qpLane = add(mod(lane, constant(4)),
+                             mul(floorDiv(lane, constant(16)),
+                                 constant(4)));
+        for (int64_t s = 0; s < stripsPerQp_; ++s) {
+            ExprPtr mLocal = add(
+                mul(wM, constant(wm_)),
+                add(mul(add(mul(qpIdx, constant(stripsPerQp_)),
+                            constant(s)),
+                        constant(8)),
+                    qpLane));
+            for (int64_t nj = 0; nj < fragsN_; ++nj) {
+                ExprPtr nLocal = add(mul(wN, constant(wn_)),
+                                     constant(nj * 8));
+                fn(mLocal, nLocal, (s * fragsN_ + nj) * 8, 8);
+            }
+        }
+    }
+}
+
+} // namespace ops
+} // namespace graphene

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Reusable warp-level tensor-core GEMM building block.
+ *
+ * A BlockGemm describes the geometry of one thread-block-level matrix
+ * multiply whose operands live in shared memory: warp tiling, fragment
+ * register files, and per-k-tile compute (fragment loads + MMA grid).
+ * The optimized GEMM (Fig. 9/10) and every fused kernel (MLP, LSTM,
+ * FMHA) are assembled from this block plus their own staging and
+ * epilogues.
+ *
+ * On Ampere the A operand is read with ldmatrix and B with
+ * ldmatrix.trans feeding mma.m16n8k16; on Volta fragments are 8-deep
+ * vector loads feeding quad-pair mma.m8n8k4 (B must be stored
+ * transposed, [n, k]).
+ */
+
+#ifndef GRAPHENE_OPS_BLOCK_GEMM_H
+#define GRAPHENE_OPS_BLOCK_GEMM_H
+
+#include <functional>
+
+#include "ops/common.h"
+
+namespace graphene
+{
+namespace ops
+{
+
+/** A shared-memory matrix operand: buffer, row stride, swizzle. */
+struct SmemOperand
+{
+    std::string buffer;
+    int64_t rowStride = 0;
+    Swizzle swizzle;
+};
+
+class BlockGemm
+{
+  public:
+    /**
+     * @param mTile,nTile  the block-level output tile
+     * @param wm,wn        warp tile (Volta requires wm % 32 == 0)
+     */
+    BlockGemm(const GpuArch &arch, int64_t mTile, int64_t nTile,
+              int64_t wm, int64_t wn);
+
+    int64_t warps() const { return warpsM_ * warpsN_; }
+    int64_t blockSize() const { return warps() * 32; }
+    int64_t kStep() const { return ampere_ ? 16 : 8; }
+    bool isAmpere() const { return ampere_; }
+
+    /** Accumulator registers per thread. */
+    int64_t accCount() const;
+
+    /** Names used for the register buffers (override before emit). */
+    std::string accName = "%acc";
+    std::string afragName = "%afrag";
+    std::string bfragName = "%bfrag";
+
+    /** Alloc statements for fragments and accumulators. */
+    std::vector<StmtPtr> allocFragments() const;
+
+    /** Zero the accumulators. */
+    StmtPtr initAcc() const;
+
+    /**
+     * Compute acc += A_tile * B_tile for a kDepth-deep slice whose
+     * top-left element is at (row aRow0, col aCol0) of operand @p a
+     * (an [*, k]-major shared tensor) and, for B, at (row bRow0, col
+     * bCol0) of @p b — [k, n]-major on Ampere, [n, k]-major (i.e.
+     * transposed) on Volta.
+     *
+     * kDepth must be a multiple of kStep().
+     */
+    std::vector<StmtPtr> tileCompute(const SmemOperand &a, ExprPtr aRow0,
+                                     ExprPtr aCol0, const SmemOperand &b,
+                                     ExprPtr bRow0, ExprPtr bCol0,
+                                     int64_t kDepth,
+                                     bool disableLdmatrix = false) const;
+
+    /**
+     * Enumerate the accumulator vectors of the executing thread:
+     * fn(mLocal, nLocalBase, accOffset, width) where (mLocal,
+     * nLocalBase..+width) are coordinates within the block tile and
+     * acc[accOffset..+width] holds those fp32 values contiguously
+     * (width = 2 on Ampere, 8 on Volta).
+     */
+    void forEachAccVector(
+        const std::function<void(ExprPtr, ExprPtr, int64_t, int64_t)>
+            &fn) const;
+
+    /** Per-thread n-contiguous accumulator width (2 or 8). */
+    int64_t accVectorWidth() const { return ampere_ ? 2 : 8; }
+
+    /** Expressions for the warp coordinates of the executing thread. */
+    ExprPtr warpM() const;
+    ExprPtr warpN() const;
+    ExprPtr laneId() const;
+
+  private:
+    const GpuArch &arch_;
+    bool ampere_;
+    int64_t mTile_, nTile_, wm_, wn_;
+    int64_t warpsM_, warpsN_;
+    int64_t fragsM_, fragsN_, stripsPerQp_;
+};
+
+} // namespace ops
+} // namespace graphene
+
+#endif // GRAPHENE_OPS_BLOCK_GEMM_H

@@ -1,0 +1,206 @@
+#include "ops/common.h"
+
+#include "support/check.h"
+
+namespace graphene
+{
+namespace ops
+{
+
+ThreadGroup
+perThread(int64_t blockSize)
+{
+    return ThreadGroup::threads("#t", Layout::vector(1), blockSize);
+}
+
+ThreadGroup
+perWarp(int64_t blockSize)
+{
+    return ThreadGroup::threads("#warp", Layout::vector(32), blockSize);
+}
+
+ThreadGroup
+perQuadPair(int64_t blockSize)
+{
+    return ThreadGroup::threads(
+        "#qp", Layout(IntTuple{4, 2}, IntTuple{1, 16}), blockSize);
+}
+
+ExprPtr
+tid(int64_t blockSize)
+{
+    return variable("tid", blockSize);
+}
+
+ExprPtr
+bid(int64_t gridSize)
+{
+    return variable("bid", gridSize);
+}
+
+std::vector<StmtPtr>
+stageTileToShared(const GpuArch &arch, int64_t blockSize,
+                  const std::string &srcBuffer, ExprPtr srcBase,
+                  int64_t srcRowStride, int64_t rows, int64_t cols,
+                  const TensorView &dstView, const std::string &stageRegs,
+                  ExprPtr rowLimit, const std::string &zeroRegs)
+{
+    GRAPHENE_CHECK(cols % 8 == 0)
+        << "tile width " << cols << " must be a multiple of 8";
+    const int64_t chunks = rows * cols / 8;
+    GRAPHENE_CHECK(chunks % blockSize == 0)
+        << "tile of " << chunks << " 8-element chunks not divisible by "
+        << blockSize << " threads";
+    const int64_t perThreadChunks = chunks / blockSize;
+    const int64_t chunksPerRow = cols / 8;
+
+    auto one = perThread(blockSize);
+    std::vector<StmtPtr> stmts;
+    for (int64_t i = 0; i < perThreadChunks; ++i) {
+        // chunk = tid + i*blockSize -> (row, colChunk).
+        ExprPtr chunk = add(tid(blockSize),
+                            constant(i * blockSize));
+        ExprPtr row = floorDiv(chunk, constant(chunksPerRow));
+        ExprPtr colChunk = mod(chunk, constant(chunksPerRow));
+        ExprPtr srcOff = add(srcBase,
+                             add(mul(row, constant(srcRowStride)),
+                                 mul(colChunk, constant(8))));
+        TensorView src("%stage_src", srcBuffer, Layout::vector(8),
+                       ScalarType::Fp16, MemorySpace::GL);
+        src = src.offsetBy(srcOff);
+        TensorView dst = dstView.index({row, mul(colChunk, constant(8))})
+                             .withLayout(Layout::vector(8));
+        std::vector<StmtPtr> doMove;
+        if (arch.hasCpAsync) {
+            doMove.push_back(call(Spec::move(one, src, dst)));
+        } else {
+            TensorView regs("%stg", stageRegs, Layout::vector(8),
+                            ScalarType::Fp16, MemorySpace::RF);
+            doMove.push_back(call(Spec::move(one, src, regs)));
+            doMove.push_back(call(Spec::move(one, regs, dst)));
+        }
+        if (rowLimit) {
+            GRAPHENE_CHECK(!zeroRegs.empty())
+                << "predicated staging needs a zero register buffer";
+            TensorView zero("%zero", zeroRegs, Layout::vector(8),
+                            ScalarType::Fp16, MemorySpace::RF);
+            stmts.push_back(ifStmt(
+                lessThan(row, rowLimit), std::move(doMove),
+                {call(Spec::move(one, zero, dst))}));
+        } else {
+            stmts.insert(stmts.end(), doMove.begin(), doMove.end());
+        }
+    }
+    return stmts;
+}
+
+std::vector<StmtPtr>
+stageTileToSharedTransposed(int64_t blockSize,
+                            const std::string &srcBuffer, ExprPtr srcBase,
+                            int64_t srcRowStride, int64_t rows,
+                            int64_t cols, const TensorView &dstView,
+                            const std::string &stageRegs)
+{
+    GRAPHENE_CHECK(cols % 8 == 0)
+        << "tile width " << cols << " must be a multiple of 8";
+    const int64_t chunks = rows * cols / 8;
+    GRAPHENE_CHECK(chunks % blockSize == 0)
+        << "transposed staging: " << chunks
+        << " chunks not divisible by " << blockSize << " threads";
+    const int64_t chunksPerRow = cols / 8;
+    auto one = perThread(blockSize);
+    std::vector<StmtPtr> stmts;
+    for (int64_t i = 0; i < chunks / blockSize; ++i) {
+        ExprPtr chunk = add(tid(blockSize), constant(i * blockSize));
+        ExprPtr row = floorDiv(chunk, constant(chunksPerRow));
+        ExprPtr col0 = mul(mod(chunk, constant(chunksPerRow)),
+                           constant(8));
+        ExprPtr srcOff = add(srcBase,
+                             add(mul(row, constant(srcRowStride)), col0));
+        TensorView src("%stage_src", srcBuffer, Layout::vector(8),
+                       ScalarType::Fp16, MemorySpace::GL);
+        src = src.offsetBy(srcOff);
+        TensorView stg("%stgv", stageRegs, Layout::vector(8),
+                       ScalarType::Fp16, MemorySpace::RF);
+        stmts.push_back(call(Spec::move(one, src, stg)));
+        for (int64_t j = 0; j < 8; ++j) {
+            // dst[col0 + j][row] — one scalar store per element.
+            TensorView dstE = dstView
+                                  .index({add(col0, constant(j)), row})
+                                  .withLayout(Layout());
+            TensorView stgE("%stge", stageRegs, Layout(),
+                            ScalarType::Fp16, MemorySpace::RF);
+            stgE = stgE.offsetBy(constant(j));
+            stmts.push_back(call(Spec::move(one, stgE, dstE)));
+        }
+    }
+    return stmts;
+}
+
+TensorView
+scalarReg(const std::string &buffer, int64_t offset, ScalarType scalar)
+{
+    TensorView v("%r", buffer, Layout(), scalar, MemorySpace::RF);
+    return offset ? v.offsetBy(constant(offset)) : v;
+}
+
+TensorView
+vecReg(const std::string &buffer, int64_t count, ScalarType scalar,
+       int64_t offset)
+{
+    TensorView v("%r", buffer, Layout::vector(count), scalar,
+                 MemorySpace::RF);
+    return offset ? v.offsetBy(constant(offset)) : v;
+}
+
+std::vector<StmtPtr>
+emitBlockAllReduce(int64_t blockSize, OpKind op,
+                   const std::string &partialReg,
+                   const std::string &resultReg,
+                   const std::string &tmpReg,
+                   const std::string &smemName)
+{
+    GRAPHENE_CHECK(blockSize % 32 == 0) << "block must be whole warps";
+    const int64_t numWarps = blockSize / 32;
+    auto one = perThread(blockSize);
+    auto warpG = perWarp(blockSize);
+    auto t = tid(blockSize);
+    auto partial = scalarReg(partialReg);
+    auto result = scalarReg(resultReg);
+    auto tmp = scalarReg(tmpReg);
+
+    std::vector<StmtPtr> stmts;
+    // Warp allreduce: butterfly shuffles.
+    for (int64_t delta : {16, 8, 4, 2, 1}) {
+        stmts.push_back(call(Spec::shfl(ShflMode::Bfly, delta, warpG,
+                                        partial, tmp)));
+        stmts.push_back(call(Spec::binary(op, one, partial, tmp,
+                                          partial)));
+    }
+    if (numWarps == 1) {
+        stmts.push_back(call(Spec::move(one, partial, result)));
+        return stmts;
+    }
+    // One slot per warp, then every thread folds the partials.
+    TensorView slots("%slots", smemName, Layout::vector(numWarps),
+                     ScalarType::Fp32, MemorySpace::SH);
+    stmts.push_back(ifStmt(
+        lessThan(mod(t, constant(32)), constant(1)),
+        {call(Spec::move(one, partial,
+                         slots.index({floorDiv(t, constant(32))})))}));
+    stmts.push_back(syncThreads());
+    stmts.push_back(call(Spec::move(one, slots.index({constant(0)}),
+                                    result)));
+    for (int64_t w = 1; w < numWarps; ++w) {
+        stmts.push_back(call(Spec::move(one, slots.index({constant(w)}),
+                                        tmp)));
+        stmts.push_back(call(Spec::binary(op, one, result, tmp,
+                                          result)));
+    }
+    // Make the slots reusable by a subsequent reduction.
+    stmts.push_back(syncThreads());
+    return stmts;
+}
+
+} // namespace ops
+} // namespace graphene

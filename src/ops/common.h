@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Shared helpers for the kernel generators.
+ */
+
+#ifndef GRAPHENE_OPS_COMMON_H
+#define GRAPHENE_OPS_COMMON_H
+
+#include "arch/gpu_arch.h"
+#include "ir/kernel.h"
+
+namespace graphene
+{
+namespace ops
+{
+
+/** Execution group of a single thread (per-thread specs). */
+ThreadGroup perThread(int64_t blockSize);
+
+/** Execution group of one warp (collective warp-wide specs). */
+ThreadGroup perWarp(int64_t blockSize);
+
+/** Execution group of one Volta quad-pair: [(4,2):(1,16)]. */
+ThreadGroup perQuadPair(int64_t blockSize);
+
+/** The thread-index variable with its extent. */
+ExprPtr tid(int64_t blockSize);
+
+/** The block-index variable with its extent. */
+ExprPtr bid(int64_t gridSize);
+
+/**
+ * Statements staging a [rows x cols] fp16 tile from global to shared
+ * memory with 8-wide vector copies spread across the block (one
+ * cp.async per chunk on architectures that support it, else a register
+ * round-trip).
+ *
+ * @param srcBase   element offset of the tile's (0,0) in the global
+ *                  buffer (may reference bid / loop variables)
+ * @param srcBuffer global buffer name
+ * @param srcRowStride row stride of the global tensor
+ * @param dstView   a shared-memory view of shape [rows, cols]
+ *                  (row-major; may be swizzled)
+ * @param stageRegs name of a per-thread staging register buffer of 8
+ *                  fp16 (must be allocated by the caller; unused when
+ *                  cp.async is available)
+ */
+std::vector<StmtPtr> stageTileToShared(
+    const GpuArch &arch, int64_t blockSize, const std::string &srcBuffer,
+    ExprPtr srcBase, int64_t srcRowStride, int64_t rows, int64_t cols,
+    const TensorView &dstView, const std::string &stageRegs,
+    /**
+     * Partial tiles (paper Section 3.4): when non-null, only rows with
+     * local index < rowLimit are valid; out-of-bounds rows are filled
+     * from @p zeroRegs (a zero-initialized 8-element fp16 register
+     * buffer the caller provides) instead of loaded.
+     */
+    ExprPtr rowLimit = nullptr, const std::string &zeroRegs = "");
+
+/**
+ * Stage a [rows x cols] fp16 global tile *transposed* into shared
+ * memory: dstView has shape [cols, rows].  Global reads are coalesced
+ * 8-wide vectors; shared stores are scalar (the transpose).  Requires
+ * a per-thread staging register buffer of 8 fp16.
+ */
+std::vector<StmtPtr> stageTileToSharedTransposed(
+    int64_t blockSize, const std::string &srcBuffer, ExprPtr srcBase,
+    int64_t srcRowStride, int64_t rows, int64_t cols,
+    const TensorView &dstView, const std::string &stageRegs);
+
+/**
+ * Statements reducing a per-thread fp32 scalar register across the
+ * whole block, leaving the result in @p resultReg of *every* thread:
+ * 5 warp shuffle rounds, one shared slot per warp, a barrier, and a
+ * serial reduce of the warp partials.
+ *
+ * @param partialReg  per-thread fp32 input register (1 element); it is
+ *                    clobbered
+ * @param resultReg   per-thread fp32 output register (1 element)
+ * @param tmpReg      fp32 scratch register (1 element)
+ * @param smemName    fp32 shared buffer with blockSize/32 slots (the
+ *                    caller allocates it)
+ */
+std::vector<StmtPtr> emitBlockAllReduce(int64_t blockSize, OpKind op,
+                                        const std::string &partialReg,
+                                        const std::string &resultReg,
+                                        const std::string &tmpReg,
+                                        const std::string &smemName);
+
+/** A one-element fp32 register view over @p buffer at @p offset. */
+TensorView scalarReg(const std::string &buffer, int64_t offset = 0,
+                     ScalarType scalar = ScalarType::Fp32);
+
+/** A count-element register view over @p buffer at @p offset. */
+TensorView vecReg(const std::string &buffer, int64_t count,
+                  ScalarType scalar, int64_t offset = 0);
+
+} // namespace ops
+} // namespace graphene
+
+#endif // GRAPHENE_OPS_COMMON_H

@@ -1,0 +1,331 @@
+#include "ops/fmha.h"
+
+#include <cmath>
+
+#include "ops/block_gemm.h"
+#include "support/check.h"
+
+namespace graphene
+{
+namespace ops
+{
+
+Kernel
+buildFusedFmha(const GpuArch &arch, const FmhaConfig &cfg)
+{
+    const int64_t S = cfg.seq;
+    const int64_t D = cfg.headDim;
+    const int64_t QT = cfg.qTile;
+    const int64_t KT = cfg.kTile;
+    GRAPHENE_CHECK(S % KT == 0 && S % QT == 0)
+        << "sequence length must divide the tiles";
+    GRAPHENE_CHECK(D % 16 == 0 && D <= 128) << "head dim granularity";
+    GRAPHENE_CHECK(QT == 64 && KT == 128)
+        << "this generator is specialized for 64x128 tiles";
+    const bool ampere = arch.hasLdmatrix;
+
+    // Two block-level GEMMs sharing one 128-thread block.
+    BlockGemm bg1(arch, QT, KT, 32, 64); // S = Q K^T  (64 x 128)
+    BlockGemm bg2(arch, QT, D, 32, 32);  // O = P V    (64 x 64)
+    bg2.accName = "%acc2";
+    bg2.afragName = "%afrag2";
+    bg2.bfragName = "%bfrag2";
+    GRAPHENE_CHECK(bg1.blockSize() == bg2.blockSize())
+        << "FMHA sub-GEMMs must agree on the block size";
+    const int64_t blockSize = bg1.blockSize();
+
+    const int64_t qTiles = S / QT;
+    const int64_t kTiles = S / KT;
+    const int64_t gridSize = cfg.batch * cfg.heads * qTiles;
+    Kernel kernel("graphene_fused_fmha", gridSize, blockSize);
+    const int64_t tensorElems = cfg.batch * cfg.heads * S * D;
+    for (const auto &name : {cfg.qName, cfg.kName, cfg.vName})
+        kernel.addParam(TensorView::global(name,
+                                           Layout::vector(tensorElems),
+                                           ScalarType::Fp16), true);
+    kernel.addParam(TensorView::global(cfg.oName,
+                                       Layout::vector(tensorElems),
+                                       ScalarType::Fp16), false);
+
+    auto t = tid(blockSize);
+    auto b = bid(gridSize);
+    auto one = perThread(blockSize);
+    ExprPtr bhIdx = floorDiv(b, constant(qTiles));
+    ExprPtr qIdx = mod(b, constant(qTiles));
+    ExprPtr headBase = mul(bhIdx, constant(S * D));
+    ExprPtr qBase = add(headBase, mul(qIdx, constant(QT * D)));
+
+    const Swizzle swQ = cfg.swizzle ? Swizzle(3, 3, 3) : Swizzle();
+    const Swizzle swKV = !cfg.swizzle ? Swizzle()
+        : cfg.handwrittenLayouts ? swQ
+                                 : swQ.then(3, 3, 6);
+    const Swizzle swS = swKV;
+    SmemOperand qOp{"%qs", D, swQ};
+    // K^T tile for bg1: [d, keys] on Ampere, [keys, d] on Volta.
+    SmemOperand ktOp{"%kv", ampere ? KT : D, swKV};
+    // V tile for bg2: [keys, d] on Ampere, [d, keys] on Volta.
+    SmemOperand vOp{"%kv", ampere ? D : KT, swKV};
+    SmemOperand sOp{"%sTile", S, swS};
+    auto qsView = TensorView::shared(
+        "%qs", Layout::rowMajor(IntTuple{QT, D}), ScalarType::Fp16, swQ);
+    auto ktView = TensorView::shared(
+        "%kv",
+        ampere ? Layout::rowMajor(IntTuple{D, KT})
+               : Layout::rowMajor(IntTuple{KT, D}),
+        ScalarType::Fp16, swKV);
+    auto vView = TensorView::shared(
+        "%kv",
+        ampere ? Layout::rowMajor(IntTuple{KT, D})
+               : Layout::rowMajor(IntTuple{D, KT}),
+        ScalarType::Fp16, swKV);
+    auto sView = TensorView::shared(
+        "%sTile", Layout::rowMajor(IntTuple{QT, S}), ScalarType::Fp16,
+        swS);
+
+    std::vector<StmtPtr> body;
+    body.push_back(alloc("%qs", ScalarType::Fp16, MemorySpace::SH,
+                         QT * D, swQ));
+    body.push_back(alloc("%kv", ScalarType::Fp16, MemorySpace::SH,
+                         KT * D, swKV));
+    body.push_back(alloc("%sTile", ScalarType::Fp16, MemorySpace::SH,
+                         QT * S, swS));
+    body.push_back(alloc("%rowHalf", ScalarType::Fp32, MemorySpace::SH,
+                         2 * QT));
+    body.push_back(alloc("%rowSum", ScalarType::Fp32, MemorySpace::SH,
+                         QT));
+    body.push_back(alloc("%stg", ScalarType::Fp16, MemorySpace::RF, 8));
+    for (auto &stmts : {bg1.allocFragments(), bg2.allocFragments()})
+        body.insert(body.end(), stmts.begin(), stmts.end());
+    body.push_back(alloc("%cvt", ScalarType::Fp16, MemorySpace::RF, 8));
+
+    // ---------------------------------------------------- phase 0: Q -
+    {
+        auto stage = stageTileToShared(arch, blockSize, cfg.qName, qBase,
+                                       D, QT, D, qsView, "%stg");
+        body.insert(body.end(), stage.begin(), stage.end());
+        body.push_back(syncThreads());
+    }
+
+    // ------------------------------------------- phase 1: S = Q K^T -
+    const double scale = 1.0 / std::sqrt(static_cast<double>(D));
+    {
+        auto ktVar = variable("kt", kTiles);
+        std::vector<StmtPtr> loop;
+        ExprPtr kBase = add(headBase, mul(ktVar, constant(KT * D)));
+        // Source K tile is [keys, d]; Ampere needs it transposed.
+        auto stage = ampere
+            ? stageTileToSharedTransposed(blockSize, cfg.kName, kBase, D,
+                                          KT, D, ktView, "%stg")
+            : stageTileToShared(arch, blockSize, cfg.kName, kBase, D, KT,
+                                D, ktView, "%stg");
+        loop.insert(loop.end(), stage.begin(), stage.end());
+        loop.push_back(syncThreads());
+        loop.push_back(bg1.initAcc());
+        auto compute = bg1.tileCompute(qOp, constant(0), constant(0),
+                                       ktOp, constant(0), constant(0),
+                                       D);
+        loop.insert(loop.end(), compute.begin(), compute.end());
+        // Scale and park the scores in the shared score tile.
+        bg1.forEachAccVector([&](ExprPtr mLocal, ExprPtr nLocal,
+                                 int64_t accOff, int64_t width) {
+            for (int64_t e = 0; e < width; ++e)
+                loop.push_back(call(Spec::binaryScalar(
+                    OpKind::Mul, one,
+                    scalarReg(bg1.accName, accOff + e), scale,
+                    scalarReg(bg1.accName, accOff + e))));
+            loop.push_back(call(Spec::move(
+                one, vecReg(bg1.accName, width, ScalarType::Fp32,
+                            accOff),
+                vecReg("%cvt", width, ScalarType::Fp16))));
+            auto dst = sView
+                           .index({mLocal,
+                                   add(mul(ktVar, constant(KT)),
+                                       nLocal)})
+                           .withLayout(Layout::vector(width));
+            loop.push_back(call(Spec::move(
+                one, vecReg("%cvt", width, ScalarType::Fp16), dst)));
+        });
+        loop.push_back(syncThreads());
+        body.push_back(forStmtUniform("kt", 0, kTiles, 1,
+                                      std::move(loop)));
+    }
+
+    // -------------------------------------------- phase 2: softmax -
+    // Thread t owns row (t % QT), half (t / QT) of the score tile:
+    // serial max/sum over S/2 columns with 8-wide shared loads, halves
+    // combined through two shared slots per row.
+    {
+        const int64_t halfCols = S / 2;
+        GRAPHENE_CHECK(halfCols % 8 == 0) << "seq granularity";
+        GRAPHENE_CHECK(blockSize == 2 * QT)
+            << "softmax assignment assumes 128 threads";
+        ExprPtr row = mod(t, constant(QT));
+        ExprPtr half = floorDiv(t, constant(QT));
+        ExprPtr colBase = mul(half, constant(halfCols));
+        for (const char *r : {"%pmax", "%psum", "%tmp", "%other",
+                              "%rmax", "%rsum"})
+            body.push_back(alloc(r, ScalarType::Fp32, MemorySpace::RF,
+                                 1));
+        body.push_back(alloc("%xf", ScalarType::Fp32, MemorySpace::RF,
+                             8));
+        TensorView rowHalf("%rh", "%rowHalf", Layout(), ScalarType::Fp32,
+                           MemorySpace::SH);
+        TensorView rowSumB("%rs", "%rowSum", Layout(), ScalarType::Fp32,
+                           MemorySpace::SH);
+
+        // Pass 1: row max.
+        body.push_back(call(Spec::init(-65504.0, one,
+                                       scalarReg("%pmax"))));
+        for (int64_t c = 0; c < halfCols / 8; ++c) {
+            auto src = sView.index({row, add(colBase,
+                                             constant(c * 8))})
+                           .withLayout(Layout::vector(8));
+            body.push_back(call(Spec::move(
+                one, src, vecReg("%stg", 8, ScalarType::Fp16))));
+            body.push_back(call(Spec::move(
+                one, vecReg("%stg", 8, ScalarType::Fp16),
+                vecReg("%xf", 8, ScalarType::Fp32))));
+            body.push_back(call(Spec::reduction(
+                OpKind::Max, one, vecReg("%xf", 8, ScalarType::Fp32),
+                scalarReg("%tmp"))));
+            body.push_back(call(Spec::binary(
+                OpKind::Max, one, scalarReg("%pmax"), scalarReg("%tmp"),
+                scalarReg("%pmax"))));
+        }
+        body.push_back(call(Spec::move(
+            one, scalarReg("%pmax"),
+            rowHalf.offsetBy(add(mul(half, constant(QT)), row)))));
+        body.push_back(syncThreads());
+        // Combine halves (both threads of a row do the same math).
+        body.push_back(call(Spec::move(one, rowHalf.offsetBy(row),
+                                       scalarReg("%rmax"))));
+        body.push_back(call(Spec::move(
+            one, rowHalf.offsetBy(add(constant(QT), row)),
+            scalarReg("%other"))));
+        body.push_back(call(Spec::binary(
+            OpKind::Max, one, scalarReg("%rmax"), scalarReg("%other"),
+            scalarReg("%rmax"))));
+        body.push_back(syncThreads());
+
+        // Pass 2: exponentiate in place and accumulate the row sum.
+        body.push_back(call(Spec::init(0.0, one, scalarReg("%psum"))));
+        for (int64_t c = 0; c < halfCols / 8; ++c) {
+            auto tileAt = sView.index({row, add(colBase,
+                                                constant(c * 8))})
+                              .withLayout(Layout::vector(8));
+            body.push_back(call(Spec::move(
+                one, tileAt, vecReg("%stg", 8, ScalarType::Fp16))));
+            body.push_back(call(Spec::move(
+                one, vecReg("%stg", 8, ScalarType::Fp16),
+                vecReg("%xf", 8, ScalarType::Fp32))));
+            for (int64_t e = 0; e < 8; ++e) {
+                body.push_back(call(Spec::binary(
+                    OpKind::Sub, one, scalarReg("%xf", e),
+                    scalarReg("%rmax"), scalarReg("%xf", e))));
+                body.push_back(call(Spec::unary(
+                    OpKind::Exp, one, scalarReg("%xf", e),
+                    scalarReg("%xf", e))));
+            }
+            body.push_back(call(Spec::reduction(
+                OpKind::Add, one, vecReg("%xf", 8, ScalarType::Fp32),
+                scalarReg("%tmp"))));
+            body.push_back(call(Spec::binary(
+                OpKind::Add, one, scalarReg("%psum"), scalarReg("%tmp"),
+                scalarReg("%psum"))));
+            body.push_back(call(Spec::move(
+                one, vecReg("%xf", 8, ScalarType::Fp32),
+                vecReg("%stg", 8, ScalarType::Fp16))));
+            body.push_back(call(Spec::move(
+                one, vecReg("%stg", 8, ScalarType::Fp16), tileAt)));
+        }
+        body.push_back(call(Spec::move(
+            one, scalarReg("%psum"),
+            rowHalf.offsetBy(add(mul(half, constant(QT)), row)))));
+        body.push_back(syncThreads());
+        body.push_back(call(Spec::move(one, rowHalf.offsetBy(row),
+                                       scalarReg("%rsum"))));
+        body.push_back(call(Spec::move(
+            one, rowHalf.offsetBy(add(constant(QT), row)),
+            scalarReg("%other"))));
+        body.push_back(call(Spec::binary(
+            OpKind::Add, one, scalarReg("%rsum"), scalarReg("%other"),
+            scalarReg("%rsum"))));
+        // Publish the row sums for the epilogue threads.
+        body.push_back(ifStmt(
+            lessThan(half, constant(1)),
+            {call(Spec::move(one, scalarReg("%rsum"),
+                             rowSumB.offsetBy(row)))}));
+        body.push_back(syncThreads());
+    }
+
+    // ---------------------------------------------- phase 3: O = P V -
+    {
+        body.push_back(bg2.initAcc());
+        auto vtVar = variable("vt", kTiles);
+        std::vector<StmtPtr> loop;
+        ExprPtr vBase = add(headBase, mul(vtVar, constant(KT * D)));
+        auto stage = ampere
+            ? stageTileToShared(arch, blockSize, cfg.vName, vBase, D, KT,
+                                D, vView, "%stg")
+            : stageTileToSharedTransposed(blockSize, cfg.vName, vBase, D,
+                                          KT, D, vView, "%stg");
+        loop.insert(loop.end(), stage.begin(), stage.end());
+        loop.push_back(syncThreads());
+        auto compute = bg2.tileCompute(sOp, constant(0),
+                                       mul(vtVar, constant(KT)), vOp,
+                                       constant(0), constant(0), KT);
+        loop.insert(loop.end(), compute.begin(), compute.end());
+        loop.push_back(syncThreads());
+        body.push_back(forStmtUniform("vt", 0, kTiles, 1,
+                                      std::move(loop)));
+    }
+
+    // ------------------------------------- phase 4: scale and store -
+    {
+        body.push_back(alloc("%inv", ScalarType::Fp32, MemorySpace::RF,
+                             1));
+        body.push_back(alloc("%onef", ScalarType::Fp32, MemorySpace::RF,
+                             1));
+        TensorView rowSumB("%rs", "%rowSum", Layout(), ScalarType::Fp32,
+                           MemorySpace::SH);
+        body.push_back(call(Spec::init(1.0, one, scalarReg("%onef"))));
+        bg2.forEachAccVector([&](ExprPtr mLocal, ExprPtr nLocal,
+                                 int64_t accOff, int64_t width) {
+            body.push_back(call(Spec::move(
+                one, rowSumB.offsetBy(mLocal), scalarReg("%inv"))));
+            body.push_back(call(Spec::binary(
+                OpKind::Div, one, scalarReg("%onef"), scalarReg("%inv"),
+                scalarReg("%inv"))));
+            for (int64_t e = 0; e < width; ++e)
+                body.push_back(call(Spec::binary(
+                    OpKind::Mul, one,
+                    scalarReg(bg2.accName, accOff + e),
+                    scalarReg("%inv"),
+                    scalarReg(bg2.accName, accOff + e))));
+            body.push_back(call(Spec::move(
+                one, vecReg(bg2.accName, width, ScalarType::Fp32,
+                            accOff),
+                vecReg("%cvt", width, ScalarType::Fp16))));
+            TensorView dst("%og", cfg.oName, Layout::vector(width),
+                           ScalarType::Fp16, MemorySpace::GL);
+            dst = dst.offsetBy(add(qBase,
+                                   add(mul(mLocal, constant(D)),
+                                       nLocal)));
+            body.push_back(call(Spec::move(
+                one, vecReg("%cvt", width, ScalarType::Fp16), dst)));
+        });
+    }
+
+    kernel.setBody(std::move(body));
+    // Compulsory traffic: Q, K, V read once per query tile that shares
+    // the head (K/V re-read per query tile; L2 may catch some of it,
+    // but charge it — the unfused baseline also re-reads them plus the
+    // full score tensor twice).
+    kernel.setDramBytesHint(
+        2.0 * cfg.batch * cfg.heads
+        * (S * D /*Q*/ + qTiles * 2 * S * D /*K,V*/ + S * D /*O*/));
+    return kernel;
+}
+
+} // namespace ops
+} // namespace graphene

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fused multi-head attention (paper Fig. 14): per (batch, head,
+ * query-tile) block, compute softmax(Q K^T / sqrt(d)) V in ONE kernel:
+ *
+ *   1. stage the 64-query Q tile once;
+ *   2. per 128-key tile: S = Q K^T via tensor cores, scaled, stored to
+ *      a shared-memory score tile (all 'seq' columns stay resident);
+ *   3. block-cooperative numerically-stable softmax over the score
+ *      rows (unnormalized probabilities stay in shared memory);
+ *   4. per 128-key tile: O += P V via tensor cores;
+ *   5. scale O rows by 1/rowsum, store.
+ *
+ * The intermediate [seq, seq] score tensor never touches global
+ * memory — that is the fusion the unfused cuBLAS+softmax baseline
+ * pays for twice per head.
+ */
+
+#ifndef GRAPHENE_OPS_FMHA_H
+#define GRAPHENE_OPS_FMHA_H
+
+#include "ops/common.h"
+
+namespace graphene
+{
+namespace ops
+{
+
+struct FmhaConfig
+{
+    int64_t batch = 32;
+    int64_t heads = 16;
+    int64_t seq = 384;
+    int64_t headDim = 64;
+    int64_t qTile = 64;
+    int64_t kTile = 128;
+    /** Swizzled shared-memory layouts (the paper's edge over the
+     *  handwritten MLPerf kernels). */
+    bool swizzle = true;
+    /**
+     * Model the handwritten (MLPerf/TensorRT) kernel: the standard
+     * single-stage swizzle everywhere, instead of the two-stage
+     * layouts Graphene's layout algebra derives for the buffers that
+     * are accessed with two different stride patterns.
+     */
+    bool handwrittenLayouts = false;
+    // Tensors are [batch, heads, seq, headDim] row-major, flattened.
+    std::string qName = "%Q";
+    std::string kName = "%K";
+    std::string vName = "%V";
+    std::string oName = "%O";
+};
+
+Kernel buildFusedFmha(const GpuArch &arch, const FmhaConfig &cfg);
+
+} // namespace ops
+} // namespace graphene
+
+#endif // GRAPHENE_OPS_FMHA_H

@@ -1,0 +1,298 @@
+#include "ops/layernorm.h"
+
+#include "support/check.h"
+
+namespace graphene
+{
+namespace ops
+{
+
+namespace
+{
+
+constexpr int64_t kBlockSize = 128;
+
+struct RowStatsEmitter
+{
+    const LayernormConfig &cfg;
+    int64_t perThread;
+    ThreadGroup one = ops::perThread(kBlockSize);
+    ExprPtr t = tid(kBlockSize);
+    ExprPtr row;
+
+    explicit RowStatsEmitter(const LayernormConfig &config)
+        : cfg(config), perThread(config.cols / kBlockSize),
+          row(bid(config.rows))
+    {}
+
+    void
+    allocs(std::vector<StmtPtr> &body) const
+    {
+        body.push_back(alloc("%xh", ScalarType::Fp16, MemorySpace::RF,
+                             perThread));
+        body.push_back(alloc("%xf", ScalarType::Fp32, MemorySpace::RF,
+                             perThread));
+        body.push_back(alloc("%sq", ScalarType::Fp32, MemorySpace::RF,
+                             perThread));
+        for (const char *r : {"%partial", "%sum", "%sumsq", "%tmp",
+                              "%chunkred", "%mean", "%inv"})
+            body.push_back(alloc(r, ScalarType::Fp32, MemorySpace::RF,
+                                 1));
+        body.push_back(alloc("%slots", ScalarType::Fp32, MemorySpace::SH,
+                             kBlockSize / 32));
+    }
+
+    /** Load the row slice into %xh/%xf. */
+    void
+    load(std::vector<StmtPtr> &body) const
+    {
+        ExprPtr base = add(mul(row, constant(cfg.cols)),
+                           mul(t, constant(perThread)));
+        if (cfg.vectorized) {
+            GRAPHENE_CHECK(perThread % 8 == 0)
+                << "vectorized layernorm needs 8-wide thread slices";
+            for (int64_t c = 0; c < perThread / 8; ++c) {
+                TensorView src("%g", cfg.inName, Layout::vector(8),
+                               ScalarType::Fp16, MemorySpace::GL);
+                src = src.offsetBy(add(base, constant(c * 8)));
+                body.push_back(call(Spec::move(
+                    one, src, vecReg("%xh", 8, ScalarType::Fp16,
+                                     c * 8))));
+            }
+        } else {
+            for (int64_t e = 0; e < perThread; ++e) {
+                TensorView src("%g", cfg.inName, Layout(),
+                               ScalarType::Fp16, MemorySpace::GL);
+                src = src.offsetBy(add(base, constant(e)));
+                body.push_back(call(Spec::move(
+                    one, src, scalarReg("%xh", e, ScalarType::Fp16))));
+            }
+        }
+        body.push_back(call(Spec::move(
+            one, vecReg("%xh", perThread, ScalarType::Fp16),
+            vecReg("%xf", perThread, ScalarType::Fp32))));
+    }
+
+    /** Reduce %xf into %mean and %inv (the single-pass statistics). */
+    void
+    stats(std::vector<StmtPtr> &body) const
+    {
+        // Sum.
+        body.push_back(call(Spec::reduction(
+            OpKind::Add, one, vecReg("%xf", perThread, ScalarType::Fp32),
+            scalarReg("%partial"))));
+        auto r1 = emitBlockAllReduce(kBlockSize, OpKind::Add, "%partial",
+                                     "%sum", "%tmp", "%slots");
+        body.insert(body.end(), r1.begin(), r1.end());
+        // Sum of squares.
+        for (int64_t e = 0; e < perThread; ++e)
+            body.push_back(call(Spec::binary(
+                OpKind::Mul, one, scalarReg("%xf", e),
+                scalarReg("%xf", e), scalarReg("%sq", e))));
+        body.push_back(call(Spec::reduction(
+            OpKind::Add, one, vecReg("%sq", perThread, ScalarType::Fp32),
+            scalarReg("%partial"))));
+        auto r2 = emitBlockAllReduce(kBlockSize, OpKind::Add, "%partial",
+                                     "%sumsq", "%tmp", "%slots");
+        body.insert(body.end(), r2.begin(), r2.end());
+        // mean = sum/n; var = sumsq/n - mean^2; inv = rsqrt(var + eps).
+        const double invN = 1.0 / static_cast<double>(cfg.cols);
+        body.push_back(call(Spec::binaryScalar(
+            OpKind::Mul, one, scalarReg("%sum"), invN,
+            scalarReg("%mean"))));
+        body.push_back(call(Spec::binaryScalar(
+            OpKind::Mul, one, scalarReg("%sumsq"), invN,
+            scalarReg("%sumsq"))));
+        body.push_back(call(Spec::binary(
+            OpKind::Mul, one, scalarReg("%mean"), scalarReg("%mean"),
+            scalarReg("%tmp"))));
+        body.push_back(call(Spec::binary(
+            OpKind::Sub, one, scalarReg("%sumsq"), scalarReg("%tmp"),
+            scalarReg("%inv"))));
+        body.push_back(call(Spec::binaryScalar(
+            OpKind::Add, one, scalarReg("%inv"), cfg.epsilon,
+            scalarReg("%inv"))));
+        body.push_back(call(Spec::unary(
+            OpKind::Rsqrt, one, scalarReg("%inv"), scalarReg("%inv"))));
+    }
+
+    /** Normalize %xf with %mean/%inv, apply gamma/beta, store. */
+    void
+    apply(std::vector<StmtPtr> &body) const
+    {
+        body.push_back(alloc("%gh", ScalarType::Fp16, MemorySpace::RF,
+                             perThread));
+        body.push_back(alloc("%bh", ScalarType::Fp16, MemorySpace::RF,
+                             perThread));
+        body.push_back(alloc("%gf", ScalarType::Fp32, MemorySpace::RF,
+                             perThread));
+        body.push_back(alloc("%bf", ScalarType::Fp32, MemorySpace::RF,
+                             perThread));
+        ExprPtr colBase = mul(t, constant(perThread));
+        for (int64_t c = 0; c < perThread / (cfg.vectorized ? 8 : 1);
+             ++c) {
+            const int64_t width = cfg.vectorized ? 8 : 1;
+            TensorView g("%g", cfg.gammaName,
+                         width == 1 ? Layout() : Layout::vector(width),
+                         ScalarType::Fp16, MemorySpace::GL);
+            TensorView b("%g", cfg.betaName,
+                         width == 1 ? Layout() : Layout::vector(width),
+                         ScalarType::Fp16, MemorySpace::GL);
+            body.push_back(call(Spec::move(
+                one, g.offsetBy(add(colBase, constant(c * width))),
+                vecReg("%gh", width, ScalarType::Fp16, c * width))));
+            body.push_back(call(Spec::move(
+                one, b.offsetBy(add(colBase, constant(c * width))),
+                vecReg("%bh", width, ScalarType::Fp16, c * width))));
+        }
+        body.push_back(call(Spec::move(
+            one, vecReg("%gh", perThread, ScalarType::Fp16),
+            vecReg("%gf", perThread, ScalarType::Fp32))));
+        body.push_back(call(Spec::move(
+            one, vecReg("%bh", perThread, ScalarType::Fp16),
+            vecReg("%bf", perThread, ScalarType::Fp32))));
+        for (int64_t e = 0; e < perThread; ++e) {
+            body.push_back(call(Spec::binary(
+                OpKind::Sub, one, scalarReg("%xf", e),
+                scalarReg("%mean"), scalarReg("%xf", e))));
+            body.push_back(call(Spec::binary(
+                OpKind::Mul, one, scalarReg("%xf", e),
+                scalarReg("%inv"), scalarReg("%xf", e))));
+            body.push_back(call(Spec::binary(
+                OpKind::Mul, one, scalarReg("%xf", e),
+                scalarReg("%gf", e), scalarReg("%xf", e))));
+            body.push_back(call(Spec::binary(
+                OpKind::Add, one, scalarReg("%xf", e),
+                scalarReg("%bf", e), scalarReg("%xf", e))));
+        }
+        body.push_back(call(Spec::move(
+            one, vecReg("%xf", perThread, ScalarType::Fp32),
+            vecReg("%xh", perThread, ScalarType::Fp16))));
+        ExprPtr base = add(mul(row, constant(cfg.cols)), colBase);
+        for (int64_t c = 0; c < perThread / (cfg.vectorized ? 8 : 1);
+             ++c) {
+            const int64_t width = cfg.vectorized ? 8 : 1;
+            TensorView dst("%g", cfg.outName,
+                           width == 1 ? Layout() : Layout::vector(width),
+                           ScalarType::Fp16, MemorySpace::GL);
+            dst = dst.offsetBy(add(base, constant(c * width)));
+            body.push_back(call(Spec::move(
+                one, vecReg("%xh", width, ScalarType::Fp16, c * width),
+                dst)));
+        }
+    }
+
+    void
+    addParams(Kernel &kernel, bool withStats, bool withGammaBeta) const
+    {
+        kernel.addParam(TensorView::global(
+                            cfg.inName,
+                            Layout::rowMajor(IntTuple{cfg.rows,
+                                                      cfg.cols}),
+                            ScalarType::Fp16), true);
+        if (withGammaBeta) {
+            kernel.addParam(TensorView::global(
+                                cfg.gammaName, Layout::vector(cfg.cols),
+                                ScalarType::Fp16), true);
+            kernel.addParam(TensorView::global(
+                                cfg.betaName, Layout::vector(cfg.cols),
+                                ScalarType::Fp16), true);
+        }
+        if (withStats)
+            kernel.addParam(TensorView::global(
+                                cfg.statsName,
+                                Layout::vector(cfg.rows * 2),
+                                ScalarType::Fp32), false);
+    }
+};
+
+} // namespace
+
+Kernel
+buildLayernormFused(const GpuArch &arch, const LayernormConfig &cfg)
+{
+    (void)arch;
+    GRAPHENE_CHECK(cfg.cols % kBlockSize == 0)
+        << "layernorm width must divide the block size";
+    Kernel kernel(cfg.vectorized ? "layernorm_fused_vec"
+                                 : "layernorm_fused_scalar",
+                  cfg.rows, kBlockSize);
+    RowStatsEmitter em(cfg);
+    em.addParams(kernel, false, true);
+    kernel.addParam(TensorView::global(
+                        cfg.outName,
+                        Layout::rowMajor(IntTuple{cfg.rows, cfg.cols}),
+                        ScalarType::Fp16), false);
+
+    std::vector<StmtPtr> body;
+    em.allocs(body);
+    em.load(body);
+    em.stats(body);
+    em.apply(body);
+    kernel.setBody(std::move(body));
+    kernel.setDramBytesHint(2.0 * (2 * cfg.rows * cfg.cols
+                                   + 2 * cfg.cols));
+    return kernel;
+}
+
+Kernel
+buildLayernormStats(const GpuArch &arch, const LayernormConfig &cfg)
+{
+    (void)arch;
+    GRAPHENE_CHECK(cfg.cols % kBlockSize == 0)
+        << "layernorm width must divide the block size";
+    Kernel kernel("layernorm_stats", cfg.rows, kBlockSize);
+    RowStatsEmitter em(cfg);
+    em.addParams(kernel, true, false);
+
+    std::vector<StmtPtr> body;
+    em.allocs(body);
+    em.load(body);
+    em.stats(body);
+    TensorView stats("%s", cfg.statsName, Layout(), ScalarType::Fp32,
+                     MemorySpace::GL);
+    body.push_back(ifStmt(
+        lessThan(em.t, constant(1)),
+        {call(Spec::move(em.one, scalarReg("%mean"),
+                         stats.offsetBy(mul(em.row, constant(2))))),
+         call(Spec::move(em.one, scalarReg("%inv"),
+                         stats.offsetBy(add(mul(em.row, constant(2)),
+                                            constant(1)))))}));
+    kernel.setBody(std::move(body));
+    return kernel;
+}
+
+Kernel
+buildLayernormApply(const GpuArch &arch, const LayernormConfig &cfg)
+{
+    (void)arch;
+    Kernel kernel("layernorm_apply", cfg.rows, kBlockSize);
+    RowStatsEmitter em(cfg);
+    em.addParams(kernel, false, true);
+    kernel.addParam(TensorView::global(
+                        cfg.statsName, Layout::vector(cfg.rows * 2),
+                        ScalarType::Fp32), true);
+    kernel.addParam(TensorView::global(
+                        cfg.outName,
+                        Layout::rowMajor(IntTuple{cfg.rows, cfg.cols}),
+                        ScalarType::Fp16), false);
+
+    std::vector<StmtPtr> body;
+    em.allocs(body);
+    em.load(body);
+    TensorView stats("%s", cfg.statsName, Layout(), ScalarType::Fp32,
+                     MemorySpace::GL);
+    body.push_back(call(Spec::move(
+        em.one, stats.offsetBy(mul(em.row, constant(2))),
+        scalarReg("%mean"))));
+    body.push_back(call(Spec::move(
+        em.one, stats.offsetBy(add(mul(em.row, constant(2)),
+                                   constant(1))),
+        scalarReg("%inv"))));
+    em.apply(body);
+    kernel.setBody(std::move(body));
+    return kernel;
+}
+
+} // namespace ops
+} // namespace graphene

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Layernorm kernel generators (paper Fig. 13).
+ *
+ * Three fused shapes, mirroring the baselines of the paper's
+ * experiment:
+ *  - the single-pass fused kernel (one kernel per launch; sum and
+ *    sum-of-squares reduced in one read of the row) with vectorized
+ *    loads — the Graphene/Apex operating point;
+ *  - the same kernel with scalar (non-vectorized) loads — the PyTorch
+ *    built-in fused kernel stand-in;
+ *  - a two-kernel split (row statistics, then apply) — the
+ *    TorchScript-JIT stand-in.
+ * The fully unfused PyTorch-eager pipeline is assembled from
+ * ops/pointwise.h kernels by the TorchLike baseline engine.
+ */
+
+#ifndef GRAPHENE_OPS_LAYERNORM_H
+#define GRAPHENE_OPS_LAYERNORM_H
+
+#include "ops/common.h"
+
+namespace graphene
+{
+namespace ops
+{
+
+struct LayernormConfig
+{
+    int64_t rows = 1024;
+    int64_t cols = 1024; // the normalized (hidden) dimension
+    double epsilon = 1e-5;
+    bool vectorized = true; // 8-wide loads vs scalar loads
+    std::string inName = "%x";
+    std::string gammaName = "%gamma";
+    std::string betaName = "%beta";
+    std::string outName = "%y";
+    /** Stats buffer (fp32 [rows*2], mean then inv-std) for the
+     *  two-kernel variant. */
+    std::string statsName = "%stats";
+};
+
+/** Single-pass fused kernel: out = (x - mean) * rsqrt(var + eps) *
+ *  gamma + beta, one block per row. */
+Kernel buildLayernormFused(const GpuArch &arch,
+                           const LayernormConfig &cfg);
+
+/** Kernel 1 of the two-kernel variant: writes mean and inv-std. */
+Kernel buildLayernormStats(const GpuArch &arch,
+                           const LayernormConfig &cfg);
+
+/** Kernel 2 of the two-kernel variant: applies the normalization. */
+Kernel buildLayernormApply(const GpuArch &arch,
+                           const LayernormConfig &cfg);
+
+} // namespace ops
+} // namespace graphene
+
+#endif // GRAPHENE_OPS_LAYERNORM_H

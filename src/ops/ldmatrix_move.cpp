@@ -1,0 +1,86 @@
+#include "ops/ldmatrix_move.h"
+
+namespace graphene
+{
+namespace ops
+{
+
+Kernel
+buildLdmatrixMoveKernel()
+{
+    const int64_t blockSize = 32;
+    Kernel k("ldmatrix_move", 1, blockSize);
+    auto in = TensorView::global("%in", Layout::rowMajor(IntTuple{32, 8}),
+                                 ScalarType::Fp16);
+    auto out = TensorView::global("%out",
+                                  Layout::rowMajor(IntTuple{32, 8}),
+                                  ScalarType::Fp16);
+    k.addParam(in, true);
+    k.addParam(out, false);
+
+    auto t = tid(blockSize);
+    auto one = perThread(blockSize);
+    auto warp = perWarp(blockSize);
+
+    // %1: the 16x16 shared-memory tile (paper line 2).
+    auto smem = TensorView::shared("%1",
+                                   Layout::rowMajor(IntTuple{16, 16}),
+                                   ScalarType::Fp16);
+    // %2: the per-thread destination registers (paper line 3): 2
+    // adjacent values per received 8x8 tile, 4 tiles.
+    auto regs = TensorView::registers("%2",
+                                      Layout::colMajor(IntTuple{2, 4}),
+                                      ScalarType::Fp16);
+
+    // Staging: each thread copies one 8-half chunk in, and its result
+    // row out (not part of Fig. 1, just harness plumbing).
+    auto srcChunk = in.tile({Layout::vector(1), std::nullopt})
+                        .index({t, constant(0)});
+    auto smemChunk = smem.named("%1v")
+                         .withLayout(Layout::rowMajor(IntTuple{32, 8}))
+                         .tile({Layout::vector(1), std::nullopt})
+                         .index({t, constant(0)});
+    auto stage = TensorView::registers("%stage", Layout::vector(8),
+                                       ScalarType::Fp16);
+
+    // Fig. 1d lines 7-9: tile the warp into 2x2 groups of 8 threads.
+    auto warpT = ThreadGroup::threads("#4", Layout::vector(32), blockSize);
+    auto groups = warpT.tile({Layout::vector(8)}).reshape(IntTuple{2, 2});
+    auto g = groups.indices(0);       // (thr_grp_m, thr_grp_n)
+    auto local = groups.indices(1)[0]; // grp_local_idx
+
+    // Fig. 1d lines 12-15: tile the source into 8x8 tiles, one per
+    // group, then into rows, one per thread.
+    auto tiles = smem.tile({Layout::vector(8), Layout::vector(8)})
+                     .named("%6");
+    auto perGroup = tiles.index({g[0], g[1]}).named("%7");
+    auto row = perGroup.tile({Layout::vector(1), std::nullopt})
+                   .index({local, constant(0)})
+                   .named("%8");
+
+    // Fig. 1d line 18-19: the atomic Move matching ldmatrix.
+    auto ldm = Spec::move(warp, row, regs);
+
+    // Write out each thread's received values.
+    auto dstRow = out.tile({Layout::vector(1), std::nullopt})
+                      .index({t, constant(0)});
+    auto regsFlat = regs.named("%2v").withLayout(Layout::vector(8));
+
+    k.setBody({
+        alloc("%1", ScalarType::Fp16, MemorySpace::SH, 256),
+        alloc("%stage", ScalarType::Fp16, MemorySpace::RF, 8),
+        alloc("%2", ScalarType::Fp16, MemorySpace::RF, 8),
+        comment("stage the tile into shared memory"),
+        call(Spec::move(one, srcChunk, stage)),
+        call(Spec::move(one, stage, smemChunk)),
+        syncThreads(),
+        comment("Fig. 1d: warp-level Move via ldmatrix"),
+        call(ldm),
+        comment("write back each thread's fragment"),
+        call(Spec::move(one, regsFlat, dstRow)),
+    });
+    return k;
+}
+
+} // namespace ops
+} // namespace graphene

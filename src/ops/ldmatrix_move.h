@@ -1,0 +1,30 @@
+/**
+ * @file
+ * The paper's Fig. 1: a warp-level Move of a 16x16 fp16 shared-memory
+ * tile into 2x4 registers per thread, decomposed onto the ldmatrix
+ * data-to-thread mapping (logical thread groups 2x2x8, one 8x8 tile
+ * per group, one row per thread).
+ */
+
+#ifndef GRAPHENE_OPS_LDMATRIX_MOVE_H
+#define GRAPHENE_OPS_LDMATRIX_MOVE_H
+
+#include "ops/common.h"
+
+namespace graphene
+{
+namespace ops
+{
+
+/**
+ * Build a single-warp kernel that stages "%in" (16x16 fp16, row-major
+ * global) into shared memory, performs the Fig. 1d warp-level Move via
+ * ldmatrix, and writes each thread's eight received values to row tid
+ * of "%out" (32x8 fp16 global).
+ */
+Kernel buildLdmatrixMoveKernel();
+
+} // namespace ops
+} // namespace graphene
+
+#endif // GRAPHENE_OPS_LDMATRIX_MOVE_H

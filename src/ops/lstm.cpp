@@ -1,0 +1,148 @@
+#include "ops/lstm.h"
+
+#include "ops/block_gemm.h"
+#include "support/check.h"
+
+namespace graphene
+{
+namespace ops
+{
+
+Kernel
+buildFusedLstm(const GpuArch &arch, const FusedLstmConfig &cfg)
+{
+    const bool ampere = arch.hasLdmatrix;
+    const int64_t bm = cfg.bm, bn = cfg.bn, bk = cfg.bk;
+    GRAPHENE_CHECK(cfg.m % bm == 0 && cfg.n % bn == 0 && cfg.k % bk == 0)
+        << "LSTM sizes must divide the block tile";
+
+    BlockGemm bg(arch, bm, bn, cfg.wm, cfg.wn);
+    GRAPHENE_CHECK(bk % bg.kStep() == 0) << "bk granularity";
+    const int64_t blockSize = bg.blockSize();
+    const int64_t gridM = cfg.m / bm;
+    const int64_t gridN = cfg.n / bn;
+    const int64_t gridSize = gridM * gridN;
+
+    Kernel kernel("graphene_fused_lstm", gridSize, blockSize);
+    for (const auto &[name, rows, cols] :
+         {std::tuple<std::string, int64_t, int64_t>{cfg.xName, cfg.m,
+                                                    cfg.k},
+          {cfg.hName, cfg.m, cfg.k},
+          {cfg.wxName, cfg.k, cfg.n},
+          {cfg.whName, cfg.k, cfg.n}})
+        kernel.addParam(TensorView::global(
+                            name, Layout::rowMajor(IntTuple{rows, cols}),
+                            ScalarType::Fp16), true);
+    kernel.addParam(TensorView::global(cfg.biasName,
+                                       Layout::vector(cfg.n),
+                                       ScalarType::Fp16), true);
+    kernel.addParam(TensorView::global(
+                        cfg.outName,
+                        Layout::rowMajor(IntTuple{cfg.m, cfg.n}),
+                        ScalarType::Fp16), false);
+
+    auto b = bid(gridSize);
+    auto bidM = mod(b, constant(gridM));
+    auto bidN = floorDiv(b, constant(gridM));
+    auto one = perThread(blockSize);
+
+    const Swizzle sw = cfg.swizzle ? Swizzle(3, 3, 3) : Swizzle();
+    const Swizzle swB = cfg.swizzle ? sw.then(3, 3, 6) : Swizzle();
+    SmemOperand aOp{"%As", bk, sw};
+    SmemOperand bOp{"%Bs", ampere ? bn : bk, swB};
+    auto As = TensorView::shared("%As", Layout::rowMajor(IntTuple{bm, bk}),
+                                 ScalarType::Fp16, sw);
+    auto Bs = ampere
+        ? TensorView::shared("%Bs", Layout::rowMajor(IntTuple{bk, bn}),
+                             ScalarType::Fp16, swB)
+        : TensorView::shared("%Bs", Layout::rowMajor(IntTuple{bn, bk}),
+                             ScalarType::Fp16, swB);
+
+    std::vector<StmtPtr> body;
+    body.push_back(alloc("%As", ScalarType::Fp16, MemorySpace::SH,
+                         bm * bk, sw));
+    body.push_back(alloc("%Bs", ScalarType::Fp16, MemorySpace::SH,
+                         bk * bn, swB));
+    body.push_back(alloc("%stg", ScalarType::Fp16, MemorySpace::RF, 8));
+    auto fragAllocs = bg.allocFragments();
+    body.insert(body.end(), fragAllocs.begin(), fragAllocs.end());
+    body.push_back(bg.initAcc());
+
+    // One GEMM main loop accumulating act * W into the accumulators.
+    auto emitGemmLoop = [&](const std::string &actName,
+                            const std::string &wName,
+                            const std::string &loopVar) {
+        auto ktVar = variable(loopVar, cfg.k / bk);
+        std::vector<StmtPtr> loop;
+        ExprPtr aBase = add(mul(bidM, constant(bm * cfg.k)),
+                            mul(ktVar, constant(bk)));
+        auto stageA = stageTileToShared(arch, blockSize, actName, aBase,
+                                        cfg.k, bm, bk, As, "%stg");
+        loop.insert(loop.end(), stageA.begin(), stageA.end());
+        ExprPtr bBase = add(mul(ktVar, constant(bk * cfg.n)),
+                            mul(bidN, constant(bn)));
+        if (ampere) {
+            auto stageB = stageTileToShared(arch, blockSize, wName,
+                                            bBase, cfg.n, bk, bn, Bs,
+                                            "%stg");
+            loop.insert(loop.end(), stageB.begin(), stageB.end());
+        } else {
+            auto stageB = stageTileToSharedTransposed(
+                blockSize, wName, bBase, cfg.n, bk, bn, Bs, "%stg");
+            loop.insert(loop.end(), stageB.begin(), stageB.end());
+        }
+        loop.push_back(syncThreads());
+        auto compute = bg.tileCompute(aOp, constant(0), constant(0), bOp,
+                                      constant(0), constant(0), bk);
+        loop.insert(loop.end(), compute.begin(), compute.end());
+        loop.push_back(syncThreads());
+        body.push_back(forStmtUniform(loopVar, 0, cfg.k / bk, 1,
+                                      std::move(loop)));
+    };
+    emitGemmLoop(cfg.xName, cfg.wxName, "kx");
+    emitGemmLoop(cfg.hName, cfg.whName, "kh");
+
+    // Epilogue: + bias, relu, store.
+    body.push_back(alloc("%cvt", ScalarType::Fp16, MemorySpace::RF,
+                         bg.accVectorWidth()));
+    body.push_back(alloc("%bh", ScalarType::Fp16, MemorySpace::RF, 1));
+    body.push_back(alloc("%bhf", ScalarType::Fp32, MemorySpace::RF, 1));
+    TensorView biasG("%bg", cfg.biasName, Layout(), ScalarType::Fp16,
+                     MemorySpace::GL);
+    bg.forEachAccVector([&](ExprPtr mLocal, ExprPtr nLocal,
+                            int64_t accOff, int64_t width) {
+        ExprPtr mExpr = add(mul(bidM, constant(bm)), mLocal);
+        ExprPtr nBase = add(mul(bidN, constant(bn)), nLocal);
+        for (int64_t e = 0; e < width; ++e) {
+            ExprPtr nExpr = add(nBase, constant(e));
+            auto accE = scalarReg("%acc", accOff + e);
+            body.push_back(call(Spec::move(
+                one, biasG.offsetBy(nExpr),
+                scalarReg("%bh", 0, ScalarType::Fp16))));
+            body.push_back(call(Spec::move(
+                one, scalarReg("%bh", 0, ScalarType::Fp16),
+                scalarReg("%bhf"))));
+            body.push_back(call(Spec::binary(OpKind::Add, one, accE,
+                                             scalarReg("%bhf"), accE)));
+            body.push_back(call(Spec::unary(OpKind::Relu, one, accE,
+                                            accE)));
+        }
+        body.push_back(call(Spec::move(
+            one, vecReg("%acc", width, ScalarType::Fp32, accOff),
+            vecReg("%cvt", width, ScalarType::Fp16))));
+        TensorView dst("%cd", cfg.outName, Layout::vector(width),
+                       ScalarType::Fp16, MemorySpace::GL);
+        dst = dst.offsetBy(add(mul(mExpr, constant(cfg.n)), nBase));
+        body.push_back(call(Spec::move(
+            one, vecReg("%cvt", width, ScalarType::Fp16), dst)));
+    });
+
+    kernel.setBody(std::move(body));
+    kernel.setDramBytesHint(
+        2.0 * (2 * cfg.m * cfg.k + 2 * cfg.k * cfg.n + cfg.n
+               + cfg.m * cfg.n));
+    return kernel;
+}
+
+} // namespace ops
+} // namespace graphene

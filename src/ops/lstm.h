@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The fused (simplified) LSTM-cell kernel of paper Fig. 12:
+ * out = relu(x * Wx + h * Wh + bias) — two independent GEMMs whose
+ * results meet in the accumulators, plus the pointwise tail, all in a
+ * single kernel.  The baselines run 5 kernels (two GEMMs, add, bias,
+ * relu) or 2 cuBLASLt kernels (GEMM; accumulate-GEMM with fused
+ * bias+relu).
+ */
+
+#ifndef GRAPHENE_OPS_LSTM_H
+#define GRAPHENE_OPS_LSTM_H
+
+#include "ops/common.h"
+
+namespace graphene
+{
+namespace ops
+{
+
+struct FusedLstmConfig
+{
+    int64_t m = 2048; // batch
+    int64_t n = 256;  // hidden (output) width
+    int64_t k = 256;  // input width
+    int64_t bm = 128;
+    int64_t bn = 128;
+    int64_t bk = 32;
+    int64_t wm = 64;
+    int64_t wn = 64;
+    bool swizzle = true;
+    std::string xName = "%x";   // [m, k]
+    std::string hName = "%h";   // [m, k]
+    std::string wxName = "%Wx"; // [k, n]
+    std::string whName = "%Wh"; // [k, n]
+    std::string biasName = "%bias"; // [n]
+    std::string outName = "%out";   // [m, n]
+};
+
+Kernel buildFusedLstm(const GpuArch &arch, const FusedLstmConfig &cfg);
+
+} // namespace ops
+} // namespace graphene
+
+#endif // GRAPHENE_OPS_LSTM_H

@@ -1,0 +1,184 @@
+#include "ops/mlp.h"
+
+#include "ops/block_gemm.h"
+#include "support/check.h"
+
+namespace graphene
+{
+namespace ops
+{
+
+Kernel
+buildFusedMlp(const GpuArch &arch, const FusedMlpConfig &cfg)
+{
+    const int64_t w = cfg.width;
+    const int64_t mt = cfg.mTile;
+    GRAPHENE_CHECK(w % 16 == 0 && w <= 128)
+        << "fused MLP supports widths that are multiples of 16 up to "
+        << "128 (all activations must fit in shared memory)";
+    GRAPHENE_CHECK(cfg.m % mt == 0) << "batch must divide the M tile";
+    GRAPHENE_CHECK(cfg.layers >= 1) << "need at least one layer";
+
+    const int64_t wn = w >= 64 ? 64 : w;
+    BlockGemm bg(arch, mt, w, 32, wn);
+    const int64_t blockSize = bg.blockSize();
+    const int64_t grid = cfg.m / mt;
+    const bool ampere = arch.hasLdmatrix;
+
+    Kernel kernel("graphene_fused_mlp", grid, blockSize);
+    kernel.addParam(TensorView::global(
+                        cfg.xName, Layout::rowMajor(IntTuple{cfg.m, w}),
+                        ScalarType::Fp16), true);
+    kernel.addParam(TensorView::global(
+                        cfg.wName, Layout::vector(cfg.layers * w * w),
+                        ScalarType::Fp16), true);
+    kernel.addParam(TensorView::global(
+                        cfg.biasName, Layout::vector(cfg.layers * w),
+                        ScalarType::Fp16), true);
+    kernel.addParam(TensorView::global(
+                        cfg.outName, Layout::rowMajor(IntTuple{cfg.m, w}),
+                        ScalarType::Fp16), false);
+
+    auto t = tid(blockSize);
+    auto b = bid(grid);
+    auto one = perThread(blockSize);
+
+    const Swizzle swA = cfg.swizzle
+        ? Swizzle(3, 3, 3).then(3, 3, 6) : Swizzle();
+    const Swizzle swW = swA;
+    SmemOperand act0Op{"%act0", w, swA};
+    SmemOperand act1Op{"%act1", w, swA};
+    SmemOperand wOp{"%w", ampere ? w : w, swW};
+    auto act0View = TensorView::shared(
+        "%act0", Layout::rowMajor(IntTuple{mt, w}), ScalarType::Fp16,
+        swA);
+    auto act1View = TensorView::shared(
+        "%act1", Layout::rowMajor(IntTuple{mt, w}), ScalarType::Fp16,
+        swA);
+    auto wView = TensorView::shared(
+        "%w", Layout::rowMajor(IntTuple{w, w}), ScalarType::Fp16, swW);
+
+    std::vector<StmtPtr> body;
+    body.push_back(alloc("%act0", ScalarType::Fp16, MemorySpace::SH,
+                         mt * w, swA));
+    body.push_back(alloc("%act1", ScalarType::Fp16, MemorySpace::SH,
+                         mt * w, swA));
+    body.push_back(alloc("%w", ScalarType::Fp16, MemorySpace::SH, w * w,
+                         swW));
+    body.push_back(alloc("%stg", ScalarType::Fp16, MemorySpace::RF, 8));
+    auto fragAllocs = bg.allocFragments();
+    body.insert(body.end(), fragAllocs.begin(), fragAllocs.end());
+    body.push_back(alloc("%cvt", ScalarType::Fp16, MemorySpace::RF,
+                         bg.accVectorWidth()));
+    body.push_back(alloc("%bh", ScalarType::Fp16, MemorySpace::RF, 1));
+    body.push_back(alloc("%bhf", ScalarType::Fp32, MemorySpace::RF, 1));
+
+    // Stage the input activations.
+    {
+        ExprPtr base = mul(b, constant(mt * w));
+        auto stage = stageTileToShared(arch, blockSize, cfg.xName, base,
+                                       w, mt, w, act0View, "%stg");
+        body.insert(body.end(), stage.begin(), stage.end());
+        body.push_back(syncThreads());
+    }
+
+    // One layer: actIn -> actOut with weights/bias of @p layerExpr.
+    auto emitLayer = [&](std::vector<StmtPtr> &out, ExprPtr layerExpr,
+                         const SmemOperand &aOp,
+                         const TensorView &dstAct) {
+        // Stage this layer's weights.
+        ExprPtr wBase = mul(layerExpr, constant(w * w));
+        if (ampere) {
+            auto stage = stageTileToShared(arch, blockSize, cfg.wName,
+                                           wBase, w, w, w, wView,
+                                           "%stg");
+            out.insert(out.end(), stage.begin(), stage.end());
+        } else {
+            auto stage = stageTileToSharedTransposed(
+                blockSize, cfg.wName, wBase, w, w, w, wView, "%stg");
+            out.insert(out.end(), stage.begin(), stage.end());
+        }
+        out.push_back(syncThreads());
+        out.push_back(bg.initAcc());
+        auto compute = bg.tileCompute(aOp, constant(0), constant(0), wOp,
+                                      constant(0), constant(0), w);
+        out.insert(out.end(), compute.begin(), compute.end());
+        out.push_back(syncThreads());
+        // Epilogue: bias + relu, convert, store into the next smem
+        // activation tile.
+        TensorView biasG("%bg", cfg.biasName, Layout(), ScalarType::Fp16,
+                         MemorySpace::GL);
+        bg.forEachAccVector([&](ExprPtr mLocal, ExprPtr nLocal,
+                                int64_t accOff, int64_t width) {
+            for (int64_t e = 0; e < width; ++e) {
+                ExprPtr nExpr = add(nLocal, constant(e));
+                auto accE = scalarReg("%acc", accOff + e);
+                out.push_back(call(Spec::move(
+                    one,
+                    biasG.offsetBy(add(mul(layerExpr, constant(w)),
+                                       nExpr)),
+                    scalarReg("%bh", 0, ScalarType::Fp16))));
+                out.push_back(call(Spec::move(
+                    one, scalarReg("%bh", 0, ScalarType::Fp16),
+                    scalarReg("%bhf"))));
+                out.push_back(call(Spec::binary(
+                    OpKind::Add, one, accE, scalarReg("%bhf"), accE)));
+                out.push_back(call(Spec::unary(OpKind::Relu, one, accE,
+                                               accE)));
+            }
+            out.push_back(call(Spec::move(
+                one, vecReg("%acc", width, ScalarType::Fp32, accOff),
+                vecReg("%cvt", width, ScalarType::Fp16))));
+            auto dst = dstAct.index({mLocal, nLocal})
+                           .withLayout(Layout::vector(width));
+            out.push_back(call(Spec::move(
+                one, vecReg("%cvt", width, ScalarType::Fp16), dst)));
+        });
+        out.push_back(syncThreads());
+    };
+
+    // Layers, two per loop iteration so the ping-pong buffers alternate
+    // statically and the timing model can extrapolate.
+    const int64_t pairs = cfg.layers / 2;
+    if (pairs > 0) {
+        auto l2 = variable("l2", pairs);
+        std::vector<StmtPtr> pairBody;
+        emitLayer(pairBody, mul(l2, constant(2)), act0Op, act1View);
+        emitLayer(pairBody, add(mul(l2, constant(2)), constant(1)),
+                  act1Op, act0View);
+        body.push_back(forStmtUniform("l2", 0, pairs, 1,
+                                      std::move(pairBody)));
+    }
+    const bool odd = cfg.layers % 2 != 0;
+    if (odd)
+        emitLayer(body, constant(cfg.layers - 1), act0Op, act1View);
+
+    // Copy the final activations to global memory.
+    {
+        const TensorView &finalAct = odd ? act1View : act0View;
+        const int64_t chunks = mt * w / 8 / blockSize;
+        for (int64_t i = 0; i < chunks; ++i) {
+            ExprPtr chunk = add(t, constant(i * blockSize));
+            ExprPtr row = floorDiv(chunk, constant(w / 8));
+            ExprPtr col = mul(mod(chunk, constant(w / 8)), constant(8));
+            auto src = finalAct.index({row, col})
+                           .withLayout(Layout::vector(8));
+            TensorView dst("%yg", cfg.outName, Layout::vector(8),
+                           ScalarType::Fp16, MemorySpace::GL);
+            dst = dst.offsetBy(add(mul(b, constant(mt * w)),
+                                   add(mul(row, constant(w)), col)));
+            body.push_back(call(Spec::move(
+                one, src, vecReg("%stg", 8, ScalarType::Fp16))));
+            body.push_back(call(Spec::move(
+                one, vecReg("%stg", 8, ScalarType::Fp16), dst)));
+        }
+    }
+
+    kernel.setBody(std::move(body));
+    kernel.setDramBytesHint(
+        2.0 * (2 * cfg.m * w + cfg.layers * (w * w + w)));
+    return kernel;
+}
+
+} // namespace ops
+} // namespace graphene

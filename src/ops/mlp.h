@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The fused multi-layer perceptron kernel (paper Fig. 11).
+ *
+ * For layer widths N = K <= 128, all intermediate activations of an
+ * M-row batch tile fit in shared memory, so L layers
+ * h_{l+1} = relu(h_l * W_l + b_l) fuse into ONE kernel: activations
+ * ping-pong between two shared tiles and only the input and the final
+ * output touch global memory.  The unfused baseline launches L
+ * cuBLASLt bias+relu GEMMs instead (see baselines/CublasLtLike).
+ */
+
+#ifndef GRAPHENE_OPS_MLP_H
+#define GRAPHENE_OPS_MLP_H
+
+#include "ops/common.h"
+
+namespace graphene
+{
+namespace ops
+{
+
+struct FusedMlpConfig
+{
+    int64_t m = 2048;   // batch rows
+    int64_t width = 128; // N = K (layer width)
+    int64_t layers = 4;
+    int64_t mTile = 64; // rows per block
+    bool swizzle = true;
+    std::string xName = "%x";       // [m, width] fp16
+    std::string wName = "%W";       // [layers, width, width] fp16
+    std::string biasName = "%b";    // [layers, width] fp16
+    std::string outName = "%y";     // [m, width] fp16
+};
+
+Kernel buildFusedMlp(const GpuArch &arch, const FusedMlpConfig &cfg);
+
+} // namespace ops
+} // namespace graphene
+
+#endif // GRAPHENE_OPS_MLP_H

@@ -1,0 +1,379 @@
+#include "ops/pointwise.h"
+
+#include "support/check.h"
+
+namespace graphene
+{
+namespace ops
+{
+
+namespace
+{
+
+constexpr int64_t kBlockSize = 256;
+constexpr int64_t kVec = 8;
+
+/** Shared scaffold: a flat fp16 kernel where each thread owns one
+ *  8-element chunk; @p emitChunk receives the chunk base expression
+ *  and appends the per-chunk statements. */
+Kernel
+flatKernel(const std::string &name, int64_t count,
+           const std::function<void(std::vector<StmtPtr> &, ExprPtr)>
+               &emitChunk)
+{
+    GRAPHENE_CHECK(count % kVec == 0)
+        << "pointwise kernels require a multiple of " << kVec
+        << " elements, got " << count;
+    const int64_t perBlock = kBlockSize * kVec;
+    const int64_t grid = ceilDiv(count, perBlock);
+    Kernel kernel(name, grid, kBlockSize);
+
+    ExprPtr idx8 = mul(add(mul(bid(grid), constant(kBlockSize)),
+                           tid(kBlockSize)),
+                       constant(kVec));
+    std::vector<StmtPtr> chunkBody;
+    emitChunk(chunkBody, idx8);
+    std::vector<StmtPtr> body;
+    if (grid * perBlock == count) {
+        body = std::move(chunkBody);
+    } else {
+        // Predicated tail (paper Section 3.4: partial tiles).
+        body.push_back(ifStmt(lessThan(idx8, constant(count)),
+                              std::move(chunkBody)));
+    }
+    kernel.setBody(std::move(body));
+    return kernel;
+}
+
+TensorView
+globalVec(const std::string &buffer, ExprPtr offset, int64_t count = kVec,
+          ScalarType scalar = ScalarType::Fp16)
+{
+    TensorView v("%g", buffer,
+                 count == 1 ? Layout() : Layout::vector(count), scalar,
+                 MemorySpace::GL);
+    return v.offsetBy(std::move(offset));
+}
+
+} // namespace
+
+Kernel
+buildUnaryPointwise(const GpuArch &arch, OpKind op, int64_t count,
+                    const std::string &inName, const std::string &outName)
+{
+    (void)arch;
+    Kernel kernel = flatKernel(
+        "pw_" + opKindName(op), count,
+        [&](std::vector<StmtPtr> &body, ExprPtr idx8) {
+            auto one = perThread(kBlockSize);
+            body.push_back(call(Spec::move(
+                one, globalVec(inName, idx8),
+                vecReg("%x", kVec, ScalarType::Fp16))));
+            for (int64_t e = 0; e < kVec; ++e)
+                body.push_back(call(Spec::unary(
+                    op, one, scalarReg("%x", e, ScalarType::Fp16),
+                    scalarReg("%x", e, ScalarType::Fp16))));
+            body.push_back(call(Spec::move(
+                one, vecReg("%x", kVec, ScalarType::Fp16),
+                globalVec(outName, idx8))));
+        });
+    auto body = kernel.body();
+    body.insert(body.begin(),
+                alloc("%x", ScalarType::Fp16, MemorySpace::RF, kVec));
+    kernel.setBody(body);
+    kernel.addParam(TensorView::global(inName, Layout::vector(count),
+                                       ScalarType::Fp16), true);
+    kernel.addParam(TensorView::global(outName, Layout::vector(count),
+                                       ScalarType::Fp16), false);
+    return kernel;
+}
+
+Kernel
+buildBinaryPointwise(const GpuArch &arch, OpKind op, int64_t count,
+                     const std::string &aName, const std::string &bName,
+                     const std::string &outName)
+{
+    (void)arch;
+    Kernel kernel = flatKernel(
+        "pw_" + opKindName(op), count,
+        [&](std::vector<StmtPtr> &body, ExprPtr idx8) {
+            auto one = perThread(kBlockSize);
+            body.push_back(call(Spec::move(
+                one, globalVec(aName, idx8),
+                vecReg("%x", kVec, ScalarType::Fp16))));
+            body.push_back(call(Spec::move(
+                one, globalVec(bName, idx8),
+                vecReg("%y", kVec, ScalarType::Fp16))));
+            for (int64_t e = 0; e < kVec; ++e)
+                body.push_back(call(Spec::binary(
+                    op, one, scalarReg("%x", e, ScalarType::Fp16),
+                    scalarReg("%y", e, ScalarType::Fp16),
+                    scalarReg("%x", e, ScalarType::Fp16))));
+            body.push_back(call(Spec::move(
+                one, vecReg("%x", kVec, ScalarType::Fp16),
+                globalVec(outName, idx8))));
+        });
+    auto body = kernel.body();
+    body.insert(body.begin(),
+                alloc("%y", ScalarType::Fp16, MemorySpace::RF, kVec));
+    body.insert(body.begin(),
+                alloc("%x", ScalarType::Fp16, MemorySpace::RF, kVec));
+    kernel.setBody(body);
+    kernel.addParam(TensorView::global(aName, Layout::vector(count),
+                                       ScalarType::Fp16), true);
+    kernel.addParam(TensorView::global(bName, Layout::vector(count),
+                                       ScalarType::Fp16), true);
+    kernel.addParam(TensorView::global(outName, Layout::vector(count),
+                                       ScalarType::Fp16), false);
+    return kernel;
+}
+
+Kernel
+buildScalarPointwise(const GpuArch &arch, OpKind op, double scalar,
+                     int64_t count, const std::string &inName,
+                     const std::string &outName)
+{
+    (void)arch;
+    Kernel kernel = flatKernel(
+        "pw_scalar_" + opKindName(op), count,
+        [&](std::vector<StmtPtr> &body, ExprPtr idx8) {
+            auto one = perThread(kBlockSize);
+            body.push_back(call(Spec::move(
+                one, globalVec(inName, idx8),
+                vecReg("%x", kVec, ScalarType::Fp16))));
+            for (int64_t e = 0; e < kVec; ++e)
+                body.push_back(call(Spec::binaryScalar(
+                    op, one, scalarReg("%x", e, ScalarType::Fp16),
+                    scalar, scalarReg("%x", e, ScalarType::Fp16))));
+            body.push_back(call(Spec::move(
+                one, vecReg("%x", kVec, ScalarType::Fp16),
+                globalVec(outName, idx8))));
+        });
+    auto body = kernel.body();
+    body.insert(body.begin(),
+                alloc("%x", ScalarType::Fp16, MemorySpace::RF, kVec));
+    kernel.setBody(body);
+    kernel.addParam(TensorView::global(inName, Layout::vector(count),
+                                       ScalarType::Fp16), true);
+    kernel.addParam(TensorView::global(outName, Layout::vector(count),
+                                       ScalarType::Fp16), false);
+    return kernel;
+}
+
+Kernel
+buildBiasAct(const GpuArch &arch, int64_t rows, int64_t cols, OpKind act,
+             const std::string &inName, const std::string &biasName,
+             const std::string &outName)
+{
+    (void)arch;
+    GRAPHENE_CHECK(cols % kVec == 0) << "bias width must divide 8";
+    const int64_t count = rows * cols;
+    Kernel kernel = flatKernel(
+        "pw_bias_" + opKindName(act), count,
+        [&](std::vector<StmtPtr> &body, ExprPtr idx8) {
+            auto one = perThread(kBlockSize);
+            body.push_back(call(Spec::move(
+                one, globalVec(inName, idx8),
+                vecReg("%x", kVec, ScalarType::Fp16))));
+            body.push_back(call(Spec::move(
+                one, globalVec(biasName, mod(idx8, constant(cols))),
+                vecReg("%b", kVec, ScalarType::Fp16))));
+            for (int64_t e = 0; e < kVec; ++e)
+                body.push_back(call(Spec::binary(
+                    OpKind::Add, one,
+                    scalarReg("%x", e, ScalarType::Fp16),
+                    scalarReg("%b", e, ScalarType::Fp16),
+                    scalarReg("%x", e, ScalarType::Fp16))));
+            if (act != OpKind::Identity)
+                for (int64_t e = 0; e < kVec; ++e)
+                    body.push_back(call(Spec::unary(
+                        act, one, scalarReg("%x", e, ScalarType::Fp16),
+                        scalarReg("%x", e, ScalarType::Fp16))));
+            body.push_back(call(Spec::move(
+                one, vecReg("%x", kVec, ScalarType::Fp16),
+                globalVec(outName, idx8))));
+        });
+    auto body = kernel.body();
+    body.insert(body.begin(),
+                alloc("%b", ScalarType::Fp16, MemorySpace::RF, kVec));
+    body.insert(body.begin(),
+                alloc("%x", ScalarType::Fp16, MemorySpace::RF, kVec));
+    kernel.setBody(body);
+    kernel.addParam(TensorView::global(
+                        inName, Layout::rowMajor(IntTuple{rows, cols}),
+                        ScalarType::Fp16), true);
+    kernel.addParam(TensorView::global(biasName, Layout::vector(cols),
+                                       ScalarType::Fp16), true);
+    kernel.addParam(TensorView::global(
+                        outName, Layout::rowMajor(IntTuple{rows, cols}),
+                        ScalarType::Fp16), false);
+    return kernel;
+}
+
+Kernel
+buildRowReduce(const GpuArch &arch, OpKind op, int64_t rows, int64_t cols,
+               double scale, const std::string &inName,
+               const std::string &outName)
+{
+    (void)arch;
+    const int64_t blockSize = 128;
+    GRAPHENE_CHECK(cols % (blockSize * kVec) == 0)
+        << "row reduce of width " << cols
+        << " needs a multiple of " << blockSize * kVec;
+    const int64_t chunksPerThread = cols / (blockSize * kVec);
+
+    Kernel kernel("row_reduce_" + opKindName(op), rows, blockSize);
+    kernel.addParam(TensorView::global(
+                        inName, Layout::rowMajor(IntTuple{rows, cols}),
+                        ScalarType::Fp16), true);
+    kernel.addParam(TensorView::global(outName, Layout::vector(rows),
+                                       ScalarType::Fp32), false);
+
+    auto one = perThread(blockSize);
+    auto t = tid(blockSize);
+    auto row = bid(rows);
+    std::vector<StmtPtr> body = {
+        alloc("%x", ScalarType::Fp16, MemorySpace::RF, kVec),
+        alloc("%xf", ScalarType::Fp32, MemorySpace::RF, kVec),
+        alloc("%partial", ScalarType::Fp32, MemorySpace::RF, 1),
+        alloc("%chunkred", ScalarType::Fp32, MemorySpace::RF, 1),
+        alloc("%result", ScalarType::Fp32, MemorySpace::RF, 1),
+        alloc("%tmp", ScalarType::Fp32, MemorySpace::RF, 1),
+        alloc("%slots", ScalarType::Fp32, MemorySpace::SH,
+              blockSize / 32),
+        call(Spec::init(reductionIdentity(op), one,
+                        scalarReg("%partial"))),
+    };
+    for (int64_t c = 0; c < chunksPerThread; ++c) {
+        ExprPtr colBase = mul(add(t, constant(c * blockSize)),
+                              constant(kVec));
+        ExprPtr off = add(mul(row, constant(cols)), colBase);
+        body.push_back(call(Spec::move(
+            one, globalVec(inName, off),
+            vecReg("%x", kVec, ScalarType::Fp16))));
+        body.push_back(call(Spec::move(
+            one, vecReg("%x", kVec, ScalarType::Fp16),
+            vecReg("%xf", kVec, ScalarType::Fp32))));
+        body.push_back(call(Spec::reduction(
+            op, one, vecReg("%xf", kVec, ScalarType::Fp32),
+            scalarReg("%chunkred"))));
+        body.push_back(call(Spec::binary(op, one, scalarReg("%partial"),
+                                         scalarReg("%chunkred"),
+                                         scalarReg("%partial"))));
+    }
+    auto reduce = emitBlockAllReduce(blockSize, op, "%partial",
+                                     "%result", "%tmp", "%slots");
+    body.insert(body.end(), reduce.begin(), reduce.end());
+    if (scale != 1.0)
+        body.push_back(call(Spec::binaryScalar(
+            OpKind::Mul, one, scalarReg("%result"), scale,
+            scalarReg("%result"))));
+    body.push_back(ifStmt(
+        lessThan(t, constant(1)),
+        {call(Spec::move(one, scalarReg("%result"),
+                         globalVec(outName, row, 1,
+                                   ScalarType::Fp32)))}));
+    kernel.setBody(std::move(body));
+    return kernel;
+}
+
+Kernel
+buildRowBroadcast(const GpuArch &arch, OpKind op, int64_t rows,
+                  int64_t cols, const std::string &inName,
+                  const std::string &rowVecName,
+                  const std::string &outName)
+{
+    (void)arch;
+    GRAPHENE_CHECK(cols % kVec == 0) << "width must divide 8";
+    const int64_t count = rows * cols;
+    Kernel kernel = flatKernel(
+        "pw_rowbcast_" + opKindName(op), count,
+        [&](std::vector<StmtPtr> &body, ExprPtr idx8) {
+            auto one = perThread(kBlockSize);
+            ExprPtr row = floorDiv(idx8, constant(cols));
+            body.push_back(call(Spec::move(
+                one, globalVec(inName, idx8),
+                vecReg("%x", kVec, ScalarType::Fp16))));
+            body.push_back(call(Spec::move(
+                one, vecReg("%x", kVec, ScalarType::Fp16),
+                vecReg("%xf", kVec, ScalarType::Fp32))));
+            body.push_back(call(Spec::move(
+                one, globalVec(rowVecName, row, 1, ScalarType::Fp32),
+                scalarReg("%rv"))));
+            for (int64_t e = 0; e < kVec; ++e)
+                body.push_back(call(Spec::binary(
+                    op, one, scalarReg("%xf", e), scalarReg("%rv"),
+                    scalarReg("%xf", e))));
+            body.push_back(call(Spec::move(
+                one, vecReg("%xf", kVec, ScalarType::Fp32),
+                vecReg("%x", kVec, ScalarType::Fp16))));
+            body.push_back(call(Spec::move(
+                one, vecReg("%x", kVec, ScalarType::Fp16),
+                globalVec(outName, idx8))));
+        });
+    auto body = kernel.body();
+    body.insert(body.begin(),
+                alloc("%rv", ScalarType::Fp32, MemorySpace::RF, 1));
+    body.insert(body.begin(),
+                alloc("%xf", ScalarType::Fp32, MemorySpace::RF, kVec));
+    body.insert(body.begin(),
+                alloc("%x", ScalarType::Fp16, MemorySpace::RF, kVec));
+    kernel.setBody(body);
+    kernel.addParam(TensorView::global(
+                        inName, Layout::rowMajor(IntTuple{rows, cols}),
+                        ScalarType::Fp16), true);
+    kernel.addParam(TensorView::global(rowVecName, Layout::vector(rows),
+                                       ScalarType::Fp32), true);
+    kernel.addParam(TensorView::global(
+                        outName, Layout::rowMajor(IntTuple{rows, cols}),
+                        ScalarType::Fp16), false);
+    return kernel;
+}
+
+Kernel
+buildColBroadcast(const GpuArch &arch, OpKind op, int64_t rows,
+                  int64_t cols, const std::string &inName,
+                  const std::string &colVecName,
+                  const std::string &outName)
+{
+    (void)arch;
+    GRAPHENE_CHECK(cols % kVec == 0) << "width must divide 8";
+    const int64_t count = rows * cols;
+    Kernel kernel = flatKernel(
+        "pw_colbcast_" + opKindName(op), count,
+        [&](std::vector<StmtPtr> &body, ExprPtr idx8) {
+            auto one = perThread(kBlockSize);
+            body.push_back(call(Spec::move(
+                one, globalVec(inName, idx8),
+                vecReg("%x", kVec, ScalarType::Fp16))));
+            body.push_back(call(Spec::move(
+                one, globalVec(colVecName, mod(idx8, constant(cols))),
+                vecReg("%cv", kVec, ScalarType::Fp16))));
+            for (int64_t e = 0; e < kVec; ++e)
+                body.push_back(call(Spec::binary(
+                    op, one, scalarReg("%x", e, ScalarType::Fp16),
+                    scalarReg("%cv", e, ScalarType::Fp16),
+                    scalarReg("%x", e, ScalarType::Fp16))));
+            body.push_back(call(Spec::move(
+                one, vecReg("%x", kVec, ScalarType::Fp16),
+                globalVec(outName, idx8))));
+        });
+    auto body = kernel.body();
+    body.insert(body.begin(),
+                alloc("%cv", ScalarType::Fp16, MemorySpace::RF, kVec));
+    body.insert(body.begin(),
+                alloc("%x", ScalarType::Fp16, MemorySpace::RF, kVec));
+    kernel.setBody(body);
+    kernel.addParam(TensorView::global(
+                        inName, Layout::rowMajor(IntTuple{rows, cols}),
+                        ScalarType::Fp16), true);
+    kernel.addParam(TensorView::global(colVecName, Layout::vector(cols),
+                                       ScalarType::Fp16), true);
+    kernel.addParam(TensorView::global(
+                        outName, Layout::rowMajor(IntTuple{rows, cols}),
+                        ScalarType::Fp16), false);
+    return kernel;
+}
+
+} // namespace ops
+} // namespace graphene

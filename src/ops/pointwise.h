@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Elementwise and reduction kernel generators over fp16 tensors.
+ * These are the per-op kernels the *unfused* library baselines launch
+ * (cuDNN-style pointwise ops, PyTorch-eager Layernorm decomposition).
+ */
+
+#ifndef GRAPHENE_OPS_POINTWISE_H
+#define GRAPHENE_OPS_POINTWISE_H
+
+#include "ops/common.h"
+
+namespace graphene
+{
+namespace ops
+{
+
+/** out[i] = op(in[i]) over @p count fp16 elements. */
+Kernel buildUnaryPointwise(const GpuArch &arch, OpKind op, int64_t count,
+                           const std::string &inName,
+                           const std::string &outName);
+
+/** out[i] = op(a[i], b[i]). */
+Kernel buildBinaryPointwise(const GpuArch &arch, OpKind op, int64_t count,
+                            const std::string &aName,
+                            const std::string &bName,
+                            const std::string &outName);
+
+/** out[i] = op(in[i], scalar). */
+Kernel buildScalarPointwise(const GpuArch &arch, OpKind op, double scalar,
+                            int64_t count, const std::string &inName,
+                            const std::string &outName);
+
+/**
+ * out[r,c] = act(in[r,c] + bias[c]) over an [rows, cols] tensor
+ * (OpKind::Identity skips the activation) — the cuDNN-style bias /
+ * activation kernel.
+ */
+Kernel buildBiasAct(const GpuArch &arch, int64_t rows, int64_t cols,
+                    OpKind act, const std::string &inName,
+                    const std::string &biasName,
+                    const std::string &outName);
+
+/**
+ * Row-wise reduction of an [rows, cols] fp16 tensor into a [rows] fp32
+ * vector: out[r] = scale * reduce_c(op, in[r, c]).
+ */
+Kernel buildRowReduce(const GpuArch &arch, OpKind op, int64_t rows,
+                      int64_t cols, double scale,
+                      const std::string &inName,
+                      const std::string &outName);
+
+/** out[r,c] = op(in[r,c], rowVec[r]); rowVec is fp32 [rows]. */
+Kernel buildRowBroadcast(const GpuArch &arch, OpKind op, int64_t rows,
+                         int64_t cols, const std::string &inName,
+                         const std::string &rowVecName,
+                         const std::string &outName);
+
+/** out[r,c] = op(in[r,c], colVec[c]); colVec is fp16 [cols]. */
+Kernel buildColBroadcast(const GpuArch &arch, OpKind op, int64_t rows,
+                         int64_t cols, const std::string &inName,
+                         const std::string &colVecName,
+                         const std::string &outName);
+
+} // namespace ops
+} // namespace graphene
+
+#endif // GRAPHENE_OPS_POINTWISE_H

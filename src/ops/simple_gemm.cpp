@@ -1,0 +1,84 @@
+#include "ops/simple_gemm.h"
+
+#include "support/check.h"
+
+namespace graphene
+{
+namespace ops
+{
+
+Kernel
+buildSimpleGemm(const SimpleGemmConfig &config)
+{
+    const int64_t m = config.m, n = config.n, k = config.k;
+    const int64_t bm = config.blockTileM, bn = config.blockTileN;
+    const int64_t tm = config.threadsM, tn = config.threadsN;
+    GRAPHENE_CHECK(m % bm == 0 && n % bn == 0)
+        << "problem size must divide the block tile";
+    GRAPHENE_CHECK(bm % tm == 0 && bn % tn == 0)
+        << "block tile must divide the thread arrangement";
+    const int64_t rm = bm / tm; // per-thread outputs
+    const int64_t rn = bn / tn;
+    const int64_t gridM = m / bm;
+    const int64_t gridN = n / bn;
+    const int64_t gridSize = gridM * gridN;
+    const int64_t blockSize = tm * tn;
+
+    Kernel kernel("graphene_simple_gemm", gridSize, blockSize);
+    auto A = TensorView::global("%A", Layout::rowMajor(IntTuple{m, k}),
+                                ScalarType::Fp16);
+    auto B = TensorView::global("%B", Layout::rowMajor(IntTuple{k, n}),
+                                ScalarType::Fp16);
+    auto C = TensorView::global("%C", Layout::rowMajor(IntTuple{m, n}),
+                                ScalarType::Fp16);
+    kernel.addParam(A, true);
+    kernel.addParam(B, true);
+    kernel.addParam(C, false);
+
+    // Fig. 8 lines 2-5: logical groups of blocks and threads.
+    auto blocks = ThreadGroup::blocks(
+        "#4", Layout::colMajor(IntTuple{gridM, gridN}), gridSize);
+    auto threads = ThreadGroup::threads(
+        "#5", Layout::colMajor(IntTuple{tm, tn}), blockSize);
+    const auto bidIdx = blocks.indices();  // (bid_m, bid_n)
+    const auto tidIdx = threads.indices(); // (tid_m, tid_n)
+
+    // Fig. 8 lines 12-18: tile all three tensors for thread-blocks.
+    auto aBlock = A.tile({Layout::vector(bm), std::nullopt})
+                      .index({bidIdx[0], constant(0)});
+    auto bBlock = B.tile({std::nullopt, Layout::vector(bn)})
+                      .index({constant(0), bidIdx[1]});
+    auto cBlock = C.tile({Layout::vector(bm), Layout::vector(bn)})
+                      .index({bidIdx[0], bidIdx[1]});
+
+    // Fig. 8 lines 20-26: tile for threads.
+    auto aThread = aBlock.tile({Layout::vector(rm), std::nullopt})
+                       .index({tidIdx[0], constant(0)});
+    auto bThread = bBlock.tile({std::nullopt, Layout::vector(rn)})
+                       .index({constant(0), tidIdx[1]});
+    auto cThread = cBlock.tile({Layout::vector(rm), Layout::vector(rn)})
+                       .index({tidIdx[0], tidIdx[1]});
+
+    // Fig. 8 lines 28-34: scalar views and the per-thread atomic hfma.
+    auto mVar = variable("m", rm);
+    auto nVar = variable("n", rn);
+    auto kVar = variable("k", k);
+    auto aScalar = aThread.index({mVar, kVar}).named("%18");
+    auto bScalar = bThread.index({kVar, nVar}).named("%19");
+    auto cScalar = cThread.index({mVar, nVar}).named("%20");
+
+    auto fma = Spec::matmul(perThread(blockSize), aScalar, bScalar,
+                            cScalar);
+
+    kernel.setBody({
+        forStmtUniform("k", 0, k, 1, {
+            forStmt("m", 0, rm, 1, {
+                forStmt("n", 0, rn, 1, {call(fma)}),
+            }),
+        }),
+    });
+    return kernel;
+}
+
+} // namespace ops
+} // namespace graphene

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The paper's Fig. 8: the simplest possible but complete decomposition
+ * of a matrix-multiplication kernel — block tiles, thread tiles, and a
+ * triple loop of scalar hfma MatMuls operating directly on global
+ * memory views.
+ */
+
+#ifndef GRAPHENE_OPS_SIMPLE_GEMM_H
+#define GRAPHENE_OPS_SIMPLE_GEMM_H
+
+#include "ops/common.h"
+
+namespace graphene
+{
+namespace ops
+{
+
+struct SimpleGemmConfig
+{
+    int64_t m = 1024;
+    int64_t n = 1024;
+    int64_t k = 1024;
+    int64_t blockTileM = 128; // per-block C tile
+    int64_t blockTileN = 128;
+    int64_t threadsM = 16;    // thread arrangement within a block
+    int64_t threadsN = 16;
+};
+
+/**
+ * Build the Fig. 8 kernel: C[m,n] (+)= A[m,k] * B[k,n], all fp16
+ * row-major global tensors named "%A", "%B", "%C".
+ */
+Kernel buildSimpleGemm(const SimpleGemmConfig &config);
+
+} // namespace ops
+} // namespace graphene
+
+#endif // GRAPHENE_OPS_SIMPLE_GEMM_H

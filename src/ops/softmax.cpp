@@ -1,0 +1,110 @@
+#include "ops/softmax.h"
+
+#include "support/check.h"
+
+namespace graphene
+{
+namespace ops
+{
+
+Kernel
+buildRowSoftmax(const GpuArch &arch, int64_t rows, int64_t cols,
+                double preScale, const std::string &inName,
+                const std::string &outName)
+{
+    (void)arch;
+    const int64_t blockSize = 128;
+    GRAPHENE_CHECK(cols % blockSize == 0)
+        << "softmax width " << cols << " must divide " << blockSize;
+    const int64_t perThreadN = cols / blockSize;
+
+    Kernel kernel("row_softmax", rows, blockSize);
+    kernel.addParam(TensorView::global(
+                        inName, Layout::rowMajor(IntTuple{rows, cols}),
+                        ScalarType::Fp16), true);
+    kernel.addParam(TensorView::global(
+                        outName, Layout::rowMajor(IntTuple{rows, cols}),
+                        ScalarType::Fp16), false);
+
+    auto one = perThread(blockSize);
+    auto t = tid(blockSize);
+    auto row = bid(rows);
+
+    std::vector<StmtPtr> body;
+    body.push_back(alloc("%xh", ScalarType::Fp16, MemorySpace::RF,
+                         perThreadN));
+    body.push_back(alloc("%xf", ScalarType::Fp32, MemorySpace::RF,
+                         perThreadN));
+    for (const char *r : {"%partial", "%mx", "%sum", "%tmp", "%inv",
+                          "%one"})
+        body.push_back(alloc(r, ScalarType::Fp32, MemorySpace::RF, 1));
+    body.push_back(alloc("%slots", ScalarType::Fp32, MemorySpace::SH,
+                         blockSize / 32));
+
+    // Load the thread's slice (contiguous per thread) and convert.
+    ExprPtr base = add(mul(row, constant(cols)),
+                       mul(t, constant(perThreadN)));
+    for (int64_t e = 0; e < perThreadN; ++e) {
+        TensorView src("%g", inName, Layout(), ScalarType::Fp16,
+                       MemorySpace::GL);
+        body.push_back(call(Spec::move(
+            one, src.offsetBy(add(base, constant(e))),
+            scalarReg("%xh", e, ScalarType::Fp16))));
+    }
+    body.push_back(call(Spec::move(
+        one, vecReg("%xh", perThreadN, ScalarType::Fp16),
+        vecReg("%xf", perThreadN, ScalarType::Fp32))));
+    if (preScale != 1.0)
+        for (int64_t e = 0; e < perThreadN; ++e)
+            body.push_back(call(Spec::binaryScalar(
+                OpKind::Mul, one, scalarReg("%xf", e), preScale,
+                scalarReg("%xf", e))));
+
+    // Row max.
+    body.push_back(call(Spec::reduction(
+        OpKind::Max, one, vecReg("%xf", perThreadN, ScalarType::Fp32),
+        scalarReg("%partial"))));
+    auto rmax = emitBlockAllReduce(blockSize, OpKind::Max, "%partial",
+                                   "%mx", "%tmp", "%slots");
+    body.insert(body.end(), rmax.begin(), rmax.end());
+
+    // exp(x - max), then the row sum.
+    for (int64_t e = 0; e < perThreadN; ++e) {
+        body.push_back(call(Spec::binary(
+            OpKind::Sub, one, scalarReg("%xf", e), scalarReg("%mx"),
+            scalarReg("%xf", e))));
+        body.push_back(call(Spec::unary(
+            OpKind::Exp, one, scalarReg("%xf", e), scalarReg("%xf", e))));
+    }
+    body.push_back(call(Spec::reduction(
+        OpKind::Add, one, vecReg("%xf", perThreadN, ScalarType::Fp32),
+        scalarReg("%partial"))));
+    auto rsum = emitBlockAllReduce(blockSize, OpKind::Add, "%partial",
+                                   "%sum", "%tmp", "%slots");
+    body.insert(body.end(), rsum.begin(), rsum.end());
+
+    // Normalize and store.
+    body.push_back(call(Spec::init(1.0, one, scalarReg("%one"))));
+    body.push_back(call(Spec::binary(
+        OpKind::Div, one, scalarReg("%one"), scalarReg("%sum"),
+        scalarReg("%inv"))));
+    for (int64_t e = 0; e < perThreadN; ++e)
+        body.push_back(call(Spec::binary(
+            OpKind::Mul, one, scalarReg("%xf", e), scalarReg("%inv"),
+            scalarReg("%xf", e))));
+    body.push_back(call(Spec::move(
+        one, vecReg("%xf", perThreadN, ScalarType::Fp32),
+        vecReg("%xh", perThreadN, ScalarType::Fp16))));
+    for (int64_t e = 0; e < perThreadN; ++e) {
+        TensorView dst("%g", outName, Layout(), ScalarType::Fp16,
+                       MemorySpace::GL);
+        body.push_back(call(Spec::move(
+            one, scalarReg("%xh", e, ScalarType::Fp16),
+            dst.offsetBy(add(base, constant(e))))));
+    }
+    kernel.setBody(std::move(body));
+    return kernel;
+}
+
+} // namespace ops
+} // namespace graphene

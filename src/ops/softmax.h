@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Row-wise softmax kernel: the "straightforward custom CUDA kernel"
+ * of the paper's unfused FMHA baseline (Fig. 14).
+ */
+
+#ifndef GRAPHENE_OPS_SOFTMAX_H
+#define GRAPHENE_OPS_SOFTMAX_H
+
+#include "ops/common.h"
+
+namespace graphene
+{
+namespace ops
+{
+
+/**
+ * Numerically stable softmax over each row of an [rows, cols] fp16
+ * tensor; one block per row, optional pre-scale of the logits
+ * (attention's 1/sqrt(d)).
+ */
+Kernel buildRowSoftmax(const GpuArch &arch, int64_t rows, int64_t cols,
+                       double preScale, const std::string &inName,
+                       const std::string &outName);
+
+} // namespace ops
+} // namespace graphene
+
+#endif // GRAPHENE_OPS_SOFTMAX_H

@@ -1,0 +1,262 @@
+#include "ops/tc_gemm.h"
+
+#include "ops/block_gemm.h"
+#include "support/check.h"
+
+namespace graphene
+{
+namespace ops
+{
+
+std::string
+epilogueName(Epilogue e)
+{
+    switch (e) {
+      case Epilogue::None: return "none";
+      case Epilogue::Bias: return "bias";
+      case Epilogue::Relu: return "relu";
+      case Epilogue::BiasRelu: return "bias+relu";
+      case Epilogue::BiasGelu: return "bias+gelu";
+    }
+    return "?";
+}
+
+Kernel
+buildTcGemm(const GpuArch &arch, const TcGemmConfig &cfg)
+{
+    const bool ampere = arch.hasLdmatrix;
+    const int64_t bm = cfg.bm, bn = cfg.bn, bk = cfg.bk;
+    // M may be a non-multiple of the tile (partial tiles, paper
+    // Section 3.4): the last row-tile is over-approximated, its loads
+    // zero-filled and its stores predicated.  N and K stay exact.
+    GRAPHENE_CHECK(cfg.n % bn == 0 && cfg.k % bk == 0)
+        << "GEMM " << cfg.m << "x" << cfg.n << "x" << cfg.k
+        << ": N and K must divide the block tile " << bn << "x" << bk;
+    const bool partialM = cfg.m % bm != 0;
+
+    BlockGemm bg(arch, bm, bn, cfg.wm, cfg.wn);
+    GRAPHENE_CHECK(bk % bg.kStep() == 0) << "bk granularity";
+    const int64_t blockSize = bg.blockSize();
+    const int64_t gridM = ceilDiv(cfg.m, bm);
+    const int64_t gridN = cfg.n / bn;
+    const int64_t gridSize = cfg.batch * gridM * gridN;
+
+    Kernel kernel("graphene_tc_gemm_" + epilogueName(cfg.epilogue),
+                  gridSize, blockSize);
+    const int64_t lastBatch = cfg.batch - 1;
+    auto A = TensorView::global(
+        cfg.aName,
+        Layout::vector(cfg.batchStrideA * lastBatch + cfg.m * cfg.k),
+        ScalarType::Fp16);
+    auto B = TensorView::global(
+        cfg.bName,
+        Layout::vector(cfg.batchStrideB * lastBatch + cfg.k * cfg.n),
+        ScalarType::Fp16);
+    auto C = TensorView::global(
+        cfg.cName,
+        Layout::vector(cfg.batchStrideC * lastBatch + cfg.m * cfg.n),
+        ScalarType::Fp16);
+    kernel.addParam(A, true);
+    kernel.addParam(B, true);
+    kernel.addParam(C, false);
+    const bool hasBias = cfg.epilogue == Epilogue::Bias
+        || cfg.epilogue == Epilogue::BiasRelu
+        || cfg.epilogue == Epilogue::BiasGelu;
+    const bool hasAct = cfg.epilogue == Epilogue::Relu
+        || cfg.epilogue == Epilogue::BiasRelu
+        || cfg.epilogue == Epilogue::BiasGelu;
+    const OpKind act = cfg.epilogue == Epilogue::BiasGelu ? OpKind::Gelu
+                                                          : OpKind::Relu;
+    if (hasBias)
+        kernel.addParam(TensorView::global(
+                            cfg.biasName, Layout::vector(cfg.n),
+                            ScalarType::Fp16), true);
+
+    auto b = bid(gridSize);
+    auto bidBatch = floorDiv(b, constant(gridM * gridN));
+    auto bRem = mod(b, constant(gridM * gridN));
+    auto bidM = mod(bRem, constant(gridM));
+    auto bidN = floorDiv(bRem, constant(gridM));
+    auto one = perThread(blockSize);
+    auto ktVar = variable("kt", cfg.k / bk);
+
+    const Swizzle sw = cfg.swizzle ? Swizzle(3, 3, 3) : Swizzle();
+    const Swizzle swB = cfg.swizzle ? sw.then(3, 3, 6) : Swizzle();
+    SmemOperand aOp{"%As", bk, sw};
+    SmemOperand bOp{"%Bs", ampere ? bn : bk, swB};
+    auto As = TensorView::shared("%As", Layout::rowMajor(IntTuple{bm, bk}),
+                                 ScalarType::Fp16, sw);
+    auto Bs = ampere
+        ? TensorView::shared("%Bs", Layout::rowMajor(IntTuple{bk, bn}),
+                             ScalarType::Fp16, swB)
+        : TensorView::shared("%Bs", Layout::rowMajor(IntTuple{bn, bk}),
+                             ScalarType::Fp16, swB);
+
+    std::vector<StmtPtr> body;
+    body.push_back(alloc("%As", ScalarType::Fp16, MemorySpace::SH,
+                         bm * bk, sw));
+    body.push_back(alloc("%Bs", ScalarType::Fp16, MemorySpace::SH,
+                         bk * bn, swB));
+    body.push_back(alloc("%stg", ScalarType::Fp16, MemorySpace::RF, 8));
+    ExprPtr validRows; // rows of this block's tile inside the tensor
+    if (partialM) {
+        body.push_back(alloc("%zfill", ScalarType::Fp16,
+                             MemorySpace::RF, 8));
+        TensorView zero("%z", "%zfill", Layout::vector(8),
+                        ScalarType::Fp16, MemorySpace::RF);
+        body.push_back(call(Spec::init(0.0, one, zero)));
+        validRows = sub(constant(cfg.m), mul(bidM, constant(bm)));
+    }
+    auto fragAllocs = bg.allocFragments();
+    body.insert(body.end(), fragAllocs.begin(), fragAllocs.end());
+    body.push_back(bg.initAcc());
+
+    // ----------------------------------------------------- main loop -
+    std::vector<StmtPtr> loop;
+    {
+        ExprPtr aBase = add(
+            mul(bidBatch, constant(cfg.batchStrideA)),
+            add(mul(bidM, constant(bm * cfg.k)),
+                mul(ktVar, constant(bk))));
+        auto stageA = stageTileToShared(arch, blockSize, cfg.aName, aBase,
+                                        cfg.k, bm, bk, As, "%stg",
+                                        validRows, "%zfill");
+        loop.insert(loop.end(), stageA.begin(), stageA.end());
+        // B tile base and staging orientation: Bs must be [k, n] on
+        // Ampere and [n, k] on Volta; the source is [k, n] normally or
+        // [n, k] when bTransposed.
+        std::vector<StmtPtr> stageB;
+        ExprPtr batchB = mul(bidBatch, constant(cfg.batchStrideB));
+        if (!cfg.bTransposed) {
+            ExprPtr bBase = add(batchB,
+                                add(mul(ktVar, constant(bk * cfg.n)),
+                                    mul(bidN, constant(bn))));
+            stageB = ampere
+                ? stageTileToShared(arch, blockSize, cfg.bName, bBase,
+                                    cfg.n, bk, bn, Bs, "%stg")
+                : stageTileToSharedTransposed(blockSize, cfg.bName,
+                                              bBase, cfg.n, bk, bn, Bs,
+                                              "%stg");
+        } else {
+            ExprPtr bBase = add(batchB,
+                                add(mul(bidN, constant(bn * cfg.k)),
+                                    mul(ktVar, constant(bk))));
+            stageB = ampere
+                ? stageTileToSharedTransposed(blockSize, cfg.bName,
+                                              bBase, cfg.k, bn, bk, Bs,
+                                              "%stg")
+                : stageTileToShared(arch, blockSize, cfg.bName, bBase,
+                                    cfg.k, bn, bk, Bs, "%stg");
+        }
+        loop.insert(loop.end(), stageB.begin(), stageB.end());
+    }
+    loop.push_back(syncThreads());
+    auto compute = bg.tileCompute(aOp, constant(0), constant(0), bOp,
+                                  constant(0), constant(0), bk,
+                                  cfg.disableLdmatrix);
+    loop.insert(loop.end(), compute.begin(), compute.end());
+    loop.push_back(syncThreads());
+    body.push_back(forStmtUniform("kt", 0, cfg.k / bk, 1,
+                                  std::move(loop)));
+
+    // ------------------------------------------------------ epilogue -
+    std::vector<StmtPtr> epi;
+    auto biasView = TensorView::global(cfg.biasName,
+                                       Layout::vector(cfg.n),
+                                       ScalarType::Fp16);
+    epi.push_back(alloc("%cvt", ScalarType::Fp16, MemorySpace::RF,
+                        bg.accVectorWidth()));
+    if (hasBias) {
+        epi.push_back(alloc("%bh", ScalarType::Fp16, MemorySpace::RF, 1));
+        epi.push_back(alloc("%bhf", ScalarType::Fp32, MemorySpace::RF,
+                            1));
+    }
+    if (cfg.loadC) {
+        epi.push_back(alloc("%cin", ScalarType::Fp16, MemorySpace::RF,
+                            1));
+        epi.push_back(alloc("%cinf", ScalarType::Fp32, MemorySpace::RF,
+                            1));
+    }
+    auto regE = [&](const std::string &buf, int64_t count,
+                    ScalarType scalar, int64_t off) {
+        TensorView v("%v", buf, count == 1 ? Layout()
+                                           : Layout::vector(count),
+                     scalar, MemorySpace::RF);
+        return off ? v.offsetBy(constant(off)) : v;
+    };
+
+    bg.forEachAccVector([&](ExprPtr mLocal, ExprPtr nLocal,
+                            int64_t accOff, int64_t width) {
+        ExprPtr mExpr = add(mul(bidM, constant(bm)), mLocal);
+        ExprPtr nBase = add(mul(bidN, constant(bn)), nLocal);
+        ExprPtr cBatch = mul(bidBatch, constant(cfg.batchStrideC));
+        // With a partial M tile, collect this accumulator vector's
+        // statements separately and wrap them in the row predicate
+        // (shadowing `epi` keeps the emission code identical).
+        std::vector<StmtPtr> guarded;
+        std::vector<StmtPtr> &outerEpi = epi;
+        std::vector<StmtPtr> &epi = partialM ? guarded : outerEpi;
+        for (int64_t e = 0; e < width; ++e) {
+            ExprPtr nExpr = add(nBase, constant(e));
+            auto accE = regE("%acc", 1, ScalarType::Fp32, accOff + e);
+            if (cfg.alpha != 1.0)
+                epi.push_back(call(Spec::binaryScalar(
+                    OpKind::Mul, one, accE, cfg.alpha, accE)));
+            if (cfg.loadC) {
+                epi.push_back(call(Spec::move(
+                    one,
+                    C.index({add(cBatch,
+                                 add(mul(mExpr, constant(cfg.n)),
+                                     nExpr))}),
+                    regE("%cin", 1, ScalarType::Fp16, 0))));
+                epi.push_back(call(Spec::move(
+                    one, regE("%cin", 1, ScalarType::Fp16, 0),
+                    regE("%cinf", 1, ScalarType::Fp32, 0))));
+                epi.push_back(call(Spec::binary(
+                    OpKind::Add, one, accE,
+                    regE("%cinf", 1, ScalarType::Fp32, 0), accE)));
+            }
+            if (hasBias) {
+                epi.push_back(call(Spec::move(
+                    one, biasView.index({nExpr}),
+                    regE("%bh", 1, ScalarType::Fp16, 0))));
+                epi.push_back(call(Spec::move(
+                    one, regE("%bh", 1, ScalarType::Fp16, 0),
+                    regE("%bhf", 1, ScalarType::Fp32, 0))));
+                epi.push_back(call(Spec::binary(
+                    OpKind::Add, one, accE,
+                    regE("%bhf", 1, ScalarType::Fp32, 0), accE)));
+            }
+            if (hasAct)
+                epi.push_back(call(Spec::unary(act, one, accE, accE)));
+        }
+        // Convert to fp16 and store the contiguous vector.
+        epi.push_back(call(Spec::move(
+            one, regE("%acc", width, ScalarType::Fp32, accOff),
+            regE("%cvt", width, ScalarType::Fp16, 0))));
+        TensorView dst("%cd", cfg.cName, Layout::vector(width),
+                       ScalarType::Fp16, MemorySpace::GL);
+        dst = dst.offsetBy(add(cBatch,
+                               add(mul(mExpr, constant(cfg.n)), nBase)));
+        epi.push_back(call(Spec::move(
+            one, regE("%cvt", width, ScalarType::Fp16, 0), dst)));
+        if (partialM)
+            outerEpi.push_back(ifStmt(lessThan(mExpr, constant(cfg.m)),
+                                      std::move(guarded)));
+    });
+    body.insert(body.end(), epi.begin(), epi.end());
+
+    kernel.setBody(std::move(body));
+    // Compulsory DRAM traffic: A and B panels stream through L2 (they
+    // fit at the paper's tile sizes), C is written once.
+    double dram = 2.0 * (cfg.m * cfg.k + cfg.k * cfg.n + cfg.m * cfg.n);
+    if (hasBias)
+        dram += 2.0 * cfg.n;
+    if (cfg.loadC)
+        dram += 2.0 * cfg.m * cfg.n;
+    kernel.setDramBytesHint(dram * cfg.batch);
+    return kernel;
+}
+
+} // namespace ops
+} // namespace graphene

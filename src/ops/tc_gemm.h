@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The optimized tensor-core GEMM generator: the hierarchical
+ * decomposition the paper evaluates in Fig. 9/10 (and the building
+ * block of the fused kernels).
+ *
+ * The kernel computes C[m,n] = epilogue(A[m,k] * B[k,n] (+ C) (+ bias))
+ * with fp16 inputs and fp32 tensor-core accumulation:
+ *   - block tiles staged through shared memory (cp.async on Ampere,
+ *     register round-trip on Volta), optionally with XOR-swizzled
+ *     layouts to avoid bank conflicts;
+ *   - Ampere: warp tiles fed by ldmatrix / ldmatrix.trans and
+ *     mma.m16n8k16;
+ *   - Volta: quad-pair mma.m8n8k4 with per-thread fragment loads.
+ */
+
+#ifndef GRAPHENE_OPS_TC_GEMM_H
+#define GRAPHENE_OPS_TC_GEMM_H
+
+#include "ops/common.h"
+
+namespace graphene
+{
+namespace ops
+{
+
+/** Pointwise epilogues fused into the GEMM (paper Fig. 10). */
+enum class Epilogue
+{
+    None,
+    Bias,
+    Relu,
+    BiasRelu,
+    BiasGelu,
+};
+
+std::string epilogueName(Epilogue e);
+
+struct TcGemmConfig
+{
+    int64_t m = 128;
+    int64_t n = 128;
+    int64_t k = 64;
+    int64_t bm = 128; // block tile
+    int64_t bn = 128;
+    int64_t bk = 32;
+    /** Warp tile; Volta uses 32x32 regardless. */
+    int64_t wm = 64;
+    int64_t wn = 64;
+    /** Swizzle shared-memory tiles (ablation: Fig. "swizzle"). */
+    bool swizzle = true;
+    /** Replace ldmatrix with per-thread fragment loads (ablation,
+     *  paper Section 2's ~17% claim; Ampere only). */
+    bool disableLdmatrix = false;
+    Epilogue epilogue = Epilogue::None;
+    /** Accumulate into the existing C (cuBLASLt beta=1 mode). */
+    bool loadC = false;
+
+    /** Batched GEMM: one (m,n,k) problem per batch entry. */
+    int64_t batch = 1;
+    int64_t batchStrideA = 0;
+    int64_t batchStrideB = 0;
+    int64_t batchStrideC = 0;
+
+    /** B is stored [n, k] row-major (e.g. K in Q*K^T). */
+    bool bTransposed = false;
+
+    /** Scale the result by a constant before the epilogue. */
+    double alpha = 1.0;
+
+    /** Buffer names (defaults "%A", "%B", "%C", "%bias"). */
+    std::string aName = "%A";
+    std::string bName = "%B";
+    std::string cName = "%C";
+    std::string biasName = "%bias";
+};
+
+/** Build the kernel for @p arch; checks divisibility constraints. */
+Kernel buildTcGemm(const GpuArch &arch, const TcGemmConfig &config);
+
+} // namespace ops
+} // namespace graphene
+
+#endif // GRAPHENE_OPS_TC_GEMM_H

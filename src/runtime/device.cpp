@@ -1,0 +1,75 @@
+#include "runtime/device.h"
+
+#include "support/check.h"
+
+namespace graphene
+{
+
+Device::Device(const GpuArch &arch)
+    : arch_(arch), memory_(), executor_(arch, memory_)
+{}
+
+void
+Device::allocate(const std::string &name, ScalarType scalar, int64_t count)
+{
+    memory_.allocate(name, scalar, count);
+}
+
+void
+Device::allocateVirtual(const std::string &name, ScalarType scalar,
+                        int64_t count)
+{
+    memory_.allocate(name, scalar, 0) =
+        sim::Buffer::makeVirtual(scalar, count);
+}
+
+void
+Device::upload(const std::string &name, ScalarType scalar,
+               const std::vector<double> &host)
+{
+    sim::Buffer &buf = memory_.allocate(name, scalar,
+                                        static_cast<int64_t>(host.size()));
+    for (size_t i = 0; i < host.size(); ++i)
+        buf.write(static_cast<int64_t>(i), host[i]);
+}
+
+std::vector<double>
+Device::download(const std::string &name) const
+{
+    return memory_.at(name).data();
+}
+
+sim::KernelProfile
+Device::launch(const Kernel &kernel, LaunchMode mode)
+{
+    sim::KernelProfile prof;
+    if (mode != LaunchMode::Timing) {
+        for (const auto &p : kernel.params())
+            GRAPHENE_CHECK(!memory_.at(p.buffer()).isVirtual())
+                << "functional launch of '" << kernel.name()
+                << "' touches virtual buffer '" << p.buffer() << "'";
+    }
+    switch (mode) {
+      case LaunchMode::Functional:
+        executor_.run(kernel);
+        return prof;
+      case LaunchMode::Timing:
+        prof = executor_.profile(kernel);
+        break;
+      case LaunchMode::FunctionalTimed:
+        prof = executor_.runAndProfile(kernel);
+        break;
+    }
+    streamTimeUs_ += prof.timing.timeUs;
+    ++launchCount_;
+    return prof;
+}
+
+void
+Device::resetStream()
+{
+    streamTimeUs_ = 0;
+    launchCount_ = 0;
+}
+
+} // namespace graphene

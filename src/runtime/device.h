@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Host-side runtime: a Device owns an architecture, its simulated
+ * global memory, and an execution stream that accounts kernel times
+ * the way the paper's baselines are measured (one launch overhead per
+ * kernel, intermediates round-tripping through global memory).
+ */
+
+#ifndef GRAPHENE_RUNTIME_DEVICE_H
+#define GRAPHENE_RUNTIME_DEVICE_H
+
+#include <string>
+#include <vector>
+
+#include "sim/executor.h"
+
+namespace graphene
+{
+
+/** How a kernel launch executes on the simulator. */
+enum class LaunchMode
+{
+    /** Every block runs; results are exact; no time estimate. */
+    Functional,
+    /** Representative block runs; time estimated; results invalid. */
+    Timing,
+    /** Every block runs AND block 0 is profiled (slow, exact). */
+    FunctionalTimed,
+};
+
+class Device
+{
+  public:
+    explicit Device(const GpuArch &arch);
+
+    const GpuArch &arch() const { return arch_; }
+    sim::DeviceMemory &memory() { return memory_; }
+
+    /** Allocate a global buffer (zero-initialized). */
+    void allocate(const std::string &name, ScalarType scalar,
+                  int64_t count);
+
+    /**
+     * Allocate a virtual buffer for timing-only launches: it reports
+     * @p count elements but backs them with a small wrapping window.
+     * Functional launches touching virtual buffers are rejected.
+     */
+    void allocateVirtual(const std::string &name, ScalarType scalar,
+                         int64_t count);
+
+    /** Allocate and fill from host data (rounded to the scalar type). */
+    void upload(const std::string &name, ScalarType scalar,
+                const std::vector<double> &host);
+
+    /** Read back a buffer. */
+    std::vector<double> download(const std::string &name) const;
+
+    /** Launch one kernel; accumulates stream time in Timing modes. */
+    sim::KernelProfile launch(const Kernel &kernel, LaunchMode mode);
+
+    /** Total accumulated stream time across launches (microseconds). */
+    double streamTimeUs() const { return streamTimeUs_; }
+
+    /** Number of kernel launches accounted so far. */
+    int64_t launchCount() const { return launchCount_; }
+
+    /** Reset the stream accounting (not the memory). */
+    void resetStream();
+
+  private:
+    const GpuArch &arch_;
+    sim::DeviceMemory memory_;
+    sim::Executor executor_;
+    double streamTimeUs_ = 0;
+    int64_t launchCount_ = 0;
+};
+
+} // namespace graphene
+
+#endif // GRAPHENE_RUNTIME_DEVICE_H

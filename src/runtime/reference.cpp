@@ -1,0 +1,160 @@
+#include "runtime/reference.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.h"
+
+namespace graphene
+{
+namespace ref
+{
+
+std::vector<double>
+gemm(const std::vector<double> &a, const std::vector<double> &b,
+     int64_t m, int64_t n, int64_t k)
+{
+    GRAPHENE_CHECK(static_cast<int64_t>(a.size()) == m * k
+                   && static_cast<int64_t>(b.size()) == k * n)
+        << "gemm operand sizes";
+    std::vector<double> c(static_cast<size_t>(m * n), 0.0);
+    for (int64_t i = 0; i < m; ++i)
+        for (int64_t kk = 0; kk < k; ++kk) {
+            const double av = a[static_cast<size_t>(i * k + kk)];
+            if (av == 0.0)
+                continue;
+            for (int64_t j = 0; j < n; ++j)
+                c[static_cast<size_t>(i * n + j)] +=
+                    av * b[static_cast<size_t>(kk * n + j)];
+        }
+    return c;
+}
+
+std::vector<double>
+biasAdd(const std::vector<double> &in, const std::vector<double> &bias,
+        int64_t m, int64_t n)
+{
+    std::vector<double> out(in.size());
+    for (int64_t i = 0; i < m; ++i)
+        for (int64_t j = 0; j < n; ++j)
+            out[static_cast<size_t>(i * n + j)] =
+                in[static_cast<size_t>(i * n + j)]
+                + bias[static_cast<size_t>(j)];
+    return out;
+}
+
+std::vector<double>
+relu(const std::vector<double> &in)
+{
+    std::vector<double> out(in.size());
+    for (size_t i = 0; i < in.size(); ++i)
+        out[i] = std::max(in[i], 0.0);
+    return out;
+}
+
+std::vector<double>
+gelu(const std::vector<double> &in)
+{
+    std::vector<double> out(in.size());
+    for (size_t i = 0; i < in.size(); ++i) {
+        const double x = in[i];
+        out[i] = 0.5 * x
+            * (1.0 + std::tanh(0.7978845608028654
+                               * (x + 0.044715 * x * x * x)));
+    }
+    return out;
+}
+
+std::vector<double>
+softmax(const std::vector<double> &in, int64_t m, int64_t n)
+{
+    std::vector<double> out(in.size());
+    for (int64_t i = 0; i < m; ++i) {
+        double mx = -1e300;
+        for (int64_t j = 0; j < n; ++j)
+            mx = std::max(mx, in[static_cast<size_t>(i * n + j)]);
+        double sum = 0;
+        for (int64_t j = 0; j < n; ++j) {
+            const double e =
+                std::exp(in[static_cast<size_t>(i * n + j)] - mx);
+            out[static_cast<size_t>(i * n + j)] = e;
+            sum += e;
+        }
+        for (int64_t j = 0; j < n; ++j)
+            out[static_cast<size_t>(i * n + j)] /= sum;
+    }
+    return out;
+}
+
+std::vector<double>
+layernorm(const std::vector<double> &in, const std::vector<double> &gamma,
+          const std::vector<double> &beta, int64_t m, int64_t n,
+          double epsilon)
+{
+    std::vector<double> out(in.size());
+    for (int64_t i = 0; i < m; ++i) {
+        double mean = 0;
+        for (int64_t j = 0; j < n; ++j)
+            mean += in[static_cast<size_t>(i * n + j)];
+        mean /= static_cast<double>(n);
+        double var = 0;
+        for (int64_t j = 0; j < n; ++j) {
+            const double d = in[static_cast<size_t>(i * n + j)] - mean;
+            var += d * d;
+        }
+        var /= static_cast<double>(n);
+        const double inv = 1.0 / std::sqrt(var + epsilon);
+        for (int64_t j = 0; j < n; ++j)
+            out[static_cast<size_t>(i * n + j)] =
+                (in[static_cast<size_t>(i * n + j)] - mean) * inv
+                    * gamma[static_cast<size_t>(j)]
+                + beta[static_cast<size_t>(j)];
+    }
+    return out;
+}
+
+std::vector<double>
+attention(const std::vector<double> &q, const std::vector<double> &k,
+          const std::vector<double> &v, int64_t s, int64_t d)
+{
+    // scores = Q K^T / sqrt(d): [s, s].
+    std::vector<double> scores(static_cast<size_t>(s * s), 0.0);
+    const double scale = 1.0 / std::sqrt(static_cast<double>(d));
+    for (int64_t i = 0; i < s; ++i)
+        for (int64_t j = 0; j < s; ++j) {
+            double acc = 0;
+            for (int64_t x = 0; x < d; ++x)
+                acc += q[static_cast<size_t>(i * d + x)]
+                    * k[static_cast<size_t>(j * d + x)];
+            scores[static_cast<size_t>(i * s + j)] = acc * scale;
+        }
+    auto p = softmax(scores, s, s);
+    return gemm(p, v, s, d, s);
+}
+
+double
+maxAbsDiff(const std::vector<double> &a, const std::vector<double> &b)
+{
+    GRAPHENE_CHECK(a.size() == b.size()) << "size mismatch";
+    double mx = 0;
+    for (size_t i = 0; i < a.size(); ++i)
+        mx = std::max(mx, std::fabs(a[i] - b[i]));
+    return mx;
+}
+
+double
+maxRelDiff(const std::vector<double> &a, const std::vector<double> &b,
+           double floor)
+{
+    GRAPHENE_CHECK(a.size() == b.size()) << "size mismatch";
+    double mx = 0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        const double denom = std::max({std::fabs(a[i]), std::fabs(b[i]),
+                                       floor});
+        mx = std::max(mx, std::fabs(a[i] - b[i]) / denom);
+    }
+    return mx;
+}
+
+} // namespace ref
+} // namespace graphene

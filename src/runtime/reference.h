@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Host-side reference implementations of the paper's tensor
+ * computations (fp64 accumulation).  Tests compare simulator results
+ * against these; workload generators use them to produce ground truth.
+ */
+
+#ifndef GRAPHENE_RUNTIME_REFERENCE_H
+#define GRAPHENE_RUNTIME_REFERENCE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace graphene
+{
+namespace ref
+{
+
+/** C[M,N] = A[M,K] * B[K,N], row-major. */
+std::vector<double> gemm(const std::vector<double> &a,
+                         const std::vector<double> &b, int64_t m,
+                         int64_t n, int64_t k);
+
+/** out[i,j] = in[i,j] + bias[j]. */
+std::vector<double> biasAdd(const std::vector<double> &in,
+                            const std::vector<double> &bias, int64_t m,
+                            int64_t n);
+
+/** Elementwise ReLU. */
+std::vector<double> relu(const std::vector<double> &in);
+
+/** Elementwise GELU (tanh approximation). */
+std::vector<double> gelu(const std::vector<double> &in);
+
+/** Row-wise softmax of an [m, n] matrix. */
+std::vector<double> softmax(const std::vector<double> &in, int64_t m,
+                            int64_t n);
+
+/**
+ * Row-wise layer normalization of an [m, n] matrix with per-column
+ * gamma/beta and epsilon.
+ */
+std::vector<double> layernorm(const std::vector<double> &in,
+                              const std::vector<double> &gamma,
+                              const std::vector<double> &beta, int64_t m,
+                              int64_t n, double epsilon = 1e-5);
+
+/**
+ * Single-head scaled-dot-product attention:
+ * softmax(Q K^T / sqrt(d)) V with Q,K,V as [s, d] row-major.
+ */
+std::vector<double> attention(const std::vector<double> &q,
+                              const std::vector<double> &k,
+                              const std::vector<double> &v, int64_t s,
+                              int64_t d);
+
+/** Maximum absolute difference between two equally sized vectors. */
+double maxAbsDiff(const std::vector<double> &a,
+                  const std::vector<double> &b);
+
+/** Maximum relative difference with absolute floor @p floor. */
+double maxRelDiff(const std::vector<double> &a,
+                  const std::vector<double> &b, double floor = 1e-3);
+
+} // namespace ref
+} // namespace graphene
+
+#endif // GRAPHENE_RUNTIME_REFERENCE_H

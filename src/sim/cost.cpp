@@ -1,0 +1,201 @@
+#include "sim/cost.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "support/check.h"
+
+namespace graphene
+{
+namespace sim
+{
+
+CostStats &
+CostStats::operator+=(const CostStats &other)
+{
+    tensorFlops += other.tensorFlops;
+    fp32Flops += other.fp32Flops;
+    fp16Flops += other.fp16Flops;
+    sfuOps += other.sfuOps;
+    issueSlots += other.issueSlots;
+    smemWavefronts += other.smemWavefronts;
+    globalSectors += other.globalSectors;
+    globalLoadBytes += other.globalLoadBytes;
+    globalStoreBytes += other.globalStoreBytes;
+    syncCount += other.syncCount;
+    return *this;
+}
+
+CostStats
+CostStats::operator-(const CostStats &other) const
+{
+    CostStats r = *this;
+    r.tensorFlops -= other.tensorFlops;
+    r.fp32Flops -= other.fp32Flops;
+    r.fp16Flops -= other.fp16Flops;
+    r.sfuOps -= other.sfuOps;
+    r.issueSlots -= other.issueSlots;
+    r.smemWavefronts -= other.smemWavefronts;
+    r.globalSectors -= other.globalSectors;
+    r.globalLoadBytes -= other.globalLoadBytes;
+    r.globalStoreBytes -= other.globalStoreBytes;
+    r.syncCount -= other.syncCount;
+    return r;
+}
+
+CostStats
+CostStats::scaled(double factor) const
+{
+    CostStats r = *this;
+    r.tensorFlops *= factor;
+    r.fp32Flops *= factor;
+    r.fp16Flops *= factor;
+    r.sfuOps *= factor;
+    r.issueSlots *= factor;
+    r.smemWavefronts *= factor;
+    r.globalSectors *= factor;
+    r.globalLoadBytes *= factor;
+    r.globalStoreBytes *= factor;
+    r.syncCount *= factor;
+    return r;
+}
+
+int64_t
+smemWavefronts(const std::vector<std::pair<int64_t, int64_t>>
+                   &threadAccesses,
+               const GpuArch &arch)
+{
+    // Model: per bank, count the distinct 4-byte words requested; the
+    // access serializes to the maximum over banks (same-word broadcast
+    // is free).  A thread accessing w words contributes to w banks.
+    const int64_t bankBytes = arch.smemBankBytes;
+    const int64_t banks = arch.smemBanks;
+    std::map<int64_t, std::set<int64_t>> wordsPerBank;
+    for (const auto &[addr, bytes] : threadAccesses) {
+        const int64_t firstWord = addr / bankBytes;
+        const int64_t lastWord = (addr + bytes - 1) / bankBytes;
+        for (int64_t w = firstWord; w <= lastWord; ++w)
+            wordsPerBank[w % banks].insert(w);
+    }
+    int64_t wavefronts = 1;
+    for (const auto &[bank, words] : wordsPerBank)
+        wavefronts = std::max(wavefronts,
+                              static_cast<int64_t>(words.size()));
+    return wavefronts;
+}
+
+int64_t
+globalSectors(const std::vector<std::pair<int64_t, int64_t>>
+                  &threadAccesses,
+              const GpuArch &arch)
+{
+    std::set<int64_t> sectors;
+    for (const auto &[addr, bytes] : threadAccesses) {
+        const int64_t first = addr / arch.sectorBytes;
+        const int64_t last = (addr + bytes - 1) / arch.sectorBytes;
+        for (int64_t s = first; s <= last; ++s)
+            sectors.insert(s);
+    }
+    return static_cast<int64_t>(sectors.size());
+}
+
+KernelTiming
+estimateKernelTiming(const GpuArch &arch, const CostStats &perBlock,
+                     int64_t gridSize, int64_t blockSize,
+                     int64_t smemBytes, double dramBytesHint)
+{
+    GRAPHENE_CHECK(smemBytes <= arch.maxSharedMemPerBlockBytes)
+        << "block uses " << smemBytes << " bytes of shared memory; the "
+        << arch.name << " limit is " << arch.maxSharedMemPerBlockBytes;
+
+    KernelTiming t;
+
+    // Occupancy: how many blocks fit on one SM.
+    int64_t blocksPerSm = arch.maxBlocksPerSm;
+    blocksPerSm = std::min(blocksPerSm, arch.maxThreadsPerSm / blockSize);
+    if (smemBytes > 0)
+        blocksPerSm = std::min(blocksPerSm,
+                               arch.sharedMemPerSmBytes / smemBytes);
+    GRAPHENE_CHECK(blocksPerSm >= 1)
+        << "kernel cannot be scheduled: block of " << blockSize
+        << " threads with " << smemBytes << " bytes shared memory";
+    t.blocksPerSm = blocksPerSm;
+
+    // Per-block pipe-limited cycles (per-SM peaks; the pipes are shared
+    // by co-resident blocks, so wave time scales with blocks per SM and
+    // the per-block cost stays the right unit of accounting).
+    struct PipeLoad { const char *name; double cycles; };
+    const double syncOverheadCycles = perBlock.syncCount * 20.0;
+    const std::vector<PipeLoad> pipes = {
+        {"tensor", perBlock.tensorFlops / arch.tensorFlopsPerCycle},
+        {"fp32", perBlock.fp32Flops / arch.fp32FlopsPerCycle},
+        {"fp16", perBlock.fp16Flops / arch.fp16FlopsPerCycle},
+        {"sfu", perBlock.sfuOps / arch.sfuOpsPerCycle},
+        {"issue", perBlock.issueSlots / arch.issueSlotsPerCycle},
+        {"smem", perBlock.smemWavefronts},
+        // L1/LSU: up to 4 global sectors serviced per cycle.
+        {"l1", perBlock.globalSectors / 4.0},
+    };
+    t.blockCycles = syncOverheadCycles;
+    t.boundBy = "sync";
+    double maxPipe = 0;
+    for (const auto &p : pipes) {
+        if (p.cycles > maxPipe) {
+            maxPipe = p.cycles;
+            t.boundBy = p.name;
+        }
+    }
+    t.blockCycles += maxPipe;
+
+    // Waves of blocks across the device.  Co-resident blocks share the
+    // SM pipes, so the makespan is the per-SM block count times the
+    // per-block pipe time (occupancy hides latency, which this
+    // throughput model does not charge for).
+    const int64_t concurrent = arch.numSms * blocksPerSm;
+    t.waves = (gridSize + concurrent - 1) / concurrent;
+    const int64_t blocksPerSmTotal = (gridSize + arch.numSms - 1)
+        / arch.numSms;
+    const double smCycles = static_cast<double>(blocksPerSmTotal)
+        * t.blockCycles;
+    t.smTimeUs = smCycles / (arch.clockGhz * 1e3);
+
+    // DRAM side over the whole kernel.  A non-zero hint gives the
+    // compulsory traffic (L2 catches block-tile panel reuse); it never
+    // exceeds the raw request volume.
+    const double requested = (perBlock.globalLoadBytes
+                              + perBlock.globalStoreBytes) * gridSize;
+    const double totalBytes = dramBytesHint > 0
+        ? std::min(dramBytesHint, requested)
+        : requested;
+    t.dramTimeUs = totalBytes / (arch.dramBandwidthGBs * 1e3);
+
+    t.launchOverheadUs = arch.kernelLaunchOverheadUs;
+    const double body = std::max(t.smTimeUs, t.dramTimeUs);
+    if (t.dramTimeUs > t.smTimeUs)
+        t.boundBy = "dram";
+    t.timeUs = body + t.launchOverheadUs;
+
+    // Percent-of-peak metrics over the kernel body time.
+    if (body > 0) {
+        const double secs = body * 1e-6;
+        t.tensorPipePct = 100.0 * (perBlock.tensorFlops * gridSize)
+            / (arch.tensorFlopsPerCycle * arch.numSms * arch.clockGhz * 1e9
+               * secs);
+        t.fp32PipePct = 100.0 * (perBlock.fp32Flops * gridSize)
+            / (arch.fp32FlopsPerCycle * arch.numSms * arch.clockGhz * 1e9
+               * secs);
+        t.dramPct = 100.0 * totalBytes / (arch.dramBandwidthGBs * 1e9
+                                          * secs);
+        t.smemPct = 100.0 * (perBlock.smemWavefronts * gridSize)
+            / (arch.numSms * arch.clockGhz * 1e9 * secs);
+        t.tensorPipePct = std::min(t.tensorPipePct, 100.0);
+        t.fp32PipePct = std::min(t.fp32PipePct, 100.0);
+        t.dramPct = std::min(t.dramPct, 100.0);
+        t.smemPct = std::min(t.smemPct, 100.0);
+    }
+    return t;
+}
+
+} // namespace sim
+} // namespace graphene

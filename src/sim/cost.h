@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The timing model: per-block cost statistics accumulated by the
+ * executor, shared-memory bank-conflict and global-coalescing helpers,
+ * and the kernel-level time estimate.
+ *
+ * The model is throughput-oriented (an SM is a set of pipes with known
+ * per-cycle peaks; latency is assumed hidden by occupancy).  This is
+ * exactly the operating point the paper measures: steady-state
+ * compute-bound GEMMs and bandwidth-bound pointwise kernels, profiled
+ * as percent-of-peak by Nsight Compute.
+ */
+
+#ifndef GRAPHENE_SIM_COST_H
+#define GRAPHENE_SIM_COST_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/gpu_arch.h"
+
+namespace graphene
+{
+namespace sim
+{
+
+/** Work counters accumulated while executing one thread-block. */
+struct CostStats
+{
+    double tensorFlops = 0;     // tensor-core FLOPs
+    double fp32Flops = 0;       // FMA-pipe FLOPs
+    double fp16Flops = 0;       // fp16x2-pipe FLOPs
+    double sfuOps = 0;          // special-function ops
+    double issueSlots = 0;      // warp-instructions issued
+    double smemWavefronts = 0;  // shared-memory access cycles
+    double globalSectors = 0;   // 32-byte global sectors touched
+    double globalLoadBytes = 0;
+    double globalStoreBytes = 0;
+    double syncCount = 0;
+
+    CostStats &operator+=(const CostStats &other);
+    CostStats operator-(const CostStats &other) const;
+    CostStats scaled(double factor) const;
+};
+
+/**
+ * Shared-memory wavefronts for one warp-wide access: each entry is the
+ * starting *byte* address and byte-width of one thread's access.
+ * Returns the serialization count (1 = conflict-free; a same-word
+ * broadcast does not conflict).
+ */
+int64_t smemWavefronts(const std::vector<std::pair<int64_t, int64_t>>
+                           &threadAccesses,
+                       const GpuArch &arch);
+
+/**
+ * Global-memory sectors for one warp-wide access (32-byte sectors, the
+ * coalescing granularity).
+ */
+int64_t globalSectors(const std::vector<std::pair<int64_t, int64_t>>
+                          &threadAccesses,
+                      const GpuArch &arch);
+
+/** Timing estimate for one kernel launch. */
+struct KernelTiming
+{
+    double blockCycles = 0;   // per-block pipe-limited cycles
+    double smTimeUs = 0;      // compute-side time across waves
+    double dramTimeUs = 0;    // bandwidth-side time
+    double timeUs = 0;        // max(sm, dram) + launch overhead
+    double launchOverheadUs = 0;
+    int64_t waves = 0;
+    int64_t blocksPerSm = 0;
+
+    // Nsight-style percent-of-peak (0..100).
+    double tensorPipePct = 0;
+    double fp32PipePct = 0;
+    double dramPct = 0;
+    double smemPct = 0;
+
+    /** The pipe that bounds the per-block time ("tensor", "dram", ...). */
+    std::string boundBy;
+};
+
+/**
+ * Combine per-block stats into a kernel-level time.
+ *
+ * @param perBlock   cost of one (representative) block
+ * @param gridSize   number of blocks
+ * @param blockSize  threads per block
+ * @param smemBytes  static shared memory per block
+ */
+KernelTiming estimateKernelTiming(const GpuArch &arch,
+                                  const CostStats &perBlock,
+                                  int64_t gridSize, int64_t blockSize,
+                                  int64_t smemBytes,
+                                  double dramBytesHint = 0);
+
+} // namespace sim
+} // namespace graphene
+
+#endif // GRAPHENE_SIM_COST_H

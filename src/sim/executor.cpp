@@ -1,0 +1,677 @@
+#include "sim/executor.h"
+
+#include <functional>
+
+#include "ir/verifier.h"
+#include "support/check.h"
+
+namespace graphene
+{
+namespace sim
+{
+
+namespace
+{
+
+/** Per-level linear indices for canonical value @p v (innermost level
+ *  varies fastest; colexicographic within each level). */
+std::vector<int64_t>
+levelIndicesFor(const TensorView &view, int64_t v)
+{
+    std::vector<int64_t> idx(view.numLevels());
+    for (int l = view.numLevels() - 1; l >= 0; --l) {
+        const int64_t size = view.level(l).size();
+        idx[l] = v % size;
+        v /= size;
+    }
+    return idx;
+}
+
+} // namespace
+
+struct Executor::BlockCtx
+{
+    int64_t bid = 0;
+    int64_t blockSize = 0;
+    bool timingMode = false;
+    std::map<std::string, Buffer> shared;
+    // regs[tid][bufferName]
+    std::vector<std::map<std::string, Buffer>> regs;
+    std::map<std::string, int64_t> loopVars;
+    std::vector<ExprPtr> predicates; // tid-dependent guards
+    CostStats stats;
+
+    /** Variable lookup for a specific thread. */
+    std::function<int64_t(const std::string &)>
+    lookupFor(int64_t tid) const
+    {
+        return [this, tid](const std::string &name) -> int64_t {
+            if (name == "tid")
+                return tid;
+            if (name == "bid")
+                return bid;
+            auto it = loopVars.find(name);
+            GRAPHENE_CHECK(it != loopVars.end())
+                << "unbound variable '" << name << "' in simulation";
+            return it->second;
+        };
+    }
+
+    bool
+    active(int64_t tid) const
+    {
+        for (const auto &p : predicates)
+            if (p->eval(lookupFor(tid)) == 0)
+                return false;
+        return true;
+    }
+};
+
+Executor::Executor(const GpuArch &arch, DeviceMemory &memory)
+    : arch_(arch), registry_(AtomicSpecRegistry::forArch(arch)),
+      memory_(memory)
+{}
+
+void
+Executor::checkParams(const Kernel &kernel) const
+{
+    for (const auto &p : kernel.params()) {
+        GRAPHENE_CHECK(memory_.contains(p.buffer()))
+            << "kernel parameter '" << p.buffer()
+            << "' has no device buffer";
+        const Buffer &buf = memory_.at(p.buffer());
+        GRAPHENE_CHECK(buf.size() >= p.outer().cosize())
+            << "device buffer '" << p.buffer() << "' holds " << buf.size()
+            << " elements but the kernel views " << p.outer().cosize();
+    }
+}
+
+void
+Executor::run(const Kernel &kernel)
+{
+    verifyKernelOrThrow(kernel);
+    checkParams(kernel);
+    for (int64_t bid = 0; bid < kernel.gridSize(); ++bid)
+        execBlock(kernel, bid, /*timingMode=*/false, nullptr);
+}
+
+KernelProfile
+Executor::profile(const Kernel &kernel)
+{
+    verifyKernelOrThrow(kernel);
+    checkParams(kernel);
+    KernelProfile prof;
+    execBlock(kernel, 0, /*timingMode=*/true, &prof.perBlock);
+    prof.blocksExecuted = 1;
+    prof.timing = estimateKernelTiming(arch_, prof.perBlock,
+                                       kernel.gridSize(),
+                                       kernel.blockSize(),
+                                       kernel.sharedMemoryBytes(),
+                                       kernel.dramBytesHint());
+    return prof;
+}
+
+KernelProfile
+Executor::runAndProfile(const Kernel &kernel)
+{
+    verifyKernelOrThrow(kernel);
+    checkParams(kernel);
+    KernelProfile prof;
+    for (int64_t bid = 0; bid < kernel.gridSize(); ++bid)
+        execBlock(kernel, bid, /*timingMode=*/false,
+                  bid == 0 ? &prof.perBlock : nullptr);
+    prof.blocksExecuted = kernel.gridSize();
+    prof.timing = estimateKernelTiming(arch_, prof.perBlock,
+                                       kernel.gridSize(),
+                                       kernel.blockSize(),
+                                       kernel.sharedMemoryBytes(),
+                                       kernel.dramBytesHint());
+    return prof;
+}
+
+void
+Executor::execBlock(const Kernel &kernel, int64_t bid, bool timingMode,
+                    CostStats *stats)
+{
+    BlockCtx ctx;
+    ctx.bid = bid;
+    ctx.blockSize = kernel.blockSize();
+    ctx.timingMode = timingMode;
+    ctx.regs.resize(static_cast<size_t>(ctx.blockSize));
+    execStmts(kernel.body(), ctx);
+    if (stats)
+        *stats = ctx.stats;
+}
+
+void
+Executor::execStmts(const std::vector<StmtPtr> &stmts, BlockCtx &ctx)
+{
+    for (const auto &s : stmts)
+        execStmt(*s, ctx);
+}
+
+void
+Executor::execStmt(const Stmt &stmt, BlockCtx &ctx)
+{
+    switch (stmt.kind) {
+      case StmtKind::For: {
+        const int64_t trips = (stmt.end - stmt.begin + stmt.step - 1)
+            / stmt.step;
+        if (ctx.timingMode && stmt.uniformCost && trips >= 4) {
+            // Execute two iterations; extrapolate the steady-state cost
+            // of the second across the remaining trips.
+            ctx.loopVars[stmt.loopVar] = stmt.begin;
+            const CostStats before = ctx.stats;
+            execStmts(stmt.body, ctx);
+            ctx.loopVars[stmt.loopVar] = stmt.begin + stmt.step;
+            const CostStats afterFirst = ctx.stats;
+            execStmts(stmt.body, ctx);
+            const CostStats second = ctx.stats - afterFirst;
+            (void)before;
+            ctx.stats += second.scaled(static_cast<double>(trips - 2));
+            ctx.loopVars.erase(stmt.loopVar);
+            return;
+        }
+        for (int64_t v = stmt.begin; v < stmt.end; v += stmt.step) {
+            ctx.loopVars[stmt.loopVar] = v;
+            execStmts(stmt.body, ctx);
+        }
+        ctx.loopVars.erase(stmt.loopVar);
+        return;
+      }
+      case StmtKind::If: {
+        if (exprUsesVar(stmt.cond, "tid")) {
+            // Thread-dependent predication: guard leaf specs.
+            ctx.predicates.push_back(stmt.cond);
+            execStmts(stmt.body, ctx);
+            ctx.predicates.pop_back();
+            if (!stmt.elseBody.empty()) {
+                ctx.predicates.push_back(
+                    lessThan(stmt.cond, constant(1)));
+                execStmts(stmt.elseBody, ctx);
+                ctx.predicates.pop_back();
+            }
+            return;
+        }
+        const int64_t cond = stmt.cond->eval(ctx.lookupFor(0));
+        execStmts(cond != 0 ? stmt.body : stmt.elseBody, ctx);
+        return;
+      }
+      case StmtKind::Sync:
+        ctx.stats.syncCount += 1;
+        return;
+      case StmtKind::SpecCall:
+        if (stmt.spec->isLeaf())
+            execLeafSpec(*stmt.spec, ctx);
+        else
+            execStmts(stmt.spec->body(), ctx);
+        return;
+      case StmtKind::Alloc:
+        if (stmt.allocMemory == MemorySpace::SH) {
+            ctx.shared[stmt.allocName] =
+                Buffer(stmt.allocScalar, stmt.allocCount);
+        } else {
+            for (auto &rf : ctx.regs)
+                rf[stmt.allocName] = Buffer(stmt.allocScalar,
+                                            stmt.allocCount);
+        }
+        return;
+      case StmtKind::Comment:
+        return;
+    }
+}
+
+namespace
+{
+
+/** Resolve the backing buffer of a view for a given thread. */
+Buffer &
+resolveBuffer(const TensorView &view, DeviceMemory &memory,
+              std::map<std::string, Buffer> &shared,
+              std::vector<std::map<std::string, Buffer>> &regs,
+              int64_t tid)
+{
+    switch (view.memory()) {
+      case MemorySpace::GL:
+        return memory.at(view.buffer());
+      case MemorySpace::SH: {
+        auto it = shared.find(view.buffer());
+        GRAPHENE_CHECK(it != shared.end())
+            << "shared buffer '" << view.buffer() << "' not allocated";
+        return it->second;
+      }
+      case MemorySpace::RF: {
+        auto &rf = regs[static_cast<size_t>(tid)];
+        auto it = rf.find(view.buffer());
+        GRAPHENE_CHECK(it != rf.end())
+            << "register buffer '" << view.buffer()
+            << "' not allocated for thread " << tid;
+        return it->second;
+      }
+    }
+    panic("unknown memory space");
+}
+
+} // namespace
+
+void
+Executor::execLeafSpec(const Spec &spec, BlockCtx &ctx)
+{
+    const AtomicSpecInfo &info = registry_.matchOrThrow(spec);
+    const int64_t blockSize = ctx.blockSize;
+
+    auto lookup = [&](int64_t tid) { return ctx.lookupFor(tid); };
+    auto buffer = [&](const TensorView &v, int64_t tid) -> Buffer & {
+        return resolveBuffer(v, memory_, ctx.shared, ctx.regs, tid);
+    };
+    auto readValues = [&](const TensorView &v, int64_t tid) {
+        Buffer &buf = buffer(v, tid);
+        const auto lk = lookup(tid);
+        const int64_t n = v.totalSize();
+        std::vector<double> vals(static_cast<size_t>(n));
+        for (int64_t i = 0; i < n; ++i)
+            vals[static_cast<size_t>(i)] =
+                buf.read(v.elementAddress(levelIndicesFor(v, i), lk));
+        return vals;
+    };
+    auto writeValues = [&](const TensorView &v, int64_t tid,
+                           const std::vector<double> &vals) {
+        Buffer &buf = buffer(v, tid);
+        const auto lk = lookup(tid);
+        for (int64_t i = 0; i < v.totalSize(); ++i)
+            buf.write(v.elementAddress(levelIndicesFor(v, i), lk),
+                      vals[static_cast<size_t>(i)]);
+    };
+    /** (byte address, byte width) ranges one thread touches in @p v. */
+    auto accessRanges = [&](const TensorView &v, int64_t tid,
+                            bool contiguous) {
+        const auto lk = lookup(tid);
+        const int64_t esize = scalarSizeBytes(v.scalar());
+        std::vector<std::pair<int64_t, int64_t>> ranges;
+        if (contiguous) {
+            const int64_t base =
+                v.elementAddress(levelIndicesFor(v, 0), lk);
+            ranges.emplace_back(base * esize, v.totalSize() * esize);
+        } else {
+            for (int64_t i = 0; i < v.totalSize(); ++i)
+                ranges.emplace_back(
+                    v.elementAddress(levelIndicesFor(v, i), lk) * esize,
+                    esize);
+        }
+        return ranges;
+    };
+    /** Account one warp-wide memory access on view @p v. */
+    auto accountMemAccess = [&](const TensorView &v,
+                                const std::vector<int64_t> &lanes,
+                                bool isLoad) {
+        if (v.memory() == MemorySpace::RF)
+            return;
+        std::vector<std::pair<int64_t, int64_t>> ranges;
+        for (int64_t t : lanes) {
+            auto r = accessRanges(v, t, info.requiresContiguous
+                                  || v.totalSize() == 1);
+            ranges.insert(ranges.end(), r.begin(), r.end());
+        }
+        if (v.memory() == MemorySpace::SH) {
+            ctx.stats.smemWavefronts +=
+                static_cast<double>(smemWavefronts(ranges, arch_));
+        } else {
+            const int64_t sectors = globalSectors(ranges, arch_);
+            ctx.stats.globalSectors += static_cast<double>(sectors);
+            const double bytes =
+                static_cast<double>(sectors) * arch_.sectorBytes;
+            if (isLoad)
+                ctx.stats.globalLoadBytes += bytes;
+            else
+                ctx.stats.globalStoreBytes += bytes;
+        }
+    };
+    auto addFlops = [&](double flops) {
+        switch (info.pipe) {
+          case Pipe::Tensor: ctx.stats.tensorFlops += flops; break;
+          case Pipe::Fp16: ctx.stats.fp16Flops += flops; break;
+          case Pipe::Sfu: ctx.stats.sfuOps += flops; break;
+          default: ctx.stats.fp32Flops += flops; break;
+        }
+    };
+
+    switch (info.opcode) {
+      // ---------------------------------------------- per-thread ops -
+      case AtomicOpcode::LdGlobal:
+      case AtomicOpcode::StGlobal:
+      case AtomicOpcode::LdShared:
+      case AtomicOpcode::StShared:
+      case AtomicOpcode::MoveReg:
+      case AtomicOpcode::CpAsync: {
+        const TensorView &src = spec.inputs()[0];
+        const TensorView &dst = spec.outputs()[0];
+        for (int64_t warp = 0; warp < blockSize; warp += 32) {
+            std::vector<int64_t> lanes;
+            for (int64_t t = warp; t < std::min(warp + 32, blockSize);
+                 ++t)
+                if (ctx.active(t))
+                    lanes.push_back(t);
+            if (lanes.empty())
+                continue;
+            ctx.stats.issueSlots += 1;
+            for (int64_t t : lanes)
+                writeValues(dst, t, readValues(src, t));
+            accountMemAccess(src, lanes, /*isLoad=*/true);
+            accountMemAccess(dst, lanes, /*isLoad=*/false);
+        }
+        return;
+      }
+      case AtomicOpcode::FmaScalar:
+      case AtomicOpcode::Hfma2: {
+        const TensorView &a = spec.inputs()[0];
+        const TensorView &b = spec.inputs()[1];
+        const TensorView &d = spec.outputs()[0];
+        int64_t activeCount = 0;
+        for (int64_t warp = 0; warp < blockSize; warp += 32) {
+            std::vector<int64_t> lanes;
+            for (int64_t t = warp; t < std::min(warp + 32, blockSize);
+                 ++t)
+                if (ctx.active(t))
+                    lanes.push_back(t);
+            if (lanes.empty())
+                continue;
+            for (int64_t t : lanes) {
+                ++activeCount;
+                auto av = readValues(a, t);
+                auto bv = readValues(b, t);
+                auto dv = readValues(d, t);
+                for (size_t i = 0; i < dv.size(); ++i)
+                    dv[i] += av[i] * bv[i];
+                writeValues(d, t, dv);
+            }
+            ctx.stats.issueSlots += 1;
+            // Memory-resident operands (Fig. 8 style) cost accesses;
+            // the accumulator is read-modify-write.
+            accountMemAccess(a, lanes, /*isLoad=*/true);
+            accountMemAccess(b, lanes, /*isLoad=*/true);
+            accountMemAccess(d, lanes, /*isLoad=*/true);
+            accountMemAccess(d, lanes, /*isLoad=*/false);
+        }
+        addFlops(static_cast<double>(activeCount) * 2.0
+                 * static_cast<double>(info.elemsOut));
+        return;
+      }
+      case AtomicOpcode::UnaryScalar:
+      case AtomicOpcode::BinaryScalar:
+      case AtomicOpcode::BinaryVector2: {
+        const TensorView &out = spec.outputs()[0];
+        const bool isBinary = spec.kind() == SpecKind::BinaryPointwise;
+        const bool sfu = spec.op() == OpKind::Exp
+            || spec.op() == OpKind::Rsqrt || spec.op() == OpKind::Tanh
+            || spec.op() == OpKind::Sigmoid || spec.op() == OpKind::Gelu;
+        int64_t activeCount = 0;
+        for (int64_t warp = 0; warp < blockSize; warp += 32) {
+            bool any = false;
+            for (int64_t t = warp; t < std::min(warp + 32, blockSize);
+                 ++t) {
+                if (!ctx.active(t))
+                    continue;
+                any = true;
+                ++activeCount;
+                auto av = readValues(spec.inputs()[0], t);
+                std::vector<double> ov(av.size());
+                if (isBinary && !spec.hasScalarOperand()) {
+                    auto bv = readValues(spec.inputs()[1], t);
+                    for (size_t i = 0; i < av.size(); ++i)
+                        ov[i] = applyOp(spec.op(), av[i], bv[i]);
+                } else if (isBinary) {
+                    for (size_t i = 0; i < av.size(); ++i)
+                        ov[i] = applyOp(spec.op(), av[i],
+                                        spec.scalarOperand());
+                } else {
+                    for (size_t i = 0; i < av.size(); ++i)
+                        ov[i] = applyOp(spec.op(), av[i]);
+                }
+                writeValues(out, t, ov);
+            }
+            if (any)
+                ctx.stats.issueSlots += 1;
+        }
+        const double ops = static_cast<double>(activeCount)
+            * static_cast<double>(out.totalSize());
+        if (sfu)
+            ctx.stats.sfuOps += ops;
+        else
+            addFlops(ops);
+        return;
+      }
+      case AtomicOpcode::ReduceSerial: {
+        const TensorView &in = spec.inputs()[0];
+        const TensorView &out = spec.outputs()[0];
+        int64_t activeCount = 0;
+        for (int64_t warp = 0; warp < blockSize; warp += 32) {
+            bool any = false;
+            for (int64_t t = warp; t < std::min(warp + 32, blockSize);
+                 ++t) {
+                if (!ctx.active(t))
+                    continue;
+                any = true;
+                ++activeCount;
+                auto vals = readValues(in, t);
+                double acc = reductionIdentity(spec.op());
+                for (double v : vals)
+                    acc = applyOp(spec.op(), acc, v);
+                writeValues(out, t, {acc});
+            }
+            if (any)
+                ctx.stats.issueSlots +=
+                    static_cast<double>(in.totalSize()) / 32.0 + 1;
+        }
+        ctx.stats.fp32Flops += static_cast<double>(activeCount)
+            * static_cast<double>(in.totalSize());
+        return;
+      }
+      case AtomicOpcode::InitReg: {
+        const TensorView &out = spec.outputs()[0];
+        for (int64_t warp = 0; warp < blockSize; warp += 32) {
+            bool any = false;
+            for (int64_t t = warp; t < std::min(warp + 32, blockSize);
+                 ++t) {
+                if (!ctx.active(t))
+                    continue;
+                any = true;
+                std::vector<double> vals(
+                    static_cast<size_t>(out.totalSize()),
+                    spec.initValue());
+                writeValues(out, t, vals);
+            }
+            if (any)
+                ctx.stats.issueSlots += 1;
+        }
+        return;
+      }
+      // -------------------------------------------- warp-collective -
+      case AtomicOpcode::ShflSync: {
+        const TensorView &in = spec.inputs()[0];
+        const TensorView &out = spec.outputs()[0];
+        for (int64_t warp = 0; warp + 32 <= blockSize; warp += 32) {
+            if (!ctx.active(warp))
+                continue;
+            std::vector<double> lane(32);
+            for (int64_t l = 0; l < 32; ++l)
+                lane[static_cast<size_t>(l)] =
+                    readValues(in, warp + l)[0];
+            for (int64_t l = 0; l < 32; ++l) {
+                int64_t srcLane = l;
+                switch (spec.shflMode()) {
+                  case ShflMode::Bfly: srcLane = l ^ spec.shflArg(); break;
+                  case ShflMode::Down:
+                    srcLane = l + spec.shflArg();
+                    if (srcLane >= 32)
+                        srcLane = l;
+                    break;
+                  case ShflMode::Idx: srcLane = spec.shflArg(); break;
+                }
+                writeValues(out, warp + l,
+                            {lane[static_cast<size_t>(srcLane)]});
+            }
+            ctx.stats.issueSlots += 1;
+        }
+        return;
+      }
+      case AtomicOpcode::Ldmatrix:
+      case AtomicOpcode::LdmatrixTrans: {
+        const bool trans = info.opcode == AtomicOpcode::LdmatrixTrans;
+        const TensorView &src = spec.inputs()[0];
+        const TensorView &dst = spec.outputs()[0];
+        for (int64_t warp = 0; warp + 32 <= blockSize; warp += 32) {
+            if (!ctx.active(warp))
+                continue;
+            // Phase 1: the four 8x8 matrices; matrix g's row r comes
+            // from thread 8g + r's source view (8 contiguous halves).
+            double tiles[4][8][8];
+            std::vector<std::pair<int64_t, int64_t>> allRanges;
+            for (int64_t g = 0; g < 4; ++g) {
+                for (int64_t r = 0; r < 8; ++r) {
+                    const int64_t t = warp + 8 * g + r;
+                    auto row = readValues(src, t);
+                    GRAPHENE_ASSERT(row.size() == 8u)
+                        << "ldmatrix row must have 8 elements";
+                    for (int64_t c = 0; c < 8; ++c)
+                        tiles[g][r][c] = row[static_cast<size_t>(c)];
+                    auto ranges = accessRanges(src, t, true);
+                    allRanges.insert(allRanges.end(), ranges.begin(),
+                                     ranges.end());
+                }
+            }
+            // Phase 2: distribute — thread t receives, for register
+            // pair g, elements (t/4, 2*(t%4)) and (t/4, 2*(t%4)+1); the
+            // .trans variant distributes the transposed matrices.
+            for (int64_t l = 0; l < 32; ++l) {
+                std::vector<double> vals(8);
+                for (int64_t v = 0; v < 8; ++v) {
+                    const int64_t g = v / 2;
+                    const int64_t r = l / 4;
+                    const int64_t c = 2 * (l % 4) + (v % 2);
+                    vals[static_cast<size_t>(v)] =
+                        trans ? tiles[g][c][r] : tiles[g][r][c];
+                }
+                writeValues(dst, warp + l, vals);
+            }
+            ctx.stats.issueSlots += 1;
+            // The instruction performs 4 shared-memory phases of 8 rows
+            // each; conflicts computed per phase from the row addresses.
+            for (int64_t g = 0; g < 4; ++g) {
+                std::vector<std::pair<int64_t, int64_t>> phase(
+                    allRanges.begin() + g * 8,
+                    allRanges.begin() + (g + 1) * 8);
+                ctx.stats.smemWavefronts += static_cast<double>(
+                    smemWavefronts(phase, arch_));
+            }
+        }
+        return;
+      }
+      case AtomicOpcode::MmaM16N8K16:
+      case AtomicOpcode::MmaM16N8K8: {
+        const bool k16 = info.opcode == AtomicOpcode::MmaM16N8K16;
+        const int64_t K = k16 ? 16 : 8;
+        const TensorView &aView = spec.inputs()[0];
+        const TensorView &bView = spec.inputs()[1];
+        const TensorView &dView = spec.outputs()[0];
+        for (int64_t warp = 0; warp + 32 <= blockSize; warp += 32) {
+            if (!ctx.active(warp))
+                continue;
+            double A[16][16] = {};
+            double B[16][8] = {};
+            double D[16][8] = {};
+            for (int64_t l = 0; l < 32; ++l) {
+                auto av = readValues(aView, warp + l);
+                for (int64_t v = 0; v < info.elemsIn0; ++v) {
+                    const int64_t m = l / 4 + 8 * (k16 ? (v / 2) % 2
+                                                        : v / 2);
+                    const int64_t k = 2 * (l % 4) + v % 2
+                        + (k16 ? 8 * (v / 4) : 0);
+                    A[m][k] = av[static_cast<size_t>(v)];
+                }
+                auto bv = readValues(bView, warp + l);
+                for (int64_t v = 0; v < info.elemsIn1; ++v) {
+                    const int64_t k = 2 * (l % 4) + v % 2 + 8 * (v / 2);
+                    const int64_t n = l / 4;
+                    B[k][n] = bv[static_cast<size_t>(v)];
+                }
+                auto dv = readValues(dView, warp + l);
+                for (int64_t v = 0; v < info.elemsOut; ++v) {
+                    const int64_t m = l / 4 + 8 * (v / 2);
+                    const int64_t n = 2 * (l % 4) + v % 2;
+                    D[m][n] = dv[static_cast<size_t>(v)];
+                }
+            }
+            for (int64_t m = 0; m < 16; ++m)
+                for (int64_t n = 0; n < 8; ++n) {
+                    double acc = D[m][n];
+                    for (int64_t k = 0; k < K; ++k)
+                        acc += A[m][k] * B[k][n];
+                    D[m][n] = acc;
+                }
+            for (int64_t l = 0; l < 32; ++l) {
+                std::vector<double> dv(
+                    static_cast<size_t>(info.elemsOut));
+                for (int64_t v = 0; v < info.elemsOut; ++v) {
+                    const int64_t m = l / 4 + 8 * (v / 2);
+                    const int64_t n = 2 * (l % 4) + v % 2;
+                    dv[static_cast<size_t>(v)] = D[m][n];
+                }
+                writeValues(dView, warp + l, dv);
+            }
+            ctx.stats.issueSlots += 1;
+            ctx.stats.tensorFlops +=
+                static_cast<double>(info.flopsPerGroup);
+        }
+        return;
+      }
+      case AtomicOpcode::MmaM8N8K4: {
+        const TensorView &aView = spec.inputs()[0];
+        const TensorView &bView = spec.inputs()[1];
+        const TensorView &dView = spec.outputs()[0];
+        for (int64_t warp = 0; warp + 32 <= blockSize; warp += 32) {
+            if (!ctx.active(warp))
+                continue;
+            // Four quad-pairs per warp; QP q = lanes {4q..4q+3} and
+            // {16+4q..16+4q+3}.
+            for (int64_t q = 0; q < 4; ++q) {
+                double A[8][4] = {};
+                double B[4][8] = {};
+                double D[8][8] = {};
+                auto lanesOf = [&](int64_t qt) {
+                    return warp + 4 * q + (qt % 4) + 16 * (qt / 4);
+                };
+                for (int64_t qt = 0; qt < 8; ++qt) {
+                    const int64_t t = lanesOf(qt);
+                    auto av = readValues(aView, t);
+                    for (int64_t v = 0; v < 4; ++v)
+                        A[qt][v] = av[static_cast<size_t>(v)];
+                    auto bv = readValues(bView, t);
+                    for (int64_t v = 0; v < 4; ++v)
+                        B[v][qt] = bv[static_cast<size_t>(v)];
+                    auto dv = readValues(dView, t);
+                    for (int64_t v = 0; v < 8; ++v)
+                        D[qt][v] = dv[static_cast<size_t>(v)];
+                }
+                for (int64_t m = 0; m < 8; ++m)
+                    for (int64_t n = 0; n < 8; ++n)
+                        for (int64_t k = 0; k < 4; ++k)
+                            D[m][n] += A[m][k] * B[k][n];
+                for (int64_t qt = 0; qt < 8; ++qt) {
+                    std::vector<double> dv(8);
+                    for (int64_t v = 0; v < 8; ++v)
+                        dv[static_cast<size_t>(v)] = D[qt][v];
+                    writeValues(dView, lanesOf(qt), dv);
+                }
+                ctx.stats.tensorFlops +=
+                    static_cast<double>(info.flopsPerGroup);
+            }
+            ctx.stats.issueSlots += 1;
+        }
+        return;
+      }
+    }
+    panic("unhandled atomic opcode");
+}
+
+} // namespace sim
+} // namespace graphene

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The Graphene IR executor: a functional + timing GPU simulator.
+ *
+ * The executor interprets *decomposed Graphene IR directly* — the same
+ * IR the CUDA backend prints — per (block, warp, thread).  Leaf specs
+ * are matched against the architecture's atomic-spec registry and
+ * executed with the semantics of the associated instruction, including
+ * the cross-thread data distributions of ldmatrix and the tensor-core
+ * MMA fragment layouts.  This validates every data-to-thread mapping a
+ * kernel expresses.
+ *
+ * Two modes:
+ *  - Functional: every block executes; memory holds exact (fp16-rounded)
+ *    results.
+ *  - Timing: a representative block executes; loops marked uniformCost
+ *    run two iterations and extrapolate their cost; the cost model
+ *    (sim/cost.h) turns the per-block stats into a kernel time.
+ */
+
+#ifndef GRAPHENE_SIM_EXECUTOR_H
+#define GRAPHENE_SIM_EXECUTOR_H
+
+#include "arch/atomic_specs.h"
+#include "ir/kernel.h"
+#include "sim/cost.h"
+#include "sim/memory.h"
+
+namespace graphene
+{
+namespace sim
+{
+
+/** Result of profiling one kernel launch. */
+struct KernelProfile
+{
+    CostStats perBlock;
+    KernelTiming timing;
+    int64_t blocksExecuted = 0;
+};
+
+class Executor
+{
+  public:
+    Executor(const GpuArch &arch, DeviceMemory &memory);
+
+    /** Functional execution of every block (bit-faithful results). */
+    void run(const Kernel &kernel);
+
+    /**
+     * Timing execution: block 0 runs (with loop extrapolation) and the
+     * cost model produces the kernel time.  Functional results are NOT
+     * valid afterwards.
+     */
+    KernelProfile profile(const Kernel &kernel);
+
+    /**
+     * Functional execution that also collects exact per-block cost for
+     * block 0 (no extrapolation).  Valid results + exact stats; slower.
+     */
+    KernelProfile runAndProfile(const Kernel &kernel);
+
+    const GpuArch &arch() const { return arch_; }
+
+  private:
+    struct BlockCtx;
+
+    void checkParams(const Kernel &kernel) const;
+    void execBlock(const Kernel &kernel, int64_t bid, bool timingMode,
+                   CostStats *stats);
+
+    void execStmts(const std::vector<StmtPtr> &stmts, BlockCtx &ctx);
+    void execStmt(const Stmt &stmt, BlockCtx &ctx);
+    void execLeafSpec(const Spec &spec, BlockCtx &ctx);
+
+    const GpuArch &arch_;
+    const AtomicSpecRegistry &registry_;
+    DeviceMemory &memory_;
+};
+
+} // namespace sim
+} // namespace graphene
+
+#endif // GRAPHENE_SIM_EXECUTOR_H

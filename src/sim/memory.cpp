@@ -1,0 +1,111 @@
+#include "sim/memory.h"
+
+#include "numerics/half.h"
+#include "support/check.h"
+
+namespace graphene
+{
+namespace sim
+{
+
+namespace
+{
+
+RoundTo
+roundModeFor(ScalarType scalar)
+{
+    switch (scalar) {
+      case ScalarType::Fp16: return RoundTo::Fp16;
+      case ScalarType::Bf16: return RoundTo::Bf16;
+      case ScalarType::Fp32: return RoundTo::Fp32;
+      default: return RoundTo::Int32;
+    }
+}
+
+} // namespace
+
+Buffer::Buffer(ScalarType scalar, int64_t count)
+    : scalar_(scalar), data_(static_cast<size_t>(count), 0.0)
+{
+    GRAPHENE_CHECK(count >= 0) << "negative buffer size";
+}
+
+Buffer
+Buffer::makeVirtual(ScalarType scalar, int64_t count)
+{
+    constexpr int64_t kWindow = 1 << 16;
+    Buffer b(scalar, std::min(count, kWindow));
+    b.virtualSize_ = count;
+    return b;
+}
+
+double
+Buffer::read(int64_t index) const
+{
+    GRAPHENE_CHECK(index >= 0 && index < size())
+        << "out-of-bounds read at " << index << " (size " << size() << ")";
+    if (virtualSize_ > 0)
+        index %= static_cast<int64_t>(data_.size());
+    return data_[static_cast<size_t>(index)];
+}
+
+void
+Buffer::write(int64_t index, double value)
+{
+    GRAPHENE_CHECK(index >= 0 && index < size())
+        << "out-of-bounds write at " << index << " (size " << size()
+        << ")";
+    if (virtualSize_ > 0)
+        index %= static_cast<int64_t>(data_.size());
+    data_[static_cast<size_t>(index)] =
+        roundToPrecision(value, roundModeFor(scalar_));
+}
+
+void
+Buffer::roundAll()
+{
+    const RoundTo mode = roundModeFor(scalar_);
+    for (auto &v : data_)
+        v = roundToPrecision(v, mode);
+}
+
+Buffer &
+DeviceMemory::allocate(const std::string &name, ScalarType scalar,
+                       int64_t count)
+{
+    buffers_[name] = Buffer(scalar, count);
+    return buffers_[name];
+}
+
+bool
+DeviceMemory::contains(const std::string &name) const
+{
+    return buffers_.count(name) != 0;
+}
+
+Buffer &
+DeviceMemory::at(const std::string &name)
+{
+    auto it = buffers_.find(name);
+    GRAPHENE_CHECK(it != buffers_.end())
+        << "unknown device buffer '" << name << "'";
+    return it->second;
+}
+
+const Buffer &
+DeviceMemory::at(const std::string &name) const
+{
+    auto it = buffers_.find(name);
+    GRAPHENE_CHECK(it != buffers_.end())
+        << "unknown device buffer '" << name << "'";
+    return it->second;
+}
+
+void
+DeviceMemory::free(const std::string &name)
+{
+    buffers_.erase(name);
+}
+
+} // namespace sim
+} // namespace graphene

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Simulated GPU memories.
+ *
+ * All values are stored as doubles and rounded to the buffer's scalar
+ * type on every write, so the functional results match what fp16/fp32
+ * GPU hardware computes (see numerics/half.h).
+ */
+
+#ifndef GRAPHENE_SIM_MEMORY_H
+#define GRAPHENE_SIM_MEMORY_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/scalar_type.h"
+
+namespace graphene
+{
+namespace sim
+{
+
+/** One named, typed linear buffer. */
+class Buffer
+{
+  public:
+    Buffer() = default;
+    Buffer(ScalarType scalar, int64_t count);
+
+    /**
+     * A virtual buffer reports @p count elements but backs them with a
+     * small window (addresses wrap).  For timing-mode launches whose
+     * values are don't-cares; reading one from a functional run would
+     * alias, so Device guards against that.
+     */
+    static Buffer makeVirtual(ScalarType scalar, int64_t count);
+
+    bool isVirtual() const { return virtualSize_ > 0; }
+
+    ScalarType scalar() const { return scalar_; }
+    int64_t size() const
+    {
+        return virtualSize_ > 0 ? virtualSize_
+                                : static_cast<int64_t>(data_.size());
+    }
+
+    double read(int64_t index) const;
+    void write(int64_t index, double value);
+
+    /** Raw storage (already rounded); for host-side fills/reads. */
+    std::vector<double> &data() { return data_; }
+    const std::vector<double> &data() const { return data_; }
+
+    /** Round every element to the scalar type (after a bulk fill). */
+    void roundAll();
+
+  private:
+    ScalarType scalar_ = ScalarType::Fp32;
+    std::vector<double> data_;
+    int64_t virtualSize_ = 0;
+};
+
+/** Device global memory: named buffers allocated by the host runtime. */
+class DeviceMemory
+{
+  public:
+    /** Allocate (or replace) a buffer. */
+    Buffer &allocate(const std::string &name, ScalarType scalar,
+                     int64_t count);
+
+    bool contains(const std::string &name) const;
+    Buffer &at(const std::string &name);
+    const Buffer &at(const std::string &name) const;
+
+    void free(const std::string &name);
+
+  private:
+    std::map<std::string, Buffer> buffers_;
+};
+
+} // namespace sim
+} // namespace graphene
+
+#endif // GRAPHENE_SIM_MEMORY_H

@@ -1,0 +1,18 @@
+#include "support/check.h"
+
+namespace graphene
+{
+
+void
+fatal(const std::string &msg)
+{
+    throw Error(msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    throw InternalError(msg);
+}
+
+} // namespace graphene

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Error-handling primitives for the Graphene library.
+ *
+ * Following the gem5 convention we distinguish two failure classes:
+ *  - GRAPHENE_CHECK / graphene::fatal: user-facing errors (malformed IR,
+ *    shapes that do not divide, unmatched atomic specs).  These raise
+ *    graphene::Error which callers may catch and report.
+ *  - GRAPHENE_ASSERT / graphene::panic: internal invariant violations
+ *    (library bugs).  These raise graphene::InternalError.
+ */
+
+#ifndef GRAPHENE_SUPPORT_CHECK_H
+#define GRAPHENE_SUPPORT_CHECK_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace graphene
+{
+
+/** Base class for all errors raised by the Graphene library. */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Raised on violated internal invariants (i.e., library bugs). */
+class InternalError : public Error
+{
+  public:
+    explicit InternalError(const std::string &msg) : Error(msg) {}
+};
+
+/** Raise a user-facing error with a formatted message. */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Raise an internal error with a formatted message. */
+[[noreturn]] void panic(const std::string &msg);
+
+namespace detail
+{
+
+/** Stream-style message builder used by the CHECK macros. */
+class MessageBuilder
+{
+  public:
+    template <typename T>
+    MessageBuilder &
+    operator<<(const T &value)
+    {
+        stream_ << value;
+        return *this;
+    }
+
+    std::string str() const { return stream_.str(); }
+
+  private:
+    std::ostringstream stream_;
+};
+
+} // namespace detail
+
+} // namespace graphene
+
+/**
+ * Check a user-facing condition; raises graphene::Error on failure.
+ * Usage: GRAPHENE_CHECK(a == b) << "a and b differ: " << a << " vs " << b;
+ */
+#define GRAPHENE_CHECK(cond)                                                 \
+    if (cond) {                                                              \
+    } else                                                                   \
+        for (::graphene::detail::MessageBuilder gph_mb;;                     \
+             ::graphene::fatal(std::string("check failed: " #cond " @ ")     \
+                               + __FILE__ + ":" + std::to_string(__LINE__)   \
+                               + ": " + gph_mb.str()))                       \
+        gph_mb
+
+/** Check an internal invariant; raises graphene::InternalError on failure. */
+#define GRAPHENE_ASSERT(cond)                                                \
+    if (cond) {                                                              \
+    } else                                                                   \
+        for (::graphene::detail::MessageBuilder gph_mb;;                     \
+             ::graphene::panic(std::string("assert failed: " #cond " @ ")    \
+                               + __FILE__ + ":" + std::to_string(__LINE__)   \
+                               + ": " + gph_mb.str()))                       \
+        gph_mb
+
+#endif // GRAPHENE_SUPPORT_CHECK_H

@@ -1,0 +1,87 @@
+#include "support/rng.h"
+
+#include <cmath>
+
+namespace graphene
+{
+
+namespace
+{
+
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &s : state_)
+        s = splitmix64(sm);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    return (next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + uniform() * (hi - lo);
+}
+
+int64_t
+Rng::uniformInt(int64_t lo, int64_t hi)
+{
+    return lo + static_cast<int64_t>(next() % static_cast<uint64_t>(hi - lo + 1));
+}
+
+double
+Rng::normal()
+{
+    double u1 = uniform();
+    double u2 = uniform();
+    if (u1 < 1e-300)
+        u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+std::vector<float>
+Rng::uniformVector(size_t n, float lo, float hi)
+{
+    std::vector<float> out(n);
+    for (auto &v : out)
+        v = static_cast<float>(uniform(lo, hi));
+    return out;
+}
+
+} // namespace graphene

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Deterministic random number generation for tests and workload
+ * generators.  All Graphene experiments are reproducible: every random
+ * tensor is derived from an explicit seed.
+ */
+
+#ifndef GRAPHENE_SUPPORT_RNG_H
+#define GRAPHENE_SUPPORT_RNG_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace graphene
+{
+
+/**
+ * A small, fast, deterministic PRNG (xoshiro256** variant).
+ *
+ * We avoid std::mt19937 so that sequences are stable across standard
+ * library implementations.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t uniformInt(int64_t lo, int64_t hi);
+
+    /** Standard normal via Box-Muller. */
+    double normal();
+
+    /** Fill @p n floats uniform in [lo, hi). */
+    std::vector<float> uniformVector(size_t n, float lo, float hi);
+
+  private:
+    uint64_t state_[4];
+};
+
+} // namespace graphene
+
+#endif // GRAPHENE_SUPPORT_RNG_H

@@ -1,0 +1,77 @@
+#include "support/string_utils.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace graphene
+{
+
+std::vector<std::string>
+split(const std::string &text, char sep)
+{
+    std::vector<std::string> parts;
+    std::string curr;
+    for (char c : text) {
+        if (c == sep) {
+            parts.push_back(curr);
+            curr.clear();
+        } else {
+            curr.push_back(c);
+        }
+    }
+    parts.push_back(curr);
+    return parts;
+}
+
+std::string
+strip(const std::string &text)
+{
+    size_t begin = 0;
+    size_t end = text.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(text[begin])))
+        ++begin;
+    while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1])))
+        --end;
+    return text.substr(begin, end - begin);
+}
+
+bool
+startsWith(const std::string &text, const std::string &prefix)
+{
+    return text.size() >= prefix.size()
+        && text.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string
+indent(const std::string &text, int spaces)
+{
+    std::string pad(spaces, ' ');
+    std::string out;
+    size_t pos = 0;
+    while (pos < text.size()) {
+        size_t nl = text.find('\n', pos);
+        if (nl == std::string::npos)
+            nl = text.size();
+        if (nl > pos)
+            out += pad + text.substr(pos, nl - pos);
+        if (nl < text.size())
+            out += '\n';
+        pos = nl + 1;
+    }
+    return out;
+}
+
+std::string
+replaceAll(std::string text, const std::string &from, const std::string &to)
+{
+    if (from.empty())
+        return text;
+    size_t pos = 0;
+    while ((pos = text.find(from, pos)) != std::string::npos) {
+        text.replace(pos, from.size(), to);
+        pos += to.size();
+    }
+    return text;
+}
+
+} // namespace graphene

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Small string helpers used across the Graphene library.
+ */
+
+#ifndef GRAPHENE_SUPPORT_STRING_UTILS_H
+#define GRAPHENE_SUPPORT_STRING_UTILS_H
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace graphene
+{
+
+/** Join the elements of @p items with @p sep, using operator<< to print. */
+template <typename Container>
+std::string
+join(const Container &items, const std::string &sep)
+{
+    std::ostringstream out;
+    bool first = true;
+    for (const auto &item : items) {
+        if (!first)
+            out << sep;
+        out << item;
+        first = false;
+    }
+    return out.str();
+}
+
+/** Split @p text on character @p sep (no empty-trailing suppression). */
+std::vector<std::string> split(const std::string &text, char sep);
+
+/** Strip leading and trailing whitespace. */
+std::string strip(const std::string &text);
+
+/** True if @p text starts with @p prefix. */
+bool startsWith(const std::string &text, const std::string &prefix);
+
+/** Indent every line of @p text by @p spaces spaces. */
+std::string indent(const std::string &text, int spaces);
+
+/** Replace all occurrences of @p from in @p text with @p to. */
+std::string replaceAll(std::string text, const std::string &from,
+                       const std::string &to);
+
+} // namespace graphene
+
+#endif // GRAPHENE_SUPPORT_STRING_UTILS_H

@@ -1,0 +1,390 @@
+/**
+ * @file
+ * Unit tests for the layout algebra: coalesce, composition, complement,
+ * logicalDivide, tileByDim (the paper's Fig. 4 tiling examples), reshape
+ * (Fig. 5 thread groups), and XOR swizzles.
+ */
+
+#include <gtest/gtest.h>
+
+#include "layout/algebra.h"
+#include "support/check.h"
+
+namespace graphene
+{
+namespace
+{
+
+TEST(Coalesce, MergesContiguousModes)
+{
+    // [(4,8):(1,4)] is functionally [32:1].
+    auto c = coalesce(Layout::colMajor(IntTuple{4, 8}));
+    EXPECT_EQ(c.str(), "[32:1]");
+}
+
+TEST(Coalesce, DropsSizeOneModes)
+{
+    Layout l(IntTuple{1, 8, 1}, IntTuple{13, 2, 7});
+    EXPECT_EQ(coalesce(l).str(), "[8:2]");
+}
+
+TEST(Coalesce, KeepsNonContiguousModes)
+{
+    Layout l(IntTuple{4, 8}, IntTuple{8, 1}); // row-major: not mergeable
+    auto c = coalesce(l);
+    EXPECT_EQ(c.size(), 32);
+    EXPECT_EQ(c.rank(), 2);
+}
+
+TEST(Coalesce, PreservesFunction)
+{
+    Layout l(IntTuple{IntTuple{2, 2}, IntTuple{2, 2}},
+             IntTuple{IntTuple{1, 8}, IntTuple{2, 16}});
+    auto c = coalesce(l);
+    for (int64_t i = 0; i < l.size(); ++i)
+        EXPECT_EQ(c(i), l(i)) << "at " << i;
+}
+
+TEST(Coalesce, AllSizeOne)
+{
+    Layout l(IntTuple{1, 1}, IntTuple{3, 5});
+    EXPECT_EQ(coalesce(l).str(), "[1:0]");
+}
+
+TEST(Composition, SimpleStride)
+{
+    // A = [8:2], B = [4:2]:  A(B(k)) = A(2k) = 4k.
+    auto r = composition(Layout(IntTuple(8), IntTuple(2)),
+                         Layout(IntTuple(4), IntTuple(2)));
+    EXPECT_EQ(r.str(), "[4:4]");
+}
+
+TEST(Composition, SplitsAcrossModes)
+{
+    // A = [(6,2):(1,8)] (padded), B = [4:3]: offsets 0,3,8,11 — the
+    // result needs two physical strides (a hierarchical dimension).
+    Layout a(IntTuple{6, 2}, IntTuple{1, 8});
+    Layout b(IntTuple(4), IntTuple(3));
+    auto r = composition(a, b);
+    EXPECT_EQ(r.size(), 4);
+    for (int64_t i = 0; i < 4; ++i)
+        EXPECT_EQ(r(i), a(b(i)));
+    EXPECT_EQ(r.str(), "[(2,2):(3,8)]");
+}
+
+TEST(Composition, CoalescesFirst)
+{
+    // A = [(6,2):(1,6)] is functionally [12:1], so composing with
+    // [4:3] yields simply [4:3].
+    Layout a(IntTuple{6, 2}, IntTuple{1, 6});
+    auto r = composition(a, Layout(IntTuple(4), IntTuple(3)));
+    EXPECT_EQ(r.str(), "[4:3]");
+}
+
+TEST(Composition, FunctionalIdentityRandomized)
+{
+    // composition(A, B)(i) == A(B(i)) across a bank of layout pairs.
+    const std::vector<std::pair<Layout, Layout>> cases = {
+        {Layout::colMajor(IntTuple{4, 8}), Layout(IntTuple(8), IntTuple(4))},
+        {Layout::rowMajor(IntTuple{4, 8}), Layout(IntTuple(4), IntTuple(8))},
+        {Layout(IntTuple{8, 4}, IntTuple{4, 1}),
+         Layout(IntTuple{4, 2}, IntTuple{2, 16})},
+        {Layout(IntTuple{IntTuple{4, 2}, 8}, IntTuple{IntTuple{1, 32}, 4}),
+         Layout(IntTuple(16), IntTuple(2))},
+    };
+    for (const auto &[a, b] : cases) {
+        auto r = composition(a, b);
+        ASSERT_EQ(r.size(), b.size()) << a << " o " << b;
+        for (int64_t i = 0; i < r.size(); ++i)
+            EXPECT_EQ(r(i), a(b(i))) << a << " o " << b << " at " << i;
+    }
+}
+
+TEST(Composition, TupleShapedRhsIsByMode)
+{
+    // Composition with a tuple-shaped rhs proceeds mode-by-mode (CuTe
+    // semantics): result.mode(k) == composition(A, B.mode(k)).
+    auto a = Layout::rowMajor(IntTuple{8, 8});
+    auto b = Layout::concat({Layout(IntTuple(2), IntTuple(4)),
+                             Layout(IntTuple(4), IntTuple(2))});
+    auto r = composition(a, b);
+    EXPECT_EQ(r.rank(), 2);
+    for (int k = 0; k < 2; ++k) {
+        auto expected = composition(a, b.mode(k));
+        for (int64_t i = 0; i < expected.size(); ++i)
+            EXPECT_EQ(r.mode(k)(i), a(b.mode(k)(i)));
+    }
+}
+
+TEST(Composition, ZeroStrideBroadcast)
+{
+    auto r = composition(Layout::vector(8),
+                         Layout(IntTuple(4), IntTuple(0)));
+    EXPECT_EQ(r.size(), 4);
+    for (int64_t i = 0; i < 4; ++i)
+        EXPECT_EQ(r(i), 0);
+}
+
+TEST(Composition, IndivisibleThrows)
+{
+    // A = [(6,2):(1,8)] (padded, non-coalescible) with B = [4:4]:
+    // stride 4 neither divides nor is divided by the mode extent 6.
+    Layout a(IntTuple{6, 2}, IntTuple{1, 8});
+    EXPECT_THROW(composition(a, Layout(IntTuple(4), IntTuple(4))), Error);
+}
+
+TEST(Complement, SimpleStride)
+{
+    // complement([2:2], 4) covers offsets {0,1} -> [2:1].
+    auto c = complement(Layout(IntTuple(2), IntTuple(2)), 4);
+    EXPECT_EQ(c.str(), "[2:1]");
+}
+
+TEST(Complement, CompleteCoverIsEmpty)
+{
+    auto c = complement(Layout::vector(4), 4);
+    EXPECT_EQ(c.str(), "[1:0]");
+}
+
+TEST(Complement, MultiMode)
+{
+    // complement([(2,2):(1,4)], 8) = [2:2].
+    auto c = complement(Layout(IntTuple{2, 2}, IntTuple{1, 4}), 8);
+    EXPECT_EQ(c.str(), "[2:2]");
+}
+
+TEST(Complement, ProductCoversEverything)
+{
+    // For layout A and C = complement(A, M): the concatenated layout
+    // (A, C) must be a bijection onto [0, M).
+    const std::vector<std::pair<Layout, int64_t>> cases = {
+        {Layout(IntTuple(2), IntTuple(2)), 8},
+        {Layout(IntTuple{2, 2}, IntTuple{1, 4}), 16},
+        {Layout(IntTuple{4, 2}, IntTuple{1, 16}), 32}, // quad-pair
+        {Layout(IntTuple(8), IntTuple(1)), 32},
+    };
+    for (const auto &[a, m] : cases) {
+        auto c = complement(a, m);
+        auto full = Layout::concat({a, c});
+        ASSERT_EQ(full.size(), m) << a << " in " << m;
+        auto offsets = full.allOffsets();
+        std::sort(offsets.begin(), offsets.end());
+        for (int64_t i = 0; i < m; ++i)
+            EXPECT_EQ(offsets[i], i) << a << " in " << m;
+    }
+}
+
+TEST(Complement, StrideThreeIsFine)
+{
+    // complement([2:3], 12): {0,3} completed by [(3,2):(1,6)].
+    auto c = complement(Layout(IntTuple(2), IntTuple(3)), 12);
+    auto full = Layout::concat({Layout(IntTuple(2), IntTuple(3)), c});
+    auto offsets = full.allOffsets();
+    std::sort(offsets.begin(), offsets.end());
+    for (int64_t i = 0; i < 12; ++i)
+        EXPECT_EQ(offsets[i], i);
+}
+
+TEST(Complement, NonDivisibleThrows)
+{
+    // [(2,2):(3,4)]: after the stride-3 mode, extent is 6; the next
+    // stride 4 is not divisible by 6.
+    EXPECT_THROW(complement(Layout(IntTuple{2, 2}, IntTuple{3, 4}), 24),
+                 Error);
+}
+
+TEST(LogicalDivide, VectorByTile)
+{
+    // [16:1] divided by [4:1]: tile [4:1], rest [4:4].
+    auto d = logicalDivide(Layout::vector(16), Layout::vector(4));
+    EXPECT_EQ(d.rank(), 2);
+    EXPECT_EQ(d.mode(0).str(), "[4:1]");
+    EXPECT_EQ(d.mode(1).str(), "[4:4]");
+}
+
+TEST(LogicalDivide, InterleavedTile)
+{
+    // [16:1] divided by [4:4] (every 4th element): tile stride 4,
+    // rest iterates the 4 interleaved groups.
+    auto d = logicalDivide(Layout::vector(16), Layout(IntTuple(4),
+                                                      IntTuple(4)));
+    EXPECT_EQ(d.mode(0).str(), "[4:4]");
+    EXPECT_EQ(d.mode(1).str(), "[4:1]");
+}
+
+// --- The paper's Figure 4 tiling examples (column-major 4x8 tensor) ---
+
+TEST(TileByDim, Fig4bContiguousTiles)
+{
+    // B = A.tile([2:1], [4:1]) on A:[(4,8):(1,4)]:
+    //   outer (tiles) [(2,2):(2,16)], inner (tile) [(2,4):(1,4)].
+    auto a = Layout::colMajor(IntTuple{4, 8});
+    auto [inner, outer] = tileByDim(a, {Layout::vector(2),
+                                        Layout::vector(4)});
+    EXPECT_EQ(inner.str(), "[(2,4):(1,4)]");
+    EXPECT_EQ(outer.str(), "[(2,2):(2,16)]");
+}
+
+TEST(TileByDim, Fig4cInterleavedRows)
+{
+    // C = A.tile([2:2], [4:1]): tiles contain every other row.
+    auto a = Layout::colMajor(IntTuple{4, 8});
+    auto [inner, outer] = tileByDim(a, {Layout(IntTuple(2), IntTuple(2)),
+                                        Layout::vector(4)});
+    EXPECT_EQ(inner.str(), "[(2,4):(2,4)]");
+    EXPECT_EQ(outer.str(), "[(2,2):(1,16)]");
+    // Tile (0,0) holds rows {0,2} of columns {0..3}.
+    EXPECT_EQ(inner(1, 0), a(2, 0));
+}
+
+TEST(TileByDim, Fig4dHierarchicalTileSize)
+{
+    // D = A.tile([2:2], [(2,2):(1,4)]): rows interleaved and columns
+    // {0,1,4,5} in one tile.
+    auto a = Layout::colMajor(IntTuple{4, 8});
+    Layout colTiler(IntTuple{2, 2}, IntTuple{1, 4});
+    auto [inner, outer] = tileByDim(a, {Layout(IntTuple(2), IntTuple(2)),
+                                        colTiler});
+    EXPECT_EQ(inner.mode(0).str(), "[2:2]");
+    // Column tile: 2 adjacent columns repeated twice with distance 4:
+    // strides in A units: (4, 16).
+    EXPECT_EQ(inner.mode(1).str(), "[(2,2):(4,16)]");
+    // Tile (0,0) covers columns {0,1,4,5}:
+    EXPECT_EQ(inner.crd2idx(IntTuple{0, IntTuple{0, 1}}), a(0, 4));
+    EXPECT_EQ(outer.mode(1).str(), "[2:8]");
+}
+
+TEST(TileByDim, UntiledDimensionPassesFullTiler)
+{
+    // Fig. 8: %1.tile([128, _]) keeps the full second dimension.
+    auto a = Layout::rowMajor(IntTuple{1024, 1024});
+    auto [inner, outer] =
+        tileByDim(a, {Layout::vector(128), Layout::vector(1024)});
+    EXPECT_EQ(inner.size(), 128 * 1024);
+    EXPECT_EQ(outer.mode(0).str(), "[8:131072]");
+    EXPECT_EQ(outer.mode(1).size(), 1);
+}
+
+TEST(TileByDim, TilePlusOuterEnumeratesAll)
+{
+    // Every element of A appears in exactly one (tile, rest) pair.
+    auto a = Layout::colMajor(IntTuple{4, 8});
+    Layout colTiler(IntTuple{2, 2}, IntTuple{1, 4});
+    auto [inner, outer] = tileByDim(a, {Layout(IntTuple(2), IntTuple(2)),
+                                        colTiler});
+    std::vector<int64_t> seen;
+    for (int64_t o = 0; o < outer.size(); ++o)
+        for (int64_t i = 0; i < inner.size(); ++i)
+            seen.push_back(outer(o) + inner(i));
+    std::sort(seen.begin(), seen.end());
+    ASSERT_EQ(seen.size(), 32u);
+    for (int64_t i = 0; i < 32; ++i)
+        EXPECT_EQ(seen[i], i);
+}
+
+TEST(TileByDim, RankMismatchThrows)
+{
+    auto a = Layout::colMajor(IntTuple{4, 8});
+    EXPECT_THROW(tileByDim(a, {Layout::vector(2)}), Error);
+}
+
+// --- Figure 5: warp -> 2x2 groups of 8 threads ---
+
+TEST(Reshape, WarpToGroupsFig5)
+{
+    // Tile a warp [32:1] into 8-thread groups, then reshape the outer
+    // mode to (2,2) row-major: group (m,n) starts at thread 16m + 8n.
+    auto warp = Layout::vector(32);
+    auto divided = logicalDivide(warp, Layout::vector(8));
+    EXPECT_EQ(divided.mode(0).str(), "[8:1]");
+    EXPECT_EQ(divided.mode(1).str(), "[4:8]");
+    auto groups = reshapeRowMajor(divided.mode(1), IntTuple{2, 2});
+    EXPECT_EQ(groups(0, 0), 0);
+    EXPECT_EQ(groups(0, 1), 8);
+    EXPECT_EQ(groups(1, 0), 16);
+    EXPECT_EQ(groups(1, 1), 24);
+}
+
+TEST(Reshape, ColMajorVariant)
+{
+    auto groups = reshapeColMajor(Layout(IntTuple(4), IntTuple(8)),
+                                  IntTuple{2, 2});
+    EXPECT_EQ(groups(1, 0), 8);
+    EXPECT_EQ(groups(0, 1), 16);
+}
+
+TEST(Reshape, SizeMismatchThrows)
+{
+    EXPECT_THROW(reshapeRowMajor(Layout::vector(8), IntTuple{3, 3}), Error);
+}
+
+TEST(FlatModes, LogicalOrder)
+{
+    Layout l(IntTuple{IntTuple{4, 2}, 8}, IntTuple{IntTuple{1, 16}, 2});
+    auto modes = flatModes(l);
+    ASSERT_EQ(modes.size(), 3u);
+    EXPECT_EQ(modes[0], (std::pair<int64_t, int64_t>{4, 1}));
+    EXPECT_EQ(modes[1], (std::pair<int64_t, int64_t>{2, 16}));
+    EXPECT_EQ(modes[2], (std::pair<int64_t, int64_t>{8, 2}));
+}
+
+// --- Swizzles ---
+
+TEST(Swizzle, IdentityByDefault)
+{
+    Swizzle s;
+    EXPECT_TRUE(s.isIdentity());
+    EXPECT_EQ(s(12345), 12345);
+}
+
+TEST(Swizzle, KnownXorPattern)
+{
+    // Swizzle<2,0,3>: bits [3,5) xor into bits [0,2).
+    Swizzle s(2, 0, 3);
+    EXPECT_EQ(s(0), 0);
+    EXPECT_EQ(s(8), 8 ^ 1);
+    EXPECT_EQ(s(16), 16 ^ 2);
+    EXPECT_EQ(s(24), 24 ^ 3);
+}
+
+TEST(Swizzle, IsInvolution)
+{
+    Swizzle s(3, 3, 3);
+    for (int64_t x = 0; x < 1024; ++x)
+        EXPECT_EQ(s(s(x)), x);
+}
+
+TEST(Swizzle, IsBijectionOnBlocks)
+{
+    // A swizzle permutes each aligned 2^(b+m+s) block onto itself.
+    Swizzle s(3, 3, 3);
+    const int64_t block = 1 << (3 + 3 + 3);
+    std::vector<bool> seen(block, false);
+    for (int64_t x = 0; x < block; ++x) {
+        const int64_t y = s(x);
+        ASSERT_GE(y, 0);
+        ASSERT_LT(y, block);
+        EXPECT_FALSE(seen[y]);
+        seen[y] = true;
+    }
+}
+
+TEST(Swizzle, BreaksBankConflicts)
+{
+    // Classic use: a 8x64 fp16 tile stored row-major in shared memory.
+    // Without swizzle, column accesses by 8 threads hit the same bank
+    // group; with Swizzle<3,3,3> on the element offset the 8 rows of a
+    // column map to 8 distinct 8-element groups.
+    Swizzle s(3, 3, 3);
+    std::vector<int64_t> groups;
+    for (int64_t row = 0; row < 8; ++row) {
+        const int64_t offset = row * 64; // column 0, row-major
+        groups.push_back(s(offset) / 8 % 8);
+    }
+    std::sort(groups.begin(), groups.end());
+    for (int64_t g = 0; g < 8; ++g)
+        EXPECT_EQ(groups[g], g);
+}
+
+} // namespace
+} // namespace graphene

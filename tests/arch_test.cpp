@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Unit tests for architecture descriptions and the atomic-spec
+ * registry (paper Table 2): matching of leaf specs to instructions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/atomic_specs.h"
+#include "support/check.h"
+
+namespace graphene
+{
+namespace
+{
+
+ThreadGroup
+group(int64_t n)
+{
+    return ThreadGroup::threads("#g", Layout::vector(n), 256);
+}
+
+TEST(GpuArch, PeaksMatchWhitepapers)
+{
+    const GpuArch &v = GpuArch::volta();
+    // V100 fp16 tensor peak at base clock: ~107 TFLOP/s (125 at boost).
+    EXPECT_NEAR(v.tensorPeakTflops(), 107.5, 2.0);
+    EXPECT_NEAR(v.fp32PeakTflops(), 13.4, 0.5);
+    EXPECT_FALSE(v.hasLdmatrix);
+
+    const GpuArch &a = GpuArch::ampere();
+    EXPECT_NEAR(a.tensorPeakTflops(), 60.6, 2.0);
+    EXPECT_TRUE(a.hasLdmatrix);
+    EXPECT_TRUE(a.hasCpAsync);
+}
+
+TEST(AtomicSpecs, ScalarGlobalLoad)
+{
+    // Table 2 row 1: Move [].fp32.GL -> [].fp32.RF per thread.
+    auto src = TensorView::global("%g", Layout(), ScalarType::Fp32);
+    auto dst = TensorView::registers("%r", Layout(), ScalarType::Fp32);
+    auto spec = Spec::move(group(1), src, dst);
+    const auto &reg = AtomicSpecRegistry::forArch(GpuArch::ampere());
+    const auto &info = reg.matchOrThrow(*spec);
+    EXPECT_EQ(info.opcode, AtomicOpcode::LdGlobal);
+    EXPECT_EQ(info.instruction, "ld.global.u32");
+}
+
+TEST(AtomicSpecs, VectorizedGlobalLoad)
+{
+    // Table 2 row 2: Move [8].fp16.GL -> [8].fp16.RF.
+    auto src = TensorView::global("%g", Layout::vector(8),
+                                  ScalarType::Fp16);
+    auto dst = TensorView::registers("%r", Layout::vector(8),
+                                     ScalarType::Fp16);
+    auto spec = Spec::move(group(1), src, dst);
+    const auto &reg = AtomicSpecRegistry::forArch(GpuArch::ampere());
+    EXPECT_EQ(reg.matchOrThrow(*spec).instruction, "ld.global.v4.u32");
+}
+
+TEST(AtomicSpecs, NonContiguousVectorRejected)
+{
+    // A strided 8-element view cannot use a vector load; no atomic
+    // matches (the kernel author must decompose into scalar moves).
+    auto src = TensorView::global(
+        "%g", Layout(IntTuple(8), IntTuple(4)), ScalarType::Fp16);
+    auto dst = TensorView::registers("%r", Layout::vector(8),
+                                     ScalarType::Fp16);
+    auto spec = Spec::move(group(1), src, dst);
+    const auto &reg = AtomicSpecRegistry::forArch(GpuArch::ampere());
+    std::string why;
+    EXPECT_EQ(reg.match(*spec, &why), nullptr);
+    EXPECT_NE(why.find("no atomic spec matches"), std::string::npos);
+    EXPECT_THROW(reg.matchOrThrow(*spec), Error);
+}
+
+TEST(AtomicSpecs, SharedStoreVectorized)
+{
+    // Table 2 row 3: Move [4].fp32.RF -> [4].fp32.SH.
+    auto src = TensorView::registers("%r", Layout::vector(4),
+                                     ScalarType::Fp32);
+    auto dst = TensorView::shared("%s", Layout::vector(4),
+                                  ScalarType::Fp32);
+    auto spec = Spec::move(group(1), src, dst);
+    const auto &reg = AtomicSpecRegistry::forArch(GpuArch::volta());
+    EXPECT_EQ(reg.matchOrThrow(*spec).instruction, "st.shared.v4.u32");
+}
+
+TEST(AtomicSpecs, LdmatrixOnlyOnAmpere)
+{
+    // Table 2 row 4: warp-collective SH -> RF fragment load.
+    auto src = TensorView::shared("%s",
+                                  Layout::rowMajor(IntTuple{1, 8}),
+                                  ScalarType::Fp16);
+    auto dst = TensorView::registers("%r", Layout::vector(8),
+                                     ScalarType::Fp16);
+    auto spec = Spec::move(group(32), src, dst);
+    const auto &amp = AtomicSpecRegistry::forArch(GpuArch::ampere());
+    EXPECT_EQ(amp.matchOrThrow(*spec).opcode, AtomicOpcode::Ldmatrix);
+    const auto &vol = AtomicSpecRegistry::forArch(GpuArch::volta());
+    EXPECT_EQ(vol.match(*spec), nullptr);
+}
+
+TEST(AtomicSpecs, MmaAmpere)
+{
+    // Table 2 last row: warp-wide m16n8k16.
+    auto a = TensorView::registers("%a", Layout::vector(8),
+                                   ScalarType::Fp16);
+    auto b = TensorView::registers("%b", Layout::vector(4),
+                                   ScalarType::Fp16);
+    auto d = TensorView::registers("%d", Layout::vector(4),
+                                   ScalarType::Fp32);
+    auto spec = Spec::matmul(group(32), a, b, d);
+    const auto &reg = AtomicSpecRegistry::forArch(GpuArch::ampere());
+    const auto &info = reg.matchOrThrow(*spec);
+    EXPECT_EQ(info.opcode, AtomicOpcode::MmaM16N8K16);
+    EXPECT_EQ(info.flopsPerGroup, 2 * 16 * 8 * 16);
+}
+
+TEST(AtomicSpecs, MmaVoltaQuadPair)
+{
+    // Table 2 row 10: quad-pair m8n8k4 with [(4,2):(1,16)] threads.
+    auto a = TensorView::registers("%a", Layout::vector(4),
+                                   ScalarType::Fp16);
+    auto b = TensorView::registers("%b", Layout::vector(4),
+                                   ScalarType::Fp16);
+    auto d = TensorView::registers("%d", Layout::vector(8),
+                                   ScalarType::Fp32);
+    auto qp = ThreadGroup::threads(
+        "#qp", Layout(IntTuple{4, 2}, IntTuple{1, 16}), 256);
+    auto spec = Spec::matmul(qp, a, b, d);
+    const auto &reg = AtomicSpecRegistry::forArch(GpuArch::volta());
+    EXPECT_EQ(reg.matchOrThrow(*spec).opcode, AtomicOpcode::MmaM8N8K4);
+    // Not available on Ampere.
+    const auto &amp = AtomicSpecRegistry::forArch(GpuArch::ampere());
+    EXPECT_EQ(amp.match(*spec), nullptr);
+}
+
+TEST(AtomicSpecs, ScalarFma)
+{
+    // Table 2 rows 7-9: hfma / fmaf.
+    auto a16 = TensorView::registers("%a", Layout(), ScalarType::Fp16);
+    auto b16 = TensorView::registers("%b", Layout(), ScalarType::Fp16);
+    auto d16 = TensorView::registers("%d", Layout(), ScalarType::Fp16);
+    auto spec = Spec::matmul(group(1), a16, b16, d16);
+    const auto &reg = AtomicSpecRegistry::forArch(GpuArch::volta());
+    EXPECT_EQ(reg.matchOrThrow(*spec).instruction, "fma.rn.f16");
+
+    auto a32 = TensorView::registers("%a", Layout(), ScalarType::Fp32);
+    auto b32 = TensorView::registers("%b", Layout(), ScalarType::Fp32);
+    auto d32 = TensorView::registers("%d", Layout(), ScalarType::Fp32);
+    auto spec32 = Spec::matmul(group(1), a32, b32, d32);
+    EXPECT_EQ(reg.matchOrThrow(*spec32).instruction, "fma.rn.f32");
+}
+
+TEST(AtomicSpecs, Hfma2Vectorized)
+{
+    auto a = TensorView::registers("%a", Layout::vector(2),
+                                   ScalarType::Fp16);
+    auto b = TensorView::registers("%b", Layout::vector(2),
+                                   ScalarType::Fp16);
+    auto d = TensorView::registers("%d", Layout::vector(2),
+                                   ScalarType::Fp16);
+    auto spec = Spec::matmul(group(1), a, b, d);
+    const auto &reg = AtomicSpecRegistry::forArch(GpuArch::ampere());
+    EXPECT_EQ(reg.matchOrThrow(*spec).instruction, "fma.rn.f16x2");
+}
+
+TEST(AtomicSpecs, PointwiseVector2)
+{
+    // Table 2 row 6: hadd2.
+    auto a = TensorView::registers("%a", Layout::vector(2),
+                                   ScalarType::Fp16);
+    auto b = TensorView::registers("%b", Layout::vector(2),
+                                   ScalarType::Fp16);
+    auto o = TensorView::registers("%o", Layout::vector(2),
+                                   ScalarType::Fp16);
+    auto spec = Spec::binary(OpKind::Add, group(1), a, b, o);
+    const auto &reg = AtomicSpecRegistry::forArch(GpuArch::volta());
+    EXPECT_EQ(reg.matchOrThrow(*spec).instruction, "add.f16x2");
+}
+
+TEST(AtomicSpecs, CpAsyncAmpereOnly)
+{
+    auto src = TensorView::global("%g", Layout::vector(8),
+                                  ScalarType::Fp16);
+    auto dst = TensorView::shared("%s", Layout::vector(8),
+                                  ScalarType::Fp16);
+    auto spec = Spec::move(group(1), src, dst);
+    const auto &amp = AtomicSpecRegistry::forArch(GpuArch::ampere());
+    EXPECT_EQ(amp.matchOrThrow(*spec).opcode, AtomicOpcode::CpAsync);
+    const auto &vol = AtomicSpecRegistry::forArch(GpuArch::volta());
+    EXPECT_EQ(vol.match(*spec), nullptr); // GL->SH needs a register hop
+}
+
+TEST(AtomicSpecs, ShflAndReduceAndInit)
+{
+    auto in = TensorView::registers("%i", Layout(), ScalarType::Fp32);
+    auto out = TensorView::registers("%o", Layout(), ScalarType::Fp32);
+    const auto &reg = AtomicSpecRegistry::forArch(GpuArch::ampere());
+    EXPECT_EQ(reg.matchOrThrow(
+        *Spec::shfl(ShflMode::Bfly, 16, group(32), in, out)).opcode,
+        AtomicOpcode::ShflSync);
+
+    auto vec = TensorView::registers("%v", Layout::vector(16),
+                                     ScalarType::Fp32);
+    EXPECT_EQ(reg.matchOrThrow(
+        *Spec::reduction(OpKind::Max, group(1), vec, out)).opcode,
+        AtomicOpcode::ReduceSerial);
+    EXPECT_EQ(reg.matchOrThrow(*Spec::init(0.0, group(1), vec)).opcode,
+              AtomicOpcode::InitReg);
+}
+
+TEST(AtomicSpecs, SwizzledVectorWithinAtomIsAllowed)
+{
+    // Swizzle<3,3,3> permutes 8-element atoms of fp16; an 8-element
+    // vector access within one atom stays contiguous.
+    Swizzle sw(3, 3, 3);
+    auto dst = TensorView::shared("%s", Layout::vector(8),
+                                  ScalarType::Fp16, sw);
+    auto src = TensorView::registers("%r", Layout::vector(8),
+                                     ScalarType::Fp16);
+    auto spec = Spec::move(group(1), src, dst);
+    const auto &reg = AtomicSpecRegistry::forArch(GpuArch::ampere());
+    EXPECT_EQ(reg.matchOrThrow(*spec).opcode, AtomicOpcode::StShared);
+}
+
+TEST(AtomicSpecs, DiagnosticListsCandidates)
+{
+    auto a = TensorView::registers("%a", Layout::vector(3),
+                                   ScalarType::Fp16);
+    auto b = TensorView::registers("%b", Layout::vector(3),
+                                   ScalarType::Fp16);
+    auto d = TensorView::registers("%d", Layout::vector(3),
+                                   ScalarType::Fp16);
+    auto spec = Spec::matmul(group(1), a, b, d);
+    const auto &reg = AtomicSpecRegistry::forArch(GpuArch::ampere());
+    std::string why;
+    EXPECT_EQ(reg.match(*spec, &why), nullptr);
+    EXPECT_NE(why.find("candidates of kind MatMul"), std::string::npos);
+    EXPECT_NE(why.find("mma.sync"), std::string::npos);
+}
+
+} // namespace
+} // namespace graphene

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Tests for the baseline library engines: the multi-kernel lowerings
+ * must be *functionally* equivalent to the fused Graphene kernels (the
+ * experiments compare their timing, so their math must agree), and
+ * their launch accounting must reflect the kernel counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/engines.h"
+#include "ops/lstm.h"
+#include "runtime/reference.h"
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace graphene
+{
+namespace
+{
+
+std::vector<double>
+randomVec(Rng &rng, int64_t n, double lo = -1.0, double hi = 1.0)
+{
+    std::vector<double> v(static_cast<size_t>(n));
+    for (auto &x : v)
+        x = rng.uniform(lo, hi);
+    return v;
+}
+
+TEST(Heuristics, TileSelection)
+{
+    auto big = baselines::heuristicGemmConfig(GpuArch::ampere(), 4096,
+                                              4096, 1024);
+    EXPECT_EQ(big.bm, 128);
+    EXPECT_EQ(big.bn, 128);
+    auto narrow = baselines::heuristicGemmConfig(GpuArch::ampere(), 2048,
+                                                 256, 256);
+    EXPECT_EQ(narrow.bm, 64);
+    EXPECT_EQ(narrow.bn, 128);
+    EXPECT_THROW(baselines::heuristicGemmConfig(GpuArch::ampere(), 100,
+                                                128, 128),
+                 Error);
+}
+
+TEST(CublasLike, GemmFunctional)
+{
+    Device dev(GpuArch::ampere());
+    Rng rng(31);
+    dev.upload("%A", ScalarType::Fp16, randomVec(rng, 128 * 64));
+    dev.upload("%B", ScalarType::Fp16, randomVec(rng, 64 * 128));
+    dev.upload("%C", ScalarType::Fp16,
+               std::vector<double>(128 * 128, 0));
+    baselines::CublasLike blas(dev);
+    blas.gemm(128, 128, 64, "%A", "%B", "%C", LaunchMode::Functional);
+    auto ref = ref::gemm(dev.download("%A"), dev.download("%B"), 128,
+                         128, 64);
+    EXPECT_LT(ref::maxRelDiff(dev.download("%C"), ref, 1.0), 0.02);
+}
+
+TEST(Baselines, FiveKernelLstmMatchesFused)
+{
+    // The Fig. 12 baseline must compute the same function as the
+    // fused kernel.
+    const int64_t m = 128, n = 128, k = 64;
+    const GpuArch &arch = GpuArch::ampere();
+    Device dev(arch);
+    Rng rng(32);
+    dev.upload("%x", ScalarType::Fp16, randomVec(rng, m * k));
+    dev.upload("%h", ScalarType::Fp16, randomVec(rng, m * k));
+    dev.upload("%Wx", ScalarType::Fp16, randomVec(rng, k * n, -0.2, 0.2));
+    dev.upload("%Wh", ScalarType::Fp16, randomVec(rng, k * n, -0.2, 0.2));
+    dev.upload("%bias", ScalarType::Fp16, randomVec(rng, n));
+    for (const char *nm : {"%g1", "%g2", "%sum", "%out5", "%outF"})
+        dev.upload(nm, ScalarType::Fp16, std::vector<double>(m * n, 0));
+
+    // 5-kernel lowering.
+    baselines::CublasLike blas(dev);
+    baselines::CudnnLike dnn(dev);
+    blas.gemm(m, n, k, "%x", "%Wx", "%g1", LaunchMode::Functional);
+    blas.gemm(m, n, k, "%h", "%Wh", "%g2", LaunchMode::Functional);
+    dnn.add(m * n, "%g1", "%g2", "%sum", LaunchMode::Functional);
+    dnn.biasAct(m, n, OpKind::Identity, "%sum", "%bias", "%sum",
+                LaunchMode::Functional);
+    dnn.relu(m * n, "%sum", "%out5", LaunchMode::Functional);
+
+    // Fused kernel.
+    ops::FusedLstmConfig cfg;
+    cfg.m = m;
+    cfg.n = n;
+    cfg.k = k;
+    cfg.outName = "%outF";
+    dev.launch(ops::buildFusedLstm(arch, cfg), LaunchMode::Functional);
+
+    EXPECT_LT(ref::maxRelDiff(dev.download("%out5"),
+                              dev.download("%outF"), 1.0), 0.02);
+}
+
+TEST(Baselines, TwoKernelLstmMatchesFused)
+{
+    const int64_t m = 128, n = 128, k = 64;
+    const GpuArch &arch = GpuArch::volta();
+    Device dev(arch);
+    Rng rng(33);
+    dev.upload("%x", ScalarType::Fp16, randomVec(rng, m * k));
+    dev.upload("%h", ScalarType::Fp16, randomVec(rng, m * k));
+    dev.upload("%Wx", ScalarType::Fp16, randomVec(rng, k * n, -0.2, 0.2));
+    dev.upload("%Wh", ScalarType::Fp16, randomVec(rng, k * n, -0.2, 0.2));
+    dev.upload("%bias", ScalarType::Fp16, randomVec(rng, n));
+    for (const char *nm : {"%out2", "%outF"})
+        dev.upload(nm, ScalarType::Fp16, std::vector<double>(m * n, 0));
+
+    baselines::CublasLtLike lt(dev);
+    lt.gemmEpilogue(m, n, k, ops::Epilogue::None, false, "%x", "%Wx",
+                    "%out2", "%bias", LaunchMode::Functional);
+    lt.gemmEpilogue(m, n, k, ops::Epilogue::BiasRelu, true, "%h", "%Wh",
+                    "%out2", "%bias", LaunchMode::Functional);
+
+    ops::FusedLstmConfig cfg;
+    cfg.m = m;
+    cfg.n = n;
+    cfg.k = k;
+    cfg.outName = "%outF";
+    dev.launch(ops::buildFusedLstm(arch, cfg), LaunchMode::Functional);
+    EXPECT_LT(ref::maxRelDiff(dev.download("%out2"),
+                              dev.download("%outF"), 1.0), 0.02);
+}
+
+TEST(TorchLike, AllLayernormVariantsAgree)
+{
+    const int64_t rows = 8, cols = 1024;
+    Device dev(GpuArch::ampere());
+    Rng rng(34);
+    dev.upload("%x", ScalarType::Fp16, randomVec(rng, rows * cols));
+    dev.upload("%gamma", ScalarType::Fp16, randomVec(rng, cols, 0.5, 2));
+    dev.upload("%beta", ScalarType::Fp16, randomVec(rng, cols));
+    auto ref = ref::layernorm(dev.download("%x"), dev.download("%gamma"),
+                              dev.download("%beta"), rows, cols);
+    baselines::TorchLike torch(dev);
+    for (auto impl : {baselines::TorchLayernorm::Eager,
+                      baselines::TorchLayernorm::Jit,
+                      baselines::TorchLayernorm::Fused,
+                      baselines::TorchLayernorm::Apex}) {
+        dev.upload("%y", ScalarType::Fp16,
+                   std::vector<double>(rows * cols, 0));
+        torch.layernorm(impl, rows, cols, "%x", "%gamma", "%beta", "%y",
+                        LaunchMode::Functional);
+        EXPECT_LT(ref::maxRelDiff(dev.download("%y"), ref, 1.0), 0.03)
+            << baselines::torchLayernormName(impl);
+    }
+}
+
+TEST(TorchLike, LayernormLaunchCounts)
+{
+    Device dev(GpuArch::ampere());
+    dev.allocateVirtual("%x", ScalarType::Fp16, 1024 * 1024);
+    dev.allocateVirtual("%gamma", ScalarType::Fp16, 1024);
+    dev.allocateVirtual("%beta", ScalarType::Fp16, 1024);
+    dev.allocateVirtual("%y", ScalarType::Fp16, 1024 * 1024);
+    baselines::TorchLike torch(dev);
+    const std::vector<std::pair<baselines::TorchLayernorm, int64_t>>
+        expected = {
+            {baselines::TorchLayernorm::Eager, 8},
+            {baselines::TorchLayernorm::Jit, 2},
+            {baselines::TorchLayernorm::Fused, 1},
+            {baselines::TorchLayernorm::Apex, 1},
+        };
+    for (const auto &[impl, kernels] : expected) {
+        dev.resetStream();
+        torch.layernorm(impl, 1024, 1024, "%x", "%gamma", "%beta", "%y");
+        EXPECT_EQ(dev.launchCount(), kernels)
+            << baselines::torchLayernormName(impl);
+    }
+}
+
+TEST(TorchLike, UnfusedAttentionMatchesReference)
+{
+    const int64_t bh = 2, seq = 128, d = 64;
+    Device dev(GpuArch::ampere());
+    Rng rng(35);
+    const int64_t elems = bh * seq * d;
+    dev.upload("%q", ScalarType::Fp16, randomVec(rng, elems));
+    dev.upload("%k", ScalarType::Fp16, randomVec(rng, elems));
+    dev.upload("%v", ScalarType::Fp16, randomVec(rng, elems));
+    dev.upload("%o", ScalarType::Fp16, std::vector<double>(elems, 0));
+    baselines::TorchLike torch(dev);
+    torch.attentionUnfused(bh, seq, d, "%q", "%k", "%v", "%o",
+                           LaunchMode::Functional);
+    auto q = dev.download("%q");
+    auto k = dev.download("%k");
+    auto v = dev.download("%v");
+    auto o = dev.download("%o");
+    for (int64_t h = 0; h < bh; ++h) {
+        const int64_t off = h * seq * d;
+        auto ref = ref::attention(
+            {q.begin() + off, q.begin() + off + seq * d},
+            {k.begin() + off, k.begin() + off + seq * d},
+            {v.begin() + off, v.begin() + off + seq * d}, seq, d);
+        EXPECT_LT(ref::maxRelDiff(
+                      {o.begin() + off, o.begin() + off + seq * d}, ref,
+                      0.5), 0.03)
+            << "head " << h;
+    }
+}
+
+TEST(Device, VirtualBuffersRejectFunctionalLaunch)
+{
+    Device dev(GpuArch::ampere());
+    dev.allocateVirtual("%in", ScalarType::Fp16, 1 << 20);
+    dev.allocateVirtual("%out", ScalarType::Fp16, 1 << 20);
+    Kernel k = [] {
+        // Any simple kernel touching %in/%out.
+        return Kernel("probe", 1, 32);
+    }();
+    k.addParam(TensorView::global("%in", Layout::vector(1 << 20),
+                                  ScalarType::Fp16), true);
+    k.addParam(TensorView::global("%out", Layout::vector(1 << 20),
+                                  ScalarType::Fp16), false);
+    k.setBody({comment("noop")});
+    EXPECT_THROW(dev.launch(k, LaunchMode::Functional), Error);
+    EXPECT_NO_THROW(dev.launch(k, LaunchMode::Timing));
+}
+
+} // namespace
+} // namespace graphene

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Unit tests for symbolic integer expressions: smart-constructor
+ * simplification, range analysis, evaluation, printing, and the
+ * print/parse round trip.
+ */
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "ir/expr.h"
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace graphene
+{
+namespace
+{
+
+int64_t
+evalWith(const ExprPtr &e, const std::map<std::string, int64_t> &env)
+{
+    return e->eval([&](const std::string &name) {
+        auto it = env.find(name);
+        GRAPHENE_CHECK(it != env.end()) << "unbound variable " << name;
+        return it->second;
+    });
+}
+
+TEST(Expr, ConstantFolding)
+{
+    EXPECT_EQ(add(constant(2), constant(3))->constValue(), 5);
+    EXPECT_EQ(mul(constant(4), constant(-2))->constValue(), -8);
+    EXPECT_EQ(floorDiv(constant(7), constant(2))->constValue(), 3);
+    EXPECT_EQ(mod(constant(7), constant(4))->constValue(), 3);
+    EXPECT_EQ(sub(constant(2), constant(5))->constValue(), -3);
+    EXPECT_EQ(exprMin(constant(2), constant(5))->constValue(), 2);
+    EXPECT_EQ(exprMax(constant(2), constant(5))->constValue(), 5);
+    EXPECT_EQ(lessThan(constant(2), constant(5))->constValue(), 1);
+    EXPECT_EQ(bitXor(constant(5), constant(3))->constValue(), 6);
+}
+
+TEST(Expr, IdentityElimination)
+{
+    auto x = variable("x", 100);
+    EXPECT_EQ(add(x, constant(0))->str(), "x");
+    EXPECT_EQ(add(constant(0), x)->str(), "x");
+    EXPECT_EQ(mul(x, constant(1))->str(), "x");
+    EXPECT_EQ(mul(x, constant(0))->constValue(), 0);
+    EXPECT_EQ(floorDiv(x, constant(1))->str(), "x");
+    EXPECT_EQ(mod(x, constant(1))->constValue(), 0);
+    EXPECT_EQ(sub(x, x)->constValue(), 0);
+    EXPECT_EQ(bitXor(x, constant(0))->str(), "x");
+}
+
+TEST(Expr, PaperModRule)
+{
+    // (M % 256) -> M iff M < 256 (paper Section 3.4).
+    auto m = variable("M", 256);
+    EXPECT_EQ(mod(m, constant(256))->str(), "M");
+    // Unknown extent: kept.
+    auto u = variable("U");
+    EXPECT_EQ(mod(u, constant(256))->kind(), ExprKind::Mod);
+}
+
+TEST(Expr, DivOfBoundedIsZero)
+{
+    auto x = variable("x", 16);
+    EXPECT_EQ(floorDiv(x, constant(16))->constValue(), 0);
+    EXPECT_EQ(floorDiv(x, constant(8))->kind(), ExprKind::Div);
+}
+
+TEST(Expr, MulConstantsCollapse)
+{
+    auto x = variable("x", 4);
+    auto e = mul(mul(x, constant(3)), constant(5));
+    EXPECT_EQ(e->str(), "(x * 15)");
+}
+
+TEST(Expr, DivOfStructuralMultiple)
+{
+    auto x = variable("x", 4);
+    // (x * 32) / 8 -> x * 4.
+    EXPECT_EQ(floorDiv(mul(x, constant(32)), constant(8))->str(),
+              "(x * 4)");
+    // (x * 8) / 8 -> x.
+    EXPECT_EQ(floorDiv(mul(x, constant(8)), constant(8))->str(), "x");
+}
+
+TEST(Expr, DivDistributesOverAlignedAdd)
+{
+    auto x = variable("x", 4);
+    auto y = variable("y", 8);
+    // (x*8 + y) / 8 -> x + y/8 -> x (since y < 8).
+    auto e = floorDiv(add(mul(x, constant(8)), y), constant(8));
+    EXPECT_EQ(e->str(), "x");
+}
+
+TEST(Expr, ModDropsAlignedAdd)
+{
+    auto x = variable("x", 4);
+    auto y = variable("y", 8);
+    // (x*8 + y) % 8 -> y.
+    auto e = mod(add(mul(x, constant(8)), y), constant(8));
+    EXPECT_EQ(e->str(), "y");
+}
+
+TEST(Expr, NestedDivCollapse)
+{
+    auto x = variable("x");
+    EXPECT_EQ(floorDiv(floorDiv(x, constant(4)), constant(8))->str(),
+              "(x / 32)");
+}
+
+TEST(Expr, NestedModCollapse)
+{
+    auto x = variable("x");
+    // (x % 32) % 8 -> x % 8.
+    EXPECT_EQ(mod(mod(x, constant(32)), constant(8))->str(), "(x % 8)");
+}
+
+TEST(Expr, RangeAnalysis)
+{
+    auto x = variable("x", 16); // [0, 15]
+    auto y = variable("y", 4);  // [0, 3]
+    auto r = add(mul(x, constant(4)), y)->range();
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->first, 0);
+    EXPECT_EQ(r->second, 63);
+    EXPECT_FALSE(variable("u")->range().has_value());
+}
+
+TEST(Expr, RangeOfModAndDiv)
+{
+    auto x = variable("x", 100);
+    auto m = mod(x, constant(8));
+    ASSERT_TRUE(m->range());
+    EXPECT_EQ(m->range()->second, 7);
+    auto d = floorDiv(x, constant(8));
+    ASSERT_TRUE(d->range());
+    EXPECT_EQ(d->range()->second, 12);
+}
+
+TEST(Expr, ComparisonSimplification)
+{
+    auto x = variable("x", 8);
+    EXPECT_EQ(lessThan(x, constant(8))->constValue(), 1);
+    EXPECT_EQ(lessThan(x, constant(0))->constValue(), 0);
+    EXPECT_EQ(lessThan(x, constant(5))->kind(), ExprKind::Lt);
+}
+
+TEST(Expr, MinMaxByRange)
+{
+    auto x = variable("x", 8);   // [0,7]
+    auto y = variable("y", 100); // [0,99]
+    // min(x, 7) can't simplify (x can be 7 but not more — max <= is ok).
+    EXPECT_EQ(exprMin(x, constant(7))->str(), "x");
+    EXPECT_EQ(exprMax(x, constant(7))->constValue(), 7);
+    EXPECT_EQ(exprMin(x, y)->kind(), ExprKind::Min);
+}
+
+TEST(Expr, LogicalAndShortCircuit)
+{
+    auto x = variable("x", 2);
+    EXPECT_EQ(logicalAnd(constant(1), x)->str(), "x");
+    EXPECT_EQ(logicalAnd(x, constant(0))->constValue(), 0);
+}
+
+TEST(Expr, Evaluation)
+{
+    auto x = variable("x");
+    auto y = variable("y");
+    auto e = add(mul(x, constant(4)), mod(y, constant(3)));
+    EXPECT_EQ(evalWith(e, {{"x", 5}, {"y", 7}}), 21);
+}
+
+TEST(Expr, EvalDivByZeroThrows)
+{
+    auto x = variable("x");
+    auto e = floorDiv(constant(4), x);
+    EXPECT_THROW(evalWith(e, {{"x", 0}}), Error);
+}
+
+TEST(Expr, StructuralEquality)
+{
+    auto a = add(variable("x"), constant(3));
+    auto b = add(variable("x"), constant(3));
+    auto c = add(variable("y"), constant(3));
+    EXPECT_TRUE(a->equals(*b));
+    EXPECT_FALSE(a->equals(*c));
+}
+
+TEST(Expr, PrintedFormMatchesPaperStyle)
+{
+    auto tid = variable("tid", 256);
+    // The ldmatrix thread-group expressions from Fig. 1c.
+    auto m = mod(floorDiv(tid, constant(16)), constant(2));
+    EXPECT_EQ(m->str(), "((tid / 16) % 2)");
+}
+
+TEST(ExprParser, RoundTripSimple)
+{
+    auto e = parseExpr("((x * 4) + (y % 3))");
+    EXPECT_EQ(evalWith(e, {{"x", 2}, {"y", 8}}), 10);
+}
+
+TEST(ExprParser, Precedence)
+{
+    EXPECT_EQ(evalWith(parseExpr("2 + 3 * 4"), {}), 14);
+    EXPECT_EQ(evalWith(parseExpr("(2 + 3) * 4"), {}), 20);
+    EXPECT_EQ(evalWith(parseExpr("16 / 4 / 2"), {}), 2);
+}
+
+TEST(ExprParser, MinMaxFunctions)
+{
+    EXPECT_EQ(evalWith(parseExpr("min(3, max(1, 7))"), {}), 3);
+}
+
+TEST(ExprParser, RejectsGarbage)
+{
+    EXPECT_THROW(parseExpr("1 +"), Error);
+    EXPECT_THROW(parseExpr("(1"), Error);
+    EXPECT_THROW(parseExpr("1 2"), Error);
+}
+
+TEST(ExprParser, PrintParseRoundTripRandomized)
+{
+    // Build random expressions, print, parse, and compare evaluation.
+    Rng rng(99);
+    for (int iter = 0; iter < 200; ++iter) {
+        std::vector<ExprPtr> pool = {
+            variable("a"), variable("b"), variable("c"),
+            constant(rng.uniformInt(0, 7)),
+            constant(rng.uniformInt(1, 64)),
+        };
+        for (int step = 0; step < 6; ++step) {
+            const auto &x = pool[rng.uniformInt(0, pool.size() - 1)];
+            const auto &y = pool[rng.uniformInt(0, pool.size() - 1)];
+            switch (rng.uniformInt(0, 5)) {
+              case 0: pool.push_back(add(x, y)); break;
+              case 1: pool.push_back(sub(x, y)); break;
+              case 2: pool.push_back(mul(x, y)); break;
+              case 3: pool.push_back(floorDiv(x, constant(
+                          rng.uniformInt(1, 16)))); break;
+              case 4: pool.push_back(mod(x, constant(
+                          rng.uniformInt(1, 16)))); break;
+              case 5: pool.push_back(exprMax(x, y)); break;
+            }
+        }
+        const ExprPtr e = pool.back();
+        const ExprPtr reparsed = parseExpr(e->str());
+        const std::map<std::string, int64_t> env{
+            {"a", rng.uniformInt(0, 50)},
+            {"b", rng.uniformInt(0, 50)},
+            {"c", rng.uniformInt(0, 50)},
+        };
+        EXPECT_EQ(evalWith(e, env), evalWith(reparsed, env))
+            << "expr: " << e->str();
+    }
+}
+
+} // namespace
+} // namespace graphene

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Unit tests for the software fp16/bf16 implementation: exact encodings,
+ * round-to-nearest-even behaviour, special values, and FMA semantics.
+ */
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "numerics/half.h"
+
+namespace graphene
+{
+namespace
+{
+
+TEST(Half, KnownEncodings)
+{
+    EXPECT_EQ(Half(0.0f).bits(), 0x0000u);
+    EXPECT_EQ(Half(-0.0f).bits(), 0x8000u);
+    EXPECT_EQ(Half(1.0f).bits(), 0x3c00u);
+    EXPECT_EQ(Half(-1.0f).bits(), 0xbc00u);
+    EXPECT_EQ(Half(2.0f).bits(), 0x4000u);
+    EXPECT_EQ(Half(0.5f).bits(), 0x3800u);
+    EXPECT_EQ(Half(65504.0f).bits(), 0x7bffu); // max finite half
+}
+
+TEST(Half, RoundTripAllFiniteBitPatterns)
+{
+    // Every finite half value must round-trip exactly through float.
+    for (uint32_t bits = 0; bits < 0x10000u; ++bits) {
+        const uint16_t b = static_cast<uint16_t>(bits);
+        if ((b & 0x7c00u) == 0x7c00u)
+            continue; // skip inf/nan
+        const float f = halfBitsToFloat(b);
+        EXPECT_EQ(floatToHalfBits(f), b) << "bits=0x" << std::hex << bits;
+    }
+}
+
+TEST(Half, OverflowToInfinity)
+{
+    EXPECT_EQ(Half(65536.0f).bits(), 0x7c00u);
+    EXPECT_EQ(Half(-1e10f).bits(), 0xfc00u);
+    EXPECT_TRUE(Half(70000.0f).isInf());
+}
+
+TEST(Half, RoundToNearestEvenAtHalfwayPoints)
+{
+    // 2049 is halfway between 2048 and 2050 in half precision
+    // (ulp = 2 in [2048, 4096)); it must round to even mantissa: 2048.
+    EXPECT_FLOAT_EQ(Half(2049.0f).toFloat(), 2048.0f);
+    // 2051 is halfway between 2050 and 2052; rounds to even: 2052.
+    EXPECT_FLOAT_EQ(Half(2051.0f).toFloat(), 2052.0f);
+    // Just above halfway rounds up.
+    EXPECT_FLOAT_EQ(Half(2049.5f).toFloat(), 2050.0f);
+}
+
+TEST(Half, SubnormalValues)
+{
+    // Smallest positive subnormal: 2^-24.
+    const float tiny = 5.9604644775390625e-08f;
+    EXPECT_EQ(Half(tiny).bits(), 0x0001u);
+    EXPECT_FLOAT_EQ(Half(tiny).toFloat(), tiny);
+    // Largest subnormal: (1023/1024) * 2^-14.
+    const float sub = 1023.0f / 1024.0f * 6.103515625e-05f;
+    EXPECT_EQ(Half(sub).bits(), 0x03ffu);
+    // Below half of the smallest subnormal: flush to zero by rounding.
+    EXPECT_EQ(Half(tiny * 0.25f).bits(), 0x0000u);
+}
+
+TEST(Half, SubnormalHalfwayRoundsToEven)
+{
+    const float ulp = 5.9604644775390625e-08f; // 2^-24
+    // 1.5 ulp is halfway between 1 and 2 ulp -> rounds to 2 (even).
+    EXPECT_EQ(Half(1.5f * ulp).bits(), 0x0002u);
+    // 2.5 ulp -> rounds to 2 (even).
+    EXPECT_EQ(Half(2.5f * ulp).bits(), 0x0002u);
+}
+
+TEST(Half, NanPropagation)
+{
+    const Half nan(std::numeric_limits<float>::quiet_NaN());
+    EXPECT_TRUE(nan.isNan());
+    EXPECT_FALSE(nan.isInf());
+    EXPECT_TRUE(std::isnan(nan.toFloat()));
+}
+
+TEST(Half, InfinityConversion)
+{
+    const Half inf(std::numeric_limits<float>::infinity());
+    EXPECT_TRUE(inf.isInf());
+    EXPECT_EQ(inf.bits(), 0x7c00u);
+    EXPECT_TRUE(std::isinf(inf.toFloat()));
+}
+
+TEST(Half, ArithmeticRoundsEachOp)
+{
+    // 1 + 2^-11 is not representable in half; the sum rounds to 1.
+    const Half one(1.0f);
+    const Half eps(4.8828125e-04f); // 2^-11
+    EXPECT_FLOAT_EQ((one + eps).toFloat(), 1.0f);
+    // 2^-10 is the ulp at 1.0 and must survive.
+    const Half ulp(9.765625e-04f);
+    EXPECT_FLOAT_EQ((one + ulp).toFloat(), 1.0f + 9.765625e-04f);
+}
+
+TEST(Half, FmaSingleRounding)
+{
+    // a*b alone would round; FMA keeps the product exact before add.
+    // Choose a = 1 + 2^-10, b = 1 + 2^-10: product 1 + 2^-9 + 2^-20.
+    const Half a = Half::fromBits(0x3c01u);
+    const Half b = Half::fromBits(0x3c01u);
+    const Half c(-1.0f);
+    const float fma = halfFma(a, b, c).toFloat();
+    // Exact: 2^-9 + 2^-20; in half, nearest is 2^-9 (+ ulp tie? no:
+    // 2^-20 is far below the ulp of 2^-9 which is 2^-19... ulp at
+    // 2^-9 is 2^-19, 2^-20 = 0.5 ulp -> tie -> round to even.
+    // 2^-9 has even mantissa (0), so result is exactly 2^-9.
+    EXPECT_FLOAT_EQ(fma, 0.001953125f);
+    // Separate rounding (a*b then +c) must give the same or different
+    // result; here a*b rounds 1 + 2^-9 + 2^-20 to 1 + 2^-9 (tie-even),
+    // so both agree; sanity check the multiply path.
+    EXPECT_FLOAT_EQ(((a * b) + c).toFloat(), 0.001953125f);
+}
+
+TEST(Half, ComparisonOperators)
+{
+    EXPECT_TRUE(Half(1.0f) < Half(2.0f));
+    EXPECT_TRUE(Half(1.0f) == Half(1.0f));
+    EXPECT_TRUE(Half(1.0f) != Half(2.0f));
+    // +0 == -0 numerically.
+    EXPECT_TRUE(Half(0.0f) == Half(-0.0f));
+}
+
+TEST(Bfloat16, KnownEncodings)
+{
+    EXPECT_EQ(Bfloat16(1.0f).bits(), 0x3f80u);
+    EXPECT_EQ(Bfloat16(-2.0f).bits(), 0xc000u);
+    EXPECT_EQ(Bfloat16(0.0f).bits(), 0x0000u);
+}
+
+TEST(Bfloat16, RoundToNearestEven)
+{
+    // 1 + 2^-8 is halfway between 1 and 1 + 2^-7 in bf16; ties to even.
+    const float halfway = 1.0f + 0.00390625f;
+    EXPECT_EQ(Bfloat16(halfway).bits(), 0x3f80u); // rounds down to 1.0
+    const float above = 1.0f + 0.005f;
+    EXPECT_EQ(Bfloat16(above).bits(), 0x3f81u);
+}
+
+TEST(Bfloat16, RoundTrip)
+{
+    for (float v : {0.5f, 3.25f, -100.0f, 1.5e20f, -7.0e-20f}) {
+        const Bfloat16 b(v);
+        const Bfloat16 b2(b.toFloat());
+        EXPECT_EQ(b.bits(), b2.bits());
+    }
+}
+
+TEST(RoundToPrecision, MatchesTypes)
+{
+    EXPECT_EQ(roundToPrecision(1.0000001, RoundTo::Fp16), 1.0);
+    EXPECT_EQ(roundToPrecision(2049.0, RoundTo::Fp16), 2048.0);
+    EXPECT_EQ(roundToPrecision(3.7, RoundTo::Int32), 3.0);
+    EXPECT_EQ(roundToPrecision(-3.7, RoundTo::Int32), -3.0);
+    const double f32 = roundToPrecision(0.1, RoundTo::Fp32);
+    EXPECT_EQ(f32, static_cast<double>(0.1f));
+}
+
+} // namespace
+} // namespace graphene

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for recursive integer tuples.
+ */
+
+#include <gtest/gtest.h>
+
+#include "layout/int_tuple.h"
+#include "support/check.h"
+
+namespace graphene
+{
+namespace
+{
+
+TEST(IntTuple, LeafBasics)
+{
+    IntTuple t(7);
+    EXPECT_TRUE(t.isLeaf());
+    EXPECT_EQ(t.value(), 7);
+    EXPECT_EQ(t.rank(), 1);
+    EXPECT_EQ(t.depth(), 0);
+    EXPECT_EQ(t.product(), 7);
+    EXPECT_EQ(t.numLeaves(), 1);
+    EXPECT_EQ(t.str(), "7");
+}
+
+TEST(IntTuple, FlatTuple)
+{
+    IntTuple t{2, 3, 4};
+    EXPECT_FALSE(t.isLeaf());
+    EXPECT_EQ(t.rank(), 3);
+    EXPECT_EQ(t.depth(), 1);
+    EXPECT_EQ(t.product(), 24);
+    EXPECT_EQ(t.numLeaves(), 3);
+    EXPECT_EQ(t.str(), "(2,3,4)");
+    EXPECT_EQ(t.mode(1).value(), 3);
+}
+
+TEST(IntTuple, NestedTuple)
+{
+    IntTuple t{IntTuple{2, 2}, 8};
+    EXPECT_EQ(t.rank(), 2);
+    EXPECT_EQ(t.depth(), 2);
+    EXPECT_EQ(t.product(), 32);
+    EXPECT_EQ(t.numLeaves(), 3);
+    EXPECT_EQ(t.str(), "((2,2),8)");
+    EXPECT_EQ(t.mode(0).rank(), 2);
+    EXPECT_EQ(t.mode(0).mode(1).value(), 2);
+}
+
+TEST(IntTuple, FlattenOrder)
+{
+    IntTuple t{IntTuple{2, IntTuple{3, 4}}, 5};
+    const auto flat = t.flatten();
+    ASSERT_EQ(flat.size(), 4u);
+    EXPECT_EQ(flat[0], 2);
+    EXPECT_EQ(flat[1], 3);
+    EXPECT_EQ(flat[2], 4);
+    EXPECT_EQ(flat[3], 5);
+}
+
+TEST(IntTuple, FromInts)
+{
+    auto t = IntTuple::fromInts({4, 8});
+    EXPECT_EQ(t.str(), "(4,8)");
+}
+
+TEST(IntTuple, AppendToLeafPromotes)
+{
+    IntTuple t(3);
+    t.append(IntTuple(4));
+    EXPECT_EQ(t.str(), "(3,4)");
+}
+
+TEST(IntTuple, AppendToTuple)
+{
+    IntTuple t{1, 2};
+    t.append(IntTuple{3, 4});
+    EXPECT_EQ(t.str(), "(1,2,(3,4))");
+}
+
+TEST(IntTuple, Equality)
+{
+    EXPECT_EQ(IntTuple(3), IntTuple(3));
+    EXPECT_NE(IntTuple(3), IntTuple(4));
+    // A leaf 3 and the 1-tuple (3) differ structurally.
+    EXPECT_NE(IntTuple(3), (IntTuple{3}));
+    EXPECT_EQ((IntTuple{2, IntTuple{3, 4}}), (IntTuple{2, IntTuple{3, 4}}));
+    EXPECT_NE((IntTuple{2, IntTuple{3, 4}}), (IntTuple{2, IntTuple{4, 3}}));
+}
+
+TEST(IntTuple, Congruence)
+{
+    IntTuple a{2, IntTuple{3, 4}};
+    IntTuple b{9, IntTuple{1, 1}};
+    IntTuple c{2, 3};
+    EXPECT_TRUE(a.congruent(b));
+    EXPECT_FALSE(a.congruent(c));
+    EXPECT_TRUE(IntTuple(1).congruent(IntTuple(5)));
+    EXPECT_FALSE(IntTuple(1).congruent(c));
+}
+
+TEST(IntTuple, ModeOnLeafReturnsSelf)
+{
+    IntTuple t(6);
+    EXPECT_EQ(t.mode(0).value(), 6);
+}
+
+TEST(IntTuple, ValueOnTupleThrows)
+{
+    IntTuple t{1, 2};
+    EXPECT_THROW(t.value(), InternalError);
+}
+
+TEST(Helpers, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(7, 2), 4);
+    EXPECT_EQ(ceilDiv(8, 2), 4);
+    EXPECT_EQ(ceilDiv(1, 128), 1);
+    EXPECT_EQ(ceilDiv(0, 3), 0);
+}
+
+TEST(Helpers, ShapeDiv)
+{
+    EXPECT_EQ(shapeDiv(8, 2), 4);
+    EXPECT_EQ(shapeDiv(2, 8), 1);
+    EXPECT_EQ(shapeDiv(6, 6), 1);
+    EXPECT_THROW(shapeDiv(6, 4), Error);
+}
+
+} // namespace
+} // namespace graphene

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Cross-cutting integration and property tests:
+ *  - tiling + indexing through TensorView agrees with the direct layout
+ *    function for randomized layouts and tilers;
+ *  - a collective Move distributed over a tiled thread group is always
+ *    a permutation (no element lost or duplicated), regardless of the
+ *    tiling chosen;
+ *  - code generation is deterministic;
+ *  - the IR printer shows the paper's type notation.
+ */
+
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "codegen/cuda_emitter.h"
+#include "ir/printer.h"
+#include "ops/tc_gemm.h"
+#include "runtime/device.h"
+#include "runtime/reference.h"
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace graphene
+{
+namespace
+{
+
+class TilingPropertyTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(TilingPropertyTest, TileThenIndexMatchesDirectAddress)
+{
+    Rng rng(GetParam());
+    // Random 2-D power-of-two layout.
+    const int64_t rows = 1 << rng.uniformInt(1, 3);
+    const int64_t cols = 1 << rng.uniformInt(1, 3);
+    const bool rowMajor = rng.uniform() < 0.5;
+    Layout layout = rowMajor ? Layout::rowMajor(IntTuple{rows, cols})
+                             : Layout::colMajor(IntTuple{rows, cols});
+    // Random dividing tile sizes with optional interleaving stride.
+    const int64_t tr = 1 << rng.uniformInt(0, rng.uniformInt(1, 3));
+    const int64_t tc = 1 << rng.uniformInt(0, 2);
+    if (rows % tr != 0 || cols % tc != 0)
+        return;
+    const int64_t strideR = rng.uniform() < 0.5 ? 1 : rows / tr;
+    Layout tilerR{IntTuple(tr), IntTuple(strideR)};
+    Layout tilerC{IntTuple(tc), IntTuple(1)};
+    if (tr * strideR > rows)
+        return;
+
+    auto view = TensorView::global("%A", layout, ScalarType::Fp16);
+    auto tiled = view.tile({std::optional<Layout>(tilerR),
+                            std::optional<Layout>(tilerC)});
+
+    // Every (outer, inner) pair must address a distinct element, and
+    // collectively they must cover the whole tensor.
+    std::vector<int64_t> seen;
+    for (int64_t o = 0; o < tiled.outer().size(); ++o)
+        for (int64_t i = 0; i < tiled.level(1).size(); ++i)
+            seen.push_back(tiled.elementAddress({o, i}, nullptr));
+    std::sort(seen.begin(), seen.end());
+    ASSERT_EQ(static_cast<int64_t>(seen.size()), rows * cols)
+        << layout << " tiled by " << tilerR << "," << tilerC;
+    auto direct = layout.allOffsets();
+    std::sort(direct.begin(), direct.end());
+    EXPECT_EQ(seen, direct);
+}
+
+TEST_P(TilingPropertyTest, CollectiveMoveIsAPermutation)
+{
+    // Build a random warp-level distribution of a 256-element tile:
+    // tile the data 2-D, assign tiles to threads via a random reshape
+    // of the warp, and Move GL -> RF -> GL through per-thread views.
+    Rng rng(GetParam() * 977);
+    const int64_t perThread = 8;
+    Kernel k("perm", 1, 32);
+    auto in = TensorView::global("%in", Layout::rowMajor(IntTuple{32, 8}),
+                                 ScalarType::Fp16);
+    auto out = TensorView::global("%out",
+                                  Layout::rowMajor(IntTuple{32, 8}),
+                                  ScalarType::Fp16);
+    k.addParam(in, true);
+    k.addParam(out, false);
+    auto one = ThreadGroup::threads("#t", Layout::vector(1), 32);
+    auto t = variable("tid", 32);
+
+    // Random bijective thread "shuffle": tid -> (tid * a + b) % 32 with
+    // odd a (a unit mod 32).
+    const int64_t a = 2 * rng.uniformInt(0, 15) + 1;
+    const int64_t b = rng.uniformInt(0, 31);
+    ExprPtr shuffled = mod(add(mul(t, constant(a)), constant(b)),
+                           constant(32));
+
+    auto srcRow = in.tile({Layout::vector(1), std::nullopt})
+                      .index({shuffled, constant(0)});
+    auto dstRow = out.tile({Layout::vector(1), std::nullopt})
+                      .index({t, constant(0)});
+    auto regs = TensorView::registers("%r", Layout::vector(perThread),
+                                      ScalarType::Fp16);
+    k.setBody({
+        alloc("%r", ScalarType::Fp16, MemorySpace::RF, perThread),
+        call(Spec::move(one, srcRow, regs)),
+        call(Spec::move(one, regs, dstRow)),
+    });
+
+    Device dev(GpuArch::ampere());
+    std::vector<double> data(256);
+    for (size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<double>(i) * 0.5;
+    dev.upload("%in", ScalarType::Fp16, data);
+    dev.upload("%out", ScalarType::Fp16, std::vector<double>(256, -1));
+    dev.launch(k, LaunchMode::Functional);
+    auto outV = dev.download("%out");
+    auto inV = dev.download("%in");
+    std::sort(outV.begin(), outV.end());
+    std::sort(inV.begin(), inV.end());
+    EXPECT_EQ(outV, inV) << "a=" << a << " b=" << b;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TilingPropertyTest,
+                         ::testing::Range<uint64_t>(1, 25));
+
+TEST(Integration, CodegenIsDeterministic)
+{
+    ops::TcGemmConfig cfg;
+    cfg.m = cfg.n = 128;
+    cfg.k = 32;
+    const std::string a = emitCuda(
+        ops::buildTcGemm(GpuArch::ampere(), cfg), GpuArch::ampere());
+    const std::string b = emitCuda(
+        ops::buildTcGemm(GpuArch::ampere(), cfg), GpuArch::ampere());
+    EXPECT_EQ(a, b);
+    EXPECT_GT(a.size(), 2000u);
+}
+
+TEST(Integration, PrinterShowsPaperNotation)
+{
+    ops::TcGemmConfig cfg;
+    cfg.m = cfg.n = 128;
+    cfg.k = 32;
+    Kernel k = ops::buildTcGemm(GpuArch::ampere(), cfg);
+    const std::string ir = printKernel(k);
+    // The paper's tensor type notation.
+    EXPECT_NE(ir.find(".fp16.GL"), std::string::npos);
+    EXPECT_NE(ir.find(".fp16.SH"), std::string::npos);
+    EXPECT_NE(ir.find(".fp32.RF"), std::string::npos);
+    // Specs with execution configs.
+    EXPECT_NE(ir.find("MatMul<<<#warp>>>"), std::string::npos);
+    EXPECT_NE(ir.find("Move<<<"), std::string::npos);
+    // Swizzled shared allocation.
+    EXPECT_NE(ir.find("Sw<3,3,3>"), std::string::npos);
+    EXPECT_NE(ir.find("Init"), std::string::npos);
+}
+
+TEST(Integration, TimingModeAndFunctionalModeAgreeOnCosts)
+{
+    // For a kernel whose main loop has uniform iterations, the
+    // extrapolated timing-mode stats must equal the exact stats.
+    ops::TcGemmConfig cfg;
+    cfg.m = cfg.n = 128;
+    cfg.k = 256; // 8 k-tiles: extrapolation active
+    const GpuArch &arch = GpuArch::ampere();
+    Device dev(arch);
+    Rng rng(5);
+    std::vector<double> a(128 * 256), b(256 * 128);
+    for (auto &v : a)
+        v = rng.uniform(-1, 1);
+    for (auto &v : b)
+        v = rng.uniform(-1, 1);
+    dev.upload("%A", ScalarType::Fp16, a);
+    dev.upload("%B", ScalarType::Fp16, b);
+    dev.upload("%C", ScalarType::Fp16, std::vector<double>(128 * 128, 0));
+    auto exact = dev.launch(ops::buildTcGemm(arch, cfg),
+                            LaunchMode::FunctionalTimed);
+    auto extrapolated = dev.launch(ops::buildTcGemm(arch, cfg),
+                                   LaunchMode::Timing);
+    EXPECT_NEAR(exact.perBlock.tensorFlops,
+                extrapolated.perBlock.tensorFlops, 1e-6);
+    EXPECT_NEAR(exact.perBlock.issueSlots,
+                extrapolated.perBlock.issueSlots, 1e-6);
+    EXPECT_NEAR(exact.perBlock.smemWavefronts,
+                extrapolated.perBlock.smemWavefronts, 1e-6);
+    EXPECT_NEAR(exact.timing.timeUs, extrapolated.timing.timeUs, 1e-9);
+}
+
+TEST(Integration, LeafSpecCountsAreStable)
+{
+    // A structural regression guard on the generated IR.
+    ops::TcGemmConfig cfg;
+    cfg.m = cfg.n = 128;
+    cfg.k = 32;
+    Kernel amp = ops::buildTcGemm(GpuArch::ampere(), cfg);
+    Kernel vol = ops::buildTcGemm(GpuArch::volta(), cfg);
+    // Ampere: staging + 16 fragment loads + 64 mma + epilogue stores.
+    EXPECT_GT(amp.countLeafSpecs(), 100);
+    EXPECT_GT(vol.countLeafSpecs(), 100);
+    EXPECT_GT(amp.sharedMemoryBytes(), 0);
+    EXPECT_LE(amp.sharedMemoryBytes(),
+              GpuArch::ampere().maxSharedMemPerBlockBytes);
+}
+
+} // namespace
+} // namespace graphene

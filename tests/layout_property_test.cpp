@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Property-based tests for the layout algebra.  A generator enumerates
+ * random (but reproducible) layouts; each algebraic operation is checked
+ * against its defining functional identity on the whole domain.
+ */
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "layout/algebra.h"
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace graphene
+{
+namespace
+{
+
+/** Random flat layout with sizes from {1,2,3,4,6,8} and compact-ish,
+ *  strictly increasing strides so the layout is injective. */
+Layout
+randomInjectiveLayout(Rng &rng, int maxRank = 3)
+{
+    // Power-of-two sizes keep every composition admissible (the CuTe
+    // divisibility conditions are then satisfied automatically).
+    const int rank = static_cast<int>(rng.uniformInt(1, maxRank));
+    static const int64_t sizes[] = {1, 2, 4, 8};
+    std::vector<IntTuple> shape, stride;
+    int64_t current = 1;
+    for (int i = 0; i < rank; ++i) {
+        const int64_t s = sizes[rng.uniformInt(0, 3)];
+        // Occasionally leave a gap to create padded layouts.
+        if (rng.uniform() < 0.3)
+            current *= 2;
+        shape.emplace_back(s);
+        stride.emplace_back(current);
+        current *= s;
+    }
+    return Layout(IntTuple(std::move(shape)), IntTuple(std::move(stride)));
+}
+
+class LayoutPropertyTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(LayoutPropertyTest, CoalescePreservesFunction)
+{
+    Rng rng(GetParam());
+    Layout a = randomInjectiveLayout(rng);
+    Layout c = coalesce(a);
+    ASSERT_EQ(c.size(), a.size());
+    for (int64_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(c(i), a(i)) << a << " coalesced to " << c;
+}
+
+TEST_P(LayoutPropertyTest, CoalesceIsIdempotent)
+{
+    Rng rng(GetParam());
+    Layout a = randomInjectiveLayout(rng);
+    Layout c = coalesce(a);
+    EXPECT_EQ(coalesce(c), c) << "coalesce not idempotent for " << a;
+}
+
+TEST_P(LayoutPropertyTest, ComplementCoversEverything)
+{
+    Rng rng(GetParam());
+    Layout a = randomInjectiveLayout(rng);
+    // Round the hint up so strides divide: use cosize exactly.
+    const int64_t m = a.cosize();
+    Layout c = complement(a, m);
+    Layout full = Layout::concat({a, c});
+    ASSERT_GE(full.size(), m);
+    auto offsets = full.allOffsets();
+    std::sort(offsets.begin(), offsets.end());
+    // All offsets distinct and covering [0, size(full)).
+    for (size_t i = 0; i < offsets.size(); ++i)
+        ASSERT_EQ(offsets[i], static_cast<int64_t>(i))
+            << a << " complement " << c;
+}
+
+TEST_P(LayoutPropertyTest, CompositionMatchesFunctionComposition)
+{
+    Rng rng(GetParam());
+    Layout a = randomInjectiveLayout(rng);
+    // Build b as a divisor-friendly sublayout of a's domain: pick a
+    // tile size dividing size(a) and a stride dividing size(a)/tile.
+    const int64_t n = a.size();
+    std::vector<int64_t> divisors;
+    for (int64_t d = 1; d <= n; ++d)
+        if (n % d == 0)
+            divisors.push_back(d);
+    const int64_t s = divisors[rng.uniformInt(0, divisors.size() - 1)];
+    if (s == 0 || n / s == 0)
+        return;
+    std::vector<int64_t> strideChoices;
+    for (int64_t d = 1; d <= n / s; ++d)
+        if ((n / s) % d == 0)
+            strideChoices.push_back(d);
+    const int64_t d = strideChoices[rng.uniformInt(0,
+                                                   strideChoices.size() - 1)];
+    Layout b{IntTuple(s), IntTuple(d)};
+    Layout r = composition(a, b);
+    ASSERT_EQ(r.size(), b.size()) << a << " o " << b;
+    for (int64_t i = 0; i < r.size(); ++i)
+        ASSERT_EQ(r(i), a(b(i))) << a << " o " << b << " at " << i;
+}
+
+TEST_P(LayoutPropertyTest, LogicalDivideIsAPartition)
+{
+    Rng rng(GetParam());
+    Layout a = randomInjectiveLayout(rng, 2);
+    const int64_t n = a.size();
+    // Pick a tiler [s:1] with s dividing n.
+    std::vector<int64_t> divisors;
+    for (int64_t d = 1; d <= n; ++d)
+        if (n % d == 0)
+            divisors.push_back(d);
+    const int64_t s = divisors[rng.uniformInt(0, divisors.size() - 1)];
+    Layout d = logicalDivide(coalesce(a), Layout::vector(s));
+    ASSERT_EQ(d.size(), n);
+    // The divided layout is a permutation of a's offsets.
+    auto lhs = d.allOffsets();
+    auto rhs = a.allOffsets();
+    std::sort(lhs.begin(), lhs.end());
+    std::sort(rhs.begin(), rhs.end());
+    EXPECT_EQ(lhs, rhs) << a << " divided by " << s;
+}
+
+TEST_P(LayoutPropertyTest, ReshapePreservesImage)
+{
+    Rng rng(GetParam());
+    Layout a = coalesce(randomInjectiveLayout(rng));
+    const int64_t n = a.size();
+    // Factor n into two parts.
+    std::vector<int64_t> divisors;
+    for (int64_t d = 1; d <= n; ++d)
+        if (n % d == 0)
+            divisors.push_back(d);
+    const int64_t p = divisors[rng.uniformInt(0, divisors.size() - 1)];
+    Layout r = reshapeRowMajor(a, IntTuple{p, n / p});
+    auto lhs = r.allOffsets();
+    auto rhs = a.allOffsets();
+    std::sort(lhs.begin(), lhs.end());
+    std::sort(rhs.begin(), rhs.end());
+    EXPECT_EQ(lhs, rhs);
+    // Row-major: right coordinate fastest.
+    if (p > 1 && n / p > 1) {
+        EXPECT_EQ(r(0, 1), a(1));
+    }
+}
+
+TEST_P(LayoutPropertyTest, SwizzleIsInvolutionAndBijection)
+{
+    Rng rng(GetParam());
+    const int b = static_cast<int>(rng.uniformInt(1, 3));
+    const int m = static_cast<int>(rng.uniformInt(0, 3));
+    const int s = static_cast<int>(rng.uniformInt(b, 4));
+    Swizzle sw(b, m, s);
+    const int64_t block = int64_t{1} << (b + m + s);
+    std::vector<bool> seen(block, false);
+    for (int64_t x = 0; x < block; ++x) {
+        EXPECT_EQ(sw(sw(x)), x);
+        const int64_t y = sw(x);
+        ASSERT_LT(y, block);
+        ASSERT_FALSE(seen[y]);
+        seen[y] = true;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LayoutPropertyTest,
+                         ::testing::Range<uint64_t>(1, 33));
+
+} // namespace
+} // namespace graphene

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Unit tests for Layout: the paper's Figure 3 memory-layout examples are
+ * reproduced element-for-element.
+ */
+
+#include <gtest/gtest.h>
+
+#include "layout/layout.h"
+#include "support/check.h"
+
+namespace graphene
+{
+namespace
+{
+
+TEST(Layout, ScalarDefault)
+{
+    Layout l;
+    EXPECT_EQ(l.size(), 1);
+    EXPECT_EQ(l.cosize(), 1);
+    EXPECT_EQ(l(0), 0);
+}
+
+TEST(Layout, ColMajor4x8)
+{
+    // Paper Fig. 3a: [(4,8):(1,4)].
+    auto l = Layout::colMajor(IntTuple{4, 8});
+    EXPECT_EQ(l.str(), "[(4,8):(1,4)]");
+    EXPECT_EQ(l.size(), 32);
+    EXPECT_EQ(l.cosize(), 32);
+    EXPECT_EQ(l(0, 0), 0);
+    EXPECT_EQ(l(1, 0), 1);
+    EXPECT_EQ(l(0, 1), 4);
+    EXPECT_EQ(l(3, 7), 31);
+}
+
+TEST(Layout, RowMajor4x8)
+{
+    // Paper Fig. 3b: [(4,8):(8,1)].
+    auto l = Layout::rowMajor(IntTuple{4, 8});
+    EXPECT_EQ(l.str(), "[(4,8):(8,1)]");
+    EXPECT_EQ(l(0, 0), 0);
+    EXPECT_EQ(l(0, 1), 1);
+    EXPECT_EQ(l(1, 0), 8);
+    EXPECT_EQ(l(3, 7), 31);
+}
+
+TEST(Layout, PaddedRowMajor)
+{
+    // Padded layout [(4,8):(9,1)]: row stride exceeds the row extent.
+    Layout l(IntTuple{4, 8}, IntTuple{9, 1});
+    EXPECT_EQ(l.size(), 32);
+    EXPECT_EQ(l.cosize(), 3 * 9 + 7 + 1);
+    EXPECT_EQ(l(1, 0), 9);
+}
+
+TEST(Layout, HierarchicalDimFig3c)
+{
+    // Paper Fig. 3c: [(4,(2,4)) : (2,(1,8))].
+    // Two adjacent column values are contiguous; then rows advance.
+    Layout l(IntTuple{4, IntTuple{2, 4}}, IntTuple{2, IntTuple{1, 8}});
+    EXPECT_EQ(l.rank(), 2);
+    EXPECT_EQ(l.size(), 32);
+    EXPECT_EQ(l.dimSize(1), 8);
+    // Logical 2-D coordinates still work (the paper's key point).
+    EXPECT_EQ(l(0, 0), 0);
+    EXPECT_EQ(l(0, 1), 1);  // second column value adjacent
+    EXPECT_EQ(l(1, 0), 2);  // next row comes before next column pair
+    EXPECT_EQ(l(1, 1), 3);
+    EXPECT_EQ(l(0, 2), 8);  // next column pair after all rows
+    EXPECT_EQ(l(3, 7), 3 * 2 + 1 + 3 * 8);
+}
+
+TEST(Layout, HierarchicalDimFig3d)
+{
+    // Paper Fig. 3d: both dimensions hierarchical:
+    // [((2,2),(2,2)) : ((1,8),(2,16))] — a 4x4-ish doubly swizzled
+    // arrangement; we verify it is a bijection onto [0,16).
+    Layout l(IntTuple{IntTuple{2, 2}, IntTuple{2, 2}},
+             IntTuple{IntTuple{1, 8}, IntTuple{2, 16}});
+    EXPECT_EQ(l.size(), 16);
+    EXPECT_TRUE(l.isInjective());
+    EXPECT_EQ(l.cosize(), 1 + 1 + 8 + 2 + 16);
+    // Logical coordinate decomposition: i = i0 + 2*i1, j = j0 + 2*j1.
+    EXPECT_EQ(l(1, 0), 1);
+    EXPECT_EQ(l(2, 0), 8);
+    EXPECT_EQ(l(3, 0), 9);
+    EXPECT_EQ(l(0, 1), 2);
+    EXPECT_EQ(l(0, 2), 16);
+    EXPECT_EQ(l(0, 3), 18);
+}
+
+TEST(Layout, LinearIndexIsColex)
+{
+    auto l = Layout::colMajor(IntTuple{4, 8});
+    // Linear index enumerates the left-most dimension fastest.
+    for (int64_t i = 0; i < l.size(); ++i)
+        EXPECT_EQ(l(i), i);
+    auto r = Layout::rowMajor(IntTuple{4, 8});
+    EXPECT_EQ(r(0), 0);
+    EXPECT_EQ(r(1), 8);   // second element down the first column
+    EXPECT_EQ(r(4), 1);   // wraps to the next column
+}
+
+TEST(Layout, Idx2CrdRoundTrip)
+{
+    Layout l(IntTuple{4, IntTuple{2, 4}}, IntTuple{2, IntTuple{1, 8}});
+    for (int64_t i = 0; i < l.size(); ++i) {
+        const IntTuple crd = l.idx2crd(i);
+        EXPECT_EQ(l.crd2idx(crd), l(i));
+    }
+}
+
+TEST(Layout, AllOffsetsInjectiveForBijectiveLayouts)
+{
+    Layout l(IntTuple{IntTuple{2, 2}, IntTuple{2, 2}},
+             IntTuple{IntTuple{1, 8}, IntTuple{2, 16}});
+    auto offsets = l.allOffsets();
+    std::sort(offsets.begin(), offsets.end());
+    EXPECT_EQ(offsets.front(), 0);
+    EXPECT_EQ(std::adjacent_find(offsets.begin(), offsets.end()),
+              offsets.end());
+}
+
+TEST(Layout, BroadcastStrideZero)
+{
+    Layout l(IntTuple{4, 8}, IntTuple{0, 1});
+    EXPECT_EQ(l(0, 3), 3);
+    EXPECT_EQ(l(2, 3), 3);
+    EXPECT_FALSE(l.isInjective());
+}
+
+TEST(Layout, OutOfBoundsCoordinateThrows)
+{
+    auto l = Layout::rowMajor(IntTuple{4, 8});
+    EXPECT_THROW(l(4, 0), Error);
+    EXPECT_THROW(l(0, 8), Error);
+    EXPECT_THROW(l(32), Error);
+}
+
+TEST(Layout, NonCongruentShapeStrideThrows)
+{
+    EXPECT_THROW(Layout(IntTuple{4, 8}, IntTuple(1)), Error);
+    EXPECT_THROW(Layout(IntTuple{4, IntTuple{2, 2}}, IntTuple{1, 4}), Error);
+}
+
+TEST(Layout, ConcatAndMode)
+{
+    auto a = Layout::vector(4);
+    Layout b(IntTuple(8), IntTuple(4));
+    auto c = Layout::concat({a, b});
+    EXPECT_EQ(c.rank(), 2);
+    EXPECT_EQ(c.str(), "[(4,8):(1,4)]");
+    EXPECT_EQ(c.mode(1).str(), "[8:4]");
+}
+
+TEST(Layout, AppendedMode)
+{
+    auto l = Layout::vector(4).appended(Layout(IntTuple(2), IntTuple(16)));
+    EXPECT_EQ(l.str(), "[(4,2):(1,16)]");
+    EXPECT_EQ(l(1, 1), 17);
+}
+
+TEST(Layout, QuadPairLayoutFig6)
+{
+    // Paper Fig. 6: Volta quad-pairs are [(4,2):(1,16)] within a warp:
+    // quad-pair 0 holds threads 0-3 and 16-19.
+    Layout qp(IntTuple{4, 2}, IntTuple{1, 16});
+    std::vector<int64_t> threads = qp.allOffsets();
+    std::vector<int64_t> expected{0, 1, 2, 3, 16, 17, 18, 19};
+    EXPECT_EQ(threads, expected);
+}
+
+TEST(Layout, DimSizeOfHierarchicalDim)
+{
+    Layout l(IntTuple{4, IntTuple{2, 4}}, IntTuple{2, IntTuple{1, 8}});
+    EXPECT_EQ(l.dimSize(0), 4);
+    EXPECT_EQ(l.dimSize(1), 8);
+}
+
+TEST(Layout, VectorFactory)
+{
+    auto v = Layout::vector(8);
+    EXPECT_EQ(v.str(), "[8:1]");
+    EXPECT_EQ(v.size(), 8);
+    EXPECT_EQ(v.cosize(), 8);
+}
+
+} // namespace
+} // namespace graphene

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Tests for the Transformer end-to-end model runner (Fig. 15): the
+ * fused-FMHA injection must always help, the speedup must correlate
+ * with the attention share, and the configs must be self-consistent.
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "models/transformer.h"
+#include "support/check.h"
+
+namespace graphene
+{
+namespace
+{
+
+TEST(Transformer, PaperNetworksAreWellFormed)
+{
+    const auto nets = models::TransformerConfig::paperNetworks();
+    ASSERT_EQ(nets.size(), 5u);
+    for (const auto &n : nets) {
+        EXPECT_EQ(n.headDim(), 64) << n.name;
+        EXPECT_EQ(n.hidden % 128, 0) << n.name;
+        EXPECT_EQ(n.seq % 128, 0) << n.name;
+        EXPECT_GT(n.layers, 0) << n.name;
+    }
+}
+
+TEST(Transformer, FusedFmhaAlwaysHelps)
+{
+    for (const auto &cfg : models::TransformerConfig::paperNetworks()) {
+        auto r = models::runTransformerInference(GpuArch::ampere(), cfg);
+        EXPECT_GT(r.speedup(), 1.05) << cfg.name;
+        EXPECT_LT(r.speedup(), 2.0) << cfg.name;
+        EXPECT_GT(r.attnFusedUs, 0) << cfg.name;
+        EXPECT_LT(r.attnFusedUs, r.attnBaselineUs) << cfg.name;
+    }
+}
+
+TEST(Transformer, SpeedupCorrelatesWithAttentionShare)
+{
+    // The paper's Fig. 15 observation: networks where attention is a
+    // larger fraction of the time speed up more.
+    std::vector<std::pair<double, double>> points;
+    for (const auto &cfg : models::TransformerConfig::paperNetworks()) {
+        auto r = models::runTransformerInference(GpuArch::ampere(), cfg);
+        points.push_back({r.attentionSharePct, r.speedup()});
+    }
+    std::sort(points.begin(), points.end());
+    for (size_t i = 1; i < points.size(); ++i)
+        EXPECT_GE(points[i].second, points[i - 1].second - 1e-9)
+            << "speedup must be monotone in the attention share";
+}
+
+TEST(Transformer, DeeperNetworkSameSpeedup)
+{
+    // The speedup is a per-layer property: doubling the layer count
+    // must not change it.
+    models::TransformerConfig cfg{"test", 4, 768, 12, 384, 32};
+    auto shallow = models::runTransformerInference(GpuArch::ampere(),
+                                                   cfg);
+    cfg.layers = 8;
+    auto deep = models::runTransformerInference(GpuArch::ampere(), cfg);
+    EXPECT_NEAR(shallow.speedup(), deep.speedup(), 1e-9);
+    EXPECT_NEAR(deep.baselineUs, 2 * shallow.baselineUs, 1e-6);
+}
+
+TEST(Transformer, RejectsUnsupportedHeadDim)
+{
+    models::TransformerConfig cfg{"bad", 2, 768, 6, 384, 8}; // hd=128
+    EXPECT_THROW(models::runTransformerInference(GpuArch::ampere(), cfg),
+                 Error);
+}
+
+} // namespace
+} // namespace graphene

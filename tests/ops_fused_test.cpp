@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Functional + cost tests for the fused kernels: MLP (Fig. 11),
+ * LSTM cell (Fig. 12), FMHA (Fig. 14), and the batched/transposed
+ * GEMM extensions the unfused baselines rely on.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ops/fmha.h"
+#include "ops/lstm.h"
+#include "ops/mlp.h"
+#include "ops/tc_gemm.h"
+#include "runtime/device.h"
+#include "runtime/reference.h"
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace graphene
+{
+namespace
+{
+
+std::vector<double>
+randomVec(Rng &rng, int64_t n, double lo = -1.0, double hi = 1.0)
+{
+    std::vector<double> v(static_cast<size_t>(n));
+    for (auto &x : v)
+        x = rng.uniform(lo, hi);
+    return v;
+}
+
+class ArchTest : public ::testing::TestWithParam<const GpuArch *>
+{
+};
+
+TEST_P(ArchTest, FusedMlpMatchesReference)
+{
+    const GpuArch &arch = *GetParam();
+    ops::FusedMlpConfig cfg;
+    cfg.m = 128;
+    cfg.width = 128;
+    cfg.layers = 3;
+    Device dev(arch);
+    Rng rng(21);
+    // Small weights keep relu activations in a well-conditioned range.
+    dev.upload("%x", ScalarType::Fp16, randomVec(rng, cfg.m * 128));
+    dev.upload("%W", ScalarType::Fp16,
+               randomVec(rng, cfg.layers * 128 * 128, -0.08, 0.08));
+    dev.upload("%b", ScalarType::Fp16,
+               randomVec(rng, cfg.layers * 128, -0.2, 0.2));
+    dev.allocate("%y", ScalarType::Fp16, cfg.m * 128);
+    dev.launch(ops::buildFusedMlp(arch, cfg), LaunchMode::Functional);
+
+    auto act = dev.download("%x");
+    auto w = dev.download("%W");
+    auto bias = dev.download("%b");
+    for (int64_t l = 0; l < cfg.layers; ++l) {
+        std::vector<double> wl(w.begin() + l * 128 * 128,
+                               w.begin() + (l + 1) * 128 * 128);
+        std::vector<double> bl(bias.begin() + l * 128,
+                               bias.begin() + (l + 1) * 128);
+        act = ref::relu(ref::biasAdd(ref::gemm(act, wl, cfg.m, 128, 128),
+                                     bl, cfg.m, 128));
+    }
+    EXPECT_LT(ref::maxRelDiff(dev.download("%y"), act, 1.0), 0.03)
+        << arch.name;
+}
+
+TEST_P(ArchTest, FusedMlpOddLayerCount)
+{
+    const GpuArch &arch = *GetParam();
+    ops::FusedMlpConfig cfg;
+    cfg.m = 64;
+    cfg.width = 128;
+    cfg.layers = 1;
+    Device dev(arch);
+    Rng rng(22);
+    dev.upload("%x", ScalarType::Fp16, randomVec(rng, cfg.m * 128));
+    dev.upload("%W", ScalarType::Fp16,
+               randomVec(rng, 128 * 128, -0.08, 0.08));
+    dev.upload("%b", ScalarType::Fp16, randomVec(rng, 128));
+    dev.allocate("%y", ScalarType::Fp16, cfg.m * 128);
+    dev.launch(ops::buildFusedMlp(arch, cfg), LaunchMode::Functional);
+    auto ref = ref::relu(ref::biasAdd(
+        ref::gemm(dev.download("%x"), dev.download("%W"), cfg.m, 128,
+                  128),
+        dev.download("%b"), cfg.m, 128));
+    EXPECT_LT(ref::maxRelDiff(dev.download("%y"), ref, 1.0), 0.03)
+        << arch.name;
+}
+
+TEST_P(ArchTest, FusedLstmMatchesReference)
+{
+    const GpuArch &arch = *GetParam();
+    ops::FusedLstmConfig cfg;
+    cfg.m = 128;
+    cfg.n = 128;
+    cfg.k = 64;
+    Device dev(arch);
+    Rng rng(23);
+    dev.upload("%x", ScalarType::Fp16, randomVec(rng, cfg.m * cfg.k));
+    dev.upload("%h", ScalarType::Fp16, randomVec(rng, cfg.m * cfg.k));
+    dev.upload("%Wx", ScalarType::Fp16,
+               randomVec(rng, cfg.k * cfg.n, -0.2, 0.2));
+    dev.upload("%Wh", ScalarType::Fp16,
+               randomVec(rng, cfg.k * cfg.n, -0.2, 0.2));
+    dev.upload("%bias", ScalarType::Fp16, randomVec(rng, cfg.n));
+    dev.allocate("%out", ScalarType::Fp16, cfg.m * cfg.n);
+    dev.launch(ops::buildFusedLstm(arch, cfg), LaunchMode::Functional);
+
+    auto g1 = ref::gemm(dev.download("%x"), dev.download("%Wx"), cfg.m,
+                        cfg.n, cfg.k);
+    auto g2 = ref::gemm(dev.download("%h"), dev.download("%Wh"), cfg.m,
+                        cfg.n, cfg.k);
+    for (size_t i = 0; i < g1.size(); ++i)
+        g1[i] += g2[i];
+    auto ref = ref::relu(ref::biasAdd(g1, dev.download("%bias"), cfg.m,
+                                      cfg.n));
+    EXPECT_LT(ref::maxRelDiff(dev.download("%out"), ref, 1.0), 0.03)
+        << arch.name;
+}
+
+TEST_P(ArchTest, BatchedTransposedGemm)
+{
+    // The FMHA baseline building block: S_b = Q_b * K_b^T per batch.
+    const GpuArch &arch = *GetParam();
+    const int64_t batch = 2, m = 128, n = 128, k = 64;
+    ops::TcGemmConfig cfg;
+    cfg.m = m;
+    cfg.n = n;
+    cfg.k = k;
+    cfg.batch = batch;
+    cfg.batchStrideA = m * k;
+    cfg.batchStrideB = n * k;
+    cfg.batchStrideC = m * n;
+    cfg.bTransposed = true;
+    cfg.alpha = 0.5;
+    Device dev(arch);
+    Rng rng(24);
+    dev.upload("%A", ScalarType::Fp16, randomVec(rng, batch * m * k));
+    dev.upload("%B", ScalarType::Fp16, randomVec(rng, batch * n * k));
+    dev.allocate("%C", ScalarType::Fp16, batch * m * n);
+    dev.launch(ops::buildTcGemm(arch, cfg), LaunchMode::Functional);
+
+    auto a = dev.download("%A");
+    auto bT = dev.download("%B");
+    auto c = dev.download("%C");
+    for (int64_t bi = 0; bi < batch; ++bi) {
+        std::vector<double> ab(a.begin() + bi * m * k,
+                               a.begin() + (bi + 1) * m * k);
+        // Transpose B ([n, k] -> [k, n]).
+        std::vector<double> bb(static_cast<size_t>(k * n));
+        for (int64_t nn = 0; nn < n; ++nn)
+            for (int64_t kk = 0; kk < k; ++kk)
+                bb[kk * n + nn] = bT[bi * n * k + nn * k + kk];
+        auto ref = ref::gemm(ab, bb, m, n, k);
+        for (auto &v : ref)
+            v *= 0.5;
+        std::vector<double> cb(c.begin() + bi * m * n,
+                               c.begin() + (bi + 1) * m * n);
+        EXPECT_LT(ref::maxRelDiff(cb, ref, 1.0), 0.02)
+            << arch.name << " batch " << bi;
+    }
+}
+
+TEST_P(ArchTest, FusedFmhaMatchesReference)
+{
+    const GpuArch &arch = *GetParam();
+    ops::FmhaConfig cfg;
+    cfg.batch = 1;
+    cfg.heads = 2;
+    cfg.seq = 128;
+    cfg.headDim = 64;
+    const int64_t elems = cfg.batch * cfg.heads * cfg.seq * cfg.headDim;
+    Device dev(arch);
+    Rng rng(25);
+    dev.upload("%Q", ScalarType::Fp16, randomVec(rng, elems));
+    dev.upload("%K", ScalarType::Fp16, randomVec(rng, elems));
+    dev.upload("%V", ScalarType::Fp16, randomVec(rng, elems));
+    dev.allocate("%O", ScalarType::Fp16, elems);
+    dev.launch(ops::buildFusedFmha(arch, cfg), LaunchMode::Functional);
+
+    auto q = dev.download("%Q");
+    auto k = dev.download("%K");
+    auto v = dev.download("%V");
+    auto o = dev.download("%O");
+    const int64_t hd = cfg.seq * cfg.headDim;
+    for (int64_t h = 0; h < cfg.batch * cfg.heads; ++h) {
+        std::vector<double> qh(q.begin() + h * hd,
+                               q.begin() + (h + 1) * hd);
+        std::vector<double> kh(k.begin() + h * hd,
+                               k.begin() + (h + 1) * hd);
+        std::vector<double> vh(v.begin() + h * hd,
+                               v.begin() + (h + 1) * hd);
+        auto ref = ref::attention(qh, kh, vh, cfg.seq, cfg.headDim);
+        std::vector<double> oh(o.begin() + h * hd,
+                               o.begin() + (h + 1) * hd);
+        EXPECT_LT(ref::maxRelDiff(oh, ref, 0.5), 0.03)
+            << arch.name << " head " << h;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Arches, ArchTest,
+    ::testing::Values(&GpuArch::ampere(), &GpuArch::volta()),
+    [](const ::testing::TestParamInfo<const GpuArch *> &info) {
+        return info.param->hasLdmatrix ? "Ampere" : "Volta";
+    });
+
+TEST(FusedMlp, SharedMemoryFitsAndTimingScalesWithLayers)
+{
+    ops::FusedMlpConfig cfg;
+    cfg.m = 2048;
+    cfg.layers = 4;
+    const GpuArch &arch = GpuArch::ampere();
+    Device dev(arch);
+    dev.allocate("%x", ScalarType::Fp16, cfg.m * 128);
+    dev.allocate("%W", ScalarType::Fp16, 20 * 128 * 128);
+    dev.allocate("%b", ScalarType::Fp16, 20 * 128);
+    dev.allocate("%y", ScalarType::Fp16, cfg.m * 128);
+    auto t4 = dev.launch(ops::buildFusedMlp(arch, cfg),
+                         LaunchMode::Timing);
+    cfg.layers = 16;
+    auto t16 = dev.launch(ops::buildFusedMlp(arch, cfg),
+                          LaunchMode::Timing);
+    const double ratio = t16.timing.timeUs / t4.timing.timeUs;
+    EXPECT_GT(ratio, 2.0);
+    EXPECT_LT(ratio, 5.0);
+}
+
+TEST(FusedFmha, SwizzleReducesSmemTraffic)
+{
+    ops::FmhaConfig cfg;
+    cfg.batch = 1;
+    cfg.heads = 1;
+    cfg.seq = 384;
+    const GpuArch &arch = GpuArch::ampere();
+    Device dev(arch);
+    const int64_t elems = cfg.seq * cfg.headDim;
+    dev.allocate("%Q", ScalarType::Fp16, elems);
+    dev.allocate("%K", ScalarType::Fp16, elems);
+    dev.allocate("%V", ScalarType::Fp16, elems);
+    dev.allocate("%O", ScalarType::Fp16, elems);
+    cfg.swizzle = true;
+    auto swz = dev.launch(ops::buildFusedFmha(arch, cfg),
+                          LaunchMode::Timing);
+    cfg.swizzle = false;
+    auto flat = dev.launch(ops::buildFusedFmha(arch, cfg),
+                           LaunchMode::Timing);
+    EXPECT_LT(swz.perBlock.smemWavefronts,
+              flat.perBlock.smemWavefronts);
+    EXPECT_LE(swz.timing.timeUs, flat.timing.timeUs);
+}
+
+} // namespace
+} // namespace graphene

@@ -1,0 +1,404 @@
+/**
+ * @file
+ * Integration tests for the GEMM generators: the Fig. 8 simple GEMM
+ * and the optimized tensor-core GEMM on both architectures, validated
+ * functionally against fp64 references, plus codegen structure and
+ * cost-model sanity (swizzle and ldmatrix ablations).
+ */
+
+#include <gtest/gtest.h>
+
+#include "codegen/cuda_emitter.h"
+#include "ir/printer.h"
+#include "ops/ldmatrix_move.h"
+#include "ops/simple_gemm.h"
+#include "ops/tc_gemm.h"
+#include "runtime/device.h"
+#include "runtime/reference.h"
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace graphene
+{
+namespace
+{
+
+std::vector<double>
+randomVec(Rng &rng, int64_t n, double lo = -1.0, double hi = 1.0)
+{
+    std::vector<double> v(static_cast<size_t>(n));
+    for (auto &x : v)
+        x = rng.uniform(lo, hi);
+    return v;
+}
+
+TEST(SimpleGemm, MatchesReferenceSmall)
+{
+    ops::SimpleGemmConfig cfg;
+    cfg.m = cfg.n = cfg.k = 32;
+    cfg.blockTileM = cfg.blockTileN = 16;
+    cfg.threadsM = cfg.threadsN = 4;
+    Kernel kernel = ops::buildSimpleGemm(cfg);
+
+    Device dev(GpuArch::volta());
+    Rng rng(1);
+    dev.upload("%A", ScalarType::Fp16, randomVec(rng, 32 * 32));
+    dev.upload("%B", ScalarType::Fp16, randomVec(rng, 32 * 32));
+    dev.upload("%C", ScalarType::Fp16,
+               std::vector<double>(32 * 32, 0.0));
+    dev.launch(kernel, LaunchMode::Functional);
+
+    auto ref = ref::gemm(dev.download("%A"), dev.download("%B"), 32, 32,
+                         32);
+    // fp16 accumulation: loose tolerance.
+    EXPECT_LT(ref::maxRelDiff(dev.download("%C"), ref, 1.0), 0.05);
+}
+
+TEST(SimpleGemm, EmittedCudaHasFig8Structure)
+{
+    ops::SimpleGemmConfig cfg; // the paper's 1024^3 instance
+    Kernel kernel = ops::buildSimpleGemm(cfg);
+    const std::string cuda = emitCuda(kernel, GpuArch::volta());
+    // Triple loop.
+    EXPECT_NE(cuda.find("for (int k = 0; k < 1024; k += 1)"),
+              std::string::npos);
+    EXPECT_NE(cuda.find("for (int m = 0; m < 8; m += 1)"),
+              std::string::npos);
+    EXPECT_NE(cuda.find("for (int n = 0; n < 8; n += 1)"),
+              std::string::npos);
+    // Scalar fma on global views with the Fig. 8 index structure.
+    EXPECT_NE(cuda.find("__hfma"), std::string::npos);
+    EXPECT_NE(cuda.find("#pragma unroll"), std::string::npos);
+    EXPECT_NE(cuda.find("const half *__restrict__ A"),
+              std::string::npos);
+    // Block/thread tiling visible in the index arithmetic.
+    EXPECT_NE(cuda.find("blockIdx.x % 8"), std::string::npos);
+    EXPECT_NE(cuda.find("threadIdx.x % 16"), std::string::npos);
+}
+
+TEST(SimpleGemm, GrapheneIrPrints)
+{
+    ops::SimpleGemmConfig cfg;
+    cfg.m = cfg.n = cfg.k = 32;
+    cfg.blockTileM = cfg.blockTileN = 16;
+    cfg.threadsM = cfg.threadsN = 4;
+    Kernel kernel = ops::buildSimpleGemm(cfg);
+    const std::string ir = printKernel(kernel);
+    EXPECT_NE(ir.find("MatMul<<<#t>>>"), std::string::npos);
+    EXPECT_NE(ir.find("%18:"), std::string::npos);
+    EXPECT_NE(ir.find(".fp16.GL"), std::string::npos);
+}
+
+TEST(LdmatrixMove, KernelMatchesFig1Mapping)
+{
+    Device dev(GpuArch::ampere());
+    Rng rng(5);
+    dev.upload("%in", ScalarType::Fp16, randomVec(rng, 256));
+    dev.upload("%out", ScalarType::Fp16,
+               std::vector<double>(256, 0.0));
+    Kernel k = ops::buildLdmatrixMoveKernel();
+    dev.launch(k, LaunchMode::Functional);
+    auto in = dev.download("%in");
+    auto out = dev.download("%out");
+    for (int64_t t = 0; t < 32; ++t)
+        for (int64_t v = 0; v < 8; ++v) {
+            const int64_t g = v / 2;
+            const int64_t r = 8 * (g / 2) + t / 4;
+            const int64_t c = 8 * (g % 2) + 2 * (t % 4) + v % 2;
+            EXPECT_EQ(out[static_cast<size_t>(t * 8 + v)],
+                      in[static_cast<size_t>(r * 16 + c)])
+                << "t=" << t << " v=" << v;
+        }
+}
+
+TEST(LdmatrixMove, EmittedCudaContainsPtx)
+{
+    Kernel k = ops::buildLdmatrixMoveKernel();
+    const std::string cuda = emitCuda(k, GpuArch::ampere());
+    EXPECT_NE(cuda.find("ldmatrix.sync.aligned.m8n8.x4.shared.b16"),
+              std::string::npos);
+    EXPECT_NE(cuda.find("__cvta_generic_to_shared"), std::string::npos);
+    EXPECT_NE(cuda.find("__shared__ half v1[256];"), std::string::npos);
+    // The 2x2x8 thread-group arithmetic from Fig. 1c (the /16 group
+    // coordinate loses its %2 to range simplification in a 32-thread
+    // block).
+    EXPECT_NE(cuda.find("(threadIdx.x / 16)"), std::string::npos);
+    EXPECT_NE(cuda.find("(threadIdx.x / 8) % 2"), std::string::npos);
+    EXPECT_NE(cuda.find("(threadIdx.x % 8)"), std::string::npos);
+}
+
+struct TcCase
+{
+    const GpuArch *arch;
+    ops::Epilogue epilogue;
+    bool loadC;
+};
+
+class TcGemmFunctional : public ::testing::TestWithParam<TcCase>
+{
+};
+
+TEST_P(TcGemmFunctional, MatchesReference)
+{
+    const TcCase &tc = GetParam();
+    ops::TcGemmConfig cfg;
+    cfg.m = 128;
+    cfg.n = 128;
+    cfg.k = 64;
+    cfg.epilogue = tc.epilogue;
+    cfg.loadC = tc.loadC;
+    Kernel kernel = ops::buildTcGemm(*tc.arch, cfg);
+
+    Device dev(*tc.arch);
+    Rng rng(7);
+    dev.upload("%A", ScalarType::Fp16, randomVec(rng, 128 * 64));
+    dev.upload("%B", ScalarType::Fp16, randomVec(rng, 64 * 128));
+    auto c0 = tc.loadC ? randomVec(rng, 128 * 128)
+                       : std::vector<double>(128 * 128, 0.0);
+    dev.upload("%C", ScalarType::Fp16, c0);
+    if (tc.epilogue != ops::Epilogue::None
+        && tc.epilogue != ops::Epilogue::Relu)
+        dev.upload("%bias", ScalarType::Fp16, randomVec(rng, 128));
+
+    dev.launch(kernel, LaunchMode::Functional);
+
+    auto ref = ref::gemm(dev.download("%A"), dev.download("%B"), 128,
+                         128, 64);
+    if (tc.loadC) {
+        auto cIn = c0;
+        // The uploaded C was rounded to fp16; emulate.
+        Device tmp(*tc.arch);
+        tmp.upload("%c", ScalarType::Fp16, c0);
+        cIn = tmp.download("%c");
+        for (size_t i = 0; i < ref.size(); ++i)
+            ref[i] += cIn[i];
+    }
+    switch (tc.epilogue) {
+      case ops::Epilogue::Bias:
+        ref = ref::biasAdd(ref, dev.download("%bias"), 128, 128);
+        break;
+      case ops::Epilogue::Relu:
+        ref = ref::relu(ref);
+        break;
+      case ops::Epilogue::BiasRelu:
+        ref = ref::relu(ref::biasAdd(ref, dev.download("%bias"), 128,
+                                     128));
+        break;
+      case ops::Epilogue::BiasGelu:
+        ref = ref::gelu(ref::biasAdd(ref, dev.download("%bias"), 128,
+                                     128));
+        break;
+      default:
+        break;
+    }
+    EXPECT_LT(ref::maxRelDiff(dev.download("%C"), ref, 1.0), 0.02)
+        << "on " << tc.arch->name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, TcGemmFunctional,
+    ::testing::Values(
+        TcCase{&GpuArch::ampere(), ops::Epilogue::None, false},
+        TcCase{&GpuArch::ampere(), ops::Epilogue::Bias, false},
+        TcCase{&GpuArch::ampere(), ops::Epilogue::BiasRelu, false},
+        TcCase{&GpuArch::ampere(), ops::Epilogue::BiasGelu, false},
+        TcCase{&GpuArch::ampere(), ops::Epilogue::None, true},
+        TcCase{&GpuArch::volta(), ops::Epilogue::None, false},
+        TcCase{&GpuArch::volta(), ops::Epilogue::BiasRelu, false},
+        TcCase{&GpuArch::volta(), ops::Epilogue::None, true}),
+    [](const ::testing::TestParamInfo<TcCase> &info) {
+        std::string name = info.param.arch->hasLdmatrix ? "Ampere"
+                                                        : "Volta";
+        name += "_" + ops::epilogueName(info.param.epilogue);
+        if (info.param.loadC)
+            name += "_acc";
+        for (auto &c : name)
+            if (c == '+')
+                c = '_';
+        return name;
+    });
+
+TEST(TcGemm, LdmatrixAblationSameResultMoreIssue)
+{
+    ops::TcGemmConfig cfg;
+    cfg.m = 128;
+    cfg.n = 128;
+    cfg.k = 32;
+    const GpuArch &arch = GpuArch::ampere();
+
+    Rng rng(9);
+    auto a = randomVec(rng, 128 * 32);
+    auto b = randomVec(rng, 32 * 128);
+
+    auto runCfg = [&](bool disable) {
+        cfg.disableLdmatrix = disable;
+        Device dev(arch);
+        dev.upload("%A", ScalarType::Fp16, a);
+        dev.upload("%B", ScalarType::Fp16, b);
+        dev.upload("%C", ScalarType::Fp16,
+                   std::vector<double>(128 * 128, 0.0));
+        auto prof = dev.launch(ops::buildTcGemm(arch, cfg),
+                               LaunchMode::FunctionalTimed);
+        return std::make_pair(dev.download("%C"), prof);
+    };
+    auto [cLdm, profLdm] = runCfg(false);
+    auto [cScalar, profScalar] = runCfg(true);
+    EXPECT_LT(ref::maxAbsDiff(cLdm, cScalar), 1e-12)
+        << "ablation must be numerically identical";
+    EXPECT_GT(profScalar.perBlock.issueSlots,
+              1.2 * profLdm.perBlock.issueSlots)
+        << "scalar fragment loads must cost more instruction issues";
+    EXPECT_GT(profScalar.perBlock.smemWavefronts,
+              profLdm.perBlock.smemWavefronts)
+        << "scalar fragment loads must touch shared memory more often";
+}
+
+TEST(TcGemm, SwizzleReducesBankConflicts)
+{
+    ops::TcGemmConfig cfg;
+    cfg.m = 128;
+    cfg.n = 128;
+    cfg.k = 64;
+    const GpuArch &arch = GpuArch::ampere();
+    Device dev(arch);
+    Rng rng(3);
+    dev.upload("%A", ScalarType::Fp16, randomVec(rng, 128 * 64));
+    dev.upload("%B", ScalarType::Fp16, randomVec(rng, 64 * 128));
+    dev.upload("%C", ScalarType::Fp16,
+               std::vector<double>(128 * 128, 0.0));
+
+    cfg.swizzle = true;
+    auto swz = dev.launch(ops::buildTcGemm(arch, cfg),
+                          LaunchMode::Timing);
+    cfg.swizzle = false;
+    auto flat = dev.launch(ops::buildTcGemm(arch, cfg),
+                           LaunchMode::Timing);
+    EXPECT_LT(swz.perBlock.smemWavefronts, flat.perBlock.smemWavefronts)
+        << "swizzled layout must reduce shared-memory conflicts";
+}
+
+TEST(TcGemm, SwizzledResultStillCorrect)
+{
+    ops::TcGemmConfig cfg;
+    cfg.m = 128;
+    cfg.n = 128;
+    cfg.k = 32;
+    for (bool swizzle : {true, false}) {
+        cfg.swizzle = swizzle;
+        Device dev(GpuArch::ampere());
+        Rng rng(13);
+        dev.upload("%A", ScalarType::Fp16, randomVec(rng, 128 * 32));
+        dev.upload("%B", ScalarType::Fp16, randomVec(rng, 32 * 128));
+        dev.upload("%C", ScalarType::Fp16,
+                   std::vector<double>(128 * 128, 0.0));
+        dev.launch(ops::buildTcGemm(GpuArch::ampere(), cfg),
+                   LaunchMode::Functional);
+        auto ref = ref::gemm(dev.download("%A"), dev.download("%B"),
+                             128, 128, 32);
+        EXPECT_LT(ref::maxRelDiff(dev.download("%C"), ref, 1.0), 0.02)
+            << "swizzle=" << swizzle;
+    }
+}
+
+TEST(TcGemm, LargeGemmIsTensorBound)
+{
+    // The Fig. 9 operating point: a large, evenly dividing GEMM must be
+    // tensor-pipe bound at high utilization on both architectures.
+    for (const GpuArch *arch : {&GpuArch::ampere(), &GpuArch::volta()}) {
+        ops::TcGemmConfig cfg;
+        cfg.m = cfg.n = 1024; // small grid, same per-block behaviour
+        cfg.k = 512;
+        Device dev(*arch);
+        dev.allocate("%A", ScalarType::Fp16, cfg.m * cfg.k);
+        dev.allocate("%B", ScalarType::Fp16, cfg.k * cfg.n);
+        dev.allocate("%C", ScalarType::Fp16, cfg.m * cfg.n);
+        auto prof = dev.launch(ops::buildTcGemm(*arch, cfg),
+                               LaunchMode::Timing);
+        EXPECT_EQ(prof.timing.boundBy, "tensor") << arch->name;
+        EXPECT_GT(prof.timing.tensorPipePct, 60.0) << arch->name;
+    }
+}
+
+TEST(TcGemm, EmittedCudaContainsMmaAndLdmatrix)
+{
+    ops::TcGemmConfig cfg;
+    cfg.m = cfg.n = 128;
+    cfg.k = 32;
+    const std::string ampere =
+        emitCuda(ops::buildTcGemm(GpuArch::ampere(), cfg),
+                 GpuArch::ampere());
+    EXPECT_NE(ampere.find("mma.sync.aligned.m16n8k16.row.col"),
+              std::string::npos);
+    EXPECT_NE(ampere.find("ldmatrix.sync.aligned.m8n8.x4.shared.b16"),
+              std::string::npos);
+    EXPECT_NE(ampere.find("ldmatrix.sync.aligned.m8n8.x4.trans"),
+              std::string::npos);
+    EXPECT_NE(ampere.find("cp.async.cg.shared.global"),
+              std::string::npos);
+
+    const std::string volta =
+        emitCuda(ops::buildTcGemm(GpuArch::volta(), cfg),
+                 GpuArch::volta());
+    EXPECT_NE(volta.find("mma.sync.aligned.m8n8k4.row.col"),
+              std::string::npos);
+    EXPECT_EQ(volta.find("ldmatrix"), std::string::npos);
+}
+
+TEST(TcGemm, RejectsNonDividingNK)
+{
+    ops::TcGemmConfig cfg;
+    cfg.n = 100; // N must stay exact; only M supports partial tiles
+    EXPECT_THROW(ops::buildTcGemm(GpuArch::ampere(), cfg), Error);
+    cfg.n = 128;
+    cfg.k = 40;
+    EXPECT_THROW(ops::buildTcGemm(GpuArch::ampere(), cfg), Error);
+}
+
+class PartialTileTest : public ::testing::TestWithParam<const GpuArch *>
+{
+};
+
+TEST_P(PartialTileTest, PartialMTileMatchesReference)
+{
+    // Paper Section 3.4: tile sizes that do not evenly divide the
+    // tensor lead to over-approximated partial tiles with predicated
+    // accesses.  M=96 with a 64-row tile: the second block's lower 32
+    // rows are out of bounds.
+    const GpuArch &arch = *GetParam();
+    ops::TcGemmConfig cfg;
+    cfg.m = 96;
+    cfg.n = 128;
+    cfg.k = 64;
+    cfg.bm = 64;
+    cfg.bn = 128;
+    cfg.wm = 32;
+    cfg.wn = 64;
+    cfg.epilogue = ops::Epilogue::BiasRelu;
+    Kernel kernel = ops::buildTcGemm(arch, cfg);
+    EXPECT_EQ(kernel.gridSize(), 2);
+
+    Device dev(arch);
+    Rng rng(41);
+    dev.upload("%A", ScalarType::Fp16, randomVec(rng, 96 * 64));
+    dev.upload("%B", ScalarType::Fp16, randomVec(rng, 64 * 128));
+    dev.upload("%bias", ScalarType::Fp16, randomVec(rng, 128));
+    dev.upload("%C", ScalarType::Fp16,
+               std::vector<double>(96 * 128, 0.0));
+    dev.launch(kernel, LaunchMode::Functional);
+
+    auto ref = ref::relu(ref::biasAdd(
+        ref::gemm(dev.download("%A"), dev.download("%B"), 96, 128, 64),
+        dev.download("%bias"), 96, 128));
+    EXPECT_LT(ref::maxRelDiff(dev.download("%C"), ref, 1.0), 0.02)
+        << arch.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Arches, PartialTileTest,
+    ::testing::Values(&GpuArch::ampere(), &GpuArch::volta()),
+    [](const ::testing::TestParamInfo<const GpuArch *> &info) {
+        return info.param->hasLdmatrix ? "Ampere" : "Volta";
+    });
+
+} // namespace
+} // namespace graphene

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Functional tests for the pointwise/reduction kernel family, the
+ * fused Layernorm variants, and the row softmax — each validated
+ * against the fp64 reference implementations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ops/layernorm.h"
+#include "ops/pointwise.h"
+#include "ops/softmax.h"
+#include "runtime/device.h"
+#include "runtime/reference.h"
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace graphene
+{
+namespace
+{
+
+std::vector<double>
+randomVec(Rng &rng, int64_t n, double lo = -2.0, double hi = 2.0)
+{
+    std::vector<double> v(static_cast<size_t>(n));
+    for (auto &x : v)
+        x = rng.uniform(lo, hi);
+    return v;
+}
+
+TEST(Pointwise, UnaryRelu)
+{
+    const int64_t n = 4096;
+    Device dev(GpuArch::ampere());
+    Rng rng(1);
+    dev.upload("%in", ScalarType::Fp16, randomVec(rng, n));
+    dev.allocate("%out", ScalarType::Fp16, n);
+    dev.launch(ops::buildUnaryPointwise(dev.arch(), OpKind::Relu, n,
+                                        "%in", "%out"),
+               LaunchMode::Functional);
+    auto ref = ref::relu(dev.download("%in"));
+    EXPECT_LT(ref::maxAbsDiff(dev.download("%out"), ref), 1e-12);
+}
+
+TEST(Pointwise, UnaryWithPredicatedTail)
+{
+    // 2056 elements: one full block of 2048 plus a 1-chunk tail.
+    const int64_t n = 2056;
+    Device dev(GpuArch::volta());
+    Rng rng(2);
+    dev.upload("%in", ScalarType::Fp16, randomVec(rng, n));
+    dev.allocate("%out", ScalarType::Fp16, n);
+    Kernel k = ops::buildUnaryPointwise(dev.arch(), OpKind::Relu, n,
+                                        "%in", "%out");
+    EXPECT_EQ(k.gridSize(), 2);
+    dev.launch(k, LaunchMode::Functional);
+    auto ref = ref::relu(dev.download("%in"));
+    EXPECT_LT(ref::maxAbsDiff(dev.download("%out"), ref), 1e-12);
+}
+
+TEST(Pointwise, BinaryAdd)
+{
+    const int64_t n = 2048;
+    Device dev(GpuArch::ampere());
+    Rng rng(3);
+    dev.upload("%a", ScalarType::Fp16, randomVec(rng, n));
+    dev.upload("%b", ScalarType::Fp16, randomVec(rng, n));
+    dev.allocate("%o", ScalarType::Fp16, n);
+    dev.launch(ops::buildBinaryPointwise(dev.arch(), OpKind::Add, n,
+                                         "%a", "%b", "%o"),
+               LaunchMode::Functional);
+    auto a = dev.download("%a");
+    auto b = dev.download("%b");
+    auto o = dev.download("%o");
+    for (int64_t i = 0; i < n; ++i)
+        EXPECT_NEAR(o[i], a[i] + b[i], 2e-2);
+}
+
+TEST(Pointwise, ScalarMul)
+{
+    const int64_t n = 1024;
+    Device dev(GpuArch::ampere());
+    Rng rng(4);
+    dev.upload("%in", ScalarType::Fp16, randomVec(rng, n));
+    dev.allocate("%out", ScalarType::Fp16, n);
+    dev.launch(ops::buildScalarPointwise(dev.arch(), OpKind::Mul, 0.5, n,
+                                         "%in", "%out"),
+               LaunchMode::Functional);
+    auto in = dev.download("%in");
+    auto out = dev.download("%out");
+    for (int64_t i = 0; i < n; ++i)
+        EXPECT_NEAR(out[i], in[i] * 0.5, 1e-2);
+}
+
+TEST(Pointwise, BiasActRelu)
+{
+    const int64_t rows = 16, cols = 64;
+    Device dev(GpuArch::ampere());
+    Rng rng(5);
+    dev.upload("%in", ScalarType::Fp16, randomVec(rng, rows * cols));
+    dev.upload("%bias", ScalarType::Fp16, randomVec(rng, cols));
+    dev.allocate("%out", ScalarType::Fp16, rows * cols);
+    dev.launch(ops::buildBiasAct(dev.arch(), rows, cols, OpKind::Relu,
+                                 "%in", "%bias", "%out"),
+               LaunchMode::Functional);
+    auto ref = ref::relu(ref::biasAdd(dev.download("%in"),
+                                      dev.download("%bias"), rows,
+                                      cols));
+    EXPECT_LT(ref::maxRelDiff(dev.download("%out"), ref, 1.0), 1e-2);
+}
+
+TEST(Pointwise, RowReduceSumAndMax)
+{
+    const int64_t rows = 8, cols = 2048;
+    Device dev(GpuArch::ampere());
+    Rng rng(6);
+    dev.upload("%in", ScalarType::Fp16, randomVec(rng, rows * cols));
+    dev.allocate("%out", ScalarType::Fp32, rows);
+    const double scale = 1.0 / static_cast<double>(cols);
+    dev.launch(ops::buildRowReduce(dev.arch(), OpKind::Add, rows, cols,
+                                   scale, "%in", "%out"),
+               LaunchMode::Functional);
+    auto in = dev.download("%in");
+    auto out = dev.download("%out");
+    for (int64_t r = 0; r < rows; ++r) {
+        double mean = 0;
+        for (int64_t c = 0; c < cols; ++c)
+            mean += in[r * cols + c];
+        mean /= cols;
+        EXPECT_NEAR(out[r], mean, 1e-3) << "row " << r;
+    }
+
+    dev.launch(ops::buildRowReduce(dev.arch(), OpKind::Max, rows, cols,
+                                   1.0, "%in", "%out"),
+               LaunchMode::Functional);
+    out = dev.download("%out");
+    for (int64_t r = 0; r < rows; ++r) {
+        double mx = -1e300;
+        for (int64_t c = 0; c < cols; ++c)
+            mx = std::max(mx, in[r * cols + c]);
+        EXPECT_NEAR(out[r], mx, 1e-6) << "row " << r;
+    }
+}
+
+TEST(Pointwise, RowAndColBroadcast)
+{
+    const int64_t rows = 8, cols = 64;
+    Device dev(GpuArch::volta());
+    Rng rng(7);
+    dev.upload("%in", ScalarType::Fp16, randomVec(rng, rows * cols));
+    dev.upload("%rv", ScalarType::Fp32, randomVec(rng, rows));
+    dev.upload("%cv", ScalarType::Fp16, randomVec(rng, cols));
+    dev.allocate("%o1", ScalarType::Fp16, rows * cols);
+    dev.allocate("%o2", ScalarType::Fp16, rows * cols);
+    dev.launch(ops::buildRowBroadcast(dev.arch(), OpKind::Sub, rows,
+                                      cols, "%in", "%rv", "%o1"),
+               LaunchMode::Functional);
+    dev.launch(ops::buildColBroadcast(dev.arch(), OpKind::Mul, rows,
+                                      cols, "%in", "%cv", "%o2"),
+               LaunchMode::Functional);
+    auto in = dev.download("%in");
+    auto rv = dev.download("%rv");
+    auto cv = dev.download("%cv");
+    auto o1 = dev.download("%o1");
+    auto o2 = dev.download("%o2");
+    for (int64_t r = 0; r < rows; ++r)
+        for (int64_t c = 0; c < cols; ++c) {
+            EXPECT_NEAR(o1[r * cols + c], in[r * cols + c] - rv[r],
+                        2e-2);
+            EXPECT_NEAR(o2[r * cols + c], in[r * cols + c] * cv[c],
+                        2e-2);
+        }
+}
+
+class LayernormTest : public ::testing::TestWithParam<bool>
+{
+};
+
+TEST_P(LayernormTest, FusedMatchesReference)
+{
+    const int64_t rows = 8, cols = 1024;
+    ops::LayernormConfig cfg;
+    cfg.rows = rows;
+    cfg.cols = cols;
+    cfg.vectorized = GetParam();
+    Device dev(GpuArch::ampere());
+    Rng rng(8);
+    dev.upload("%x", ScalarType::Fp16, randomVec(rng, rows * cols));
+    dev.upload("%gamma", ScalarType::Fp16, randomVec(rng, cols, 0.5, 2));
+    dev.upload("%beta", ScalarType::Fp16, randomVec(rng, cols));
+    dev.allocate("%y", ScalarType::Fp16, rows * cols);
+    dev.launch(ops::buildLayernormFused(dev.arch(), cfg),
+               LaunchMode::Functional);
+    auto ref = ref::layernorm(dev.download("%x"),
+                              dev.download("%gamma"),
+                              dev.download("%beta"), rows, cols);
+    EXPECT_LT(ref::maxRelDiff(dev.download("%y"), ref, 1.0), 2e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(VecScalar, LayernormTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool> &info) {
+                             return info.param ? "vectorized" : "scalar";
+                         });
+
+TEST(Layernorm, TwoKernelVariantMatchesReference)
+{
+    const int64_t rows = 8, cols = 1024;
+    ops::LayernormConfig cfg;
+    cfg.rows = rows;
+    cfg.cols = cols;
+    Device dev(GpuArch::volta());
+    Rng rng(9);
+    dev.upload("%x", ScalarType::Fp16, randomVec(rng, rows * cols));
+    dev.upload("%gamma", ScalarType::Fp16, randomVec(rng, cols, 0.5, 2));
+    dev.upload("%beta", ScalarType::Fp16, randomVec(rng, cols));
+    dev.allocate("%stats", ScalarType::Fp32, rows * 2);
+    dev.allocate("%y", ScalarType::Fp16, rows * cols);
+    dev.launch(ops::buildLayernormStats(dev.arch(), cfg),
+               LaunchMode::Functional);
+    dev.launch(ops::buildLayernormApply(dev.arch(), cfg),
+               LaunchMode::Functional);
+    auto ref = ref::layernorm(dev.download("%x"),
+                              dev.download("%gamma"),
+                              dev.download("%beta"), rows, cols);
+    EXPECT_LT(ref::maxRelDiff(dev.download("%y"), ref, 1.0), 2e-2);
+}
+
+TEST(Layernorm, VectorizedCostsFewerIssueSlots)
+{
+    ops::LayernormConfig cfg;
+    cfg.rows = 64;
+    cfg.cols = 1024;
+    Device dev(GpuArch::ampere());
+    dev.allocate("%x", ScalarType::Fp16, cfg.rows * cfg.cols);
+    dev.allocate("%gamma", ScalarType::Fp16, cfg.cols);
+    dev.allocate("%beta", ScalarType::Fp16, cfg.cols);
+    dev.allocate("%y", ScalarType::Fp16, cfg.rows * cfg.cols);
+    cfg.vectorized = true;
+    auto vec = dev.launch(ops::buildLayernormFused(dev.arch(), cfg),
+                          LaunchMode::Timing);
+    cfg.vectorized = false;
+    auto sca = dev.launch(ops::buildLayernormFused(dev.arch(), cfg),
+                          LaunchMode::Timing);
+    EXPECT_LT(vec.perBlock.issueSlots, sca.perBlock.issueSlots);
+    EXPECT_LE(vec.timing.timeUs, sca.timing.timeUs);
+}
+
+TEST(Softmax, MatchesReference)
+{
+    const int64_t rows = 16, cols = 384;
+    Device dev(GpuArch::ampere());
+    Rng rng(10);
+    dev.upload("%s", ScalarType::Fp16, randomVec(rng, rows * cols));
+    dev.allocate("%p", ScalarType::Fp16, rows * cols);
+    dev.launch(ops::buildRowSoftmax(dev.arch(), rows, cols, 1.0, "%s",
+                                    "%p"),
+               LaunchMode::Functional);
+    auto ref = ref::softmax(dev.download("%s"), rows, cols);
+    EXPECT_LT(ref::maxAbsDiff(dev.download("%p"), ref), 2e-3);
+}
+
+TEST(Softmax, PreScaleApplied)
+{
+    const int64_t rows = 4, cols = 128;
+    Device dev(GpuArch::volta());
+    Rng rng(11);
+    dev.upload("%s", ScalarType::Fp16, randomVec(rng, rows * cols));
+    dev.allocate("%p", ScalarType::Fp16, rows * cols);
+    const double scale = 0.125;
+    dev.launch(ops::buildRowSoftmax(dev.arch(), rows, cols, scale, "%s",
+                                    "%p"),
+               LaunchMode::Functional);
+    auto logits = dev.download("%s");
+    for (auto &v : logits)
+        v *= scale;
+    auto ref = ref::softmax(logits, rows, cols);
+    EXPECT_LT(ref::maxAbsDiff(dev.download("%p"), ref), 2e-3);
+}
+
+} // namespace
+} // namespace graphene

@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Additional simulator coverage: the timing model's occupancy and
+ * bounding behaviour, remaining atomic-spec semantics (conversions,
+ * cp.async, shfl variants, reductions), and predication edge cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/executor.h"
+#include "support/check.h"
+
+namespace graphene
+{
+namespace sim
+{
+namespace
+{
+
+ThreadGroup
+one(int64_t blockSize)
+{
+    return ThreadGroup::threads("#t", Layout::vector(1), blockSize);
+}
+
+// ------------------------------------------------------ cost model --
+
+TEST(CostModelExtra, OccupancyLimitedByThreads)
+{
+    const GpuArch &arch = GpuArch::ampere(); // 1536 threads/SM
+    CostStats per;
+    per.fp32Flops = 256;
+    auto t = estimateKernelTiming(arch, per, 84, 1024, 0);
+    EXPECT_EQ(t.blocksPerSm, 1); // 1536/1024
+    auto t2 = estimateKernelTiming(arch, per, 84, 256, 0);
+    EXPECT_EQ(t2.blocksPerSm, 6);
+}
+
+TEST(CostModelExtra, OccupancyLimitedBySharedMemory)
+{
+    const GpuArch &arch = GpuArch::volta(); // 96 KiB/SM
+    CostStats per;
+    per.fp32Flops = 128;
+    auto t = estimateKernelTiming(arch, per, 80, 128, 40 * 1024);
+    EXPECT_EQ(t.blocksPerSm, 2);
+    auto t2 = estimateKernelTiming(arch, per, 80, 128, 96 * 1024);
+    EXPECT_EQ(t2.blocksPerSm, 1);
+}
+
+TEST(CostModelExtra, DramHintNeverExceedsRequested)
+{
+    const GpuArch &arch = GpuArch::ampere();
+    CostStats per;
+    per.globalLoadBytes = 1024;
+    per.globalStoreBytes = 0;
+    // A hint larger than the raw request is clamped to it.
+    auto t = estimateKernelTiming(arch, per, 10, 128, 0, 1e12);
+    auto raw = estimateKernelTiming(arch, per, 10, 128, 0, 0);
+    EXPECT_DOUBLE_EQ(t.dramTimeUs, raw.dramTimeUs);
+    // A smaller hint (L2 reuse) reduces the DRAM time.
+    auto hinted = estimateKernelTiming(arch, per, 10, 128, 0, 2048);
+    EXPECT_LT(hinted.dramTimeUs, raw.dramTimeUs);
+}
+
+TEST(CostModelExtra, LaunchOverheadAlwaysAdded)
+{
+    const GpuArch &arch = GpuArch::ampere();
+    CostStats per; // empty kernel
+    auto t = estimateKernelTiming(arch, per, 1, 32, 0);
+    EXPECT_GE(t.timeUs, arch.kernelLaunchOverheadUs);
+}
+
+TEST(CostModelExtra, SyncOverheadCounts)
+{
+    const GpuArch &arch = GpuArch::ampere();
+    CostStats a;
+    a.fp32Flops = 2560;
+    CostStats b = a;
+    b.syncCount = 100;
+    auto ta = estimateKernelTiming(arch, a, 84, 128, 0);
+    auto tb = estimateKernelTiming(arch, b, 84, 128, 0);
+    EXPECT_GT(tb.blockCycles, ta.blockCycles);
+}
+
+TEST(CostModelExtra, PercentagesAreBounded)
+{
+    const GpuArch &arch = GpuArch::volta();
+    CostStats per;
+    per.tensorFlops = 1e9;
+    per.globalLoadBytes = 1e9;
+    auto t = estimateKernelTiming(arch, per, 1000, 256, 0);
+    EXPECT_LE(t.tensorPipePct, 100.0);
+    EXPECT_LE(t.dramPct, 100.0);
+    EXPECT_GE(t.tensorPipePct, 0.0);
+}
+
+// ------------------------------------------------- atomic semantics --
+
+struct Harness
+{
+    DeviceMemory mem;
+    Kernel kernel{"t", 1, 32};
+
+    Harness()
+    {
+        mem.allocate("%g", ScalarType::Fp32, 64);
+        kernel.addParam(TensorView::global("%g", Layout::vector(64),
+                                           ScalarType::Fp32), false);
+    }
+
+    void
+    run(const GpuArch &arch, std::vector<StmtPtr> body)
+    {
+        kernel.setBody(std::move(body));
+        Executor ex(arch, mem);
+        ex.run(kernel);
+    }
+};
+
+TEST(ExecutorExtra, RegisterConversionRounds)
+{
+    // fp32 -> fp16 register move rounds to fp16 precision.
+    Harness h;
+    h.mem.at("%g").write(0, 2049.0);
+    auto g = TensorView::global("%g", Layout::vector(64),
+                                ScalarType::Fp32);
+    auto f32 = TensorView::registers("%a", Layout(), ScalarType::Fp32);
+    auto f16 = TensorView::registers("%b", Layout(), ScalarType::Fp16);
+    auto back = TensorView::registers("%c", Layout(), ScalarType::Fp32);
+    auto t = variable("tid", 32);
+    h.run(GpuArch::ampere(), {
+        alloc("%a", ScalarType::Fp32, MemorySpace::RF, 1),
+        alloc("%b", ScalarType::Fp16, MemorySpace::RF, 1),
+        alloc("%c", ScalarType::Fp32, MemorySpace::RF, 1),
+        ifStmt(lessThan(t, constant(1)), {
+            call(Spec::move(one(32), g.index({constant(0)}), f32)),
+            call(Spec::move(one(32), f32, f16)), // cvt: rounds
+            call(Spec::move(one(32), f16, back)),
+            call(Spec::move(one(32), back, g.index({constant(1)}))),
+        }),
+    });
+    EXPECT_EQ(h.mem.at("%g").read(1), 2048.0);
+}
+
+TEST(ExecutorExtra, CpAsyncCopiesGlobalToShared)
+{
+    DeviceMemory mem;
+    auto &in = mem.allocate("%in", ScalarType::Fp16, 256);
+    mem.allocate("%out", ScalarType::Fp16, 256);
+    for (int64_t i = 0; i < 256; ++i)
+        in.write(i, static_cast<double>(i % 100));
+    Kernel k("cp", 1, 32);
+    k.addParam(TensorView::global("%in", Layout::vector(256),
+                                  ScalarType::Fp16), true);
+    k.addParam(TensorView::global("%out", Layout::vector(256),
+                                  ScalarType::Fp16), false);
+    auto t = variable("tid", 32);
+    auto idx8 = mul(t, constant(8));
+    TensorView src("%s", "%in", Layout::vector(8), ScalarType::Fp16,
+                   MemorySpace::GL);
+    TensorView smem("%sm", "%smem", Layout::vector(8), ScalarType::Fp16,
+                    MemorySpace::SH);
+    TensorView regs("%r", "%r", Layout::vector(8), ScalarType::Fp16,
+                    MemorySpace::RF);
+    TensorView dst("%d", "%out", Layout::vector(8), ScalarType::Fp16,
+                   MemorySpace::GL);
+    k.setBody({
+        alloc("%smem", ScalarType::Fp16, MemorySpace::SH, 256),
+        alloc("%r", ScalarType::Fp16, MemorySpace::RF, 8),
+        // GL -> SH without a register round trip (must match cp.async
+        // on Ampere).
+        call(Spec::move(one(32), src.offsetBy(idx8),
+                        smem.offsetBy(idx8))),
+        syncThreads(),
+        call(Spec::move(one(32), smem.offsetBy(idx8), regs)),
+        call(Spec::move(one(32), regs, dst.offsetBy(idx8))),
+    });
+    DeviceMemory &m = mem;
+    Executor ex(GpuArch::ampere(), m);
+    ex.run(k);
+    for (int64_t i = 0; i < 256; ++i)
+        EXPECT_EQ(m.at("%out").read(i), m.at("%in").read(i));
+    // Volta has no cp.async: the same IR must fail to match.
+    Executor vex(GpuArch::volta(), m);
+    EXPECT_THROW(vex.run(k), Error);
+}
+
+TEST(ExecutorExtra, ShflDownAndIdx)
+{
+    DeviceMemory mem;
+    auto &g = mem.allocate("%g", ScalarType::Fp32, 96);
+    for (int64_t i = 0; i < 32; ++i)
+        g.write(i, static_cast<double>(i));
+    Kernel k("shfl", 1, 32);
+    k.addParam(TensorView::global("%g", Layout::vector(96),
+                                  ScalarType::Fp32), false);
+    auto warp = ThreadGroup::threads("#w", Layout::vector(32), 32);
+    auto t = variable("tid", 32);
+    TensorView gv("%gv", "%g", Layout(), ScalarType::Fp32,
+                  MemorySpace::GL);
+    auto v = TensorView::registers("%v", Layout(), ScalarType::Fp32);
+    auto d = TensorView::registers("%d", Layout(), ScalarType::Fp32);
+    k.setBody({
+        alloc("%v", ScalarType::Fp32, MemorySpace::RF, 1),
+        alloc("%d", ScalarType::Fp32, MemorySpace::RF, 1),
+        call(Spec::move(one(32), gv.offsetBy(t), v)),
+        call(Spec::shfl(ShflMode::Down, 4, warp, v, d)),
+        call(Spec::move(one(32), d, gv.offsetBy(add(t, constant(32))))),
+        call(Spec::shfl(ShflMode::Idx, 7, warp, v, d)),
+        call(Spec::move(one(32), d, gv.offsetBy(add(t, constant(64))))),
+    });
+    Executor ex(GpuArch::volta(), mem);
+    ex.run(k);
+    for (int64_t l = 0; l < 32; ++l) {
+        const double down = mem.at("%g").read(32 + l);
+        EXPECT_EQ(down, l + 4 < 32 ? l + 4 : l) << "lane " << l;
+        EXPECT_EQ(mem.at("%g").read(64 + l), 7.0) << "lane " << l;
+    }
+}
+
+TEST(ExecutorExtra, ReductionOpsAndIdentity)
+{
+    DeviceMemory mem;
+    auto &g = mem.allocate("%g", ScalarType::Fp32, 16);
+    const std::vector<double> vals{3, -1, 7, 2};
+    for (size_t i = 0; i < vals.size(); ++i)
+        g.write(static_cast<int64_t>(i), vals[i]);
+    Kernel k("red", 1, 32);
+    k.addParam(TensorView::global("%g", Layout::vector(16),
+                                  ScalarType::Fp32), false);
+    TensorView gv("%gv", "%g", Layout::vector(4), ScalarType::Fp32,
+                  MemorySpace::GL);
+    auto in = TensorView::registers("%in", Layout::vector(4),
+                                    ScalarType::Fp32);
+    auto out = TensorView::registers("%out", Layout(),
+                                     ScalarType::Fp32);
+    auto t = variable("tid", 32);
+    std::vector<StmtPtr> body = {
+        alloc("%in", ScalarType::Fp32, MemorySpace::RF, 4),
+        alloc("%out", ScalarType::Fp32, MemorySpace::RF, 1),
+    };
+    std::vector<StmtPtr> guarded = {
+        call(Spec::move(one(32), gv, in)),
+    };
+    int64_t slot = 4;
+    for (OpKind op : {OpKind::Add, OpKind::Max, OpKind::Min,
+                      OpKind::Mul}) {
+        guarded.push_back(call(Spec::reduction(op, one(32), in, out)));
+        TensorView dst("%d", "%g", Layout(), ScalarType::Fp32,
+                       MemorySpace::GL);
+        guarded.push_back(call(Spec::move(one(32), out,
+                                          dst.offsetBy(
+                                              constant(slot++)))));
+    }
+    body.push_back(ifStmt(lessThan(t, constant(1)),
+                          std::move(guarded)));
+    k.setBody(std::move(body));
+    Executor ex(GpuArch::ampere(), mem);
+    ex.run(k);
+    EXPECT_EQ(mem.at("%g").read(4), 11.0);  // sum
+    EXPECT_EQ(mem.at("%g").read(5), 7.0);   // max
+    EXPECT_EQ(mem.at("%g").read(6), -1.0);  // min
+    EXPECT_EQ(mem.at("%g").read(7), -42.0); // product
+}
+
+TEST(ExecutorExtra, PredicatedElseBranch)
+{
+    DeviceMemory mem;
+    mem.allocate("%g", ScalarType::Fp32, 32);
+    Kernel k("pred", 1, 32);
+    k.addParam(TensorView::global("%g", Layout::vector(32),
+                                  ScalarType::Fp32), false);
+    auto t = variable("tid", 32);
+    TensorView gv("%gv", "%g", Layout(), ScalarType::Fp32,
+                  MemorySpace::GL);
+    auto r = TensorView::registers("%r", Layout(), ScalarType::Fp32);
+    k.setBody({
+        alloc("%r", ScalarType::Fp32, MemorySpace::RF, 1),
+        ifStmt(lessThan(t, constant(10)),
+               {call(Spec::init(1.0, one(32), r))},
+               {call(Spec::init(2.0, one(32), r))}),
+        call(Spec::move(one(32), r, gv.offsetBy(t))),
+    });
+    Executor ex(GpuArch::ampere(), mem);
+    ex.run(k);
+    for (int64_t i = 0; i < 32; ++i)
+        EXPECT_EQ(mem.at("%g").read(i), i < 10 ? 1.0 : 2.0);
+}
+
+TEST(ExecutorExtra, BlockUniformConditionEvaluatedOnce)
+{
+    DeviceMemory mem;
+    mem.allocate("%g", ScalarType::Fp32, 32);
+    Kernel k("cond", 2, 32);
+    k.addParam(TensorView::global("%g", Layout::vector(32),
+                                  ScalarType::Fp32), false);
+    auto b = variable("bid", 2);
+    auto t = variable("tid", 32);
+    TensorView gv("%gv", "%g", Layout(), ScalarType::Fp32,
+                  MemorySpace::GL);
+    auto r = TensorView::registers("%r", Layout(), ScalarType::Fp32);
+    // Only block 0 writes (a bid-dependent, tid-independent branch).
+    k.setBody({
+        alloc("%r", ScalarType::Fp32, MemorySpace::RF, 1),
+        call(Spec::init(5.0, one(32), r)),
+        ifStmt(lessThan(b, constant(1)),
+               {call(Spec::move(one(32), r, gv.offsetBy(t)))}),
+    });
+    Executor ex(GpuArch::ampere(), mem);
+    ex.run(k);
+    EXPECT_EQ(mem.at("%g").read(0), 5.0);
+}
+
+} // namespace
+} // namespace sim
+} // namespace graphene

@@ -1,0 +1,687 @@
+/**
+ * @file
+ * Simulator tests: memory semantics, per-thread and collective atomic
+ * specs (including the ldmatrix data-to-thread mapping of paper Fig. 1
+ * and the tensor-core MMA fragment layouts), cost accounting, bank
+ * conflicts, and timing extrapolation.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "numerics/half.h"
+#include "sim/executor.h"
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace graphene
+{
+namespace sim
+{
+namespace
+{
+
+ThreadGroup
+threadsOf(int64_t n, int64_t blockSize)
+{
+    return ThreadGroup::threads("#t", Layout::vector(n), blockSize);
+}
+
+ExprPtr
+tidVar(int64_t blockSize)
+{
+    return variable("tid", blockSize);
+}
+
+TEST(Memory, BufferRoundsOnWrite)
+{
+    Buffer b(ScalarType::Fp16, 4);
+    b.write(0, 2049.0);
+    EXPECT_EQ(b.read(0), 2048.0);
+    Buffer f(ScalarType::Fp32, 2);
+    f.write(1, 0.1);
+    EXPECT_EQ(f.read(1), static_cast<double>(0.1f));
+}
+
+TEST(Memory, BufferBoundsChecked)
+{
+    Buffer b(ScalarType::Fp32, 4);
+    EXPECT_THROW(b.read(4), Error);
+    EXPECT_THROW(b.write(-1, 0.0), Error);
+}
+
+TEST(Memory, DeviceMemoryLifecycle)
+{
+    DeviceMemory mem;
+    EXPECT_FALSE(mem.contains("x"));
+    mem.allocate("x", ScalarType::Fp32, 16);
+    EXPECT_TRUE(mem.contains("x"));
+    mem.at("x").write(3, 7.0);
+    EXPECT_EQ(mem.at("x").read(3), 7.0);
+    mem.free("x");
+    EXPECT_THROW(mem.at("x"), Error);
+}
+
+TEST(CostModel, SmemBankConflicts)
+{
+    const GpuArch &arch = GpuArch::ampere();
+    // 32 threads each read 4B from consecutive words: conflict-free.
+    std::vector<std::pair<int64_t, int64_t>> rowAccess;
+    for (int64_t t = 0; t < 32; ++t)
+        rowAccess.emplace_back(t * 4, 4);
+    EXPECT_EQ(smemWavefronts(rowAccess, arch), 1);
+
+    // 32 threads read the SAME word: broadcast, conflict-free.
+    std::vector<std::pair<int64_t, int64_t>> bcast(32, {64, 4});
+    EXPECT_EQ(smemWavefronts(bcast, arch), 1);
+
+    // 32 threads stride by 128 bytes: all hit bank 0 -> 32-way.
+    std::vector<std::pair<int64_t, int64_t>> column;
+    for (int64_t t = 0; t < 32; ++t)
+        column.emplace_back(t * 128, 4);
+    EXPECT_EQ(smemWavefronts(column, arch), 32);
+
+    // 16-byte vectors per thread: 32 threads x 16B = 512B = 4 waves.
+    std::vector<std::pair<int64_t, int64_t>> vec;
+    for (int64_t t = 0; t < 32; ++t)
+        vec.emplace_back(t * 16, 16);
+    EXPECT_EQ(smemWavefronts(vec, arch), 4);
+}
+
+TEST(CostModel, GlobalCoalescing)
+{
+    const GpuArch &arch = GpuArch::ampere();
+    // Fully coalesced: 32 threads x 4B contiguous = 4 sectors.
+    std::vector<std::pair<int64_t, int64_t>> coalesced;
+    for (int64_t t = 0; t < 32; ++t)
+        coalesced.emplace_back(t * 4, 4);
+    EXPECT_EQ(globalSectors(coalesced, arch), 4);
+
+    // Strided by 128B: each thread its own sector = 32 sectors.
+    std::vector<std::pair<int64_t, int64_t>> strided;
+    for (int64_t t = 0; t < 32; ++t)
+        strided.emplace_back(t * 128, 4);
+    EXPECT_EQ(globalSectors(strided, arch), 32);
+}
+
+TEST(CostModel, TimingOccupancyAndWaves)
+{
+    const GpuArch &arch = GpuArch::volta(); // 80 SMs
+    CostStats per;
+    per.tensorFlops = 1024 * 1000; // 1000 cycles of tensor work
+    KernelTiming t = estimateKernelTiming(arch, per, 160, 256, 0);
+    EXPECT_EQ(t.boundBy, "tensor");
+    EXPECT_GE(t.blocksPerSm, 2);
+    EXPECT_EQ(t.waves, 1);
+    // 161 blocks over 80 SMs: one SM runs 3 blocks; time scales 2->3.
+    KernelTiming t2 = estimateKernelTiming(arch, per, 161, 256, 0);
+    EXPECT_NEAR(t2.smTimeUs / t.smTimeUs, 1.5, 1e-9);
+    // Tail effect vanishes at full waves: 320 blocks = 2x the 160 time.
+    KernelTiming t4 = estimateKernelTiming(arch, per, 320, 256, 0);
+    EXPECT_NEAR(t4.smTimeUs / t.smTimeUs, 2.0, 1e-9);
+}
+
+TEST(CostModel, SharedMemoryLimitEnforced)
+{
+    const GpuArch &arch = GpuArch::ampere();
+    CostStats per;
+    EXPECT_THROW(estimateKernelTiming(arch, per, 1, 128, 200 * 1024),
+                 Error);
+}
+
+// --------------------------------------------------------------------
+// Functional kernels.
+
+/** Copy kernel: each of 32 threads loads and stores `width` elements. */
+Kernel
+makeCopyKernel(int64_t n, int64_t width, ScalarType scalar)
+{
+    const int64_t blockSize = 32;
+    const int64_t perBlock = blockSize * width;
+    Kernel k("copy", n / perBlock, blockSize);
+    auto in = TensorView::global("%in", Layout::rowMajor(
+        IntTuple{n / width, width}), scalar);
+    auto out = TensorView::global("%out", Layout::rowMajor(
+        IntTuple{n / width, width}), scalar);
+    k.addParam(in, true);
+    k.addParam(out, false);
+
+    auto bid = variable("bid", n / perBlock);
+    auto tid = tidVar(blockSize);
+    auto row = add(mul(bid, constant(blockSize)), tid);
+    auto srcRow = in.tile({Layout::vector(1), std::nullopt})
+        .index({row, constant(0)});
+    auto dstRow = out.tile({Layout::vector(1), std::nullopt})
+        .index({row, constant(0)});
+    auto regs = TensorView::registers("%r", Layout::vector(width), scalar);
+
+    k.setBody({
+        alloc("%r", scalar, MemorySpace::RF, width),
+        call(Spec::move(threadsOf(1, blockSize), srcRow, regs)),
+        call(Spec::move(threadsOf(1, blockSize), regs, dstRow)),
+    });
+    return k;
+}
+
+TEST(Executor, ScalarCopyKernel)
+{
+    DeviceMemory mem;
+    const int64_t n = 128;
+    auto &in = mem.allocate("%in", ScalarType::Fp32, n);
+    mem.allocate("%out", ScalarType::Fp32, n);
+    for (int64_t i = 0; i < n; ++i)
+        in.write(i, static_cast<double>(i) * 0.25);
+
+    Executor ex(GpuArch::ampere(), mem);
+    Kernel k = makeCopyKernel(n, 1, ScalarType::Fp32);
+    ex.run(k);
+    for (int64_t i = 0; i < n; ++i)
+        EXPECT_EQ(mem.at("%out").read(i), static_cast<double>(i) * 0.25);
+}
+
+TEST(Executor, VectorCopyKernelFp16)
+{
+    DeviceMemory mem;
+    const int64_t n = 512;
+    auto &in = mem.allocate("%in", ScalarType::Fp16, n);
+    mem.allocate("%out", ScalarType::Fp16, n);
+    Rng rng(3);
+    for (int64_t i = 0; i < n; ++i)
+        in.write(i, rng.uniform(-2, 2));
+
+    Executor ex(GpuArch::ampere(), mem);
+    Kernel k = makeCopyKernel(n, 8, ScalarType::Fp16);
+    ex.run(k);
+    for (int64_t i = 0; i < n; ++i)
+        EXPECT_EQ(mem.at("%out").read(i), mem.at("%in").read(i));
+}
+
+TEST(Executor, CopyCostAccounting)
+{
+    DeviceMemory mem;
+    const int64_t n = 512;
+    mem.allocate("%in", ScalarType::Fp16, n);
+    mem.allocate("%out", ScalarType::Fp16, n);
+    Executor ex(GpuArch::ampere(), mem);
+    Kernel k = makeCopyKernel(n, 8, ScalarType::Fp16);
+    auto prof = ex.runAndProfile(k);
+    // Per block: 32 threads x 16B fully coalesced = 512B = 16 sectors
+    // for the load and 16 for the store.
+    EXPECT_DOUBLE_EQ(prof.perBlock.globalSectors, 32.0);
+    EXPECT_DOUBLE_EQ(prof.perBlock.globalLoadBytes, 512.0);
+    EXPECT_DOUBLE_EQ(prof.perBlock.globalStoreBytes, 512.0);
+    EXPECT_DOUBLE_EQ(prof.perBlock.issueSlots, 2.0);
+    // Tiny kernel: the L1 sector pipe is the per-block bottleneck.
+    EXPECT_EQ(prof.timing.boundBy, "l1");
+}
+
+TEST(Executor, MissingParamBufferThrows)
+{
+    DeviceMemory mem;
+    Executor ex(GpuArch::ampere(), mem);
+    Kernel k = makeCopyKernel(64, 1, ScalarType::Fp32);
+    EXPECT_THROW(ex.run(k), Error);
+}
+
+TEST(Executor, PointwiseBinaryKernel)
+{
+    const int64_t n = 64;
+    DeviceMemory mem;
+    auto &a = mem.allocate("%a", ScalarType::Fp32, n);
+    auto &b = mem.allocate("%b", ScalarType::Fp32, n);
+    mem.allocate("%o", ScalarType::Fp32, n);
+    for (int64_t i = 0; i < n; ++i) {
+        a.write(i, i);
+        b.write(i, 100 - i);
+    }
+
+    const int64_t blockSize = 64;
+    Kernel k("add", 1, blockSize);
+    auto av = TensorView::global("%a", Layout::vector(n),
+                                 ScalarType::Fp32);
+    auto bv = TensorView::global("%b", Layout::vector(n),
+                                 ScalarType::Fp32);
+    auto ov = TensorView::global("%o", Layout::vector(n),
+                                 ScalarType::Fp32);
+    k.addParam(av, true);
+    k.addParam(bv, true);
+    k.addParam(ov, false);
+    auto tid = tidVar(blockSize);
+    auto one = threadsOf(1, blockSize);
+    auto ra = TensorView::registers("%ra", Layout(), ScalarType::Fp32);
+    auto rb = TensorView::registers("%rb", Layout(), ScalarType::Fp32);
+    k.setBody({
+        alloc("%ra", ScalarType::Fp32, MemorySpace::RF, 1),
+        alloc("%rb", ScalarType::Fp32, MemorySpace::RF, 1),
+        call(Spec::move(one, av.index({tid}), ra)),
+        call(Spec::move(one, bv.index({tid}), rb)),
+        call(Spec::binary(OpKind::Add, one, ra, rb, ra)),
+        call(Spec::move(one, ra, ov.index({tid}))),
+    });
+
+    Executor ex(GpuArch::volta(), mem);
+    ex.run(k);
+    for (int64_t i = 0; i < n; ++i)
+        EXPECT_EQ(mem.at("%o").read(i), 100.0);
+}
+
+TEST(Executor, PredicatedExecution)
+{
+    // Only threads with tid < 10 store.
+    const int64_t n = 32;
+    DeviceMemory mem;
+    mem.allocate("%o", ScalarType::Fp32, n);
+    Kernel k("pred", 1, 32);
+    auto ov = TensorView::global("%o", Layout::vector(n),
+                                 ScalarType::Fp32);
+    k.addParam(ov, false);
+    auto tid = tidVar(32);
+    auto one = threadsOf(1, 32);
+    auto r = TensorView::registers("%r", Layout(), ScalarType::Fp32);
+    k.setBody({
+        alloc("%r", ScalarType::Fp32, MemorySpace::RF, 1),
+        call(Spec::init(5.0, one, r)),
+        ifStmt(lessThan(tid, constant(10)),
+               {call(Spec::move(one, r, ov.index({tid})))}),
+    });
+    Executor ex(GpuArch::ampere(), mem);
+    ex.run(k);
+    for (int64_t i = 0; i < n; ++i)
+        EXPECT_EQ(mem.at("%o").read(i), i < 10 ? 5.0 : 0.0);
+}
+
+TEST(Executor, ShflButterflyReduction)
+{
+    // Classic warp allreduce: after 5 bfly rounds every lane holds the
+    // sum of 0..31.
+    DeviceMemory mem;
+    mem.allocate("%o", ScalarType::Fp32, 32);
+    Kernel k("allreduce", 1, 32);
+    auto ov = TensorView::global("%o", Layout::vector(32),
+                                 ScalarType::Fp32);
+    k.addParam(ov, false);
+    auto tid = tidVar(32);
+    auto warpG = threadsOf(32, 32);
+    auto one = threadsOf(1, 32);
+    auto val = TensorView::registers("%v", Layout(), ScalarType::Fp32);
+    auto tmp = TensorView::registers("%t", Layout(), ScalarType::Fp32);
+
+    std::vector<StmtPtr> body = {
+        alloc("%v", ScalarType::Fp32, MemorySpace::RF, 1),
+        alloc("%t", ScalarType::Fp32, MemorySpace::RF, 1),
+        call(Spec::init(0.0, one, val)),
+        // val = tid: emulate with init + add of tid via a move from a
+        // global iota buffer would be overkill; use binaryScalar add of
+        // tid is not expressible — instead load from %o prefilled.
+    };
+    // Prefill %o with iota and load it.
+    body.push_back(call(Spec::move(one, ov.index({tid}), val)));
+    for (int64_t delta : {16, 8, 4, 2, 1}) {
+        body.push_back(call(Spec::shfl(ShflMode::Bfly, delta, warpG, val,
+                                       tmp)));
+        body.push_back(call(Spec::binary(OpKind::Add, one, val, tmp,
+                                         val)));
+    }
+    body.push_back(call(Spec::move(one, val, ov.index({tid}))));
+    k.setBody(body);
+
+    for (int64_t i = 0; i < 32; ++i)
+        mem.at("%o").write(i, static_cast<double>(i));
+    Executor ex(GpuArch::volta(), mem);
+    ex.run(k);
+    for (int64_t i = 0; i < 32; ++i)
+        EXPECT_EQ(mem.at("%o").read(i), 496.0); // sum 0..31
+}
+
+// --------------------------------------------------------------------
+// ldmatrix: the paper's Fig. 1 movement, end to end.
+
+Kernel
+makeLdmatrixKernel()
+{
+    Kernel k("ldmatrix_move", 1, 32);
+    auto in = TensorView::global("%in", Layout::rowMajor(IntTuple{32, 8}),
+                                 ScalarType::Fp16);
+    auto out = TensorView::global("%out",
+                                  Layout::rowMajor(IntTuple{32, 8}),
+                                  ScalarType::Fp16);
+    k.addParam(in, true);
+    k.addParam(out, false);
+
+    auto tid = tidVar(32);
+    auto one = threadsOf(1, 32);
+    auto warpG = threadsOf(32, 32);
+
+    // Stage the 16x16 tile into shared memory, 8 halves per thread.
+    auto smem = TensorView::shared("%smem",
+                                   Layout::rowMajor(IntTuple{16, 16}),
+                                   ScalarType::Fp16);
+    auto srcRow = in.tile({Layout::vector(1), std::nullopt})
+        .index({tid, constant(0)});
+    auto smemChunk = TensorView("%sview", "%smem",
+                                Layout::rowMajor(IntTuple{32, 8}),
+                                ScalarType::Fp16, MemorySpace::SH)
+        .tile({Layout::vector(1), std::nullopt})
+        .index({tid, constant(0)});
+    auto stage = TensorView::registers("%stage", Layout::vector(8),
+                                       ScalarType::Fp16);
+
+    // Fig. 1d decomposition: tile the warp 2x2x8, tile smem per group,
+    // one row per thread.
+    auto warpT = ThreadGroup::threads("#warp", Layout::vector(32), 32);
+    auto groups = warpT.tile({Layout::vector(8)}).reshape(IntTuple{2, 2});
+    auto gIdx = groups.indices(0);   // (m, n) of the 8-thread group
+    auto lIdx = groups.indices(1)[0]; // thread index within the group
+
+    auto tiled = smem.tile({Layout::vector(8), Layout::vector(8)});
+    auto perGroup = tiled.index({gIdx[0], gIdx[1]});
+    auto row = perGroup.tile({Layout::vector(1), std::nullopt})
+        .index({lIdx, constant(0)});
+
+    auto regs = TensorView::registers("%regs", Layout::vector(8),
+                                      ScalarType::Fp16);
+    auto dstRow = out.tile({Layout::vector(1), std::nullopt})
+        .index({tid, constant(0)});
+
+    k.setBody({
+        alloc("%smem", ScalarType::Fp16, MemorySpace::SH, 256),
+        alloc("%stage", ScalarType::Fp16, MemorySpace::RF, 8),
+        alloc("%regs", ScalarType::Fp16, MemorySpace::RF, 8),
+        call(Spec::move(one, srcRow, stage)),
+        call(Spec::move(one, stage, smemChunk)),
+        syncThreads(),
+        call(Spec::move(warpG, row, regs)), // <- the ldmatrix atomic
+        call(Spec::move(one, regs, dstRow)),
+    });
+    return k;
+}
+
+TEST(Executor, LdmatrixDataToThreadMapping)
+{
+    DeviceMemory mem;
+    auto &in = mem.allocate("%in", ScalarType::Fp16, 256);
+    mem.allocate("%out", ScalarType::Fp16, 256);
+    for (int64_t i = 0; i < 256; ++i)
+        in.write(i, static_cast<double>(i % 128) * 0.5);
+
+    Executor ex(GpuArch::ampere(), mem);
+    Kernel k = makeLdmatrixKernel();
+    ex.run(k);
+
+    // Expected (paper Fig. 1b): thread t's value v comes from 8x8 tile
+    // g = v/2 (tiles indexed (g/2, g%2) in the 2x2 arrangement), row
+    // t/4, column 2*(t%4) + v%2 — as a 16x16 row-major element.
+    for (int64_t t = 0; t < 32; ++t) {
+        for (int64_t v = 0; v < 8; ++v) {
+            const int64_t g = v / 2;
+            const int64_t r = 8 * (g / 2) + t / 4;
+            const int64_t c = 8 * (g % 2) + 2 * (t % 4) + v % 2;
+            EXPECT_EQ(mem.at("%out").read(t * 8 + v),
+                      mem.at("%in").read(r * 16 + c))
+                << "thread " << t << " value " << v;
+        }
+    }
+}
+
+TEST(Executor, LdmatrixMoveIsLossless)
+{
+    // The union of all received values equals the source tile exactly.
+    DeviceMemory mem;
+    auto &in = mem.allocate("%in", ScalarType::Fp16, 256);
+    mem.allocate("%out", ScalarType::Fp16, 256);
+    Rng rng(11);
+    for (int64_t i = 0; i < 256; ++i)
+        in.write(i, rng.uniform(-4, 4));
+
+    Executor ex(GpuArch::ampere(), mem);
+    ex.run(makeLdmatrixKernel());
+
+    std::vector<double> src, dst;
+    for (int64_t i = 0; i < 256; ++i) {
+        src.push_back(mem.at("%in").read(i));
+        dst.push_back(mem.at("%out").read(i));
+    }
+    std::sort(src.begin(), src.end());
+    std::sort(dst.begin(), dst.end());
+    EXPECT_EQ(src, dst);
+}
+
+TEST(Executor, LdmatrixIsConflictFree)
+{
+    DeviceMemory mem;
+    mem.allocate("%in", ScalarType::Fp16, 256);
+    mem.allocate("%out", ScalarType::Fp16, 256);
+    Executor ex(GpuArch::ampere(), mem);
+    auto prof = ex.runAndProfile(makeLdmatrixKernel());
+    // Each of the 4 ldmatrix phases reads 8 rows of 16B; with the
+    // row-major 16x16 tile those rows are 32B apart, so each phase
+    // covers banks evenly: expect the minimum 4 wavefronts from
+    // ldmatrix plus the staging stores.
+    EXPECT_GT(prof.perBlock.smemWavefronts, 0);
+    EXPECT_EQ(prof.timing.boundBy, "smem");
+}
+
+// --------------------------------------------------------------------
+// Tensor-core MMA fragment semantics.
+
+/** Build per-thread fragment views with the m16n8k16 coordinates. */
+Kernel
+makeMmaKernel(const GpuArch &arch)
+{
+    const bool ampere = arch.hasLdmatrix;
+    Kernel k(ampere ? "mma16816" : "mma884", 1, 32);
+    const int64_t M = ampere ? 16 : 8;
+    const int64_t N = 8;
+    const int64_t K = ampere ? 16 : 4;
+    auto A = TensorView::global("%A", Layout::rowMajor(IntTuple{M, K}),
+                                ScalarType::Fp16);
+    auto B = TensorView::global("%B", Layout::rowMajor(IntTuple{K, N}),
+                                ScalarType::Fp16);
+    auto D = TensorView::global("%D", Layout::rowMajor(IntTuple{M, N}),
+                                ScalarType::Fp32);
+    k.addParam(A, true);
+    k.addParam(B, true);
+    k.addParam(D, false);
+
+    auto tid = tidVar(32);
+    auto one = threadsOf(1, 32);
+    auto group = ampere
+        ? threadsOf(32, 32)
+        : ThreadGroup::threads("#qp", Layout(IntTuple{4, 2},
+                                             IntTuple{1, 16}), 32);
+
+    const int64_t aElems = ampere ? 8 : 4;
+    const int64_t bElems = 4;
+    const int64_t dElems = ampere ? 4 : 8;
+    auto ra = TensorView::registers("%ra", Layout::vector(aElems),
+                                    ScalarType::Fp16);
+    auto rb = TensorView::registers("%rb", Layout::vector(bElems),
+                                    ScalarType::Fp16);
+    auto rd = TensorView::registers("%rd", Layout::vector(dElems),
+                                    ScalarType::Fp32);
+
+    std::vector<StmtPtr> body = {
+        alloc("%ra", ScalarType::Fp16, MemorySpace::RF, aElems),
+        alloc("%rb", ScalarType::Fp16, MemorySpace::RF, bElems),
+        alloc("%rd", ScalarType::Fp32, MemorySpace::RF, dElems),
+        call(Spec::init(0.0, one, rd)),
+    };
+
+    // Scalar loads of each fragment element at its prescribed (m, k) /
+    // (k, n) / (m, n) coordinate.
+    for (int64_t v = 0; v < aElems; ++v) {
+        ExprPtr m, kk;
+        if (ampere) {
+            m = add(floorDiv(tid, constant(4)),
+                    constant(8 * ((v / 2) % 2)));
+            kk = add(mul(mod(tid, constant(4)), constant(2)),
+                     constant(v % 2 + 8 * (v / 4)));
+        } else {
+            // Volta quad-pair: thread qt holds row qt of the 8x4 A.
+            m = add(mod(tid, constant(4)),
+                    mul(mod(floorDiv(tid, constant(16)), constant(2)),
+                        constant(4)));
+            kk = constant(v);
+        }
+        body.push_back(call(Spec::move(one, A.index({m, kk}),
+                                       ra.index({constant(v)}))));
+    }
+    for (int64_t v = 0; v < bElems; ++v) {
+        ExprPtr kk, n;
+        if (ampere) {
+            kk = add(mul(mod(tid, constant(4)), constant(2)),
+                     constant(v % 2 + 8 * (v / 2)));
+            n = floorDiv(tid, constant(4));
+        } else {
+            kk = constant(v);
+            n = add(mod(tid, constant(4)),
+                    mul(mod(floorDiv(tid, constant(16)), constant(2)),
+                        constant(4)));
+        }
+        body.push_back(call(Spec::move(one, B.index({kk, n}),
+                                       rb.index({constant(v)}))));
+    }
+    body.push_back(call(Spec::matmul(group, ra, rb, rd)));
+    for (int64_t v = 0; v < dElems; ++v) {
+        ExprPtr m, n;
+        if (ampere) {
+            m = add(floorDiv(tid, constant(4)), constant(8 * (v / 2)));
+            n = add(mul(mod(tid, constant(4)), constant(2)),
+                    constant(v % 2));
+        } else {
+            m = add(mod(tid, constant(4)),
+                    mul(mod(floorDiv(tid, constant(16)), constant(2)),
+                        constant(4)));
+            n = constant(v);
+        }
+        body.push_back(call(Spec::move(one, rd.index({constant(v)}),
+                                       D.index({m, n}))));
+    }
+    k.setBody(body);
+    return k;
+}
+
+void
+runMmaTest(const GpuArch &arch)
+{
+    const bool ampere = arch.hasLdmatrix;
+    const int64_t M = ampere ? 16 : 8;
+    const int64_t N = 8;
+    const int64_t K = ampere ? 16 : 4;
+    DeviceMemory mem;
+    auto &a = mem.allocate("%A", ScalarType::Fp16, M * K);
+    auto &b = mem.allocate("%B", ScalarType::Fp16, K * N);
+    mem.allocate("%D", ScalarType::Fp32, M * N);
+    Rng rng(17);
+    for (int64_t i = 0; i < M * K; ++i)
+        a.write(i, rng.uniform(-1, 1));
+    for (int64_t i = 0; i < K * N; ++i)
+        b.write(i, rng.uniform(-1, 1));
+
+    Executor ex(arch, mem);
+    auto prof = ex.runAndProfile(makeMmaKernel(arch));
+
+    for (int64_t m = 0; m < M; ++m)
+        for (int64_t n = 0; n < N; ++n) {
+            double ref = 0;
+            for (int64_t kk = 0; kk < K; ++kk)
+                ref += a.read(m * K + kk) * b.read(kk * N + n);
+            EXPECT_NEAR(mem.at("%D").read(m * N + n), ref, 1e-5)
+                << "(" << m << "," << n << ") on " << arch.name;
+        }
+    EXPECT_DOUBLE_EQ(prof.perBlock.tensorFlops,
+                     static_cast<double>(2 * M * N * K)
+                     * (ampere ? 1.0 : 4.0));
+}
+
+TEST(Executor, MmaAmpereFragmentsComputeMatmul)
+{
+    runMmaTest(GpuArch::ampere());
+}
+
+TEST(Executor, MmaVoltaQuadPairsComputeMatmul)
+{
+    runMmaTest(GpuArch::volta());
+}
+
+TEST(Executor, TimingExtrapolationMatchesFullRun)
+{
+    // A uniform loop's extrapolated cost must equal the full cost.
+    auto build = [](bool uniform) {
+        Kernel k("loop", 1, 32);
+        auto in = TensorView::global("%in", Layout::vector(32),
+                                     ScalarType::Fp32);
+        auto out = TensorView::global("%out", Layout::vector(32),
+                                      ScalarType::Fp32);
+        k.addParam(in, true);
+        k.addParam(out, false);
+        auto tid = tidVar(32);
+        auto one = threadsOf(1, 32);
+        auto r = TensorView::registers("%r", Layout(), ScalarType::Fp32);
+        std::vector<StmtPtr> loopBody = {
+            call(Spec::move(one, in.index({tid}), r)),
+            call(Spec::move(one, r, out.index({tid}))),
+        };
+        k.setBody({
+            alloc("%r", ScalarType::Fp32, MemorySpace::RF, 1),
+            uniform ? forStmtUniform("i", 0, 16, 1, loopBody)
+                    : forStmt("i", 0, 16, 1, loopBody),
+        });
+        return k;
+    };
+    DeviceMemory mem;
+    mem.allocate("%in", ScalarType::Fp32, 32);
+    mem.allocate("%out", ScalarType::Fp32, 32);
+    Executor ex(GpuArch::ampere(), mem);
+    auto full = ex.profile(build(false));
+    auto extra = ex.profile(build(true));
+    EXPECT_DOUBLE_EQ(full.perBlock.issueSlots, extra.perBlock.issueSlots);
+    EXPECT_DOUBLE_EQ(full.perBlock.globalSectors,
+                     extra.perBlock.globalSectors);
+    EXPECT_NEAR(full.timing.timeUs, extra.timing.timeUs, 1e-9);
+}
+
+TEST(Executor, BankConflictVisibleInStats)
+{
+    // Store a 32x32 fp32 tile column-wise (each thread walks a column):
+    // every store hits the same bank -> heavy conflicts; the row-wise
+    // variant is conflict-free.  Conflicts must show in the stats.
+    auto build = [](bool columnwise) {
+        Kernel k("smem", 1, 32);
+        auto in = TensorView::global("%in", Layout::vector(32),
+                                     ScalarType::Fp32);
+        k.addParam(in, true);
+        auto tid = tidVar(32);
+        auto one = threadsOf(1, 32);
+        auto r = TensorView::registers("%r", Layout(), ScalarType::Fp32);
+        auto smem = TensorView::shared(
+            "%s", Layout::rowMajor(IntTuple{32, 32}), ScalarType::Fp32);
+        std::vector<StmtPtr> body = {
+            alloc("%s", ScalarType::Fp32, MemorySpace::SH, 32 * 32),
+            alloc("%r", ScalarType::Fp32, MemorySpace::RF, 1),
+            call(Spec::move(one, in.index({tid}), r)),
+        };
+        auto i = variable("i", 32);
+        body.push_back(forStmt("i", 0, 32, 1,
+                               {call(Spec::move(one, r,
+                                                columnwise
+                                                ? smem.index({tid, i})
+                                                : smem.index({i, tid})))}));
+        k.setBody(body);
+        return k;
+    };
+    DeviceMemory mem;
+    mem.allocate("%in", ScalarType::Fp32, 32);
+    Executor ex(GpuArch::ampere(), mem);
+    auto conflicted = ex.profile(build(true));  // thread t writes row t
+    auto clean = ex.profile(build(false));      // thread t writes col t
+    // Thread-t-row-t: at step i all threads write column i scattered
+    // 128B apart -> 32-way conflict each step.
+    EXPECT_DOUBLE_EQ(conflicted.perBlock.smemWavefronts, 32.0 * 32.0);
+    EXPECT_DOUBLE_EQ(clean.perBlock.smemWavefronts, 32.0);
+}
+
+} // namespace
+} // namespace sim
+} // namespace graphene

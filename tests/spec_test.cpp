@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Unit tests for specs, statements, kernels, the IR printer, and the
+ * verifier.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ir/kernel.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "support/check.h"
+
+namespace graphene
+{
+namespace
+{
+
+ThreadGroup
+oneThread()
+{
+    return ThreadGroup::threads("#t", Layout::vector(1), 256);
+}
+
+ThreadGroup
+warp()
+{
+    return ThreadGroup::threads("#warp", Layout::vector(32), 256);
+}
+
+TEST(Spec, MoveFactory)
+{
+    auto src = TensorView::global("%src", Layout::vector(8),
+                                  ScalarType::Fp16);
+    auto dst = TensorView::registers("%dst", Layout::vector(8),
+                                     ScalarType::Fp16);
+    auto m = Spec::move(oneThread(), src, dst);
+    EXPECT_EQ(m->kind(), SpecKind::Move);
+    EXPECT_TRUE(m->isLeaf());
+    EXPECT_EQ(m->headerStr(), "Move<<<#t>>>(%src) -> (%dst)");
+}
+
+TEST(Spec, MatMulFactory)
+{
+    auto a = TensorView::registers("%a", Layout(), ScalarType::Fp16);
+    auto b = TensorView::registers("%b", Layout(), ScalarType::Fp16);
+    auto d = TensorView::registers("%d", Layout(), ScalarType::Fp16);
+    auto s = Spec::matmul(oneThread(), a, b, d);
+    EXPECT_EQ(s->inputs().size(), 2u);
+    EXPECT_EQ(s->outputs().size(), 1u);
+}
+
+TEST(Spec, PointwiseHeaderShowsOp)
+{
+    auto a = TensorView::registers("%a", Layout::vector(4),
+                                   ScalarType::Fp32);
+    auto o = TensorView::registers("%o", Layout::vector(4),
+                                   ScalarType::Fp32);
+    auto s = Spec::unary(OpKind::Relu, oneThread(), a, o);
+    EXPECT_EQ(s->headerStr(), "UnaryPointwise<relu><<<#t>>>(%a) -> (%o)");
+}
+
+TEST(Spec, BinaryScalarOperand)
+{
+    auto a = TensorView::registers("%a", Layout::vector(4),
+                                   ScalarType::Fp32);
+    auto o = TensorView::registers("%o", Layout::vector(4),
+                                   ScalarType::Fp32);
+    auto s = Spec::binaryScalar(OpKind::Mul, oneThread(), a, 0.5, o);
+    EXPECT_TRUE(s->hasScalarOperand());
+    EXPECT_DOUBLE_EQ(s->scalarOperand(), 0.5);
+}
+
+TEST(Spec, GenericSpecWithDecomposition)
+{
+    auto in = TensorView::global("%in", Layout::vector(32),
+                                 ScalarType::Fp32);
+    auto out = TensorView::global("%out", Layout::vector(32),
+                                  ScalarType::Fp32);
+    auto g = Spec::generic("fused", warp(), {in}, {out});
+    EXPECT_TRUE(g->isLeaf());
+    g->setBody({comment("impl")});
+    EXPECT_FALSE(g->isLeaf());
+}
+
+TEST(ApplyOp, ScalarSemantics)
+{
+    EXPECT_DOUBLE_EQ(applyOp(OpKind::Add, 2, 3), 5);
+    EXPECT_DOUBLE_EQ(applyOp(OpKind::Relu, -2), 0);
+    EXPECT_DOUBLE_EQ(applyOp(OpKind::Relu, 2), 2);
+    EXPECT_DOUBLE_EQ(applyOp(OpKind::Max, 2, 3), 3);
+    EXPECT_NEAR(applyOp(OpKind::Sigmoid, 0), 0.5, 1e-12);
+    EXPECT_NEAR(applyOp(OpKind::Gelu, 0), 0.0, 1e-12);
+    EXPECT_NEAR(applyOp(OpKind::Gelu, 100), 100.0, 1e-6);
+    EXPECT_NEAR(applyOp(OpKind::Rsqrt, 4), 0.5, 1e-12);
+}
+
+TEST(ApplyOp, ReductionIdentities)
+{
+    EXPECT_DOUBLE_EQ(reductionIdentity(OpKind::Add), 0);
+    EXPECT_DOUBLE_EQ(reductionIdentity(OpKind::Mul), 1);
+    EXPECT_TRUE(std::isinf(reductionIdentity(OpKind::Max)));
+    EXPECT_LT(reductionIdentity(OpKind::Max), 0);
+    EXPECT_THROW(reductionIdentity(OpKind::Exp), Error);
+}
+
+TEST(Stmt, ForStmtValidation)
+{
+    EXPECT_THROW(forStmt("i", 0, 4, 0, {comment("x")}), Error);
+    auto f = forStmt("i", 0, 4, 1, {comment("x")});
+    EXPECT_EQ(f->kind, StmtKind::For);
+    EXPECT_FALSE(f->uniformCost);
+    auto u = forStmtUniform("k", 0, 64, 1, {comment("x")});
+    EXPECT_TRUE(u->uniformCost);
+}
+
+TEST(Stmt, AllocValidation)
+{
+    EXPECT_THROW(alloc("buf", ScalarType::Fp16, MemorySpace::GL, 16),
+                 Error);
+    EXPECT_THROW(alloc("buf", ScalarType::Fp16, MemorySpace::SH, 0), Error);
+    auto a = alloc("buf", ScalarType::Fp16, MemorySpace::SH, 256);
+    EXPECT_EQ(a->allocCount, 256);
+}
+
+TEST(Kernel, LaunchValidation)
+{
+    EXPECT_THROW(Kernel("k", 0, 128), Error);
+    EXPECT_THROW(Kernel("k", 1, 2048), Error);
+    Kernel k("k", 8, 256);
+    EXPECT_EQ(k.gridSize(), 8);
+}
+
+TEST(Kernel, SharedMemoryAccounting)
+{
+    Kernel k("k", 1, 128);
+    k.setBody({
+        alloc("a", ScalarType::Fp16, MemorySpace::SH, 1024),
+        forStmt("i", 0, 2, 1, {
+            alloc("b", ScalarType::Fp32, MemorySpace::SH, 256),
+        }),
+        alloc("r", ScalarType::Fp32, MemorySpace::RF, 8),
+    });
+    // 1024*2 + 256*4 bytes; register alloc not counted.
+    EXPECT_EQ(k.sharedMemoryBytes(), 2048 + 1024);
+    EXPECT_EQ(k.allocations().size(), 3u);
+}
+
+TEST(Kernel, ParamMustBeGlobal)
+{
+    Kernel k("k", 1, 32);
+    auto s = TensorView::shared("%s", Layout::vector(4), ScalarType::Fp16);
+    EXPECT_THROW(k.addParam(s, true), Error);
+}
+
+TEST(Printer, RendersKernelStructure)
+{
+    Kernel k("gemm", 64, 256);
+    auto a = TensorView::global("%A", Layout::rowMajor(IntTuple{16, 16}),
+                                ScalarType::Fp16);
+    k.addParam(a, true);
+    auto dst = TensorView::registers("%r", Layout::vector(8),
+                                     ScalarType::Fp16);
+    auto mv = Spec::move(warp(), a, dst);
+    k.setBody({
+        comment("stage tile"),
+        forStmt("i", 0, 4, 1, {call(mv)}),
+        syncThreads(),
+    });
+    const std::string text = printKernel(k);
+    EXPECT_NE(text.find("kernel gemm <<<64, 256>>>"), std::string::npos);
+    EXPECT_NE(text.find("param %A:[(16,16):(16,1)].fp16.GL"),
+              std::string::npos);
+    EXPECT_NE(text.find("for(i=0; i < 4; i += 1)"), std::string::npos);
+    EXPECT_NE(text.find("Move<<<#warp>>>(%A) -> (%r)"), std::string::npos);
+    EXPECT_NE(text.find("syncthreads"), std::string::npos);
+}
+
+TEST(Verifier, AcceptsWellFormedKernel)
+{
+    Kernel k("ok", 1, 32);
+    auto a = TensorView::global("%A", Layout::vector(32),
+                                ScalarType::Fp32);
+    auto b = TensorView::global("%B", Layout::vector(32),
+                                ScalarType::Fp32);
+    k.addParam(a, true);
+    k.addParam(b, false);
+    k.setBody({call(Spec::move(warp(), a, b))});
+    EXPECT_TRUE(verifyKernel(k).empty());
+    EXPECT_NO_THROW(verifyKernelOrThrow(k));
+}
+
+TEST(Verifier, FlagsUnknownBuffer)
+{
+    Kernel k("bad", 1, 32);
+    auto a = TensorView::global("%A", Layout::vector(32),
+                                ScalarType::Fp32);
+    auto ghost = TensorView::global("%ghost", Layout::vector(32),
+                                    ScalarType::Fp32);
+    k.addParam(a, true);
+    k.setBody({call(Spec::move(warp(), ghost, a))});
+    const auto problems = verifyKernel(k);
+    ASSERT_EQ(problems.size(), 1u);
+    EXPECT_NE(problems[0].find("unknown buffer"), std::string::npos);
+    EXPECT_THROW(verifyKernelOrThrow(k), Error);
+}
+
+TEST(Verifier, FlagsMoveSizeMismatch)
+{
+    Kernel k("bad", 1, 32);
+    auto a = TensorView::global("%A", Layout::vector(32),
+                                ScalarType::Fp32);
+    auto b = TensorView::global("%B", Layout::vector(16),
+                                ScalarType::Fp32);
+    k.addParam(a, true);
+    k.addParam(b, false);
+    k.setBody({call(Spec::move(oneThread(), a, b))});
+    const auto problems = verifyKernel(k);
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems[0].find("Move transfers"), std::string::npos);
+}
+
+TEST(Verifier, CollectiveMoveCountsGroupSize)
+{
+    // 32 threads each receiving 8 registers move a 256-element tile.
+    Kernel k("ldm", 1, 32);
+    auto src = TensorView::global("%S",
+                                  Layout::rowMajor(IntTuple{16, 16}),
+                                  ScalarType::Fp16);
+    k.addParam(src, true);
+    k.setBody({
+        alloc("%r", ScalarType::Fp16, MemorySpace::RF, 8),
+        call(Spec::move(warp(), src,
+                        TensorView::registers("%r", Layout::vector(8),
+                                              ScalarType::Fp16))),
+    });
+    EXPECT_TRUE(verifyKernel(k).empty()) << verifyKernel(k)[0];
+}
+
+TEST(Verifier, FlagsEmptyLoop)
+{
+    Kernel k("bad", 1, 32);
+    auto f = std::make_shared<Stmt>();
+    f->kind = StmtKind::For;
+    f->loopVar = "i";
+    f->begin = 0;
+    f->end = 4;
+    f->step = 1;
+    k.setBody({f});
+    const auto problems = verifyKernel(k);
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems[0].find("empty loop body"), std::string::npos);
+}
+
+TEST(Verifier, FlagsDuplicateAllocation)
+{
+    Kernel k("bad", 1, 32);
+    k.setBody({
+        alloc("buf", ScalarType::Fp16, MemorySpace::SH, 8),
+        alloc("buf", ScalarType::Fp16, MemorySpace::SH, 8),
+    });
+    const auto problems = verifyKernel(k);
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems[0].find("duplicate allocation"), std::string::npos);
+}
+
+TEST(Verifier, FlagsNonConformableMatMul)
+{
+    Kernel k("bad", 1, 1);
+    auto a = TensorView::global("%A", Layout::rowMajor(IntTuple{4, 8}),
+                                ScalarType::Fp32);
+    auto b = TensorView::global("%B", Layout::rowMajor(IntTuple{4, 8}),
+                                ScalarType::Fp32);
+    auto d = TensorView::global("%D", Layout::rowMajor(IntTuple{4, 8}),
+                                ScalarType::Fp32);
+    k.addParam(a, true);
+    k.addParam(b, true);
+    k.addParam(d, false);
+    auto one = ThreadGroup::threads("#t", Layout::vector(1), 1);
+    k.setBody({call(Spec::matmul(one, a, b, d))});
+    const auto problems = verifyKernel(k);
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems[0].find("not conformable"), std::string::npos);
+}
+
+} // namespace
+} // namespace graphene

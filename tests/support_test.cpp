@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unit tests for the support utilities: error handling, string helpers,
+ * deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/check.h"
+#include "support/rng.h"
+#include "support/string_utils.h"
+
+namespace graphene
+{
+namespace
+{
+
+TEST(Check, CheckPassesOnTrue)
+{
+    EXPECT_NO_THROW(GRAPHENE_CHECK(1 + 1 == 2) << "never printed");
+}
+
+TEST(Check, CheckThrowsErrorWithMessage)
+{
+    try {
+        GRAPHENE_CHECK(false) << "custom detail " << 42;
+        FAIL() << "expected Error";
+    } catch (const Error &e) {
+        EXPECT_NE(std::string(e.what()).find("custom detail 42"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("check failed"),
+                  std::string::npos);
+    }
+}
+
+TEST(Check, AssertThrowsInternalError)
+{
+    EXPECT_THROW(GRAPHENE_ASSERT(false) << "bug", InternalError);
+}
+
+TEST(Check, InternalErrorIsAnError)
+{
+    // Callers catching Error must also see internal errors.
+    EXPECT_THROW(GRAPHENE_ASSERT(false) << "bug", Error);
+}
+
+TEST(StringUtils, JoinBasic)
+{
+    std::vector<std::string> v{"a", "b", "c"};
+    EXPECT_EQ(join(v, ", "), "a, b, c");
+}
+
+TEST(StringUtils, JoinEmpty)
+{
+    std::vector<int> v;
+    EXPECT_EQ(join(v, ","), "");
+}
+
+TEST(StringUtils, JoinInts)
+{
+    std::vector<int> v{1, 2, 3};
+    EXPECT_EQ(join(v, "x"), "1x2x3");
+}
+
+TEST(StringUtils, SplitBasic)
+{
+    auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StringUtils, StripBasic)
+{
+    EXPECT_EQ(strip("  hello \n"), "hello");
+    EXPECT_EQ(strip(""), "");
+    EXPECT_EQ(strip("  \t "), "");
+}
+
+TEST(StringUtils, StartsWith)
+{
+    EXPECT_TRUE(startsWith("graphene", "gra"));
+    EXPECT_FALSE(startsWith("gra", "graphene"));
+}
+
+TEST(StringUtils, IndentMultiline)
+{
+    EXPECT_EQ(indent("a\nb", 2), "  a\n  b");
+    EXPECT_EQ(indent("a\n\nb", 2), "  a\n\n  b");
+}
+
+TEST(StringUtils, ReplaceAll)
+{
+    EXPECT_EQ(replaceAll("aXbXc", "X", "yy"), "ayybyyc");
+    EXPECT_EQ(replaceAll("aaa", "aa", "b"), "ba");
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-2.0, 3.0);
+        EXPECT_GE(u, -2.0);
+        EXPECT_LT(u, 3.0);
+    }
+}
+
+TEST(Rng, UniformIntInclusiveBounds)
+{
+    Rng rng(7);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const int64_t v = rng.uniformInt(0, 7);
+        EXPECT_GE(v, 0);
+        EXPECT_LE(v, 7);
+        sawLo |= v == 0;
+        sawHi |= v == 7;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, NormalRoughMoments)
+{
+    Rng rng(123);
+    double sum = 0, sq = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.05);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+} // namespace
+} // namespace graphene

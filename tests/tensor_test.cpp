@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Unit tests for TensorView: tiling, indexing with symbolic
+ * coordinates, address generation (numeric and symbolic), swizzled
+ * views, and the paper's Fig. 8 tiling chain.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/tensor.h"
+#include "support/check.h"
+
+namespace graphene
+{
+namespace
+{
+
+int64_t
+evalConst(const ExprPtr &e)
+{
+    return e->eval([](const std::string &name) -> int64_t {
+        GRAPHENE_CHECK(false) << "unbound variable " << name;
+        return 0;
+    });
+}
+
+TEST(TensorView, FactoryAndTypeString)
+{
+    auto a = TensorView::global("%A", Layout::rowMajor(IntTuple{16, 16}),
+                                ScalarType::Fp16);
+    EXPECT_EQ(a.typeStr(), "%A:[(16,16):(16,1)].fp16.GL");
+    EXPECT_EQ(a.totalSize(), 256);
+    EXPECT_EQ(a.numLevels(), 1);
+}
+
+TEST(TensorView, TileAddsLevel)
+{
+    auto a = TensorView::shared("%S", Layout::rowMajor(IntTuple{16, 16}),
+                                ScalarType::Fp16);
+    auto tiled = a.tile({Layout::vector(8), Layout::vector(8)});
+    EXPECT_EQ(tiled.numLevels(), 2);
+    EXPECT_EQ(tiled.outer().shape().str(), "(2,2)");
+    EXPECT_EQ(tiled.level(1).shape().str(), "(8,8)");
+    // Tile (1,0) begins at row 8: element offset 128 in row-major.
+    EXPECT_EQ(tiled.outer()(1, 0), 128);
+}
+
+TEST(TensorView, TileWithNulloptKeepsDimension)
+{
+    auto a = TensorView::global("%A", Layout::rowMajor(IntTuple{128, 1024}),
+                                ScalarType::Fp16);
+    auto tiled = a.tile({Layout::vector(8), std::nullopt});
+    EXPECT_EQ(tiled.outer().shape().str(), "(16,1)");
+    EXPECT_EQ(tiled.level(1).shape().str(), "(8,1024)");
+}
+
+TEST(TensorView, IndexConsumesLevelAndAccumulatesOffset)
+{
+    auto a = TensorView::global("%A", Layout::rowMajor(IntTuple{16, 16}),
+                                ScalarType::Fp16);
+    auto tiled = a.tile({Layout::vector(8), Layout::vector(8)});
+    auto tile10 = tiled.index({constant(1), constant(0)});
+    EXPECT_EQ(tile10.numLevels(), 1);
+    EXPECT_EQ(evalConst(tile10.offset()), 128);
+    // Element (0,1) of that tile (colex linear index 8): address 128+1.
+    EXPECT_EQ(tile10.elementAddress({8}, nullptr), 129);
+}
+
+TEST(TensorView, IndexWithSymbolicCoordinates)
+{
+    auto a = TensorView::global("%A", Layout::rowMajor(IntTuple{16, 16}),
+                                ScalarType::Fp16);
+    auto tiled = a.tile({Layout::vector(8), Layout::vector(8)});
+    auto m = variable("m", 2);
+    auto n = variable("n", 2);
+    auto t = tiled.index({m, n});
+    // offset = m*128 + n*8.
+    const auto env = [](const std::string &name) -> int64_t {
+        if (name == "m") return 1;
+        if (name == "n") return 1;
+        GRAPHENE_CHECK(false) << name;
+        return 0;
+    };
+    EXPECT_EQ(t.offset()->eval(env), 136);
+}
+
+TEST(TensorView, IndexToScalarView)
+{
+    auto a = TensorView::global("%A", Layout::rowMajor(IntTuple{4, 4}),
+                                ScalarType::Fp32);
+    auto s = a.index({constant(2), constant(3)});
+    EXPECT_EQ(s.numLevels(), 1);
+    EXPECT_EQ(s.totalSize(), 1);
+    EXPECT_EQ(evalConst(s.offset()), 11);
+}
+
+TEST(TensorView, HierarchicalDimSymbolicIndex)
+{
+    // Fig. 3c layout: logical (i, j) with hierarchical j.
+    Layout l(IntTuple{4, IntTuple{2, 4}}, IntTuple{2, IntTuple{1, 8}});
+    auto a = TensorView::shared("%S", l, ScalarType::Fp16);
+    auto i = variable("i", 4);
+    auto j = variable("j", 8);
+    auto v = a.index({i, j});
+    // Address must match the layout function for all coordinates.
+    for (int64_t iv = 0; iv < 4; ++iv)
+        for (int64_t jv = 0; jv < 8; ++jv) {
+            const auto env = [&](const std::string &name) -> int64_t {
+                return name == "i" ? iv : jv;
+            };
+            EXPECT_EQ(v.offset()->eval(env), l(iv, jv));
+        }
+}
+
+TEST(TensorView, ElementAddressEnumeratesLevels)
+{
+    auto a = TensorView::global("%A", Layout::rowMajor(IntTuple{4, 4}),
+                                ScalarType::Fp32);
+    auto tiled = a.tile({Layout::vector(2), Layout::vector(2)});
+    // Tile linear index 1 = tile (1,0) at offset 8 (row-major 4x4);
+    // element linear index 3 = (1,1) within tile: offset 5.
+    EXPECT_EQ(tiled.elementAddress({1, 3}, nullptr), 8 + 5);
+}
+
+TEST(TensorView, ElementAddressExprMatchesNumeric)
+{
+    auto a = TensorView::global("%A", Layout::rowMajor(IntTuple{8, 8}),
+                                ScalarType::Fp16);
+    auto tiled = a.tile({Layout::vector(4), Layout::vector(2)});
+    for (int64_t o = 0; o < tiled.outer().size(); ++o)
+        for (int64_t e = 0; e < tiled.level(1).size(); ++e)
+            EXPECT_EQ(evalConst(tiled.elementAddressExpr({o, e})),
+                      tiled.elementAddress({o, e}, nullptr));
+}
+
+TEST(TensorView, SwizzledAddresses)
+{
+    Swizzle sw(2, 0, 3);
+    auto a = TensorView::shared("%S", Layout::rowMajor(IntTuple{8, 8}),
+                                ScalarType::Fp16, sw);
+    // Numeric path applies the swizzle to the physical offset: linear
+    // element 1 is coordinate (1,0) -> offset 8 -> swizzled to 9.
+    EXPECT_EQ(a.elementAddress({1}, nullptr), sw(8));
+    // Symbolic path agrees for every element.
+    for (int64_t i = 0; i < 64; ++i)
+        EXPECT_EQ(evalConst(a.elementAddressExpr({i})),
+                  a.elementAddress({i}, nullptr))
+            << "element " << i;
+}
+
+TEST(TensorView, AddressExprWithLoopVariables)
+{
+    auto a = TensorView::global("%A", Layout::rowMajor(IntTuple{8, 8}),
+                                ScalarType::Fp32);
+    auto m = variable("m", 8);
+    auto n = variable("n", 8);
+    auto addr = a.addressExpr({{m, n}});
+    for (int64_t mv = 0; mv < 8; ++mv)
+        for (int64_t nv = 0; nv < 8; ++nv) {
+            const auto env = [&](const std::string &v) -> int64_t {
+                return v == "m" ? mv : nv;
+            };
+            EXPECT_EQ(addr->eval(env), mv * 8 + nv);
+        }
+}
+
+TEST(TensorView, ReshapeOuterLevel)
+{
+    auto a = TensorView::registers("%r", Layout::vector(8),
+                                   ScalarType::Fp32);
+    auto r = a.reshape(IntTuple{2, 4});
+    EXPECT_EQ(r.outer().shape().str(), "(2,4)");
+    // Row-major reshape: (i, j) -> original index i*4 + j.
+    EXPECT_EQ(r.outer()(1, 0), 4);
+}
+
+TEST(TensorView, TileOfTileDescendsOuterLevel)
+{
+    // Fig. 1d: %1:[16,16].SH tiled to [2,2].[8,8], indexed per group,
+    // tiled again into rows.
+    auto s = TensorView::shared("%1", Layout::rowMajor(IntTuple{16, 16}),
+                                ScalarType::Fp16);
+    auto grouped = s.tile({Layout::vector(8), Layout::vector(8)});
+    auto perGroup = grouped.index({variable("gm", 2), variable("gn", 2)});
+    auto rows = perGroup.tile({Layout::vector(1), std::nullopt});
+    EXPECT_EQ(rows.outer().shape().str(), "(8,1)");
+    EXPECT_EQ(rows.level(1).shape().str(), "(1,8)");
+    // Row r of group (1,0): address base 128 + 16r.
+    const auto env = [](const std::string &v) -> int64_t {
+        return v == "gm" ? 1 : 0;
+    };
+    auto row3 = rows.index({variable("r", 8), constant(0)});
+    EXPECT_EQ(row3.offset()->eval([&](const std::string &v) -> int64_t {
+        if (v == "r")
+            return 3;
+        return env(v);
+    }), 128 + 48);
+}
+
+TEST(TensorView, TileRankMismatchThrows)
+{
+    auto a = TensorView::global("%A", Layout::rowMajor(IntTuple{4, 4}),
+                                ScalarType::Fp32);
+    EXPECT_THROW(a.tile({Layout::vector(2)}), Error);
+}
+
+TEST(TensorView, IndexOutOfBoundsConstantThrows)
+{
+    auto a = TensorView::global("%A", Layout::rowMajor(IntTuple{4, 4}),
+                                ScalarType::Fp32);
+    EXPECT_THROW(a.index({constant(4), constant(0)}), Error);
+}
+
+TEST(TensorView, NamedCopy)
+{
+    auto a = TensorView::global("%A", Layout::vector(4), ScalarType::Fp32);
+    auto b = a.named("%B");
+    EXPECT_EQ(b.name(), "%B");
+    EXPECT_EQ(b.buffer(), "%A");
+}
+
+} // namespace
+} // namespace graphene

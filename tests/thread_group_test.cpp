@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Unit tests for logical thread groups (paper Section 4, Figs. 5/6):
+ * tiling a warp into groups, reshaping, quad-pairs, and the generated
+ * scalar thread-index expressions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/thread_group.h"
+#include "support/check.h"
+
+namespace graphene
+{
+namespace
+{
+
+int64_t
+evalTid(const ExprPtr &e, int64_t tid)
+{
+    return e->eval([&](const std::string &name) -> int64_t {
+        GRAPHENE_CHECK(name == "tid") << "unexpected variable " << name;
+        return tid;
+    });
+}
+
+TEST(ThreadGroup, WarpBasics)
+{
+    auto warp = ThreadGroup::threads("#warp", Layout::vector(32), 32);
+    EXPECT_EQ(warp.totalSize(), 32);
+    EXPECT_EQ(warp.typeStr(), "#warp:[32:1].thread");
+    EXPECT_FALSE(warp.isBlockLevel());
+}
+
+TEST(ThreadGroup, Fig5TileWarpIntoGroups)
+{
+    // Fig. 5b: warp tiled into 4 groups of 8 contiguous threads.
+    auto warp = ThreadGroup::threads("#warp", Layout::vector(32), 32);
+    auto tiled = warp.tile({Layout::vector(8)});
+    EXPECT_EQ(tiled.numLevels(), 2);
+    EXPECT_EQ(tiled.outer().str(), "[4:8]");
+    EXPECT_EQ(tiled.level(1).str(), "[8:1]");
+}
+
+TEST(ThreadGroup, Fig5ReshapeGroupsTo2x2)
+{
+    // Fig. 5c: the 4 groups arranged as 2x2 (lexicographic, so group
+    // (m,n) starts at thread 16m + 8n — matching Fig. 1c's
+    // thr_grp_m = (tid/16)%2, thr_grp_n = (tid/8)%2).
+    // poolSize 256: the warp lives inside a 256-thread block, so the
+    // index expressions keep their % terms (Fig. 1c) and remain valid
+    // for every warp in the block.
+    auto warp = ThreadGroup::threads("#warp", Layout::vector(32), 256);
+    auto groups = warp.tile({Layout::vector(8)}).reshape(IntTuple{2, 2});
+    EXPECT_EQ(groups.outer()(0, 0), 0);
+    EXPECT_EQ(groups.outer()(0, 1), 8);
+    EXPECT_EQ(groups.outer()(1, 0), 16);
+    EXPECT_EQ(groups.outer()(1, 1), 24);
+
+    const auto idx = groups.indices(0);
+    ASSERT_EQ(idx.size(), 2u);
+    EXPECT_EQ(idx[0]->str(), "((tid / 16) % 2)");
+    EXPECT_EQ(idx[1]->str(), "((tid / 8) % 2)");
+    // Group-local index from the inner level.
+    const auto local = groups.indices(1);
+    ASSERT_EQ(local.size(), 1u);
+    EXPECT_EQ(local[0]->str(), "(tid % 8)");
+}
+
+TEST(ThreadGroup, Fig6QuadPairs)
+{
+    // Volta quad-pairs: [(4,2):(1,16)] — threads {0..3, 16..19} form
+    // quad-pair 0.
+    auto warp = ThreadGroup::threads("#warp", Layout::vector(32), 32);
+    auto qp = warp.tile({Layout(IntTuple{4, 2}, IntTuple{1, 16})});
+    EXPECT_EQ(qp.level(1).str(), "[(4,2):(1,16)]");
+    // 4 quad-pairs; quad-pair q covers threads 4q..4q+3 and 16+4q...
+    EXPECT_EQ(qp.outer().str(), "[4:4]");
+
+    // The lane within a quad-pair has two logical coordinates: the
+    // position within the quad (0..3) and which quad of the pair (0/1).
+    const auto local = qp.indices(1);
+    ASSERT_EQ(local.size(), 2u);
+    for (int64_t tid = 0; tid < 32; ++tid) {
+        EXPECT_EQ(evalTid(local[0], tid), tid % 4) << "tid " << tid;
+        EXPECT_EQ(evalTid(local[1], tid), (tid / 16) % 2) << "tid " << tid;
+    }
+}
+
+TEST(ThreadGroup, IndicesInvertLayout)
+{
+    // For any injective group layout, evaluating indices() at a
+    // physical tid recovers the logical coordinates.
+    auto block = ThreadGroup::threads("#cta", Layout::vector(256), 256);
+    auto shaped = block.reshape(IntTuple{16, 16});
+    const auto idx = shaped.indices(0);
+    for (int64_t tid = 0; tid < 256; ++tid) {
+        const int64_t m = evalTid(idx[0], tid);
+        const int64_t n = evalTid(idx[1], tid);
+        EXPECT_EQ(shaped.outer()(m, n), tid);
+    }
+}
+
+TEST(ThreadGroup, Fig8ThreadArrangement)
+{
+    // Fig. 8: #5:[16,16].thread with column-major assignment:
+    // tid_m = tid % 16, tid_n = (tid/16) % 16.
+    auto threads = ThreadGroup::threads(
+        "#5", Layout::colMajor(IntTuple{16, 16}), 256);
+    const auto idx = threads.indices();
+    EXPECT_EQ(idx[0]->str(), "(tid % 16)");
+    // With tid < 256 the % 16 is provably redundant and simplified.
+    EXPECT_EQ(idx[1]->str(), "(tid / 16)");
+}
+
+TEST(ThreadGroup, BlocksLevel)
+{
+    auto blocks = ThreadGroup::blocks(
+        "#4", Layout::colMajor(IntTuple{8, 8}), 64);
+    EXPECT_TRUE(blocks.isBlockLevel());
+    const auto idx = blocks.indices();
+    EXPECT_EQ(idx[0]->str(), "(bid % 8)");
+    EXPECT_EQ(idx[1]->str(), "(bid / 8)");
+    EXPECT_EQ(blocks.typeStr(), "#4:[(8,8):(1,8)].block");
+}
+
+TEST(ThreadGroup, PhysicalIndexVariable)
+{
+    auto warp = ThreadGroup::threads("#w", Layout::vector(32), 256);
+    EXPECT_EQ(warp.physicalIndex()->str(), "tid");
+    auto blocks = ThreadGroup::blocks("#b", Layout::vector(80), 80);
+    EXPECT_EQ(blocks.physicalIndex()->str(), "bid");
+}
+
+TEST(ThreadGroup, NonInjectiveLayoutThrowsOnIndices)
+{
+    auto g = ThreadGroup::threads(
+        "#g", Layout(IntTuple{4, 8}, IntTuple{0, 1}), 32);
+    EXPECT_THROW(g.indices(), Error);
+}
+
+TEST(ThreadGroup, TileWithNulloptKeepsDim)
+{
+    auto block = ThreadGroup::threads("#cta", Layout::vector(128), 128);
+    auto warps = block.tile({Layout::vector(32)});
+    EXPECT_EQ(warps.outer().size(), 4);
+    EXPECT_EQ(warps.level(1).size(), 32);
+}
+
+} // namespace
+} // namespace graphene

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * graphene-cli: inspect and drive the Graphene compiler from the
+ * command line.
+ *
+ *   graphene-cli list-atomics --arch ampere
+ *       Print the atomic-spec registry (paper Table 2).
+ *   graphene-cli print-ir <kernel> [options]
+ *       Print the Graphene IR of a generated kernel.
+ *   graphene-cli emit-cuda <kernel> [options]
+ *       Print the generated CUDA C++.
+ *   graphene-cli profile <kernel> [options]
+ *       Run the timing simulation and print the profile.
+ *
+ * Kernels: simple-gemm | gemm | mlp | lstm | fmha | layernorm |
+ *          ldmatrix
+ * Options: --arch volta|ampere   --m --n --k (GEMM-family sizes)
+ *          --layers N (mlp)      --epilogue bias|relu|bias+relu|bias+gelu
+ *          --no-swizzle
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "baselines/engines.h"
+#include "codegen/cuda_emitter.h"
+#include "ir/printer.h"
+#include "ops/fmha.h"
+#include "ops/layernorm.h"
+#include "ops/ldmatrix_move.h"
+#include "ops/lstm.h"
+#include "ops/mlp.h"
+#include "ops/simple_gemm.h"
+#include "ops/tc_gemm.h"
+#include "runtime/device.h"
+
+using namespace graphene;
+
+namespace
+{
+
+struct Options
+{
+    std::string command;
+    std::string kernel;
+    std::string arch = "ampere";
+    int64_t m = 1024, n = 1024, k = 1024;
+    int64_t layers = 4;
+    std::string epilogue = "none";
+    bool swizzle = true;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: graphene-cli <list-atomics|print-ir|emit-cuda|"
+                 "profile> [kernel] [--arch volta|ampere] [--m N] "
+                 "[--n N] [--k N] [--layers N] [--epilogue E] "
+                 "[--no-swizzle]\n"
+                 "kernels: simple-gemm gemm mlp lstm fmha layernorm "
+                 "ldmatrix\n");
+    std::exit(2);
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options o;
+    if (argc < 2)
+        usage();
+    o.command = argv[1];
+    int i = 2;
+    if (o.command != "list-atomics") {
+        if (argc < 3)
+            usage();
+        o.kernel = argv[2];
+        i = 3;
+    }
+    for (; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (a == "--arch")
+            o.arch = next();
+        else if (a == "--m")
+            o.m = std::stoll(next());
+        else if (a == "--n")
+            o.n = std::stoll(next());
+        else if (a == "--k")
+            o.k = std::stoll(next());
+        else if (a == "--layers")
+            o.layers = std::stoll(next());
+        else if (a == "--epilogue")
+            o.epilogue = next();
+        else if (a == "--no-swizzle")
+            o.swizzle = false;
+        else
+            usage();
+    }
+    return o;
+}
+
+ops::Epilogue
+epilogueOf(const std::string &name)
+{
+    static const std::map<std::string, ops::Epilogue> table = {
+        {"none", ops::Epilogue::None},
+        {"bias", ops::Epilogue::Bias},
+        {"relu", ops::Epilogue::Relu},
+        {"bias+relu", ops::Epilogue::BiasRelu},
+        {"bias+gelu", ops::Epilogue::BiasGelu},
+    };
+    auto it = table.find(name);
+    if (it == table.end())
+        usage();
+    return it->second;
+}
+
+/** Build the requested kernel and allocate its (virtual) buffers. */
+Kernel
+buildKernel(const Options &o, const GpuArch &arch, Device &dev)
+{
+    auto valloc = [&](const std::string &name, int64_t count) {
+        dev.allocateVirtual(name, ScalarType::Fp16, count);
+    };
+    if (o.kernel == "simple-gemm") {
+        ops::SimpleGemmConfig cfg;
+        cfg.m = o.m;
+        cfg.n = o.n;
+        cfg.k = o.k;
+        valloc("%A", o.m * o.k);
+        valloc("%B", o.k * o.n);
+        valloc("%C", o.m * o.n);
+        return ops::buildSimpleGemm(cfg);
+    }
+    if (o.kernel == "gemm") {
+        ops::TcGemmConfig cfg =
+            baselines::heuristicGemmConfig(arch, o.m, o.n, o.k);
+        cfg.epilogue = epilogueOf(o.epilogue);
+        cfg.swizzle = o.swizzle;
+        valloc("%A", o.m * o.k);
+        valloc("%B", o.k * o.n);
+        valloc("%C", o.m * o.n);
+        valloc("%bias", o.n);
+        return ops::buildTcGemm(arch, cfg);
+    }
+    if (o.kernel == "mlp") {
+        ops::FusedMlpConfig cfg;
+        cfg.m = o.m;
+        cfg.layers = o.layers;
+        cfg.swizzle = o.swizzle;
+        valloc("%x", o.m * cfg.width);
+        valloc("%W", o.layers * cfg.width * cfg.width);
+        valloc("%b", o.layers * cfg.width);
+        valloc("%y", o.m * cfg.width);
+        return ops::buildFusedMlp(arch, cfg);
+    }
+    if (o.kernel == "lstm") {
+        ops::FusedLstmConfig cfg;
+        cfg.m = o.m;
+        cfg.n = o.n;
+        cfg.k = o.k;
+        cfg.swizzle = o.swizzle;
+        valloc("%x", o.m * o.k);
+        valloc("%h", o.m * o.k);
+        valloc("%Wx", o.k * o.n);
+        valloc("%Wh", o.k * o.n);
+        valloc("%bias", o.n);
+        valloc("%out", o.m * o.n);
+        return ops::buildFusedLstm(arch, cfg);
+    }
+    if (o.kernel == "fmha") {
+        ops::FmhaConfig cfg;
+        cfg.swizzle = o.swizzle;
+        const int64_t elems = cfg.batch * cfg.heads * cfg.seq
+            * cfg.headDim;
+        for (const char *nm : {"%Q", "%K", "%V", "%O"})
+            valloc(nm, elems);
+        return ops::buildFusedFmha(arch, cfg);
+    }
+    if (o.kernel == "layernorm") {
+        ops::LayernormConfig cfg;
+        cfg.rows = o.m;
+        cfg.cols = o.n;
+        valloc("%x", o.m * o.n);
+        valloc("%gamma", o.n);
+        valloc("%beta", o.n);
+        valloc("%y", o.m * o.n);
+        return ops::buildLayernormFused(arch, cfg);
+    }
+    if (o.kernel == "ldmatrix") {
+        valloc("%in", 256);
+        valloc("%out", 256);
+        return ops::buildLdmatrixMoveKernel();
+    }
+    usage();
+}
+
+void
+listAtomics(const GpuArch &arch)
+{
+    std::printf("Atomic specifications for %s (paper Table 2):\n",
+                arch.name.c_str());
+    std::printf("  %-16s %6s %5s/%5s/%5s  %s\n", "kind", "group", "in0",
+                "in1", "out", "instruction");
+    for (const auto &info : AtomicSpecRegistry::forArch(arch).all()) {
+        std::printf("  %-16s %6lld %5lld/%5lld/%5lld  %s%s\n",
+                    specKindName(info.kind).c_str(),
+                    (long long)info.groupSize, (long long)info.elemsIn0,
+                    (long long)info.elemsIn1, (long long)info.elemsOut,
+                    info.instruction.empty() ? "(per-op)"
+                                             : info.instruction.c_str(),
+                    info.hintOnly ? "  [hint-gated]" : "");
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options o = parse(argc, argv);
+    const GpuArch &arch = o.arch == "volta" ? GpuArch::volta()
+                                            : GpuArch::ampere();
+    try {
+        if (o.command == "list-atomics") {
+            listAtomics(arch);
+            return 0;
+        }
+        Device dev(arch);
+        Kernel kernel = buildKernel(o, arch, dev);
+        if (o.command == "print-ir") {
+            std::printf("%s", printKernel(kernel).c_str());
+        } else if (o.command == "emit-cuda") {
+            std::printf("%s", emitCuda(kernel, arch).c_str());
+        } else if (o.command == "profile") {
+            auto prof = dev.launch(kernel, LaunchMode::Timing);
+            std::printf("kernel   %s on %s\n", kernel.name().c_str(),
+                        arch.name.c_str());
+            std::printf("launch   grid=%lld block=%lld smem=%lldB\n",
+                        (long long)kernel.gridSize(),
+                        (long long)kernel.blockSize(),
+                        (long long)kernel.sharedMemoryBytes());
+            std::printf("time     %.2f us (%s-bound, %lld waves)\n",
+                        prof.timing.timeUs, prof.timing.boundBy.c_str(),
+                        (long long)prof.timing.waves);
+            std::printf("pipes    tensor %.1f%%  fp32 %.1f%%  dram "
+                        "%.1f%%  smem %.1f%%\n",
+                        prof.timing.tensorPipePct,
+                        prof.timing.fp32PipePct, prof.timing.dramPct,
+                        prof.timing.smemPct);
+            std::printf("block    %.0f tensor-flops, %.0f issue slots, "
+                        "%.0f smem wavefronts, %.0f sectors\n",
+                        prof.perBlock.tensorFlops,
+                        prof.perBlock.issueSlots,
+                        prof.perBlock.smemWavefronts,
+                        prof.perBlock.globalSectors);
+        } else {
+            usage();
+        }
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}
