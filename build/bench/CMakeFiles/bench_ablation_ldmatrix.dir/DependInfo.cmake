@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_ldmatrix.cpp" "bench/CMakeFiles/bench_ablation_ldmatrix.dir/bench_ablation_ldmatrix.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_ldmatrix.dir/bench_ablation_ldmatrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/models/CMakeFiles/graphene_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/graphene_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/graphene_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/graphene_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/graphene_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/graphene_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/graphene_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/graphene_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/graphene_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/graphene_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/graphene_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ldmatrix.dir/bench_ablation_ldmatrix.cpp.o"
+  "CMakeFiles/bench_ablation_ldmatrix.dir/bench_ablation_ldmatrix.cpp.o.d"
+  "bench_ablation_ldmatrix"
+  "bench_ablation_ldmatrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ldmatrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

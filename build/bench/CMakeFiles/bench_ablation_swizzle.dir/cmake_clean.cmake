@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_swizzle.dir/bench_ablation_swizzle.cpp.o"
+  "CMakeFiles/bench_ablation_swizzle.dir/bench_ablation_swizzle.cpp.o.d"
+  "bench_ablation_swizzle"
+  "bench_ablation_swizzle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_swizzle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

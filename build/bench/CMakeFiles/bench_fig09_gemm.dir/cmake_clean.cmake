@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_gemm.dir/bench_fig09_gemm.cpp.o"
+  "CMakeFiles/bench_fig09_gemm.dir/bench_fig09_gemm.cpp.o.d"
+  "bench_fig09_gemm"
+  "bench_fig09_gemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

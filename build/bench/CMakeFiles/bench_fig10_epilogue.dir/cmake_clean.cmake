@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_epilogue.dir/bench_fig10_epilogue.cpp.o"
+  "CMakeFiles/bench_fig10_epilogue.dir/bench_fig10_epilogue.cpp.o.d"
+  "bench_fig10_epilogue"
+  "bench_fig10_epilogue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_epilogue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_mlp.dir/bench_fig11_mlp.cpp.o"
+  "CMakeFiles/bench_fig11_mlp.dir/bench_fig11_mlp.cpp.o.d"
+  "bench_fig11_mlp"
+  "bench_fig11_mlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_mlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_layernorm.dir/bench_fig13_layernorm.cpp.o"
+  "CMakeFiles/bench_fig13_layernorm.dir/bench_fig13_layernorm.cpp.o.d"
+  "bench_fig13_layernorm"
+  "bench_fig13_layernorm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_layernorm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_fmha.dir/bench_fig14_fmha.cpp.o"
+  "CMakeFiles/bench_fig14_fmha.dir/bench_fig14_fmha.cpp.o.d"
+  "bench_fig14_fmha"
+  "bench_fig14_fmha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_fmha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

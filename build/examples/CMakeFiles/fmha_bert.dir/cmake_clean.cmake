@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmha_bert.dir/fmha_bert.cpp.o"
+  "CMakeFiles/fmha_bert.dir/fmha_bert.cpp.o.d"
+  "fmha_bert"
+  "fmha_bert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmha_bert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fused_mlp.dir/fused_mlp.cpp.o"
+  "CMakeFiles/fused_mlp.dir/fused_mlp.cpp.o.d"
+  "fused_mlp"
+  "fused_mlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fused_mlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layouts_tour.dir/layouts_tour.cpp.o"
+  "CMakeFiles/layouts_tour.dir/layouts_tour.cpp.o.d"
+  "layouts_tour"
+  "layouts_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layouts_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldmatrix_move.dir/ldmatrix_move.cpp.o"
+  "CMakeFiles/ldmatrix_move.dir/ldmatrix_move.cpp.o.d"
+  "ldmatrix_move"
+  "ldmatrix_move.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldmatrix_move.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

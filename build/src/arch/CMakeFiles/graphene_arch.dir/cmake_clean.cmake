@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphene_arch.dir/atomic_specs.cpp.o"
+  "CMakeFiles/graphene_arch.dir/atomic_specs.cpp.o.d"
+  "CMakeFiles/graphene_arch.dir/gpu_arch.cpp.o"
+  "CMakeFiles/graphene_arch.dir/gpu_arch.cpp.o.d"
+  "libgraphene_arch.a"
+  "libgraphene_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphene_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphene_baselines.dir/engines.cpp.o"
+  "CMakeFiles/graphene_baselines.dir/engines.cpp.o.d"
+  "libgraphene_baselines.a"
+  "libgraphene_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphene_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphene_codegen.dir/cuda_emitter.cpp.o"
+  "CMakeFiles/graphene_codegen.dir/cuda_emitter.cpp.o.d"
+  "libgraphene_codegen.a"
+  "libgraphene_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphene_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

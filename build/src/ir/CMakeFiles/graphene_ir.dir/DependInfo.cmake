@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/expr.cpp" "src/ir/CMakeFiles/graphene_ir.dir/expr.cpp.o" "gcc" "src/ir/CMakeFiles/graphene_ir.dir/expr.cpp.o.d"
+  "/root/repo/src/ir/kernel.cpp" "src/ir/CMakeFiles/graphene_ir.dir/kernel.cpp.o" "gcc" "src/ir/CMakeFiles/graphene_ir.dir/kernel.cpp.o.d"
+  "/root/repo/src/ir/printer.cpp" "src/ir/CMakeFiles/graphene_ir.dir/printer.cpp.o" "gcc" "src/ir/CMakeFiles/graphene_ir.dir/printer.cpp.o.d"
+  "/root/repo/src/ir/scalar_type.cpp" "src/ir/CMakeFiles/graphene_ir.dir/scalar_type.cpp.o" "gcc" "src/ir/CMakeFiles/graphene_ir.dir/scalar_type.cpp.o.d"
+  "/root/repo/src/ir/spec.cpp" "src/ir/CMakeFiles/graphene_ir.dir/spec.cpp.o" "gcc" "src/ir/CMakeFiles/graphene_ir.dir/spec.cpp.o.d"
+  "/root/repo/src/ir/stmt.cpp" "src/ir/CMakeFiles/graphene_ir.dir/stmt.cpp.o" "gcc" "src/ir/CMakeFiles/graphene_ir.dir/stmt.cpp.o.d"
+  "/root/repo/src/ir/tensor.cpp" "src/ir/CMakeFiles/graphene_ir.dir/tensor.cpp.o" "gcc" "src/ir/CMakeFiles/graphene_ir.dir/tensor.cpp.o.d"
+  "/root/repo/src/ir/thread_group.cpp" "src/ir/CMakeFiles/graphene_ir.dir/thread_group.cpp.o" "gcc" "src/ir/CMakeFiles/graphene_ir.dir/thread_group.cpp.o.d"
+  "/root/repo/src/ir/verifier.cpp" "src/ir/CMakeFiles/graphene_ir.dir/verifier.cpp.o" "gcc" "src/ir/CMakeFiles/graphene_ir.dir/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/layout/CMakeFiles/graphene_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/graphene_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphene_ir.dir/expr.cpp.o"
+  "CMakeFiles/graphene_ir.dir/expr.cpp.o.d"
+  "CMakeFiles/graphene_ir.dir/kernel.cpp.o"
+  "CMakeFiles/graphene_ir.dir/kernel.cpp.o.d"
+  "CMakeFiles/graphene_ir.dir/printer.cpp.o"
+  "CMakeFiles/graphene_ir.dir/printer.cpp.o.d"
+  "CMakeFiles/graphene_ir.dir/scalar_type.cpp.o"
+  "CMakeFiles/graphene_ir.dir/scalar_type.cpp.o.d"
+  "CMakeFiles/graphene_ir.dir/spec.cpp.o"
+  "CMakeFiles/graphene_ir.dir/spec.cpp.o.d"
+  "CMakeFiles/graphene_ir.dir/stmt.cpp.o"
+  "CMakeFiles/graphene_ir.dir/stmt.cpp.o.d"
+  "CMakeFiles/graphene_ir.dir/tensor.cpp.o"
+  "CMakeFiles/graphene_ir.dir/tensor.cpp.o.d"
+  "CMakeFiles/graphene_ir.dir/thread_group.cpp.o"
+  "CMakeFiles/graphene_ir.dir/thread_group.cpp.o.d"
+  "CMakeFiles/graphene_ir.dir/verifier.cpp.o"
+  "CMakeFiles/graphene_ir.dir/verifier.cpp.o.d"
+  "libgraphene_ir.a"
+  "libgraphene_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphene_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

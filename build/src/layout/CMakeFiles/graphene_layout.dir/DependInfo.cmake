@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/algebra.cpp" "src/layout/CMakeFiles/graphene_layout.dir/algebra.cpp.o" "gcc" "src/layout/CMakeFiles/graphene_layout.dir/algebra.cpp.o.d"
+  "/root/repo/src/layout/int_tuple.cpp" "src/layout/CMakeFiles/graphene_layout.dir/int_tuple.cpp.o" "gcc" "src/layout/CMakeFiles/graphene_layout.dir/int_tuple.cpp.o.d"
+  "/root/repo/src/layout/layout.cpp" "src/layout/CMakeFiles/graphene_layout.dir/layout.cpp.o" "gcc" "src/layout/CMakeFiles/graphene_layout.dir/layout.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/graphene_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphene_layout.dir/algebra.cpp.o"
+  "CMakeFiles/graphene_layout.dir/algebra.cpp.o.d"
+  "CMakeFiles/graphene_layout.dir/int_tuple.cpp.o"
+  "CMakeFiles/graphene_layout.dir/int_tuple.cpp.o.d"
+  "CMakeFiles/graphene_layout.dir/layout.cpp.o"
+  "CMakeFiles/graphene_layout.dir/layout.cpp.o.d"
+  "libgraphene_layout.a"
+  "libgraphene_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphene_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

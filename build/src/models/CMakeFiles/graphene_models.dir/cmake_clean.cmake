@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphene_models.dir/transformer.cpp.o"
+  "CMakeFiles/graphene_models.dir/transformer.cpp.o.d"
+  "libgraphene_models.a"
+  "libgraphene_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphene_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

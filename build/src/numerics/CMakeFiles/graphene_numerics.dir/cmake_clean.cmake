@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphene_numerics.dir/half.cpp.o"
+  "CMakeFiles/graphene_numerics.dir/half.cpp.o.d"
+  "libgraphene_numerics.a"
+  "libgraphene_numerics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphene_numerics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

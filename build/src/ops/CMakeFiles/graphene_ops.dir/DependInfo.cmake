@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ops/block_gemm.cpp" "src/ops/CMakeFiles/graphene_ops.dir/block_gemm.cpp.o" "gcc" "src/ops/CMakeFiles/graphene_ops.dir/block_gemm.cpp.o.d"
+  "/root/repo/src/ops/common.cpp" "src/ops/CMakeFiles/graphene_ops.dir/common.cpp.o" "gcc" "src/ops/CMakeFiles/graphene_ops.dir/common.cpp.o.d"
+  "/root/repo/src/ops/fmha.cpp" "src/ops/CMakeFiles/graphene_ops.dir/fmha.cpp.o" "gcc" "src/ops/CMakeFiles/graphene_ops.dir/fmha.cpp.o.d"
+  "/root/repo/src/ops/layernorm.cpp" "src/ops/CMakeFiles/graphene_ops.dir/layernorm.cpp.o" "gcc" "src/ops/CMakeFiles/graphene_ops.dir/layernorm.cpp.o.d"
+  "/root/repo/src/ops/ldmatrix_move.cpp" "src/ops/CMakeFiles/graphene_ops.dir/ldmatrix_move.cpp.o" "gcc" "src/ops/CMakeFiles/graphene_ops.dir/ldmatrix_move.cpp.o.d"
+  "/root/repo/src/ops/lstm.cpp" "src/ops/CMakeFiles/graphene_ops.dir/lstm.cpp.o" "gcc" "src/ops/CMakeFiles/graphene_ops.dir/lstm.cpp.o.d"
+  "/root/repo/src/ops/mlp.cpp" "src/ops/CMakeFiles/graphene_ops.dir/mlp.cpp.o" "gcc" "src/ops/CMakeFiles/graphene_ops.dir/mlp.cpp.o.d"
+  "/root/repo/src/ops/pointwise.cpp" "src/ops/CMakeFiles/graphene_ops.dir/pointwise.cpp.o" "gcc" "src/ops/CMakeFiles/graphene_ops.dir/pointwise.cpp.o.d"
+  "/root/repo/src/ops/simple_gemm.cpp" "src/ops/CMakeFiles/graphene_ops.dir/simple_gemm.cpp.o" "gcc" "src/ops/CMakeFiles/graphene_ops.dir/simple_gemm.cpp.o.d"
+  "/root/repo/src/ops/softmax.cpp" "src/ops/CMakeFiles/graphene_ops.dir/softmax.cpp.o" "gcc" "src/ops/CMakeFiles/graphene_ops.dir/softmax.cpp.o.d"
+  "/root/repo/src/ops/tc_gemm.cpp" "src/ops/CMakeFiles/graphene_ops.dir/tc_gemm.cpp.o" "gcc" "src/ops/CMakeFiles/graphene_ops.dir/tc_gemm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/graphene_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/graphene_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/graphene_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/graphene_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/graphene_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/graphene_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/graphene_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/graphene_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

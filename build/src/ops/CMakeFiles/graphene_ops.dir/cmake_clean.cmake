@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphene_ops.dir/block_gemm.cpp.o"
+  "CMakeFiles/graphene_ops.dir/block_gemm.cpp.o.d"
+  "CMakeFiles/graphene_ops.dir/common.cpp.o"
+  "CMakeFiles/graphene_ops.dir/common.cpp.o.d"
+  "CMakeFiles/graphene_ops.dir/fmha.cpp.o"
+  "CMakeFiles/graphene_ops.dir/fmha.cpp.o.d"
+  "CMakeFiles/graphene_ops.dir/layernorm.cpp.o"
+  "CMakeFiles/graphene_ops.dir/layernorm.cpp.o.d"
+  "CMakeFiles/graphene_ops.dir/ldmatrix_move.cpp.o"
+  "CMakeFiles/graphene_ops.dir/ldmatrix_move.cpp.o.d"
+  "CMakeFiles/graphene_ops.dir/lstm.cpp.o"
+  "CMakeFiles/graphene_ops.dir/lstm.cpp.o.d"
+  "CMakeFiles/graphene_ops.dir/mlp.cpp.o"
+  "CMakeFiles/graphene_ops.dir/mlp.cpp.o.d"
+  "CMakeFiles/graphene_ops.dir/pointwise.cpp.o"
+  "CMakeFiles/graphene_ops.dir/pointwise.cpp.o.d"
+  "CMakeFiles/graphene_ops.dir/simple_gemm.cpp.o"
+  "CMakeFiles/graphene_ops.dir/simple_gemm.cpp.o.d"
+  "CMakeFiles/graphene_ops.dir/softmax.cpp.o"
+  "CMakeFiles/graphene_ops.dir/softmax.cpp.o.d"
+  "CMakeFiles/graphene_ops.dir/tc_gemm.cpp.o"
+  "CMakeFiles/graphene_ops.dir/tc_gemm.cpp.o.d"
+  "libgraphene_ops.a"
+  "libgraphene_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphene_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

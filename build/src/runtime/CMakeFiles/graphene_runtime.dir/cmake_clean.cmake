@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphene_runtime.dir/device.cpp.o"
+  "CMakeFiles/graphene_runtime.dir/device.cpp.o.d"
+  "CMakeFiles/graphene_runtime.dir/reference.cpp.o"
+  "CMakeFiles/graphene_runtime.dir/reference.cpp.o.d"
+  "libgraphene_runtime.a"
+  "libgraphene_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphene_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cost.cpp" "src/sim/CMakeFiles/graphene_sim.dir/cost.cpp.o" "gcc" "src/sim/CMakeFiles/graphene_sim.dir/cost.cpp.o.d"
+  "/root/repo/src/sim/executor.cpp" "src/sim/CMakeFiles/graphene_sim.dir/executor.cpp.o" "gcc" "src/sim/CMakeFiles/graphene_sim.dir/executor.cpp.o.d"
+  "/root/repo/src/sim/memory.cpp" "src/sim/CMakeFiles/graphene_sim.dir/memory.cpp.o" "gcc" "src/sim/CMakeFiles/graphene_sim.dir/memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/graphene_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/graphene_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/graphene_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/graphene_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/graphene_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphene_sim.dir/cost.cpp.o"
+  "CMakeFiles/graphene_sim.dir/cost.cpp.o.d"
+  "CMakeFiles/graphene_sim.dir/executor.cpp.o"
+  "CMakeFiles/graphene_sim.dir/executor.cpp.o.d"
+  "CMakeFiles/graphene_sim.dir/memory.cpp.o"
+  "CMakeFiles/graphene_sim.dir/memory.cpp.o.d"
+  "libgraphene_sim.a"
+  "libgraphene_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphene_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

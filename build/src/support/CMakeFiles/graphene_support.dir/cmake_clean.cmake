@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphene_support.dir/check.cpp.o"
+  "CMakeFiles/graphene_support.dir/check.cpp.o.d"
+  "CMakeFiles/graphene_support.dir/rng.cpp.o"
+  "CMakeFiles/graphene_support.dir/rng.cpp.o.d"
+  "CMakeFiles/graphene_support.dir/string_utils.cpp.o"
+  "CMakeFiles/graphene_support.dir/string_utils.cpp.o.d"
+  "libgraphene_support.a"
+  "libgraphene_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphene_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/experiments_smoke_test.dir/experiments_smoke_test.cpp.o"
+  "CMakeFiles/experiments_smoke_test.dir/experiments_smoke_test.cpp.o.d"
+  "experiments_smoke_test"
+  "experiments_smoke_test.pdb"
+  "experiments_smoke_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/experiments_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/int_tuple_test.dir/int_tuple_test.cpp.o"
+  "CMakeFiles/int_tuple_test.dir/int_tuple_test.cpp.o.d"
+  "int_tuple_test"
+  "int_tuple_test.pdb"
+  "int_tuple_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/int_tuple_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

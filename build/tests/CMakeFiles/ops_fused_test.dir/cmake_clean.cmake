@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_fused_test.dir/ops_fused_test.cpp.o"
+  "CMakeFiles/ops_fused_test.dir/ops_fused_test.cpp.o.d"
+  "ops_fused_test"
+  "ops_fused_test.pdb"
+  "ops_fused_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_fused_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_gemm_test.dir/ops_gemm_test.cpp.o"
+  "CMakeFiles/ops_gemm_test.dir/ops_gemm_test.cpp.o.d"
+  "ops_gemm_test"
+  "ops_gemm_test.pdb"
+  "ops_gemm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_gemm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

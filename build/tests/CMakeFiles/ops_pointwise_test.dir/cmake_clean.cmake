@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_pointwise_test.dir/ops_pointwise_test.cpp.o"
+  "CMakeFiles/ops_pointwise_test.dir/ops_pointwise_test.cpp.o.d"
+  "ops_pointwise_test"
+  "ops_pointwise_test.pdb"
+  "ops_pointwise_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_pointwise_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swizzle_extra_test.dir/swizzle_extra_test.cpp.o"
+  "CMakeFiles/swizzle_extra_test.dir/swizzle_extra_test.cpp.o.d"
+  "swizzle_extra_test"
+  "swizzle_extra_test.pdb"
+  "swizzle_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swizzle_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

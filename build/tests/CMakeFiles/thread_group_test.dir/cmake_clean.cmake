@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thread_group_test.dir/thread_group_test.cpp.o"
+  "CMakeFiles/thread_group_test.dir/thread_group_test.cpp.o.d"
+  "thread_group_test"
+  "thread_group_test.pdb"
+  "thread_group_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thread_group_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphene-cli.dir/graphene_cli.cpp.o"
+  "CMakeFiles/graphene-cli.dir/graphene_cli.cpp.o.d"
+  "graphene-cli"
+  "graphene-cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphene-cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
