@@ -103,4 +103,65 @@ loopVarExpr(const Stmt &forLoop)
     return variable(forLoop.loopVar, forLoop.end);
 }
 
+namespace
+{
+
+void
+numberSyncsRec(const std::vector<StmtPtr> &stmts, int64_t &next)
+{
+    for (const StmtPtr &s : stmts) {
+        switch (s->kind) {
+          case StmtKind::Sync:
+            s->syncId = next++;
+            break;
+          case StmtKind::For:
+          case StmtKind::If:
+            numberSyncsRec(s->body, next);
+            numberSyncsRec(s->elseBody, next);
+            break;
+          case StmtKind::SpecCall:
+            if (!s->spec->isLeaf())
+                numberSyncsRec(s->spec->body(), next);
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+} // namespace
+
+int64_t
+numberSyncStmts(const std::vector<StmtPtr> &body)
+{
+    int64_t next = 0;
+    numberSyncsRec(body, next);
+    return next;
+}
+
+int64_t
+countSyncStmts(const std::vector<StmtPtr> &body)
+{
+    int64_t count = 0;
+    for (const StmtPtr &s : body) {
+        switch (s->kind) {
+          case StmtKind::Sync:
+            ++count;
+            break;
+          case StmtKind::For:
+          case StmtKind::If:
+            count += countSyncStmts(s->body);
+            count += countSyncStmts(s->elseBody);
+            break;
+          case StmtKind::SpecCall:
+            if (!s->spec->isLeaf())
+                count += countSyncStmts(s->spec->body());
+            break;
+          default:
+            break;
+        }
+    }
+    return count;
+}
+
 } // namespace graphene

@@ -58,6 +58,12 @@ struct Stmt
 
     // Sync
     bool warpScope = false;
+    /**
+     * Stable barrier number assigned by numberSyncStmts() (-1 until
+     * numbered).  The simulator's hazard sanitizer uses it to name the
+     * sync epoch separating two conflicting accesses in its reports.
+     */
+    int64_t syncId = -1;
 
     // SpecCall
     SpecPtr spec;
@@ -106,6 +112,17 @@ StmtPtr comment(const std::string &text);
 
 /** Loop variable as a range-annotated expression. */
 ExprPtr loopVarExpr(const Stmt &forLoop);
+
+/**
+ * Assign each Sync statement reachable from @p body (recursing through
+ * loops, conditionals, and spec decompositions) a stable id in
+ * pre-order, starting at 0.  Returns the number of Sync statements.
+ * Idempotent; shared sub-decompositions are numbered once per call.
+ */
+int64_t numberSyncStmts(const std::vector<StmtPtr> &body);
+
+/** Total Sync statements reachable from @p body. */
+int64_t countSyncStmts(const std::vector<StmtPtr> &body);
 
 } // namespace graphene
 

@@ -52,6 +52,7 @@ Device::launch(const Kernel &kernel, LaunchMode mode)
     switch (mode) {
       case LaunchMode::Functional:
         executor_.run(kernel);
+        prof.sanitizer = executor_.sanitizerReport();
         return prof;
       case LaunchMode::Timing:
         prof = executor_.profile(kernel);
@@ -63,6 +64,24 @@ Device::launch(const Kernel &kernel, LaunchMode mode)
     streamTimeUs_ += prof.timing.timeUs;
     ++launchCount_;
     return prof;
+}
+
+void
+Device::setSanitizerMode(sim::SanitizerMode mode)
+{
+    executor_.setSanitizerMode(mode);
+}
+
+sim::SanitizerMode
+Device::sanitizerMode() const
+{
+    return executor_.sanitizerMode();
+}
+
+const sim::SanitizerReport &
+Device::sanitizerReport() const
+{
+    return executor_.sanitizerReport();
 }
 
 void

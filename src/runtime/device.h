@@ -58,6 +58,17 @@ class Device
     /** Launch one kernel; accumulates stream time in Timing modes. */
     sim::KernelProfile launch(const Kernel &kernel, LaunchMode mode);
 
+    /**
+     * Enable hazard detection for subsequent functional launches.  The
+     * per-launch SanitizerReport is attached to the returned
+     * KernelProfile (and readable via sanitizerReport()).
+     */
+    void setSanitizerMode(sim::SanitizerMode mode);
+    sim::SanitizerMode sanitizerMode() const;
+
+    /** Report of the most recent sanitized functional launch. */
+    const sim::SanitizerReport &sanitizerReport() const;
+
     /** Total accumulated stream time across launches (microseconds). */
     double streamTimeUs() const { return streamTimeUs_; }
 

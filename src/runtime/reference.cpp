@@ -1,8 +1,10 @@
 #include "runtime/reference.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
+#include "numerics/half.h"
 #include "support/check.h"
 
 namespace graphene
@@ -130,6 +132,174 @@ attention(const std::vector<double> &q, const std::vector<double> &k,
         }
     auto p = softmax(scores, s, s);
     return gemm(p, v, s, d, s);
+}
+
+namespace
+{
+
+double
+r32(double v)
+{
+    return roundToPrecision(v, RoundTo::Fp32);
+}
+
+double
+r16(double v)
+{
+    return roundToPrecision(v, RoundTo::Fp16);
+}
+
+} // namespace
+
+std::vector<double>
+simpleGemmFp16(const std::vector<double> &a, const std::vector<double> &b,
+               const std::vector<double> &cInit, int64_t m, int64_t n,
+               int64_t k)
+{
+    GRAPHENE_CHECK(static_cast<int64_t>(a.size()) == m * k
+                   && static_cast<int64_t>(b.size()) == k * n
+                   && static_cast<int64_t>(cInit.size()) == m * n)
+        << "simpleGemmFp16 operand sizes";
+    std::vector<double> c = cInit;
+    for (int64_t i = 0; i < m; ++i)
+        for (int64_t j = 0; j < n; ++j) {
+            double acc = c[static_cast<size_t>(i * n + j)];
+            for (int64_t kk = 0; kk < k; ++kk)
+                acc = r16(acc
+                          + a[static_cast<size_t>(i * k + kk)]
+                              * b[static_cast<size_t>(kk * n + j)]);
+            c[static_cast<size_t>(i * n + j)] = acc;
+        }
+    return c;
+}
+
+std::vector<double>
+tcGemmFp16(const std::vector<double> &a, const std::vector<double> &b,
+           int64_t m, int64_t n, int64_t k, int64_t kChunk, double alpha,
+           const std::vector<double> *c, const std::vector<double> *bias,
+           OpKind act)
+{
+    GRAPHENE_CHECK(static_cast<int64_t>(a.size()) == m * k
+                   && static_cast<int64_t>(b.size()) == k * n)
+        << "tcGemmFp16 operand sizes";
+    GRAPHENE_CHECK(kChunk > 0 && k % kChunk == 0)
+        << "tcGemmFp16: k must be a multiple of the MMA depth";
+    std::vector<double> out(static_cast<size_t>(m * n));
+    for (int64_t i = 0; i < m; ++i)
+        for (int64_t j = 0; j < n; ++j) {
+            double acc = 0.0;
+            for (int64_t kc = 0; kc < k; kc += kChunk) {
+                double chunk = 0.0;
+                for (int64_t kk = kc; kk < kc + kChunk; ++kk)
+                    chunk += a[static_cast<size_t>(i * k + kk)]
+                        * b[static_cast<size_t>(kk * n + j)];
+                acc = r32(acc + chunk);
+            }
+            if (alpha != 1.0)
+                acc = r32(acc * alpha);
+            if (c)
+                acc = r32(acc + (*c)[static_cast<size_t>(i * n + j)]);
+            if (bias)
+                acc = r32(acc + (*bias)[static_cast<size_t>(j)]);
+            if (act != OpKind::Identity)
+                acc = r32(applyOp(act, acc));
+            out[static_cast<size_t>(i * n + j)] = r16(acc);
+        }
+    return out;
+}
+
+std::vector<double>
+unaryPointwiseFp16(OpKind op, const std::vector<double> &x)
+{
+    std::vector<double> out(x.size());
+    for (size_t i = 0; i < x.size(); ++i)
+        out[i] = r16(applyOp(op, x[i]));
+    return out;
+}
+
+namespace
+{
+
+/**
+ * Combine per-thread fp32 partials the way emitBlockAllReduce does:
+ * intra-warp butterfly shuffles (all lanes converge to the same value),
+ * then warp results combined serially through shared slots.
+ */
+double
+blockAllReduceFp32(const std::vector<double> &partial)
+{
+    const int64_t blockSize = static_cast<int64_t>(partial.size());
+    GRAPHENE_CHECK(blockSize % 32 == 0) << "partial count per warp";
+    const int64_t numWarps = blockSize / 32;
+    std::vector<double> warpVal(static_cast<size_t>(numWarps));
+    for (int64_t w = 0; w < numWarps; ++w) {
+        std::array<double, 32> lane;
+        for (int64_t l = 0; l < 32; ++l)
+            lane[static_cast<size_t>(l)] =
+                partial[static_cast<size_t>(w * 32 + l)];
+        for (int64_t delta : {16, 8, 4, 2, 1}) {
+            std::array<double, 32> next;
+            for (int64_t l = 0; l < 32; ++l)
+                next[static_cast<size_t>(l)] =
+                    r32(lane[static_cast<size_t>(l)]
+                        + lane[static_cast<size_t>(l ^ delta)]);
+            lane = next;
+        }
+        warpVal[static_cast<size_t>(w)] = lane[0];
+    }
+    double sum = warpVal[0];
+    for (int64_t w = 1; w < numWarps; ++w)
+        sum = r32(sum + warpVal[static_cast<size_t>(w)]);
+    return sum;
+}
+
+} // namespace
+
+std::vector<double>
+layernormFp16(const std::vector<double> &x, const std::vector<double> &gamma,
+              const std::vector<double> &beta, int64_t rows, int64_t cols,
+              double epsilon, int64_t blockSize)
+{
+    GRAPHENE_CHECK(static_cast<int64_t>(x.size()) == rows * cols
+                   && static_cast<int64_t>(gamma.size()) == cols
+                   && static_cast<int64_t>(beta.size()) == cols)
+        << "layernormFp16 operand sizes";
+    GRAPHENE_CHECK(cols % blockSize == 0)
+        << "layernormFp16: cols must divide evenly across the block";
+    const int64_t perThread = cols / blockSize;
+    const double invN = 1.0 / static_cast<double>(cols);
+    std::vector<double> out(x.size());
+    for (int64_t r = 0; r < rows; ++r) {
+        const double *row = x.data() + r * cols;
+        std::vector<double> partial(static_cast<size_t>(blockSize));
+        std::vector<double> partialSq(static_cast<size_t>(blockSize));
+        for (int64_t t = 0; t < blockSize; ++t) {
+            double s = 0.0, sq = 0.0;
+            for (int64_t e = t * perThread; e < (t + 1) * perThread; ++e) {
+                const double v = row[e];
+                s += v;
+                sq += r32(v * v);
+            }
+            partial[static_cast<size_t>(t)] = r32(s);
+            partialSq[static_cast<size_t>(t)] = r32(sq);
+        }
+        const double sum = blockAllReduceFp32(partial);
+        const double sumSq = blockAllReduceFp32(partialSq);
+        const double mean = r32(sum * invN);
+        const double meanSq = r32(sumSq * invN);
+        double inv = r32(meanSq - r32(mean * mean));
+        inv = r32(inv + epsilon);
+        inv = r32(1.0 / std::sqrt(inv));
+        for (int64_t e = 0; e < cols; ++e) {
+            double v = row[e];
+            v = r32(v - mean);
+            v = r32(v * inv);
+            v = r32(v * gamma[static_cast<size_t>(e)]);
+            v = r32(v + beta[static_cast<size_t>(e)]);
+            out[static_cast<size_t>(r * cols + e)] = r16(v);
+        }
+    }
+    return out;
 }
 
 double

@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "ir/spec.h"
+
 namespace graphene
 {
 namespace ref
@@ -53,6 +55,60 @@ std::vector<double> attention(const std::vector<double> &q,
                               const std::vector<double> &k,
                               const std::vector<double> &v, int64_t s,
                               int64_t d);
+
+/*
+ * Bit-exact references
+ * --------------------
+ * The functions below mirror the simulator's rounding behaviour
+ * operation-for-operation (fp16 storage, fp32/fp16 accumulation in the
+ * exact order the generated kernels execute), so differential tests can
+ * require results identical to the last bit instead of within a
+ * tolerance.  Inputs must already be representable in fp16 (e.g. as
+ * produced by Device::upload of an Fp16 buffer).
+ */
+
+/**
+ * ops::buildSimpleGemm semantics: per output element, ascending k,
+ * c = fp16(c + a*b) for every scalar hfma, starting from @p cInit.
+ */
+std::vector<double> simpleGemmFp16(const std::vector<double> &a,
+                                   const std::vector<double> &b,
+                                   const std::vector<double> &cInit,
+                                   int64_t m, int64_t n, int64_t k);
+
+/**
+ * ops::buildTcGemm semantics: fp32 accumulators updated one MMA k-chunk
+ * at a time, acc = fp32(acc + exact_sum(chunk)), chunks ascending in k.
+ * @p kChunk is the MMA depth: 16 on Ampere (mma.m16n8k16), 4 on Volta
+ * (mma.m8n8k4).  The epilogue then applies, per element and each step
+ * rounded to fp32: alpha scale (skipped when alpha == 1), += C (when
+ * @p c non-null), += bias (when @p bias non-null), activation (when
+ * @p act != OpKind::Identity) — and finally converts to fp16.
+ */
+std::vector<double> tcGemmFp16(const std::vector<double> &a,
+                               const std::vector<double> &b, int64_t m,
+                               int64_t n, int64_t k, int64_t kChunk,
+                               double alpha, const std::vector<double> *c,
+                               const std::vector<double> *bias,
+                               OpKind act);
+
+/** ops::buildUnaryPointwise semantics: out[i] = fp16(op(x[i])). */
+std::vector<double> unaryPointwiseFp16(OpKind op,
+                                       const std::vector<double> &x);
+
+/**
+ * ops::buildLayernormFused semantics: one @p blockSize -thread block
+ * per row; each thread serially sums its cols/blockSize contiguous
+ * elements into an fp32 partial, warps combine partials with a
+ * butterfly-shuffle tree, warp results combine serially through shared
+ * slots; mean/inv-std math in fp32; fp16 output.
+ */
+std::vector<double> layernormFp16(const std::vector<double> &x,
+                                  const std::vector<double> &gamma,
+                                  const std::vector<double> &beta,
+                                  int64_t rows, int64_t cols,
+                                  double epsilon,
+                                  int64_t blockSize = 128);
 
 /** Maximum absolute difference between two equally sized vectors. */
 double maxAbsDiff(const std::vector<double> &a,

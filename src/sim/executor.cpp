@@ -34,6 +34,7 @@ struct Executor::BlockCtx
     int64_t bid = 0;
     int64_t blockSize = 0;
     bool timingMode = false;
+    Sanitizer *san = nullptr; // non-null iff sanitizing this block
     std::map<std::string, Buffer> shared;
     // regs[tid][bufferName]
     std::vector<std::map<std::string, Buffer>> regs;
@@ -73,6 +74,38 @@ Executor::Executor(const GpuArch &arch, DeviceMemory &memory)
 {}
 
 void
+Executor::setSanitizerMode(SanitizerMode mode)
+{
+    if (mode == SanitizerMode::Off)
+        sanitizer_.reset();
+    else
+        sanitizer_ = std::make_unique<Sanitizer>(mode);
+    lastSanitizerReport_ = SanitizerReport();
+    lastSanitizerReport_.mode = mode;
+}
+
+SanitizerMode
+Executor::sanitizerMode() const
+{
+    return sanitizer_ ? sanitizer_->mode() : SanitizerMode::Off;
+}
+
+const SanitizerReport &
+Executor::sanitizerReport() const
+{
+    return lastSanitizerReport_;
+}
+
+void
+Executor::prepareSanitizer(const Kernel &kernel)
+{
+    if (!sanitizer_)
+        return;
+    numberSyncStmts(kernel.body());
+    sanitizer_->beginKernel();
+}
+
+void
 Executor::checkParams(const Kernel &kernel) const
 {
     for (const auto &p : kernel.params()) {
@@ -91,8 +124,11 @@ Executor::run(const Kernel &kernel)
 {
     verifyKernelOrThrow(kernel);
     checkParams(kernel);
+    prepareSanitizer(kernel);
     for (int64_t bid = 0; bid < kernel.gridSize(); ++bid)
         execBlock(kernel, bid, /*timingMode=*/false, nullptr);
+    if (sanitizer_)
+        lastSanitizerReport_ = sanitizer_->takeReport();
 }
 
 KernelProfile
@@ -117,9 +153,14 @@ Executor::runAndProfile(const Kernel &kernel)
     verifyKernelOrThrow(kernel);
     checkParams(kernel);
     KernelProfile prof;
+    prepareSanitizer(kernel);
     for (int64_t bid = 0; bid < kernel.gridSize(); ++bid)
         execBlock(kernel, bid, /*timingMode=*/false,
                   bid == 0 ? &prof.perBlock : nullptr);
+    if (sanitizer_) {
+        lastSanitizerReport_ = sanitizer_->takeReport();
+        prof.sanitizer = lastSanitizerReport_;
+    }
     prof.blocksExecuted = kernel.gridSize();
     prof.timing = estimateKernelTiming(arch_, prof.perBlock,
                                        kernel.gridSize(),
@@ -137,6 +178,10 @@ Executor::execBlock(const Kernel &kernel, int64_t bid, bool timingMode,
     ctx.bid = bid;
     ctx.blockSize = kernel.blockSize();
     ctx.timingMode = timingMode;
+    if (!timingMode && sanitizer_) {
+        ctx.san = sanitizer_.get();
+        ctx.san->beginBlock(bid);
+    }
     ctx.regs.resize(static_cast<size_t>(ctx.blockSize));
     execStmts(kernel.body(), ctx);
     if (stats)
@@ -199,6 +244,8 @@ Executor::execStmt(const Stmt &stmt, BlockCtx &ctx)
       }
       case StmtKind::Sync:
         ctx.stats.syncCount += 1;
+        if (ctx.san)
+            ctx.san->onSync(stmt.warpScope, stmt.syncId);
         return;
       case StmtKind::SpecCall:
         if (stmt.spec->isLeaf())
@@ -210,6 +257,9 @@ Executor::execStmt(const Stmt &stmt, BlockCtx &ctx)
         if (stmt.allocMemory == MemorySpace::SH) {
             ctx.shared[stmt.allocName] =
                 Buffer(stmt.allocScalar, stmt.allocCount);
+            if (ctx.san)
+                ctx.san->onSharedAlloc(stmt.allocName, stmt.allocScalar,
+                                       stmt.allocCount);
         } else {
             for (auto &rf : ctx.regs)
                 rf[stmt.allocName] = Buffer(stmt.allocScalar,
@@ -269,18 +319,34 @@ Executor::execLeafSpec(const Spec &spec, BlockCtx &ctx)
         const auto lk = lookup(tid);
         const int64_t n = v.totalSize();
         std::vector<double> vals(static_cast<size_t>(n));
-        for (int64_t i = 0; i < n; ++i)
-            vals[static_cast<size_t>(i)] =
-                buf.read(v.elementAddress(levelIndicesFor(v, i), lk));
+        for (int64_t i = 0; i < n; ++i) {
+            const int64_t addr =
+                v.elementAddress(levelIndicesFor(v, i), lk);
+            if (ctx.san &&
+                !ctx.san->onAccess(v.memory(), v.buffer(), v.scalar(),
+                                   addr, buf.size(), tid,
+                                   /*isWrite=*/false)) {
+                vals[static_cast<size_t>(i)] = 0.0; // suppressed OOB
+                continue;
+            }
+            vals[static_cast<size_t>(i)] = buf.read(addr);
+        }
         return vals;
     };
     auto writeValues = [&](const TensorView &v, int64_t tid,
                            const std::vector<double> &vals) {
         Buffer &buf = buffer(v, tid);
         const auto lk = lookup(tid);
-        for (int64_t i = 0; i < v.totalSize(); ++i)
-            buf.write(v.elementAddress(levelIndicesFor(v, i), lk),
-                      vals[static_cast<size_t>(i)]);
+        for (int64_t i = 0; i < v.totalSize(); ++i) {
+            const int64_t addr =
+                v.elementAddress(levelIndicesFor(v, i), lk);
+            if (ctx.san &&
+                !ctx.san->onAccess(v.memory(), v.buffer(), v.scalar(),
+                                   addr, buf.size(), tid,
+                                   /*isWrite=*/true))
+                continue; // suppressed OOB write
+            buf.write(addr, vals[static_cast<size_t>(i)]);
+        }
     };
     /** (byte address, byte width) ranges one thread touches in @p v. */
     auto accessRanges = [&](const TensorView &v, int64_t tid,

@@ -21,10 +21,13 @@
 #ifndef GRAPHENE_SIM_EXECUTOR_H
 #define GRAPHENE_SIM_EXECUTOR_H
 
+#include <memory>
+
 #include "arch/atomic_specs.h"
 #include "ir/kernel.h"
 #include "sim/cost.h"
 #include "sim/memory.h"
+#include "sim/sanitizer.h"
 
 namespace graphene
 {
@@ -37,6 +40,8 @@ struct KernelProfile
     CostStats perBlock;
     KernelTiming timing;
     int64_t blocksExecuted = 0;
+    /** Hazard findings (mode Off unless the sanitizer was enabled). */
+    SanitizerReport sanitizer;
 };
 
 class Executor
@@ -62,10 +67,22 @@ class Executor
 
     const GpuArch &arch() const { return arch_; }
 
+    /**
+     * Enable/disable the hazard sanitizer for subsequent functional
+     * runs (timing-mode blocks are never sanitized: loop extrapolation
+     * skips iterations and would fabricate uninitialized reads).
+     */
+    void setSanitizerMode(SanitizerMode mode);
+    SanitizerMode sanitizerMode() const;
+
+    /** Report of the most recent sanitized run (empty if mode Off). */
+    const SanitizerReport &sanitizerReport() const;
+
   private:
     struct BlockCtx;
 
     void checkParams(const Kernel &kernel) const;
+    void prepareSanitizer(const Kernel &kernel);
     void execBlock(const Kernel &kernel, int64_t bid, bool timingMode,
                    CostStats *stats);
 
@@ -76,6 +93,8 @@ class Executor
     const GpuArch &arch_;
     const AtomicSpecRegistry &registry_;
     DeviceMemory &memory_;
+    std::unique_ptr<Sanitizer> sanitizer_;
+    SanitizerReport lastSanitizerReport_;
 };
 
 } // namespace sim

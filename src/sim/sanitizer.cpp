@@ -1,0 +1,354 @@
+#include "sim/sanitizer.h"
+
+#include <sstream>
+
+#include "support/check.h"
+
+namespace graphene
+{
+namespace sim
+{
+
+std::string
+sanitizerModeName(SanitizerMode mode)
+{
+    switch (mode) {
+      case SanitizerMode::Off: return "off";
+      case SanitizerMode::Report: return "report";
+      case SanitizerMode::Trap: return "trap";
+    }
+    GRAPHENE_ASSERT(false) << "unknown sanitizer mode";
+    return "?";
+}
+
+std::string
+hazardKindName(HazardKind kind)
+{
+    switch (kind) {
+      case HazardKind::WriteWriteRace: return "write-write race";
+      case HazardKind::ReadWriteRace: return "read-write race";
+      case HazardKind::CrossBlockRace: return "cross-block race";
+      case HazardKind::OutOfBounds: return "out-of-bounds access";
+      case HazardKind::UninitializedRead: return "uninitialized read";
+    }
+    GRAPHENE_ASSERT(false) << "unknown hazard kind";
+    return "?";
+}
+
+std::string
+SanitizerFinding::str() const
+{
+    std::ostringstream os;
+    os << hazardKindName(kind) << " on " << memorySpaceName(space) << " '"
+       << buffer << "' bytes [" << byteOffset << ", "
+       << (byteOffset + byteWidth) << ") in block " << block << ": "
+       << (onWrite ? "write" : "read") << " by thread " << tid;
+    if (otherTid >= 0) {
+        os << " conflicts with thread " << otherTid;
+        if (otherBlock >= 0 && otherBlock != block)
+            os << " of block " << otherBlock;
+    } else if (otherBlock >= 0 && otherBlock != block) {
+        os << " conflicts with block " << otherBlock;
+    }
+    if (!detail.empty())
+        os << " (" << detail << ")";
+    return os.str();
+}
+
+int64_t
+SanitizerReport::count(HazardKind kind) const
+{
+    int64_t n = 0;
+    for (const SanitizerFinding &f : findings)
+        if (f.kind == kind)
+            ++n;
+    return n;
+}
+
+std::string
+SanitizerReport::str() const
+{
+    std::ostringstream os;
+    os << "sanitizer (" << sanitizerModeName(mode) << "): ";
+    if (clean()) {
+        os << "no hazards in " << accessesChecked << " accesses ("
+           << bytesShadowed << " bytes shadowed, " << syncsObserved
+           << " syncs)";
+        return os.str();
+    }
+    os << findings.size() << " finding(s)";
+    if (suppressed > 0)
+        os << " + " << suppressed << " suppressed";
+    os << " in " << accessesChecked << " accesses";
+    for (const SanitizerFinding &f : findings)
+        os << "\n  " << f.str();
+    return os.str();
+}
+
+Sanitizer::Sanitizer(SanitizerMode mode) : mode_(mode)
+{
+    report_.mode = mode;
+}
+
+void
+Sanitizer::beginKernel()
+{
+    report_ = SanitizerReport();
+    report_.mode = mode_;
+    shared_.clear();
+    global_.clear();
+    bid_ = -1;
+    blockEpoch_ = 0;
+    warpEpoch_ = 0;
+    lastSyncId_ = -1;
+}
+
+void
+Sanitizer::beginBlock(int64_t bid)
+{
+    bid_ = bid;
+    // Epochs stay monotonic across blocks so stale shared-memory shadow
+    // records from a previous (sequentially executed) block can never
+    // alias a same-epoch conflict in this one.
+    ++blockEpoch_;
+    ++warpEpoch_;
+    lastSyncId_ = -1;
+    // Shared memory is re-allocated (and re-poisoned) per block.
+    shared_.clear();
+}
+
+void
+Sanitizer::onSync(bool warpScope, int64_t syncId)
+{
+    ++report_.syncsObserved;
+    lastSyncId_ = syncId;
+    ++warpEpoch_;
+    if (!warpScope)
+        ++blockEpoch_;
+}
+
+void
+Sanitizer::onSharedAlloc(const std::string &name, ScalarType scalar,
+                         int64_t count)
+{
+    ShadowBuffer shadow;
+    shadow.space = MemorySpace::SH;
+    shadow.elemBytes = scalarSizeBytes(scalar);
+    shadow.elems.resize(static_cast<size_t>(count));
+    for (ElemShadow &e : shadow.elems)
+        e.initialized = false; // poisoned until first write
+    report_.bytesShadowed += count * shadow.elemBytes;
+    shared_[name] = std::move(shadow);
+}
+
+bool
+Sanitizer::ordered(const Access &a, int64_t tid) const
+{
+    if (!a.valid())
+        return true;
+    if (a.tid == tid)
+        return true; // program order within one thread
+    if (a.blockEpoch != blockEpoch_)
+        return true; // a __syncthreads separates the accesses
+    // Same block epoch: only a warp barrier can order them, and only if
+    // both threads belong to the same warp.
+    return a.tid / 32 == tid / 32 && a.warpEpoch != warpEpoch_;
+}
+
+Sanitizer::ShadowBuffer &
+Sanitizer::shadowFor(MemorySpace space, const std::string &buffer,
+                     ScalarType scalar, int64_t bufferElems)
+{
+    if (space == MemorySpace::SH) {
+        auto it = shared_.find(buffer);
+        if (it != shared_.end())
+            return it->second;
+        // Shared view without a recorded Alloc (e.g. a test driving the
+        // sanitizer directly): shadow it as pre-initialized.
+        ShadowBuffer shadow;
+        shadow.space = space;
+        shadow.elemBytes = scalarSizeBytes(scalar);
+        shadow.elems.resize(static_cast<size_t>(bufferElems));
+        report_.bytesShadowed += bufferElems * shadow.elemBytes;
+        return shared_.emplace(buffer, std::move(shadow)).first->second;
+    }
+    auto it = global_.find(buffer);
+    if (it != global_.end())
+        return it->second;
+    ShadowBuffer shadow;
+    shadow.space = space;
+    shadow.elemBytes = scalarSizeBytes(scalar);
+    // Global buffers are host-initialized before launch.
+    shadow.elems.resize(static_cast<size_t>(bufferElems));
+    report_.bytesShadowed += bufferElems * shadow.elemBytes;
+    return global_.emplace(buffer, std::move(shadow)).first->second;
+}
+
+void
+Sanitizer::record(HazardKind kind, const ShadowBuffer &shadow,
+                  const std::string &buffer, int64_t elem, int64_t tid,
+                  int64_t otherTid, int64_t otherBlock, bool onWrite,
+                  const std::string &detail)
+{
+    SanitizerFinding f;
+    f.kind = kind;
+    f.space = shadow.space;
+    f.buffer = buffer;
+    f.block = bid_;
+    f.byteOffset = elem * shadow.elemBytes;
+    f.byteWidth = shadow.elemBytes;
+    f.tid = tid;
+    f.otherTid = otherTid;
+    f.otherBlock = otherBlock;
+    f.onWrite = onWrite;
+    f.detail = detail;
+
+    if (mode_ == SanitizerMode::Trap)
+        throw Error("sanitizer trap: " + f.str());
+
+    if (static_cast<int64_t>(report_.findings.size()) >= kMaxFindings) {
+        ++report_.suppressed;
+        return;
+    }
+    report_.findings.push_back(std::move(f));
+}
+
+bool
+Sanitizer::onAccess(MemorySpace space, const std::string &buffer,
+                    ScalarType scalar, int64_t elem, int64_t bufferElems,
+                    int64_t tid, bool isWrite)
+{
+    if (space == MemorySpace::RF)
+        return true; // registers are thread-private
+    ++report_.accessesChecked;
+
+    ShadowBuffer &shadow =
+        shadowFor(space, buffer, scalar, elem < bufferElems ? bufferElems : 0);
+
+    // Bounds first: a suppressed OOB access must not touch the shadow
+    // (nor, in the executor, the backing buffer).
+    if (elem < 0 || elem >= bufferElems ||
+        elem >= static_cast<int64_t>(shadow.elems.size())) {
+        std::ostringstream os;
+        os << "element " << elem << " outside extent " << bufferElems;
+        // Fake a one-element shadow footprint for the report: reuse the
+        // element width but clamp nothing else.
+        SanitizerFinding f;
+        f.kind = HazardKind::OutOfBounds;
+        f.space = space;
+        f.buffer = buffer;
+        f.block = bid_;
+        f.byteOffset = elem * shadow.elemBytes;
+        f.byteWidth = shadow.elemBytes;
+        f.tid = tid;
+        f.onWrite = isWrite;
+        f.detail = os.str();
+        if (mode_ == SanitizerMode::Trap)
+            throw Error("sanitizer trap: " + f.str());
+        if (static_cast<int64_t>(report_.findings.size()) >= kMaxFindings)
+            ++report_.suppressed;
+        else
+            report_.findings.push_back(std::move(f));
+        return false; // suppress the access
+    }
+
+    ElemShadow &e = shadow.elems[static_cast<size_t>(elem)];
+    const int32_t tid32 = static_cast<int32_t>(tid);
+    const int32_t bid32 = static_cast<int32_t>(bid_);
+
+    auto epochDetail = [&](const Access &prev) {
+        std::ostringstream os;
+        os << "no barrier since the conflicting access";
+        if (lastSyncId_ >= 0)
+            os << "; last sync id " << lastSyncId_;
+        os << "; epochs block " << prev.blockEpoch << "/" << blockEpoch_
+           << " warp " << prev.warpEpoch << "/" << warpEpoch_;
+        return os.str();
+    };
+
+    if (isWrite) {
+        // Write/write race against the previous writer.
+        if (!e.reported && e.lastWrite.valid() &&
+            e.writeBlock == bid32 && !ordered(e.lastWrite, tid)) {
+            e.reported = true;
+            record(HazardKind::WriteWriteRace, shadow, buffer, elem, tid,
+                   e.lastWrite.tid, -1, true, epochDetail(e.lastWrite));
+        }
+        // Write-after-read race against unordered readers.
+        if (!e.reported && e.lastRead.valid() && e.readBlock == bid32 &&
+            !ordered(e.lastRead, tid)) {
+            e.reported = true;
+            record(HazardKind::ReadWriteRace, shadow, buffer, elem, tid,
+                   e.lastRead.tid, -1, true, epochDetail(e.lastRead));
+        }
+        if (!e.reported && e.otherReader >= 0 && e.readBlock == bid32) {
+            Access other = e.lastRead;
+            other.tid = e.otherReader;
+            if (!ordered(other, tid)) {
+                e.reported = true;
+                record(HazardKind::ReadWriteRace, shadow, buffer, elem, tid,
+                       e.otherReader, -1, true, epochDetail(other));
+            }
+        }
+        // Cross-block hazard on global memory: another block wrote or
+        // read these bytes and there is no grid-wide barrier.
+        if (space == MemorySpace::GL && !e.reported) {
+            if (e.writeBlock >= 0 && e.writeBlock != bid32) {
+                e.reported = true;
+                record(HazardKind::CrossBlockRace, shadow, buffer, elem,
+                       tid, -1, e.writeBlock, true,
+                       "blocks are unordered on hardware");
+            } else if (e.readBlock >= 0 && e.readBlock != bid32) {
+                e.reported = true;
+                record(HazardKind::CrossBlockRace, shadow, buffer, elem,
+                       tid, -1, e.readBlock, true,
+                       "blocks are unordered on hardware");
+            }
+        }
+        e.lastWrite = Access{tid32, blockEpoch_, warpEpoch_};
+        e.writeBlock = bid32;
+        e.initialized = true;
+        return true;
+    }
+
+    // Read of poisoned shared memory.
+    if (!e.initialized && !e.reported) {
+        e.reported = true;
+        record(HazardKind::UninitializedRead, shadow, buffer, elem, tid,
+               -1, -1, false, "no write since Allocate poisoned it");
+    }
+    // Read-after-write race against an unordered writer.
+    if (!e.reported && e.lastWrite.valid() && e.writeBlock == bid32 &&
+        !ordered(e.lastWrite, tid)) {
+        e.reported = true;
+        record(HazardKind::ReadWriteRace, shadow, buffer, elem, tid,
+               e.lastWrite.tid, -1, false, epochDetail(e.lastWrite));
+    }
+    if (space == MemorySpace::GL && !e.reported && e.writeBlock >= 0 &&
+        e.writeBlock != bid32) {
+        e.reported = true;
+        record(HazardKind::CrossBlockRace, shadow, buffer, elem, tid, -1,
+               e.writeBlock, false, "blocks are unordered on hardware");
+    }
+    if (e.lastRead.valid() && e.lastRead.tid != tid32 &&
+        e.lastRead.blockEpoch == blockEpoch_ && e.readBlock == bid32)
+        e.otherReader = e.lastRead.tid;
+    else if (e.readBlock != bid32 ||
+             (e.lastRead.valid() && e.lastRead.blockEpoch != blockEpoch_))
+        e.otherReader = -1;
+    e.lastRead = Access{tid32, blockEpoch_, warpEpoch_};
+    e.readBlock = bid32;
+    return true;
+}
+
+SanitizerReport
+Sanitizer::takeReport()
+{
+    SanitizerReport out = std::move(report_);
+    report_ = SanitizerReport();
+    report_.mode = mode_;
+    return out;
+}
+
+} // namespace sim
+} // namespace graphene

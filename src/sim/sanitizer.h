@@ -1,0 +1,203 @@
+/**
+ * @file
+ * The simulator's hazard sanitizer.
+ *
+ * Graphene's central claim is that decomposed IR maps data onto
+ * threads *correctly* — but the functional executor runs the threads
+ * of a block sequentially, so a kernel with a missing __syncthreads, an
+ * out-of-bounds address, or an overlapping data-to-thread mapping can
+ * still produce correct-looking results.  The sanitizer closes that
+ * gap: during execution it keeps a shadow access history for every
+ * shared- and global-memory element (writer thread, reader thread,
+ * sync epoch) and reports
+ *
+ *  - write/write and read/write races: two different threads touch the
+ *    same bytes, at least one writing, with no Sync statement of
+ *    sufficient scope between the accesses;
+ *  - cross-block races on global memory: two blocks of the same launch
+ *    touch the same bytes, at least one writing (there is no grid-wide
+ *    barrier, so such accesses are unordered on real hardware);
+ *  - out-of-bounds accesses relative to the Allocate'd extent of the
+ *    shared buffer or the device buffer backing a kernel parameter;
+ *  - reads of uninitialized (poisoned) shared memory.
+ *
+ * Epoch model: a block epoch increments at every __syncthreads and a
+ * warp epoch at every __syncthreads or __syncwarp.  Accesses A and B by
+ * threads ta != tb are ordered iff their block epochs differ, or the
+ * threads share a warp and their warp epochs differ.  This is exact
+ * for the simulator's lock-step execution (no control-flow divergence
+ * around barriers).
+ */
+
+#ifndef GRAPHENE_SIM_SANITIZER_H
+#define GRAPHENE_SIM_SANITIZER_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/scalar_type.h"
+
+namespace graphene
+{
+namespace sim
+{
+
+/** How the executor reacts to hazards. */
+enum class SanitizerMode
+{
+    /** No shadow tracking (zero overhead). */
+    Off,
+    /** Record findings; execution continues (OOB accesses are
+     *  suppressed: reads yield 0, writes are dropped). */
+    Report,
+    /** Throw graphene::Error on the first hazard. */
+    Trap,
+};
+
+std::string sanitizerModeName(SanitizerMode mode);
+
+enum class HazardKind
+{
+    WriteWriteRace,
+    ReadWriteRace,
+    CrossBlockRace,
+    OutOfBounds,
+    UninitializedRead,
+};
+
+std::string hazardKindName(HazardKind kind);
+
+/** One detected hazard. */
+struct SanitizerFinding
+{
+    HazardKind kind = HazardKind::WriteWriteRace;
+    MemorySpace space = MemorySpace::SH;
+    std::string buffer;
+    int64_t block = 0;      ///< block executing the triggering access
+    int64_t byteOffset = 0; ///< first byte of the conflicting element
+    int64_t byteWidth = 0;  ///< element width in bytes
+    int64_t tid = -1;       ///< triggering thread
+    int64_t otherTid = -1;  ///< conflicting thread (-1: none/unknown)
+    int64_t otherBlock = -1; ///< conflicting block (cross-block races)
+    bool onWrite = false;   ///< the triggering access was a write
+    std::string detail;     ///< human-readable epoch/extent context
+
+    std::string str() const;
+};
+
+/** Per-kernel sanitizer result, surfaced alongside KernelProfile. */
+struct SanitizerReport
+{
+    SanitizerMode mode = SanitizerMode::Off;
+    std::vector<SanitizerFinding> findings;
+    /** Findings beyond the per-kernel cap (deduplicated noise). */
+    int64_t suppressed = 0;
+    int64_t accessesChecked = 0;
+    int64_t bytesShadowed = 0;
+    int64_t syncsObserved = 0;
+
+    bool clean() const { return findings.empty() && suppressed == 0; }
+    int64_t count(HazardKind kind) const;
+    /** Multi-line report: summary plus one line per finding. */
+    std::string str() const;
+};
+
+/**
+ * The shadow-memory engine.  The executor drives it: beginKernel once
+ * per launch, beginBlock per block, onSharedAlloc/onSync/onAccess
+ * during statement execution.  Thread-hostile; one per Executor.
+ */
+class Sanitizer
+{
+  public:
+    explicit Sanitizer(SanitizerMode mode);
+
+    SanitizerMode mode() const { return mode_; }
+
+    /** Reset all shadow state for a new launch. */
+    void beginKernel();
+
+    /** Start block @p bid (advances epochs; clears shared shadows). */
+    void beginBlock(int64_t bid);
+
+    /** A Sync statement executed (id from numberSyncStmts, or -1). */
+    void onSync(bool warpScope, int64_t syncId);
+
+    /** An Alloc statement created/poisoned a shared buffer. */
+    void onSharedAlloc(const std::string &name, ScalarType scalar,
+                       int64_t count);
+
+    /**
+     * One element access by thread @p tid.  @p elem is the element
+     * index after layout/swizzle resolution; @p bufferElems the backing
+     * buffer's extent.  Returns false iff the access must be
+     * suppressed (out of bounds in Report mode).
+     */
+    bool onAccess(MemorySpace space, const std::string &buffer,
+                  ScalarType scalar, int64_t elem, int64_t bufferElems,
+                  int64_t tid, bool isWrite);
+
+    const SanitizerReport &report() const { return report_; }
+    /** Move the report out (resets to empty). */
+    SanitizerReport takeReport();
+
+  private:
+    /** One recorded access: who and in which epochs. */
+    struct Access
+    {
+        int32_t tid = -1;
+        int32_t blockEpoch = -1;
+        int32_t warpEpoch = -1;
+
+        bool valid() const { return tid >= 0; }
+    };
+
+    struct ElemShadow
+    {
+        Access lastWrite;
+        Access lastRead;
+        /** A second same-epoch reader (write-after-read detection must
+         *  not lose earlier readers to a same-thread re-read). */
+        int32_t otherReader = -1;
+        int32_t writeBlock = -1;
+        int32_t readBlock = -1;
+        bool initialized = true;
+        bool reported = false;
+    };
+
+    struct ShadowBuffer
+    {
+        MemorySpace space = MemorySpace::SH;
+        int64_t elemBytes = 4;
+        std::vector<ElemShadow> elems;
+    };
+
+    /** Is @p a ordered before the current access by thread @p tid? */
+    bool ordered(const Access &a, int64_t tid) const;
+
+    void record(HazardKind kind, const ShadowBuffer &shadow,
+                const std::string &buffer, int64_t elem, int64_t tid,
+                int64_t otherTid, int64_t otherBlock, bool onWrite,
+                const std::string &detail);
+
+    ShadowBuffer &shadowFor(MemorySpace space, const std::string &buffer,
+                            ScalarType scalar, int64_t bufferElems);
+
+    SanitizerMode mode_;
+    SanitizerReport report_;
+    std::map<std::string, ShadowBuffer> shared_;
+    std::map<std::string, ShadowBuffer> global_;
+    int64_t bid_ = -1;
+    int32_t blockEpoch_ = 0;
+    int32_t warpEpoch_ = 0;
+    int64_t lastSyncId_ = -1;
+
+    static constexpr int64_t kMaxFindings = 64;
+};
+
+} // namespace sim
+} // namespace graphene
+
+#endif // GRAPHENE_SIM_SANITIZER_H

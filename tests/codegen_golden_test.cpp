@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Golden-file tests for code generation: the emitted CUDA C++ (and the
+ * printed IR) of representative kernels is compared byte-for-byte
+ * against checked-in snapshots under tests/golden/.  Any intentional
+ * change to the emitter or the op generators is made visible in review
+ * as a golden-file diff; regenerate with
+ *
+ *     codegen_golden_test --update-golden
+ *
+ * after verifying the new output is what you meant.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "codegen/cuda_emitter.h"
+#include "ir/printer.h"
+#include "ops/layernorm.h"
+#include "ops/ldmatrix_move.h"
+#include "ops/simple_gemm.h"
+#include "ops/tc_gemm.h"
+
+namespace
+{
+
+/** Set from argv in main: rewrite snapshots instead of comparing. */
+bool updateGolden = false;
+
+} // namespace
+
+namespace graphene
+{
+namespace
+{
+
+std::string
+goldenPath(const std::string &name)
+{
+    return std::string(GRAPHENE_GOLDEN_DIR) + "/" + name;
+}
+
+/**
+ * Compare @p actual against the snapshot @p name, or rewrite the
+ * snapshot when running under --update-golden.
+ */
+void
+checkGolden(const std::string &name, const std::string &actual)
+{
+    const std::string path = goldenPath(name);
+    if (updateGolden) {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << actual;
+        return;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing golden file " << path
+        << "; run codegen_golden_test --update-golden to create it";
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_EQ(buf.str(), actual)
+        << "generated code diverges from " << path
+        << "; if the change is intentional, rerun with --update-golden "
+        << "and review the snapshot diff";
+}
+
+ops::TcGemmConfig
+fig9Config()
+{
+    ops::TcGemmConfig cfg; // the Fig. 9 defaults: 128x128x64, bk=32
+    cfg.epilogue = ops::Epilogue::BiasRelu;
+    return cfg;
+}
+
+TEST(CodegenGolden, TcGemmAmpereCuda)
+{
+    checkGolden("tc_gemm_ampere.cu",
+                emitCuda(ops::buildTcGemm(GpuArch::ampere(), fig9Config()),
+                         GpuArch::ampere()));
+}
+
+TEST(CodegenGolden, TcGemmVoltaCuda)
+{
+    checkGolden("tc_gemm_volta.cu",
+                emitCuda(ops::buildTcGemm(GpuArch::volta(), fig9Config()),
+                         GpuArch::volta()));
+}
+
+TEST(CodegenGolden, TcGemmAmpereIr)
+{
+    checkGolden("tc_gemm_ampere.ir",
+                printKernel(ops::buildTcGemm(GpuArch::ampere(), fig9Config())));
+}
+
+TEST(CodegenGolden, SimpleGemmCuda)
+{
+    ops::SimpleGemmConfig cfg; // Fig. 8 at its default 1024^3 shape
+    checkGolden("simple_gemm.cu",
+                emitCuda(ops::buildSimpleGemm(cfg), GpuArch::ampere()));
+}
+
+TEST(CodegenGolden, LdmatrixMoveCuda)
+{
+    checkGolden("ldmatrix_move.cu",
+                emitCuda(ops::buildLdmatrixMoveKernel(),
+                         GpuArch::ampere()));
+}
+
+TEST(CodegenGolden, LayernormFusedCuda)
+{
+    ops::LayernormConfig cfg;
+    cfg.rows = 1024;
+    cfg.cols = 1024;
+    checkGolden("layernorm_fused.cu",
+                emitCuda(ops::buildLayernormFused(GpuArch::ampere(), cfg),
+                         GpuArch::ampere()));
+}
+
+} // namespace
+} // namespace graphene
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == "--update-golden")
+            updateGolden = true;
+    return RUN_ALL_TESTS();
+}

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Randomized differential tests: seeded sweeps of shape/arch
+ * combinations through the op generators, with the simulator's
+ * functional results compared BIT-EXACTLY against the fp16-semantics
+ * references in runtime/reference.h.  Any divergence in rounding
+ * behaviour, accumulation order, or memory addressing shows up as a
+ * first-mismatch index rather than a loose tolerance failure.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "numerics/half.h"
+#include "ops/layernorm.h"
+#include "ops/pointwise.h"
+#include "ops/simple_gemm.h"
+#include "ops/tc_gemm.h"
+#include "runtime/device.h"
+#include "runtime/reference.h"
+#include "support/rng.h"
+
+namespace graphene
+{
+namespace
+{
+
+/*
+ * Sweep sizes.  ctest runs each TEST in its own process, so the >= 100
+ * combo guarantee is asserted over these compile-time loop bounds.
+ */
+constexpr int kSimpleGemmCombos = 16;
+constexpr int kTcGemmCombos = 40;
+constexpr int kPointwiseCombos = 32;
+constexpr int kLayernormCombos = 24;
+
+static_assert(kSimpleGemmCombos + kTcGemmCombos + kPointwiseCombos
+                      + kLayernormCombos
+                  >= 100,
+              "differential harness must sweep at least 100 combos");
+
+const GpuArch &
+archFor(int pick)
+{
+    return pick % 2 == 0 ? GpuArch::ampere() : GpuArch::volta();
+}
+
+std::vector<double>
+randomFp16(Rng &rng, int64_t count, double lo = -1.0, double hi = 1.0)
+{
+    std::vector<double> v(static_cast<size_t>(count));
+    for (auto &x : v)
+        x = roundToPrecision(rng.uniform(lo, hi), RoundTo::Fp16);
+    return v;
+}
+
+/** Bit-exact comparison with a useful first-mismatch message. */
+void
+expectBitExact(const std::vector<double> &got,
+               const std::vector<double> &want, const std::string &what)
+{
+    ASSERT_EQ(got.size(), want.size()) << what;
+    size_t mismatches = 0;
+    size_t first = got.size();
+    for (size_t i = 0; i < got.size(); ++i)
+        if (got[i] != want[i]) {
+            if (mismatches == 0)
+                first = i;
+            ++mismatches;
+        }
+    EXPECT_EQ(mismatches, 0u)
+        << what << ": " << mismatches << " mismatching elements, first at ["
+        << first << "] got " << (first < got.size() ? got[first] : 0.0)
+        << " want " << (first < want.size() ? want[first] : 0.0);
+}
+
+TEST(DifferentialTest, SimpleGemmBitExact)
+{
+    Rng rng(0xd1f0001);
+    const int64_t tiles[] = {64, 128};
+    for (int iter = 0; iter < kSimpleGemmCombos; ++iter) {
+        ops::SimpleGemmConfig cfg;
+        cfg.blockTileM = tiles[rng.uniformInt(0, 1)];
+        cfg.blockTileN = tiles[rng.uniformInt(0, 1)];
+        cfg.m = cfg.blockTileM * rng.uniformInt(1, 2);
+        cfg.n = cfg.blockTileN * rng.uniformInt(1, 2);
+        cfg.k = rng.uniformInt(1, 48);
+        const std::string what = "simple-gemm m=" + std::to_string(cfg.m)
+            + " n=" + std::to_string(cfg.n) + " k=" + std::to_string(cfg.k)
+            + " bm=" + std::to_string(cfg.blockTileM)
+            + " bn=" + std::to_string(cfg.blockTileN);
+        SCOPED_TRACE(what);
+
+        Device dev(archFor(iter));
+        const auto a = randomFp16(rng, cfg.m * cfg.k);
+        const auto b = randomFp16(rng, cfg.k * cfg.n);
+        const auto c0 = randomFp16(rng, cfg.m * cfg.n);
+        dev.upload("%A", ScalarType::Fp16, a);
+        dev.upload("%B", ScalarType::Fp16, b);
+        dev.upload("%C", ScalarType::Fp16, c0);
+        dev.launch(ops::buildSimpleGemm(cfg), LaunchMode::Functional);
+
+        expectBitExact(dev.download("%C"),
+                       ref::simpleGemmFp16(a, b, c0, cfg.m, cfg.n, cfg.k),
+                       what);
+    }
+}
+
+TEST(DifferentialTest, TcGemmBitExact)
+{
+    Rng rng(0xd1f0002);
+    for (int iter = 0; iter < kTcGemmCombos; ++iter) {
+        const GpuArch &arch = archFor(iter);
+        ops::TcGemmConfig cfg;
+        // n must be a multiple of bn and k of bk; m may be partial.
+        const int64_t mChoices[] = {64, 100, 128, 192, 256};
+        cfg.m = mChoices[rng.uniformInt(0, 4)];
+        cfg.n = 128 * rng.uniformInt(1, 2);
+        cfg.k = 32 * rng.uniformInt(1, 4);
+        cfg.swizzle = rng.uniformInt(0, 1) == 1;
+        if (arch.hasLdmatrix)
+            cfg.disableLdmatrix = rng.uniformInt(0, 3) == 0;
+        cfg.alpha = rng.uniformInt(0, 2) == 0 ? 0.5 : 1.0;
+        cfg.loadC = rng.uniformInt(0, 1) == 1;
+        const ops::Epilogue epis[] = {
+            ops::Epilogue::None, ops::Epilogue::Bias, ops::Epilogue::Relu,
+            ops::Epilogue::BiasRelu, ops::Epilogue::BiasGelu};
+        cfg.epilogue = epis[rng.uniformInt(0, 4)];
+        const std::string what = "tc-gemm " + arch.name + " m="
+            + std::to_string(cfg.m) + " n=" + std::to_string(cfg.n) + " k="
+            + std::to_string(cfg.k) + " epi="
+            + ops::epilogueName(cfg.epilogue) + " alpha="
+            + std::to_string(cfg.alpha) + (cfg.loadC ? " loadC" : "")
+            + (cfg.swizzle ? " swizzle" : "")
+            + (cfg.disableLdmatrix ? " no-ldmatrix" : "");
+        SCOPED_TRACE(what);
+
+        Device dev(arch);
+        const auto a = randomFp16(rng, cfg.m * cfg.k);
+        const auto b = randomFp16(rng, cfg.k * cfg.n);
+        const auto c0 = randomFp16(rng, cfg.m * cfg.n);
+        const auto bias = randomFp16(rng, cfg.n);
+        dev.upload("%A", ScalarType::Fp16, a);
+        dev.upload("%B", ScalarType::Fp16, b);
+        dev.upload("%C", ScalarType::Fp16, c0);
+        dev.upload("%bias", ScalarType::Fp16, bias);
+        dev.launch(ops::buildTcGemm(arch, cfg), LaunchMode::Functional);
+
+        const bool hasBias = cfg.epilogue == ops::Epilogue::Bias
+            || cfg.epilogue == ops::Epilogue::BiasRelu
+            || cfg.epilogue == ops::Epilogue::BiasGelu;
+        OpKind act = OpKind::Identity;
+        if (cfg.epilogue == ops::Epilogue::Relu
+            || cfg.epilogue == ops::Epilogue::BiasRelu)
+            act = OpKind::Relu;
+        else if (cfg.epilogue == ops::Epilogue::BiasGelu)
+            act = OpKind::Gelu;
+        const int64_t kChunk = arch.hasLdmatrix ? 16 : 4;
+        expectBitExact(dev.download("%C"),
+                       ref::tcGemmFp16(a, b, cfg.m, cfg.n, cfg.k, kChunk,
+                                       cfg.alpha, cfg.loadC ? &c0 : nullptr,
+                                       hasBias ? &bias : nullptr, act),
+                       what);
+    }
+}
+
+TEST(DifferentialTest, UnaryPointwiseBitExact)
+{
+    Rng rng(0xd1f0003);
+    const OpKind opList[] = {OpKind::Relu, OpKind::Gelu, OpKind::Tanh,
+                             OpKind::Sigmoid};
+    for (int iter = 0; iter < kPointwiseCombos; ++iter) {
+        const GpuArch &arch = archFor(iter);
+        const OpKind op = opList[iter % 4];
+        // Vector width 8 is required; mix block-stride multiples with
+        // ragged (predicated) tails.
+        const int64_t n = 8 * rng.uniformInt(1, 512);
+        const std::string what = "pointwise " + arch.name + " op="
+            + opKindName(op) + " n=" + std::to_string(n);
+        SCOPED_TRACE(what);
+
+        Device dev(arch);
+        const auto x = randomFp16(rng, n, -2.0, 2.0);
+        dev.upload("%x", ScalarType::Fp16, x);
+        dev.allocate("%y", ScalarType::Fp16, n);
+        dev.launch(ops::buildUnaryPointwise(arch, op, n, "%x", "%y"),
+                   LaunchMode::Functional);
+
+        expectBitExact(dev.download("%y"), ref::unaryPointwiseFp16(op, x),
+                       what);
+    }
+}
+
+TEST(DifferentialTest, LayernormBitExact)
+{
+    Rng rng(0xd1f0004);
+    for (int iter = 0; iter < kLayernormCombos; ++iter) {
+        const GpuArch &arch = archFor(iter);
+        ops::LayernormConfig cfg;
+        cfg.rows = rng.uniformInt(1, 6);
+        cfg.cols = 128 * rng.uniformInt(1, 16);
+        // Vectorized loads need 8 elements per thread per pass.
+        cfg.vectorized = cfg.cols % 1024 == 0 && rng.uniformInt(0, 1) == 1;
+        const std::string what = "layernorm " + arch.name + " rows="
+            + std::to_string(cfg.rows) + " cols=" + std::to_string(cfg.cols)
+            + (cfg.vectorized ? " vec" : " scalar");
+        SCOPED_TRACE(what);
+
+        Device dev(arch);
+        const auto x = randomFp16(rng, cfg.rows * cfg.cols);
+        const auto gamma = randomFp16(rng, cfg.cols, 0.5, 1.5);
+        const auto beta = randomFp16(rng, cfg.cols, -0.5, 0.5);
+        dev.upload("%x", ScalarType::Fp16, x);
+        dev.upload("%gamma", ScalarType::Fp16, gamma);
+        dev.upload("%beta", ScalarType::Fp16, beta);
+        dev.allocate("%y", ScalarType::Fp16, cfg.rows * cfg.cols);
+        dev.launch(ops::buildLayernormFused(arch, cfg),
+                   LaunchMode::Functional);
+
+        expectBitExact(dev.download("%y"),
+                       ref::layernormFp16(x, gamma, beta, cfg.rows,
+                                          cfg.cols, cfg.epsilon),
+                       what);
+    }
+}
+
+} // namespace
+} // namespace graphene

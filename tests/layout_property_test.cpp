@@ -42,6 +42,57 @@ randomInjectiveLayout(Rng &rng, int maxRank = 3)
     return Layout(IntTuple(std::move(shape)), IntTuple(std::move(stride)));
 }
 
+/**
+ * Random *hierarchical* layout: a flat injective layout whose adjacent
+ * modes are randomly grouped into nested sub-tuples.  Grouping shape
+ * and stride in parallel leaves the colexicographic linearization — and
+ * therefore the layout function — unchanged, so hierarchical layouts
+ * exercise the nested-tuple code paths of every algebra operation while
+ * staying easy to reason about.
+ */
+Layout
+randomHierarchicalLayout(Rng &rng, int maxModes = 4)
+{
+    const int modes = static_cast<int>(rng.uniformInt(2, maxModes));
+    static const int64_t sizes[] = {1, 2, 4, 8};
+    std::vector<IntTuple> shape, stride;
+    int64_t current = 1;
+    for (int i = 0; i < modes; ++i) {
+        const int64_t s = sizes[rng.uniformInt(0, 3)];
+        if (rng.uniform() < 0.3)
+            current *= 2;
+        shape.emplace_back(s);
+        stride.emplace_back(current);
+        current *= s;
+    }
+    std::vector<IntTuple> gShape, gStride;
+    for (size_t i = 0; i < shape.size();) {
+        if (i + 1 < shape.size() && rng.uniform() < 0.6) {
+            gShape.emplace_back(IntTuple{shape[i], shape[i + 1]});
+            gStride.emplace_back(IntTuple{stride[i], stride[i + 1]});
+            i += 2;
+        } else {
+            gShape.push_back(shape[i]);
+            gStride.push_back(stride[i]);
+            ++i;
+        }
+    }
+    return Layout(IntTuple(std::move(gShape)),
+                  IntTuple(std::move(gStride)));
+}
+
+/** A random divisor of @p n. */
+int64_t
+randomDivisor(Rng &rng, int64_t n)
+{
+    std::vector<int64_t> divisors;
+    for (int64_t d = 1; d <= n; ++d)
+        if (n % d == 0)
+            divisors.push_back(d);
+    return divisors[rng.uniformInt(
+        0, static_cast<int64_t>(divisors.size()) - 1)];
+}
+
 class LayoutPropertyTest : public ::testing::TestWithParam<uint64_t>
 {
 };
@@ -168,6 +219,76 @@ TEST_P(LayoutPropertyTest, SwizzleIsInvolutionAndBijection)
         ASSERT_FALSE(seen[y]);
         seen[y] = true;
     }
+}
+
+TEST_P(LayoutPropertyTest, HierarchicalCoalescePreservesFunction)
+{
+    Rng rng(GetParam() * 101);
+    Layout a = randomHierarchicalLayout(rng);
+    Layout c = coalesce(a);
+    ASSERT_EQ(c.size(), a.size()) << a;
+    for (int64_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(c(i), a(i)) << a << " coalesced to " << c;
+}
+
+TEST_P(LayoutPropertyTest, HierarchicalComplementCoversEverything)
+{
+    Rng rng(GetParam() * 103);
+    Layout a = randomHierarchicalLayout(rng);
+    const int64_t m = a.cosize();
+    Layout c = complement(a, m);
+    Layout full = Layout::concat({a, c});
+    ASSERT_GE(full.size(), m);
+    auto offsets = full.allOffsets();
+    std::sort(offsets.begin(), offsets.end());
+    for (size_t i = 0; i < offsets.size(); ++i)
+        ASSERT_EQ(offsets[i], static_cast<int64_t>(i))
+            << a << " complement " << c;
+}
+
+/**
+ * The defining compose/divide/complement round trip:
+ *     logicalDivide(A, B) == composition(A, concat(B, complement(B, size(A))))
+ * and, because a compact tiler [s:1] concatenated with its complement is
+ * the identity on [0, size(A)), dividing by it must preserve A's
+ * function entirely.
+ */
+TEST_P(LayoutPropertyTest, DivideEqualsComposeWithComplement)
+{
+    Rng rng(GetParam() * 107);
+    Layout a = coalesce(randomHierarchicalLayout(rng));
+    const int64_t n = a.size();
+    Layout b = Layout::vector(randomDivisor(rng, n));
+    Layout divided = logicalDivide(a, b);
+    Layout composed =
+        composition(a, Layout::concat({b, complement(b, n)}));
+    ASSERT_EQ(divided.size(), n) << a << " / " << b;
+    ASSERT_EQ(composed.size(), n) << a << " / " << b;
+    for (int64_t i = 0; i < n; ++i) {
+        ASSERT_EQ(divided(i), composed(i))
+            << a << " / " << b << " at " << i;
+        ASSERT_EQ(divided(i), a(i)) << a << " / " << b << " at " << i;
+    }
+}
+
+/**
+ * Round trip between divide and compose: the tile mode of
+ * logicalDivide(A, B) is composition(A, B).  With the rank-2
+ * ((tile), (rest)) result and colexicographic linearization, the first
+ * size(B) linear entries of the divided layout are exactly the
+ * composition.
+ */
+TEST_P(LayoutPropertyTest, DivideTileModeIsComposition)
+{
+    Rng rng(GetParam() * 109);
+    Layout a = coalesce(randomHierarchicalLayout(rng));
+    const int64_t s = randomDivisor(rng, a.size());
+    Layout b = Layout::vector(s);
+    Layout divided = logicalDivide(a, b);
+    Layout tile = composition(a, b);
+    ASSERT_EQ(tile.size(), s);
+    for (int64_t i = 0; i < s; ++i)
+        ASSERT_EQ(divided(i), tile(i)) << a << " / " << b << " at " << i;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, LayoutPropertyTest,

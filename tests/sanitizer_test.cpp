@@ -1,0 +1,443 @@
+/**
+ * @file
+ * Hazard-sanitizer tests.
+ *
+ * Negative cases: hand-built kernels seeded with (a) a deleted
+ * __syncthreads, (b) an out-of-bounds shared-memory index, and (c) an
+ * uninitialized shared-memory read must each be flagged, and the
+ * fixed variants must sanitize clean.  Positive cases: every kernel in
+ * src/ops must report zero findings on both architectures.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ops/fmha.h"
+#include "ops/layernorm.h"
+#include "ops/lstm.h"
+#include "ops/mlp.h"
+#include "ops/pointwise.h"
+#include "ops/simple_gemm.h"
+#include "ops/softmax.h"
+#include "ops/tc_gemm.h"
+#include "runtime/device.h"
+#include "sim/executor.h"
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace graphene
+{
+namespace sim
+{
+namespace
+{
+
+ThreadGroup
+oneOf(int64_t blockSize)
+{
+    return ThreadGroup::threads("#t", Layout::vector(1), blockSize);
+}
+
+ExprPtr
+tidVar(int64_t blockSize)
+{
+    return variable("tid", blockSize);
+}
+
+/**
+ * Rotating staged copy: thread t stores in[t] to smem[t], then loads
+ * smem[(t+1) % 32].  Correct only with the __syncthreads between the
+ * two phases — dropping it is the classic race the sanitizer exists
+ * to catch.
+ */
+Kernel
+makeStagedCopyKernel(bool withSync)
+{
+    Kernel k(withSync ? "staged_copy" : "staged_copy_racy", 1, 32);
+    auto in = TensorView::global("%in", Layout::vector(32),
+                                 ScalarType::Fp32);
+    auto out = TensorView::global("%out", Layout::vector(32),
+                                  ScalarType::Fp32);
+    k.addParam(in, true);
+    k.addParam(out, false);
+    auto tid = tidVar(32);
+    auto one = oneOf(32);
+    auto smem = TensorView::shared("%s", Layout::vector(32),
+                                   ScalarType::Fp32);
+    auto r = TensorView::registers("%r", Layout(), ScalarType::Fp32);
+    auto rot = mod(add(tid, constant(1)), constant(32));
+    std::vector<StmtPtr> body = {
+        alloc("%s", ScalarType::Fp32, MemorySpace::SH, 32),
+        alloc("%r", ScalarType::Fp32, MemorySpace::RF, 1),
+        call(Spec::move(one, in.index({tid}), r)),
+        call(Spec::move(one, r, smem.index({tid}))),
+    };
+    if (withSync)
+        body.push_back(syncThreads());
+    body.push_back(call(Spec::move(one, smem.index({rot}), r)));
+    body.push_back(call(Spec::move(one, r, out.index({tid}))));
+    k.setBody(body);
+    return k;
+}
+
+/** Every thread stores its value to smem[0]: a write/write race. */
+Kernel
+makeWriteWriteRaceKernel()
+{
+    Kernel k("ww_race", 1, 32);
+    auto in = TensorView::global("%in", Layout::vector(32),
+                                 ScalarType::Fp32);
+    k.addParam(in, true);
+    auto tid = tidVar(32);
+    auto one = oneOf(32);
+    auto smem = TensorView::shared("%s", Layout::vector(32),
+                                   ScalarType::Fp32);
+    auto r = TensorView::registers("%r", Layout(), ScalarType::Fp32);
+    k.setBody({
+        alloc("%s", ScalarType::Fp32, MemorySpace::SH, 32),
+        alloc("%r", ScalarType::Fp32, MemorySpace::RF, 1),
+        call(Spec::move(one, in.index({tid}), r)),
+        call(Spec::move(one, r, smem.index({constant(0)}))),
+    });
+    return k;
+}
+
+/**
+ * The shared view spans 32 elements but the Alloc provides only 16:
+ * threads 16..31 index out of bounds.
+ */
+Kernel
+makeOobKernel()
+{
+    Kernel k("oob", 1, 32);
+    auto in = TensorView::global("%in", Layout::vector(32),
+                                 ScalarType::Fp32);
+    k.addParam(in, true);
+    auto tid = tidVar(32);
+    auto one = oneOf(32);
+    auto smem = TensorView::shared("%s", Layout::vector(32),
+                                   ScalarType::Fp32);
+    auto r = TensorView::registers("%r", Layout(), ScalarType::Fp32);
+    k.setBody({
+        alloc("%s", ScalarType::Fp32, MemorySpace::SH, 16),
+        alloc("%r", ScalarType::Fp32, MemorySpace::RF, 1),
+        call(Spec::move(one, in.index({tid}), r)),
+        call(Spec::move(one, r, smem.index({tid}))),
+    });
+    return k;
+}
+
+/** Reads shared memory that no thread ever wrote. */
+Kernel
+makeUninitReadKernel()
+{
+    Kernel k("uninit_read", 1, 32);
+    auto out = TensorView::global("%out", Layout::vector(32),
+                                  ScalarType::Fp32);
+    k.addParam(out, false);
+    auto tid = tidVar(32);
+    auto one = oneOf(32);
+    auto smem = TensorView::shared("%s", Layout::vector(32),
+                                   ScalarType::Fp32);
+    auto r = TensorView::registers("%r", Layout(), ScalarType::Fp32);
+    k.setBody({
+        alloc("%s", ScalarType::Fp32, MemorySpace::SH, 32),
+        alloc("%r", ScalarType::Fp32, MemorySpace::RF, 1),
+        call(Spec::move(one, smem.index({tid}), r)),
+        call(Spec::move(one, r, out.index({tid}))),
+    });
+    return k;
+}
+
+/** Both blocks of the grid write the same 32 global elements. */
+Kernel
+makeCrossBlockRaceKernel()
+{
+    Kernel k("cross_block", 2, 32);
+    auto in = TensorView::global("%in", Layout::vector(32),
+                                 ScalarType::Fp32);
+    auto out = TensorView::global("%out", Layout::vector(32),
+                                  ScalarType::Fp32);
+    k.addParam(in, true);
+    k.addParam(out, false);
+    auto tid = tidVar(32);
+    auto one = oneOf(32);
+    auto r = TensorView::registers("%r", Layout(), ScalarType::Fp32);
+    k.setBody({
+        alloc("%r", ScalarType::Fp32, MemorySpace::RF, 1),
+        call(Spec::move(one, in.index({tid}), r)),
+        call(Spec::move(one, r, out.index({tid}))), // ignores bid!
+    });
+    return k;
+}
+
+SanitizerReport
+sanitize(const Kernel &k, SanitizerMode mode = SanitizerMode::Report)
+{
+    DeviceMemory mem;
+    for (const auto &p : k.params()) {
+        auto &buf = mem.allocate(p.buffer(), p.scalar(),
+                                 p.outer().cosize());
+        Rng rng(99);
+        for (int64_t i = 0; i < buf.size(); ++i)
+            buf.write(i, rng.uniform(-1, 1));
+    }
+    Executor ex(GpuArch::ampere(), mem);
+    ex.setSanitizerMode(mode);
+    ex.run(k);
+    return ex.sanitizerReport();
+}
+
+TEST(Sanitizer, DeletedSyncFlaggedAsRace)
+{
+    auto report = sanitize(makeStagedCopyKernel(/*withSync=*/false));
+    EXPECT_FALSE(report.clean());
+    EXPECT_GT(report.count(HazardKind::ReadWriteRace), 0) << report.str();
+    // The racy pair must name distinct threads on the shared buffer.
+    const auto &f = report.findings.front();
+    EXPECT_EQ(f.space, MemorySpace::SH);
+    EXPECT_EQ(f.buffer, "%s");
+    EXPECT_NE(f.tid, f.otherTid);
+}
+
+TEST(Sanitizer, SyncSeparatedCopyIsClean)
+{
+    auto report = sanitize(makeStagedCopyKernel(/*withSync=*/true));
+    EXPECT_TRUE(report.clean()) << report.str();
+    EXPECT_GT(report.accessesChecked, 0);
+    EXPECT_EQ(report.syncsObserved, 1);
+}
+
+TEST(Sanitizer, WriteWriteRaceFlagged)
+{
+    auto report = sanitize(makeWriteWriteRaceKernel());
+    EXPECT_GT(report.count(HazardKind::WriteWriteRace), 0)
+        << report.str();
+    const auto &f = report.findings.front();
+    EXPECT_EQ(f.byteOffset, 0);
+    EXPECT_EQ(f.byteWidth, 4);
+}
+
+TEST(Sanitizer, OutOfBoundsFlaggedAndSuppressed)
+{
+    // Threads 16..31 index past the 16-element Alloc; in Report mode
+    // the accesses are dropped and execution completes.
+    auto report = sanitize(makeOobKernel());
+    EXPECT_EQ(report.count(HazardKind::OutOfBounds), 16) << report.str();
+    const auto &f = report.findings.front();
+    EXPECT_EQ(f.space, MemorySpace::SH);
+    EXPECT_GE(f.byteOffset, 16 * 4);
+}
+
+TEST(Sanitizer, UninitializedSharedReadFlagged)
+{
+    auto report = sanitize(makeUninitReadKernel());
+    EXPECT_EQ(report.count(HazardKind::UninitializedRead), 32)
+        << report.str();
+    EXPECT_EQ(report.findings.front().buffer, "%s");
+}
+
+TEST(Sanitizer, CrossBlockGlobalRaceFlagged)
+{
+    auto report = sanitize(makeCrossBlockRaceKernel());
+    EXPECT_GT(report.count(HazardKind::CrossBlockRace), 0)
+        << report.str();
+    const auto &f = report.findings.front();
+    EXPECT_EQ(f.space, MemorySpace::GL);
+    EXPECT_EQ(f.block, 1);
+    EXPECT_EQ(f.otherBlock, 0);
+}
+
+TEST(Sanitizer, TrapModeThrows)
+{
+    EXPECT_THROW(
+        sanitize(makeStagedCopyKernel(false), SanitizerMode::Trap),
+        Error);
+    EXPECT_THROW(sanitize(makeOobKernel(), SanitizerMode::Trap), Error);
+    EXPECT_THROW(sanitize(makeUninitReadKernel(), SanitizerMode::Trap),
+                 Error);
+}
+
+TEST(Sanitizer, ReportStringsAreDescriptive)
+{
+    auto report = sanitize(makeStagedCopyKernel(false));
+    ASSERT_FALSE(report.findings.empty());
+    const std::string s = report.str();
+    EXPECT_NE(s.find("read-write race"), std::string::npos) << s;
+    EXPECT_NE(s.find("'%s'"), std::string::npos) << s;
+    EXPECT_EQ(sanitizerModeName(SanitizerMode::Report), "report");
+    EXPECT_EQ(hazardKindName(HazardKind::OutOfBounds),
+              "out-of-bounds access");
+}
+
+TEST(Sanitizer, FindingsAreCappedNotUnbounded)
+{
+    // 1024-row staged-copy race: far more racy pairs than the cap.
+    Kernel k("racy_big", 1, 128);
+    auto in = TensorView::global("%in", Layout::vector(1024),
+                                 ScalarType::Fp32);
+    k.addParam(in, true);
+    auto tid = tidVar(128);
+    auto one = oneOf(128);
+    auto smem = TensorView::shared("%s", Layout::vector(1024),
+                                   ScalarType::Fp32);
+    auto r = TensorView::registers("%r", Layout(), ScalarType::Fp32);
+    auto i = variable("i", 8);
+    auto elem = add(mul(i, constant(128)), tid);
+    auto rot = add(mul(i, constant(128)),
+                   mod(add(tid, constant(1)), constant(128)));
+    k.setBody({
+        alloc("%s", ScalarType::Fp32, MemorySpace::SH, 1024),
+        alloc("%r", ScalarType::Fp32, MemorySpace::RF, 1),
+        forStmt("i", 0, 8, 1,
+                {call(Spec::move(one, in.index({elem}), r)),
+                 call(Spec::move(one, r, smem.index({elem}))),
+                 call(Spec::move(one, smem.index({rot}), r))}),
+    });
+    auto report = sanitize(k);
+    EXPECT_LE(static_cast<int64_t>(report.findings.size()), 64);
+    EXPECT_GT(report.suppressed, 0);
+}
+
+TEST(Sanitizer, SyncNumberingIsStable)
+{
+    Kernel k = makeStagedCopyKernel(true);
+    EXPECT_EQ(countSyncStmts(k.body()), 1);
+    EXPECT_EQ(numberSyncStmts(k.body()), 1);
+    Kernel racy = makeStagedCopyKernel(false);
+    EXPECT_EQ(countSyncStmts(racy.body()), 0);
+}
+
+// --------------------------------------------------------------------
+// Every src/ops kernel must sanitize clean.
+
+class OpsSanitizeClean : public ::testing::TestWithParam<const char *>
+{
+};
+
+void
+uploadRandom(Device &dev, const std::string &name, int64_t count,
+             uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<double> host(static_cast<size_t>(count));
+    for (auto &x : host)
+        x = rng.uniform(-1.0, 1.0);
+    dev.upload(name, ScalarType::Fp16, host);
+}
+
+void
+expectClean(Device &dev, const Kernel &k)
+{
+    auto prof = dev.launch(k, LaunchMode::Functional);
+    EXPECT_TRUE(prof.sanitizer.clean())
+        << k.name() << ": " << prof.sanitizer.str();
+    EXPECT_GT(prof.sanitizer.accessesChecked, 0) << k.name();
+}
+
+TEST_P(OpsSanitizeClean, ZeroFindings)
+{
+    const GpuArch &arch = std::string(GetParam()) == "volta"
+        ? GpuArch::volta()
+        : GpuArch::ampere();
+    Device dev(arch);
+    dev.setSanitizerMode(SanitizerMode::Report);
+
+    { // Fig. 8 simple GEMM.
+        ops::SimpleGemmConfig cfg;
+        cfg.m = 128;
+        cfg.n = 128;
+        cfg.k = 32;
+        uploadRandom(dev, "%A", cfg.m * cfg.k, 1);
+        uploadRandom(dev, "%B", cfg.k * cfg.n, 2);
+        uploadRandom(dev, "%C", cfg.m * cfg.n, 3);
+        expectClean(dev, ops::buildSimpleGemm(cfg));
+    }
+    { // Tensor-core GEMM with a fused epilogue.
+        ops::TcGemmConfig cfg;
+        cfg.m = 128;
+        cfg.n = 128;
+        cfg.k = 64;
+        cfg.epilogue = ops::Epilogue::BiasRelu;
+        uploadRandom(dev, "%A", cfg.m * cfg.k, 4);
+        uploadRandom(dev, "%B", cfg.k * cfg.n, 5);
+        uploadRandom(dev, "%C", cfg.m * cfg.n, 6);
+        uploadRandom(dev, "%bias", cfg.n, 7);
+        expectClean(dev, ops::buildTcGemm(arch, cfg));
+    }
+    { // Fused MLP (ping-pong activations through shared memory).
+        ops::FusedMlpConfig cfg;
+        cfg.m = 128;
+        cfg.layers = 2;
+        uploadRandom(dev, "%x", cfg.m * cfg.width, 8);
+        uploadRandom(dev, "%W", cfg.layers * cfg.width * cfg.width, 9);
+        uploadRandom(dev, "%b", cfg.layers * cfg.width, 10);
+        uploadRandom(dev, "%y", cfg.m * cfg.width, 11);
+        expectClean(dev, ops::buildFusedMlp(arch, cfg));
+    }
+    { // Fused LSTM cell.
+        ops::FusedLstmConfig cfg;
+        cfg.m = 128;
+        cfg.n = 128;
+        cfg.k = 64;
+        uploadRandom(dev, "%x", cfg.m * cfg.k, 12);
+        uploadRandom(dev, "%h", cfg.m * cfg.k, 13);
+        uploadRandom(dev, "%Wx", cfg.k * cfg.n, 14);
+        uploadRandom(dev, "%Wh", cfg.k * cfg.n, 15);
+        uploadRandom(dev, "%bias", cfg.n, 16);
+        uploadRandom(dev, "%out", cfg.m * cfg.n, 17);
+        expectClean(dev, ops::buildFusedLstm(arch, cfg));
+    }
+    { // Fused FMHA (small but structurally complete config).
+        ops::FmhaConfig cfg;
+        cfg.batch = 1;
+        cfg.heads = 2;
+        cfg.seq = 128;
+        cfg.headDim = 64;
+        const int64_t e = cfg.batch * cfg.heads * cfg.seq * cfg.headDim;
+        uploadRandom(dev, "%Q", e, 18);
+        uploadRandom(dev, "%K", e, 19);
+        uploadRandom(dev, "%V", e, 20);
+        uploadRandom(dev, "%O", e, 21);
+        expectClean(dev, ops::buildFusedFmha(arch, cfg));
+    }
+    { // Layernorm: fused (vector + scalar loads) and two-kernel split.
+        ops::LayernormConfig cfg;
+        cfg.rows = 4;
+        cfg.cols = 1024;
+        uploadRandom(dev, "%x", cfg.rows * cfg.cols, 22);
+        uploadRandom(dev, "%gamma", cfg.cols, 23);
+        uploadRandom(dev, "%beta", cfg.cols, 24);
+        uploadRandom(dev, "%y", cfg.rows * cfg.cols, 25);
+        dev.allocate("%stats", ScalarType::Fp32, cfg.rows * 2);
+        expectClean(dev, ops::buildLayernormFused(arch, cfg));
+        cfg.vectorized = false;
+        expectClean(dev, ops::buildLayernormFused(arch, cfg));
+        expectClean(dev, ops::buildLayernormStats(arch, cfg));
+        expectClean(dev, ops::buildLayernormApply(arch, cfg));
+    }
+    { // Pointwise with a predicated tail, row reduce, softmax.
+        const int64_t n = 2056; // forces the tail-block predicate
+        uploadRandom(dev, "%pin", n, 26);
+        dev.allocate("%pout", ScalarType::Fp16, n);
+        expectClean(dev, ops::buildUnaryPointwise(arch, OpKind::Gelu, n,
+                                                  "%pin", "%pout"));
+        uploadRandom(dev, "%rr", 8 * 1024, 27);
+        dev.allocate("%rro", ScalarType::Fp32, 8);
+        expectClean(dev, ops::buildRowReduce(arch, OpKind::Add, 8, 1024,
+                                             1.0, "%rr", "%rro"));
+        uploadRandom(dev, "%sm", 16 * 384, 28);
+        dev.allocate("%smo", ScalarType::Fp16, 16 * 384);
+        expectClean(dev, ops::buildRowSoftmax(arch, 16, 384, 1.0, "%sm",
+                                              "%smo"));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Arches, OpsSanitizeClean,
+                         ::testing::Values("ampere", "volta"),
+                         [](const auto &info) {
+                             return std::string(info.param);
+                         });
+
+} // namespace
+} // namespace sim
+} // namespace graphene

@@ -11,12 +11,17 @@
  *       Print the generated CUDA C++.
  *   graphene-cli profile <kernel> [options]
  *       Run the timing simulation and print the profile.
+ *   graphene-cli sanitize <kernel> [options]
+ *       Run the kernel functionally with the hazard sanitizer (races,
+ *       out-of-bounds, uninitialized shared memory) and print the
+ *       report.  Exits non-zero if hazards were found.  Shapes default
+ *       to small sanitize-friendly sizes unless overridden.
  *
  * Kernels: simple-gemm | gemm | mlp | lstm | fmha | layernorm |
  *          ldmatrix
  * Options: --arch volta|ampere   --m --n --k (GEMM-family sizes)
  *          --layers N (mlp)      --epilogue bias|relu|bias+relu|bias+gelu
- *          --no-swizzle
+ *          --no-swizzle          --trap (sanitize: throw on 1st hazard)
  */
 
 #include <cstdio>
@@ -35,6 +40,7 @@
 #include "ops/simple_gemm.h"
 #include "ops/tc_gemm.h"
 #include "runtime/device.h"
+#include "support/rng.h"
 
 using namespace graphene;
 
@@ -47,9 +53,12 @@ struct Options
     std::string kernel;
     std::string arch = "ampere";
     int64_t m = 1024, n = 1024, k = 1024;
+    bool mSet = false, nSet = false, kSet = false;
     int64_t layers = 4;
+    bool layersSet = false;
     std::string epilogue = "none";
     bool swizzle = true;
+    bool trap = false;
 };
 
 [[noreturn]] void
@@ -57,9 +66,9 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: graphene-cli <list-atomics|print-ir|emit-cuda|"
-                 "profile> [kernel] [--arch volta|ampere] [--m N] "
-                 "[--n N] [--k N] [--layers N] [--epilogue E] "
-                 "[--no-swizzle]\n"
+                 "profile|sanitize> [kernel] [--arch volta|ampere] "
+                 "[--m N] [--n N] [--k N] [--layers N] [--epilogue E] "
+                 "[--no-swizzle] [--trap]\n"
                  "kernels: simple-gemm gemm mlp lstm fmha layernorm "
                  "ldmatrix\n");
     std::exit(2);
@@ -86,22 +95,29 @@ parse(int argc, char **argv)
                 usage();
             return argv[++i];
         };
-        if (a == "--arch")
+        if (a == "--arch") {
             o.arch = next();
-        else if (a == "--m")
+        } else if (a == "--m") {
             o.m = std::stoll(next());
-        else if (a == "--n")
+            o.mSet = true;
+        } else if (a == "--n") {
             o.n = std::stoll(next());
-        else if (a == "--k")
+            o.nSet = true;
+        } else if (a == "--k") {
             o.k = std::stoll(next());
-        else if (a == "--layers")
+            o.kSet = true;
+        } else if (a == "--layers") {
             o.layers = std::stoll(next());
-        else if (a == "--epilogue")
+            o.layersSet = true;
+        } else if (a == "--epilogue") {
             o.epilogue = next();
-        else if (a == "--no-swizzle")
+        } else if (a == "--no-swizzle") {
             o.swizzle = false;
-        else
+        } else if (a == "--trap") {
+            o.trap = true;
+        } else {
             usage();
+        }
     }
     return o;
 }
@@ -122,62 +138,89 @@ epilogueOf(const std::string &name)
     return it->second;
 }
 
-/** Build the requested kernel and allocate its (virtual) buffers. */
+/**
+ * Build the requested kernel and allocate its buffers: virtual
+ * (timing-only) for print/profile commands, real and random-filled for
+ * `sanitize`, whose functional run needs concrete values.  Sanitize
+ * shapes default to small sizes (functional interpretation of the
+ * 1024^3 profile defaults is infeasible); explicit --m/--n/--k win.
+ */
 Kernel
 buildKernel(const Options &o, const GpuArch &arch, Device &dev)
 {
+    const bool functional = o.command == "sanitize";
+    Rng rng(42);
     auto valloc = [&](const std::string &name, int64_t count) {
-        dev.allocateVirtual(name, ScalarType::Fp16, count);
+        if (!functional) {
+            dev.allocateVirtual(name, ScalarType::Fp16, count);
+            return;
+        }
+        std::vector<double> host(static_cast<size_t>(count));
+        for (auto &x : host)
+            x = rng.uniform(-1.0, 1.0);
+        dev.upload(name, ScalarType::Fp16, host);
+    };
+    auto dim = [&](bool set, int64_t userVal, int64_t small) {
+        return (functional && !set) ? small : userVal;
     };
     if (o.kernel == "simple-gemm") {
         ops::SimpleGemmConfig cfg;
-        cfg.m = o.m;
-        cfg.n = o.n;
-        cfg.k = o.k;
-        valloc("%A", o.m * o.k);
-        valloc("%B", o.k * o.n);
-        valloc("%C", o.m * o.n);
+        cfg.m = dim(o.mSet, o.m, 128);
+        cfg.n = dim(o.nSet, o.n, 128);
+        cfg.k = dim(o.kSet, o.k, 64);
+        valloc("%A", cfg.m * cfg.k);
+        valloc("%B", cfg.k * cfg.n);
+        valloc("%C", cfg.m * cfg.n);
         return ops::buildSimpleGemm(cfg);
     }
     if (o.kernel == "gemm") {
+        const int64_t m = dim(o.mSet, o.m, 128);
+        const int64_t n = dim(o.nSet, o.n, 128);
+        const int64_t k = dim(o.kSet, o.k, 64);
         ops::TcGemmConfig cfg =
-            baselines::heuristicGemmConfig(arch, o.m, o.n, o.k);
+            baselines::heuristicGemmConfig(arch, m, n, k);
         cfg.epilogue = epilogueOf(o.epilogue);
         cfg.swizzle = o.swizzle;
-        valloc("%A", o.m * o.k);
-        valloc("%B", o.k * o.n);
-        valloc("%C", o.m * o.n);
-        valloc("%bias", o.n);
+        valloc("%A", m * k);
+        valloc("%B", k * n);
+        valloc("%C", m * n);
+        valloc("%bias", n);
         return ops::buildTcGemm(arch, cfg);
     }
     if (o.kernel == "mlp") {
         ops::FusedMlpConfig cfg;
-        cfg.m = o.m;
-        cfg.layers = o.layers;
+        cfg.m = dim(o.mSet, o.m, 128);
+        cfg.layers = dim(o.layersSet, o.layers, 2);
         cfg.swizzle = o.swizzle;
-        valloc("%x", o.m * cfg.width);
-        valloc("%W", o.layers * cfg.width * cfg.width);
-        valloc("%b", o.layers * cfg.width);
-        valloc("%y", o.m * cfg.width);
+        valloc("%x", cfg.m * cfg.width);
+        valloc("%W", cfg.layers * cfg.width * cfg.width);
+        valloc("%b", cfg.layers * cfg.width);
+        valloc("%y", cfg.m * cfg.width);
         return ops::buildFusedMlp(arch, cfg);
     }
     if (o.kernel == "lstm") {
         ops::FusedLstmConfig cfg;
-        cfg.m = o.m;
-        cfg.n = o.n;
-        cfg.k = o.k;
+        cfg.m = dim(o.mSet, o.m, 128);
+        cfg.n = dim(o.nSet, o.n, 128);
+        cfg.k = dim(o.kSet, o.k, 64);
         cfg.swizzle = o.swizzle;
-        valloc("%x", o.m * o.k);
-        valloc("%h", o.m * o.k);
-        valloc("%Wx", o.k * o.n);
-        valloc("%Wh", o.k * o.n);
-        valloc("%bias", o.n);
-        valloc("%out", o.m * o.n);
+        valloc("%x", cfg.m * cfg.k);
+        valloc("%h", cfg.m * cfg.k);
+        valloc("%Wx", cfg.k * cfg.n);
+        valloc("%Wh", cfg.k * cfg.n);
+        valloc("%bias", cfg.n);
+        valloc("%out", cfg.m * cfg.n);
         return ops::buildFusedLstm(arch, cfg);
     }
     if (o.kernel == "fmha") {
         ops::FmhaConfig cfg;
         cfg.swizzle = o.swizzle;
+        if (functional) {
+            cfg.batch = 1;
+            cfg.heads = 2;
+            cfg.seq = 128;
+            cfg.headDim = 64;
+        }
         const int64_t elems = cfg.batch * cfg.heads * cfg.seq
             * cfg.headDim;
         for (const char *nm : {"%Q", "%K", "%V", "%O"})
@@ -186,12 +229,12 @@ buildKernel(const Options &o, const GpuArch &arch, Device &dev)
     }
     if (o.kernel == "layernorm") {
         ops::LayernormConfig cfg;
-        cfg.rows = o.m;
-        cfg.cols = o.n;
-        valloc("%x", o.m * o.n);
-        valloc("%gamma", o.n);
-        valloc("%beta", o.n);
-        valloc("%y", o.m * o.n);
+        cfg.rows = dim(o.mSet, o.m, 8);
+        cfg.cols = dim(o.nSet, o.n, 1024);
+        valloc("%x", cfg.rows * cfg.cols);
+        valloc("%gamma", cfg.cols);
+        valloc("%beta", cfg.cols);
+        valloc("%y", cfg.rows * cfg.cols);
         return ops::buildLayernormFused(arch, cfg);
     }
     if (o.kernel == "ldmatrix") {
@@ -261,6 +304,18 @@ main(int argc, char **argv)
                         prof.perBlock.issueSlots,
                         prof.perBlock.smemWavefronts,
                         prof.perBlock.globalSectors);
+        } else if (o.command == "sanitize") {
+            dev.setSanitizerMode(o.trap ? sim::SanitizerMode::Trap
+                                        : sim::SanitizerMode::Report);
+            auto prof = dev.launch(kernel, LaunchMode::Functional);
+            std::printf("kernel   %s on %s\n", kernel.name().c_str(),
+                        arch.name.c_str());
+            std::printf("launch   grid=%lld block=%lld smem=%lldB\n",
+                        (long long)kernel.gridSize(),
+                        (long long)kernel.blockSize(),
+                        (long long)kernel.sharedMemoryBytes());
+            std::printf("%s\n", prof.sanitizer.str().c_str());
+            return prof.sanitizer.clean() ? 0 : 1;
         } else {
             usage();
         }
