@@ -64,6 +64,7 @@ BENCHMARK_CAPTURE(runAblation, without_ldmatrix, true)
 int
 main(int argc, char **argv)
 {
+    graphene::bench::JsonReport json(&argc, argv, "ablation_ldmatrix");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
@@ -111,5 +112,11 @@ main(int argc, char **argv)
     printRow("naive layouts, with ldmatrix", withN.timing.timeUs, "");
     printRow("naive layouts, per-thread loads", withoutN.timing.timeUs,
              extra);
+    json.addRow("with ldmatrix", "ampere", with.timing);
+    json.addRow("per-thread loads", "ampere", without.timing);
+    json.addRow("naive layouts, with ldmatrix", "ampere", withN.timing);
+    json.addRow("naive layouts, per-thread loads", "ampere",
+                withoutN.timing);
+    json.write();
     return 0;
 }

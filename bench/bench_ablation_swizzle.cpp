@@ -19,27 +19,32 @@ namespace graphene
 namespace
 {
 
-double
-gemmUs(Device &dev, bool swizzle, double *wavefronts = nullptr)
+sim::KernelProfile
+gemmProf(Device &dev, bool swizzle)
 {
     ops::TcGemmConfig cfg =
         baselines::heuristicGemmConfig(dev.arch(), 2048, 2048, 1024);
     cfg.swizzle = swizzle;
-    auto prof = dev.launch(ops::buildTcGemm(dev.arch(), cfg),
-                           LaunchMode::Timing);
+    return dev.launch(ops::buildTcGemm(dev.arch(), cfg),
+                      LaunchMode::Timing);
+}
+
+double
+gemmUs(Device &dev, bool swizzle, double *wavefronts = nullptr)
+{
+    auto prof = gemmProf(dev, swizzle);
     if (wavefronts)
         *wavefronts = prof.perBlock.smemWavefronts;
     return prof.timing.timeUs;
 }
 
-double
-fmhaUs(Device &dev, bool swizzle)
+sim::KernelProfile
+fmhaProf(Device &dev, bool swizzle)
 {
     ops::FmhaConfig cfg;
     cfg.swizzle = swizzle;
-    auto prof = dev.launch(ops::buildFusedFmha(dev.arch(), cfg),
-                           LaunchMode::Timing);
-    return prof.timing.timeUs;
+    return dev.launch(ops::buildFusedFmha(dev.arch(), cfg),
+                      LaunchMode::Timing);
 }
 
 void
@@ -73,6 +78,7 @@ BENCHMARK_CAPTURE(runSwizzle, volta_naive, "volta", false)
 int
 main(int argc, char **argv)
 {
+    graphene::bench::JsonReport json(&argc, argv, "ablation_swizzle");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
@@ -90,22 +96,30 @@ main(int argc, char **argv)
         for (const char *n : {"%Q", "%K", "%V", "%O"})
             dev.allocateVirtual(n, ScalarType::Fp16, elems);
         std::printf("  %s\n", arch.name.c_str());
-        double wavesSw = 0, wavesNaive = 0;
-        const double gSw = gemmUs(dev, true, &wavesSw);
-        const double gNa = gemmUs(dev, false, &wavesNaive);
+        const auto gSw = gemmProf(dev, true);
+        const auto gNa = gemmProf(dev, false);
         char extra[96];
         std::snprintf(extra, sizeof extra,
-                      "%.0f smem wavefronts/block", wavesSw);
-        printRow("GEMM 2048^2x1024, swizzled", gSw, extra);
+                      "%.0f smem wavefronts/block",
+                      gSw.perBlock.smemWavefronts);
+        printRow("GEMM 2048^2x1024, swizzled", gSw.timing.timeUs,
+                 extra);
         std::snprintf(extra, sizeof extra,
-                      "%.0f wavefronts, %.2fx slower", wavesNaive,
-                      gNa / gSw);
-        printRow("GEMM 2048^2x1024, naive", gNa, extra);
-        const double fSw = fmhaUs(dev, true);
-        const double fNa = fmhaUs(dev, false);
-        printRow("FMHA (BERT shape), swizzled", fSw, "");
-        std::snprintf(extra, sizeof extra, "%.2fx slower", fNa / fSw);
-        printRow("FMHA (BERT shape), naive", fNa, extra);
+                      "%.0f wavefronts, %.2fx slower",
+                      gNa.perBlock.smemWavefronts,
+                      gNa.timing.timeUs / gSw.timing.timeUs);
+        printRow("GEMM 2048^2x1024, naive", gNa.timing.timeUs, extra);
+        const auto fSw = fmhaProf(dev, true);
+        const auto fNa = fmhaProf(dev, false);
+        printRow("FMHA (BERT shape), swizzled", fSw.timing.timeUs, "");
+        std::snprintf(extra, sizeof extra, "%.2fx slower",
+                      fNa.timing.timeUs / fSw.timing.timeUs);
+        printRow("FMHA (BERT shape), naive", fNa.timing.timeUs, extra);
+        json.addRow("gemm swizzled", archName, gSw.timing);
+        json.addRow("gemm naive", archName, gNa.timing);
+        json.addRow("fmha swizzled", archName, fSw.timing);
+        json.addRow("fmha naive", archName, fNa.timing);
     }
+    json.write();
     return 0;
 }

@@ -13,10 +13,14 @@
 #define GRAPHENE_BENCH_COMMON_H
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "runtime/device.h"
+#include "support/json.h"
 
 namespace graphene
 {
@@ -42,6 +46,100 @@ archByName(const std::string &name)
 {
     return name == "volta" ? GpuArch::volta() : GpuArch::ampere();
 }
+
+/**
+ * Machine-readable row dump for a figure reproduction
+ * (schema "graphene.bench.v1"): one row per printed series entry with
+ * the label, architecture, simulated time, and — for single-kernel
+ * rows — the bounding pipe and the Nsight-style percent-of-peak pipe
+ * utilizations.  Enabled by `--json <path>` on the bench command line.
+ *
+ * Construct BEFORE benchmark::Initialize: google-benchmark rejects
+ * flags it does not know, so the constructor strips `--json <path>`
+ * from argv.
+ */
+class JsonReport
+{
+  public:
+    JsonReport(int *argc, char **argv, std::string figure)
+        : figure_(std::move(figure))
+    {
+        for (int i = 1; i < *argc; ++i) {
+            if (std::strcmp(argv[i], "--json") == 0 && i + 1 < *argc) {
+                path_ = argv[i + 1];
+                for (int j = i; j + 2 < *argc; ++j)
+                    argv[j] = argv[j + 2];
+                *argc -= 2;
+                break;
+            }
+        }
+        doc_["schema"] = "graphene.bench.v1";
+        doc_["figure"] = figure_;
+        doc_["rows"] = json::Value::array();
+    }
+
+    bool enabled() const { return !path_.empty(); }
+
+    /** Row backed by one simulated kernel launch. */
+    void
+    addRow(const std::string &label, const std::string &arch,
+           const sim::KernelTiming &t)
+    {
+        json::Value row = rowCommon(label, arch, t.timeUs);
+        row["bound_by"] = t.boundBy;
+        json::Value pipes = json::Value::object();
+        pipes["tensor"] = t.tensorPipePct;
+        pipes["fp32"] = t.fp32PipePct;
+        pipes["dram"] = t.dramPct;
+        pipes["smem"] = t.smemPct;
+        row["pipes_pct"] = std::move(pipes);
+        doc_["rows"].push(std::move(row));
+    }
+
+    /** Aggregate row (a stream of several kernels): no single bounding
+     *  pipe, so bound_by is null and pipe percentages are omitted. */
+    void
+    addRow(const std::string &label, const std::string &arch,
+           double timeUs)
+    {
+        json::Value row = rowCommon(label, arch, timeUs);
+        row["bound_by"] = json::Value();
+        doc_["rows"].push(std::move(row));
+    }
+
+    /** Write the document if --json was given; no-op otherwise. */
+    void
+    write()
+    {
+        if (!enabled())
+            return;
+        std::ofstream f(path_);
+        if (!f) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         path_.c_str());
+            return;
+        }
+        f << doc_.dump(2);
+        std::printf("  wrote %s (%lld rows)\n", path_.c_str(),
+                    (long long)doc_["rows"].size());
+    }
+
+  private:
+    json::Value
+    rowCommon(const std::string &label, const std::string &arch,
+              double timeUs)
+    {
+        json::Value row = json::Value::object();
+        row["label"] = label;
+        row["arch"] = arch;
+        row["sim_us"] = timeUs;
+        return row;
+    }
+
+    std::string figure_;
+    std::string path_;
+    json::Value doc_ = json::Value::object();
+};
 
 } // namespace bench
 } // namespace graphene

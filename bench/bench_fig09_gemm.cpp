@@ -83,6 +83,7 @@ BENCHMARK_CAPTURE(runFig9, ampere_graphene, "ampere", true)
 int
 main(int argc, char **argv)
 {
+    graphene::bench::JsonReport json(&argc, argv, "fig09");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
@@ -116,6 +117,9 @@ main(int argc, char **argv)
                       gph.timing.tensorPipePct, gph.timing.dramPct,
                       lib.timing.timeUs / gph.timing.timeUs);
         printRow("Graphene", gph.timing.timeUs, extra);
+        json.addRow("cublas-like", archName, lib.timing);
+        json.addRow("graphene", archName, gph.timing);
     }
+    json.write();
     return 0;
 }

@@ -69,6 +69,7 @@ BENCHMARK_CAPTURE(runFig10, ampere_bias_gelu, "ampere", 3)
 int
 main(int argc, char **argv)
 {
+    graphene::bench::JsonReport json(&argc, argv, "fig10");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
@@ -97,7 +98,10 @@ main(int argc, char **argv)
                           gph.timing.timeUs,
                           lib.timing.timeUs / gph.timing.timeUs);
             printRow("cuBLASLt " + name, lib.timing.timeUs, extra);
+            json.addRow("cublaslt " + name, archName, lib.timing);
+            json.addRow("graphene " + name, archName, gph.timing);
         }
     }
+    json.write();
     return 0;
 }

@@ -33,16 +33,21 @@ makeDevice(const GpuArch &arch)
     return dev;
 }
 
-double
-fusedUs(Device &dev, int64_t layers)
+sim::KernelProfile
+fusedProf(Device &dev, int64_t layers)
 {
     ops::FusedMlpConfig cfg;
     cfg.m = kM;
     cfg.width = kWidth;
     cfg.layers = layers;
-    auto prof = dev.launch(ops::buildFusedMlp(dev.arch(), cfg),
-                           LaunchMode::Timing);
-    return prof.timing.timeUs;
+    return dev.launch(ops::buildFusedMlp(dev.arch(), cfg),
+                      LaunchMode::Timing);
+}
+
+double
+fusedUs(Device &dev, int64_t layers)
+{
+    return fusedProf(dev, layers).timing.timeUs;
 }
 
 double
@@ -86,6 +91,7 @@ BENCHMARK_CAPTURE(runFig11, volta_cublaslt_8, "volta", 8, false)
 int
 main(int argc, char **argv)
 {
+    graphene::bench::JsonReport json(&argc, argv, "fig11");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
@@ -101,10 +107,16 @@ main(int argc, char **argv)
         std::printf("    layers   cuBLASLt(us)   fused(us)   speedup\n");
         for (int64_t layers : {1, 2, 4, 8, 12, 16, 20}) {
             const double lib = libraryUs(*dev, layers);
-            const double fus = fusedUs(*dev, layers);
+            const auto fus = fusedProf(*dev, layers);
             std::printf("    %6lld %13.1f %11.1f %8.2fx\n",
-                        (long long)layers, lib, fus, lib / fus);
+                        (long long)layers, lib, fus.timing.timeUs,
+                        lib / fus.timing.timeUs);
+            const std::string suffix =
+                " " + std::to_string(layers) + "-layer";
+            json.addRow("cublaslt" + suffix, archName, lib);
+            json.addRow("fused" + suffix, archName, fus.timing);
         }
     }
+    json.write();
     return 0;
 }

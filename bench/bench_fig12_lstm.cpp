@@ -64,8 +64,8 @@ twoKernelUs(Device &dev)
     return dev.streamTimeUs();
 }
 
-double
-fusedUs(Device &dev)
+sim::KernelProfile
+fusedProf(Device &dev)
 {
     ops::FusedLstmConfig cfg;
     cfg.m = kM;
@@ -79,9 +79,14 @@ fusedUs(Device &dev)
     cfg.bk = tiles.bk;
     cfg.wm = tiles.wm;
     cfg.wn = tiles.wn;
-    auto prof = dev.launch(ops::buildFusedLstm(dev.arch(), cfg),
-                           LaunchMode::Timing);
-    return prof.timing.timeUs;
+    return dev.launch(ops::buildFusedLstm(dev.arch(), cfg),
+                      LaunchMode::Timing);
+}
+
+double
+fusedUs(Device &dev)
+{
+    return fusedProf(dev).timing.timeUs;
 }
 
 void
@@ -119,6 +124,7 @@ BENCHMARK_CAPTURE(runFig12, ampere_fused, "ampere", 2)
 int
 main(int argc, char **argv)
 {
+    graphene::bench::JsonReport json(&argc, argv, "fig12");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
@@ -131,14 +137,20 @@ main(int argc, char **argv)
         std::unique_ptr<Device> dev(makeDevice(arch));
         const double five = fiveKernelUs(*dev);
         const double two = twoKernelUs(*dev);
-        const double fused = fusedUs(*dev);
+        const auto fused = fusedProf(*dev);
         std::printf("  %s\n", arch.name.c_str());
         printRow("5 kernels (cuBLAS + cuDNN)", five, "1.00x");
         char extra[64];
         std::snprintf(extra, sizeof extra, "%.2fx", five / two);
         printRow("2 kernels (cuBLASLt accumulate)", two, extra);
-        std::snprintf(extra, sizeof extra, "%.2fx", five / fused);
-        printRow("Graphene fused (1 kernel)", fused, extra);
+        std::snprintf(extra, sizeof extra, "%.2fx",
+                      five / fused.timing.timeUs);
+        printRow("Graphene fused (1 kernel)", fused.timing.timeUs,
+                 extra);
+        json.addRow("5-kernel", archName, five);
+        json.addRow("2-kernel cublaslt", archName, two);
+        json.addRow("graphene fused", archName, fused.timing);
     }
+    json.write();
     return 0;
 }

@@ -32,16 +32,21 @@ makeDevice(const GpuArch &arch, int64_t rows)
     return dev;
 }
 
-double
-grapheneUs(Device &dev, int64_t rows)
+sim::KernelProfile
+grapheneProf(Device &dev, int64_t rows)
 {
     ops::LayernormConfig cfg;
     cfg.rows = rows;
     cfg.cols = kHidden;
     cfg.vectorized = true;
-    auto prof = dev.launch(ops::buildLayernormFused(dev.arch(), cfg),
-                           LaunchMode::Timing);
-    return prof.timing.timeUs;
+    return dev.launch(ops::buildLayernormFused(dev.arch(), cfg),
+                      LaunchMode::Timing);
+}
+
+double
+grapheneUs(Device &dev, int64_t rows)
+{
+    return grapheneProf(dev, rows).timing.timeUs;
 }
 
 void
@@ -84,6 +89,7 @@ BENCHMARK_CAPTURE(runFig13, ampere_graphene, "ampere", 8192, 4)
 int
 main(int argc, char **argv)
 {
+    graphene::bench::JsonReport json(&argc, argv, "fig13");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
@@ -107,11 +113,19 @@ main(int argc, char **argv)
                     kHidden, "%x", "%gamma", "%beta", "%y");
                 t[impl] = dev->streamTimeUs();
             }
-            t[4] = grapheneUs(*dev, rows);
+            const auto gph = grapheneProf(*dev, rows);
+            t[4] = gph.timing.timeUs;
             std::printf("    %8lld %9.1fus %9.1fus %9.1fus %9.1fus "
                         "%9.1fus\n",
                         (long long)rows, t[0], t[1], t[2], t[3], t[4]);
+            const std::string suffix =
+                " rows=" + std::to_string(rows);
+            const char *impls[4] = {"eager", "jit", "fused", "apex"};
+            for (int impl = 0; impl < 4; ++impl)
+                json.addRow(impls[impl] + suffix, archName, t[impl]);
+            json.addRow("graphene" + suffix, archName, gph.timing);
         }
     }
+    json.write();
     return 0;
 }

@@ -45,8 +45,8 @@ baselineUs(Device &dev)
     return dev.streamTimeUs();
 }
 
-double
-fusedUs(Device &dev, bool grapheneLayouts)
+sim::KernelProfile
+fusedProf(Device &dev, bool grapheneLayouts)
 {
     ops::FmhaConfig cfg;
     cfg.batch = kBatch;
@@ -54,9 +54,14 @@ fusedUs(Device &dev, bool grapheneLayouts)
     cfg.seq = kSeq;
     cfg.headDim = kDim;
     cfg.handwrittenLayouts = !grapheneLayouts;
-    auto prof = dev.launch(ops::buildFusedFmha(dev.arch(), cfg),
-                           LaunchMode::Timing);
-    return prof.timing.timeUs;
+    return dev.launch(ops::buildFusedFmha(dev.arch(), cfg),
+                      LaunchMode::Timing);
+}
+
+double
+fusedUs(Device &dev, bool grapheneLayouts)
+{
+    return fusedProf(dev, grapheneLayouts).timing.timeUs;
 }
 
 void
@@ -88,6 +93,7 @@ BENCHMARK_CAPTURE(runFig14, ampere_graphene, "ampere", 2)
 int
 main(int argc, char **argv)
 {
+    graphene::bench::JsonReport json(&argc, argv, "fig14");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
@@ -99,16 +105,23 @@ main(int argc, char **argv)
         const GpuArch &arch = archByName(archName);
         std::unique_ptr<Device> dev(makeDevice(arch));
         const double base = baselineUs(*dev);
-        const double mlperf = fusedUs(*dev, false);
-        const double gph = fusedUs(*dev, true);
+        const auto mlperf = fusedProf(*dev, false);
+        const auto gph = fusedProf(*dev, true);
         std::printf("  %s\n", arch.name.c_str());
         printRow("cuBLAS + softmax (unfused)", base, "1.00x");
         char extra[64];
-        std::snprintf(extra, sizeof extra, "%.2fx", base / mlperf);
-        printRow("handwritten fused (MLPerf stand-in)", mlperf, extra);
+        std::snprintf(extra, sizeof extra, "%.2fx",
+                      base / mlperf.timing.timeUs);
+        printRow("handwritten fused (MLPerf stand-in)",
+                 mlperf.timing.timeUs, extra);
         std::snprintf(extra, sizeof extra, "%.2fx (vs handwritten %.2fx)",
-                      base / gph, mlperf / gph);
-        printRow("Graphene fused", gph, extra);
+                      base / gph.timing.timeUs,
+                      mlperf.timing.timeUs / gph.timing.timeUs);
+        printRow("Graphene fused", gph.timing.timeUs, extra);
+        json.addRow("unfused baseline", archName, base);
+        json.addRow("handwritten fused", archName, mlperf.timing);
+        json.addRow("graphene fused", archName, gph.timing);
     }
+    json.write();
     return 0;
 }

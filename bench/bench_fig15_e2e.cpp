@@ -45,6 +45,7 @@ BENCHMARK_CAPTURE(runFig15, bert_large_fused, 1, true)
 int
 main(int argc, char **argv)
 {
+    graphene::bench::JsonReport json(&argc, argv, "fig15");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
@@ -60,8 +61,11 @@ main(int argc, char **argv)
         std::printf("    %-14s %12.0f %12.0f %8.2fx %9.0f%%\n",
                     r.network.c_str(), r.baselineUs, r.fusedUs,
                     r.speedup(), r.attentionSharePct);
+        json.addRow(r.network + " pytorch", "ampere", r.baselineUs);
+        json.addRow(r.network + " fused", "ampere", r.fusedUs);
     }
     std::printf("  (speedup correlates with the attention share, as in "
                 "the paper)\n");
+    json.write();
     return 0;
 }

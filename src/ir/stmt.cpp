@@ -1,5 +1,7 @@
 #include "ir/stmt.h"
 
+#include <set>
+
 #include "support/check.h"
 
 namespace graphene
@@ -136,6 +138,44 @@ numberSyncStmts(const std::vector<StmtPtr> &body)
 {
     int64_t next = 0;
     numberSyncsRec(body, next);
+    return next;
+}
+
+namespace
+{
+
+void
+numberStmtsRec(const std::vector<StmtPtr> &stmts, int64_t &next,
+               std::set<const Stmt *> &visited)
+{
+    for (const StmtPtr &s : stmts) {
+        if (!visited.insert(s.get()).second)
+            continue; // shared subtree: keep the first-visit id
+        s->stmtId = next++;
+        switch (s->kind) {
+          case StmtKind::For:
+          case StmtKind::If:
+            numberStmtsRec(s->body, next, visited);
+            numberStmtsRec(s->elseBody, next, visited);
+            break;
+          case StmtKind::SpecCall:
+            if (!s->spec->isLeaf())
+                numberStmtsRec(s->spec->body(), next, visited);
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+} // namespace
+
+int64_t
+numberStmts(const std::vector<StmtPtr> &body)
+{
+    int64_t next = 0;
+    std::set<const Stmt *> visited;
+    numberStmtsRec(body, next, visited);
     return next;
 }
 

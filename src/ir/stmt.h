@@ -35,6 +35,15 @@ struct Stmt
 {
     StmtKind kind = StmtKind::Comment;
 
+    /**
+     * Stable statement number assigned by numberStmts() (-1 until
+     * numbered): a pre-order index over the whole decomposition,
+     * recursing into spec bodies.  The simulator keys its per-statement
+     * cost attribution (profiling) by this id, and the profile report
+     * uses it to mirror the spec decomposition as a tree.
+     */
+    int64_t stmtId = -1;
+
     // For
     std::string loopVar;
     int64_t begin = 0;
@@ -123,6 +132,16 @@ int64_t numberSyncStmts(const std::vector<StmtPtr> &body);
 
 /** Total Sync statements reachable from @p body. */
 int64_t countSyncStmts(const std::vector<StmtPtr> &body);
+
+/**
+ * Assign every statement reachable from @p body (recursing through
+ * loops, conditionals, and spec decompositions) a stable pre-order
+ * stmtId starting at 0.  Returns the number of distinct statements.
+ * A statement object shared between two call sites keeps the id of its
+ * first visit, so ids are unique per object and the profile attributes
+ * both dynamic sites to one node.  Idempotent.
+ */
+int64_t numberStmts(const std::vector<StmtPtr> &body);
 
 } // namespace graphene
 

@@ -1,0 +1,403 @@
+#include "profile/profile.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <set>
+#include <sstream>
+
+#include "support/check.h"
+
+namespace graphene
+{
+namespace profile
+{
+
+namespace
+{
+
+std::string
+stmtKindTag(const Stmt &stmt)
+{
+    switch (stmt.kind) {
+      case StmtKind::For: return "for";
+      case StmtKind::If: return "if";
+      case StmtKind::Sync: return "sync";
+      case StmtKind::SpecCall: return "spec";
+      case StmtKind::Alloc: return "alloc";
+      case StmtKind::Comment: return "comment";
+    }
+    return "?";
+}
+
+std::string
+stmtLabel(const Stmt &stmt)
+{
+    std::ostringstream out;
+    switch (stmt.kind) {
+      case StmtKind::For:
+        out << "for " << stmt.loopVar << " in [" << stmt.begin << ","
+            << stmt.end << ")";
+        if (stmt.step != 1)
+            out << " step " << stmt.step;
+        if (stmt.uniformCost)
+            out << " /*uniform*/";
+        break;
+      case StmtKind::If:
+        out << "if (" << stmt.cond->str() << ")";
+        break;
+      case StmtKind::Sync:
+        out << (stmt.warpScope ? "syncwarp" : "syncthreads");
+        break;
+      case StmtKind::SpecCall:
+        out << stmt.spec->headerStr();
+        break;
+      case StmtKind::Alloc:
+        out << "Allocate " << stmt.allocName << ":[" << stmt.allocCount
+            << "]." << scalarTypeName(stmt.allocScalar) << "."
+            << memorySpaceName(stmt.allocMemory);
+        break;
+      case StmtKind::Comment:
+        out << "// " << stmt.text;
+        break;
+    }
+    return out.str();
+}
+
+struct TreeBuilder
+{
+    const sim::KernelProfile &prof;
+    const GpuArch &arch;
+    std::set<const Stmt *> visited;
+
+    void
+    buildInto(AttributionNode &parent, const std::vector<StmtPtr> &stmts)
+    {
+        for (const StmtPtr &s : stmts) {
+            if (s->kind == StmtKind::Comment)
+                continue;
+            if (!visited.insert(s.get()).second)
+                continue; // shared subtree: attributed at first site
+            AttributionNode node;
+            node.stmtId = s->stmtId;
+            node.label = stmtLabel(*s);
+            node.kind = stmtKindTag(*s);
+            auto it = prof.byStmt.find(s->stmtId);
+            if (it != prof.byStmt.end()) {
+                node.self = it->second.stats;
+                node.maxSmemConflict = it->second.maxSmemConflict;
+                node.visits = it->second.visits;
+                node.extrapolated = it->second.extrapolated;
+            }
+            switch (s->kind) {
+              case StmtKind::For:
+              case StmtKind::If:
+                buildInto(node, s->body);
+                buildInto(node, s->elseBody);
+                break;
+              case StmtKind::SpecCall:
+                if (!s->spec->isLeaf())
+                    buildInto(node, s->spec->body());
+                break;
+              default:
+                break;
+            }
+            node.total = node.self;
+            for (const AttributionNode &c : node.children) {
+                node.total += c.total;
+                node.maxSmemConflict =
+                    std::max(node.maxSmemConflict, c.maxSmemConflict);
+                node.extrapolated = node.extrapolated || c.extrapolated;
+            }
+            node.cycles = sim::pipeCycles(node.total, arch, &node.boundBy);
+            if (node.cycles == 0)
+                node.boundBy = "-";
+            parent.children.push_back(std::move(node));
+        }
+    }
+
+    void
+    finalizePct(AttributionNode &node, double rootCycles)
+    {
+        node.pctOfBlock =
+            rootCycles > 0 ? 100.0 * node.cycles / rootCycles : 0.0;
+        for (AttributionNode &c : node.children)
+            finalizePct(c, rootCycles);
+    }
+};
+
+json::Value
+costStatsToJson(const sim::CostStats &s)
+{
+    json::Value o = json::Value::object();
+    o["tensor_flops"] = s.tensorFlops;
+    o["fp32_flops"] = s.fp32Flops;
+    o["fp16_flops"] = s.fp16Flops;
+    o["sfu_ops"] = s.sfuOps;
+    o["issue_slots"] = s.issueSlots;
+    o["smem_wavefronts"] = s.smemWavefronts;
+    o["smem_accesses"] = s.smemAccesses;
+    o["smem_conflict_avg"] = s.avgSmemConflict();
+    o["global_sectors"] = s.globalSectors;
+    o["global_accesses"] = s.globalAccesses;
+    o["global_load_bytes"] = s.globalLoadBytes;
+    o["global_store_bytes"] = s.globalStoreBytes;
+    o["coalescing_pct"] = s.coalescingPct();
+    o["sync_count"] = s.syncCount;
+    return o;
+}
+
+json::Value
+nodeToJson(const AttributionNode &n)
+{
+    json::Value o = json::Value::object();
+    o["stmt"] = n.stmtId;
+    o["kind"] = n.kind;
+    o["label"] = n.label;
+    o["pct_of_block"] = n.pctOfBlock;
+    o["cycles"] = n.cycles;
+    o["bound_by"] = n.boundBy;
+    o["visits"] = n.visits;
+    o["extrapolated"] = n.extrapolated;
+    o["max_smem_conflict"] = n.maxSmemConflict;
+    o["total"] = costStatsToJson(n.total);
+    if (!n.children.empty()) {
+        json::Value kids = json::Value::array();
+        for (const AttributionNode &c : n.children)
+            kids.push(nodeToJson(c));
+        o["children"] = std::move(kids);
+    }
+    return o;
+}
+
+/** Leaf nodes (no children) of the attribution tree, hottest first. */
+std::vector<const AttributionNode *>
+hotLeaves(const AttributionNode &root)
+{
+    std::vector<const AttributionNode *> leaves;
+    std::function<void(const AttributionNode &)> walk =
+        [&](const AttributionNode &n) {
+            if (n.children.empty() && n.kind == "spec")
+                leaves.push_back(&n);
+            for (const AttributionNode &c : n.children)
+                walk(c);
+        };
+    walk(root);
+    std::sort(leaves.begin(), leaves.end(),
+              [](const AttributionNode *a, const AttributionNode *b) {
+                  if (a->cycles != b->cycles)
+                      return a->cycles > b->cycles;
+                  return a->stmtId < b->stmtId; // deterministic ties
+              });
+    return leaves;
+}
+
+std::vector<const AttributionNode *>
+conflictedSites(const AttributionNode &root)
+{
+    std::vector<const AttributionNode *> sites;
+    std::function<void(const AttributionNode &)> walk =
+        [&](const AttributionNode &n) {
+            if (n.children.empty() && n.maxSmemConflict > 1.01)
+                sites.push_back(&n);
+            for (const AttributionNode &c : n.children)
+                walk(c);
+        };
+    walk(root);
+    std::sort(sites.begin(), sites.end(),
+              [](const AttributionNode *a, const AttributionNode *b) {
+                  if (a->maxSmemConflict != b->maxSmemConflict)
+                      return a->maxSmemConflict > b->maxSmemConflict;
+                  return a->stmtId < b->stmtId;
+              });
+    return sites;
+}
+
+void
+renderNode(std::ostringstream &out, const AttributionNode &n, int depth)
+{
+    char head[64];
+    std::snprintf(head, sizeof head, "%6.1f%%  %-6s %c ", n.pctOfBlock,
+                  n.boundBy.c_str(), n.extrapolated ? '*' : ' ');
+    out << head << std::string(static_cast<size_t>(depth) * 2, ' ')
+        << n.label;
+    if (n.maxSmemConflict > 1.01 && n.children.empty()) {
+        char flag[48];
+        std::snprintf(flag, sizeof flag, "  !bank-conflict %.1fx",
+                      n.maxSmemConflict);
+        out << flag;
+    }
+    out << "\n";
+    for (const AttributionNode &c : n.children)
+        renderNode(out, c, depth + 1);
+}
+
+} // namespace
+
+AttributionNode
+buildAttributionTree(const Kernel &kernel, const GpuArch &arch,
+                     const sim::KernelProfile &prof)
+{
+    GRAPHENE_CHECK(!prof.byStmt.empty() || kernel.countLeafSpecs() == 0)
+        << "profile has no per-statement attribution; run "
+        << "Executor::profile() or runAndProfile() first";
+    numberStmts(kernel.body()); // same numbering the executor used
+    AttributionNode root;
+    root.stmtId = -1;
+    root.kind = "kernel";
+    root.label = "kernel " + kernel.name();
+    TreeBuilder builder{prof, arch, {}};
+    builder.buildInto(root, kernel.body());
+    root.total = root.self;
+    for (const AttributionNode &c : root.children) {
+        root.total += c.total;
+        root.maxSmemConflict =
+            std::max(root.maxSmemConflict, c.maxSmemConflict);
+        root.extrapolated = root.extrapolated || c.extrapolated;
+    }
+    root.cycles = sim::pipeCycles(root.total, arch, &root.boundBy);
+    builder.finalizePct(root, root.cycles);
+    return root;
+}
+
+json::Value
+profileToJson(const Kernel &kernel, const GpuArch &arch,
+              const sim::KernelProfile &prof)
+{
+    const AttributionNode tree = buildAttributionTree(kernel, arch, prof);
+    json::Value doc = json::Value::object();
+    doc["schema"] = "graphene.profile.v1";
+
+    json::Value k = json::Value::object();
+    k["name"] = kernel.name();
+    k["arch"] = arch.name;
+    k["grid"] = kernel.gridSize();
+    k["block"] = kernel.blockSize();
+    k["smem_bytes"] = kernel.sharedMemoryBytes();
+    k["leaf_specs"] = kernel.countLeafSpecs();
+    k["stmts"] = prof.stmtCount;
+    k["blocks_executed"] = prof.blocksExecuted;
+    doc["kernel"] = std::move(k);
+
+    const sim::KernelTiming &t = prof.timing;
+    json::Value tj = json::Value::object();
+    tj["time_us"] = t.timeUs;
+    tj["bound_by"] = t.boundBy;
+    tj["sm_time_us"] = t.smTimeUs;
+    tj["dram_time_us"] = t.dramTimeUs;
+    tj["launch_overhead_us"] = t.launchOverheadUs;
+    tj["block_cycles"] = t.blockCycles;
+    tj["waves"] = t.waves;
+    tj["blocks_per_sm"] = t.blocksPerSm;
+    json::Value pipes = json::Value::object();
+    pipes["tensor"] = t.tensorPipePct;
+    pipes["fp32"] = t.fp32PipePct;
+    pipes["dram"] = t.dramPct;
+    pipes["smem"] = t.smemPct;
+    tj["pipes_pct"] = std::move(pipes);
+    doc["timing"] = std::move(tj);
+
+    doc["per_block"] = costStatsToJson(prof.perBlock);
+    doc["attribution"] = nodeToJson(tree);
+    return doc;
+}
+
+std::string
+renderReport(const Kernel &kernel, const GpuArch &arch,
+             const sim::KernelProfile &prof, int topN)
+{
+    const AttributionNode tree = buildAttributionTree(kernel, arch, prof);
+    const sim::KernelTiming &t = prof.timing;
+    std::ostringstream out;
+    char buf[192];
+
+    out << "kernel   " << kernel.name() << " on " << arch.name << "\n";
+    std::snprintf(buf, sizeof buf, "launch   grid=%lld block=%lld "
+                  "smem=%lldB\n",
+                  (long long)kernel.gridSize(),
+                  (long long)kernel.blockSize(),
+                  (long long)kernel.sharedMemoryBytes());
+    out << buf;
+    std::snprintf(buf, sizeof buf,
+                  "time     %.2f us  (%s-bound, %lld waves, "
+                  "%lld blocks/SM)\n",
+                  t.timeUs, t.boundBy.c_str(), (long long)t.waves,
+                  (long long)t.blocksPerSm);
+    out << buf;
+    std::snprintf(buf, sizeof buf,
+                  "pipes    tensor %.1f%%  fp32 %.1f%%  dram %.1f%%  "
+                  "smem %.1f%%\n",
+                  t.tensorPipePct, t.fp32PipePct, t.dramPct, t.smemPct);
+    out << buf;
+    std::snprintf(buf, sizeof buf,
+                  "memory   smem conflict avg %.2fx  |  global "
+                  "coalescing %.1f%%\n",
+                  prof.perBlock.avgSmemConflict(),
+                  prof.perBlock.coalescingPct());
+    out << buf;
+
+    out << "\nper-spec attribution (block 0; % of block pipe-cycles; "
+           "* = extrapolated):\n";
+    renderNode(out, tree, 0);
+
+    const auto leaves = hotLeaves(tree);
+    out << "\nhot specs (top " << std::min<size_t>(leaves.size(),
+                                                   (size_t)topN)
+        << " by pipe-cycles):\n";
+    for (size_t i = 0; i < leaves.size() && i < (size_t)topN; ++i) {
+        std::snprintf(buf, sizeof buf, "  %zu. %5.1f%%  [%s]  ", i + 1,
+                      leaves[i]->pctOfBlock, leaves[i]->boundBy.c_str());
+        out << buf << leaves[i]->label << "  (stmt "
+            << leaves[i]->stmtId << ")\n";
+    }
+
+    const auto conflicts = conflictedSites(tree);
+    if (conflicts.empty()) {
+        out << "smem     no bank-conflicted access sites\n";
+    } else {
+        std::snprintf(buf, sizeof buf,
+                      "smem     %zu bank-conflicted site%s (worst "
+                      "%.1fx):\n",
+                      conflicts.size(),
+                      conflicts.size() == 1 ? "" : "s",
+                      conflicts.front()->maxSmemConflict);
+        out << buf;
+        for (size_t i = 0; i < conflicts.size() && i < 4; ++i) {
+            std::snprintf(buf, sizeof buf, "  !%.1fx  ",
+                          conflicts[i]->maxSmemConflict);
+            out << buf << conflicts[i]->label << "  (stmt "
+                << conflicts[i]->stmtId << ")\n";
+        }
+    }
+
+    // The paper's "X% of peak" verdict.
+    double peakPct = 0;
+    std::string peakPipe = t.boundBy;
+    if (t.boundBy == "tensor")
+        peakPct = t.tensorPipePct;
+    else if (t.boundBy == "fp32")
+        peakPct = t.fp32PipePct;
+    else if (t.boundBy == "dram")
+        peakPct = t.dramPct;
+    else if (t.boundBy == "smem")
+        peakPct = t.smemPct;
+    if (peakPct > 0) {
+        std::snprintf(buf, sizeof buf,
+                      "verdict  %s-bound at %.0f%% of peak",
+                      peakPipe.c_str(), peakPct);
+    } else {
+        std::snprintf(buf, sizeof buf, "verdict  %s-bound",
+                      peakPipe.c_str());
+    }
+    out << buf;
+    if (!leaves.empty()) {
+        std::snprintf(buf, sizeof buf, "; hot spec %.1f%% ",
+                      leaves.front()->pctOfBlock);
+        out << buf << leaves.front()->label;
+    }
+    out << "\n";
+    return out.str();
+}
+
+} // namespace profile
+} // namespace graphene

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Observability for the simulator: hierarchical per-spec cost
+ * attribution, machine-readable profile reports, and human-readable
+ * "where do the cycles go" summaries.
+ *
+ * The executor keys every cost increment by the enclosing statement's
+ * stable id (ir/stmt.h numbering).  This module folds that flat
+ * attribution back onto the spec decomposition, producing a profile
+ * tree that mirrors the IR: each node carries the counters of its
+ * subtree, its pipe-limited cycles, the share of the block's cycles,
+ * and per-site shared-memory conflict / global coalescing quality —
+ * the paper's Nsight-style percent-of-peak framing (Figs. 9-15), per
+ * decomposition node instead of per kernel.
+ */
+
+#ifndef GRAPHENE_PROFILE_PROFILE_H
+#define GRAPHENE_PROFILE_PROFILE_H
+
+#include <string>
+#include <vector>
+
+#include "sim/executor.h"
+#include "support/json.h"
+
+namespace graphene
+{
+namespace profile
+{
+
+/** One node of the cost-attribution tree (mirrors the decomposition). */
+struct AttributionNode
+{
+    int64_t stmtId = -1; // -1 for the kernel root
+    /** One-line description (spec header, loop bounds, ...). */
+    std::string label;
+    /** "kernel" | "for" | "if" | "sync" | "spec" | "alloc". */
+    std::string kind;
+    /** Cost attributed directly to this statement (leaves only). */
+    sim::CostStats self;
+    /** self + every descendant. */
+    sim::CostStats total;
+    /** Pipe-limited cycles of `total` and the pipe that bounds them. */
+    double cycles = 0;
+    std::string boundBy;
+    /** Share of the root's pipe-limited cycles, in percent. */
+    double pctOfBlock = 0;
+    /** Worst warp-wide smem conflict degree in this subtree (1=clean). */
+    double maxSmemConflict = 1.0;
+    /** Dynamic executions simulated (leaves; extrapolated trips not
+     *  counted — their cost is folded in and flagged below). */
+    int64_t visits = 0;
+    /** Part of this cost was extrapolated from a uniform-loop prefix. */
+    bool extrapolated = false;
+    std::vector<AttributionNode> children;
+};
+
+/**
+ * Build the attribution tree for @p kernel from a profiled launch.
+ * @p kernel must be the same IR that produced @p prof (statement ids
+ * are re-derived by the same numbering).  Comment statements are
+ * dropped; a shared sub-decomposition appears once, at its first call
+ * site, carrying the cost of every site.
+ */
+AttributionNode buildAttributionTree(const Kernel &kernel,
+                                     const GpuArch &arch,
+                                     const sim::KernelProfile &prof);
+
+/**
+ * Machine-readable profile: kernel metadata, roofline timing numbers,
+ * per-block counters, and the attribution tree
+ * (schema "graphene.profile.v1").
+ */
+json::Value profileToJson(const Kernel &kernel, const GpuArch &arch,
+                          const sim::KernelProfile &prof);
+
+/**
+ * Human-readable report: launch + timing header, the attribution tree
+ * with percent-of-block-cycles per node, the top-@p topN hottest leaf
+ * specs, bank-conflict flags per site, and a bound-by verdict line.
+ */
+std::string renderReport(const Kernel &kernel, const GpuArch &arch,
+                         const sim::KernelProfile &prof, int topN = 5);
+
+} // namespace profile
+} // namespace graphene
+
+#endif // GRAPHENE_PROFILE_PROFILE_H

@@ -1,0 +1,180 @@
+#include "profile/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace graphene
+{
+namespace profile
+{
+
+namespace
+{
+
+/** Simulated microseconds for a cycle count. */
+double
+cyclesToUs(double cycles, const GpuArch &arch)
+{
+    return cycles / (arch.clockGhz * 1e3);
+}
+
+struct TraceBuilder
+{
+    const GpuArch &arch;
+    json::Value events = json::Value::array();
+    int pid = 1;
+
+    // Lane (tid) assignment: 0 = decomposition hierarchy, then one
+    // lane per pipe in first-seen order.
+    std::vector<std::string> pipeLanes;
+
+    int
+    pipeLane(const std::string &pipe)
+    {
+        for (size_t i = 0; i < pipeLanes.size(); ++i)
+            if (pipeLanes[i] == pipe)
+                return static_cast<int>(i) + 1;
+        pipeLanes.push_back(pipe);
+        return static_cast<int>(pipeLanes.size());
+    }
+
+    void
+    meta(int tid, const std::string &name)
+    {
+        json::Value e = json::Value::object();
+        e["ph"] = "M";
+        e["name"] = "thread_name";
+        e["pid"] = pid;
+        e["tid"] = tid;
+        json::Value args = json::Value::object();
+        args["name"] = name;
+        e["args"] = std::move(args);
+        events.push(std::move(e));
+    }
+
+    void
+    duration(int tid, const std::string &name, double tsUs, double durUs,
+             const AttributionNode &n)
+    {
+        json::Value e = json::Value::object();
+        e["ph"] = "X";
+        e["name"] = name;
+        e["cat"] = n.kind;
+        e["pid"] = pid;
+        e["tid"] = tid;
+        e["ts"] = tsUs;
+        e["dur"] = durUs;
+        json::Value args = json::Value::object();
+        args["stmt"] = n.stmtId;
+        args["bound_by"] = n.boundBy;
+        args["pct_of_block"] = n.pctOfBlock;
+        if (n.extrapolated)
+            args["extrapolated"] = true;
+        if (n.maxSmemConflict > 1.01)
+            args["smem_conflict"] = n.maxSmemConflict;
+        e["args"] = std::move(args);
+        events.push(std::move(e));
+    }
+
+    void
+    counter(const std::string &name, double tsUs, const std::string &key,
+            double value)
+    {
+        json::Value e = json::Value::object();
+        e["ph"] = "C";
+        e["name"] = name;
+        e["pid"] = pid;
+        e["tid"] = 0;
+        e["ts"] = tsUs;
+        json::Value args = json::Value::object();
+        args[key] = value;
+        e["args"] = std::move(args);
+        events.push(std::move(e));
+    }
+
+    /**
+     * Lay the subtree out in program order starting at @p tsUs.  A
+     * parent's span is the sum of its children's spans (self cost for
+     * structured nodes is barrier overhead only, charged to sync
+     * leaves), so nesting is exact.  Returns the span in µs.
+     */
+    double
+    emit(const AttributionNode &n, double tsUs, double cumSmem,
+         double cumSectors)
+    {
+        double durUs;
+        if (n.children.empty()) {
+            durUs = cyclesToUs(n.cycles, arch);
+        } else {
+            double childSum = 0;
+            for (const AttributionNode &c : n.children)
+                childSum += cyclesToUs(c.cycles, arch);
+            durUs = childSum;
+        }
+        duration(0, n.label, tsUs, durUs, n);
+        if (n.children.empty()) {
+            if (n.kind == "spec" || n.kind == "sync")
+                duration(pipeLane(n.boundBy), n.label, tsUs, durUs, n);
+            counter("smem wavefronts", tsUs, "cumulative",
+                    cumSmem + n.total.smemWavefronts);
+            counter("dram sectors", tsUs, "cumulative",
+                    cumSectors + n.total.globalSectors);
+        } else {
+            double cursor = tsUs;
+            double smem = cumSmem;
+            double sectors = cumSectors;
+            for (const AttributionNode &c : n.children) {
+                cursor += emit(c, cursor, smem, sectors);
+                smem += c.total.smemWavefronts;
+                sectors += c.total.globalSectors;
+            }
+        }
+        return durUs;
+    }
+};
+
+} // namespace
+
+json::Value
+profileToChromeTrace(const Kernel &kernel, const GpuArch &arch,
+                     const sim::KernelProfile &prof)
+{
+    const AttributionNode tree = buildAttributionTree(kernel, arch, prof);
+
+    TraceBuilder tb{arch};
+
+    json::Value pm = json::Value::object();
+    pm["ph"] = "M";
+    pm["name"] = "process_name";
+    pm["pid"] = tb.pid;
+    pm["tid"] = 0;
+    json::Value pmArgs = json::Value::object();
+    pmArgs["name"] =
+        "graphene " + kernel.name() + " on " + arch.name + " (block 0)";
+    pm["args"] = std::move(pmArgs);
+    tb.events.push(std::move(pm));
+    tb.meta(0, "decomposition");
+
+    tb.emit(tree, 0.0, 0.0, 0.0);
+
+    // Pipe-lane names are discovered while emitting.
+    for (size_t i = 0; i < tb.pipeLanes.size(); ++i)
+        tb.meta(static_cast<int>(i) + 1, "pipe: " + tb.pipeLanes[i]);
+
+    json::Value doc = json::Value::object();
+    doc["traceEvents"] = std::move(tb.events);
+    doc["displayTimeUnit"] = "ns";
+    json::Value other = json::Value::object();
+    other["schema"] = "graphene.trace.v1";
+    other["kernel"] = kernel.name();
+    other["arch"] = arch.name;
+    other["clock_ghz"] = arch.clockGhz;
+    other["block_cycles"] = prof.timing.blockCycles;
+    other["time_us"] = prof.timing.timeUs;
+    other["bound_by"] = prof.timing.boundBy;
+    doc["otherData"] = std::move(other);
+    return doc;
+}
+
+} // namespace profile
+} // namespace graphene

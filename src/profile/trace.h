@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Chrome-trace export of a profiled (timing-mode) execution.
+ *
+ * The emitted JSON loads in chrome://tracing or Perfetto: the profiled
+ * block's execution is rendered as nested duration events mirroring
+ * the spec decomposition, each leaf spec additionally appears on the
+ * lane of the pipe that bounds it, and counter tracks plot the
+ * cumulative shared-memory wavefront and DRAM-sector pressure over
+ * (simulated) time.
+ *
+ * Timestamps are simulated microseconds: each leaf's span is its
+ * pipe-limited cycles at the architecture's clock, laid out in
+ * program order (the warp-synchronous model executes warps in
+ * lockstep, so one timeline represents every warp of the block; the
+ * per-pipe lanes show where each span would issue).  Costs
+ * extrapolated from uniform-loop prefixes are included in the spans
+ * and marked with args.extrapolated = true.
+ */
+
+#ifndef GRAPHENE_PROFILE_TRACE_H
+#define GRAPHENE_PROFILE_TRACE_H
+
+#include "profile/profile.h"
+
+namespace graphene
+{
+namespace profile
+{
+
+/** Chrome-trace document ({"traceEvents": [...], ...}) for a profiled
+ *  launch; serialize with .dump(). */
+json::Value profileToChromeTrace(const Kernel &kernel, const GpuArch &arch,
+                                 const sim::KernelProfile &prof);
+
+} // namespace profile
+} // namespace graphene
+
+#endif // GRAPHENE_PROFILE_TRACE_H

@@ -36,7 +36,12 @@ Device::upload(const std::string &name, ScalarType scalar,
 std::vector<double>
 Device::download(const std::string &name) const
 {
-    return memory_.at(name).data();
+    const sim::Buffer &buf = memory_.at(name);
+    GRAPHENE_CHECK(!buf.poisoned())
+        << "download of '" << name << "': buffer was written by a "
+        << "timing-mode launch (only a representative block ran), so "
+        << "its contents are garbage; re-upload before reading";
+    return buf.data();
 }
 
 sim::KernelProfile
@@ -44,10 +49,16 @@ Device::launch(const Kernel &kernel, LaunchMode mode)
 {
     sim::KernelProfile prof;
     if (mode != LaunchMode::Timing) {
-        for (const auto &p : kernel.params())
+        for (const auto &p : kernel.params()) {
             GRAPHENE_CHECK(!memory_.at(p.buffer()).isVirtual())
                 << "functional launch of '" << kernel.name()
                 << "' touches virtual buffer '" << p.buffer() << "'";
+            GRAPHENE_CHECK(!memory_.at(p.buffer()).poisoned())
+                << "functional launch of '" << kernel.name()
+                << "' touches buffer '" << p.buffer()
+                << "' poisoned by an earlier timing-mode launch; "
+                << "re-upload it first";
+        }
     }
     switch (mode) {
       case LaunchMode::Functional:

@@ -55,7 +55,12 @@ class Device
     /** Read back a buffer. */
     std::vector<double> download(const std::string &name) const;
 
-    /** Launch one kernel; accumulates stream time in Timing modes. */
+    /**
+     * Launch one kernel; accumulates stream time in Timing modes.
+     * A Timing launch poisons every buffer the kernel writes (only a
+     * representative block ran): downloading a poisoned buffer or
+     * using it in a functional launch throws until it is re-uploaded.
+     */
     sim::KernelProfile launch(const Kernel &kernel, LaunchMode mode);
 
     /**

@@ -20,9 +20,13 @@ CostStats::operator+=(const CostStats &other)
     sfuOps += other.sfuOps;
     issueSlots += other.issueSlots;
     smemWavefronts += other.smemWavefronts;
+    smemAccesses += other.smemAccesses;
+    smemIdealWavefronts += other.smemIdealWavefronts;
     globalSectors += other.globalSectors;
+    globalAccesses += other.globalAccesses;
     globalLoadBytes += other.globalLoadBytes;
     globalStoreBytes += other.globalStoreBytes;
+    globalUsefulBytes += other.globalUsefulBytes;
     syncCount += other.syncCount;
     return *this;
 }
@@ -37,9 +41,13 @@ CostStats::operator-(const CostStats &other) const
     r.sfuOps -= other.sfuOps;
     r.issueSlots -= other.issueSlots;
     r.smemWavefronts -= other.smemWavefronts;
+    r.smemAccesses -= other.smemAccesses;
+    r.smemIdealWavefronts -= other.smemIdealWavefronts;
     r.globalSectors -= other.globalSectors;
+    r.globalAccesses -= other.globalAccesses;
     r.globalLoadBytes -= other.globalLoadBytes;
     r.globalStoreBytes -= other.globalStoreBytes;
+    r.globalUsefulBytes -= other.globalUsefulBytes;
     r.syncCount -= other.syncCount;
     return r;
 }
@@ -54,11 +62,32 @@ CostStats::scaled(double factor) const
     r.sfuOps *= factor;
     r.issueSlots *= factor;
     r.smemWavefronts *= factor;
+    r.smemAccesses *= factor;
+    r.smemIdealWavefronts *= factor;
     r.globalSectors *= factor;
+    r.globalAccesses *= factor;
     r.globalLoadBytes *= factor;
     r.globalStoreBytes *= factor;
+    r.globalUsefulBytes *= factor;
     r.syncCount *= factor;
     return r;
+}
+
+double
+CostStats::avgSmemConflict() const
+{
+    if (smemIdealWavefronts <= 0)
+        return 1.0;
+    return smemWavefronts / smemIdealWavefronts;
+}
+
+double
+CostStats::coalescingPct() const
+{
+    const double fetched = globalLoadBytes + globalStoreBytes;
+    if (fetched <= 0)
+        return 100.0;
+    return std::min(100.0, 100.0 * globalUsefulBytes / fetched);
 }
 
 int64_t
@@ -86,6 +115,24 @@ smemWavefronts(const std::vector<std::pair<int64_t, int64_t>>
 }
 
 int64_t
+smemIdealWavefronts(const std::vector<std::pair<int64_t, int64_t>>
+                        &threadAccesses,
+                    const GpuArch &arch)
+{
+    // With a perfect (conflict-free) layout the distinct words spread
+    // evenly over the banks, so the floor is ceil(words / banks).
+    std::set<int64_t> words;
+    for (const auto &[addr, bytes] : threadAccesses) {
+        const int64_t firstWord = addr / arch.smemBankBytes;
+        const int64_t lastWord = (addr + bytes - 1) / arch.smemBankBytes;
+        for (int64_t w = firstWord; w <= lastWord; ++w)
+            words.insert(w);
+    }
+    const int64_t n = static_cast<int64_t>(words.size());
+    return std::max<int64_t>(1, (n + arch.smemBanks - 1) / arch.smemBanks);
+}
+
+int64_t
 globalSectors(const std::vector<std::pair<int64_t, int64_t>>
                   &threadAccesses,
               const GpuArch &arch)
@@ -98,6 +145,35 @@ globalSectors(const std::vector<std::pair<int64_t, int64_t>>
             sectors.insert(s);
     }
     return static_cast<int64_t>(sectors.size());
+}
+
+double
+pipeCycles(const CostStats &stats, const GpuArch &arch,
+           std::string *boundBy)
+{
+    struct PipeLoad { const char *name; double cycles; };
+    const std::vector<PipeLoad> pipes = {
+        {"tensor", stats.tensorFlops / arch.tensorFlopsPerCycle},
+        {"fp32", stats.fp32Flops / arch.fp32FlopsPerCycle},
+        {"fp16", stats.fp16Flops / arch.fp16FlopsPerCycle},
+        {"sfu", stats.sfuOps / arch.sfuOpsPerCycle},
+        {"issue", stats.issueSlots / arch.issueSlotsPerCycle},
+        {"smem", stats.smemWavefronts},
+        // L1/LSU: up to 4 global sectors serviced per cycle.
+        {"l1", stats.globalSectors / 4.0},
+    };
+    const double syncOverheadCycles = stats.syncCount * 20.0;
+    double maxPipe = 0;
+    const char *bound = "sync";
+    for (const auto &p : pipes) {
+        if (p.cycles > maxPipe) {
+            maxPipe = p.cycles;
+            bound = p.name;
+        }
+    }
+    if (boundBy)
+        *boundBy = bound;
+    return syncOverheadCycles + maxPipe;
 }
 
 KernelTiming
@@ -125,28 +201,7 @@ estimateKernelTiming(const GpuArch &arch, const CostStats &perBlock,
     // Per-block pipe-limited cycles (per-SM peaks; the pipes are shared
     // by co-resident blocks, so wave time scales with blocks per SM and
     // the per-block cost stays the right unit of accounting).
-    struct PipeLoad { const char *name; double cycles; };
-    const double syncOverheadCycles = perBlock.syncCount * 20.0;
-    const std::vector<PipeLoad> pipes = {
-        {"tensor", perBlock.tensorFlops / arch.tensorFlopsPerCycle},
-        {"fp32", perBlock.fp32Flops / arch.fp32FlopsPerCycle},
-        {"fp16", perBlock.fp16Flops / arch.fp16FlopsPerCycle},
-        {"sfu", perBlock.sfuOps / arch.sfuOpsPerCycle},
-        {"issue", perBlock.issueSlots / arch.issueSlotsPerCycle},
-        {"smem", perBlock.smemWavefronts},
-        // L1/LSU: up to 4 global sectors serviced per cycle.
-        {"l1", perBlock.globalSectors / 4.0},
-    };
-    t.blockCycles = syncOverheadCycles;
-    t.boundBy = "sync";
-    double maxPipe = 0;
-    for (const auto &p : pipes) {
-        if (p.cycles > maxPipe) {
-            maxPipe = p.cycles;
-            t.boundBy = p.name;
-        }
-    }
-    t.blockCycles += maxPipe;
+    t.blockCycles = pipeCycles(perBlock, arch, &t.boundBy);
 
     // Waves of blocks across the device.  Co-resident blocks share the
     // SM pipes, so the makespan is the per-SM block count times the

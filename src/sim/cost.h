@@ -34,14 +34,30 @@ struct CostStats
     double sfuOps = 0;          // special-function ops
     double issueSlots = 0;      // warp-instructions issued
     double smemWavefronts = 0;  // shared-memory access cycles
+    double smemAccesses = 0;    // warp-wide shared-memory requests
+    /** Conflict-free wavefront minimum for the same requests; the
+     *  ratio wavefronts/ideal is the average conflict degree. */
+    double smemIdealWavefronts = 0;
     double globalSectors = 0;   // 32-byte global sectors touched
+    double globalAccesses = 0;  // warp-wide global-memory requests
     double globalLoadBytes = 0;
     double globalStoreBytes = 0;
+    /** Bytes the threads actually asked for (<= sector traffic); the
+     *  ratio is the coalescing efficiency. */
+    double globalUsefulBytes = 0;
     double syncCount = 0;
 
     CostStats &operator+=(const CostStats &other);
     CostStats operator-(const CostStats &other) const;
     CostStats scaled(double factor) const;
+
+    /** Average shared-memory conflict degree: wavefronts per request
+     *  relative to the conflict-free minimum (1.0 = conflict-free). */
+    double avgSmemConflict() const;
+
+    /** Coalescing efficiency in percent (100 = every fetched sector
+     *  byte was requested by a thread); 100 when there is no traffic. */
+    double coalescingPct() const;
 };
 
 /**
@@ -61,6 +77,24 @@ int64_t smemWavefronts(const std::vector<std::pair<int64_t, int64_t>>
 int64_t globalSectors(const std::vector<std::pair<int64_t, int64_t>>
                           &threadAccesses,
                       const GpuArch &arch);
+
+/**
+ * Conflict-free wavefront minimum for one warp-wide shared-memory
+ * access (the cycles the access would take with a perfect layout).
+ */
+int64_t smemIdealWavefronts(const std::vector<std::pair<int64_t, int64_t>>
+                                &threadAccesses,
+                            const GpuArch &arch);
+
+/**
+ * Pipe-limited execution cycles of a cost bundle: the maximum over the
+ * SM pipes (tensor/fp32/fp16/sfu/issue/smem/l1) plus the barrier
+ * overhead.  This is the unit the timing model and the per-statement
+ * profile attribute time with; @p boundBy (optional) receives the name
+ * of the limiting pipe.
+ */
+double pipeCycles(const CostStats &stats, const GpuArch &arch,
+                  std::string *boundBy = nullptr);
 
 /** Timing estimate for one kernel launch. */
 struct KernelTiming

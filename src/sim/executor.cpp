@@ -1,5 +1,6 @@
 #include "sim/executor.h"
 
+#include <algorithm>
 #include <functional>
 
 #include "ir/verifier.h"
@@ -41,6 +42,10 @@ struct Executor::BlockCtx
     std::map<std::string, int64_t> loopVars;
     std::vector<ExprPtr> predicates; // tid-dependent guards
     CostStats stats;
+    /** Per-statement attribution sink (null when not profiling). */
+    std::map<int64_t, StmtCost> *byStmt = nullptr;
+    /** Worst smem conflict degree within the current leaf spec. */
+    double leafMaxConflict = 1.0;
 
     /** Variable lookup for a specific thread. */
     std::function<int64_t(const std::string &)>
@@ -137,13 +142,20 @@ Executor::profile(const Kernel &kernel)
     verifyKernelOrThrow(kernel);
     checkParams(kernel);
     KernelProfile prof;
-    execBlock(kernel, 0, /*timingMode=*/true, &prof.perBlock);
+    prof.stmtCount = numberStmts(kernel.body());
+    execBlock(kernel, 0, /*timingMode=*/true, &prof.perBlock,
+              &prof.byStmt);
     prof.blocksExecuted = 1;
     prof.timing = estimateKernelTiming(arch_, prof.perBlock,
                                        kernel.gridSize(),
                                        kernel.blockSize(),
                                        kernel.sharedMemoryBytes(),
                                        kernel.dramBytesHint());
+    // Only block 0 ran (with extrapolated loops): whatever the kernel
+    // wrote is garbage.  Poison it so misuse fails loudly.
+    for (size_t i = 0; i < kernel.params().size(); ++i)
+        if (!kernel.paramIsConst(static_cast<int>(i)))
+            memory_.at(kernel.params()[i].buffer()).setPoisoned(true);
     return prof;
 }
 
@@ -153,10 +165,12 @@ Executor::runAndProfile(const Kernel &kernel)
     verifyKernelOrThrow(kernel);
     checkParams(kernel);
     KernelProfile prof;
+    prof.stmtCount = numberStmts(kernel.body());
     prepareSanitizer(kernel);
     for (int64_t bid = 0; bid < kernel.gridSize(); ++bid)
         execBlock(kernel, bid, /*timingMode=*/false,
-                  bid == 0 ? &prof.perBlock : nullptr);
+                  bid == 0 ? &prof.perBlock : nullptr,
+                  bid == 0 ? &prof.byStmt : nullptr);
     if (sanitizer_) {
         lastSanitizerReport_ = sanitizer_->takeReport();
         prof.sanitizer = lastSanitizerReport_;
@@ -172,12 +186,13 @@ Executor::runAndProfile(const Kernel &kernel)
 
 void
 Executor::execBlock(const Kernel &kernel, int64_t bid, bool timingMode,
-                    CostStats *stats)
+                    CostStats *stats, std::map<int64_t, StmtCost> *byStmt)
 {
     BlockCtx ctx;
     ctx.bid = bid;
     ctx.blockSize = kernel.blockSize();
     ctx.timingMode = timingMode;
+    ctx.byStmt = byStmt;
     if (!timingMode && sanitizer_) {
         ctx.san = sanitizer_.get();
         ctx.san->beginBlock(bid);
@@ -210,10 +225,29 @@ Executor::execStmt(const Stmt &stmt, BlockCtx &ctx)
             execStmts(stmt.body, ctx);
             ctx.loopVars[stmt.loopVar] = stmt.begin + stmt.step;
             const CostStats afterFirst = ctx.stats;
+            // Snapshot the attribution so the second iteration's
+            // per-statement share can be extrapolated too.
+            std::map<int64_t, StmtCost> bySnap;
+            if (ctx.byStmt)
+                bySnap = *ctx.byStmt;
             execStmts(stmt.body, ctx);
             const CostStats second = ctx.stats - afterFirst;
             (void)before;
-            ctx.stats += second.scaled(static_cast<double>(trips - 2));
+            const double extra = static_cast<double>(trips - 2);
+            ctx.stats += second.scaled(extra);
+            if (ctx.byStmt) {
+                for (auto &[id, sc] : *ctx.byStmt) {
+                    auto prev = bySnap.find(id);
+                    const StmtCost *p =
+                        prev == bySnap.end() ? nullptr : &prev->second;
+                    if (p && p->visits == sc.visits)
+                        continue; // not touched by the second iteration
+                    const CostStats delta =
+                        p ? sc.stats - p->stats : sc.stats;
+                    sc.stats += delta.scaled(extra);
+                    sc.extrapolated = true;
+                }
+            }
             ctx.loopVars.erase(stmt.loopVar);
             return;
         }
@@ -244,14 +278,31 @@ Executor::execStmt(const Stmt &stmt, BlockCtx &ctx)
       }
       case StmtKind::Sync:
         ctx.stats.syncCount += 1;
+        if (ctx.byStmt) {
+            StmtCost &sc = (*ctx.byStmt)[stmt.stmtId];
+            sc.stats.syncCount += 1;
+            sc.visits += 1;
+        }
         if (ctx.san)
             ctx.san->onSync(stmt.warpScope, stmt.syncId);
         return;
       case StmtKind::SpecCall:
-        if (stmt.spec->isLeaf())
-            execLeafSpec(*stmt.spec, ctx);
-        else
+        if (stmt.spec->isLeaf()) {
+            if (ctx.byStmt) {
+                const CostStats before = ctx.stats;
+                ctx.leafMaxConflict = 1.0;
+                execLeafSpec(*stmt.spec, ctx);
+                StmtCost &sc = (*ctx.byStmt)[stmt.stmtId];
+                sc.stats += ctx.stats - before;
+                sc.visits += 1;
+                sc.maxSmemConflict = std::max(sc.maxSmemConflict,
+                                              ctx.leafMaxConflict);
+            } else {
+                execLeafSpec(*stmt.spec, ctx);
+            }
+        } else {
             execStmts(stmt.spec->body(), ctx);
+        }
         return;
       case StmtKind::Alloc:
         if (stmt.allocMemory == MemorySpace::SH) {
@@ -378,12 +429,24 @@ Executor::execLeafSpec(const Spec &spec, BlockCtx &ctx)
                                   || v.totalSize() == 1);
             ranges.insert(ranges.end(), r.begin(), r.end());
         }
+        double useful = 0;
+        for (const auto &[addr, bytes] : ranges)
+            useful += static_cast<double>(bytes);
         if (v.memory() == MemorySpace::SH) {
-            ctx.stats.smemWavefronts +=
-                static_cast<double>(smemWavefronts(ranges, arch_));
+            const int64_t waves = smemWavefronts(ranges, arch_);
+            const int64_t ideal = smemIdealWavefronts(ranges, arch_);
+            ctx.stats.smemWavefronts += static_cast<double>(waves);
+            ctx.stats.smemIdealWavefronts += static_cast<double>(ideal);
+            ctx.stats.smemAccesses += 1;
+            ctx.leafMaxConflict =
+                std::max(ctx.leafMaxConflict,
+                         static_cast<double>(waves)
+                             / static_cast<double>(ideal));
         } else {
             const int64_t sectors = globalSectors(ranges, arch_);
             ctx.stats.globalSectors += static_cast<double>(sectors);
+            ctx.stats.globalAccesses += 1;
+            ctx.stats.globalUsefulBytes += useful;
             const double bytes =
                 static_cast<double>(sectors) * arch_.sectorBytes;
             if (isLoad)
@@ -626,8 +689,16 @@ Executor::execLeafSpec(const Spec &spec, BlockCtx &ctx)
                 std::vector<std::pair<int64_t, int64_t>> phase(
                     allRanges.begin() + g * 8,
                     allRanges.begin() + (g + 1) * 8);
-                ctx.stats.smemWavefronts += static_cast<double>(
-                    smemWavefronts(phase, arch_));
+                const int64_t waves = smemWavefronts(phase, arch_);
+                const int64_t ideal = smemIdealWavefronts(phase, arch_);
+                ctx.stats.smemWavefronts += static_cast<double>(waves);
+                ctx.stats.smemIdealWavefronts +=
+                    static_cast<double>(ideal);
+                ctx.stats.smemAccesses += 1;
+                ctx.leafMaxConflict =
+                    std::max(ctx.leafMaxConflict,
+                             static_cast<double>(waves)
+                                 / static_cast<double>(ideal));
             }
         }
         return;

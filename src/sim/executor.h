@@ -21,6 +21,7 @@
 #ifndef GRAPHENE_SIM_EXECUTOR_H
 #define GRAPHENE_SIM_EXECUTOR_H
 
+#include <map>
 #include <memory>
 
 #include "arch/atomic_specs.h"
@@ -34,12 +35,42 @@ namespace graphene
 namespace sim
 {
 
+/**
+ * Cost attributed to one IR statement (keyed by Stmt::stmtId) during a
+ * profiled execution.  Costs accrue at leaf granularity — SpecCall
+ * leaves and Sync statements; structured statements (loops,
+ * conditionals, decomposed specs) get their cost by summing their
+ * subtree, which the profile report does.
+ */
+struct StmtCost
+{
+    CostStats stats;
+    /** Worst warp-wide shared-memory conflict degree seen at this site
+     *  (wavefronts over the conflict-free minimum; 1.0 = clean). */
+    double maxSmemConflict = 1.0;
+    /** Dynamic executions actually simulated (extrapolated iterations
+     *  are folded into stats but not counted here). */
+    int64_t visits = 0;
+    /** True if part of this cost was extrapolated from a uniform-cost
+     *  loop prefix rather than simulated. */
+    bool extrapolated = false;
+};
+
 /** Result of profiling one kernel launch. */
 struct KernelProfile
 {
     CostStats perBlock;
     KernelTiming timing;
     int64_t blocksExecuted = 0;
+    /**
+     * Per-statement cost attribution for the profiled block, keyed by
+     * Stmt::stmtId (numberStmts() runs as part of profiling).  Empty
+     * for plain functional runs.  The per-stmt stats sum exactly to
+     * perBlock (modulo floating-point association).
+     */
+    std::map<int64_t, StmtCost> byStmt;
+    /** Statements numbered in the kernel (size of the id space). */
+    int64_t stmtCount = 0;
     /** Hazard findings (mode Off unless the sanitizer was enabled). */
     SanitizerReport sanitizer;
 };
@@ -55,7 +86,9 @@ class Executor
     /**
      * Timing execution: block 0 runs (with loop extrapolation) and the
      * cost model produces the kernel time.  Functional results are NOT
-     * valid afterwards.
+     * valid afterwards: every buffer the kernel writes is marked
+     * poisoned, so downloading it or reading it from a functional
+     * launch fails loudly until fresh data is uploaded.
      */
     KernelProfile profile(const Kernel &kernel);
 
@@ -84,7 +117,8 @@ class Executor
     void checkParams(const Kernel &kernel) const;
     void prepareSanitizer(const Kernel &kernel);
     void execBlock(const Kernel &kernel, int64_t bid, bool timingMode,
-                   CostStats *stats);
+                   CostStats *stats,
+                   std::map<int64_t, StmtCost> *byStmt = nullptr);
 
     void execStmts(const std::vector<StmtPtr> &stmts, BlockCtx &ctx);
     void execStmt(const Stmt &stmt, BlockCtx &ctx);

@@ -55,10 +55,20 @@ class Buffer
     /** Round every element to the scalar type (after a bulk fill). */
     void roundAll();
 
+    /**
+     * Poisoned buffers hold garbage from a timing-mode launch (only a
+     * representative block ran, with loop extrapolation).  The runtime
+     * refuses to download them or feed them to a functional launch
+     * until fresh data is uploaded; see Executor::profile().
+     */
+    bool poisoned() const { return poisoned_; }
+    void setPoisoned(bool poisoned) { poisoned_ = poisoned; }
+
   private:
     ScalarType scalar_ = ScalarType::Fp32;
     std::vector<double> data_;
     int64_t virtualSize_ = 0;
+    bool poisoned_ = false;
 };
 
 /** Device global memory: named buffers allocated by the host runtime. */

@@ -1,0 +1,445 @@
+#include "support/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "support/check.h"
+
+namespace graphene
+{
+namespace json
+{
+
+Value
+Value::object()
+{
+    Value v;
+    v.kind_ = Kind::Object;
+    return v;
+}
+
+Value
+Value::array()
+{
+    Value v;
+    v.kind_ = Kind::Array;
+    return v;
+}
+
+bool
+Value::asBool() const
+{
+    GRAPHENE_CHECK(kind_ == Kind::Bool) << "JSON value is not a bool";
+    return bool_;
+}
+
+double
+Value::asNumber() const
+{
+    GRAPHENE_CHECK(kind_ == Kind::Number) << "JSON value is not a number";
+    return num_;
+}
+
+const std::string &
+Value::asString() const
+{
+    GRAPHENE_CHECK(kind_ == Kind::String) << "JSON value is not a string";
+    return str_;
+}
+
+Value &
+Value::operator[](const std::string &key)
+{
+    if (kind_ == Kind::Null)
+        kind_ = Kind::Object;
+    GRAPHENE_CHECK(kind_ == Kind::Object)
+        << "JSON [] on a non-object value";
+    for (auto &[k, v] : obj_)
+        if (k == key)
+            return v;
+    obj_.emplace_back(key, Value());
+    return obj_.back().second;
+}
+
+const Value &
+Value::at(const std::string &key) const
+{
+    GRAPHENE_CHECK(kind_ == Kind::Object)
+        << "JSON field lookup on a non-object value";
+    for (const auto &[k, v] : obj_)
+        if (k == key)
+            return v;
+    fatal("JSON object has no field '" + key + "'");
+}
+
+bool
+Value::contains(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return false;
+    for (const auto &[k, v] : obj_)
+        if (k == key)
+            return true;
+    return false;
+}
+
+const std::vector<std::pair<std::string, Value>> &
+Value::fields() const
+{
+    GRAPHENE_CHECK(kind_ == Kind::Object)
+        << "JSON fields() on a non-object value";
+    return obj_;
+}
+
+void
+Value::push(Value v)
+{
+    if (kind_ == Kind::Null)
+        kind_ = Kind::Array;
+    GRAPHENE_CHECK(kind_ == Kind::Array) << "JSON push on a non-array";
+    arr_.push_back(std::move(v));
+}
+
+const Value &
+Value::at(size_t i) const
+{
+    GRAPHENE_CHECK(kind_ == Kind::Array) << "JSON index on a non-array";
+    GRAPHENE_CHECK(i < arr_.size())
+        << "JSON array index " << i << " out of range (size "
+        << arr_.size() << ")";
+    return arr_[i];
+}
+
+size_t
+Value::size() const
+{
+    return kind_ == Kind::Array ? arr_.size() : obj_.size();
+}
+
+std::string
+quote(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+namespace
+{
+
+std::string
+formatNumber(double n)
+{
+    GRAPHENE_CHECK(std::isfinite(n))
+        << "JSON cannot represent non-finite number";
+    // Integers print exactly; everything else round-trips via %.17g
+    // trimmed to the shortest representation that parses back equal.
+    if (n == std::floor(n) && std::fabs(n) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%lld",
+                      static_cast<long long>(n));
+        return buf;
+    }
+    for (int prec = 6; prec <= 17; ++prec) {
+        char buf[40];
+        std::snprintf(buf, sizeof buf, "%.*g", prec, n);
+        if (std::strtod(buf, nullptr) == n)
+            return buf;
+    }
+    return "0";
+}
+
+void
+dumpRec(const Value &v, std::string &out, int indent, int level)
+{
+    const std::string nl = indent > 0 ? "\n" : "";
+    const std::string pad =
+        indent > 0 ? std::string(static_cast<size_t>(indent * (level + 1)),
+                                 ' ')
+                   : "";
+    const std::string padEnd =
+        indent > 0 ? std::string(static_cast<size_t>(indent * level), ' ')
+                   : "";
+    const std::string sep = indent > 0 ? ": " : ":";
+    switch (v.kind()) {
+      case Value::Kind::Null: out += "null"; break;
+      case Value::Kind::Bool: out += v.asBool() ? "true" : "false"; break;
+      case Value::Kind::Number: out += formatNumber(v.asNumber()); break;
+      case Value::Kind::String: out += quote(v.asString()); break;
+      case Value::Kind::Array: {
+        if (v.size() == 0) {
+            out += "[]";
+            break;
+        }
+        out += "[" + nl;
+        for (size_t i = 0; i < v.size(); ++i) {
+            out += pad;
+            dumpRec(v.at(i), out, indent, level + 1);
+            if (i + 1 < v.size())
+                out += ",";
+            out += nl;
+        }
+        out += padEnd + "]";
+        break;
+      }
+      case Value::Kind::Object: {
+        if (v.fields().empty()) {
+            out += "{}";
+            break;
+        }
+        out += "{" + nl;
+        const auto &fields = v.fields();
+        for (size_t i = 0; i < fields.size(); ++i) {
+            out += pad + quote(fields[i].first) + sep;
+            dumpRec(fields[i].second, out, indent, level + 1);
+            if (i + 1 < fields.size())
+                out += ",";
+            out += nl;
+        }
+        out += padEnd + "}";
+        break;
+      }
+    }
+}
+
+/** Strict recursive-descent JSON parser. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    Value
+    parseDocument()
+    {
+        skipWs();
+        Value v = parseValue();
+        skipWs();
+        GRAPHENE_CHECK(pos_ == text_.size())
+            << "trailing characters after JSON document at offset "
+            << pos_;
+        return v;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size()
+               && (text_[pos_] == ' ' || text_[pos_] == '\t'
+                   || text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        GRAPHENE_CHECK(pos_ < text_.size())
+            << "unexpected end of JSON document";
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        GRAPHENE_CHECK(peek() == c)
+            << "expected '" << c << "' at offset " << pos_ << ", got '"
+            << text_[pos_] << "'";
+        ++pos_;
+    }
+
+    bool
+    consume(const char *lit)
+    {
+        const size_t n = std::strlen(lit);
+        if (text_.compare(pos_, n, lit) == 0) {
+            pos_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    Value
+    parseValue()
+    {
+        switch (peek()) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return Value(parseString());
+          case 't':
+            GRAPHENE_CHECK(consume("true")) << "bad literal at " << pos_;
+            return Value(true);
+          case 'f':
+            GRAPHENE_CHECK(consume("false")) << "bad literal at " << pos_;
+            return Value(false);
+          case 'n':
+            GRAPHENE_CHECK(consume("null")) << "bad literal at " << pos_;
+            return Value();
+          default: return parseNumber();
+        }
+    }
+
+    Value
+    parseObject()
+    {
+        expect('{');
+        Value obj = Value::object();
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return obj;
+        }
+        while (true) {
+            skipWs();
+            const std::string key = parseString();
+            skipWs();
+            expect(':');
+            skipWs();
+            obj[key] = parseValue();
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return obj;
+        }
+    }
+
+    Value
+    parseArray()
+    {
+        expect('[');
+        Value arr = Value::array();
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return arr;
+        }
+        while (true) {
+            skipWs();
+            arr.push(parseValue());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return arr;
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            GRAPHENE_CHECK(pos_ < text_.size())
+                << "unterminated JSON string";
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            GRAPHENE_CHECK(pos_ < text_.size())
+                << "unterminated escape in JSON string";
+            char e = text_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 't': out += '\t'; break;
+              case 'r': out += '\r'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u': {
+                GRAPHENE_CHECK(pos_ + 4 <= text_.size())
+                    << "truncated \\u escape";
+                const std::string hex = text_.substr(pos_, 4);
+                pos_ += 4;
+                const long code = std::strtol(hex.c_str(), nullptr, 16);
+                // Basic-multilingual-plane only; encode as UTF-8.
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default:
+                fatal("bad escape character in JSON string");
+            }
+        }
+    }
+
+    Value
+    parseNumber()
+    {
+        const size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < text_.size()
+               && (std::isdigit(static_cast<unsigned char>(text_[pos_]))
+                   || text_[pos_] == '.' || text_[pos_] == 'e'
+                   || text_[pos_] == 'E' || text_[pos_] == '+'
+                   || text_[pos_] == '-'))
+            ++pos_;
+        GRAPHENE_CHECK(pos_ > start) << "expected JSON number at " << start;
+        const std::string tok = text_.substr(start, pos_ - start);
+        char *end = nullptr;
+        const double n = std::strtod(tok.c_str(), &end);
+        GRAPHENE_CHECK(end && *end == '\0')
+            << "malformed JSON number '" << tok << "'";
+        return Value(n);
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+std::string
+Value::dump(int indent) const
+{
+    std::string out;
+    dumpRec(*this, out, indent, 0);
+    if (indent > 0)
+        out += "\n";
+    return out;
+}
+
+Value
+Value::parse(const std::string &text)
+{
+    return Parser(text).parseDocument();
+}
+
+} // namespace json
+} // namespace graphene

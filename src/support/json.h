@@ -1,0 +1,99 @@
+/**
+ * @file
+ * A minimal JSON document model: build machine-readable reports
+ * (profiles, traces, bench rows) and parse them back for validation.
+ *
+ * Deliberately tiny — no external dependency, insertion-ordered
+ * objects so emitted reports are deterministic and diffable, and a
+ * strict recursive-descent parser used by tests and tooling to verify
+ * that everything the toolkit emits actually parses.
+ */
+
+#ifndef GRAPHENE_SUPPORT_JSON_H
+#define GRAPHENE_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace graphene
+{
+namespace json
+{
+
+/** One JSON value; a tagged union over the seven JSON shapes. */
+class Value
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Value() = default;
+    Value(bool b) : kind_(Kind::Bool), bool_(b) {}
+    Value(double n) : kind_(Kind::Number), num_(n) {}
+    Value(int64_t n) : kind_(Kind::Number), num_(static_cast<double>(n)) {}
+    Value(int n) : kind_(Kind::Number), num_(n) {}
+    Value(const char *s) : kind_(Kind::String), str_(s) {}
+    Value(std::string s) : kind_(Kind::String), str_(std::move(s)) {}
+
+    static Value object();
+    static Value array();
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+
+    /** Object field access; inserts a Null field if missing. */
+    Value &operator[](const std::string &key);
+
+    /** Object lookup (throws if missing or not an object). */
+    const Value &at(const std::string &key) const;
+    bool contains(const std::string &key) const;
+    const std::vector<std::pair<std::string, Value>> &fields() const;
+
+    /** Array append / access. */
+    void push(Value v);
+    const Value &at(size_t i) const;
+    size_t size() const; // array elements or object fields
+
+    /**
+     * Serialize.  @p indent 0 emits a compact single line; positive
+     * values pretty-print with that many spaces per level.
+     */
+    std::string dump(int indent = 0) const;
+
+    /** Parse a complete JSON document; throws graphene::Error. */
+    static Value parse(const std::string &text);
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double num_ = 0;
+    std::string str_;
+    std::vector<Value> arr_;
+    std::vector<std::pair<std::string, Value>> obj_;
+};
+
+/** Escape a string for embedding in a JSON document (adds quotes). */
+std::string quote(const std::string &s);
+
+} // namespace json
+} // namespace graphene
+
+#endif // GRAPHENE_SUPPORT_JSON_H

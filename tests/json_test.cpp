@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the minimal JSON library (src/support/json.h): insertion
+ * order, number formatting, string escaping, and the strict parser
+ * (round-tripping everything the profile/trace/bench emitters write).
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/check.h"
+#include "support/json.h"
+
+namespace graphene
+{
+namespace
+{
+
+TEST(Json, ObjectPreservesInsertionOrder)
+{
+    json::Value o = json::Value::object();
+    o["zebra"] = 1;
+    o["apple"] = 2;
+    o["mango"] = 3;
+    EXPECT_EQ(o.dump(), "{\"zebra\":1,\"apple\":2,\"mango\":3}");
+}
+
+TEST(Json, NumbersFormatCleanly)
+{
+    json::Value o = json::Value::object();
+    o["int"] = 42;
+    o["big"] = int64_t{1} << 40;
+    o["neg"] = -7;
+    o["frac"] = 1.5;
+    o["zero"] = 0.0;
+    EXPECT_EQ(o.dump(), "{\"int\":42,\"big\":1099511627776,\"neg\":-7,"
+                        "\"frac\":1.5,\"zero\":0}");
+}
+
+TEST(Json, NumbersRoundTripThroughParse)
+{
+    for (double v : {0.0, 1.0, -1.0, 0.1, 1e-9, 123456.789,
+                     1043.0487804878048, 96.2406015037594}) {
+        const json::Value parsed = json::Value::parse(
+            json::Value(v).dump());
+        EXPECT_EQ(parsed.asNumber(), v);
+    }
+}
+
+TEST(Json, StringEscapes)
+{
+    json::Value v("a\"b\\c\nd\te");
+    EXPECT_EQ(v.dump(), "\"a\\\"b\\\\c\\nd\\te\"");
+    EXPECT_EQ(json::Value::parse(v.dump()).asString(), "a\"b\\c\nd\te");
+}
+
+TEST(Json, PrettyPrintIndents)
+{
+    json::Value o = json::Value::object();
+    o["k"] = json::Value::array();
+    o["k"].push(1);
+    EXPECT_EQ(o.dump(2), "{\n  \"k\": [\n    1\n  ]\n}\n");
+}
+
+TEST(Json, ParseDocument)
+{
+    const json::Value v = json::Value::parse(
+        R"({"a": [1, 2.5, "x"], "b": {"c": true, "d": null}, "e": false})");
+    EXPECT_EQ(v.at("a").size(), 3u);
+    EXPECT_EQ(v.at("a").at(0).asNumber(), 1);
+    EXPECT_EQ(v.at("a").at(2).asString(), "x");
+    EXPECT_TRUE(v.at("b").at("c").asBool());
+    EXPECT_TRUE(v.at("b").at("d").isNull());
+    EXPECT_FALSE(v.at("e").asBool());
+    EXPECT_FALSE(v.contains("zzz"));
+}
+
+TEST(Json, ParseUnicodeEscapes)
+{
+    EXPECT_EQ(json::Value::parse("\"\\u0041\"").asString(), "A");
+    // U+00E9 (é) and U+4E2D encode to 2- and 3-byte UTF-8.
+    EXPECT_EQ(json::Value::parse("\"\\u00e9\"").asString(), "\xC3\xA9");
+    EXPECT_EQ(json::Value::parse("\"\\u4e2d\"").asString(),
+              "\xE4\xB8\xAD");
+}
+
+TEST(Json, ParseRejectsMalformedDocuments)
+{
+    EXPECT_THROW(json::Value::parse("{"), Error);
+    EXPECT_THROW(json::Value::parse("[1,]"), Error);
+    EXPECT_THROW(json::Value::parse("{} trailing"), Error);
+    EXPECT_THROW(json::Value::parse("\"unterminated"), Error);
+    EXPECT_THROW(json::Value::parse("truu"), Error);
+    EXPECT_THROW(json::Value::parse("1.2.3"), Error);
+}
+
+TEST(Json, TypeMismatchThrows)
+{
+    json::Value arr = json::Value::array();
+    EXPECT_THROW(arr.asNumber(), Error);
+    EXPECT_THROW(arr.at("k"), Error);
+    json::Value obj = json::Value::object();
+    EXPECT_THROW(obj.at(size_t{0}), Error);
+    EXPECT_THROW(obj.at("missing"), Error);
+}
+
+TEST(Json, DumpParseRoundTrip)
+{
+    json::Value o = json::Value::object();
+    o["rows"] = json::Value::array();
+    json::Value row = json::Value::object();
+    row["label"] = "graphene";
+    row["sim_us"] = 1043.0487804878048;
+    row["bound_by"] = json::Value();
+    o["rows"].push(std::move(row));
+    const json::Value back = json::Value::parse(o.dump(2));
+    EXPECT_EQ(back.dump(), o.dump());
+}
+
+} // namespace
+} // namespace graphene

@@ -1,0 +1,383 @@
+/**
+ * @file
+ * Tests for the observability layer: per-statement cost attribution
+ * (ids, sum invariants, determinism, extrapolation flags), the profile
+ * and Chrome-trace JSON emitters, buffer poisoning after timing
+ * launches, and golden report snapshots for the Fig. 8 GEMM on both
+ * architectures (regenerate with profile_test --update-golden).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "ops/simple_gemm.h"
+#include "ops/tc_gemm.h"
+#include "profile/profile.h"
+#include "profile/trace.h"
+#include "runtime/device.h"
+#include "support/check.h"
+
+namespace
+{
+
+/** Set from argv in main: rewrite snapshots instead of comparing. */
+bool updateGolden = false;
+
+} // namespace
+
+namespace graphene
+{
+namespace
+{
+
+Kernel
+tcGemmKernel(const GpuArch &arch, Device &dev)
+{
+    ops::TcGemmConfig cfg; // 128x128x64 defaults, one block tile
+    dev.allocateVirtual("%A", ScalarType::Fp16, cfg.m * cfg.k);
+    dev.allocateVirtual("%B", ScalarType::Fp16, cfg.k * cfg.n);
+    dev.allocateVirtual("%C", ScalarType::Fp16, cfg.m * cfg.n);
+    return ops::buildTcGemm(arch, cfg);
+}
+
+Kernel
+simpleGemmKernel(Device &dev)
+{
+    ops::SimpleGemmConfig cfg; // the Fig. 8 1024^3 shape
+    dev.allocateVirtual("%A", ScalarType::Fp16, cfg.m * cfg.k);
+    dev.allocateVirtual("%B", ScalarType::Fp16, cfg.k * cfg.n);
+    dev.allocateVirtual("%C", ScalarType::Fp16, cfg.m * cfg.n);
+    return ops::buildSimpleGemm(cfg);
+}
+
+void
+expectStatsNear(const sim::CostStats &a, const sim::CostStats &b)
+{
+    const auto near = [](double x, double y) {
+        return std::fabs(x - y)
+            <= 1e-9 * std::max({std::fabs(x), std::fabs(y), 1.0});
+    };
+    EXPECT_TRUE(near(a.tensorFlops, b.tensorFlops))
+        << a.tensorFlops << " vs " << b.tensorFlops;
+    EXPECT_TRUE(near(a.fp32Flops, b.fp32Flops));
+    EXPECT_TRUE(near(a.fp16Flops, b.fp16Flops));
+    EXPECT_TRUE(near(a.sfuOps, b.sfuOps));
+    EXPECT_TRUE(near(a.issueSlots, b.issueSlots))
+        << a.issueSlots << " vs " << b.issueSlots;
+    EXPECT_TRUE(near(a.smemWavefronts, b.smemWavefronts))
+        << a.smemWavefronts << " vs " << b.smemWavefronts;
+    EXPECT_TRUE(near(a.smemAccesses, b.smemAccesses));
+    EXPECT_TRUE(near(a.smemIdealWavefronts, b.smemIdealWavefronts));
+    EXPECT_TRUE(near(a.globalSectors, b.globalSectors))
+        << a.globalSectors << " vs " << b.globalSectors;
+    EXPECT_TRUE(near(a.globalAccesses, b.globalAccesses));
+    EXPECT_TRUE(near(a.globalLoadBytes, b.globalLoadBytes));
+    EXPECT_TRUE(near(a.globalStoreBytes, b.globalStoreBytes));
+    EXPECT_TRUE(near(a.globalUsefulBytes, b.globalUsefulBytes));
+    EXPECT_TRUE(near(a.syncCount, b.syncCount))
+        << a.syncCount << " vs " << b.syncCount;
+}
+
+/** Sum of the children's totals plus the node's own self cost. */
+sim::CostStats
+subtreeSum(const profile::AttributionNode &n)
+{
+    sim::CostStats sum = n.self;
+    for (const auto &c : n.children)
+        sum += c.total;
+    return sum;
+}
+
+void
+checkTreeInvariants(const profile::AttributionNode &n,
+                    std::set<int64_t> &seen)
+{
+    if (n.stmtId >= 0) {
+        EXPECT_TRUE(seen.insert(n.stmtId).second)
+            << "stmt id " << n.stmtId << " appears twice in the tree";
+    }
+    expectStatsNear(n.total, subtreeSum(n));
+    for (const auto &c : n.children) {
+        EXPECT_LE(c.cycles, n.cycles * (1 + 1e-9))
+            << "child outweighs its parent";
+        checkTreeInvariants(c, seen);
+    }
+}
+
+TEST(Attribution, TimingProfilePopulatesByStmt)
+{
+    for (const GpuArch *arch : {&GpuArch::volta(), &GpuArch::ampere()}) {
+        Device dev(*arch);
+        const Kernel kernel = tcGemmKernel(*arch, dev);
+        const auto prof = dev.launch(kernel, LaunchMode::Timing);
+        EXPECT_GT(prof.stmtCount, 0);
+        EXPECT_FALSE(prof.byStmt.empty());
+        for (const auto &[id, sc] : prof.byStmt) {
+            EXPECT_GE(id, 0);
+            EXPECT_LT(id, prof.stmtCount);
+            EXPECT_GT(sc.visits, 0);
+        }
+    }
+}
+
+TEST(Attribution, StmtCostsSumToPerBlock)
+{
+    for (const GpuArch *arch : {&GpuArch::volta(), &GpuArch::ampere()}) {
+        Device dev(*arch);
+        const Kernel kernel = tcGemmKernel(*arch, dev);
+        const auto prof = dev.launch(kernel, LaunchMode::Timing);
+        sim::CostStats sum;
+        for (const auto &[id, sc] : prof.byStmt)
+            sum += sc.stats;
+        expectStatsNear(sum, prof.perBlock);
+    }
+}
+
+TEST(Attribution, TreeTotalsMatchPerBlockAndNest)
+{
+    for (const GpuArch *arch : {&GpuArch::volta(), &GpuArch::ampere()}) {
+        Device dev(*arch);
+        const Kernel kernel = tcGemmKernel(*arch, dev);
+        const auto prof = dev.launch(kernel, LaunchMode::Timing);
+        const auto tree =
+            profile::buildAttributionTree(kernel, *arch, prof);
+        expectStatsNear(tree.total, prof.perBlock);
+        EXPECT_NEAR(tree.pctOfBlock, 100.0, 1e-9);
+        EXPECT_GT(tree.cycles, 0);
+        std::set<int64_t> seen;
+        checkTreeInvariants(tree, seen);
+    }
+}
+
+TEST(Attribution, UniformLoopCostExtrapolatedAndFlagged)
+{
+    const GpuArch &arch = GpuArch::ampere();
+    // Deepen the staged k-loop past the 2-iteration prefix the timing
+    // mode simulates (k/bk = 8 trips), so cost must be extrapolated.
+    ops::TcGemmConfig cfg;
+    cfg.k = 256;
+
+    Device dev(arch);
+    dev.allocateVirtual("%A", ScalarType::Fp16, cfg.m * cfg.k);
+    dev.allocateVirtual("%B", ScalarType::Fp16, cfg.k * cfg.n);
+    dev.allocateVirtual("%C", ScalarType::Fp16, cfg.m * cfg.n);
+    const Kernel kernel = ops::buildTcGemm(arch, cfg);
+    const auto timing = dev.launch(kernel, LaunchMode::Timing);
+
+    Device dev2(arch);
+    dev2.allocate("%A", ScalarType::Fp16, cfg.m * cfg.k);
+    dev2.allocate("%B", ScalarType::Fp16, cfg.k * cfg.n);
+    dev2.allocate("%C", ScalarType::Fp16, cfg.m * cfg.n);
+    const Kernel kernel2 = ops::buildTcGemm(arch, cfg);
+    const auto exact = dev2.launch(kernel2, LaunchMode::FunctionalTimed);
+
+    // The extrapolated per-stmt costs reproduce the exact (all
+    // iterations simulated) profile, and extrapolated leaves are
+    // flagged while the exact run's are not.
+    bool sawExtrapolated = false;
+    for (const auto &[id, sc] : timing.byStmt) {
+        auto it = exact.byStmt.find(id);
+        ASSERT_NE(it, exact.byStmt.end()) << "stmt " << id;
+        expectStatsNear(sc.stats, it->second.stats);
+        EXPECT_FALSE(it->second.extrapolated);
+        sawExtrapolated = sawExtrapolated || sc.extrapolated;
+    }
+    EXPECT_TRUE(sawExtrapolated)
+        << "the staged GEMM main loop is uniform-cost and longer than "
+           "the simulated prefix, so some cost must be extrapolated";
+}
+
+TEST(Attribution, DeterministicAcrossRuns)
+{
+    const GpuArch &arch = GpuArch::ampere();
+    std::string dumps[2];
+    for (std::string &dump : dumps) {
+        Device dev(arch);
+        const Kernel kernel = tcGemmKernel(arch, dev);
+        const auto prof = dev.launch(kernel, LaunchMode::Timing);
+        dump = profile::profileToJson(kernel, arch, prof).dump(2);
+    }
+    EXPECT_EQ(dumps[0], dumps[1]);
+}
+
+TEST(ProfileJson, SchemaAndRoundTrip)
+{
+    const GpuArch &arch = GpuArch::ampere();
+    Device dev(arch);
+    const Kernel kernel = tcGemmKernel(arch, dev);
+    const auto prof = dev.launch(kernel, LaunchMode::Timing);
+    const std::string text =
+        profile::profileToJson(kernel, arch, prof).dump(2);
+    const json::Value doc = json::Value::parse(text);
+
+    EXPECT_EQ(doc.at("schema").asString(), "graphene.profile.v1");
+    EXPECT_EQ(doc.at("kernel").at("name").asString(), kernel.name());
+    EXPECT_EQ(doc.at("kernel").at("arch").asString(), arch.name);
+    EXPECT_GT(doc.at("timing").at("time_us").asNumber(), 0);
+    EXPECT_FALSE(doc.at("timing").at("bound_by").asString().empty());
+    EXPECT_TRUE(doc.at("timing").at("pipes_pct").isObject());
+    EXPECT_TRUE(doc.at("per_block").isObject());
+
+    const json::Value &root = doc.at("attribution");
+    EXPECT_EQ(root.at("kind").asString(), "kernel");
+    EXPECT_NEAR(root.at("pct_of_block").asNumber(), 100.0, 1e-9);
+    EXPECT_TRUE(root.at("children").isArray());
+    EXPECT_GT(root.at("children").size(), 0u);
+    const json::Value &child = root.at("children").at(0);
+    EXPECT_TRUE(child.contains("stmt"));
+    EXPECT_TRUE(child.contains("label"));
+    EXPECT_TRUE(child.contains("cycles"));
+    EXPECT_TRUE(child.at("total").contains("smem_conflict_avg"));
+    EXPECT_TRUE(child.at("total").contains("coalescing_pct"));
+}
+
+TEST(TraceJson, ChromeTraceSchema)
+{
+    const GpuArch &arch = GpuArch::ampere();
+    Device dev(arch);
+    const Kernel kernel = tcGemmKernel(arch, dev);
+    const auto prof = dev.launch(kernel, LaunchMode::Timing);
+    const std::string text =
+        profile::profileToChromeTrace(kernel, arch, prof).dump(1);
+    const json::Value doc = json::Value::parse(text);
+
+    ASSERT_TRUE(doc.at("traceEvents").isArray());
+    ASSERT_GT(doc.at("traceEvents").size(), 0u);
+    EXPECT_EQ(doc.at("otherData").at("schema").asString(),
+              "graphene.trace.v1");
+
+    int durations = 0, counters = 0, metas = 0;
+    double maxEnd = 0;
+    for (size_t i = 0; i < doc.at("traceEvents").size(); ++i) {
+        const json::Value &e = doc.at("traceEvents").at(i);
+        const std::string ph = e.at("ph").asString();
+        EXPECT_TRUE(e.contains("pid"));
+        EXPECT_TRUE(e.contains("tid"));
+        EXPECT_TRUE(e.contains("name"));
+        if (ph == "X") {
+            ++durations;
+            EXPECT_GE(e.at("dur").asNumber(), 0);
+            EXPECT_GE(e.at("ts").asNumber(), 0);
+            maxEnd = std::max(maxEnd, e.at("ts").asNumber()
+                                          + e.at("dur").asNumber());
+        } else if (ph == "C") {
+            ++counters;
+        } else if (ph == "M") {
+            ++metas;
+        } else {
+            ADD_FAILURE() << "unexpected event phase " << ph;
+        }
+    }
+    EXPECT_GT(durations, 0);
+    EXPECT_GT(counters, 0);
+    EXPECT_GT(metas, 0);
+
+    // Laying leaves out in program order serializes the pipes, so the
+    // trace span bounds the pipe-overlapped block cycles from above.
+    const double blockUs =
+        prof.timing.blockCycles / (arch.clockGhz * 1e3);
+    EXPECT_GE(maxEnd * (1 + 1e-9), blockUs);
+}
+
+TEST(Poisoning, DownloadAfterTimingLaunchThrows)
+{
+    const GpuArch &arch = GpuArch::ampere();
+    Device dev(arch);
+    ops::TcGemmConfig cfg;
+    dev.allocate("%A", ScalarType::Fp16, cfg.m * cfg.k);
+    dev.allocate("%B", ScalarType::Fp16, cfg.k * cfg.n);
+    dev.allocate("%C", ScalarType::Fp16, cfg.m * cfg.n);
+    const Kernel kernel = ops::buildTcGemm(arch, cfg);
+    dev.launch(kernel, LaunchMode::Timing);
+
+    // The kernel writes %C only: its download must fail loudly, the
+    // const inputs stay readable.
+    EXPECT_THROW(dev.download("%C"), Error);
+    EXPECT_NO_THROW(dev.download("%A"));
+    EXPECT_NO_THROW(dev.download("%B"));
+
+    // A functional launch reading the poisoned buffer is rejected too.
+    EXPECT_THROW(dev.launch(kernel, LaunchMode::Functional), Error);
+
+    // Re-uploading clears the poison; functional execution then yields
+    // downloadable results again.
+    dev.upload("%C", ScalarType::Fp16,
+               std::vector<double>(
+                   static_cast<size_t>(cfg.m * cfg.n), 0.0));
+    EXPECT_NO_THROW(dev.launch(kernel, LaunchMode::Functional));
+    EXPECT_NO_THROW(dev.download("%C"));
+}
+
+TEST(Poisoning, RepeatedTimingLaunchesAllowed)
+{
+    const GpuArch &arch = GpuArch::ampere();
+    Device dev(arch);
+    const Kernel kernel = tcGemmKernel(arch, dev);
+    // Benchmarks re-launch on the same (virtual, already poisoned)
+    // buffers; only functional use of the results is an error.
+    EXPECT_NO_THROW(dev.launch(kernel, LaunchMode::Timing));
+    EXPECT_NO_THROW(dev.launch(kernel, LaunchMode::Timing));
+}
+
+std::string
+goldenPath(const std::string &name)
+{
+    return std::string(GRAPHENE_GOLDEN_DIR) + "/" + name;
+}
+
+void
+checkGolden(const std::string &name, const std::string &actual)
+{
+    const std::string path = goldenPath(name);
+    if (updateGolden) {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << actual;
+        return;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing golden file " << path
+        << "; run profile_test --update-golden to create it";
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_EQ(buf.str(), actual)
+        << "report output diverges from " << path
+        << "; if the change is intentional, rerun with --update-golden "
+        << "and review the snapshot diff";
+}
+
+TEST(ReportGolden, SimpleGemmVolta)
+{
+    Device dev(GpuArch::volta());
+    const Kernel kernel = simpleGemmKernel(dev);
+    const auto prof = dev.launch(kernel, LaunchMode::Timing);
+    checkGolden("report_simple_gemm_volta.txt",
+                profile::renderReport(kernel, GpuArch::volta(), prof));
+}
+
+TEST(ReportGolden, SimpleGemmAmpere)
+{
+    Device dev(GpuArch::ampere());
+    const Kernel kernel = simpleGemmKernel(dev);
+    const auto prof = dev.launch(kernel, LaunchMode::Timing);
+    checkGolden("report_simple_gemm_ampere.txt",
+                profile::renderReport(kernel, GpuArch::ampere(), prof));
+}
+
+} // namespace
+} // namespace graphene
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == "--update-golden")
+            updateGolden = true;
+    return RUN_ALL_TESTS();
+}

@@ -9,9 +9,19 @@
  *       Print the Graphene IR of a generated kernel.
  *   graphene-cli emit-cuda <kernel> [options]
  *       Print the generated CUDA C++.
- *   graphene-cli profile <kernel> [options]
- *       Run the timing simulation and print the profile.
- *   graphene-cli sanitize <kernel> [options]
+ *   graphene-cli profile <kernel> [options] [--json [path]]
+ *       Run the timing simulation and print the profile; with --json,
+ *       write the machine-readable profile (per-spec attribution tree,
+ *       roofline numbers) to path, or stdout if no path is given.
+ *   graphene-cli report <kernel> [options] [--top N]
+ *       Run the timing simulation and print the hierarchical per-spec
+ *       cost tree (percent of block cycles per decomposition node),
+ *       the top-N hottest leaf specs, bank-conflict flags, and a
+ *       bound-by verdict.
+ *   graphene-cli trace <kernel> --out <path> [options]
+ *       Run the timing simulation and write a Chrome-trace JSON
+ *       (chrome://tracing / Perfetto) of the profiled block.
+ *   graphene-cli sanitize <kernel> [options] [--trap]
  *       Run the kernel functionally with the hazard sanitizer (races,
  *       out-of-bounds, uninitialized shared memory) and print the
  *       report.  Exits non-zero if hazards were found.  Shapes default
@@ -22,16 +32,20 @@
  * Options: --arch volta|ampere   --m --n --k (GEMM-family sizes)
  *          --layers N (mlp)      --epilogue bias|relu|bias+relu|bias+gelu
  *          --no-swizzle          --trap (sanitize: throw on 1st hazard)
+ *          --json [path]         --out path        --top N
  */
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <string>
 
 #include "baselines/engines.h"
 #include "codegen/cuda_emitter.h"
 #include "ir/printer.h"
+#include "profile/profile.h"
+#include "profile/trace.h"
 #include "ops/fmha.h"
 #include "ops/layernorm.h"
 #include "ops/ldmatrix_move.h"
@@ -59,18 +73,41 @@ struct Options
     std::string epilogue = "none";
     bool swizzle = true;
     bool trap = false;
+    bool json = false;        // profile --json
+    std::string jsonPath;     // empty = stdout
+    std::string outPath;      // trace --out
+    int64_t topN = 5;         // report --top
 };
 
 [[noreturn]] void
 usage()
 {
-    std::fprintf(stderr,
-                 "usage: graphene-cli <list-atomics|print-ir|emit-cuda|"
-                 "profile|sanitize> [kernel] [--arch volta|ampere] "
-                 "[--m N] [--n N] [--k N] [--layers N] [--epilogue E] "
-                 "[--no-swizzle] [--trap]\n"
-                 "kernels: simple-gemm gemm mlp lstm fmha layernorm "
-                 "ldmatrix\n");
+    std::fprintf(
+        stderr,
+        "usage: graphene-cli <command> [kernel] [options]\n"
+        "commands:\n"
+        "  list-atomics                   print the atomic-spec "
+        "registry (Table 2)\n"
+        "  print-ir <kernel>              print the Graphene IR\n"
+        "  emit-cuda <kernel>             print the generated CUDA "
+        "C++\n"
+        "  profile <kernel> [--json [path]]\n"
+        "                                 timing simulation; --json "
+        "writes the\n"
+        "                                 machine-readable profile "
+        "(stdout if no path)\n"
+        "  report <kernel> [--top N]      per-spec cost tree, hot "
+        "specs, verdict\n"
+        "  trace <kernel> --out <path>    Chrome-trace JSON of the "
+        "profiled block\n"
+        "  sanitize <kernel> [--trap]     functional run with the "
+        "hazard sanitizer;\n"
+        "                                 --trap throws on the first "
+        "hazard\n"
+        "kernels: simple-gemm gemm mlp lstm fmha layernorm ldmatrix\n"
+        "options: --arch volta|ampere  --m N --n N --k N  --layers N\n"
+        "         --epilogue none|bias|relu|bias+relu|bias+gelu  "
+        "--no-swizzle\n");
     std::exit(2);
 }
 
@@ -115,6 +152,16 @@ parse(int argc, char **argv)
             o.swizzle = false;
         } else if (a == "--trap") {
             o.trap = true;
+        } else if (a == "--json") {
+            o.json = true;
+            // Optional path operand: consume the next argument unless
+            // it is another option.
+            if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0)
+                o.jsonPath = argv[++i];
+        } else if (a == "--out") {
+            o.outPath = next();
+        } else if (a == "--top") {
+            o.topN = std::stoll(next());
         } else {
             usage();
         }
@@ -304,6 +351,47 @@ main(int argc, char **argv)
                         prof.perBlock.issueSlots,
                         prof.perBlock.smemWavefronts,
                         prof.perBlock.globalSectors);
+            if (o.json) {
+                const std::string doc =
+                    profile::profileToJson(kernel, arch, prof).dump(2);
+                if (o.jsonPath.empty()) {
+                    std::printf("%s", doc.c_str());
+                } else {
+                    std::ofstream f(o.jsonPath);
+                    if (!f) {
+                        std::fprintf(stderr, "error: cannot write %s\n",
+                                     o.jsonPath.c_str());
+                        return 1;
+                    }
+                    f << doc;
+                    std::printf("json     wrote %s\n", o.jsonPath.c_str());
+                }
+            }
+        } else if (o.command == "report") {
+            auto prof = dev.launch(kernel, LaunchMode::Timing);
+            std::printf("%s",
+                        profile::renderReport(kernel, arch, prof,
+                                              static_cast<int>(o.topN))
+                            .c_str());
+        } else if (o.command == "trace") {
+            if (o.outPath.empty()) {
+                std::fprintf(stderr,
+                             "error: trace requires --out <path>\n");
+                usage();
+            }
+            auto prof = dev.launch(kernel, LaunchMode::Timing);
+            const json::Value trace =
+                profile::profileToChromeTrace(kernel, arch, prof);
+            std::ofstream f(o.outPath);
+            if (!f) {
+                std::fprintf(stderr, "error: cannot write %s\n",
+                             o.outPath.c_str());
+                return 1;
+            }
+            f << trace.dump(1);
+            std::printf("trace    wrote %s (%lld events)\n",
+                        o.outPath.c_str(),
+                        (long long)trace.at("traceEvents").size());
         } else if (o.command == "sanitize") {
             dev.setSanitizerMode(o.trap ? sim::SanitizerMode::Trap
                                         : sim::SanitizerMode::Report);
