@@ -12,7 +12,9 @@
 #ifndef GRAPHENE_BENCH_COMMON_H
 #define GRAPHENE_BENCH_COMMON_H
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -20,6 +22,7 @@
 #include <vector>
 
 #include "runtime/device.h"
+#include "sim/sim_config.h"
 #include "support/json.h"
 
 namespace graphene
@@ -52,11 +55,16 @@ archByName(const std::string &name)
  * (schema "graphene.bench.v1"): one row per printed series entry with
  * the label, architecture, simulated time, and — for single-kernel
  * rows — the bounding pipe and the Nsight-style percent-of-peak pipe
- * utilizations.  Enabled by `--json <path>` on the bench command line.
+ * utilizations.  Every row also records the host-side wall clock spent
+ * producing it (`host_us`, measured since the previous row) and the
+ * simulator execution configuration (`threads`, `plan`), so perf
+ * regressions in the simulator itself are visible in CI artifacts.
+ * Enabled by `--json <path>` on the bench command line.
  *
  * Construct BEFORE benchmark::Initialize: google-benchmark rejects
  * flags it does not know, so the constructor strips `--json <path>`
- * from argv.
+ * plus the simulator flags `--threads <N>` and `--no-plan` (which are
+ * applied process-wide via sim::setDefaultThreads/setDefaultUsePlan).
  */
 class JsonReport
 {
@@ -64,18 +72,30 @@ class JsonReport
     JsonReport(int *argc, char **argv, std::string figure)
         : figure_(std::move(figure))
     {
-        for (int i = 1; i < *argc; ++i) {
+        auto strip = [&](int i, int n) {
+            for (int j = i; j + n < *argc; ++j)
+                argv[j] = argv[j + n];
+            *argc -= n;
+        };
+        for (int i = 1; i < *argc;) {
             if (std::strcmp(argv[i], "--json") == 0 && i + 1 < *argc) {
                 path_ = argv[i + 1];
-                for (int j = i; j + 2 < *argc; ++j)
-                    argv[j] = argv[j + 2];
-                *argc -= 2;
-                break;
+                strip(i, 2);
+            } else if (std::strcmp(argv[i], "--threads") == 0
+                       && i + 1 < *argc) {
+                sim::setDefaultThreads(std::atoi(argv[i + 1]));
+                strip(i, 2);
+            } else if (std::strcmp(argv[i], "--no-plan") == 0) {
+                sim::setDefaultUsePlan(false);
+                strip(i, 1);
+            } else {
+                ++i;
             }
         }
         doc_["schema"] = "graphene.bench.v1";
         doc_["figure"] = figure_;
         doc_["rows"] = json::Value::array();
+        lastRowTime_ = std::chrono::steady_clock::now();
     }
 
     bool enabled() const { return !path_.empty(); }
@@ -129,16 +149,26 @@ class JsonReport
     rowCommon(const std::string &label, const std::string &arch,
               double timeUs)
     {
+        const auto now = std::chrono::steady_clock::now();
+        const double hostUs =
+            std::chrono::duration<double, std::micro>(now - lastRowTime_)
+                .count();
+        lastRowTime_ = now;
         json::Value row = json::Value::object();
         row["label"] = label;
         row["arch"] = arch;
         row["sim_us"] = timeUs;
+        row["host_us"] = hostUs;
+        row["threads"] = static_cast<double>(
+            sim::resolveThreads(sim::defaultThreads()));
+        row["plan"] = sim::defaultUsePlan();
         return row;
     }
 
     std::string figure_;
     std::string path_;
     json::Value doc_ = json::Value::object();
+    std::chrono::steady_clock::time_point lastRowTime_;
 };
 
 } // namespace bench

@@ -16,6 +16,7 @@
 #include "baselines/engines.h"
 #include "bench/bench_common.h"
 #include "ops/tc_gemm.h"
+#include "support/rng.h"
 
 namespace graphene
 {
@@ -119,6 +120,43 @@ main(int argc, char **argv)
         printRow("Graphene", gph.timing.timeUs, extra);
         json.addRow("cublas-like", archName, lib.timing);
         json.addRow("graphene", archName, gph.timing);
+    }
+
+    // Functional end-to-end: every block of a real (non-virtual) GEMM
+    // executes and produces exact results.  The row's host_us measures
+    // the simulator itself — the target of the execution-plan engine
+    // and the --threads scaling knob — so CI can compare configurations
+    // from the JSON artifact.
+    printHeader("Functional end-to-end (host wall clock of the simulator)");
+    {
+        const GpuArch &arch = GpuArch::ampere();
+        const int64_t m = 512, n = 512, k = 128;
+        Device dev(arch);
+        Rng rng(42);
+        auto fill = [&](const std::string &name, int64_t count) {
+            std::vector<double> host(static_cast<size_t>(count));
+            for (auto &x : host)
+                x = rng.uniform(-1.0, 1.0);
+            dev.upload(name, ScalarType::Fp16, host);
+        };
+        fill("%A", m * k);
+        fill("%B", k * n);
+        fill("%C", m * n);
+        ops::TcGemmConfig cfg =
+            baselines::heuristicGemmConfig(arch, m, n, k);
+        const Kernel kernel = ops::buildTcGemm(arch, cfg);
+        const auto t0 = std::chrono::steady_clock::now();
+        dev.launch(kernel, LaunchMode::Functional);
+        const double hostUs = std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - t0).count();
+        char extra[128];
+        std::snprintf(extra, sizeof extra,
+                      "M=N=%lld K=%lld  threads=%d  engine=%s",
+                      (long long)m, (long long)k,
+                      sim::resolveThreads(sim::defaultThreads()),
+                      sim::defaultUsePlan() ? "plan" : "interpreter");
+        printRow("functional host wall", hostUs, extra);
+        json.addRow("functional-e2e", "ampere", 0.0);
     }
     json.write();
     return 0;

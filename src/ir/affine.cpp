@@ -1,0 +1,269 @@
+#include "ir/affine.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace graphene
+{
+
+namespace
+{
+
+void
+addTerm(AffineExpr &out, const ExprPtr &e, int64_t stride)
+{
+    if (stride == 0)
+        return;
+    for (auto &t : out.terms) {
+        if (t.expr->equals(*e)) {
+            t.stride += stride;
+            return;
+        }
+    }
+    out.terms.push_back({e, stride});
+}
+
+void
+decomposeInto(const ExprPtr &e, int64_t scale, AffineExpr &out)
+{
+    switch (e->kind()) {
+      case ExprKind::Const:
+        out.base += scale * e->constValue();
+        return;
+      case ExprKind::Add:
+        decomposeInto(e->lhs(), scale, out);
+        decomposeInto(e->rhs(), scale, out);
+        return;
+      case ExprKind::Sub:
+        decomposeInto(e->lhs(), scale, out);
+        decomposeInto(e->rhs(), -scale, out);
+        return;
+      case ExprKind::Mul: {
+        int64_t c;
+        if (isConst(e->lhs(), &c)) {
+            decomposeInto(e->rhs(), scale * c, out);
+            return;
+        }
+        if (isConst(e->rhs(), &c)) {
+            decomposeInto(e->lhs(), scale * c, out);
+            return;
+        }
+        addTerm(out, e, scale);
+        return;
+      }
+      default:
+        addTerm(out, e, scale);
+        return;
+    }
+}
+
+} // namespace
+
+AffineExpr
+decomposeAffine(const ExprPtr &e)
+{
+    GRAPHENE_ASSERT(e != nullptr) << "decomposeAffine(null)";
+    AffineExpr out;
+    decomposeInto(e, 1, out);
+    out.terms.erase(std::remove_if(out.terms.begin(), out.terms.end(),
+                                   [](const AffineTerm &t) {
+                                       return t.stride == 0;
+                                   }),
+                    out.terms.end());
+    return out;
+}
+
+ExprPtr
+AffineExpr::reconstruct() const
+{
+    ExprPtr e = constant(base);
+    for (const auto &t : terms)
+        e = add(e, mul(t.expr, constant(t.stride)));
+    return e;
+}
+
+int
+SlotMap::slotOf(const std::string &name) const
+{
+    for (size_t i = 0; i < names_.size(); ++i)
+        if (names_[i] == name)
+            return static_cast<int>(i);
+    return -1;
+}
+
+int
+SlotMap::addSlot(const std::string &name)
+{
+    const int existing = slotOf(name);
+    if (existing >= 0)
+        return existing;
+    names_.push_back(name);
+    return static_cast<int>(names_.size()) - 1;
+}
+
+CompiledExpr
+CompiledExpr::compile(const ExprPtr &e, const SlotMap &slots)
+{
+    CompiledExpr prog;
+    prog.debug_ = e->str();
+    int depth = 0, maxDepth = 0;
+    // Post-order emission; explicit stack to avoid deep recursion on
+    // long sum chains.
+    struct Frame
+    {
+        const Expr *e;
+        bool expanded;
+    };
+    std::vector<Frame> work{{e.get(), false}};
+    std::vector<const Expr *> order;
+    while (!work.empty()) {
+        Frame f = work.back();
+        work.pop_back();
+        if (f.expanded || f.e->kind() == ExprKind::Const
+            || f.e->kind() == ExprKind::Var) {
+            order.push_back(f.e);
+            continue;
+        }
+        work.push_back({f.e, true});
+        work.push_back({f.e->rhs().get(), false});
+        work.push_back({f.e->lhs().get(), false});
+    }
+    for (const Expr *n : order) {
+        switch (n->kind()) {
+          case ExprKind::Const:
+            prog.code_.push_back({Op::PushConst, n->constValue()});
+            ++depth;
+            break;
+          case ExprKind::Var: {
+            const int slot = slots.slotOf(n->varName());
+            GRAPHENE_CHECK(slot >= 0)
+                << "unbound variable '" << n->varName()
+                << "' compiling " << prog.debug_;
+            GRAPHENE_CHECK(slot < 64)
+                << "too many variable slots compiling " << prog.debug_;
+            prog.usedMask_ |= uint64_t{1} << slot;
+            prog.code_.push_back({Op::LoadSlot, slot});
+            ++depth;
+            break;
+          }
+          default: {
+            Op op;
+            switch (n->kind()) {
+              case ExprKind::Add: op = Op::Add; break;
+              case ExprKind::Sub: op = Op::Sub; break;
+              case ExprKind::Mul: op = Op::Mul; break;
+              case ExprKind::Div: op = Op::Div; break;
+              case ExprKind::Mod: op = Op::Mod; break;
+              case ExprKind::Min: op = Op::Min; break;
+              case ExprKind::Max: op = Op::Max; break;
+              case ExprKind::Lt: op = Op::Lt; break;
+              case ExprKind::And: op = Op::And; break;
+              case ExprKind::Xor: op = Op::Xor; break;
+              default: panic("unhandled expr kind in compile");
+            }
+            prog.code_.push_back({op, 0});
+            --depth;
+            break;
+          }
+        }
+        maxDepth = std::max(maxDepth, depth);
+        GRAPHENE_CHECK(maxDepth <= kMaxStack)
+            << "expression too deep to compile: " << prog.debug_;
+    }
+    GRAPHENE_ASSERT(depth == 1)
+        << "malformed compiled program for " << prog.debug_;
+    return prog;
+}
+
+int64_t
+CompiledExpr::eval(const int64_t *slots) const
+{
+    int64_t stack[kMaxStack];
+    int sp = 0;
+    for (const Ins &ins : code_) {
+        switch (ins.op) {
+          case Op::PushConst:
+            stack[sp++] = ins.imm;
+            break;
+          case Op::LoadSlot:
+            stack[sp++] = slots[ins.imm];
+            break;
+          case Op::Add:
+            --sp;
+            stack[sp - 1] += stack[sp];
+            break;
+          case Op::Sub:
+            --sp;
+            stack[sp - 1] -= stack[sp];
+            break;
+          case Op::Mul:
+            --sp;
+            stack[sp - 1] *= stack[sp];
+            break;
+          case Op::Div:
+            --sp;
+            GRAPHENE_CHECK(stack[sp] != 0)
+                << "division by zero evaluating " << debug_;
+            stack[sp - 1] /= stack[sp];
+            break;
+          case Op::Mod:
+            --sp;
+            GRAPHENE_CHECK(stack[sp] != 0)
+                << "mod by zero evaluating " << debug_;
+            stack[sp - 1] %= stack[sp];
+            break;
+          case Op::Min:
+            --sp;
+            stack[sp - 1] = std::min(stack[sp - 1], stack[sp]);
+            break;
+          case Op::Max:
+            --sp;
+            stack[sp - 1] = std::max(stack[sp - 1], stack[sp]);
+            break;
+          case Op::Lt:
+            --sp;
+            stack[sp - 1] = stack[sp - 1] < stack[sp] ? 1 : 0;
+            break;
+          case Op::And:
+            --sp;
+            stack[sp - 1] =
+                (stack[sp - 1] != 0 && stack[sp] != 0) ? 1 : 0;
+            break;
+          case Op::Xor:
+            --sp;
+            stack[sp - 1] ^= stack[sp];
+            break;
+        }
+    }
+    return stack[0];
+}
+
+bool
+CompiledExpr::usesSlot(int slot) const
+{
+    return slot < 64 && (usedMask_ & (uint64_t{1} << slot)) != 0;
+}
+
+bool
+CompiledExpr::usesSlotAtLeast(int slot) const
+{
+    if (slot >= 64)
+        return false;
+    return (usedMask_ >> slot) != 0;
+}
+
+bool
+CompiledExpr::isConstant() const
+{
+    return code_.size() == 1 && code_[0].op == Op::PushConst;
+}
+
+int64_t
+CompiledExpr::constantValue() const
+{
+    GRAPHENE_ASSERT(isConstant()) << "constantValue of " << debug_;
+    return code_[0].imm;
+}
+
+} // namespace graphene

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Partial evaluation of index expressions: affine decomposition and a
+ * slot-compiled evaluator.
+ *
+ * Graphene's address arithmetic (paper Sections 4/5.5) is generated
+ * from layouts and is overwhelmingly affine in the free variables:
+ * `base + Σ stride_i · term_i` where each term is either a plain
+ * variable (tid, a loop counter) or a small opaque subexpression such
+ * as `tid % 4` or `k / 2`.  The simulator's execution plans (sim/plan)
+ * and, prospectively, the code generator exploit this: decompose an
+ * offset once, classify each term by the variables it reads, and
+ * evaluate only the terms whose inputs changed.
+ *
+ * Two pieces:
+ *  - decomposeAffine(): splits an Expr into a constant base plus
+ *    stride·term products.  Terms are opaque Exprs merged by structural
+ *    equality; the decomposition is exact (reconstruct() is identical
+ *    as a function to the input expression).
+ *  - CompiledExpr: an Expr flattened to a postfix program whose
+ *    variables are resolved to dense slots ahead of time, so repeated
+ *    evaluation is an array-indexed loop instead of a tree walk with
+ *    string lookups.  Evaluation reproduces Expr::eval bit-for-bit
+ *    (same truncating div/mod, same division-by-zero checks).
+ */
+
+#ifndef GRAPHENE_IR_AFFINE_H
+#define GRAPHENE_IR_AFFINE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/expr.h"
+
+namespace graphene
+{
+
+/** One non-constant summand of an affine decomposition. */
+struct AffineTerm
+{
+    ExprPtr expr;       ///< opaque term (Var or non-distributable node)
+    int64_t stride = 0; ///< accumulated multiplier (never 0)
+};
+
+/** base + Σ stride_i · term_i, exact for the decomposed expression. */
+struct AffineExpr
+{
+    int64_t base = 0;
+    std::vector<AffineTerm> terms;
+
+    /** Rebuild an Expr with the same value for every binding. */
+    ExprPtr reconstruct() const;
+};
+
+/**
+ * Decompose @p e by distributing +, -, and constant·x products;
+ * anything else (div, mod, min, xor, variable products, ...) becomes an
+ * opaque term.  Structurally equal terms are merged by summing strides;
+ * terms whose strides cancel to zero are dropped.
+ */
+AffineExpr decomposeAffine(const ExprPtr &e);
+
+/**
+ * Maps variable names to dense evaluation slots.  The caller fixes the
+ * meaning of each slot (the simulator reserves 0 = tid, 1 = bid and
+ * assigns loop variables in nesting order).
+ */
+class SlotMap
+{
+  public:
+    /** Slot of @p name, or -1 if unmapped. */
+    int slotOf(const std::string &name) const;
+
+    /** Slot of @p name, adding a fresh slot if unmapped. */
+    int addSlot(const std::string &name);
+
+    int size() const { return static_cast<int>(names_.size()); }
+    const std::vector<std::string> &names() const { return names_; }
+
+  private:
+    std::vector<std::string> names_;
+};
+
+/**
+ * An Expr compiled to a postfix program over a slot array.  Copyable
+ * value type; evaluation is reentrant and thread-safe.
+ */
+class CompiledExpr
+{
+  public:
+    CompiledExpr() = default;
+
+    /**
+     * Compile @p e resolving every Var through @p slots; throws
+     * graphene::Error for a variable without a slot (the simulator's
+     * equivalent of an unbound loop variable).
+     */
+    static CompiledExpr compile(const ExprPtr &e, const SlotMap &slots);
+
+    /** Evaluate against @p slots (indexed by the compile-time map). */
+    int64_t eval(const int64_t *slots) const;
+
+    /** Does the program read @p slot? */
+    bool usesSlot(int slot) const;
+
+    /** Does the program read any slot >= @p slot? */
+    bool usesSlotAtLeast(int slot) const;
+
+    /** True for programs that reduce to a single constant push. */
+    bool isConstant() const;
+
+    /** Value of a constant program. */
+    int64_t constantValue() const;
+
+  private:
+    enum class Op : uint8_t
+    {
+        PushConst,
+        LoadSlot,
+        Add,
+        Sub,
+        Mul,
+        Div,
+        Mod,
+        Min,
+        Max,
+        Lt,
+        And,
+        Xor,
+    };
+
+    struct Ins
+    {
+        Op op;
+        int64_t imm; ///< constant (PushConst) or slot index (LoadSlot)
+    };
+
+    std::vector<Ins> code_;
+    uint64_t usedMask_ = 0; ///< bit i set => slot i read (i < 64)
+    std::string debug_;     ///< Expr::str() for error messages
+
+    static constexpr int kMaxStack = 64;
+};
+
+} // namespace graphene
+
+#endif // GRAPHENE_IR_AFFINE_H

@@ -74,6 +74,15 @@ class Device
     /** Report of the most recent sanitized functional launch. */
     const sim::SanitizerReport &sanitizerReport() const;
 
+    /** Functional engine selection: compiled plans (default) or the
+     *  tree-walking interpreter (`--no-plan`). */
+    void setUsePlan(bool usePlan) { executor_.setUsePlan(usePlan); }
+    bool usePlan() const { return executor_.usePlan(); }
+
+    /** Host worker threads for parallel block execution (0 = auto). */
+    void setSimThreads(int threads) { executor_.setThreads(threads); }
+    int simThreads() const { return executor_.threads(); }
+
     /** Total accumulated stream time across launches (microseconds). */
     double streamTimeUs() const { return streamTimeUs_; }
 

@@ -4,78 +4,282 @@
 #include <functional>
 
 #include "ir/verifier.h"
+#include "sim/leaf_exec.h"
+#include "sim/plan.h"
+#include "sim/sim_config.h"
 #include "support/check.h"
+#include "support/thread_pool.h"
 
 namespace graphene
 {
 namespace sim
 {
 
+// --------------------------------------------------------- name interning -
+
 namespace
 {
 
-/** Per-level linear indices for canonical value @p v (innermost level
- *  varies fastest; colexicographic within each level). */
-std::vector<int64_t>
-levelIndicesFor(const TensorView &view, int64_t v)
+void
+collectNames(const std::vector<StmtPtr> &stmts, FallbackTables &tables)
 {
-    std::vector<int64_t> idx(view.numLevels());
-    for (int l = view.numLevels() - 1; l >= 0; --l) {
-        const int64_t size = view.level(l).size();
-        idx[l] = v % size;
-        v /= size;
+    for (const auto &s : stmts) {
+        switch (s->kind) {
+          case StmtKind::For:
+            tables.vars.addSlot(s->loopVar);
+            collectNames(s->body, tables);
+            break;
+          case StmtKind::If:
+            collectNames(s->body, tables);
+            collectNames(s->elseBody, tables);
+            break;
+          case StmtKind::SpecCall:
+            if (!s->spec->isLeaf())
+                collectNames(s->spec->body(), tables);
+            break;
+          case StmtKind::Alloc: {
+            // Non-shared allocations are per-thread register storage,
+            // mirroring the executor's allocation semantics.
+            auto &names = s->allocMemory == MemorySpace::SH
+                ? tables.sharedNames
+                : tables.regNames;
+            if (std::find(names.begin(), names.end(), s->allocName)
+                == names.end())
+                names.push_back(s->allocName);
+            break;
+          }
+          default:
+            break;
+        }
     }
-    return idx;
+}
+
+int
+slotIn(const std::vector<std::string> &names, const std::string &name)
+{
+    for (size_t i = 0; i < names.size(); ++i)
+        if (names[i] == name)
+            return static_cast<int>(i);
+    return -1;
 }
 
 } // namespace
 
+void
+FallbackTables::build(const Kernel &kernel)
+{
+    vars = SlotMap();
+    sharedNames.clear();
+    regNames.clear();
+    vars.addSlot("tid");
+    vars.addSlot("bid");
+    collectNames(kernel.body(), *this);
+}
+
+int
+FallbackTables::sharedSlot(const std::string &name) const
+{
+    return slotIn(sharedNames, name);
+}
+
+int
+FallbackTables::regSlot(const std::string &name) const
+{
+    return slotIn(regNames, name);
+}
+
+// ------------------------------------------------------------- block state -
+
 struct Executor::BlockCtx
 {
+    const FallbackTables *tables = nullptr;
     int64_t bid = 0;
     int64_t blockSize = 0;
     bool timingMode = false;
     Sanitizer *san = nullptr; // non-null iff sanitizing this block
-    std::map<std::string, Buffer> shared;
-    // regs[tid][bufferName]
-    std::vector<std::map<std::string, Buffer>> regs;
-    std::map<std::string, int64_t> loopVars;
+    std::vector<Buffer> shared;
+    std::vector<char> sharedAlloc;
+    // regs[tid][slot]
+    std::vector<std::vector<Buffer>> regs;
+    std::vector<char> regAlloc;
+    /** Loop variable values by vars slot (0/1 = tid/bid, unused). */
+    std::vector<int64_t> loopVals;
+    std::vector<char> loopBound;
     std::vector<ExprPtr> predicates; // tid-dependent guards
     CostStats stats;
     /** Per-statement attribution sink (null when not profiling). */
     std::map<int64_t, StmtCost> *byStmt = nullptr;
     /** Worst smem conflict degree within the current leaf spec. */
     double leafMaxConflict = 1.0;
+    /** Thread the hoisted lookup closure resolves "tid" to. */
+    int64_t curTid = 0;
+    /** Single per-block variable lookup (hoisted out of the per-access
+     *  hot path; callers set curTid instead of rebuilding a closure). */
+    std::function<int64_t(const std::string &)> lookup;
 
-    /** Variable lookup for a specific thread. */
-    std::function<int64_t(const std::string &)>
-    lookupFor(int64_t tid) const
+    void
+    init(const FallbackTables &t, int64_t blockSizeIn)
     {
-        return [this, tid](const std::string &name) -> int64_t {
+        tables = &t;
+        blockSize = blockSizeIn;
+        shared.resize(t.sharedNames.size());
+        sharedAlloc.assign(t.sharedNames.size(), 0);
+        regs.resize(static_cast<size_t>(blockSizeIn));
+        for (auto &rf : regs)
+            rf.resize(t.regNames.size());
+        regAlloc.assign(t.regNames.size(), 0);
+        loopVals.assign(static_cast<size_t>(t.vars.size()), 0);
+        loopBound.assign(static_cast<size_t>(t.vars.size()), 0);
+        lookup = [this](const std::string &name) -> int64_t {
             if (name == "tid")
-                return tid;
+                return curTid;
             if (name == "bid")
                 return bid;
-            auto it = loopVars.find(name);
-            GRAPHENE_CHECK(it != loopVars.end())
+            const int slot = tables->vars.slotOf(name);
+            GRAPHENE_CHECK(slot >= 2
+                           && loopBound[static_cast<size_t>(slot)])
                 << "unbound variable '" << name << "' in simulation";
-            return it->second;
+            return loopVals[static_cast<size_t>(slot)];
         };
     }
 
     bool
-    active(int64_t tid) const
+    active(int64_t tid)
     {
+        if (predicates.empty())
+            return true;
+        curTid = tid;
         for (const auto &p : predicates)
-            if (p->eval(lookupFor(tid)) == 0)
+            if (p->eval(lookup) == 0)
                 return false;
         return true;
     }
 };
 
+// ------------------------------------------------------ leaf environment -
+
+/** leaf_exec.h environment over the interpreter's block state. */
+struct InterpLeafEnv
+{
+    Executor::BlockCtx &ctx;
+    DeviceMemory &memory;
+    const Spec &spec;
+    std::vector<int64_t> levelIdx; // per-access scratch
+
+    int64_t blockSize() const { return ctx.blockSize; }
+
+    bool active(int64_t tid) { return ctx.active(tid); }
+
+    const TensorView &
+    view(bool isOutput, int idx) const
+    {
+        return (isOutput ? spec.outputs()
+                         : spec.inputs())[static_cast<size_t>(idx)];
+    }
+
+    Buffer &
+    resolve(const TensorView &v, int64_t tid)
+    {
+        switch (v.memory()) {
+          case MemorySpace::GL:
+            return memory.at(v.buffer());
+          case MemorySpace::SH: {
+            const int slot = ctx.tables->sharedSlot(v.buffer());
+            GRAPHENE_CHECK(
+                slot >= 0 && ctx.sharedAlloc[static_cast<size_t>(slot)])
+                << "shared buffer '" << v.buffer() << "' not allocated";
+            return ctx.shared[static_cast<size_t>(slot)];
+          }
+          case MemorySpace::RF: {
+            const int slot = ctx.tables->regSlot(v.buffer());
+            GRAPHENE_CHECK(slot >= 0
+                           && ctx.regAlloc[static_cast<size_t>(slot)])
+                << "register buffer '" << v.buffer()
+                << "' not allocated for thread " << tid;
+            return ctx.regs[static_cast<size_t>(tid)]
+                           [static_cast<size_t>(slot)];
+          }
+        }
+        panic("unknown memory space");
+    }
+
+    void
+    readInto(bool isOutput, int idx, int64_t tid,
+             std::vector<double> &out)
+    {
+        const TensorView &v = view(isOutput, idx);
+        Buffer &buf = resolve(v, tid);
+        ctx.curTid = tid;
+        const int64_t n = v.totalSize();
+        out.resize(static_cast<size_t>(n));
+        for (int64_t i = 0; i < n; ++i) {
+            levelIndicesInto(v, i, levelIdx);
+            const int64_t addr = v.elementAddress(levelIdx, ctx.lookup);
+            if (ctx.san &&
+                !ctx.san->onAccess(v.memory(), v.buffer(), v.scalar(),
+                                   addr, buf.size(), tid,
+                                   /*isWrite=*/false)) {
+                out[static_cast<size_t>(i)] = 0.0; // suppressed OOB
+                continue;
+            }
+            out[static_cast<size_t>(i)] = buf.read(addr);
+        }
+    }
+
+    void
+    writeFrom(bool isOutput, int idx, int64_t tid,
+              const std::vector<double> &vals)
+    {
+        const TensorView &v = view(isOutput, idx);
+        Buffer &buf = resolve(v, tid);
+        ctx.curTid = tid;
+        for (int64_t i = 0; i < v.totalSize(); ++i) {
+            levelIndicesInto(v, i, levelIdx);
+            const int64_t addr = v.elementAddress(levelIdx, ctx.lookup);
+            if (ctx.san &&
+                !ctx.san->onAccess(v.memory(), v.buffer(), v.scalar(),
+                                   addr, buf.size(), tid,
+                                   /*isWrite=*/true))
+                continue; // suppressed OOB write
+            buf.write(addr, vals[static_cast<size_t>(i)]);
+        }
+    }
+
+    void
+    appendRanges(bool isOutput, int idx, int64_t tid, bool contiguous,
+                 std::vector<std::pair<int64_t, int64_t>> &out)
+    {
+        const TensorView &v = view(isOutput, idx);
+        ctx.curTid = tid;
+        const int64_t esize = scalarSizeBytes(v.scalar());
+        if (contiguous) {
+            levelIndicesInto(v, 0, levelIdx);
+            const int64_t base = v.elementAddress(levelIdx, ctx.lookup);
+            out.emplace_back(base * esize, v.totalSize() * esize);
+            return;
+        }
+        for (int64_t i = 0; i < v.totalSize(); ++i) {
+            levelIndicesInto(v, i, levelIdx);
+            out.emplace_back(
+                v.elementAddress(levelIdx, ctx.lookup) * esize, esize);
+        }
+    }
+
+    CostStats *stats() { return &ctx.stats; }
+
+    void
+    noteLeafConflict(double ratio)
+    {
+        ctx.leafMaxConflict = std::max(ctx.leafMaxConflict, ratio);
+    }
+};
+
+// ---------------------------------------------------------------- executor -
+
 Executor::Executor(const GpuArch &arch, DeviceMemory &memory)
     : arch_(arch), registry_(AtomicSpecRegistry::forArch(arch)),
-      memory_(memory)
+      memory_(memory), usePlan_(defaultUsePlan()),
+      threads_(defaultThreads())
 {}
 
 void
@@ -130,8 +334,13 @@ Executor::run(const Kernel &kernel)
     verifyKernelOrThrow(kernel);
     checkParams(kernel);
     prepareSanitizer(kernel);
-    for (int64_t bid = 0; bid < kernel.gridSize(); ++bid)
-        execBlock(kernel, bid, /*timingMode=*/false, nullptr);
+    if (usePlan_) {
+        runPlanned(kernel, nullptr);
+    } else {
+        tables_.build(kernel);
+        for (int64_t bid = 0; bid < kernel.gridSize(); ++bid)
+            execBlock(kernel, bid, /*timingMode=*/false, nullptr);
+    }
     if (sanitizer_)
         lastSanitizerReport_ = sanitizer_->takeReport();
 }
@@ -143,6 +352,7 @@ Executor::profile(const Kernel &kernel)
     checkParams(kernel);
     KernelProfile prof;
     prof.stmtCount = numberStmts(kernel.body());
+    tables_.build(kernel);
     execBlock(kernel, 0, /*timingMode=*/true, &prof.perBlock,
               &prof.byStmt);
     prof.blocksExecuted = 1;
@@ -167,10 +377,15 @@ Executor::runAndProfile(const Kernel &kernel)
     KernelProfile prof;
     prof.stmtCount = numberStmts(kernel.body());
     prepareSanitizer(kernel);
-    for (int64_t bid = 0; bid < kernel.gridSize(); ++bid)
-        execBlock(kernel, bid, /*timingMode=*/false,
-                  bid == 0 ? &prof.perBlock : nullptr,
-                  bid == 0 ? &prof.byStmt : nullptr);
+    if (usePlan_) {
+        runPlanned(kernel, &prof);
+    } else {
+        tables_.build(kernel);
+        for (int64_t bid = 0; bid < kernel.gridSize(); ++bid)
+            execBlock(kernel, bid, /*timingMode=*/false,
+                      bid == 0 ? &prof.perBlock : nullptr,
+                      bid == 0 ? &prof.byStmt : nullptr);
+    }
     if (sanitizer_) {
         lastSanitizerReport_ = sanitizer_->takeReport();
         prof.sanitizer = lastSanitizerReport_;
@@ -185,19 +400,79 @@ Executor::runAndProfile(const Kernel &kernel)
 }
 
 void
+Executor::runPlanned(const Kernel &kernel, KernelProfile *prof)
+{
+    const Plan plan = Plan::compile(kernel, registry_);
+    const int64_t grid = plan.gridSize;
+    Sanitizer *san = sanitizer_.get();
+    // Trap mode must fire inside the offending access: run serially
+    // with direct callbacks.  Report mode records per-block logs and
+    // replays them serially in block order, so findings are identical
+    // for every thread count.
+    const bool trap = san && san->mode() == SanitizerMode::Trap;
+    int64_t shards = trap
+        ? 1
+        : std::min<int64_t>(resolveThreads(threads_), grid);
+    if (shards < 1)
+        shards = 1;
+    CostStats *stats0 = prof ? &prof->perBlock : nullptr;
+    std::map<int64_t, StmtCost> *byStmt0 = prof ? &prof->byStmt : nullptr;
+
+    if (shards == 1) {
+        PlanBlockRunner runner(plan, memory_, arch_);
+        for (int64_t bid = 0; bid < grid; ++bid) {
+            PlanRunConfig cfg;
+            if (bid == 0) {
+                cfg.stats = stats0;
+                cfg.byStmt = byStmt0;
+            }
+            if (san) {
+                san->beginBlock(bid);
+                cfg.san = san;
+            }
+            runner.runBlock(bid, cfg);
+        }
+        return;
+    }
+
+    std::vector<AccessLog> logs;
+    if (san)
+        logs.resize(static_cast<size_t>(grid));
+    ThreadPool::global().run(shards, [&](int64_t s) {
+        PlanBlockRunner runner(plan, memory_, arch_);
+        const int64_t lo = grid * s / shards;
+        const int64_t hi = grid * (s + 1) / shards;
+        for (int64_t bid = lo; bid < hi; ++bid) {
+            PlanRunConfig cfg;
+            if (bid == 0) {
+                cfg.stats = stats0;
+                cfg.byStmt = byStmt0;
+            }
+            if (san)
+                cfg.log = &logs[static_cast<size_t>(bid)];
+            runner.runBlock(bid, cfg);
+        }
+    });
+    if (san)
+        for (int64_t bid = 0; bid < grid; ++bid) {
+            san->beginBlock(bid);
+            replayAccessLog(logs[static_cast<size_t>(bid)], plan, *san);
+        }
+}
+
+void
 Executor::execBlock(const Kernel &kernel, int64_t bid, bool timingMode,
                     CostStats *stats, std::map<int64_t, StmtCost> *byStmt)
 {
     BlockCtx ctx;
     ctx.bid = bid;
-    ctx.blockSize = kernel.blockSize();
     ctx.timingMode = timingMode;
     ctx.byStmt = byStmt;
+    ctx.init(tables_, kernel.blockSize());
     if (!timingMode && sanitizer_) {
         ctx.san = sanitizer_.get();
         ctx.san->beginBlock(bid);
     }
-    ctx.regs.resize(static_cast<size_t>(ctx.blockSize));
     execStmts(kernel.body(), ctx);
     if (stats)
         *stats = ctx.stats;
@@ -215,15 +490,21 @@ Executor::execStmt(const Stmt &stmt, BlockCtx &ctx)
 {
     switch (stmt.kind) {
       case StmtKind::For: {
+        const int slot = ctx.tables->vars.slotOf(stmt.loopVar);
+        GRAPHENE_ASSERT(slot >= 0) << "loop variable not interned";
+        auto setVar = [&](int64_t v) {
+            ctx.loopVals[static_cast<size_t>(slot)] = v;
+            ctx.loopBound[static_cast<size_t>(slot)] = 1;
+        };
         const int64_t trips = (stmt.end - stmt.begin + stmt.step - 1)
             / stmt.step;
         if (ctx.timingMode && stmt.uniformCost && trips >= 4) {
             // Execute two iterations; extrapolate the steady-state cost
             // of the second across the remaining trips.
-            ctx.loopVars[stmt.loopVar] = stmt.begin;
+            setVar(stmt.begin);
             const CostStats before = ctx.stats;
             execStmts(stmt.body, ctx);
-            ctx.loopVars[stmt.loopVar] = stmt.begin + stmt.step;
+            setVar(stmt.begin + stmt.step);
             const CostStats afterFirst = ctx.stats;
             // Snapshot the attribution so the second iteration's
             // per-statement share can be extrapolated too.
@@ -248,14 +529,14 @@ Executor::execStmt(const Stmt &stmt, BlockCtx &ctx)
                     sc.extrapolated = true;
                 }
             }
-            ctx.loopVars.erase(stmt.loopVar);
+            ctx.loopBound[static_cast<size_t>(slot)] = 0;
             return;
         }
         for (int64_t v = stmt.begin; v < stmt.end; v += stmt.step) {
-            ctx.loopVars[stmt.loopVar] = v;
+            setVar(v);
             execStmts(stmt.body, ctx);
         }
-        ctx.loopVars.erase(stmt.loopVar);
+        ctx.loopBound[static_cast<size_t>(slot)] = 0;
         return;
       }
       case StmtKind::If: {
@@ -272,7 +553,8 @@ Executor::execStmt(const Stmt &stmt, BlockCtx &ctx)
             }
             return;
         }
-        const int64_t cond = stmt.cond->eval(ctx.lookupFor(0));
+        ctx.curTid = 0;
+        const int64_t cond = stmt.cond->eval(ctx.lookup);
         execStmts(cond != 0 ? stmt.body : stmt.elseBody, ctx);
         return;
       }
@@ -306,15 +588,21 @@ Executor::execStmt(const Stmt &stmt, BlockCtx &ctx)
         return;
       case StmtKind::Alloc:
         if (stmt.allocMemory == MemorySpace::SH) {
-            ctx.shared[stmt.allocName] =
+            const int slot = ctx.tables->sharedSlot(stmt.allocName);
+            GRAPHENE_ASSERT(slot >= 0) << "shared buffer not interned";
+            ctx.shared[static_cast<size_t>(slot)] =
                 Buffer(stmt.allocScalar, stmt.allocCount);
+            ctx.sharedAlloc[static_cast<size_t>(slot)] = 1;
             if (ctx.san)
                 ctx.san->onSharedAlloc(stmt.allocName, stmt.allocScalar,
                                        stmt.allocCount);
         } else {
+            const int slot = ctx.tables->regSlot(stmt.allocName);
+            GRAPHENE_ASSERT(slot >= 0) << "register buffer not interned";
             for (auto &rf : ctx.regs)
-                rf[stmt.allocName] = Buffer(stmt.allocScalar,
-                                            stmt.allocCount);
+                rf[static_cast<size_t>(slot)] =
+                    Buffer(stmt.allocScalar, stmt.allocCount);
+            ctx.regAlloc[static_cast<size_t>(slot)] = 1;
         }
         return;
       case StmtKind::Comment:
@@ -322,492 +610,12 @@ Executor::execStmt(const Stmt &stmt, BlockCtx &ctx)
     }
 }
 
-namespace
-{
-
-/** Resolve the backing buffer of a view for a given thread. */
-Buffer &
-resolveBuffer(const TensorView &view, DeviceMemory &memory,
-              std::map<std::string, Buffer> &shared,
-              std::vector<std::map<std::string, Buffer>> &regs,
-              int64_t tid)
-{
-    switch (view.memory()) {
-      case MemorySpace::GL:
-        return memory.at(view.buffer());
-      case MemorySpace::SH: {
-        auto it = shared.find(view.buffer());
-        GRAPHENE_CHECK(it != shared.end())
-            << "shared buffer '" << view.buffer() << "' not allocated";
-        return it->second;
-      }
-      case MemorySpace::RF: {
-        auto &rf = regs[static_cast<size_t>(tid)];
-        auto it = rf.find(view.buffer());
-        GRAPHENE_CHECK(it != rf.end())
-            << "register buffer '" << view.buffer()
-            << "' not allocated for thread " << tid;
-        return it->second;
-      }
-    }
-    panic("unknown memory space");
-}
-
-} // namespace
-
 void
 Executor::execLeafSpec(const Spec &spec, BlockCtx &ctx)
 {
     const AtomicSpecInfo &info = registry_.matchOrThrow(spec);
-    const int64_t blockSize = ctx.blockSize;
-
-    auto lookup = [&](int64_t tid) { return ctx.lookupFor(tid); };
-    auto buffer = [&](const TensorView &v, int64_t tid) -> Buffer & {
-        return resolveBuffer(v, memory_, ctx.shared, ctx.regs, tid);
-    };
-    auto readValues = [&](const TensorView &v, int64_t tid) {
-        Buffer &buf = buffer(v, tid);
-        const auto lk = lookup(tid);
-        const int64_t n = v.totalSize();
-        std::vector<double> vals(static_cast<size_t>(n));
-        for (int64_t i = 0; i < n; ++i) {
-            const int64_t addr =
-                v.elementAddress(levelIndicesFor(v, i), lk);
-            if (ctx.san &&
-                !ctx.san->onAccess(v.memory(), v.buffer(), v.scalar(),
-                                   addr, buf.size(), tid,
-                                   /*isWrite=*/false)) {
-                vals[static_cast<size_t>(i)] = 0.0; // suppressed OOB
-                continue;
-            }
-            vals[static_cast<size_t>(i)] = buf.read(addr);
-        }
-        return vals;
-    };
-    auto writeValues = [&](const TensorView &v, int64_t tid,
-                           const std::vector<double> &vals) {
-        Buffer &buf = buffer(v, tid);
-        const auto lk = lookup(tid);
-        for (int64_t i = 0; i < v.totalSize(); ++i) {
-            const int64_t addr =
-                v.elementAddress(levelIndicesFor(v, i), lk);
-            if (ctx.san &&
-                !ctx.san->onAccess(v.memory(), v.buffer(), v.scalar(),
-                                   addr, buf.size(), tid,
-                                   /*isWrite=*/true))
-                continue; // suppressed OOB write
-            buf.write(addr, vals[static_cast<size_t>(i)]);
-        }
-    };
-    /** (byte address, byte width) ranges one thread touches in @p v. */
-    auto accessRanges = [&](const TensorView &v, int64_t tid,
-                            bool contiguous) {
-        const auto lk = lookup(tid);
-        const int64_t esize = scalarSizeBytes(v.scalar());
-        std::vector<std::pair<int64_t, int64_t>> ranges;
-        if (contiguous) {
-            const int64_t base =
-                v.elementAddress(levelIndicesFor(v, 0), lk);
-            ranges.emplace_back(base * esize, v.totalSize() * esize);
-        } else {
-            for (int64_t i = 0; i < v.totalSize(); ++i)
-                ranges.emplace_back(
-                    v.elementAddress(levelIndicesFor(v, i), lk) * esize,
-                    esize);
-        }
-        return ranges;
-    };
-    /** Account one warp-wide memory access on view @p v. */
-    auto accountMemAccess = [&](const TensorView &v,
-                                const std::vector<int64_t> &lanes,
-                                bool isLoad) {
-        if (v.memory() == MemorySpace::RF)
-            return;
-        std::vector<std::pair<int64_t, int64_t>> ranges;
-        for (int64_t t : lanes) {
-            auto r = accessRanges(v, t, info.requiresContiguous
-                                  || v.totalSize() == 1);
-            ranges.insert(ranges.end(), r.begin(), r.end());
-        }
-        double useful = 0;
-        for (const auto &[addr, bytes] : ranges)
-            useful += static_cast<double>(bytes);
-        if (v.memory() == MemorySpace::SH) {
-            const int64_t waves = smemWavefronts(ranges, arch_);
-            const int64_t ideal = smemIdealWavefronts(ranges, arch_);
-            ctx.stats.smemWavefronts += static_cast<double>(waves);
-            ctx.stats.smemIdealWavefronts += static_cast<double>(ideal);
-            ctx.stats.smemAccesses += 1;
-            ctx.leafMaxConflict =
-                std::max(ctx.leafMaxConflict,
-                         static_cast<double>(waves)
-                             / static_cast<double>(ideal));
-        } else {
-            const int64_t sectors = globalSectors(ranges, arch_);
-            ctx.stats.globalSectors += static_cast<double>(sectors);
-            ctx.stats.globalAccesses += 1;
-            ctx.stats.globalUsefulBytes += useful;
-            const double bytes =
-                static_cast<double>(sectors) * arch_.sectorBytes;
-            if (isLoad)
-                ctx.stats.globalLoadBytes += bytes;
-            else
-                ctx.stats.globalStoreBytes += bytes;
-        }
-    };
-    auto addFlops = [&](double flops) {
-        switch (info.pipe) {
-          case Pipe::Tensor: ctx.stats.tensorFlops += flops; break;
-          case Pipe::Fp16: ctx.stats.fp16Flops += flops; break;
-          case Pipe::Sfu: ctx.stats.sfuOps += flops; break;
-          default: ctx.stats.fp32Flops += flops; break;
-        }
-    };
-
-    switch (info.opcode) {
-      // ---------------------------------------------- per-thread ops -
-      case AtomicOpcode::LdGlobal:
-      case AtomicOpcode::StGlobal:
-      case AtomicOpcode::LdShared:
-      case AtomicOpcode::StShared:
-      case AtomicOpcode::MoveReg:
-      case AtomicOpcode::CpAsync: {
-        const TensorView &src = spec.inputs()[0];
-        const TensorView &dst = spec.outputs()[0];
-        for (int64_t warp = 0; warp < blockSize; warp += 32) {
-            std::vector<int64_t> lanes;
-            for (int64_t t = warp; t < std::min(warp + 32, blockSize);
-                 ++t)
-                if (ctx.active(t))
-                    lanes.push_back(t);
-            if (lanes.empty())
-                continue;
-            ctx.stats.issueSlots += 1;
-            for (int64_t t : lanes)
-                writeValues(dst, t, readValues(src, t));
-            accountMemAccess(src, lanes, /*isLoad=*/true);
-            accountMemAccess(dst, lanes, /*isLoad=*/false);
-        }
-        return;
-      }
-      case AtomicOpcode::FmaScalar:
-      case AtomicOpcode::Hfma2: {
-        const TensorView &a = spec.inputs()[0];
-        const TensorView &b = spec.inputs()[1];
-        const TensorView &d = spec.outputs()[0];
-        int64_t activeCount = 0;
-        for (int64_t warp = 0; warp < blockSize; warp += 32) {
-            std::vector<int64_t> lanes;
-            for (int64_t t = warp; t < std::min(warp + 32, blockSize);
-                 ++t)
-                if (ctx.active(t))
-                    lanes.push_back(t);
-            if (lanes.empty())
-                continue;
-            for (int64_t t : lanes) {
-                ++activeCount;
-                auto av = readValues(a, t);
-                auto bv = readValues(b, t);
-                auto dv = readValues(d, t);
-                for (size_t i = 0; i < dv.size(); ++i)
-                    dv[i] += av[i] * bv[i];
-                writeValues(d, t, dv);
-            }
-            ctx.stats.issueSlots += 1;
-            // Memory-resident operands (Fig. 8 style) cost accesses;
-            // the accumulator is read-modify-write.
-            accountMemAccess(a, lanes, /*isLoad=*/true);
-            accountMemAccess(b, lanes, /*isLoad=*/true);
-            accountMemAccess(d, lanes, /*isLoad=*/true);
-            accountMemAccess(d, lanes, /*isLoad=*/false);
-        }
-        addFlops(static_cast<double>(activeCount) * 2.0
-                 * static_cast<double>(info.elemsOut));
-        return;
-      }
-      case AtomicOpcode::UnaryScalar:
-      case AtomicOpcode::BinaryScalar:
-      case AtomicOpcode::BinaryVector2: {
-        const TensorView &out = spec.outputs()[0];
-        const bool isBinary = spec.kind() == SpecKind::BinaryPointwise;
-        const bool sfu = spec.op() == OpKind::Exp
-            || spec.op() == OpKind::Rsqrt || spec.op() == OpKind::Tanh
-            || spec.op() == OpKind::Sigmoid || spec.op() == OpKind::Gelu;
-        int64_t activeCount = 0;
-        for (int64_t warp = 0; warp < blockSize; warp += 32) {
-            bool any = false;
-            for (int64_t t = warp; t < std::min(warp + 32, blockSize);
-                 ++t) {
-                if (!ctx.active(t))
-                    continue;
-                any = true;
-                ++activeCount;
-                auto av = readValues(spec.inputs()[0], t);
-                std::vector<double> ov(av.size());
-                if (isBinary && !spec.hasScalarOperand()) {
-                    auto bv = readValues(spec.inputs()[1], t);
-                    for (size_t i = 0; i < av.size(); ++i)
-                        ov[i] = applyOp(spec.op(), av[i], bv[i]);
-                } else if (isBinary) {
-                    for (size_t i = 0; i < av.size(); ++i)
-                        ov[i] = applyOp(spec.op(), av[i],
-                                        spec.scalarOperand());
-                } else {
-                    for (size_t i = 0; i < av.size(); ++i)
-                        ov[i] = applyOp(spec.op(), av[i]);
-                }
-                writeValues(out, t, ov);
-            }
-            if (any)
-                ctx.stats.issueSlots += 1;
-        }
-        const double ops = static_cast<double>(activeCount)
-            * static_cast<double>(out.totalSize());
-        if (sfu)
-            ctx.stats.sfuOps += ops;
-        else
-            addFlops(ops);
-        return;
-      }
-      case AtomicOpcode::ReduceSerial: {
-        const TensorView &in = spec.inputs()[0];
-        const TensorView &out = spec.outputs()[0];
-        int64_t activeCount = 0;
-        for (int64_t warp = 0; warp < blockSize; warp += 32) {
-            bool any = false;
-            for (int64_t t = warp; t < std::min(warp + 32, blockSize);
-                 ++t) {
-                if (!ctx.active(t))
-                    continue;
-                any = true;
-                ++activeCount;
-                auto vals = readValues(in, t);
-                double acc = reductionIdentity(spec.op());
-                for (double v : vals)
-                    acc = applyOp(spec.op(), acc, v);
-                writeValues(out, t, {acc});
-            }
-            if (any)
-                ctx.stats.issueSlots +=
-                    static_cast<double>(in.totalSize()) / 32.0 + 1;
-        }
-        ctx.stats.fp32Flops += static_cast<double>(activeCount)
-            * static_cast<double>(in.totalSize());
-        return;
-      }
-      case AtomicOpcode::InitReg: {
-        const TensorView &out = spec.outputs()[0];
-        for (int64_t warp = 0; warp < blockSize; warp += 32) {
-            bool any = false;
-            for (int64_t t = warp; t < std::min(warp + 32, blockSize);
-                 ++t) {
-                if (!ctx.active(t))
-                    continue;
-                any = true;
-                std::vector<double> vals(
-                    static_cast<size_t>(out.totalSize()),
-                    spec.initValue());
-                writeValues(out, t, vals);
-            }
-            if (any)
-                ctx.stats.issueSlots += 1;
-        }
-        return;
-      }
-      // -------------------------------------------- warp-collective -
-      case AtomicOpcode::ShflSync: {
-        const TensorView &in = spec.inputs()[0];
-        const TensorView &out = spec.outputs()[0];
-        for (int64_t warp = 0; warp + 32 <= blockSize; warp += 32) {
-            if (!ctx.active(warp))
-                continue;
-            std::vector<double> lane(32);
-            for (int64_t l = 0; l < 32; ++l)
-                lane[static_cast<size_t>(l)] =
-                    readValues(in, warp + l)[0];
-            for (int64_t l = 0; l < 32; ++l) {
-                int64_t srcLane = l;
-                switch (spec.shflMode()) {
-                  case ShflMode::Bfly: srcLane = l ^ spec.shflArg(); break;
-                  case ShflMode::Down:
-                    srcLane = l + spec.shflArg();
-                    if (srcLane >= 32)
-                        srcLane = l;
-                    break;
-                  case ShflMode::Idx: srcLane = spec.shflArg(); break;
-                }
-                writeValues(out, warp + l,
-                            {lane[static_cast<size_t>(srcLane)]});
-            }
-            ctx.stats.issueSlots += 1;
-        }
-        return;
-      }
-      case AtomicOpcode::Ldmatrix:
-      case AtomicOpcode::LdmatrixTrans: {
-        const bool trans = info.opcode == AtomicOpcode::LdmatrixTrans;
-        const TensorView &src = spec.inputs()[0];
-        const TensorView &dst = spec.outputs()[0];
-        for (int64_t warp = 0; warp + 32 <= blockSize; warp += 32) {
-            if (!ctx.active(warp))
-                continue;
-            // Phase 1: the four 8x8 matrices; matrix g's row r comes
-            // from thread 8g + r's source view (8 contiguous halves).
-            double tiles[4][8][8];
-            std::vector<std::pair<int64_t, int64_t>> allRanges;
-            for (int64_t g = 0; g < 4; ++g) {
-                for (int64_t r = 0; r < 8; ++r) {
-                    const int64_t t = warp + 8 * g + r;
-                    auto row = readValues(src, t);
-                    GRAPHENE_ASSERT(row.size() == 8u)
-                        << "ldmatrix row must have 8 elements";
-                    for (int64_t c = 0; c < 8; ++c)
-                        tiles[g][r][c] = row[static_cast<size_t>(c)];
-                    auto ranges = accessRanges(src, t, true);
-                    allRanges.insert(allRanges.end(), ranges.begin(),
-                                     ranges.end());
-                }
-            }
-            // Phase 2: distribute — thread t receives, for register
-            // pair g, elements (t/4, 2*(t%4)) and (t/4, 2*(t%4)+1); the
-            // .trans variant distributes the transposed matrices.
-            for (int64_t l = 0; l < 32; ++l) {
-                std::vector<double> vals(8);
-                for (int64_t v = 0; v < 8; ++v) {
-                    const int64_t g = v / 2;
-                    const int64_t r = l / 4;
-                    const int64_t c = 2 * (l % 4) + (v % 2);
-                    vals[static_cast<size_t>(v)] =
-                        trans ? tiles[g][c][r] : tiles[g][r][c];
-                }
-                writeValues(dst, warp + l, vals);
-            }
-            ctx.stats.issueSlots += 1;
-            // The instruction performs 4 shared-memory phases of 8 rows
-            // each; conflicts computed per phase from the row addresses.
-            for (int64_t g = 0; g < 4; ++g) {
-                std::vector<std::pair<int64_t, int64_t>> phase(
-                    allRanges.begin() + g * 8,
-                    allRanges.begin() + (g + 1) * 8);
-                const int64_t waves = smemWavefronts(phase, arch_);
-                const int64_t ideal = smemIdealWavefronts(phase, arch_);
-                ctx.stats.smemWavefronts += static_cast<double>(waves);
-                ctx.stats.smemIdealWavefronts +=
-                    static_cast<double>(ideal);
-                ctx.stats.smemAccesses += 1;
-                ctx.leafMaxConflict =
-                    std::max(ctx.leafMaxConflict,
-                             static_cast<double>(waves)
-                                 / static_cast<double>(ideal));
-            }
-        }
-        return;
-      }
-      case AtomicOpcode::MmaM16N8K16:
-      case AtomicOpcode::MmaM16N8K8: {
-        const bool k16 = info.opcode == AtomicOpcode::MmaM16N8K16;
-        const int64_t K = k16 ? 16 : 8;
-        const TensorView &aView = spec.inputs()[0];
-        const TensorView &bView = spec.inputs()[1];
-        const TensorView &dView = spec.outputs()[0];
-        for (int64_t warp = 0; warp + 32 <= blockSize; warp += 32) {
-            if (!ctx.active(warp))
-                continue;
-            double A[16][16] = {};
-            double B[16][8] = {};
-            double D[16][8] = {};
-            for (int64_t l = 0; l < 32; ++l) {
-                auto av = readValues(aView, warp + l);
-                for (int64_t v = 0; v < info.elemsIn0; ++v) {
-                    const int64_t m = l / 4 + 8 * (k16 ? (v / 2) % 2
-                                                        : v / 2);
-                    const int64_t k = 2 * (l % 4) + v % 2
-                        + (k16 ? 8 * (v / 4) : 0);
-                    A[m][k] = av[static_cast<size_t>(v)];
-                }
-                auto bv = readValues(bView, warp + l);
-                for (int64_t v = 0; v < info.elemsIn1; ++v) {
-                    const int64_t k = 2 * (l % 4) + v % 2 + 8 * (v / 2);
-                    const int64_t n = l / 4;
-                    B[k][n] = bv[static_cast<size_t>(v)];
-                }
-                auto dv = readValues(dView, warp + l);
-                for (int64_t v = 0; v < info.elemsOut; ++v) {
-                    const int64_t m = l / 4 + 8 * (v / 2);
-                    const int64_t n = 2 * (l % 4) + v % 2;
-                    D[m][n] = dv[static_cast<size_t>(v)];
-                }
-            }
-            for (int64_t m = 0; m < 16; ++m)
-                for (int64_t n = 0; n < 8; ++n) {
-                    double acc = D[m][n];
-                    for (int64_t k = 0; k < K; ++k)
-                        acc += A[m][k] * B[k][n];
-                    D[m][n] = acc;
-                }
-            for (int64_t l = 0; l < 32; ++l) {
-                std::vector<double> dv(
-                    static_cast<size_t>(info.elemsOut));
-                for (int64_t v = 0; v < info.elemsOut; ++v) {
-                    const int64_t m = l / 4 + 8 * (v / 2);
-                    const int64_t n = 2 * (l % 4) + v % 2;
-                    dv[static_cast<size_t>(v)] = D[m][n];
-                }
-                writeValues(dView, warp + l, dv);
-            }
-            ctx.stats.issueSlots += 1;
-            ctx.stats.tensorFlops +=
-                static_cast<double>(info.flopsPerGroup);
-        }
-        return;
-      }
-      case AtomicOpcode::MmaM8N8K4: {
-        const TensorView &aView = spec.inputs()[0];
-        const TensorView &bView = spec.inputs()[1];
-        const TensorView &dView = spec.outputs()[0];
-        for (int64_t warp = 0; warp + 32 <= blockSize; warp += 32) {
-            if (!ctx.active(warp))
-                continue;
-            // Four quad-pairs per warp; QP q = lanes {4q..4q+3} and
-            // {16+4q..16+4q+3}.
-            for (int64_t q = 0; q < 4; ++q) {
-                double A[8][4] = {};
-                double B[4][8] = {};
-                double D[8][8] = {};
-                auto lanesOf = [&](int64_t qt) {
-                    return warp + 4 * q + (qt % 4) + 16 * (qt / 4);
-                };
-                for (int64_t qt = 0; qt < 8; ++qt) {
-                    const int64_t t = lanesOf(qt);
-                    auto av = readValues(aView, t);
-                    for (int64_t v = 0; v < 4; ++v)
-                        A[qt][v] = av[static_cast<size_t>(v)];
-                    auto bv = readValues(bView, t);
-                    for (int64_t v = 0; v < 4; ++v)
-                        B[v][qt] = bv[static_cast<size_t>(v)];
-                    auto dv = readValues(dView, t);
-                    for (int64_t v = 0; v < 8; ++v)
-                        D[qt][v] = dv[static_cast<size_t>(v)];
-                }
-                for (int64_t m = 0; m < 8; ++m)
-                    for (int64_t n = 0; n < 8; ++n)
-                        for (int64_t k = 0; k < 4; ++k)
-                            D[m][n] += A[m][k] * B[k][n];
-                for (int64_t qt = 0; qt < 8; ++qt) {
-                    std::vector<double> dv(8);
-                    for (int64_t v = 0; v < 8; ++v)
-                        dv[static_cast<size_t>(v)] = D[qt][v];
-                    writeValues(dView, lanesOf(qt), dv);
-                }
-                ctx.stats.tensorFlops +=
-                    static_cast<double>(info.flopsPerGroup);
-            }
-            ctx.stats.issueSlots += 1;
-        }
-        return;
-      }
-    }
-    panic("unhandled atomic opcode");
+    InterpLeafEnv env{ctx, memory_, spec, {}};
+    runLeaf(spec, info, arch_, env);
 }
 
 } // namespace sim

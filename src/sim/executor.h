@@ -2,13 +2,19 @@
  * @file
  * The Graphene IR executor: a functional + timing GPU simulator.
  *
- * The executor interprets *decomposed Graphene IR directly* — the same
- * IR the CUDA backend prints — per (block, warp, thread).  Leaf specs
- * are matched against the architecture's atomic-spec registry and
- * executed with the semantics of the associated instruction, including
- * the cross-thread data distributions of ldmatrix and the tensor-core
- * MMA fragment layouts.  This validates every data-to-thread mapping a
- * kernel expresses.
+ * Functional launches are compiled to execution plans (sim/plan.h):
+ * the kernel is lowered once into a flat table-driven program and
+ * blocks are sharded over a host thread pool, with results, profiles,
+ * and hazard reports bit-identical to serial interpretation.  The
+ * direct tree-walking interpreter remains as the `--no-plan` fallback
+ * and as the engine for timing mode (loop extrapolation is inherently
+ * sequential and only runs one block).
+ *
+ * Leaf specs are matched against the architecture's atomic-spec
+ * registry and executed with the semantics of the associated
+ * instruction (sim/leaf_exec.h), including the cross-thread data
+ * distributions of ldmatrix and the tensor-core MMA fragment layouts.
+ * This validates every data-to-thread mapping a kernel expresses.
  *
  * Two modes:
  *  - Functional: every block executes; memory holds exact (fp16-rounded)
@@ -23,8 +29,11 @@
 
 #include <map>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "arch/atomic_specs.h"
+#include "ir/affine.h"
 #include "ir/kernel.h"
 #include "sim/cost.h"
 #include "sim/memory.h"
@@ -75,6 +84,24 @@ struct KernelProfile
     SanitizerReport sanitizer;
 };
 
+/**
+ * Per-launch interned name tables for the interpreter fallback: loop
+ * variables resolve to dense slots (0 = tid, 1 = bid) and buffer names
+ * to per-space storage indices, so block state lives in plain vectors
+ * instead of string-keyed maps.
+ */
+struct FallbackTables
+{
+    SlotMap vars;
+    std::vector<std::string> sharedNames;
+    std::vector<std::string> regNames;
+
+    void build(const Kernel &kernel);
+    /** Storage slot of a shared/register buffer name, or -1. */
+    int sharedSlot(const std::string &name) const;
+    int regSlot(const std::string &name) const;
+};
+
 class Executor
 {
   public:
@@ -111,11 +138,31 @@ class Executor
     /** Report of the most recent sanitized run (empty if mode Off). */
     const SanitizerReport &sanitizerReport() const;
 
+    /**
+     * Select the functional engine: compiled execution plans (default)
+     * or the direct tree-walking interpreter.  Both are bit-identical;
+     * the interpreter is the `--no-plan` debugging fallback.  New
+     * executors snapshot sim::defaultUsePlan().
+     */
+    void setUsePlan(bool usePlan) { usePlan_ = usePlan; }
+    bool usePlan() const { return usePlan_; }
+
+    /**
+     * Host worker threads for parallel block execution under the plan
+     * engine; 0 = auto (hardware concurrency).  Results are identical
+     * for every setting.  New executors snapshot sim::defaultThreads().
+     */
+    void setThreads(int threads) { threads_ = threads < 0 ? 0 : threads; }
+    int threads() const { return threads_; }
+
   private:
     struct BlockCtx;
+    friend struct InterpLeafEnv;
 
     void checkParams(const Kernel &kernel) const;
     void prepareSanitizer(const Kernel &kernel);
+    /** Plan-compiled functional execution of every block. */
+    void runPlanned(const Kernel &kernel, KernelProfile *prof);
     void execBlock(const Kernel &kernel, int64_t bid, bool timingMode,
                    CostStats *stats,
                    std::map<int64_t, StmtCost> *byStmt = nullptr);
@@ -129,6 +176,9 @@ class Executor
     DeviceMemory &memory_;
     std::unique_ptr<Sanitizer> sanitizer_;
     SanitizerReport lastSanitizerReport_;
+    FallbackTables tables_; ///< rebuilt per interpreted launch
+    bool usePlan_ = true;
+    int threads_ = 0;
 };
 
 } // namespace sim

@@ -1,0 +1,490 @@
+/**
+ * @file
+ * Shared leaf-spec semantics for the simulator's two execution engines.
+ *
+ * The interpreter (sim/executor.cpp) and the compiled-plan executor
+ * (sim/plan.cpp) must produce *bit-identical* results: same buffer
+ * contents, same cost counters in the same accumulation order, same
+ * sanitizer callback sequence.  The only way to keep that true under
+ * maintenance is to have exactly one definition of what each atomic
+ * opcode does.  runLeaf() is that definition: a template over an
+ * environment that supplies data access and cost sinks while the
+ * template owns instruction semantics — warp iteration, predication
+ * structure, ldmatrix/MMA fragment distributions, and the exact order
+ * of reads, writes, and cost accounting.
+ *
+ * Environment concept:
+ *   int64_t blockSize() const;
+ *   bool active(int64_t tid);                  // predicate stack
+ *   void readInto(bool isOutput, int idx, int64_t tid,
+ *                 std::vector<double> &out);   // resizes to view size
+ *   void writeFrom(bool isOutput, int idx, int64_t tid,
+ *                  const std::vector<double> &vals);
+ *   void appendRanges(bool isOutput, int idx, int64_t tid,
+ *                     bool contiguous,
+ *                     std::vector<std::pair<int64_t, int64_t>> &out);
+ *   CostStats *stats();                        // null: skip accounting
+ *   void noteLeafConflict(double ratio);       // worst smem conflict
+ *
+ * readInto/writeFrom drive the sanitizer (or its access log) as a side
+ * effect; appendRanges computes (byte address, byte width) pairs for
+ * the cost model without sanitizer side effects, mirroring the
+ * historical interpreter behavior.
+ */
+
+#ifndef GRAPHENE_SIM_LEAF_EXEC_H
+#define GRAPHENE_SIM_LEAF_EXEC_H
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "arch/atomic_specs.h"
+#include "ir/spec.h"
+#include "sim/cost.h"
+#include "support/check.h"
+
+namespace graphene
+{
+namespace sim
+{
+
+/** Per-level linear indices for canonical value @p v of @p view
+ *  (innermost level varies fastest; colexicographic within a level),
+ *  written into @p idx without reallocating. */
+inline void
+levelIndicesInto(const TensorView &view, int64_t v,
+                 std::vector<int64_t> &idx)
+{
+    idx.resize(static_cast<size_t>(view.numLevels()));
+    for (int l = view.numLevels() - 1; l >= 0; --l) {
+        const int64_t size = view.level(l).size();
+        idx[static_cast<size_t>(l)] = v % size;
+        v /= size;
+    }
+}
+
+template <class Env>
+void
+runLeaf(const Spec &spec, const AtomicSpecInfo &info, const GpuArch &arch,
+        Env &env)
+{
+    const int64_t blockSize = env.blockSize();
+    CostStats *st = env.stats();
+
+    auto viewOf = [&](bool isOutput, int idx) -> const TensorView & {
+        return (isOutput ? spec.outputs() : spec.inputs())[
+            static_cast<size_t>(idx)];
+    };
+
+    std::vector<std::pair<int64_t, int64_t>> ranges;
+    /** Account one warp-wide memory access on view (isOutput, idx). */
+    auto accountMemAccess = [&](bool isOutput, int idx,
+                                const std::vector<int64_t> &lanes,
+                                bool isLoad) {
+        const TensorView &v = viewOf(isOutput, idx);
+        if (v.memory() == MemorySpace::RF)
+            return;
+        if (!st)
+            return;
+        const bool contiguous =
+            info.requiresContiguous || v.totalSize() == 1;
+        ranges.clear();
+        for (int64_t t : lanes)
+            env.appendRanges(isOutput, idx, t, contiguous, ranges);
+        double useful = 0;
+        for (const auto &[addr, bytes] : ranges) {
+            (void)addr;
+            useful += static_cast<double>(bytes);
+        }
+        if (v.memory() == MemorySpace::SH) {
+            const int64_t waves = smemWavefronts(ranges, arch);
+            const int64_t ideal = smemIdealWavefronts(ranges, arch);
+            st->smemWavefronts += static_cast<double>(waves);
+            st->smemIdealWavefronts += static_cast<double>(ideal);
+            st->smemAccesses += 1;
+            env.noteLeafConflict(static_cast<double>(waves)
+                                 / static_cast<double>(ideal));
+        } else {
+            const int64_t sectors = globalSectors(ranges, arch);
+            st->globalSectors += static_cast<double>(sectors);
+            st->globalAccesses += 1;
+            st->globalUsefulBytes += useful;
+            const double bytes =
+                static_cast<double>(sectors) * arch.sectorBytes;
+            if (isLoad)
+                st->globalLoadBytes += bytes;
+            else
+                st->globalStoreBytes += bytes;
+        }
+    };
+    auto addFlops = [&](double flops) {
+        if (!st)
+            return;
+        switch (info.pipe) {
+          case Pipe::Tensor: st->tensorFlops += flops; break;
+          case Pipe::Fp16: st->fp16Flops += flops; break;
+          case Pipe::Sfu: st->sfuOps += flops; break;
+          default: st->fp32Flops += flops; break;
+        }
+    };
+
+    switch (info.opcode) {
+      // ---------------------------------------------- per-thread ops -
+      case AtomicOpcode::LdGlobal:
+      case AtomicOpcode::StGlobal:
+      case AtomicOpcode::LdShared:
+      case AtomicOpcode::StShared:
+      case AtomicOpcode::MoveReg:
+      case AtomicOpcode::CpAsync: {
+        std::vector<int64_t> lanes;
+        std::vector<double> vals;
+        for (int64_t warp = 0; warp < blockSize; warp += 32) {
+            lanes.clear();
+            for (int64_t t = warp; t < std::min(warp + 32, blockSize);
+                 ++t)
+                if (env.active(t))
+                    lanes.push_back(t);
+            if (lanes.empty())
+                continue;
+            if (st)
+                st->issueSlots += 1;
+            for (int64_t t : lanes) {
+                env.readInto(false, 0, t, vals);
+                env.writeFrom(true, 0, t, vals);
+            }
+            accountMemAccess(false, 0, lanes, /*isLoad=*/true);
+            accountMemAccess(true, 0, lanes, /*isLoad=*/false);
+        }
+        return;
+      }
+      case AtomicOpcode::FmaScalar:
+      case AtomicOpcode::Hfma2: {
+        std::vector<int64_t> lanes;
+        std::vector<double> av, bv, dv;
+        int64_t activeCount = 0;
+        for (int64_t warp = 0; warp < blockSize; warp += 32) {
+            lanes.clear();
+            for (int64_t t = warp; t < std::min(warp + 32, blockSize);
+                 ++t)
+                if (env.active(t))
+                    lanes.push_back(t);
+            if (lanes.empty())
+                continue;
+            for (int64_t t : lanes) {
+                ++activeCount;
+                env.readInto(false, 0, t, av);
+                env.readInto(false, 1, t, bv);
+                env.readInto(true, 0, t, dv);
+                for (size_t i = 0; i < dv.size(); ++i)
+                    dv[i] += av[i] * bv[i];
+                env.writeFrom(true, 0, t, dv);
+            }
+            if (st)
+                st->issueSlots += 1;
+            // Memory-resident operands (Fig. 8 style) cost accesses;
+            // the accumulator is read-modify-write.
+            accountMemAccess(false, 0, lanes, /*isLoad=*/true);
+            accountMemAccess(false, 1, lanes, /*isLoad=*/true);
+            accountMemAccess(true, 0, lanes, /*isLoad=*/true);
+            accountMemAccess(true, 0, lanes, /*isLoad=*/false);
+        }
+        addFlops(static_cast<double>(activeCount) * 2.0
+                 * static_cast<double>(info.elemsOut));
+        return;
+      }
+      case AtomicOpcode::UnaryScalar:
+      case AtomicOpcode::BinaryScalar:
+      case AtomicOpcode::BinaryVector2: {
+        const TensorView &out = spec.outputs()[0];
+        const bool isBinary = spec.kind() == SpecKind::BinaryPointwise;
+        const bool sfu = spec.op() == OpKind::Exp
+            || spec.op() == OpKind::Rsqrt || spec.op() == OpKind::Tanh
+            || spec.op() == OpKind::Sigmoid || spec.op() == OpKind::Gelu;
+        std::vector<double> av, bv, ov;
+        int64_t activeCount = 0;
+        for (int64_t warp = 0; warp < blockSize; warp += 32) {
+            bool any = false;
+            for (int64_t t = warp; t < std::min(warp + 32, blockSize);
+                 ++t) {
+                if (!env.active(t))
+                    continue;
+                any = true;
+                ++activeCount;
+                env.readInto(false, 0, t, av);
+                ov.resize(av.size());
+                if (isBinary && !spec.hasScalarOperand()) {
+                    env.readInto(false, 1, t, bv);
+                    for (size_t i = 0; i < av.size(); ++i)
+                        ov[i] = applyOp(spec.op(), av[i], bv[i]);
+                } else if (isBinary) {
+                    for (size_t i = 0; i < av.size(); ++i)
+                        ov[i] = applyOp(spec.op(), av[i],
+                                        spec.scalarOperand());
+                } else {
+                    for (size_t i = 0; i < av.size(); ++i)
+                        ov[i] = applyOp(spec.op(), av[i]);
+                }
+                env.writeFrom(true, 0, t, ov);
+            }
+            if (any && st)
+                st->issueSlots += 1;
+        }
+        const double ops = static_cast<double>(activeCount)
+            * static_cast<double>(out.totalSize());
+        if (sfu) {
+            if (st)
+                st->sfuOps += ops;
+        } else {
+            addFlops(ops);
+        }
+        return;
+      }
+      case AtomicOpcode::ReduceSerial: {
+        const TensorView &in = spec.inputs()[0];
+        std::vector<double> vals;
+        std::vector<double> accVec(1);
+        int64_t activeCount = 0;
+        for (int64_t warp = 0; warp < blockSize; warp += 32) {
+            bool any = false;
+            for (int64_t t = warp; t < std::min(warp + 32, blockSize);
+                 ++t) {
+                if (!env.active(t))
+                    continue;
+                any = true;
+                ++activeCount;
+                env.readInto(false, 0, t, vals);
+                double acc = reductionIdentity(spec.op());
+                for (double v : vals)
+                    acc = applyOp(spec.op(), acc, v);
+                accVec[0] = acc;
+                env.writeFrom(true, 0, t, accVec);
+            }
+            if (any && st)
+                st->issueSlots +=
+                    static_cast<double>(in.totalSize()) / 32.0 + 1;
+        }
+        if (st)
+            st->fp32Flops += static_cast<double>(activeCount)
+                * static_cast<double>(in.totalSize());
+        return;
+      }
+      case AtomicOpcode::InitReg: {
+        const TensorView &out = spec.outputs()[0];
+        const std::vector<double> vals(
+            static_cast<size_t>(out.totalSize()), spec.initValue());
+        for (int64_t warp = 0; warp < blockSize; warp += 32) {
+            bool any = false;
+            for (int64_t t = warp; t < std::min(warp + 32, blockSize);
+                 ++t) {
+                if (!env.active(t))
+                    continue;
+                any = true;
+                env.writeFrom(true, 0, t, vals);
+            }
+            if (any && st)
+                st->issueSlots += 1;
+        }
+        return;
+      }
+      // -------------------------------------------- warp-collective -
+      case AtomicOpcode::ShflSync: {
+        std::vector<double> scratch;
+        std::vector<double> one(1);
+        for (int64_t warp = 0; warp + 32 <= blockSize; warp += 32) {
+            if (!env.active(warp))
+                continue;
+            double lane[32];
+            for (int64_t l = 0; l < 32; ++l) {
+                env.readInto(false, 0, warp + l, scratch);
+                lane[l] = scratch[0];
+            }
+            for (int64_t l = 0; l < 32; ++l) {
+                int64_t srcLane = l;
+                switch (spec.shflMode()) {
+                  case ShflMode::Bfly: srcLane = l ^ spec.shflArg(); break;
+                  case ShflMode::Down:
+                    srcLane = l + spec.shflArg();
+                    if (srcLane >= 32)
+                        srcLane = l;
+                    break;
+                  case ShflMode::Idx: srcLane = spec.shflArg(); break;
+                }
+                one[0] = lane[srcLane];
+                env.writeFrom(true, 0, warp + l, one);
+            }
+            if (st)
+                st->issueSlots += 1;
+        }
+        return;
+      }
+      case AtomicOpcode::Ldmatrix:
+      case AtomicOpcode::LdmatrixTrans: {
+        const bool trans = info.opcode == AtomicOpcode::LdmatrixTrans;
+        std::vector<double> row, vals(8);
+        for (int64_t warp = 0; warp + 32 <= blockSize; warp += 32) {
+            if (!env.active(warp))
+                continue;
+            // Phase 1: the four 8x8 matrices; matrix g's row r comes
+            // from thread 8g + r's source view (8 contiguous halves).
+            double tiles[4][8][8];
+            std::vector<std::pair<int64_t, int64_t>> allRanges;
+            for (int64_t g = 0; g < 4; ++g) {
+                for (int64_t r = 0; r < 8; ++r) {
+                    const int64_t t = warp + 8 * g + r;
+                    env.readInto(false, 0, t, row);
+                    GRAPHENE_ASSERT(row.size() == 8u)
+                        << "ldmatrix row must have 8 elements";
+                    for (int64_t c = 0; c < 8; ++c)
+                        tiles[g][r][c] = row[static_cast<size_t>(c)];
+                    if (st)
+                        env.appendRanges(false, 0, t, true, allRanges);
+                }
+            }
+            // Phase 2: distribute — thread t receives, for register
+            // pair g, elements (t/4, 2*(t%4)) and (t/4, 2*(t%4)+1); the
+            // .trans variant distributes the transposed matrices.
+            for (int64_t l = 0; l < 32; ++l) {
+                for (int64_t v = 0; v < 8; ++v) {
+                    const int64_t g = v / 2;
+                    const int64_t r = l / 4;
+                    const int64_t c = 2 * (l % 4) + (v % 2);
+                    vals[static_cast<size_t>(v)] =
+                        trans ? tiles[g][c][r] : tiles[g][r][c];
+                }
+                env.writeFrom(true, 0, warp + l, vals);
+            }
+            if (st) {
+                st->issueSlots += 1;
+                // The instruction performs 4 shared-memory phases of 8
+                // rows each; conflicts computed per phase from the row
+                // addresses.
+                for (int64_t g = 0; g < 4; ++g) {
+                    std::vector<std::pair<int64_t, int64_t>> phase(
+                        allRanges.begin() + g * 8,
+                        allRanges.begin() + (g + 1) * 8);
+                    const int64_t waves = smemWavefronts(phase, arch);
+                    const int64_t ideal =
+                        smemIdealWavefronts(phase, arch);
+                    st->smemWavefronts += static_cast<double>(waves);
+                    st->smemIdealWavefronts +=
+                        static_cast<double>(ideal);
+                    st->smemAccesses += 1;
+                    env.noteLeafConflict(static_cast<double>(waves)
+                                         / static_cast<double>(ideal));
+                }
+            }
+        }
+        return;
+      }
+      case AtomicOpcode::MmaM16N8K16:
+      case AtomicOpcode::MmaM16N8K8: {
+        const bool k16 = info.opcode == AtomicOpcode::MmaM16N8K16;
+        const int64_t K = k16 ? 16 : 8;
+        std::vector<double> av, bv, dv;
+        for (int64_t warp = 0; warp + 32 <= blockSize; warp += 32) {
+            if (!env.active(warp))
+                continue;
+            double A[16][16] = {};
+            double B[16][8] = {};
+            double D[16][8] = {};
+            for (int64_t l = 0; l < 32; ++l) {
+                env.readInto(false, 0, warp + l, av);
+                for (int64_t v = 0; v < info.elemsIn0; ++v) {
+                    const int64_t m = l / 4 + 8 * (k16 ? (v / 2) % 2
+                                                        : v / 2);
+                    const int64_t k = 2 * (l % 4) + v % 2
+                        + (k16 ? 8 * (v / 4) : 0);
+                    A[m][k] = av[static_cast<size_t>(v)];
+                }
+                env.readInto(false, 1, warp + l, bv);
+                for (int64_t v = 0; v < info.elemsIn1; ++v) {
+                    const int64_t k = 2 * (l % 4) + v % 2 + 8 * (v / 2);
+                    const int64_t n = l / 4;
+                    B[k][n] = bv[static_cast<size_t>(v)];
+                }
+                env.readInto(true, 0, warp + l, dv);
+                for (int64_t v = 0; v < info.elemsOut; ++v) {
+                    const int64_t m = l / 4 + 8 * (v / 2);
+                    const int64_t n = 2 * (l % 4) + v % 2;
+                    D[m][n] = dv[static_cast<size_t>(v)];
+                }
+            }
+            for (int64_t m = 0; m < 16; ++m)
+                for (int64_t n = 0; n < 8; ++n) {
+                    double acc = D[m][n];
+                    for (int64_t k = 0; k < K; ++k)
+                        acc += A[m][k] * B[k][n];
+                    D[m][n] = acc;
+                }
+            dv.resize(static_cast<size_t>(info.elemsOut));
+            for (int64_t l = 0; l < 32; ++l) {
+                for (int64_t v = 0; v < info.elemsOut; ++v) {
+                    const int64_t m = l / 4 + 8 * (v / 2);
+                    const int64_t n = 2 * (l % 4) + v % 2;
+                    dv[static_cast<size_t>(v)] = D[m][n];
+                }
+                env.writeFrom(true, 0, warp + l, dv);
+            }
+            if (st) {
+                st->issueSlots += 1;
+                st->tensorFlops +=
+                    static_cast<double>(info.flopsPerGroup);
+            }
+        }
+        return;
+      }
+      case AtomicOpcode::MmaM8N8K4: {
+        std::vector<double> av, bv, dv(8);
+        for (int64_t warp = 0; warp + 32 <= blockSize; warp += 32) {
+            if (!env.active(warp))
+                continue;
+            // Four quad-pairs per warp; QP q = lanes {4q..4q+3} and
+            // {16+4q..16+4q+3}.
+            for (int64_t q = 0; q < 4; ++q) {
+                double A[8][4] = {};
+                double B[4][8] = {};
+                double D[8][8] = {};
+                auto lanesOf = [&](int64_t qt) {
+                    return warp + 4 * q + (qt % 4) + 16 * (qt / 4);
+                };
+                for (int64_t qt = 0; qt < 8; ++qt) {
+                    const int64_t t = lanesOf(qt);
+                    env.readInto(false, 0, t, av);
+                    for (int64_t v = 0; v < 4; ++v)
+                        A[qt][v] = av[static_cast<size_t>(v)];
+                    env.readInto(false, 1, t, bv);
+                    for (int64_t v = 0; v < 4; ++v)
+                        B[v][qt] = bv[static_cast<size_t>(v)];
+                    env.readInto(true, 0, t, dv);
+                    for (int64_t v = 0; v < 8; ++v)
+                        D[qt][v] = dv[static_cast<size_t>(v)];
+                }
+                for (int64_t m = 0; m < 8; ++m)
+                    for (int64_t n = 0; n < 8; ++n)
+                        for (int64_t k = 0; k < 4; ++k)
+                            D[m][n] += A[m][k] * B[k][n];
+                dv.resize(8);
+                for (int64_t qt = 0; qt < 8; ++qt) {
+                    for (int64_t v = 0; v < 8; ++v)
+                        dv[static_cast<size_t>(v)] = D[qt][v];
+                    env.writeFrom(true, 0, lanesOf(qt), dv);
+                }
+                if (st)
+                    st->tensorFlops +=
+                        static_cast<double>(info.flopsPerGroup);
+            }
+            if (st)
+                st->issueSlots += 1;
+        }
+        return;
+      }
+    }
+    panic("unhandled atomic opcode");
+}
+
+} // namespace sim
+} // namespace graphene
+
+#endif // GRAPHENE_SIM_LEAF_EXEC_H

@@ -1,0 +1,671 @@
+#include "sim/plan.h"
+
+#include <algorithm>
+
+#include "ir/stmt.h"
+#include "sim/executor.h"
+#include "sim/leaf_exec.h"
+#include "support/check.h"
+
+namespace graphene
+{
+namespace sim
+{
+
+// ---------------------------------------------------------------- compile -
+
+namespace
+{
+
+/** Lowering state for one Plan::compile call. */
+struct Lowering
+{
+    Plan &plan;
+    const AtomicSpecRegistry &registry;
+    SlotMap slots;
+    /** (space class, name) -> buffer id; SH and RF/GL are separate
+     *  namespaces, matching the interpreter's shared/regs/global maps. */
+    std::map<std::pair<int, std::string>, int> bufIds;
+
+    int
+    internBuffer(MemorySpace space, const std::string &name)
+    {
+        const int cls = space == MemorySpace::SH
+            ? 1
+            : (space == MemorySpace::RF ? 2 : 0);
+        const auto key = std::make_pair(cls, name);
+        auto it = bufIds.find(key);
+        if (it != bufIds.end())
+            return it->second;
+        PlanBuffer buf;
+        buf.name = name;
+        buf.space = space;
+        if (space == MemorySpace::SH)
+            buf.spaceIndex = plan.numShared++;
+        else if (space == MemorySpace::RF)
+            buf.spaceIndex = plan.numReg++;
+        const int id = static_cast<int>(plan.buffers.size());
+        plan.buffers.push_back(std::move(buf));
+        bufIds.emplace(key, id);
+        return id;
+    }
+
+    PlanView
+    compileView(const TensorView &v)
+    {
+        PlanView pv;
+        pv.space = v.memory();
+        pv.scalar = v.scalar();
+        pv.elemBytes = scalarSizeBytes(v.scalar());
+        pv.totalSize = v.totalSize();
+        pv.swizzle = v.swizzle();
+        pv.identitySwizzle = v.swizzle().isIdentity();
+        pv.bufId = internBuffer(v.memory(), v.buffer());
+        pv.spaceIndex = plan.buffers[static_cast<size_t>(pv.bufId)]
+                            .spaceIndex;
+        pv.viewId = plan.numViews++;
+        // Per-level layout contributions are pure functions of the
+        // canonical element index: fold them into a table.
+        pv.constAddr.resize(static_cast<size_t>(pv.totalSize));
+        std::vector<int64_t> idx;
+        for (int64_t i = 0; i < pv.totalSize; ++i) {
+            levelIndicesInto(v, i, idx);
+            int64_t c = 0;
+            for (int l = 0; l < v.numLevels(); ++l)
+                c += v.level(l)(idx[static_cast<size_t>(l)]);
+            pv.constAddr[static_cast<size_t>(i)] = c;
+        }
+        // The offset is the only variable-dependent part of the
+        // address: decompose it and classify each summand by the slots
+        // it reads.
+        const AffineExpr aff = decomposeAffine(v.offset());
+        pv.offsetBase = aff.base;
+        for (const AffineTerm &t : aff.terms) {
+            PlanTerm pt;
+            pt.prog = CompiledExpr::compile(t.expr, slots);
+            pt.stride = t.stride;
+            const bool usesTid = pt.prog.usesSlot(0);
+            const bool usesLoop = pt.prog.usesSlotAtLeast(2);
+            if (usesTid && usesLoop)
+                pv.mixedTerms.push_back(std::move(pt));
+            else if (usesTid)
+                pv.threadTerms.push_back(std::move(pt));
+            else if (usesLoop)
+                pv.loopTerms.push_back(std::move(pt));
+            else
+                pv.blockTerms.push_back(std::move(pt));
+        }
+        return pv;
+    }
+
+    size_t
+    emit(PlanOp op)
+    {
+        const size_t pc = plan.ops.size();
+        plan.ops.push_back(op);
+        return pc;
+    }
+
+    void
+    lowerStmts(const std::vector<StmtPtr> &stmts)
+    {
+        for (const auto &s : stmts)
+            lowerStmt(*s);
+    }
+
+    void
+    lowerStmt(const Stmt &stmt)
+    {
+        switch (stmt.kind) {
+          case StmtKind::For: {
+            const int slot = slots.addSlot(stmt.loopVar);
+            PlanOp init;
+            init.kind = PlanOp::Kind::ForInit;
+            init.a = slot;
+            init.begin = stmt.begin;
+            init.end = stmt.end;
+            init.step = stmt.step;
+            const size_t initPc = emit(init);
+            lowerStmts(stmt.body);
+            PlanOp next;
+            next.kind = PlanOp::Kind::ForNext;
+            next.a = slot;
+            next.end = stmt.end;
+            next.step = stmt.step;
+            next.target = static_cast<int32_t>(initPc + 1);
+            emit(next);
+            plan.ops[initPc].target =
+                static_cast<int32_t>(plan.ops.size());
+            return;
+          }
+          case StmtKind::If: {
+            if (exprUsesVar(stmt.cond, "tid")) {
+                // Thread-dependent predication: guard leaf specs,
+                // exactly like the interpreter's predicate stack.
+                const int predId = static_cast<int>(plan.preds.size());
+                plan.preds.push_back(
+                    CompiledExpr::compile(stmt.cond, slots));
+                PlanOp push;
+                push.kind = PlanOp::Kind::PushPred;
+                push.a = predId;
+                emit(push);
+                lowerStmts(stmt.body);
+                PlanOp pop;
+                pop.kind = PlanOp::Kind::PopPred;
+                emit(pop);
+                if (!stmt.elseBody.empty()) {
+                    const int elseId =
+                        static_cast<int>(plan.preds.size());
+                    plan.preds.push_back(CompiledExpr::compile(
+                        lessThan(stmt.cond, constant(1)), slots));
+                    PlanOp epush;
+                    epush.kind = PlanOp::Kind::PushPred;
+                    epush.a = elseId;
+                    emit(epush);
+                    lowerStmts(stmt.elseBody);
+                    emit(pop);
+                }
+                return;
+            }
+            // Block-uniform branch, evaluated with tid = 0.
+            const int condId = static_cast<int>(plan.conds.size());
+            plan.conds.push_back(CompiledExpr::compile(stmt.cond, slots));
+            PlanOp br;
+            br.kind = PlanOp::Kind::Branch;
+            br.a = condId;
+            const size_t brPc = emit(br);
+            lowerStmts(stmt.body);
+            if (stmt.elseBody.empty()) {
+                plan.ops[brPc].target =
+                    static_cast<int32_t>(plan.ops.size());
+            } else {
+                PlanOp jmp;
+                jmp.kind = PlanOp::Kind::Jump;
+                const size_t jmpPc = emit(jmp);
+                plan.ops[brPc].target =
+                    static_cast<int32_t>(plan.ops.size());
+                lowerStmts(stmt.elseBody);
+                plan.ops[jmpPc].target =
+                    static_cast<int32_t>(plan.ops.size());
+            }
+            return;
+          }
+          case StmtKind::Sync: {
+            PlanOp op;
+            op.kind = PlanOp::Kind::Sync;
+            op.b = stmt.warpScope ? 1 : 0;
+            op.stmtId = stmt.stmtId;
+            op.syncId = stmt.syncId;
+            emit(op);
+            return;
+          }
+          case StmtKind::SpecCall: {
+            if (!stmt.spec->isLeaf()) {
+                lowerStmts(stmt.spec->body());
+                return;
+            }
+            PlanLeaf lf;
+            lf.spec = stmt.spec.get();
+            lf.info = &registry.matchOrThrow(*stmt.spec);
+            lf.stmtId = stmt.stmtId;
+            lf.numInputs = static_cast<int>(stmt.spec->inputs().size());
+            for (const TensorView &v : stmt.spec->inputs())
+                lf.views.push_back(compileView(v));
+            for (const TensorView &v : stmt.spec->outputs())
+                lf.views.push_back(compileView(v));
+            PlanOp op;
+            op.kind = PlanOp::Kind::Leaf;
+            op.a = static_cast<int32_t>(plan.leaves.size());
+            plan.leaves.push_back(std::move(lf));
+            emit(op);
+            return;
+          }
+          case StmtKind::Alloc: {
+            const bool sh = stmt.allocMemory == MemorySpace::SH;
+            // The interpreter treats every non-shared allocation as
+            // per-thread register storage; replicate that.
+            const int id = internBuffer(
+                sh ? MemorySpace::SH : MemorySpace::RF, stmt.allocName);
+            PlanOp op;
+            op.kind = sh ? PlanOp::Kind::AllocShared
+                         : PlanOp::Kind::AllocReg;
+            op.a = id;
+            op.b = plan.buffers[static_cast<size_t>(id)].spaceIndex;
+            op.end = stmt.allocCount;
+            op.scalar = stmt.allocScalar;
+            emit(op);
+            return;
+          }
+          case StmtKind::Comment:
+            return;
+        }
+    }
+};
+
+} // namespace
+
+Plan
+Plan::compile(const Kernel &kernel, const AtomicSpecRegistry &registry)
+{
+    Plan plan;
+    plan.gridSize = kernel.gridSize();
+    plan.blockSize = kernel.blockSize();
+    Lowering lower{plan, registry, {}, {}};
+    lower.slots.addSlot("tid");
+    lower.slots.addSlot("bid");
+    lower.lowerStmts(kernel.body());
+    plan.slotCount = lower.slots.size();
+    return plan;
+}
+
+// --------------------------------------------------------------- execution -
+
+/**
+ * leaf_exec.h environment over plan tables.  Addresses are
+ * swizzle(blockConst + Σ loop + threadCache[tid] + Σ mixed(tid)
+ * + constAddr[i]); the loop part is hoisted into leafViewOff_ at
+ * construction, the thread part per (view, tid) call site.
+ */
+struct PlanLeafEnv
+{
+    PlanBlockRunner &r;
+    const PlanLeaf &lf;
+    const PlanRunConfig &cfg;
+
+    PlanLeafEnv(PlanBlockRunner &runner, const PlanLeaf &leaf,
+                const PlanRunConfig &config)
+        : r(runner), lf(leaf), cfg(config)
+    {
+        r.leafViewOff_.resize(lf.views.size());
+        for (size_t i = 0; i < lf.views.size(); ++i) {
+            const PlanView &v = lf.views[i];
+            int64_t off =
+                r.viewBlockConst_[static_cast<size_t>(v.viewId)];
+            for (const PlanTerm &t : v.loopTerms)
+                off += t.stride * t.prog.eval(r.slots_.data());
+            r.leafViewOff_[i] = off;
+        }
+    }
+
+    int64_t blockSize() const { return r.plan_.blockSize; }
+
+    const PlanView &
+    view(bool isOutput, int idx) const
+    {
+        return lf.views[static_cast<size_t>(
+            isOutput ? lf.numInputs + idx : idx)];
+    }
+
+    bool
+    active(int64_t tid)
+    {
+        if (r.predStack_.empty())
+            return true;
+        r.slots_[0] = tid;
+        for (int32_t p : r.predStack_)
+            if (r.plan_.preds[static_cast<size_t>(p)].eval(
+                    r.slots_.data()) == 0)
+                return false;
+        return true;
+    }
+
+    void
+    readInto(bool isOutput, int idx, int64_t tid,
+             std::vector<double> &out)
+    {
+        const PlanView &v = view(isOutput, idx);
+        Buffer &buf = r.resolve(v, tid);
+        const int64_t base =
+            r.leafViewOff_[static_cast<size_t>(
+                isOutput ? lf.numInputs + idx : idx)]
+            + r.threadTermSum(v, tid);
+        out.resize(static_cast<size_t>(v.totalSize));
+        const bool track = v.space != MemorySpace::RF;
+        for (int64_t i = 0; i < v.totalSize; ++i) {
+            int64_t addr = base + v.constAddr[static_cast<size_t>(i)];
+            if (!v.identitySwizzle)
+                addr = v.swizzle(addr);
+            if (cfg.san) {
+                if (!cfg.san->onAccess(
+                        v.space,
+                        r.plan_.buffers[static_cast<size_t>(v.bufId)]
+                            .name,
+                        v.scalar, addr, buf.size(), tid,
+                        /*isWrite=*/false)) {
+                    out[static_cast<size_t>(i)] = 0.0;
+                    continue;
+                }
+            } else if (track && cfg.log) {
+                logAccess(v, addr, buf.size(), tid, /*isWrite=*/false);
+                if (addr < 0 || addr >= buf.size()) {
+                    out[static_cast<size_t>(i)] = 0.0; // suppressed OOB
+                    continue;
+                }
+            }
+            out[static_cast<size_t>(i)] = buf.read(addr);
+        }
+    }
+
+    void
+    writeFrom(bool isOutput, int idx, int64_t tid,
+              const std::vector<double> &vals)
+    {
+        const PlanView &v = view(isOutput, idx);
+        Buffer &buf = r.resolve(v, tid);
+        const int64_t base =
+            r.leafViewOff_[static_cast<size_t>(
+                isOutput ? lf.numInputs + idx : idx)]
+            + r.threadTermSum(v, tid);
+        const bool track = v.space != MemorySpace::RF;
+        for (int64_t i = 0; i < v.totalSize; ++i) {
+            int64_t addr = base + v.constAddr[static_cast<size_t>(i)];
+            if (!v.identitySwizzle)
+                addr = v.swizzle(addr);
+            if (cfg.san) {
+                if (!cfg.san->onAccess(
+                        v.space,
+                        r.plan_.buffers[static_cast<size_t>(v.bufId)]
+                            .name,
+                        v.scalar, addr, buf.size(), tid,
+                        /*isWrite=*/true))
+                    continue; // suppressed OOB write
+            } else if (track && cfg.log) {
+                logAccess(v, addr, buf.size(), tid, /*isWrite=*/true);
+                if (addr < 0 || addr >= buf.size())
+                    continue; // suppressed OOB write
+            }
+            buf.write(addr, vals[static_cast<size_t>(i)]);
+        }
+    }
+
+    void
+    appendRanges(bool isOutput, int idx, int64_t tid, bool contiguous,
+                 std::vector<std::pair<int64_t, int64_t>> &out)
+    {
+        const PlanView &v = view(isOutput, idx);
+        const int64_t esize = v.elemBytes;
+        const int64_t base =
+            r.leafViewOff_[static_cast<size_t>(
+                isOutput ? lf.numInputs + idx : idx)]
+            + r.threadTermSum(v, tid);
+        if (contiguous) {
+            int64_t addr = base + v.constAddr[0];
+            if (!v.identitySwizzle)
+                addr = v.swizzle(addr);
+            out.emplace_back(addr * esize, v.totalSize * esize);
+            return;
+        }
+        for (int64_t i = 0; i < v.totalSize; ++i) {
+            int64_t addr = base + v.constAddr[static_cast<size_t>(i)];
+            if (!v.identitySwizzle)
+                addr = v.swizzle(addr);
+            out.emplace_back(addr * esize, esize);
+        }
+    }
+
+    CostStats *stats() { return cfg.stats; }
+
+    void
+    noteLeafConflict(double ratio)
+    {
+        r.leafConflict_ = std::max(r.leafConflict_, ratio);
+    }
+
+  private:
+    void
+    logAccess(const PlanView &v, int64_t addr, int64_t extent,
+              int64_t tid, bool isWrite)
+    {
+        AccessLog::Entry e;
+        e.elem = addr;
+        e.extent = extent;
+        e.bufId = v.bufId;
+        e.tid = static_cast<int32_t>(tid);
+        e.kind = AccessLog::Kind::Access;
+        e.space = static_cast<uint8_t>(v.space);
+        e.scalar = static_cast<uint8_t>(v.scalar);
+        e.flags = isWrite ? 1 : 0;
+        cfg.log->entries.push_back(e);
+    }
+};
+
+PlanBlockRunner::PlanBlockRunner(const Plan &plan, DeviceMemory &memory,
+                                 const GpuArch &arch)
+    : plan_(plan), memory_(memory), arch_(arch),
+      slots_(static_cast<size_t>(plan.slotCount), 0),
+      glBufs_(plan.buffers.size(), nullptr),
+      shared_(static_cast<size_t>(plan.numShared)),
+      sharedAlloc_(static_cast<size_t>(plan.numShared), 0),
+      regs_(static_cast<size_t>(plan.blockSize)),
+      regAlloc_(static_cast<size_t>(plan.numReg), 0),
+      viewBlockConst_(static_cast<size_t>(plan.numViews), 0),
+      threadCache_(static_cast<size_t>(plan.numViews)),
+      threadCacheValid_(static_cast<size_t>(plan.numViews), 0)
+{
+    for (auto &rf : regs_)
+        rf.resize(static_cast<size_t>(plan.numReg));
+}
+
+Buffer &
+PlanBlockRunner::resolve(const PlanView &view, int64_t tid)
+{
+    switch (view.space) {
+      case MemorySpace::GL: {
+        Buffer *&b = glBufs_[static_cast<size_t>(view.bufId)];
+        if (!b)
+            b = &memory_.at(
+                plan_.buffers[static_cast<size_t>(view.bufId)].name);
+        return *b;
+      }
+      case MemorySpace::SH:
+        GRAPHENE_CHECK(view.spaceIndex >= 0
+                       && sharedAlloc_[static_cast<size_t>(
+                           view.spaceIndex)])
+            << "shared buffer '"
+            << plan_.buffers[static_cast<size_t>(view.bufId)].name
+            << "' not allocated";
+        return shared_[static_cast<size_t>(view.spaceIndex)];
+      case MemorySpace::RF:
+        GRAPHENE_CHECK(view.spaceIndex >= 0
+                       && regAlloc_[static_cast<size_t>(
+                           view.spaceIndex)])
+            << "register buffer '"
+            << plan_.buffers[static_cast<size_t>(view.bufId)].name
+            << "' not allocated for thread " << tid;
+        return regs_[static_cast<size_t>(tid)]
+                    [static_cast<size_t>(view.spaceIndex)];
+    }
+    panic("unknown memory space");
+}
+
+int64_t
+PlanBlockRunner::threadTermSum(const PlanView &view, int64_t tid)
+{
+    int64_t sum = 0;
+    if (!view.threadTerms.empty()) {
+        std::vector<int64_t> &cache =
+            threadCache_[static_cast<size_t>(view.viewId)];
+        if (!threadCacheValid_[static_cast<size_t>(view.viewId)]) {
+            cache.resize(static_cast<size_t>(plan_.blockSize));
+            const int64_t saved = slots_[0];
+            for (int64_t t = 0; t < plan_.blockSize; ++t) {
+                slots_[0] = t;
+                int64_t s = 0;
+                for (const PlanTerm &pt : view.threadTerms)
+                    s += pt.stride * pt.prog.eval(slots_.data());
+                cache[static_cast<size_t>(t)] = s;
+            }
+            slots_[0] = saved;
+            threadCacheValid_[static_cast<size_t>(view.viewId)] = 1;
+        }
+        sum += cache[static_cast<size_t>(tid)];
+    }
+    if (!view.mixedTerms.empty()) {
+        const int64_t saved = slots_[0];
+        slots_[0] = tid;
+        for (const PlanTerm &pt : view.mixedTerms)
+            sum += pt.stride * pt.prog.eval(slots_.data());
+        slots_[0] = saved;
+    }
+    return sum;
+}
+
+void
+PlanBlockRunner::execLeaf(const PlanLeaf &leaf, const PlanRunConfig &cfg)
+{
+    PlanLeafEnv env(*this, leaf, cfg);
+    if (cfg.byStmt) {
+        GRAPHENE_ASSERT(cfg.stats)
+            << "per-statement attribution requires a stats sink";
+        const CostStats before = *cfg.stats;
+        leafConflict_ = 1.0;
+        runLeaf(*leaf.spec, *leaf.info, arch_, env);
+        StmtCost &sc = (*cfg.byStmt)[leaf.stmtId];
+        sc.stats += *cfg.stats - before;
+        sc.visits += 1;
+        sc.maxSmemConflict = std::max(sc.maxSmemConflict, leafConflict_);
+        return;
+    }
+    runLeaf(*leaf.spec, *leaf.info, arch_, env);
+}
+
+void
+PlanBlockRunner::runBlock(int64_t bid, const PlanRunConfig &cfg)
+{
+    std::fill(slots_.begin(), slots_.end(), 0);
+    slots_[1] = bid;
+    predStack_.clear();
+    std::fill(sharedAlloc_.begin(), sharedAlloc_.end(), 0);
+    std::fill(regAlloc_.begin(), regAlloc_.end(), 0);
+    std::fill(threadCacheValid_.begin(), threadCacheValid_.end(), 0);
+    leafConflict_ = 1.0;
+    // Block-constant address parts: offset base plus every term that
+    // reads neither tid nor loop variables.
+    for (const PlanLeaf &lf : plan_.leaves)
+        for (const PlanView &v : lf.views) {
+            int64_t c = v.offsetBase;
+            for (const PlanTerm &t : v.blockTerms)
+                c += t.stride * t.prog.eval(slots_.data());
+            viewBlockConst_[static_cast<size_t>(v.viewId)] = c;
+        }
+
+    size_t pc = 0;
+    const size_t n = plan_.ops.size();
+    while (pc < n) {
+        const PlanOp &op = plan_.ops[pc];
+        switch (op.kind) {
+          case PlanOp::Kind::ForInit:
+            slots_[static_cast<size_t>(op.a)] = op.begin;
+            if (op.begin >= op.end) {
+                pc = static_cast<size_t>(op.target);
+                break;
+            }
+            ++pc;
+            break;
+          case PlanOp::Kind::ForNext: {
+            const int64_t v =
+                slots_[static_cast<size_t>(op.a)] + op.step;
+            slots_[static_cast<size_t>(op.a)] = v;
+            if (v < op.end)
+                pc = static_cast<size_t>(op.target);
+            else
+                ++pc;
+            break;
+          }
+          case PlanOp::Kind::Branch:
+            slots_[0] = 0; // block-uniform conditions see tid = 0
+            if (plan_.conds[static_cast<size_t>(op.a)].eval(
+                    slots_.data())
+                != 0)
+                ++pc;
+            else
+                pc = static_cast<size_t>(op.target);
+            break;
+          case PlanOp::Kind::Jump:
+            pc = static_cast<size_t>(op.target);
+            break;
+          case PlanOp::Kind::PushPred:
+            predStack_.push_back(op.a);
+            ++pc;
+            break;
+          case PlanOp::Kind::PopPred:
+            predStack_.pop_back();
+            ++pc;
+            break;
+          case PlanOp::Kind::Sync:
+            if (cfg.stats)
+                cfg.stats->syncCount += 1;
+            if (cfg.byStmt) {
+                StmtCost &sc = (*cfg.byStmt)[op.stmtId];
+                sc.stats.syncCount += 1;
+                sc.visits += 1;
+            }
+            if (cfg.san) {
+                cfg.san->onSync(op.b != 0, op.syncId);
+            } else if (cfg.log) {
+                AccessLog::Entry e;
+                e.elem = op.syncId;
+                e.kind = AccessLog::Kind::Sync;
+                e.flags = op.b != 0 ? 2 : 0;
+                cfg.log->entries.push_back(e);
+            }
+            ++pc;
+            break;
+          case PlanOp::Kind::AllocShared: {
+            shared_[static_cast<size_t>(op.b)] =
+                Buffer(op.scalar, op.end);
+            sharedAlloc_[static_cast<size_t>(op.b)] = 1;
+            if (cfg.san) {
+                cfg.san->onSharedAlloc(
+                    plan_.buffers[static_cast<size_t>(op.a)].name,
+                    op.scalar, op.end);
+            } else if (cfg.log) {
+                AccessLog::Entry e;
+                e.elem = op.end;
+                e.bufId = op.a;
+                e.kind = AccessLog::Kind::SharedAlloc;
+                e.scalar = static_cast<uint8_t>(op.scalar);
+                cfg.log->entries.push_back(e);
+            }
+            ++pc;
+            break;
+          }
+          case PlanOp::Kind::AllocReg:
+            for (auto &rf : regs_)
+                rf[static_cast<size_t>(op.b)] = Buffer(op.scalar, op.end);
+            regAlloc_[static_cast<size_t>(op.b)] = 1;
+            ++pc;
+            break;
+          case PlanOp::Kind::Leaf:
+            execLeaf(plan_.leaves[static_cast<size_t>(op.a)], cfg);
+            ++pc;
+            break;
+        }
+    }
+}
+
+void
+replayAccessLog(const AccessLog &log, const Plan &plan, Sanitizer &san)
+{
+    for (const AccessLog::Entry &e : log.entries) {
+        switch (e.kind) {
+          case AccessLog::Kind::Access:
+            san.onAccess(static_cast<MemorySpace>(e.space),
+                         plan.buffers[static_cast<size_t>(e.bufId)].name,
+                         static_cast<ScalarType>(e.scalar), e.elem,
+                         e.extent, e.tid, (e.flags & 1) != 0);
+            break;
+          case AccessLog::Kind::Sync:
+            san.onSync((e.flags & 2) != 0, e.elem);
+            break;
+          case AccessLog::Kind::SharedAlloc:
+            san.onSharedAlloc(
+                plan.buffers[static_cast<size_t>(e.bufId)].name,
+                static_cast<ScalarType>(e.scalar), e.elem);
+            break;
+        }
+    }
+}
+
+} // namespace sim
+} // namespace graphene

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Compiled execution plans for the GPU simulator (the "plan compiler").
+ *
+ * The interpreter re-walks the decomposed IR tree per (block, warp,
+ * thread): string-keyed buffer maps, std::function variable lookups,
+ * and a full Expr-tree evaluation per memory access.  A Plan lowers a
+ * kernel ONCE per launch into a flat table-driven program:
+ *
+ *  - Buffer names are interned to dense ids; shared/register storage
+ *    becomes plain vectors indexed by per-space slot.
+ *  - The statement tree is flattened into jump-threaded micro-ops
+ *    (ForInit/ForNext/Branch/Jump/PushPred/PopPred/Sync/Alloc/Leaf),
+ *    executed by a program-counter loop with loop variables living in a
+ *    dense slot array (slot 0 = tid, slot 1 = bid, 2+ = loop vars).
+ *  - Every leaf view's symbolic offset is decomposed (ir/affine.h)
+ *    into base + Σ stride·term and each term is classified by the
+ *    slots it reads:
+ *      block terms   (no tid, no loop vars)  -> evaluated once per block
+ *      thread terms  (tid, no loop vars)     -> cached per thread per block
+ *      loop terms    (loop vars, no tid)     -> evaluated once per leaf exec
+ *      mixed terms   (tid and loop vars)     -> evaluated per thread
+ *    The per-level layout contributions are constants per canonical
+ *    element index and are precomputed into a table, so the inner
+ *    access loop is `swizzle(base + constAddr[i])` — integer adds
+ *    instead of an Expr walk.
+ *
+ * Block execution is embarrassingly parallel in functional mode, so
+ * the executor shards blocks over a host thread pool.  Determinism is
+ * preserved exactly (see DESIGN.md "Execution plans & host
+ * parallelism"): cost stats are only collected for block 0, functional
+ * writes of data-race-free kernels commute across blocks, and
+ * sanitizer callbacks are recorded into per-block access logs that are
+ * replayed serially in block order at join — producing reports
+ * bit-identical to serial interpretation regardless of thread count.
+ */
+
+#ifndef GRAPHENE_SIM_PLAN_H
+#define GRAPHENE_SIM_PLAN_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arch/atomic_specs.h"
+#include "ir/affine.h"
+#include "ir/kernel.h"
+#include "sim/cost.h"
+#include "sim/memory.h"
+#include "sim/sanitizer.h"
+
+namespace graphene
+{
+namespace sim
+{
+
+struct StmtCost;
+
+/** One compiled affine summand: stride * program(slots). */
+struct PlanTerm
+{
+    CompiledExpr prog;
+    int64_t stride = 0;
+};
+
+/** A leaf operand view lowered to table form. */
+struct PlanView
+{
+    int32_t bufId = -1;      ///< index into Plan::buffers
+    int32_t spaceIndex = -1; ///< per-space storage slot (SH/RF)
+    int32_t viewId = -1;     ///< dense id across all plan views
+    MemorySpace space = MemorySpace::GL;
+    ScalarType scalar = ScalarType::Fp32;
+    int64_t elemBytes = 4;
+    int64_t totalSize = 0;
+    Swizzle swizzle;
+    bool identitySwizzle = true;
+    /** Σ level contributions per canonical element index. */
+    std::vector<int64_t> constAddr;
+    /** Constant part of the affine offset decomposition. */
+    int64_t offsetBase = 0;
+    std::vector<PlanTerm> blockTerms;  ///< no tid, no loop vars
+    std::vector<PlanTerm> threadTerms; ///< tid only (per-block cache)
+    std::vector<PlanTerm> loopTerms;   ///< loop vars, no tid
+    std::vector<PlanTerm> mixedTerms;  ///< tid and loop vars
+};
+
+/** One leaf spec with pre-matched atomic info and compiled views. */
+struct PlanLeaf
+{
+    const Spec *spec = nullptr;
+    const AtomicSpecInfo *info = nullptr;
+    int64_t stmtId = -1;
+    /** Input views first, then output views. */
+    std::vector<PlanView> views;
+    int numInputs = 0;
+};
+
+/** An interned buffer. */
+struct PlanBuffer
+{
+    std::string name;
+    MemorySpace space = MemorySpace::GL;
+    int32_t spaceIndex = -1; ///< SH/RF storage slot; -1 for GL
+};
+
+/** One jump-threaded micro-op. */
+struct PlanOp
+{
+    enum class Kind : uint8_t
+    {
+        ForInit,     ///< slots[a] = begin; empty loop jumps to target
+        ForNext,     ///< slots[a] += step; back-edge to target
+        Branch,      ///< if conds[a] == 0 jump to target
+        Jump,        ///< jump to target
+        PushPred,    ///< push preds[a] onto the predicate stack
+        PopPred,     ///< pop the predicate stack
+        Sync,        ///< barrier (b != 0: warp scope)
+        AllocShared, ///< (re)allocate shared buffer a at slot b
+        AllocReg,    ///< (re)allocate per-thread register buffer
+        Leaf,        ///< execute leaves[a]
+    };
+
+    Kind kind = Kind::Jump;
+    int32_t a = -1;
+    int32_t b = -1;
+    int32_t target = -1;
+    int64_t begin = 0;
+    int64_t end = 0; ///< loop bound; Alloc: element count
+    int64_t step = 1;
+    int64_t stmtId = -1; ///< Sync cost attribution
+    int64_t syncId = -1;
+    ScalarType scalar = ScalarType::Fp32; ///< Alloc element type
+};
+
+/**
+ * Sanitizer access log of one block: the exact callback sequence the
+ * interpreter would have made, replayed serially at join so hazard
+ * reports are identical to serial execution.  Register-file accesses
+ * are omitted (the sanitizer ignores them unconditionally).
+ */
+struct AccessLog
+{
+    enum class Kind : uint8_t
+    {
+        Access,
+        Sync,
+        SharedAlloc,
+    };
+
+    struct Entry
+    {
+        int64_t elem = 0;   ///< element index; Sync: syncId; Alloc: count
+        int64_t extent = 0; ///< backing buffer extent (Access)
+        int32_t bufId = -1;
+        int32_t tid = -1;
+        Kind kind = Kind::Access;
+        uint8_t space = 0;
+        uint8_t scalar = 0;
+        uint8_t flags = 0; ///< bit 0: write; bit 1: warp-scope sync
+    };
+
+    std::vector<Entry> entries;
+};
+
+/** The compiled launch program. */
+class Plan
+{
+  public:
+    static Plan compile(const Kernel &kernel,
+                        const AtomicSpecRegistry &registry);
+
+    std::vector<PlanOp> ops;
+    std::vector<PlanLeaf> leaves;
+    std::vector<PlanBuffer> buffers;
+    std::vector<CompiledExpr> preds; ///< predicate programs
+    std::vector<CompiledExpr> conds; ///< block-uniform branch programs
+    int slotCount = 2; ///< 0 = tid, 1 = bid, 2+ = loop variables
+    int numViews = 0;
+    int numShared = 0;
+    int numReg = 0;
+    int64_t gridSize = 0;
+    int64_t blockSize = 0;
+};
+
+/** Per-block execution config (all sinks optional). */
+struct PlanRunConfig
+{
+    CostStats *stats = nullptr;
+    std::map<int64_t, StmtCost> *byStmt = nullptr;
+    /** Report-mode hazard recording for deferred serial replay. */
+    AccessLog *log = nullptr;
+    /** Direct sanitizer callbacks (Trap mode; implies serial). */
+    Sanitizer *san = nullptr;
+};
+
+/**
+ * Executes plan blocks; holds reusable per-worker state (slot array,
+ * shared/register storage, per-view caches).  One runner per worker
+ * thread; runBlock may be called for any block in any order.
+ */
+class PlanBlockRunner
+{
+  public:
+    PlanBlockRunner(const Plan &plan, DeviceMemory &memory,
+                    const GpuArch &arch);
+
+    void runBlock(int64_t bid, const PlanRunConfig &cfg);
+
+  private:
+    friend struct PlanLeafEnv;
+
+    Buffer &resolve(const PlanView &view, int64_t tid);
+    int64_t threadTermSum(const PlanView &view, int64_t tid);
+    void execLeaf(const PlanLeaf &leaf, const PlanRunConfig &cfg);
+
+    const Plan &plan_;
+    DeviceMemory &memory_;
+    const GpuArch &arch_;
+    const PlanRunConfig *cfg_ = nullptr;
+
+    std::vector<int64_t> slots_;
+    std::vector<int32_t> predStack_;
+    std::vector<Buffer *> glBufs_;
+    std::vector<Buffer> shared_;
+    std::vector<char> sharedAlloc_;
+    std::vector<std::vector<Buffer>> regs_; ///< [tid][regSlot]
+    std::vector<char> regAlloc_;
+    std::vector<int64_t> viewBlockConst_;   ///< base + block terms
+    std::vector<std::vector<int64_t>> threadCache_;
+    std::vector<char> threadCacheValid_;
+    std::vector<int64_t> leafViewOff_; ///< per-leaf-view exec offsets
+    double leafConflict_ = 1.0;
+};
+
+/** Replay one block's access log through the (serial) sanitizer. */
+void replayAccessLog(const AccessLog &log, const Plan &plan,
+                     Sanitizer &san);
+
+} // namespace sim
+} // namespace graphene
+
+#endif // GRAPHENE_SIM_PLAN_H

@@ -1,0 +1,49 @@
+#include "sim/sim_config.h"
+
+#include <atomic>
+
+#include "support/thread_pool.h"
+
+namespace graphene
+{
+namespace sim
+{
+
+namespace
+{
+std::atomic<int> gThreads{0};
+std::atomic<bool> gUsePlan{true};
+} // namespace
+
+int
+defaultThreads()
+{
+    return gThreads.load(std::memory_order_relaxed);
+}
+
+void
+setDefaultThreads(int threads)
+{
+    gThreads.store(threads < 0 ? 0 : threads, std::memory_order_relaxed);
+}
+
+bool
+defaultUsePlan()
+{
+    return gUsePlan.load(std::memory_order_relaxed);
+}
+
+void
+setDefaultUsePlan(bool usePlan)
+{
+    gUsePlan.store(usePlan, std::memory_order_relaxed);
+}
+
+int
+resolveThreads(int threads)
+{
+    return threads > 0 ? threads : ThreadPool::hardwareThreads();
+}
+
+} // namespace sim
+} // namespace graphene

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Process-wide simulator execution defaults.
+ *
+ * The CLI (`--threads`, `--no-plan`) and the bench harness
+ * (bench_common.h) configure the simulator before any Device exists, so
+ * the knobs live here as process globals; every new Executor snapshots
+ * them at construction and can still be overridden per instance
+ * (Executor::setThreads / setUsePlan).
+ */
+
+#ifndef GRAPHENE_SIM_SIM_CONFIG_H
+#define GRAPHENE_SIM_SIM_CONFIG_H
+
+namespace graphene
+{
+namespace sim
+{
+
+/** Default worker count for parallel block execution; 0 = auto
+ *  (hardware concurrency). */
+int defaultThreads();
+void setDefaultThreads(int threads);
+
+/** Whether new executors compile launch plans (true) or interpret the
+ *  IR tree directly (false, the `--no-plan` fallback). */
+bool defaultUsePlan();
+void setDefaultUsePlan(bool usePlan);
+
+/** Resolve a thread-count setting: 0 -> hardware concurrency. */
+int resolveThreads(int threads);
+
+} // namespace sim
+} // namespace graphene
+
+#endif // GRAPHENE_SIM_SIM_CONFIG_H

@@ -1,0 +1,112 @@
+#include "support/thread_pool.h"
+
+#include <algorithm>
+
+namespace graphene
+{
+
+ThreadPool::ThreadPool() : ThreadPool(hardwareThreads() - 1) {}
+
+ThreadPool::ThreadPool(int workers)
+{
+    workers = std::max(0, workers);
+    workers_.reserve(static_cast<size_t>(workers));
+    for (int i = 0; i < workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+int
+ThreadPool::hardwareThreads()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void
+ThreadPool::run(int64_t n, const std::function<void(int64_t)> &fn)
+{
+    if (n <= 0)
+        return;
+    auto job = std::make_shared<Job>();
+    job->n = n;
+    job->fn = &fn;
+    job->pending.store(n, std::memory_order_relaxed);
+    job->errors.resize(static_cast<size_t>(n));
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        job_ = job;
+        ++generation_;
+    }
+    wake_.notify_all();
+    runTasks(*job);
+    {
+        std::unique_lock<std::mutex> lk(mutex_);
+        idle_.wait(lk, [&] {
+            return job->pending.load(std::memory_order_acquire) == 0;
+        });
+        if (job_ == job)
+            job_ = nullptr;
+    }
+    for (auto &err : job->errors)
+        if (err)
+            std::rethrow_exception(err);
+}
+
+void
+ThreadPool::workerLoop()
+{
+    uint64_t seenGeneration = 0;
+    for (;;) {
+        std::shared_ptr<Job> job;
+        {
+            std::unique_lock<std::mutex> lk(mutex_);
+            wake_.wait(lk, [&] {
+                return stop_ || (job_ && generation_ != seenGeneration);
+            });
+            if (stop_)
+                return;
+            seenGeneration = generation_;
+            job = job_;
+        }
+        runTasks(*job);
+    }
+}
+
+void
+ThreadPool::runTasks(Job &job)
+{
+    for (;;) {
+        const int64_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= job.n)
+            return;
+        try {
+            (*job.fn)(i);
+        } catch (...) {
+            job.errors[static_cast<size_t>(i)] = std::current_exception();
+        }
+        if (job.pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            std::lock_guard<std::mutex> lk(mutex_);
+            idle_.notify_all();
+        }
+    }
+}
+
+} // namespace graphene

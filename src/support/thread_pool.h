@@ -1,0 +1,88 @@
+/**
+ * @file
+ * A minimal persistent host thread pool for the simulator's parallel
+ * block execution.
+ *
+ * Semantics are deliberately narrow: run(n, fn) executes fn(0..n-1)
+ * with the *caller participating*, blocks until every task finished,
+ * and rethrows the exception of the lowest-indexed failed task.  Tasks
+ * are claimed from an atomic counter, so n may exceed the worker count
+ * (tasks queue implicitly).  Determinism is the caller's contract: the
+ * simulator shards blocks into contiguous per-task ranges keyed by the
+ * *requested* thread count, never by the physical worker count, so
+ * results do not depend on the machine.
+ *
+ * run() is not reentrant and must be driven from one thread at a time
+ * (the simulator's launch path is single-threaded).
+ */
+
+#ifndef GRAPHENE_SUPPORT_THREAD_POOL_H
+#define GRAPHENE_SUPPORT_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace graphene
+{
+
+class ThreadPool
+{
+  public:
+    /** Pool with hardwareThreads() - 1 workers (caller is the +1). */
+    ThreadPool();
+
+    /** Pool with exactly @p workers background threads (may be 0). */
+    explicit ThreadPool(int workers);
+
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Process-wide shared pool (lazily constructed). */
+    static ThreadPool &global();
+
+    /** max(1, std::thread::hardware_concurrency()). */
+    static int hardwareThreads();
+
+    int workerCount() const { return static_cast<int>(workers_.size()); }
+
+    /**
+     * Run fn(i) for i in [0, n); the caller participates and the call
+     * returns only when all tasks completed.  If tasks threw, the
+     * exception of the lowest task index is rethrown.
+     */
+    void run(int64_t n, const std::function<void(int64_t)> &fn);
+
+  private:
+    struct Job
+    {
+        int64_t n = 0;
+        const std::function<void(int64_t)> *fn = nullptr;
+        std::atomic<int64_t> next{0};
+        std::atomic<int64_t> pending{0};
+        std::vector<std::exception_ptr> errors;
+    };
+
+    void workerLoop();
+    void runTasks(Job &job);
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable idle_;
+    std::shared_ptr<Job> job_;
+    uint64_t generation_ = 0;
+    bool stop_ = false;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace graphene
+
+#endif // GRAPHENE_SUPPORT_THREAD_POOL_H

@@ -6,6 +6,13 @@
  * references in runtime/reference.h.  Any divergence in rounding
  * behaviour, accumulation order, or memory addressing shows up as a
  * first-mismatch index rather than a loose tolerance failure.
+ *
+ * Every combo executes on BOTH functional engines — the compiled
+ * execution plan (with parallel block sharding) and the tree-walking
+ * interpreter fallback — and the two downloads must match each other
+ * bit-for-bit as well as the reference.  A separate suite pins the
+ * determinism contract: profiles, results, and sanitizer reports are
+ * identical for every --threads setting and across engines.
  */
 
 #include <gtest/gtest.h>
@@ -18,6 +25,7 @@
 #include "ops/pointwise.h"
 #include "ops/simple_gemm.h"
 #include "ops/tc_gemm.h"
+#include "profile/profile.h"
 #include "runtime/device.h"
 #include "runtime/reference.h"
 #include "support/rng.h"
@@ -76,6 +84,57 @@ expectBitExact(const std::vector<double> &got,
         << " want " << (first < want.size() ? want[first] : 0.0);
 }
 
+/**
+ * A pair of devices running every upload/launch twice: once on the
+ * compiled-plan engine (sharded over 8 worker tasks to exercise the
+ * parallel path and its deterministic merge) and once on the
+ * interpreter fallback.  download() checks the engines against each
+ * other and returns the plan result for the reference comparison.
+ */
+struct DualDevice
+{
+    Device plan;
+    Device interp;
+
+    explicit DualDevice(const GpuArch &arch) : plan(arch), interp(arch)
+    {
+        plan.setUsePlan(true);
+        plan.setSimThreads(8);
+        interp.setUsePlan(false);
+    }
+
+    void
+    upload(const std::string &name, ScalarType scalar,
+           const std::vector<double> &host)
+    {
+        plan.upload(name, scalar, host);
+        interp.upload(name, scalar, host);
+    }
+
+    void
+    allocate(const std::string &name, ScalarType scalar, int64_t count)
+    {
+        plan.allocate(name, scalar, count);
+        interp.allocate(name, scalar, count);
+    }
+
+    void
+    launch(const Kernel &kernel, LaunchMode mode)
+    {
+        plan.launch(kernel, mode);
+        interp.launch(kernel, mode);
+    }
+
+    std::vector<double>
+    download(const std::string &name, const std::string &what)
+    {
+        const auto fromPlan = plan.download(name);
+        expectBitExact(fromPlan, interp.download(name),
+                       what + " [plan vs interpreter]");
+        return fromPlan;
+    }
+};
+
 TEST(DifferentialTest, SimpleGemmBitExact)
 {
     Rng rng(0xd1f0001);
@@ -93,7 +152,7 @@ TEST(DifferentialTest, SimpleGemmBitExact)
             + " bn=" + std::to_string(cfg.blockTileN);
         SCOPED_TRACE(what);
 
-        Device dev(archFor(iter));
+        DualDevice dev(archFor(iter));
         const auto a = randomFp16(rng, cfg.m * cfg.k);
         const auto b = randomFp16(rng, cfg.k * cfg.n);
         const auto c0 = randomFp16(rng, cfg.m * cfg.n);
@@ -102,7 +161,7 @@ TEST(DifferentialTest, SimpleGemmBitExact)
         dev.upload("%C", ScalarType::Fp16, c0);
         dev.launch(ops::buildSimpleGemm(cfg), LaunchMode::Functional);
 
-        expectBitExact(dev.download("%C"),
+        expectBitExact(dev.download("%C", what),
                        ref::simpleGemmFp16(a, b, c0, cfg.m, cfg.n, cfg.k),
                        what);
     }
@@ -137,7 +196,7 @@ TEST(DifferentialTest, TcGemmBitExact)
             + (cfg.disableLdmatrix ? " no-ldmatrix" : "");
         SCOPED_TRACE(what);
 
-        Device dev(arch);
+        DualDevice dev(arch);
         const auto a = randomFp16(rng, cfg.m * cfg.k);
         const auto b = randomFp16(rng, cfg.k * cfg.n);
         const auto c0 = randomFp16(rng, cfg.m * cfg.n);
@@ -158,7 +217,7 @@ TEST(DifferentialTest, TcGemmBitExact)
         else if (cfg.epilogue == ops::Epilogue::BiasGelu)
             act = OpKind::Gelu;
         const int64_t kChunk = arch.hasLdmatrix ? 16 : 4;
-        expectBitExact(dev.download("%C"),
+        expectBitExact(dev.download("%C", what),
                        ref::tcGemmFp16(a, b, cfg.m, cfg.n, cfg.k, kChunk,
                                        cfg.alpha, cfg.loadC ? &c0 : nullptr,
                                        hasBias ? &bias : nullptr, act),
@@ -181,15 +240,15 @@ TEST(DifferentialTest, UnaryPointwiseBitExact)
             + opKindName(op) + " n=" + std::to_string(n);
         SCOPED_TRACE(what);
 
-        Device dev(arch);
+        DualDevice dev(arch);
         const auto x = randomFp16(rng, n, -2.0, 2.0);
         dev.upload("%x", ScalarType::Fp16, x);
         dev.allocate("%y", ScalarType::Fp16, n);
         dev.launch(ops::buildUnaryPointwise(arch, op, n, "%x", "%y"),
                    LaunchMode::Functional);
 
-        expectBitExact(dev.download("%y"), ref::unaryPointwiseFp16(op, x),
-                       what);
+        expectBitExact(dev.download("%y", what),
+                       ref::unaryPointwiseFp16(op, x), what);
     }
 }
 
@@ -208,7 +267,7 @@ TEST(DifferentialTest, LayernormBitExact)
             + (cfg.vectorized ? " vec" : " scalar");
         SCOPED_TRACE(what);
 
-        Device dev(arch);
+        DualDevice dev(arch);
         const auto x = randomFp16(rng, cfg.rows * cfg.cols);
         const auto gamma = randomFp16(rng, cfg.cols, 0.5, 1.5);
         const auto beta = randomFp16(rng, cfg.cols, -0.5, 0.5);
@@ -219,11 +278,137 @@ TEST(DifferentialTest, LayernormBitExact)
         dev.launch(ops::buildLayernormFused(arch, cfg),
                    LaunchMode::Functional);
 
-        expectBitExact(dev.download("%y"),
+        expectBitExact(dev.download("%y", what),
                        ref::layernormFp16(x, gamma, beta, cfg.rows,
                                           cfg.cols, cfg.epsilon),
                        what);
     }
+}
+
+/**
+ * Determinism contract: results, the full machine-readable profile
+ * (per-block counters, per-statement attribution, timing), and hazard
+ * reports must be byte-identical for every --threads setting and for
+ * plan vs interpreter execution.
+ */
+class PlanDeterminism : public ::testing::Test
+{
+  protected:
+    struct RunResult
+    {
+        std::string profileJson;
+        std::string sanitizer;
+        std::vector<double> c;
+    };
+
+    RunResult
+    runGemm(bool usePlan, int threads)
+    {
+        const GpuArch &arch = GpuArch::ampere();
+        ops::TcGemmConfig cfg;
+        cfg.m = 256;
+        cfg.n = 256;
+        cfg.k = 64;
+        cfg.loadC = true;
+        const Kernel kernel = ops::buildTcGemm(arch, cfg);
+
+        Rng rng(0xde7e);
+        Device dev(arch);
+        dev.setUsePlan(usePlan);
+        dev.setSimThreads(threads);
+        dev.setSanitizerMode(sim::SanitizerMode::Report);
+        auto fill = [&](const std::string &name, int64_t count) {
+            std::vector<double> host(static_cast<size_t>(count));
+            for (auto &x : host)
+                x = roundToPrecision(rng.uniform(-1.0, 1.0),
+                                     RoundTo::Fp16);
+            dev.upload(name, ScalarType::Fp16, host);
+        };
+        fill("%A", cfg.m * cfg.k);
+        fill("%B", cfg.k * cfg.n);
+        fill("%C", cfg.m * cfg.n);
+
+        RunResult r;
+        const auto prof = dev.launch(kernel, LaunchMode::FunctionalTimed);
+        r.profileJson = profile::profileToJson(kernel, arch, prof).dump(2);
+        r.sanitizer = prof.sanitizer.str();
+        r.c = dev.download("%C");
+        return r;
+    }
+};
+
+TEST_F(PlanDeterminism, ThreadCountInvariant)
+{
+    const RunResult serial = runGemm(/*usePlan=*/true, /*threads=*/1);
+    for (int threads : {2, 8}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        const RunResult parallel = runGemm(true, threads);
+        EXPECT_EQ(serial.profileJson, parallel.profileJson);
+        EXPECT_EQ(serial.sanitizer, parallel.sanitizer);
+        expectBitExact(parallel.c, serial.c, "gemm results");
+    }
+}
+
+TEST_F(PlanDeterminism, PlanMatchesInterpreter)
+{
+    const RunResult interp = runGemm(/*usePlan=*/false, /*threads=*/1);
+    const RunResult plan = runGemm(/*usePlan=*/true, /*threads=*/8);
+    EXPECT_EQ(interp.profileJson, plan.profileJson);
+    EXPECT_EQ(interp.sanitizer, plan.sanitizer);
+    expectBitExact(plan.c, interp.c, "gemm results");
+}
+
+/** Hazard findings on a racy kernel must not depend on the thread
+ *  count: Report-mode access logs replay serially in block order. */
+TEST_F(PlanDeterminism, RacyKernelReportThreadCountInvariant)
+{
+    // Rotating staged copy with the __syncthreads deleted: thread t
+    // stores smem[t] then reads smem[(t+1) % 32] — a read-write race.
+    auto makeRacy = []() {
+        Kernel k("staged_copy_racy", 4, 32);
+        auto in = TensorView::global("%in", Layout::vector(32),
+                                     ScalarType::Fp32);
+        auto out = TensorView::global("%out", Layout::vector(32),
+                                      ScalarType::Fp32);
+        k.addParam(in, true);
+        k.addParam(out, false);
+        auto tid = variable("tid", 32);
+        auto one = ThreadGroup::threads("#t", Layout::vector(1), 32);
+        auto smem = TensorView::shared("%s", Layout::vector(32),
+                                       ScalarType::Fp32);
+        auto r = TensorView::registers("%r", Layout(), ScalarType::Fp32);
+        auto rot = mod(add(tid, constant(1)), constant(32));
+        k.setBody({
+            alloc("%s", ScalarType::Fp32, MemorySpace::SH, 32),
+            alloc("%r", ScalarType::Fp32, MemorySpace::RF, 1),
+            call(Spec::move(one, in.index({tid}), r)),
+            call(Spec::move(one, r, smem.index({tid}))),
+            call(Spec::move(one, smem.index({rot}), r)),
+            call(Spec::move(one, r, out.index({tid}))),
+        });
+        return k;
+    };
+
+    auto report = [&](bool usePlan, int threads) {
+        Device dev(GpuArch::ampere());
+        dev.setUsePlan(usePlan);
+        dev.setSimThreads(threads);
+        dev.setSanitizerMode(sim::SanitizerMode::Report);
+        Rng rng(7);
+        std::vector<double> host(32);
+        for (auto &x : host)
+            x = rng.uniform(-1.0, 1.0);
+        dev.upload("%in", ScalarType::Fp32, host);
+        dev.allocate("%out", ScalarType::Fp32, 32);
+        dev.launch(makeRacy(), LaunchMode::Functional);
+        return dev.sanitizerReport().str();
+    };
+
+    const std::string serial = report(true, 1);
+    EXPECT_NE(serial.find("race"), std::string::npos) << serial;
+    EXPECT_EQ(serial, report(true, 2));
+    EXPECT_EQ(serial, report(true, 8));
+    EXPECT_EQ(serial, report(false, 1)) << "plan vs interpreter";
 }
 
 } // namespace

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Unit tests for the execution-plan substrate (ir/affine.h): affine
+ * decomposition of index expressions and the slot-compiled evaluator.
+ * The contract under test is exactness — decomposeAffine().reconstruct()
+ * and CompiledExpr::eval() must agree with Expr::eval bit-for-bit,
+ * including truncating div/mod and division-by-zero errors — because
+ * the simulator's plan engine substitutes them for the tree walk.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/affine.h"
+#include "ir/expr.h"
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace graphene
+{
+namespace
+{
+
+std::function<int64_t(const std::string &)>
+lookupIn(const std::map<std::string, int64_t> &env)
+{
+    return [&env](const std::string &name) {
+        auto it = env.find(name);
+        GRAPHENE_CHECK(it != env.end()) << "unbound variable '" << name
+                                        << "'";
+        return it->second;
+    };
+}
+
+/** Exhaustively compare @p e against its reconstruction over a small
+ *  grid of bindings for tid/k/i. */
+void
+expectReconstructExact(const ExprPtr &e)
+{
+    const AffineExpr aff = decomposeAffine(e);
+    const ExprPtr back = aff.reconstruct();
+    std::map<std::string, int64_t> env;
+    for (int64_t tid = 0; tid < 7; ++tid)
+        for (int64_t k = -3; k <= 5; k += 2)
+            for (int64_t i = 0; i < 4; ++i) {
+                env = {{"tid", tid}, {"k", k}, {"i", i}};
+                EXPECT_EQ(e->eval(lookupIn(env)),
+                          back->eval(lookupIn(env)))
+                    << e->str() << " vs " << back->str() << " at tid="
+                    << tid << " k=" << k << " i=" << i;
+            }
+}
+
+TEST(AffineDecompose, DistributesSumsAndConstantProducts)
+{
+    // 2*(tid + 3*k) + 5 - tid  ==  5 + 1*tid + 6*k
+    auto e = sub(add(mul(constant(2), add(variable("tid"),
+                                          mul(constant(3),
+                                              variable("k")))),
+                     constant(5)),
+                 variable("tid"));
+    const AffineExpr aff = decomposeAffine(e);
+    EXPECT_EQ(aff.base, 5);
+    ASSERT_EQ(aff.terms.size(), 2u);
+    int64_t tidStride = 0, kStride = 0;
+    for (const auto &t : aff.terms) {
+        if (t.expr->str() == "tid")
+            tidStride = t.stride;
+        else if (t.expr->str() == "k")
+            kStride = t.stride;
+    }
+    EXPECT_EQ(tidStride, 1);
+    EXPECT_EQ(kStride, 6);
+    expectReconstructExact(e);
+}
+
+TEST(AffineDecompose, CancellingStridesDrop)
+{
+    auto e = sub(add(variable("tid"), constant(9)), variable("tid"));
+    const AffineExpr aff = decomposeAffine(e);
+    EXPECT_EQ(aff.base, 9);
+    EXPECT_TRUE(aff.terms.empty());
+}
+
+TEST(AffineDecompose, OpaqueTermsMergeByStructure)
+{
+    // (tid % 4)*2 + (tid % 4)  ==  3 * (tid % 4): mod is opaque but the
+    // two structurally equal occurrences merge.
+    auto m = mod(variable("tid"), constant(4));
+    auto e = add(mul(m, constant(2)), mod(variable("tid"), constant(4)));
+    const AffineExpr aff = decomposeAffine(e);
+    EXPECT_EQ(aff.base, 0);
+    ASSERT_EQ(aff.terms.size(), 1u);
+    EXPECT_EQ(aff.terms[0].stride, 3);
+    expectReconstructExact(e);
+}
+
+TEST(AffineDecompose, NonAffineStaysOpaqueButExact)
+{
+    // Variable product, floordiv, min, xor: all opaque, all exact.
+    expectReconstructExact(mul(variable("tid"), variable("k")));
+    expectReconstructExact(
+        add(floorDiv(variable("k"), constant(2)),
+            exprMin(variable("i"), bitXor(variable("tid"), constant(5)))));
+    expectReconstructExact(
+        lessThan(mod(variable("tid"), constant(3)), variable("i")));
+}
+
+TEST(CompiledExpr, MatchesTreeEvalOnHandPickedOps)
+{
+    SlotMap slots;
+    const int tidSlot = slots.addSlot("tid");
+    const int kSlot = slots.addSlot("k");
+    ASSERT_EQ(tidSlot, 0);
+    ASSERT_EQ(kSlot, 1);
+
+    const std::vector<ExprPtr> cases = {
+        add(variable("tid"), mul(variable("k"), constant(-3))),
+        floorDiv(variable("k"), constant(2)),   // truncating, not floor
+        mod(variable("k"), constant(4)),        // sign follows dividend
+        exprMin(variable("tid"), variable("k")),
+        exprMax(sub(variable("tid"), constant(2)), variable("k")),
+        lessThan(variable("k"), variable("tid")),
+        logicalAnd(lessThan(constant(0), variable("k")),
+                   lessThan(variable("tid"), constant(5))),
+        bitXor(variable("tid"), constant(0b101)),
+    };
+    for (const auto &e : cases) {
+        const CompiledExpr ce = CompiledExpr::compile(e, slots);
+        for (int64_t tid = 0; tid < 8; ++tid)
+            for (int64_t k = -9; k <= 9; ++k) {
+                int64_t vals[2] = {tid, k};
+                std::map<std::string, int64_t> env = {{"tid", tid},
+                                                      {"k", k}};
+                EXPECT_EQ(ce.eval(vals), e->eval(lookupIn(env)))
+                    << e->str() << " at tid=" << tid << " k=" << k;
+            }
+    }
+}
+
+TEST(CompiledExpr, MatchesTreeEvalOnRandomTrees)
+{
+    SlotMap slots;
+    slots.addSlot("tid");
+    slots.addSlot("k");
+    slots.addSlot("i");
+
+    Rng rng(0x9121);
+    std::function<ExprPtr(int)> gen = [&](int depth) -> ExprPtr {
+        if (depth <= 0 || rng.uniformInt(0, 3) == 0) {
+            if (rng.uniformInt(0, 1) == 0)
+                return constant(rng.uniformInt(-6, 6));
+            const char *names[] = {"tid", "k", "i"};
+            return variable(names[rng.uniformInt(0, 2)]);
+        }
+        auto a = gen(depth - 1);
+        switch (rng.uniformInt(0, 8)) {
+        case 0: return add(a, gen(depth - 1));
+        case 1: return sub(a, gen(depth - 1));
+        case 2: return mul(a, gen(depth - 1));
+        // Keep divisors nonzero constants so both evaluators take the
+        // value path; the error path is pinned by its own test below.
+        case 3: return floorDiv(a, constant(rng.uniformInt(1, 5)));
+        case 4: return mod(a, constant(rng.uniformInt(1, 5)));
+        case 5: return exprMin(a, gen(depth - 1));
+        case 6: return exprMax(a, gen(depth - 1));
+        case 7: return lessThan(a, gen(depth - 1));
+        default: return bitXor(a, gen(depth - 1));
+        }
+    };
+
+    for (int iter = 0; iter < 200; ++iter) {
+        const ExprPtr e = gen(4);
+        SCOPED_TRACE(e->str());
+        const CompiledExpr ce = CompiledExpr::compile(e, slots);
+        const AffineExpr aff = decomposeAffine(e);
+        const ExprPtr back = aff.reconstruct();
+        for (int trial = 0; trial < 8; ++trial) {
+            int64_t vals[3] = {rng.uniformInt(0, 31),
+                               rng.uniformInt(-16, 16),
+                               rng.uniformInt(0, 7)};
+            std::map<std::string, int64_t> env = {
+                {"tid", vals[0]}, {"k", vals[1]}, {"i", vals[2]}};
+            const int64_t want = e->eval(lookupIn(env));
+            EXPECT_EQ(ce.eval(vals), want);
+            EXPECT_EQ(back->eval(lookupIn(env)), want);
+        }
+    }
+}
+
+TEST(CompiledExpr, DivisionByZeroStillThrows)
+{
+    SlotMap slots;
+    slots.addSlot("k");
+    const CompiledExpr dv =
+        CompiledExpr::compile(floorDiv(constant(7), variable("k")), slots);
+    const CompiledExpr md =
+        CompiledExpr::compile(mod(constant(7), variable("k")), slots);
+    int64_t zero[1] = {0};
+    int64_t two[1] = {2};
+    EXPECT_EQ(dv.eval(two), 3);
+    EXPECT_EQ(md.eval(two), 1);
+    EXPECT_THROW(dv.eval(zero), Error);
+    EXPECT_THROW(md.eval(zero), Error);
+}
+
+TEST(CompiledExpr, UnboundVariableFailsAtCompileTime)
+{
+    SlotMap slots;
+    slots.addSlot("tid");
+    EXPECT_THROW(CompiledExpr::compile(variable("kk"), slots), Error);
+}
+
+TEST(CompiledExpr, SlotUsageAndConstness)
+{
+    SlotMap slots;
+    slots.addSlot("tid"); // 0
+    slots.addSlot("bid"); // 1
+    slots.addSlot("k");   // 2
+
+    const auto ce = CompiledExpr::compile(
+        add(variable("tid"), mul(variable("k"), constant(8))), slots);
+    EXPECT_TRUE(ce.usesSlot(0));
+    EXPECT_FALSE(ce.usesSlot(1));
+    EXPECT_TRUE(ce.usesSlot(2));
+    EXPECT_TRUE(ce.usesSlotAtLeast(2));
+    EXPECT_FALSE(ce.isConstant());
+
+    const auto onlyTid = CompiledExpr::compile(
+        mod(variable("tid"), constant(32)), slots);
+    EXPECT_FALSE(onlyTid.usesSlotAtLeast(1));
+
+    const auto c = CompiledExpr::compile(
+        add(mul(constant(6), constant(7)), constant(0)), slots);
+    EXPECT_TRUE(c.isConstant());
+    EXPECT_EQ(c.constantValue(), 42);
+    int64_t unused[3] = {0, 0, 0};
+    EXPECT_EQ(c.eval(unused), 42);
+
+    SlotMap grow;
+    EXPECT_EQ(grow.slotOf("x"), -1);
+    EXPECT_EQ(grow.addSlot("x"), 0);
+    EXPECT_EQ(grow.addSlot("y"), 1);
+    EXPECT_EQ(grow.addSlot("x"), 0) << "addSlot must be idempotent";
+    EXPECT_EQ(grow.size(), 2);
+}
+
+} // namespace
+} // namespace graphene

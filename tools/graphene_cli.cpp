@@ -33,6 +33,8 @@
  *          --layers N (mlp)      --epilogue bias|relu|bias+relu|bias+gelu
  *          --no-swizzle          --trap (sanitize: throw on 1st hazard)
  *          --json [path]         --out path        --top N
+ *          --threads N (host workers, 0 = auto)
+ *          --no-plan (tree-walking interpreter fallback)
  */
 
 #include <cstdio>
@@ -54,6 +56,7 @@
 #include "ops/simple_gemm.h"
 #include "ops/tc_gemm.h"
 #include "runtime/device.h"
+#include "sim/sim_config.h"
 #include "support/rng.h"
 
 using namespace graphene;
@@ -107,7 +110,15 @@ usage()
         "kernels: simple-gemm gemm mlp lstm fmha layernorm ldmatrix\n"
         "options: --arch volta|ampere  --m N --n N --k N  --layers N\n"
         "         --epilogue none|bias|relu|bias+relu|bias+gelu  "
-        "--no-swizzle\n");
+        "--no-swizzle\n"
+        "         --threads N  host worker threads for functional "
+        "simulation\n"
+        "                      (0 = auto; results identical for every "
+        "setting)\n"
+        "         --no-plan    interpret the IR tree directly instead "
+        "of the\n"
+        "                      compiled execution plan (debugging "
+        "fallback)\n");
     std::exit(2);
 }
 
@@ -150,6 +161,11 @@ parse(int argc, char **argv)
             o.epilogue = next();
         } else if (a == "--no-swizzle") {
             o.swizzle = false;
+        } else if (a == "--threads") {
+            sim::setDefaultThreads(
+                static_cast<int>(std::stoll(next())));
+        } else if (a == "--no-plan") {
+            sim::setDefaultUsePlan(false);
         } else if (a == "--trap") {
             o.trap = true;
         } else if (a == "--json") {
