@@ -24,6 +24,7 @@
 #include "runtime/device.h"
 #include "sim/sim_config.h"
 #include "support/json.h"
+#include "support/run_metadata.h"
 
 namespace graphene
 {
@@ -94,6 +95,12 @@ class JsonReport
         }
         doc_["schema"] = "graphene.bench.v1";
         doc_["figure"] = figure_;
+        // Environment stamp: git SHA of the build, ISO timestamp,
+        // hostname, plus the simulator execution configuration — so a
+        // CI artifact is self-describing (see tools/bench_diff).
+        doc_["meta"] = runMetadata(
+            sim::resolveThreads(sim::defaultThreads()));
+        doc_["meta"]["plan"] = sim::defaultUsePlan();
         doc_["rows"] = json::Value::array();
         lastRowTime_ = std::chrono::steady_clock::now();
     }

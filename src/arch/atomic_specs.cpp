@@ -5,6 +5,7 @@
 
 #include "layout/algebra.h"
 #include "support/check.h"
+#include "support/diag.h"
 
 namespace graphene
 {
@@ -474,7 +475,8 @@ AtomicSpecRegistry::matchOrThrow(const Spec &spec) const
     std::string why;
     const AtomicSpecInfo *info = match(spec, &why);
     if (!info)
-        fatal(why);
+        diag::raise({diag::Severity::Error, "atomic-match", why,
+                     spec.provenancePath(), -1});
     return *info;
 }
 

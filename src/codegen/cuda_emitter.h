@@ -19,16 +19,56 @@
 #ifndef GRAPHENE_CODEGEN_CUDA_EMITTER_H
 #define GRAPHENE_CODEGEN_CUDA_EMITTER_H
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "arch/gpu_arch.h"
 #include "ir/kernel.h"
+#include "support/json.h"
 
 namespace graphene
 {
 
+/**
+ * One memory-access line of the emitted CUDA, joined back to the IR:
+ * the 1-based source line, the stable stmtId of the leaf spec that
+ * produced it (the same id the profiler attributes cost to), the
+ * matched atomic instruction, and the decomposition provenance.
+ */
+struct CudaLineMapEntry
+{
+    int64_t line = 0;
+    int64_t stmtId = -1;
+    std::string instruction;
+    std::string access; // "load" | "store"
+    std::string space;  // "global" | "shared"
+    std::string provenance;
+};
+
+/** Emitted CUDA plus its statement line map. */
+struct CudaEmission
+{
+    std::string code;
+    std::vector<CudaLineMapEntry> lineMap;
+    /** Total numbered statements in the kernel (id range [0, count)). */
+    int64_t stmtCount = 0;
+};
+
+/**
+ * Generate the CUDA translation unit together with the sidecar line
+ * map.  Statement-producing lines carry a trailing "[sN]" annotation
+ * with the leaf's stmtId; every load/store line additionally appears
+ * in lineMap.  Numbers the kernel's statements as a side effect.
+ */
+CudaEmission emitCudaWithLineMap(const Kernel &kernel, const GpuArch &arch);
+
 /** Generate the full CUDA C++ translation unit for @p kernel. */
 std::string emitCuda(const Kernel &kernel, const GpuArch &arch);
+
+/** Sidecar line-map document (schema "graphene.linemap.v1"). */
+json::Value lineMapToJson(const CudaEmission &emission,
+                          const Kernel &kernel, const GpuArch &arch);
 
 /** Sanitize an IR name ("%acc" -> "acc") for use as a C identifier. */
 std::string sanitizeName(const std::string &name);

@@ -1,0 +1,517 @@
+#include "inspect/inspect.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "arch/atomic_specs.h"
+#include "ir/printer.h"
+#include "sim/leaf_exec.h"
+#include "support/check.h"
+
+namespace graphene
+{
+namespace inspect
+{
+
+namespace
+{
+
+/**
+ * Static binding environment for address evaluation: warp 0's lane as
+ * the thread index, block 0, every enclosing loop variable at its
+ * first iteration, and 0 for anything else.  This is exactly one of
+ * the dynamic states the simulator would visit, which makes the lint's
+ * conflict/coalescing numbers a sound sample rather than a heuristic
+ * (layout pathologies in this codebase are lane-periodic, not
+ * iteration-dependent).
+ */
+struct AddrEnv
+{
+    std::map<std::string, int64_t> bindings;
+    int64_t lane = 0;
+
+    std::function<int64_t(const std::string &)>
+    lookup()
+    {
+        return [this](const std::string &name) -> int64_t {
+            if (name == "tid")
+                return lane;
+            if (name == "bid")
+                return 0;
+            auto it = bindings.find(name);
+            return it == bindings.end() ? 0 : it->second;
+        };
+    }
+};
+
+/** Mirror of the executor's appendRanges: (byte address, byte width)
+ *  pairs for one thread's access to @p v. */
+void
+appendViewRanges(const TensorView &v, bool contiguous,
+                 const std::function<int64_t(const std::string &)> &lookup,
+                 std::vector<int64_t> &levelIdx,
+                 std::vector<std::pair<int64_t, int64_t>> &out)
+{
+    const int64_t esize = scalarSizeBytes(v.scalar());
+    if (contiguous) {
+        sim::levelIndicesInto(v, 0, levelIdx);
+        const int64_t base = v.elementAddress(levelIdx, lookup);
+        out.emplace_back(base * esize, v.totalSize() * esize);
+        return;
+    }
+    for (int64_t i = 0; i < v.totalSize(); ++i) {
+        sim::levelIndicesInto(v, i, levelIdx);
+        out.emplace_back(v.elementAddress(levelIdx, lookup) * esize,
+                         esize);
+    }
+}
+
+/**
+ * The instruction mnemonic a matched leaf lowers to.  The pointwise
+ * and reduction registry entries leave `instruction` empty — the
+ * mnemonic depends on the spec's op, so resolve it here the same way
+ * codegen does.
+ */
+std::string
+resolvedInstruction(const AtomicSpecInfo &info, const Spec &spec)
+{
+    if (!info.instruction.empty())
+        return info.instruction;
+    switch (spec.kind()) {
+      case SpecKind::UnaryPointwise:
+      case SpecKind::BinaryPointwise:
+      case SpecKind::Reduction:
+        return pointwiseInstruction(spec.op(), info.scalar, 1);
+      default:
+        return info.instruction;
+    }
+}
+
+/** The provenance a diagnostic about @p stmt should carry: the spec's
+ *  own frame when present, else the statement's. */
+std::string
+stmtProvenance(const Stmt &stmt)
+{
+    if (stmt.kind == StmtKind::SpecCall && stmt.spec) {
+        std::string p = stmt.spec->provenancePath();
+        if (!p.empty())
+            return p;
+    }
+    return stmt.provenancePath();
+}
+
+// ------------------------------------------------------------------ lint -
+
+class Linter
+{
+  public:
+    Linter(const Kernel &kernel, const GpuArch &arch,
+           const LintOptions &opts)
+        : kernel_(kernel), arch_(arch), opts_(opts),
+          registry_(AtomicSpecRegistry::forArch(arch))
+    {}
+
+    std::vector<diag::Diagnostic>
+    run()
+    {
+        numberStmts(kernel_.body());
+        walk(kernel_.body());
+        return std::move(findings_);
+    }
+
+  private:
+    void
+    walk(const std::vector<StmtPtr> &stmts)
+    {
+        for (const StmtPtr &s : stmts) {
+            if (!visited_.insert(s.get()).second)
+                continue; // shared subtree: linted at first site
+            switch (s->kind) {
+              case StmtKind::For: {
+                const bool fresh =
+                    env_.bindings.find(s->loopVar) == env_.bindings.end();
+                const int64_t saved =
+                    fresh ? 0 : env_.bindings[s->loopVar];
+                env_.bindings[s->loopVar] = s->begin;
+                walk(s->body);
+                if (fresh)
+                    env_.bindings.erase(s->loopVar);
+                else
+                    env_.bindings[s->loopVar] = saved;
+                break;
+              }
+              case StmtKind::If:
+                // Unpredicated: lint both branches.
+                walk(s->body);
+                walk(s->elseBody);
+                break;
+              case StmtKind::SpecCall:
+                if (s->spec->isLeaf())
+                    lintLeaf(*s);
+                else
+                    walk(s->spec->body());
+                break;
+              default:
+                break;
+            }
+        }
+    }
+
+    void
+    lintLeaf(const Stmt &stmt)
+    {
+        const Spec &spec = *stmt.spec;
+        std::string why;
+        const AtomicSpecInfo *info = registry_.match(spec, &why);
+        if (!info) {
+            diag::Diagnostic d;
+            d.severity = diag::Severity::Error;
+            d.code = "atomic-unmatched";
+            d.message = "no atomic specification matches leaf "
+                + spec.headerStr() + "\n" + why;
+            d.provenance = stmtProvenance(stmt);
+            d.stmtId = stmt.stmtId;
+            findings_.push_back(std::move(d));
+            return;
+        }
+        switch (info->opcode) {
+          case AtomicOpcode::LdGlobal:
+          case AtomicOpcode::StGlobal:
+          case AtomicOpcode::LdShared:
+          case AtomicOpcode::StShared:
+          case AtomicOpcode::MoveReg:
+          case AtomicOpcode::CpAsync:
+            analyzePerThread(stmt, *info, spec.inputs()[0]);
+            analyzePerThread(stmt, *info, spec.outputs()[0]);
+            break;
+          case AtomicOpcode::FmaScalar:
+          case AtomicOpcode::Hfma2:
+            analyzePerThread(stmt, *info, spec.inputs()[0]);
+            analyzePerThread(stmt, *info, spec.inputs()[1]);
+            analyzePerThread(stmt, *info, spec.outputs()[0]);
+            break;
+          case AtomicOpcode::Ldmatrix:
+          case AtomicOpcode::LdmatrixTrans:
+            analyzeLdmatrix(stmt, *info, spec.inputs()[0]);
+            break;
+          default:
+            break; // register-only / collective compute: no memory lint
+        }
+    }
+
+    /** One warp-wide access of warp 0 (lanes 0..min(32, blockSize)). */
+    void
+    analyzePerThread(const Stmt &stmt, const AtomicSpecInfo &info,
+                     const TensorView &v)
+    {
+        if (v.memory() == MemorySpace::RF)
+            return;
+        const bool contiguous =
+            info.requiresContiguous || v.totalSize() == 1;
+        const int64_t lanes =
+            std::min<int64_t>(32, kernel_.blockSize());
+        ranges_.clear();
+        for (int64_t t = 0; t < lanes; ++t) {
+            env_.lane = t;
+            appendViewRanges(v, contiguous, env_.lookup(), levelIdx_,
+                             ranges_);
+        }
+        reportRanges(stmt, info, v, ranges_);
+    }
+
+    /** ldmatrix reads four 8x8 matrices; matrix g's row r comes from
+     *  thread 8g + r.  Conflicts are per 8-row phase (leaf_exec.h). */
+    void
+    analyzeLdmatrix(const Stmt &stmt, const AtomicSpecInfo &info,
+                    const TensorView &v)
+    {
+        if (v.memory() != MemorySpace::SH
+            || kernel_.blockSize() < 32)
+            return;
+        double worstDegree = 1.0;
+        for (int64_t g = 0; g < 4; ++g) {
+            ranges_.clear();
+            for (int64_t r = 0; r < 8; ++r) {
+                env_.lane = 8 * g + r;
+                appendViewRanges(v, /*contiguous=*/true, env_.lookup(),
+                                 levelIdx_, ranges_);
+            }
+            const double waves = static_cast<double>(
+                sim::smemWavefronts(ranges_, arch_));
+            const double ideal = static_cast<double>(
+                sim::smemIdealWavefronts(ranges_, arch_));
+            worstDegree = std::max(worstDegree, waves / ideal);
+        }
+        if (worstDegree >= opts_.conflictThreshold)
+            reportConflict(stmt, info, v, worstDegree);
+    }
+
+    void
+    reportRanges(const Stmt &stmt, const AtomicSpecInfo &info,
+                 const TensorView &v,
+                 const std::vector<std::pair<int64_t, int64_t>> &ranges)
+    {
+        if (ranges.empty())
+            return;
+        if (v.memory() == MemorySpace::SH) {
+            const double waves = static_cast<double>(
+                sim::smemWavefronts(ranges, arch_));
+            const double ideal = static_cast<double>(
+                sim::smemIdealWavefronts(ranges, arch_));
+            const double degree = waves / ideal;
+            if (degree >= opts_.conflictThreshold)
+                reportConflict(stmt, info, v, degree);
+            return;
+        }
+        // Global: coalescing efficiency of the fetched sectors.
+        double useful = 0;
+        for (const auto &[addr, bytes] : ranges) {
+            (void)addr;
+            useful += static_cast<double>(bytes);
+        }
+        const double sectors = static_cast<double>(
+            sim::globalSectors(ranges, arch_));
+        const double pct =
+            100.0 * useful / (sectors * arch_.sectorBytes);
+        if (pct < opts_.coalescingThreshold) {
+            diag::Diagnostic d;
+            d.severity = diag::Severity::Warning;
+            d.code = "global-uncoalesced";
+            char buf[64];
+            std::snprintf(buf, sizeof buf, "%.0f%%", pct);
+            d.message = "predicted " + std::string(buf)
+                + " global-memory coalescing on " + v.typeStr() + " in "
+                + stmt.spec->headerStr() + " (matched "
+                + resolvedInstruction(info, *stmt.spec) + ")";
+            d.provenance = stmtProvenance(stmt);
+            d.stmtId = stmt.stmtId;
+            findings_.push_back(std::move(d));
+        }
+    }
+
+    void
+    reportConflict(const Stmt &stmt, const AtomicSpecInfo &info,
+                   const TensorView &v, double degree)
+    {
+        diag::Diagnostic d;
+        d.severity = diag::Severity::Warning;
+        d.code = "smem-bank-conflict";
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.1fx", degree);
+        d.message = "predicted " + std::string(buf)
+            + " shared-memory bank conflict on " + v.typeStr() + " in "
+            + stmt.spec->headerStr() + " (matched "
+            + resolvedInstruction(info, *stmt.spec) + ")";
+        d.provenance = stmtProvenance(stmt);
+        d.stmtId = stmt.stmtId;
+        findings_.push_back(std::move(d));
+    }
+
+    const Kernel &kernel_;
+    const GpuArch &arch_;
+    const LintOptions &opts_;
+    const AtomicSpecRegistry &registry_;
+    std::set<const Stmt *> visited_;
+    AddrEnv env_;
+    std::vector<diag::Diagnostic> findings_;
+    std::vector<int64_t> levelIdx_;
+    std::vector<std::pair<int64_t, int64_t>> ranges_;
+};
+
+// --------------------------------------------------------------- explain -
+
+struct ExplainContext
+{
+    const GpuArch &arch;
+    const AtomicSpecRegistry &registry;
+    std::set<const Stmt *> visited;
+};
+
+/** Atomic instruction a leaf spec lowers to ("" = unmatched). */
+std::string
+atomicOf(ExplainContext &ctx, const Spec &spec)
+{
+    const AtomicSpecInfo *info = ctx.registry.match(spec);
+    return info ? resolvedInstruction(*info, spec) : std::string();
+}
+
+void
+renderNode(ExplainContext &ctx, std::ostringstream &out,
+           const StmtPtr &stmt, int level, const std::string &parentProv)
+{
+    if (stmt->kind == StmtKind::Comment)
+        return;
+    const std::string indent(static_cast<size_t>(level) * 2, ' ');
+    char id[16];
+    std::snprintf(id, sizeof id, "[s%3lld]", (long long)stmt->stmtId);
+    out << id << " " << indent << stmtSummary(*stmt);
+    const bool leaf =
+        stmt->kind == StmtKind::SpecCall && stmt->spec->isLeaf();
+    if (leaf) {
+        const std::string instr = atomicOf(ctx, *stmt->spec);
+        out << " := " << (instr.empty() ? "UNMATCHED" : instr);
+    }
+    const std::string prov = stmtProvenance(*stmt);
+    if (!prov.empty() && prov != parentProv)
+        out << "  @ " << prov;
+    if (!ctx.visited.insert(stmt.get()).second) {
+        out << "  (shared, expanded at first site)\n";
+        return;
+    }
+    out << "\n";
+    const std::string childProv = prov.empty() ? parentProv : prov;
+    if (stmt->kind == StmtKind::SpecCall && !stmt->spec->isLeaf()) {
+        for (const StmtPtr &s : stmt->spec->body())
+            renderNode(ctx, out, s, level + 1, childProv);
+    } else {
+        for (const StmtPtr &s : stmt->body)
+            renderNode(ctx, out, s, level + 1, childProv);
+        for (const StmtPtr &s : stmt->elseBody)
+            renderNode(ctx, out, s, level + 1, childProv);
+    }
+}
+
+json::Value
+nodeToJson(ExplainContext &ctx, const StmtPtr &stmt)
+{
+    json::Value node = json::Value::object();
+    node["stmt"] = stmt->stmtId;
+    node["kind"] = stmtKindTag(*stmt);
+    node["label"] = stmtSummary(*stmt);
+    node["provenance"] = stmtProvenance(*stmt);
+    if (stmt->kind == StmtKind::SpecCall) {
+        const Spec &spec = *stmt->spec;
+        json::Value s = json::Value::object();
+        s["kind"] = specKindName(spec.kind());
+        s["threads"] = spec.execThreads().totalSize();
+        s["leaf"] = spec.isLeaf();
+        if (spec.isLeaf()) {
+            const std::string instr = atomicOf(ctx, spec);
+            if (instr.empty())
+                s["atomic"] = json::Value(); // null: unmatched
+            else
+                s["atomic"] = instr;
+        }
+        json::Value ins = json::Value::array();
+        for (const TensorView &v : spec.inputs())
+            ins.push(v.typeStr());
+        json::Value outs = json::Value::array();
+        for (const TensorView &v : spec.outputs())
+            outs.push(v.typeStr());
+        s["inputs"] = std::move(ins);
+        s["outputs"] = std::move(outs);
+        node["spec"] = std::move(s);
+    }
+    const bool firstVisit = ctx.visited.insert(stmt.get()).second;
+    node["shared"] = !firstVisit;
+    json::Value children = json::Value::array();
+    if (firstVisit) {
+        auto append = [&](const std::vector<StmtPtr> &stmts) {
+            for (const StmtPtr &s : stmts) {
+                if (s->kind == StmtKind::Comment)
+                    continue;
+                children.push(nodeToJson(ctx, s));
+            }
+        };
+        if (stmt->kind == StmtKind::SpecCall && !stmt->spec->isLeaf()) {
+            append(stmt->spec->body());
+        } else {
+            append(stmt->body);
+            append(stmt->elseBody);
+        }
+    }
+    node["children"] = std::move(children);
+    return node;
+}
+
+json::Value
+diagnosticToJson(const diag::Diagnostic &d)
+{
+    json::Value v = json::Value::object();
+    v["severity"] = diag::severityName(d.severity);
+    v["code"] = d.code;
+    v["message"] = d.message;
+    v["provenance"] = d.provenance;
+    v["stmt"] = d.stmtId;
+    return v;
+}
+
+} // namespace
+
+std::vector<diag::Diagnostic>
+lintKernel(const Kernel &kernel, const GpuArch &arch,
+           const LintOptions &opts)
+{
+    return Linter(kernel, arch, opts).run();
+}
+
+std::string
+renderExplain(const Kernel &kernel, const GpuArch &arch)
+{
+    numberStmts(kernel.body());
+    ExplainContext ctx{arch, AtomicSpecRegistry::forArch(arch), {}};
+    std::ostringstream out;
+    out << "kernel   " << kernel.name() << " on " << arch.name << "\n";
+    out << "launch   grid=" << kernel.gridSize() << " block="
+        << kernel.blockSize() << " smem=" << kernel.sharedMemoryBytes()
+        << "B\n";
+    for (int i = 0; i < static_cast<int>(kernel.params().size()); ++i)
+        out << "param    " << kernel.params()[static_cast<size_t>(i)]
+                                  .typeStr()
+            << (kernel.paramIsConst(i) ? "  (const)" : "") << "\n";
+    out << "\n";
+    for (const StmtPtr &s : kernel.body())
+        renderNode(ctx, out, s, 0, "");
+    return out.str();
+}
+
+json::Value
+explainToJson(const Kernel &kernel, const GpuArch &arch, bool withLint,
+              const LintOptions &opts)
+{
+    const int64_t stmtCount = numberStmts(kernel.body());
+    ExplainContext ctx{arch, AtomicSpecRegistry::forArch(arch), {}};
+    json::Value doc = json::Value::object();
+    doc["schema"] = "graphene.explain.v1";
+    json::Value k = json::Value::object();
+    k["name"] = kernel.name();
+    k["arch"] = arch.name;
+    k["grid"] = kernel.gridSize();
+    k["block"] = kernel.blockSize();
+    k["smem_bytes"] = kernel.sharedMemoryBytes();
+    k["leaf_specs"] = kernel.countLeafSpecs();
+    k["stmts"] = stmtCount;
+    doc["kernel"] = std::move(k);
+    json::Value params = json::Value::array();
+    for (int i = 0; i < static_cast<int>(kernel.params().size()); ++i) {
+        const TensorView &p = kernel.params()[static_cast<size_t>(i)];
+        json::Value pj = json::Value::object();
+        pj["name"] = p.name();
+        pj["type"] = p.typeStr();
+        pj["const"] = kernel.paramIsConst(i);
+        params.push(std::move(pj));
+    }
+    doc["params"] = std::move(params);
+    json::Value tree = json::Value::array();
+    for (const StmtPtr &s : kernel.body()) {
+        if (s->kind == StmtKind::Comment)
+            continue;
+        tree.push(nodeToJson(ctx, s));
+    }
+    doc["tree"] = std::move(tree);
+    if (withLint) {
+        json::Value lint = json::Value::array();
+        for (const diag::Diagnostic &d :
+             lintKernel(kernel, arch, opts))
+            lint.push(diagnosticToJson(d));
+        doc["lint"] = std::move(lint);
+    }
+    return doc;
+}
+
+} // namespace inspect
+} // namespace graphene

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The pipeline inspector behind `graphene-cli explain`: a static view
+ * of a kernel's decomposition — every statement annotated with its
+ * stable id, one-line summary, decomposition provenance, and (for leaf
+ * specs) the atomic instruction the codegen matcher selects — plus a
+ * purely static memory-access lint.
+ *
+ * The lint predicts shared-memory bank conflicts and uncoalesced
+ * global accesses from the layout algebra alone, without running the
+ * simulator: it evaluates the byte addresses warp 0 would touch in
+ * each leaf Move / FMA (thread t, block 0, loop variables at their
+ * first iteration) and feeds them through the same wavefront/sector
+ * helpers the timing model uses.  A naive (unswizzled) staging layout
+ * is flagged before a single simulated cycle is spent.
+ */
+
+#ifndef GRAPHENE_INSPECT_INSPECT_H
+#define GRAPHENE_INSPECT_INSPECT_H
+
+#include <string>
+#include <vector>
+
+#include "arch/gpu_arch.h"
+#include "ir/kernel.h"
+#include "support/diag.h"
+#include "support/json.h"
+
+namespace graphene
+{
+namespace inspect
+{
+
+/** Thresholds for the static memory-access lint. */
+struct LintOptions
+{
+    /** Flag shared accesses whose conflict degree (wavefronts per
+     *  conflict-free minimum) reaches this value. */
+    double conflictThreshold = 2.0;
+    /** Flag global accesses whose coalescing efficiency (useful bytes
+     *  per fetched sector byte, percent) falls below this value. */
+    double coalescingThreshold = 50.0;
+};
+
+/**
+ * Statically lint every leaf spec of @p kernel: unmatched atomics
+ * (error "atomic-unmatched"), predicted shared-memory bank conflicts
+ * (warning "smem-bank-conflict"), and uncoalesced global moves
+ * (warning "global-uncoalesced").  Each diagnostic carries the
+ * offending spec's decomposition provenance and statement id.
+ * Numbers the kernel's statements as a side effect.
+ */
+std::vector<diag::Diagnostic> lintKernel(const Kernel &kernel,
+                                         const GpuArch &arch,
+                                         const LintOptions &opts = {});
+
+/**
+ * Human-readable annotated decomposition tree (the `explain` verb).
+ * Numbers the kernel's statements as a side effect.
+ */
+std::string renderExplain(const Kernel &kernel, const GpuArch &arch);
+
+/**
+ * Machine-readable explain document (schema "graphene.explain.v1"):
+ * kernel/launch metadata, parameter types, the decomposition tree with
+ * per-node provenance and matched atomic instructions, and — when
+ * @p withLint — the lint findings.
+ */
+json::Value explainToJson(const Kernel &kernel, const GpuArch &arch,
+                          bool withLint = false,
+                          const LintOptions &opts = {});
+
+} // namespace inspect
+} // namespace graphene
+
+#endif // GRAPHENE_INSPECT_INSPECT_H

@@ -86,6 +86,54 @@ printStmt(std::ostringstream &out, const StmtPtr &stmt, int level)
 } // namespace
 
 std::string
+stmtKindTag(const Stmt &stmt)
+{
+    switch (stmt.kind) {
+      case StmtKind::For: return "for";
+      case StmtKind::If: return "if";
+      case StmtKind::Sync: return "sync";
+      case StmtKind::SpecCall: return "spec";
+      case StmtKind::Alloc: return "alloc";
+      case StmtKind::Comment: return "comment";
+    }
+    return "?";
+}
+
+std::string
+stmtSummary(const Stmt &stmt)
+{
+    std::ostringstream out;
+    switch (stmt.kind) {
+      case StmtKind::For:
+        out << "for " << stmt.loopVar << " in [" << stmt.begin << ","
+            << stmt.end << ")";
+        if (stmt.step != 1)
+            out << " step " << stmt.step;
+        if (stmt.uniformCost)
+            out << " /*uniform*/";
+        break;
+      case StmtKind::If:
+        out << "if (" << stmt.cond->str() << ")";
+        break;
+      case StmtKind::Sync:
+        out << (stmt.warpScope ? "syncwarp" : "syncthreads");
+        break;
+      case StmtKind::SpecCall:
+        out << stmt.spec->headerStr();
+        break;
+      case StmtKind::Alloc:
+        out << "Allocate " << stmt.allocName << ":[" << stmt.allocCount
+            << "]." << scalarTypeName(stmt.allocScalar) << "."
+            << memorySpaceName(stmt.allocMemory);
+        break;
+      case StmtKind::Comment:
+        out << "// " << stmt.text;
+        break;
+    }
+    return out.str();
+}
+
+std::string
 printStmts(const std::vector<StmtPtr> &stmts, int indentLevel)
 {
     std::ostringstream out;

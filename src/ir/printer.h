@@ -19,6 +19,15 @@ std::string printKernel(const Kernel &kernel);
 /** Render a statement list (used recursively; exposed for tests). */
 std::string printStmts(const std::vector<StmtPtr> &stmts, int indentLevel);
 
+/** Short lowercase tag for a statement kind: "for", "spec", ... */
+std::string stmtKindTag(const Stmt &stmt);
+
+/**
+ * One-line summary of a statement without its children — the node
+ * label used by the profiler attribution tree and `explain` output.
+ */
+std::string stmtSummary(const Stmt &stmt);
+
 } // namespace graphene
 
 #endif // GRAPHENE_IR_PRINTER_H

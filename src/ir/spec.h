@@ -20,6 +20,7 @@
 
 #include "ir/tensor.h"
 #include "ir/thread_group.h"
+#include "support/diag.h"
 
 namespace graphene
 {
@@ -165,6 +166,21 @@ class Spec
     /** One-line header, e.g. "Move<<<#warp>>>(%src) -> (%dst)". */
     std::string headerStr() const;
 
+    /**
+     * Decomposition provenance: the innermost diag::Scope frame open
+     * when this spec was constructed (null when built outside any
+     * scope).  Stamped once; shared with every diagnostic that
+     * concerns this spec.
+     */
+    const diag::FramePtr &provenance() const { return provenance_; }
+
+    /** Provenance path ("" if unknown). */
+    std::string
+    provenancePath() const
+    {
+        return provenance_ ? provenance_->path() : std::string();
+    }
+
   private:
     Spec() = default;
 
@@ -182,6 +198,7 @@ class Spec
     std::vector<TensorView> inputs_;
     std::vector<TensorView> outputs_;
     std::vector<StmtPtr> body_;
+    diag::FramePtr provenance_ = diag::currentFrame();
 };
 
 } // namespace graphene

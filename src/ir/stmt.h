@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "ir/spec.h"
+#include "support/diag.h"
 
 namespace graphene
 {
@@ -86,6 +87,19 @@ struct Stmt
 
     // Comment
     std::string text;
+
+    /**
+     * Decomposition provenance: the innermost diag::Scope frame open
+     * when this statement was constructed (null outside any scope).
+     */
+    diag::FramePtr provenance = diag::currentFrame();
+
+    /** Provenance path ("" if unknown). */
+    std::string
+    provenancePath() const
+    {
+        return provenance ? provenance->path() : std::string();
+    }
 };
 
 /** Counted loop [begin, end) with optional full unrolling. */

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "support/check.h"
+#include "support/diag.h"
 #include "support/string_utils.h"
 
 namespace graphene
@@ -17,7 +18,7 @@ class Verifier
   public:
     explicit Verifier(const Kernel &kernel) : kernel_(kernel) {}
 
-    std::vector<std::string>
+    std::vector<diag::Diagnostic>
     run()
     {
         for (const auto &p : kernel_.params())
@@ -28,18 +29,21 @@ class Verifier
         std::set<std::string> allocNames;
         for (const Stmt *a : kernel_.allocations()) {
             if (!allocNames.insert(a->allocName).second)
-                problem("duplicate allocation name '" + a->allocName + "'");
+                problem("duplicate allocation name '" + a->allocName
+                            + "'",
+                        a->provenancePath());
             knownBuffers_.insert(a->allocName);
         }
         checkStmts(kernel_.body());
-        return problems_;
+        return std::move(problems_);
     }
 
   private:
     void
-    problem(const std::string &msg)
+    problem(const std::string &msg, const std::string &provenance)
     {
-        problems_.push_back(msg);
+        problems_.push_back({diag::Severity::Error, "verify", msg,
+                             provenance, -1});
     }
 
     void
@@ -56,10 +60,12 @@ class Verifier
           case StmtKind::For:
             if (stmt.body.empty())
                 problem("empty loop body for loop over '" + stmt.loopVar
-                        + "'");
+                            + "'",
+                        stmt.provenancePath());
             if (stmt.end <= stmt.begin)
                 problem("loop over '" + stmt.loopVar
-                        + "' has empty iteration space");
+                            + "' has empty iteration space",
+                        stmt.provenancePath());
             checkStmts(stmt.body);
             break;
           case StmtKind::If:
@@ -79,12 +85,15 @@ class Verifier
     {
         if (!knownBuffers_.count(view.buffer()))
             problem("view '" + view.name() + "' in "
-                    + specKindName(spec.kind())
-                    + " references unknown buffer '" + view.buffer() + "'");
+                        + specKindName(spec.kind())
+                        + " references unknown buffer '" + view.buffer()
+                        + "'",
+                    spec.provenancePath());
         if (view.memory() == MemorySpace::RF
             && !view.swizzle().isIdentity())
             problem("register view '" + view.name() + "' cannot be "
-                    "swizzled");
+                    "swizzled",
+                    spec.provenancePath());
     }
 
     void
@@ -117,7 +126,7 @@ class Verifier
                 msg << "Move transfers " << srcCount << " source vs "
                     << dstCount << " destination values: "
                     << src.typeStr() << " -> " << dst.typeStr();
-                problem(msg.str());
+                problem(msg.str(), spec.provenancePath());
             }
             break;
           }
@@ -127,17 +136,19 @@ class Verifier
                 && spec.inputs()[0].totalSize()
                     != spec.inputs()[1].totalSize())
                 problem("BinaryPointwise operand sizes differ: "
-                        + spec.inputs()[0].typeStr() + " vs "
-                        + spec.inputs()[1].typeStr());
+                            + spec.inputs()[0].typeStr() + " vs "
+                            + spec.inputs()[1].typeStr(),
+                        spec.provenancePath());
             [[fallthrough]];
           case SpecKind::UnaryPointwise:
             if (!spec.inputs().empty()
                 && spec.inputs()[0].totalSize()
                     != spec.outputs()[0].totalSize())
                 problem(specKindName(spec.kind())
-                        + " input/output sizes differ: "
-                        + spec.inputs()[0].typeStr() + " vs "
-                        + spec.outputs()[0].typeStr());
+                            + " input/output sizes differ: "
+                            + spec.inputs()[0].typeStr() + " vs "
+                            + spec.outputs()[0].typeStr(),
+                        spec.provenancePath());
             break;
           case SpecKind::MatMul: {
             if (spec.isLeaf()) {
@@ -159,7 +170,7 @@ class Verifier
                         msg << "MatMul shapes not conformable: "
                             << a.typeStr() << " x " << b.typeStr()
                             << " -> " << d.typeStr();
-                        problem(msg.str());
+                        problem(msg.str(), spec.provenancePath());
                     }
                 }
             }
@@ -174,15 +185,26 @@ class Verifier
 
     const Kernel &kernel_;
     std::set<std::string> knownBuffers_;
-    std::vector<std::string> problems_;
+    std::vector<diag::Diagnostic> problems_;
 };
 
 } // namespace
 
+std::vector<diag::Diagnostic>
+verifyKernelDiags(const Kernel &kernel)
+{
+    return Verifier(kernel).run();
+}
+
 std::vector<std::string>
 verifyKernel(const Kernel &kernel)
 {
-    return Verifier(kernel).run();
+    std::vector<std::string> out;
+    for (const diag::Diagnostic &d : verifyKernelDiags(kernel))
+        out.push_back(d.provenance.empty()
+                          ? d.message
+                          : d.message + " [at " + d.provenance + "]");
+    return out;
 }
 
 void
@@ -191,8 +213,10 @@ verifyKernelOrThrow(const Kernel &kernel)
     const auto problems = verifyKernel(kernel);
     if (problems.empty())
         return;
-    fatal("kernel '" + kernel.name() + "' is malformed:\n  "
-          + join(problems, "\n  "));
+    diag::raise({diag::Severity::Error, "verify",
+                 "kernel '" + kernel.name() + "' is malformed:\n  "
+                     + join(problems, "\n  "),
+                 std::string(), -1});
 }
 
 } // namespace graphene

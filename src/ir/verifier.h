@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "ir/kernel.h"
+#include "support/diag.h"
 
 namespace graphene
 {
@@ -26,6 +27,12 @@ namespace graphene
  *  - loop bodies non-empty.
  */
 std::vector<std::string> verifyKernel(const Kernel &kernel);
+
+/**
+ * Structured variant: one diagnostic per problem, carrying the
+ * decomposition provenance of the offending spec/statement.
+ */
+std::vector<diag::Diagnostic> verifyKernelDiags(const Kernel &kernel);
 
 /** Verify and raise Error listing all problems when non-empty. */
 void verifyKernelOrThrow(const Kernel &kernel);

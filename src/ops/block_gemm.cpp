@@ -1,6 +1,7 @@
 #include "ops/block_gemm.h"
 
 #include "support/check.h"
+#include "support/diag.h"
 
 namespace graphene
 {
@@ -58,6 +59,7 @@ BlockGemm::laneId() const
 std::vector<StmtPtr>
 BlockGemm::allocFragments() const
 {
+    diag::Scope scope("alloc-fragments");
     std::vector<StmtPtr> out;
     out.push_back(alloc(accName, ScalarType::Fp32, MemorySpace::RF,
                         accCount()));
@@ -71,6 +73,7 @@ BlockGemm::allocFragments() const
 StmtPtr
 BlockGemm::initAcc() const
 {
+    diag::Scope scope("init-acc");
     TensorView acc("%accv", accName, Layout::vector(accCount()),
                    ScalarType::Fp32, MemorySpace::RF);
     return call(Spec::init(0.0, perThread(blockSize()), acc));
@@ -106,6 +109,7 @@ BlockGemm::tileCompute(const SmemOperand &a, ExprPtr aRow0, ExprPtr aCol0,
                        const SmemOperand &b, ExprPtr bRow0, ExprPtr bCol0,
                        int64_t kDepth, bool disableLdmatrix) const
 {
+    diag::Scope scope("tile-compute");
     GRAPHENE_CHECK(kDepth % kStep() == 0)
         << "k depth " << kDepth << " not a multiple of " << kStep();
     const int64_t blockSz = blockSize();

@@ -1,6 +1,7 @@
 #include "ops/common.h"
 
 #include "support/check.h"
+#include "support/diag.h"
 
 namespace graphene
 {
@@ -45,6 +46,7 @@ stageTileToShared(const GpuArch &arch, int64_t blockSize,
                   const TensorView &dstView, const std::string &stageRegs,
                   ExprPtr rowLimit, const std::string &zeroRegs)
 {
+    diag::Scope scope("stage-tile(" + dstView.buffer() + ")");
     GRAPHENE_CHECK(cols % 8 == 0)
         << "tile width " << cols << " must be a multiple of 8";
     const int64_t chunks = rows * cols / 8;
@@ -101,6 +103,7 @@ stageTileToSharedTransposed(int64_t blockSize,
                             int64_t cols, const TensorView &dstView,
                             const std::string &stageRegs)
 {
+    diag::Scope scope("stage-tile-transposed(" + dstView.buffer() + ")");
     GRAPHENE_CHECK(cols % 8 == 0)
         << "tile width " << cols << " must be a multiple of 8";
     const int64_t chunks = rows * cols / 8;
@@ -160,6 +163,7 @@ emitBlockAllReduce(int64_t blockSize, OpKind op,
                    const std::string &tmpReg,
                    const std::string &smemName)
 {
+    diag::Scope scope("block-allreduce");
     GRAPHENE_CHECK(blockSize % 32 == 0) << "block must be whole warps";
     const int64_t numWarps = blockSize / 32;
     auto one = perThread(blockSize);

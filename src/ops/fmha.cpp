@@ -4,6 +4,7 @@
 
 #include "ops/block_gemm.h"
 #include "support/check.h"
+#include "support/diag.h"
 
 namespace graphene
 {
@@ -13,6 +14,7 @@ namespace ops
 Kernel
 buildFusedFmha(const GpuArch &arch, const FmhaConfig &cfg)
 {
+    diag::Scope rootScope("fused-fmha");
     const int64_t S = cfg.seq;
     const int64_t D = cfg.headDim;
     const int64_t QT = cfg.qTile;
@@ -100,6 +102,7 @@ buildFusedFmha(const GpuArch &arch, const FmhaConfig &cfg)
 
     // ---------------------------------------------------- phase 0: Q -
     {
+        diag::Scope phaseScope("stage-q");
         auto stage = stageTileToShared(arch, blockSize, cfg.qName, qBase,
                                        D, QT, D, qsView, "%stg");
         body.insert(body.end(), stage.begin(), stage.end());
@@ -109,6 +112,7 @@ buildFusedFmha(const GpuArch &arch, const FmhaConfig &cfg)
     // ------------------------------------------- phase 1: S = Q K^T -
     const double scale = 1.0 / std::sqrt(static_cast<double>(D));
     {
+        diag::Scope phaseScope("qk-matmul");
         auto ktVar = variable("kt", kTiles);
         std::vector<StmtPtr> loop;
         ExprPtr kBase = add(headBase, mul(ktVar, constant(KT * D)));
@@ -155,6 +159,7 @@ buildFusedFmha(const GpuArch &arch, const FmhaConfig &cfg)
     // serial max/sum over S/2 columns with 8-wide shared loads, halves
     // combined through two shared slots per row.
     {
+        diag::Scope phaseScope("softmax");
         const int64_t halfCols = S / 2;
         GRAPHENE_CHECK(halfCols % 8 == 0) << "seq granularity";
         GRAPHENE_CHECK(blockSize == 2 * QT)
@@ -260,6 +265,7 @@ buildFusedFmha(const GpuArch &arch, const FmhaConfig &cfg)
 
     // ---------------------------------------------- phase 3: O = P V -
     {
+        diag::Scope phaseScope("pv-matmul");
         body.push_back(bg2.initAcc());
         auto vtVar = variable("vt", kTiles);
         std::vector<StmtPtr> loop;
@@ -282,6 +288,7 @@ buildFusedFmha(const GpuArch &arch, const FmhaConfig &cfg)
 
     // ------------------------------------- phase 4: scale and store -
     {
+        diag::Scope phaseScope("store-output");
         body.push_back(alloc("%inv", ScalarType::Fp32, MemorySpace::RF,
                              1));
         body.push_back(alloc("%onef", ScalarType::Fp32, MemorySpace::RF,

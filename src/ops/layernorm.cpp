@@ -1,6 +1,7 @@
 #include "ops/layernorm.h"
 
 #include "support/check.h"
+#include "support/diag.h"
 
 namespace graphene
 {
@@ -28,6 +29,7 @@ struct RowStatsEmitter
     void
     allocs(std::vector<StmtPtr> &body) const
     {
+        diag::Scope scope("allocs");
         body.push_back(alloc("%xh", ScalarType::Fp16, MemorySpace::RF,
                              perThread));
         body.push_back(alloc("%xf", ScalarType::Fp32, MemorySpace::RF,
@@ -46,6 +48,7 @@ struct RowStatsEmitter
     void
     load(std::vector<StmtPtr> &body) const
     {
+        diag::Scope scope("load-row");
         ExprPtr base = add(mul(row, constant(cfg.cols)),
                            mul(t, constant(perThread)));
         if (cfg.vectorized) {
@@ -77,6 +80,7 @@ struct RowStatsEmitter
     void
     stats(std::vector<StmtPtr> &body) const
     {
+        diag::Scope scope("row-stats");
         // Sum.
         body.push_back(call(Spec::reduction(
             OpKind::Add, one, vecReg("%xf", perThread, ScalarType::Fp32),
@@ -120,6 +124,7 @@ struct RowStatsEmitter
     void
     apply(std::vector<StmtPtr> &body) const
     {
+        diag::Scope scope("normalize-apply");
         body.push_back(alloc("%gh", ScalarType::Fp16, MemorySpace::RF,
                              perThread));
         body.push_back(alloc("%bh", ScalarType::Fp16, MemorySpace::RF,
@@ -212,6 +217,7 @@ Kernel
 buildLayernormFused(const GpuArch &arch, const LayernormConfig &cfg)
 {
     (void)arch;
+    diag::Scope rootScope("layernorm-fused");
     GRAPHENE_CHECK(cfg.cols % kBlockSize == 0)
         << "layernorm width must divide the block size";
     Kernel kernel(cfg.vectorized ? "layernorm_fused_vec"
@@ -239,6 +245,7 @@ Kernel
 buildLayernormStats(const GpuArch &arch, const LayernormConfig &cfg)
 {
     (void)arch;
+    diag::Scope rootScope("layernorm-stats");
     GRAPHENE_CHECK(cfg.cols % kBlockSize == 0)
         << "layernorm width must divide the block size";
     Kernel kernel("layernorm_stats", cfg.rows, kBlockSize);
@@ -266,6 +273,7 @@ Kernel
 buildLayernormApply(const GpuArch &arch, const LayernormConfig &cfg)
 {
     (void)arch;
+    diag::Scope rootScope("layernorm-apply");
     Kernel kernel("layernorm_apply", cfg.rows, kBlockSize);
     RowStatsEmitter em(cfg);
     em.addParams(kernel, false, true);

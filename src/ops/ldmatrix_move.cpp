@@ -1,5 +1,7 @@
 #include "ops/ldmatrix_move.h"
 
+#include "support/diag.h"
+
 namespace graphene
 {
 namespace ops
@@ -8,6 +10,7 @@ namespace ops
 Kernel
 buildLdmatrixMoveKernel()
 {
+    diag::Scope rootScope("ldmatrix-move");
     const int64_t blockSize = 32;
     Kernel k("ldmatrix_move", 1, blockSize);
     auto in = TensorView::global("%in", Layout::rowMajor(IntTuple{32, 8}),

@@ -2,6 +2,7 @@
 
 #include "ops/block_gemm.h"
 #include "support/check.h"
+#include "support/diag.h"
 
 namespace graphene
 {
@@ -11,6 +12,7 @@ namespace ops
 Kernel
 buildFusedLstm(const GpuArch &arch, const FusedLstmConfig &cfg)
 {
+    diag::Scope rootScope("fused-lstm");
     const bool ampere = arch.hasLdmatrix;
     const int64_t bm = cfg.bm, bn = cfg.bn, bk = cfg.bk;
     GRAPHENE_CHECK(cfg.m % bm == 0 && cfg.n % bn == 0 && cfg.k % bk == 0)
@@ -72,6 +74,7 @@ buildFusedLstm(const GpuArch &arch, const FusedLstmConfig &cfg)
     auto emitGemmLoop = [&](const std::string &actName,
                             const std::string &wName,
                             const std::string &loopVar) {
+        diag::Scope gemmScope("gemm-loop(" + actName + ")");
         auto ktVar = variable(loopVar, cfg.k / bk);
         std::vector<StmtPtr> loop;
         ExprPtr aBase = add(mul(bidM, constant(bm * cfg.k)),
@@ -103,6 +106,7 @@ buildFusedLstm(const GpuArch &arch, const FusedLstmConfig &cfg)
     emitGemmLoop(cfg.hName, cfg.whName, "kh");
 
     // Epilogue: + bias, relu, store.
+    diag::Scope epilogueScope("epilogue");
     body.push_back(alloc("%cvt", ScalarType::Fp16, MemorySpace::RF,
                          bg.accVectorWidth()));
     body.push_back(alloc("%bh", ScalarType::Fp16, MemorySpace::RF, 1));

@@ -2,6 +2,7 @@
 
 #include "ops/block_gemm.h"
 #include "support/check.h"
+#include "support/diag.h"
 
 namespace graphene
 {
@@ -11,6 +12,7 @@ namespace ops
 Kernel
 buildFusedMlp(const GpuArch &arch, const FusedMlpConfig &cfg)
 {
+    diag::Scope rootScope("fused-mlp");
     const int64_t w = cfg.width;
     const int64_t mt = cfg.mTile;
     GRAPHENE_CHECK(w % 16 == 0 && w <= 128)
@@ -75,6 +77,7 @@ buildFusedMlp(const GpuArch &arch, const FusedMlpConfig &cfg)
 
     // Stage the input activations.
     {
+        diag::Scope stageScope("stage-input");
         ExprPtr base = mul(b, constant(mt * w));
         auto stage = stageTileToShared(arch, blockSize, cfg.xName, base,
                                        w, mt, w, act0View, "%stg");
@@ -85,7 +88,9 @@ buildFusedMlp(const GpuArch &arch, const FusedMlpConfig &cfg)
     // One layer: actIn -> actOut with weights/bias of @p layerExpr.
     auto emitLayer = [&](std::vector<StmtPtr> &out, ExprPtr layerExpr,
                          const SmemOperand &aOp,
-                         const TensorView &dstAct) {
+                         const TensorView &dstAct,
+                         const std::string &layerLabel) {
+        diag::Scope layerScope(layerLabel);
         // Stage this layer's weights.
         ExprPtr wBase = mul(layerExpr, constant(w * w));
         if (ampere) {
@@ -143,18 +148,21 @@ buildFusedMlp(const GpuArch &arch, const FusedMlpConfig &cfg)
     if (pairs > 0) {
         auto l2 = variable("l2", pairs);
         std::vector<StmtPtr> pairBody;
-        emitLayer(pairBody, mul(l2, constant(2)), act0Op, act1View);
+        emitLayer(pairBody, mul(l2, constant(2)), act0Op, act1View,
+                  "layer-even");
         emitLayer(pairBody, add(mul(l2, constant(2)), constant(1)),
-                  act1Op, act0View);
+                  act1Op, act0View, "layer-odd");
         body.push_back(forStmtUniform("l2", 0, pairs, 1,
                                       std::move(pairBody)));
     }
     const bool odd = cfg.layers % 2 != 0;
     if (odd)
-        emitLayer(body, constant(cfg.layers - 1), act0Op, act1View);
+        emitLayer(body, constant(cfg.layers - 1), act0Op, act1View,
+                  "layer-last");
 
     // Copy the final activations to global memory.
     {
+        diag::Scope storeScope("store-output");
         const TensorView &finalAct = odd ? act1View : act0View;
         const int64_t chunks = mt * w / 8 / blockSize;
         for (int64_t i = 0; i < chunks; ++i) {

@@ -1,6 +1,7 @@
 #include "ops/pointwise.h"
 
 #include "support/check.h"
+#include "support/diag.h"
 
 namespace graphene
 {
@@ -21,6 +22,7 @@ flatKernel(const std::string &name, int64_t count,
            const std::function<void(std::vector<StmtPtr> &, ExprPtr)>
                &emitChunk)
 {
+    diag::Scope scope(name);
     GRAPHENE_CHECK(count % kVec == 0)
         << "pointwise kernels require a multiple of " << kVec
         << " elements, got " << count;
@@ -216,6 +218,7 @@ buildRowReduce(const GpuArch &arch, OpKind op, int64_t rows, int64_t cols,
                const std::string &outName)
 {
     (void)arch;
+    diag::Scope rootScope("row_reduce_" + opKindName(op));
     const int64_t blockSize = 128;
     GRAPHENE_CHECK(cols % (blockSize * kVec) == 0)
         << "row reduce of width " << cols

@@ -1,6 +1,7 @@
 #include "ops/simple_gemm.h"
 
 #include "support/check.h"
+#include "support/diag.h"
 
 namespace graphene
 {
@@ -10,6 +11,7 @@ namespace ops
 Kernel
 buildSimpleGemm(const SimpleGemmConfig &config)
 {
+    diag::Scope rootScope("simple-gemm");
     const int64_t m = config.m, n = config.n, k = config.k;
     const int64_t bm = config.blockTileM, bn = config.blockTileN;
     const int64_t tm = config.threadsM, tn = config.threadsN;

@@ -1,6 +1,7 @@
 #include "ops/softmax.h"
 
 #include "support/check.h"
+#include "support/diag.h"
 
 namespace graphene
 {
@@ -13,6 +14,7 @@ buildRowSoftmax(const GpuArch &arch, int64_t rows, int64_t cols,
                 const std::string &outName)
 {
     (void)arch;
+    diag::Scope rootScope("row-softmax");
     const int64_t blockSize = 128;
     GRAPHENE_CHECK(cols % blockSize == 0)
         << "softmax width " << cols << " must divide " << blockSize;
@@ -44,63 +46,80 @@ buildRowSoftmax(const GpuArch &arch, int64_t rows, int64_t cols,
     // Load the thread's slice (contiguous per thread) and convert.
     ExprPtr base = add(mul(row, constant(cols)),
                        mul(t, constant(perThreadN)));
-    for (int64_t e = 0; e < perThreadN; ++e) {
-        TensorView src("%g", inName, Layout(), ScalarType::Fp16,
-                       MemorySpace::GL);
+    {
+        diag::Scope loadScope("load-row");
+        for (int64_t e = 0; e < perThreadN; ++e) {
+            TensorView src("%g", inName, Layout(), ScalarType::Fp16,
+                           MemorySpace::GL);
+            body.push_back(call(Spec::move(
+                one, src.offsetBy(add(base, constant(e))),
+                scalarReg("%xh", e, ScalarType::Fp16))));
+        }
         body.push_back(call(Spec::move(
-            one, src.offsetBy(add(base, constant(e))),
-            scalarReg("%xh", e, ScalarType::Fp16))));
+            one, vecReg("%xh", perThreadN, ScalarType::Fp16),
+            vecReg("%xf", perThreadN, ScalarType::Fp32))));
+        if (preScale != 1.0)
+            for (int64_t e = 0; e < perThreadN; ++e)
+                body.push_back(call(Spec::binaryScalar(
+                    OpKind::Mul, one, scalarReg("%xf", e), preScale,
+                    scalarReg("%xf", e))));
     }
-    body.push_back(call(Spec::move(
-        one, vecReg("%xh", perThreadN, ScalarType::Fp16),
-        vecReg("%xf", perThreadN, ScalarType::Fp32))));
-    if (preScale != 1.0)
-        for (int64_t e = 0; e < perThreadN; ++e)
-            body.push_back(call(Spec::binaryScalar(
-                OpKind::Mul, one, scalarReg("%xf", e), preScale,
-                scalarReg("%xf", e))));
 
     // Row max.
-    body.push_back(call(Spec::reduction(
-        OpKind::Max, one, vecReg("%xf", perThreadN, ScalarType::Fp32),
-        scalarReg("%partial"))));
-    auto rmax = emitBlockAllReduce(blockSize, OpKind::Max, "%partial",
-                                   "%mx", "%tmp", "%slots");
-    body.insert(body.end(), rmax.begin(), rmax.end());
+    {
+        diag::Scope maxScope("row-max");
+        body.push_back(call(Spec::reduction(
+            OpKind::Max, one,
+            vecReg("%xf", perThreadN, ScalarType::Fp32),
+            scalarReg("%partial"))));
+        auto rmax = emitBlockAllReduce(blockSize, OpKind::Max,
+                                       "%partial", "%mx", "%tmp",
+                                       "%slots");
+        body.insert(body.end(), rmax.begin(), rmax.end());
+    }
 
     // exp(x - max), then the row sum.
-    for (int64_t e = 0; e < perThreadN; ++e) {
-        body.push_back(call(Spec::binary(
-            OpKind::Sub, one, scalarReg("%xf", e), scalarReg("%mx"),
-            scalarReg("%xf", e))));
-        body.push_back(call(Spec::unary(
-            OpKind::Exp, one, scalarReg("%xf", e), scalarReg("%xf", e))));
+    {
+        diag::Scope sumScope("exp-sum");
+        for (int64_t e = 0; e < perThreadN; ++e) {
+            body.push_back(call(Spec::binary(
+                OpKind::Sub, one, scalarReg("%xf", e), scalarReg("%mx"),
+                scalarReg("%xf", e))));
+            body.push_back(call(Spec::unary(
+                OpKind::Exp, one, scalarReg("%xf", e),
+                scalarReg("%xf", e))));
+        }
+        body.push_back(call(Spec::reduction(
+            OpKind::Add, one,
+            vecReg("%xf", perThreadN, ScalarType::Fp32),
+            scalarReg("%partial"))));
+        auto rsum = emitBlockAllReduce(blockSize, OpKind::Add,
+                                       "%partial", "%sum", "%tmp",
+                                       "%slots");
+        body.insert(body.end(), rsum.begin(), rsum.end());
     }
-    body.push_back(call(Spec::reduction(
-        OpKind::Add, one, vecReg("%xf", perThreadN, ScalarType::Fp32),
-        scalarReg("%partial"))));
-    auto rsum = emitBlockAllReduce(blockSize, OpKind::Add, "%partial",
-                                   "%sum", "%tmp", "%slots");
-    body.insert(body.end(), rsum.begin(), rsum.end());
 
     // Normalize and store.
-    body.push_back(call(Spec::init(1.0, one, scalarReg("%one"))));
-    body.push_back(call(Spec::binary(
-        OpKind::Div, one, scalarReg("%one"), scalarReg("%sum"),
-        scalarReg("%inv"))));
-    for (int64_t e = 0; e < perThreadN; ++e)
+    {
+        diag::Scope storeScope("normalize-store");
+        body.push_back(call(Spec::init(1.0, one, scalarReg("%one"))));
         body.push_back(call(Spec::binary(
-            OpKind::Mul, one, scalarReg("%xf", e), scalarReg("%inv"),
-            scalarReg("%xf", e))));
-    body.push_back(call(Spec::move(
-        one, vecReg("%xf", perThreadN, ScalarType::Fp32),
-        vecReg("%xh", perThreadN, ScalarType::Fp16))));
-    for (int64_t e = 0; e < perThreadN; ++e) {
-        TensorView dst("%g", outName, Layout(), ScalarType::Fp16,
-                       MemorySpace::GL);
+            OpKind::Div, one, scalarReg("%one"), scalarReg("%sum"),
+            scalarReg("%inv"))));
+        for (int64_t e = 0; e < perThreadN; ++e)
+            body.push_back(call(Spec::binary(
+                OpKind::Mul, one, scalarReg("%xf", e), scalarReg("%inv"),
+                scalarReg("%xf", e))));
         body.push_back(call(Spec::move(
-            one, scalarReg("%xh", e, ScalarType::Fp16),
-            dst.offsetBy(add(base, constant(e))))));
+            one, vecReg("%xf", perThreadN, ScalarType::Fp32),
+            vecReg("%xh", perThreadN, ScalarType::Fp16))));
+        for (int64_t e = 0; e < perThreadN; ++e) {
+            TensorView dst("%g", outName, Layout(), ScalarType::Fp16,
+                           MemorySpace::GL);
+            body.push_back(call(Spec::move(
+                one, scalarReg("%xh", e, ScalarType::Fp16),
+                dst.offsetBy(add(base, constant(e))))));
+        }
     }
     kernel.setBody(std::move(body));
     return kernel;

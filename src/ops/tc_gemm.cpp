@@ -2,6 +2,7 @@
 
 #include "ops/block_gemm.h"
 #include "support/check.h"
+#include "support/diag.h"
 
 namespace graphene
 {
@@ -24,6 +25,7 @@ epilogueName(Epilogue e)
 Kernel
 buildTcGemm(const GpuArch &arch, const TcGemmConfig &cfg)
 {
+    diag::Scope rootScope("tc-gemm");
     const bool ampere = arch.hasLdmatrix;
     const int64_t bm = cfg.bm, bn = cfg.bn, bk = cfg.bk;
     // M may be a non-multiple of the tile (partial tiles, paper
@@ -93,27 +95,32 @@ buildTcGemm(const GpuArch &arch, const TcGemmConfig &cfg)
                              ScalarType::Fp16, swB);
 
     std::vector<StmtPtr> body;
-    body.push_back(alloc("%As", ScalarType::Fp16, MemorySpace::SH,
-                         bm * bk, sw));
-    body.push_back(alloc("%Bs", ScalarType::Fp16, MemorySpace::SH,
-                         bk * bn, swB));
-    body.push_back(alloc("%stg", ScalarType::Fp16, MemorySpace::RF, 8));
     ExprPtr validRows; // rows of this block's tile inside the tensor
-    if (partialM) {
-        body.push_back(alloc("%zfill", ScalarType::Fp16,
-                             MemorySpace::RF, 8));
-        TensorView zero("%z", "%zfill", Layout::vector(8),
-                        ScalarType::Fp16, MemorySpace::RF);
-        body.push_back(call(Spec::init(0.0, one, zero)));
-        validRows = sub(constant(cfg.m), mul(bidM, constant(bm)));
+    {
+        diag::Scope prologueScope("prologue");
+        body.push_back(alloc("%As", ScalarType::Fp16, MemorySpace::SH,
+                             bm * bk, sw));
+        body.push_back(alloc("%Bs", ScalarType::Fp16, MemorySpace::SH,
+                             bk * bn, swB));
+        body.push_back(alloc("%stg", ScalarType::Fp16, MemorySpace::RF,
+                             8));
+        if (partialM) {
+            body.push_back(alloc("%zfill", ScalarType::Fp16,
+                                 MemorySpace::RF, 8));
+            TensorView zero("%z", "%zfill", Layout::vector(8),
+                            ScalarType::Fp16, MemorySpace::RF);
+            body.push_back(call(Spec::init(0.0, one, zero)));
+            validRows = sub(constant(cfg.m), mul(bidM, constant(bm)));
+        }
+        auto fragAllocs = bg.allocFragments();
+        body.insert(body.end(), fragAllocs.begin(), fragAllocs.end());
+        body.push_back(bg.initAcc());
     }
-    auto fragAllocs = bg.allocFragments();
-    body.insert(body.end(), fragAllocs.begin(), fragAllocs.end());
-    body.push_back(bg.initAcc());
 
     // ----------------------------------------------------- main loop -
     std::vector<StmtPtr> loop;
     {
+        diag::Scope loopScope("main-loop");
         ExprPtr aBase = add(
             mul(bidBatch, constant(cfg.batchStrideA)),
             add(mul(bidM, constant(bm * cfg.k)),
@@ -149,17 +156,18 @@ buildTcGemm(const GpuArch &arch, const TcGemmConfig &cfg)
                                     cfg.k, bn, bk, Bs, "%stg");
         }
         loop.insert(loop.end(), stageB.begin(), stageB.end());
+        loop.push_back(syncThreads());
+        auto compute = bg.tileCompute(aOp, constant(0), constant(0), bOp,
+                                      constant(0), constant(0), bk,
+                                      cfg.disableLdmatrix);
+        loop.insert(loop.end(), compute.begin(), compute.end());
+        loop.push_back(syncThreads());
+        body.push_back(forStmtUniform("kt", 0, cfg.k / bk, 1,
+                                      std::move(loop)));
     }
-    loop.push_back(syncThreads());
-    auto compute = bg.tileCompute(aOp, constant(0), constant(0), bOp,
-                                  constant(0), constant(0), bk,
-                                  cfg.disableLdmatrix);
-    loop.insert(loop.end(), compute.begin(), compute.end());
-    loop.push_back(syncThreads());
-    body.push_back(forStmtUniform("kt", 0, cfg.k / bk, 1,
-                                  std::move(loop)));
 
     // ------------------------------------------------------ epilogue -
+    diag::Scope epilogueScope("epilogue");
     std::vector<StmtPtr> epi;
     auto biasView = TensorView::global(cfg.biasName,
                                        Layout::vector(cfg.n),

@@ -6,6 +6,7 @@
 #include <set>
 #include <sstream>
 
+#include "ir/printer.h"
 #include "support/check.h"
 
 namespace graphene
@@ -15,54 +16,6 @@ namespace profile
 
 namespace
 {
-
-std::string
-stmtKindTag(const Stmt &stmt)
-{
-    switch (stmt.kind) {
-      case StmtKind::For: return "for";
-      case StmtKind::If: return "if";
-      case StmtKind::Sync: return "sync";
-      case StmtKind::SpecCall: return "spec";
-      case StmtKind::Alloc: return "alloc";
-      case StmtKind::Comment: return "comment";
-    }
-    return "?";
-}
-
-std::string
-stmtLabel(const Stmt &stmt)
-{
-    std::ostringstream out;
-    switch (stmt.kind) {
-      case StmtKind::For:
-        out << "for " << stmt.loopVar << " in [" << stmt.begin << ","
-            << stmt.end << ")";
-        if (stmt.step != 1)
-            out << " step " << stmt.step;
-        if (stmt.uniformCost)
-            out << " /*uniform*/";
-        break;
-      case StmtKind::If:
-        out << "if (" << stmt.cond->str() << ")";
-        break;
-      case StmtKind::Sync:
-        out << (stmt.warpScope ? "syncwarp" : "syncthreads");
-        break;
-      case StmtKind::SpecCall:
-        out << stmt.spec->headerStr();
-        break;
-      case StmtKind::Alloc:
-        out << "Allocate " << stmt.allocName << ":[" << stmt.allocCount
-            << "]." << scalarTypeName(stmt.allocScalar) << "."
-            << memorySpaceName(stmt.allocMemory);
-        break;
-      case StmtKind::Comment:
-        out << "// " << stmt.text;
-        break;
-    }
-    return out.str();
-}
 
 struct TreeBuilder
 {
@@ -80,8 +33,14 @@ struct TreeBuilder
                 continue; // shared subtree: attributed at first site
             AttributionNode node;
             node.stmtId = s->stmtId;
-            node.label = stmtLabel(*s);
+            node.label = stmtSummary(*s);
             node.kind = stmtKindTag(*s);
+            node.provenance = s->provenancePath();
+            if (s->kind == StmtKind::SpecCall && s->spec) {
+                const std::string p = s->spec->provenancePath();
+                if (!p.empty())
+                    node.provenance = p;
+            }
             auto it = prof.byStmt.find(s->stmtId);
             if (it != prof.byStmt.end()) {
                 node.self = it->second.stats;
@@ -154,6 +113,7 @@ nodeToJson(const AttributionNode &n)
     o["stmt"] = n.stmtId;
     o["kind"] = n.kind;
     o["label"] = n.label;
+    o["provenance"] = n.provenance;
     o["pct_of_block"] = n.pctOfBlock;
     o["cycles"] = n.cycles;
     o["bound_by"] = n.boundBy;
@@ -349,6 +309,8 @@ renderReport(const Kernel &kernel, const GpuArch &arch,
                       leaves[i]->pctOfBlock, leaves[i]->boundBy.c_str());
         out << buf << leaves[i]->label << "  (stmt "
             << leaves[i]->stmtId << ")\n";
+        if (!leaves[i]->provenance.empty())
+            out << "            at " << leaves[i]->provenance << "\n";
     }
 
     const auto conflicts = conflictedSites(tree);

@@ -34,6 +34,8 @@ struct AttributionNode
     int64_t stmtId = -1; // -1 for the kernel root
     /** One-line description (spec header, loop bounds, ...). */
     std::string label;
+    /** Decomposition provenance path of the statement ("" unknown). */
+    std::string provenance;
     /** "kernel" | "for" | "if" | "sync" | "spec" | "alloc". */
     std::string kind;
     /** Cost attributed directly to this statement (leaves only). */

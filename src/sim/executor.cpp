@@ -614,6 +614,8 @@ void
 Executor::execLeafSpec(const Spec &spec, BlockCtx &ctx)
 {
     const AtomicSpecInfo &info = registry_.matchOrThrow(spec);
+    if (ctx.san)
+        ctx.san->setProvenanceFrame(spec.provenance().get());
     InterpLeafEnv env{ctx, memory_, spec, {}};
     runLeaf(spec, info, arch_, env);
 }

@@ -513,6 +513,8 @@ PlanBlockRunner::threadTermSum(const PlanView &view, int64_t tid)
 void
 PlanBlockRunner::execLeaf(const PlanLeaf &leaf, const PlanRunConfig &cfg)
 {
+    if (cfg.san)
+        cfg.san->setProvenanceFrame(leaf.spec->provenance().get());
     PlanLeafEnv env(*this, leaf, cfg);
     if (cfg.byStmt) {
         GRAPHENE_ASSERT(cfg.stats)

@@ -204,7 +204,8 @@ Sanitizer::record(HazardKind kind, const ShadowBuffer &shadow,
     f.detail = detail;
 
     if (mode_ == SanitizerMode::Trap)
-        throw Error("sanitizer trap: " + f.str());
+        diag::raise({diag::Severity::Error, "sanitizer-trap",
+                     "sanitizer trap: " + f.str(), provenancePath(), -1});
 
     if (static_cast<int64_t>(report_.findings.size()) >= kMaxFindings) {
         ++report_.suppressed;
@@ -244,7 +245,8 @@ Sanitizer::onAccess(MemorySpace space, const std::string &buffer,
         f.onWrite = isWrite;
         f.detail = os.str();
         if (mode_ == SanitizerMode::Trap)
-            throw Error("sanitizer trap: " + f.str());
+            diag::raise({diag::Severity::Error, "sanitizer-trap",
+                         "sanitizer trap: " + f.str(), provenancePath(), -1});
         if (static_cast<int64_t>(report_.findings.size()) >= kMaxFindings)
             ++report_.suppressed;
         else

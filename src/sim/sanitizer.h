@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "ir/scalar_type.h"
+#include "support/diag.h"
 
 namespace graphene
 {
@@ -143,6 +144,16 @@ class Sanitizer
     /** Move the report out (resets to empty). */
     SanitizerReport takeReport();
 
+    /**
+     * Decomposition provenance of the leaf spec currently executing,
+     * attached to trap-mode diagnostics.  Raw pointer: the spec (and
+     * its frame chain) outlives the leaf execution.  Null clears it.
+     */
+    void setProvenanceFrame(const diag::Frame *frame)
+    {
+        provFrame_ = frame;
+    }
+
   private:
     /** One recorded access: who and in which epochs. */
     struct Access
@@ -185,8 +196,14 @@ class Sanitizer
     ShadowBuffer &shadowFor(MemorySpace space, const std::string &buffer,
                             ScalarType scalar, int64_t bufferElems);
 
+    std::string provenancePath() const
+    {
+        return provFrame_ ? provFrame_->path() : std::string();
+    }
+
     SanitizerMode mode_;
     SanitizerReport report_;
+    const diag::Frame *provFrame_ = nullptr;
     std::map<std::string, ShadowBuffer> shared_;
     std::map<std::string, ShadowBuffer> global_;
     int64_t bid_ = -1;

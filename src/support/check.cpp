@@ -1,18 +1,24 @@
 #include "support/check.h"
 
+#include "support/diag.h"
+
 namespace graphene
 {
 
 void
 fatal(const std::string &msg)
 {
-    throw Error(msg);
+    diag::raise({diag::Severity::Error, "check", msg,
+                 diag::currentPath(), -1},
+                /*internal=*/false);
 }
 
 void
 panic(const std::string &msg)
 {
-    throw InternalError(msg);
+    diag::raise({diag::Severity::Error, "internal", msg,
+                 diag::currentPath(), -1},
+                /*internal=*/true);
 }
 
 } // namespace graphene

@@ -1,0 +1,129 @@
+#include "support/diag.h"
+
+#include <vector>
+
+#include "support/check.h"
+
+namespace graphene
+{
+namespace diag
+{
+
+namespace
+{
+
+/** Innermost open provenance frame of this thread. */
+thread_local FramePtr tlFrame;
+
+/** Stack of active collect-mode sinks (innermost last). */
+thread_local std::vector<Collector *> tlCollectors;
+
+} // namespace
+
+std::string
+severityName(Severity s)
+{
+    switch (s) {
+      case Severity::Note: return "note";
+      case Severity::Warning: return "warning";
+      case Severity::Error: return "error";
+    }
+    return "?";
+}
+
+std::string
+Frame::path() const
+{
+    if (!parent_)
+        return label_;
+    return parent_->path() + "/" + label_;
+}
+
+std::string
+Frame::root() const
+{
+    const Frame *f = this;
+    while (f->parent_)
+        f = f->parent_.get();
+    return f->label_;
+}
+
+FramePtr
+currentFrame()
+{
+    return tlFrame;
+}
+
+std::string
+currentPath()
+{
+    return tlFrame ? tlFrame->path() : std::string();
+}
+
+Scope::Scope(std::string label)
+{
+    tlFrame = std::make_shared<const Frame>(std::move(label), tlFrame);
+}
+
+Scope::~Scope()
+{
+    if (tlFrame)
+        tlFrame = tlFrame->parent();
+}
+
+std::string
+Diagnostic::str() const
+{
+    std::string out = severityName(severity);
+    if (!code.empty())
+        out += "[" + code + "]";
+    out += ": " + message;
+    if (!provenance.empty())
+        out += "\n  at decomposition step " + provenance;
+    return out;
+}
+
+Collector::Collector()
+{
+    tlCollectors.push_back(this);
+}
+
+Collector::~Collector()
+{
+    if (!tlCollectors.empty() && tlCollectors.back() == this)
+        tlCollectors.pop_back();
+}
+
+bool
+Collector::hasErrors() const
+{
+    for (const Diagnostic &d : collected_)
+        if (d.severity == Severity::Error)
+            return true;
+    return false;
+}
+
+bool
+report(Diagnostic d)
+{
+    if (!tlCollectors.empty()) {
+        tlCollectors.back()->collected_.push_back(std::move(d));
+        return true;
+    }
+    if (d.severity == Severity::Error)
+        raise(std::move(d));
+    return false;
+}
+
+void
+raise(Diagnostic d, bool internal)
+{
+    if (d.provenance.empty())
+        d.provenance = currentPath();
+    if (internal)
+        throw InternalError(d.str());
+    throw Error(d.str());
+}
+
+} // namespace diag
+} // namespace graphene

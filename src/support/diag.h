@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Structured diagnostics and decomposition provenance.
+ *
+ * Every diagnostic carries a severity, a stable kebab-case code, a
+ * message, and — when known — the *decomposition provenance* of the IR
+ * construct it concerns: the chain of builder steps
+ * ("tc_gemm/main-loop/stage(%A)") that was open when the construct was
+ * created.  Provenance frames are pushed with RAII diag::Scope guards
+ * by the op builders; ir::Spec and ir::Stmt stamp the innermost open
+ * frame at construction, so any later pipeline stage (verifier, atomic
+ * matcher, codegen, simulator) can report *which decomposition step*
+ * produced the offending IR.
+ *
+ * Two delivery modes:
+ *  - throw mode (default): error-severity diagnostics raise
+ *    graphene::Error (or InternalError) whose what() is the formatted
+ *    diagnostic; warnings/notes are returned to the caller.
+ *  - collect mode: while a diag::Collector is alive on the thread,
+ *    report() appends every diagnostic to it instead of throwing —
+ *    used by the verifier and the `explain --lint` analysis to gather
+ *    all findings in one pass.
+ */
+
+#ifndef GRAPHENE_SUPPORT_DIAG_H
+#define GRAPHENE_SUPPORT_DIAG_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace graphene
+{
+namespace diag
+{
+
+enum class Severity
+{
+    Note,
+    Warning,
+    Error,
+};
+
+std::string severityName(Severity s);
+
+/**
+ * One immutable provenance frame; frames form a parent chain from the
+ * originating op builder down to the decomposition step.
+ */
+class Frame
+{
+  public:
+    Frame(std::string label, std::shared_ptr<const Frame> parent)
+        : label_(std::move(label)), parent_(std::move(parent))
+    {}
+
+    const std::string &label() const { return label_; }
+    const std::shared_ptr<const Frame> &parent() const { return parent_; }
+
+    /** Root-to-leaf path, e.g. "tc_gemm/main-loop/stage(%A)". */
+    std::string path() const;
+
+    /** The originating builder (root frame label). */
+    std::string root() const;
+
+  private:
+    std::string label_;
+    std::shared_ptr<const Frame> parent_;
+};
+
+using FramePtr = std::shared_ptr<const Frame>;
+
+/** Innermost provenance frame open on this thread (null if none). */
+FramePtr currentFrame();
+
+/** Path of the innermost open frame ("" if none). */
+std::string currentPath();
+
+/**
+ * RAII provenance scope: pushes a frame for the duration of a builder
+ * step.  Op builders open one per logical decomposition decision.
+ */
+class Scope
+{
+  public:
+    explicit Scope(std::string label);
+    ~Scope();
+
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+};
+
+/** One structured diagnostic. */
+struct Diagnostic
+{
+    Severity severity = Severity::Error;
+    /** Stable kebab-case code, e.g. "atomic-match", "sanitizer-trap". */
+    std::string code;
+    std::string message;
+    /** Decomposition provenance path ("" if unknown). */
+    std::string provenance;
+    /** Anchoring statement id (-1 if not tied to a statement). */
+    int64_t stmtId = -1;
+
+    /**
+     * Formatted text:
+     *   error[atomic-match]: no atomic spec matches ...
+     *     at decomposition step tc_gemm/main-loop/stage(%A)
+     */
+    std::string str() const;
+};
+
+/**
+ * Collect-mode sink.  While alive on a thread, report() appends to the
+ * innermost Collector instead of throwing/returning.  Nestable.
+ */
+class Collector
+{
+  public:
+    Collector();
+    ~Collector();
+
+    Collector(const Collector &) = delete;
+    Collector &operator=(const Collector &) = delete;
+
+    const std::vector<Diagnostic> &all() const { return collected_; }
+    std::vector<Diagnostic> take() { return std::move(collected_); }
+
+    /** True if any collected diagnostic has Error severity. */
+    bool hasErrors() const;
+
+  private:
+    friend bool report(Diagnostic d);
+    std::vector<Diagnostic> collected_;
+};
+
+/**
+ * Deliver a diagnostic.  In collect mode, appends to the innermost
+ * Collector and returns true.  In throw mode, Error severity raises
+ * graphene::Error with the formatted text; Warning/Note return false
+ * (the caller decides whether to print them).
+ */
+bool report(Diagnostic d);
+
+/**
+ * Raise a diagnostic unconditionally: throws graphene::Error (or
+ * graphene::InternalError when @p internal) with the formatted text.
+ * Used by fatal()/panic() and trap-mode sanitizer findings, where the
+ * caller cannot continue regardless of mode.
+ */
+[[noreturn]] void raise(Diagnostic d, bool internal = false);
+
+} // namespace diag
+} // namespace graphene
+
+#endif // GRAPHENE_SUPPORT_DIAG_H

@@ -1,0 +1,39 @@
+#include "support/run_metadata.h"
+
+#include <ctime>
+
+#include <unistd.h>
+
+#ifndef GRAPHENE_GIT_SHA
+#define GRAPHENE_GIT_SHA "unknown"
+#endif
+
+namespace graphene
+{
+
+json::Value
+runMetadata(int threads)
+{
+    json::Value meta = json::Value::object();
+    meta["git_sha"] = GRAPHENE_GIT_SHA;
+
+    char stamp[32] = "unknown";
+    const std::time_t now = std::time(nullptr);
+    std::tm utc{};
+    if (gmtime_r(&now, &utc))
+        std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ", &utc);
+    meta["timestamp"] = stamp;
+
+    char host[256];
+    if (gethostname(host, sizeof host) == 0) {
+        host[sizeof host - 1] = '\0';
+        meta["hostname"] = host;
+    } else {
+        meta["hostname"] = "unknown";
+    }
+
+    meta["threads"] = threads;
+    return meta;
+}
+
+} // namespace graphene

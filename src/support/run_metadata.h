@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Run metadata embedded in machine-readable reports: which build of the
+ * code produced a report, where, and when.  CI artifacts (BENCH_*.json)
+ * carry this so two reports can be compared knowing exactly what they
+ * measured (see tools/bench_diff).
+ */
+
+#ifndef GRAPHENE_SUPPORT_RUN_METADATA_H
+#define GRAPHENE_SUPPORT_RUN_METADATA_H
+
+#include "support/json.h"
+
+namespace graphene
+{
+
+/**
+ * Metadata object for the current process:
+ *   { "git_sha": "<short sha or unknown>",
+ *     "timestamp": "<ISO-8601 UTC>",
+ *     "hostname": "<gethostname() or unknown>",
+ *     "threads": <threads> }
+ * @p threads is the caller-resolved worker-thread count (simulator
+ * configuration), recorded so perf numbers are interpretable.
+ */
+json::Value runMetadata(int threads);
+
+} // namespace graphene
+
+#endif // GRAPHENE_SUPPORT_RUN_METADATA_H

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Tests for the explain pipeline inspector and the emitter line map.
+ *
+ * - Golden snapshots (text and graphene.explain.v1 JSON) of the
+ *   annotated decomposition tree for tc-gemm, layernorm, and the fused
+ *   FMHA kernel; regenerate with `explain_test --update-golden`.
+ * - The static lint pass: the swizzled Fig. 9 GEMM layout must come
+ *   back clean while the swizzle-ablation layout is flagged for shared
+ *   memory bank conflicts — from the layout algebra alone, no
+ *   simulation.
+ * - Line-map invariants: every emitted CUDA load/store line appears in
+ *   the sidecar line map with a valid statement id, and every mapped
+ *   line carries the matching [sN] annotation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "codegen/cuda_emitter.h"
+#include "inspect/inspect.h"
+#include "ops/fmha.h"
+#include "ops/layernorm.h"
+#include "ops/tc_gemm.h"
+#include "support/json.h"
+
+namespace
+{
+
+/** Set from argv in main: rewrite snapshots instead of comparing. */
+bool updateGolden = false;
+
+} // namespace
+
+namespace graphene
+{
+namespace
+{
+
+std::string
+goldenPath(const std::string &name)
+{
+    return std::string(GRAPHENE_GOLDEN_DIR) + "/" + name;
+}
+
+void
+checkGolden(const std::string &name, const std::string &actual)
+{
+    const std::string path = goldenPath(name);
+    if (updateGolden) {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << actual;
+        return;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing golden file " << path
+        << "; run explain_test --update-golden to create it";
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_EQ(buf.str(), actual)
+        << "explain output diverges from " << path
+        << "; if the change is intentional, rerun with --update-golden "
+        << "and review the snapshot diff";
+}
+
+Kernel
+fig9Gemm(const GpuArch &arch)
+{
+    ops::TcGemmConfig cfg; // Fig. 9 defaults: 128x128x64, bk=32
+    cfg.epilogue = ops::Epilogue::BiasRelu;
+    return ops::buildTcGemm(arch, cfg);
+}
+
+Kernel
+layernorm()
+{
+    ops::LayernormConfig cfg;
+    cfg.rows = 1024;
+    cfg.cols = 1024;
+    return ops::buildLayernormFused(GpuArch::ampere(), cfg);
+}
+
+/** JSON goldens also round-trip through the strict parser. */
+void
+checkJsonGolden(const std::string &name, const json::Value &doc)
+{
+    const std::string text = doc.dump(2);
+    const json::Value parsed = json::Value::parse(text);
+    EXPECT_EQ(parsed.at("schema").asString(), "graphene.explain.v1");
+    checkGolden(name, text);
+}
+
+TEST(ExplainGolden, TcGemmAmpereText)
+{
+    const Kernel k = fig9Gemm(GpuArch::ampere());
+    checkGolden("explain_tc_gemm_ampere.txt",
+                inspect::renderExplain(k, GpuArch::ampere()));
+}
+
+TEST(ExplainGolden, TcGemmAmpereJson)
+{
+    const Kernel k = fig9Gemm(GpuArch::ampere());
+    checkJsonGolden("explain_tc_gemm_ampere.json",
+                    inspect::explainToJson(k, GpuArch::ampere()));
+}
+
+TEST(ExplainGolden, LayernormText)
+{
+    checkGolden("explain_layernorm.txt",
+                inspect::renderExplain(layernorm(), GpuArch::ampere()));
+}
+
+TEST(ExplainGolden, LayernormJson)
+{
+    checkJsonGolden("explain_layernorm.json",
+                    inspect::explainToJson(layernorm(),
+                                           GpuArch::ampere()));
+}
+
+TEST(ExplainGolden, FusedFmhaText)
+{
+    ops::FmhaConfig cfg;
+    const Kernel k = ops::buildFusedFmha(GpuArch::ampere(), cfg);
+    checkGolden("explain_fmha.txt",
+                inspect::renderExplain(k, GpuArch::ampere()));
+}
+
+TEST(ExplainGolden, FusedFmhaJson)
+{
+    ops::FmhaConfig cfg;
+    const Kernel k = ops::buildFusedFmha(GpuArch::ampere(), cfg);
+    checkJsonGolden("explain_fmha.json",
+                    inspect::explainToJson(k, GpuArch::ampere()));
+}
+
+/** Count tree nodes whose provenance path starts with @p root. */
+int
+countProvenanced(const json::Value &nodes, const std::string &root)
+{
+    int n = 0;
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        const json::Value &node = nodes.at(i);
+        if (node.contains("provenance")
+            && node.at("provenance").asString().rfind(root, 0) == 0)
+            ++n;
+        if (node.contains("children"))
+            n += countProvenanced(node.at("children"), root);
+    }
+    return n;
+}
+
+TEST(ExplainJson, CarriesProvenanceAndLint)
+{
+    const Kernel k = fig9Gemm(GpuArch::ampere());
+    const json::Value doc =
+        inspect::explainToJson(k, GpuArch::ampere(), /*withLint=*/true);
+    ASSERT_TRUE(doc.contains("lint"));
+    // The decomposition tree carries provenance paths rooted at the
+    // op builder's scope.
+    EXPECT_GT(countProvenanced(doc.at("tree"), "tc-gemm"), 5);
+}
+
+TEST(Lint, SwizzledGemmIsClean)
+{
+    const Kernel k = fig9Gemm(GpuArch::ampere());
+    const auto findings = inspect::lintKernel(k, GpuArch::ampere());
+    for (const auto &d : findings)
+        EXPECT_NE(d.code, "smem-bank-conflict") << d.str();
+    EXPECT_TRUE(findings.empty());
+}
+
+TEST(Lint, SwizzleAblationFlagsBankConflicts)
+{
+    ops::TcGemmConfig cfg;
+    cfg.epilogue = ops::Epilogue::BiasRelu;
+    cfg.swizzle = false; // the paper's swizzle-ablation layout
+    const Kernel k = ops::buildTcGemm(GpuArch::ampere(), cfg);
+    const auto findings = inspect::lintKernel(k, GpuArch::ampere());
+    int conflicts = 0;
+    for (const auto &d : findings)
+        if (d.code == "smem-bank-conflict") {
+            ++conflicts;
+            // Each finding is anchored to a statement and names the
+            // decomposition step that produced the layout.
+            EXPECT_GE(d.stmtId, 0) << d.str();
+            EXPECT_FALSE(d.provenance.empty()) << d.str();
+        }
+    EXPECT_GT(conflicts, 0)
+        << "naive (unswizzled) smem layout should be flagged";
+}
+
+/**
+ * Every emitted CUDA line that performs a memory access (by mnemonic:
+ * ld/st.global, ld/st.shared, cp.async, ldmatrix) must appear in the
+ * sidecar line map with a statement id inside [0, stmtCount), and the
+ * mapped line must carry the matching [sN] annotation.
+ */
+void
+checkLineMap(const Kernel &k, const GpuArch &arch, bool expectEntries)
+{
+    const CudaEmission em = emitCudaWithLineMap(k, arch);
+    std::vector<std::string> lines;
+    {
+        std::istringstream ss(em.code);
+        std::string l;
+        while (std::getline(ss, l))
+            lines.push_back(l);
+    }
+
+    const std::regex memLine(
+        "(ld|st)\\.(global|shared)|cp\\.async|ldmatrix\\.");
+    std::vector<bool> mapped(lines.size() + 2, false);
+    for (const auto &e : em.lineMap) {
+        ASSERT_GE(e.line, 1);
+        ASSERT_LE(e.line, static_cast<int64_t>(lines.size()));
+        mapped[static_cast<size_t>(e.line)] = true;
+        // Valid statement id ...
+        EXPECT_GE(e.stmtId, 0);
+        EXPECT_LT(e.stmtId, em.stmtCount);
+        // ... the annotation on the line agrees with the map ...
+        const std::string &text = lines[static_cast<size_t>(e.line) - 1];
+        EXPECT_NE(text.find("[s" + std::to_string(e.stmtId) + "]"),
+                  std::string::npos)
+            << "line " << e.line << " lacks [s" << e.stmtId
+            << "]: " << text;
+        // ... and the map entry is well-formed.
+        EXPECT_FALSE(e.instruction.empty());
+        EXPECT_TRUE(e.access == "load" || e.access == "store")
+            << e.access;
+        EXPECT_TRUE(e.space == "global" || e.space == "shared")
+            << e.space;
+    }
+
+    for (size_t i = 0; i < lines.size(); ++i)
+        if (std::regex_search(lines[i], memLine))
+            EXPECT_TRUE(mapped[i + 1])
+                << "memory access on line " << (i + 1)
+                << " missing from line map: " << lines[i];
+
+    if (expectEntries)
+        EXPECT_FALSE(em.lineMap.empty());
+}
+
+TEST(LineMap, TcGemmAmpereCoversEveryMemoryLine)
+{
+    checkLineMap(fig9Gemm(GpuArch::ampere()), GpuArch::ampere(), true);
+}
+
+TEST(LineMap, TcGemmVoltaCoversEveryMemoryLine)
+{
+    checkLineMap(fig9Gemm(GpuArch::volta()), GpuArch::volta(), true);
+}
+
+TEST(LineMap, LayernormCoversEveryMemoryLine)
+{
+    checkLineMap(layernorm(), GpuArch::ampere(), true);
+}
+
+TEST(LineMap, FusedFmhaCoversEveryMemoryLine)
+{
+    ops::FmhaConfig cfg;
+    checkLineMap(ops::buildFusedFmha(GpuArch::ampere(), cfg),
+                 GpuArch::ampere(), true);
+}
+
+TEST(LineMap, SidecarJsonParsesWithSchema)
+{
+    const Kernel k = fig9Gemm(GpuArch::ampere());
+    const CudaEmission em = emitCudaWithLineMap(k, GpuArch::ampere());
+    const json::Value doc =
+        json::Value::parse(lineMapToJson(em, k, GpuArch::ampere())
+                               .dump(2));
+    EXPECT_EQ(doc.at("schema").asString(), "graphene.linemap.v1");
+    EXPECT_EQ(doc.at("lines").size(), em.lineMap.size());
+}
+
+} // namespace
+} // namespace graphene
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == "--update-golden")
+            updateGolden = true;
+    return RUN_ALL_TESTS();
+}

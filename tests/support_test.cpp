@@ -8,6 +8,7 @@
 
 #include "support/check.h"
 #include "support/rng.h"
+#include "support/run_metadata.h"
 #include "support/string_utils.h"
 
 namespace graphene
@@ -146,6 +147,23 @@ TEST(Rng, NormalRoughMoments)
     }
     EXPECT_NEAR(sum / n, 0.0, 0.05);
     EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RunMetadata, CarriesEnvironmentStamp)
+{
+    const json::Value m = runMetadata(4);
+    EXPECT_TRUE(m.at("git_sha").isString());
+    EXPECT_FALSE(m.at("git_sha").asString().empty());
+    // ISO-8601 UTC, e.g. "2026-08-06T12:34:56Z" (or "unknown").
+    const std::string &ts = m.at("timestamp").asString();
+    if (ts != "unknown") {
+        ASSERT_EQ(ts.size(), 20u) << ts;
+        EXPECT_EQ(ts[4], '-');
+        EXPECT_EQ(ts[10], 'T');
+        EXPECT_EQ(ts.back(), 'Z');
+    }
+    EXPECT_FALSE(m.at("hostname").asString().empty());
+    EXPECT_EQ(m.at("threads").asNumber(), 4);
 }
 
 } // namespace

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Compare two graphene.bench.v1 reports (BENCH_*.json) row by row and
+ * fail when the chosen per-row field regresses beyond a threshold.
+ *
+ * Rows are matched by (label, arch).  The default field is the
+ * simulated kernel time `sim_us`, where any drift between two runs of
+ * the same commit indicates nondeterminism in the simulator; CI also
+ * uses it to check that the plan engine and the interpreter fallback,
+ * or two --threads settings, agree bit-for-bit on the modeled time.
+ * `--field host_us` instead tracks the simulator's own wall clock
+ * (noisy — pair it with a generous threshold).
+ *
+ * Exit status: 0 all matched rows within threshold, 1 at least one
+ * regression (or a baseline row missing from the candidate), 2 usage
+ * or parse error.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/check.h"
+#include "support/json.h"
+
+using graphene::json::Value;
+
+namespace
+{
+
+void
+usage(FILE *out)
+{
+    std::fprintf(out,
+                 "usage: bench_diff <baseline.json> <candidate.json>"
+                 " [--field sim_us|host_us]\n"
+                 "                  [--threshold-pct <N>]\n"
+                 "\n"
+                 "Compares two graphene.bench.v1 reports row by row"
+                 " (matched on label+arch)\n"
+                 "and exits 1 when <field> grows by more than N%%"
+                 " (default: sim_us, 0.1%%).\n");
+}
+
+Value
+loadReport(const std::string &path)
+{
+    std::ifstream f(path);
+    if (!f)
+        throw graphene::Error("cannot open " + path);
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    Value doc = Value::parse(ss.str());
+    if (!doc.isObject() || !doc.contains("schema")
+        || doc.at("schema").asString() != "graphene.bench.v1")
+        throw graphene::Error(path + ": not a graphene.bench.v1 report");
+    return doc;
+}
+
+std::string
+metaSha(const Value &doc)
+{
+    if (doc.contains("meta") && doc.at("meta").contains("git_sha"))
+        return doc.at("meta").at("git_sha").asString();
+    return "unknown";
+}
+
+struct Row
+{
+    std::string label;
+    std::string arch;
+    double value = 0;
+};
+
+std::vector<Row>
+extractRows(const Value &doc, const std::string &field)
+{
+    std::vector<Row> rows;
+    const Value &arr = doc.at("rows");
+    for (size_t i = 0; i < arr.size(); ++i) {
+        const Value &r = arr.at(i);
+        if (!r.contains(field))
+            continue;
+        rows.push_back({r.at("label").asString(),
+                        r.at("arch").asString(),
+                        r.at(field).asNumber()});
+    }
+    return rows;
+}
+
+const Row *
+findRow(const std::vector<Row> &rows, const Row &key)
+{
+    for (const Row &r : rows)
+        if (r.label == key.label && r.arch == key.arch)
+            return &r;
+    return nullptr;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> paths;
+    std::string field = "sim_us";
+    double thresholdPct = 0.1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--help" || a == "-h") {
+            usage(stdout);
+            return 0;
+        } else if (a == "--field" && i + 1 < argc) {
+            field = argv[++i];
+        } else if (a == "--threshold-pct" && i + 1 < argc) {
+            thresholdPct = std::atof(argv[++i]);
+        } else if (!a.empty() && a[0] == '-') {
+            std::fprintf(stderr, "error: unknown option '%s'\n",
+                         a.c_str());
+            usage(stderr);
+            return 2;
+        } else {
+            paths.push_back(a);
+        }
+    }
+    if (paths.size() != 2) {
+        usage(stderr);
+        return 2;
+    }
+
+    Value base, cand;
+    try {
+        base = loadReport(paths[0]);
+        cand = loadReport(paths[1]);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    }
+
+    std::printf("baseline : %s (%s, commit %s)\n", paths[0].c_str(),
+                base.at("figure").asString().c_str(),
+                metaSha(base).c_str());
+    std::printf("candidate: %s (%s, commit %s)\n", paths[1].c_str(),
+                cand.at("figure").asString().c_str(),
+                metaSha(cand).c_str());
+    std::printf("field    : %s   threshold: +%.3f%%\n\n", field.c_str(),
+                thresholdPct);
+
+    const std::vector<Row> baseRows = extractRows(base, field);
+    const std::vector<Row> candRows = extractRows(cand, field);
+    if (baseRows.empty()) {
+        std::fprintf(stderr, "error: %s: no rows carry field '%s'\n",
+                     paths[0].c_str(), field.c_str());
+        return 2;
+    }
+
+    int regressions = 0;
+    std::printf("  %-42s %-7s %12s %12s %9s\n", "label", "arch",
+                "baseline", "candidate", "delta");
+    for (const Row &b : baseRows) {
+        const Row *c = findRow(candRows, b);
+        if (c == nullptr) {
+            std::printf("  %-42s %-7s %12.2f %12s %9s\n",
+                        b.label.c_str(), b.arch.c_str(), b.value,
+                        "missing", "FAIL");
+            ++regressions;
+            continue;
+        }
+        const double deltaPct =
+            b.value == 0 ? (c->value == 0 ? 0 : 100.0)
+                         : (c->value - b.value) / b.value * 100.0;
+        const bool bad = deltaPct > thresholdPct;
+        std::printf("  %-42s %-7s %12.2f %12.2f %+8.2f%%%s\n",
+                    b.label.c_str(), b.arch.c_str(), b.value, c->value,
+                    deltaPct, bad ? "  FAIL" : "");
+        if (bad)
+            ++regressions;
+    }
+
+    if (regressions > 0) {
+        std::printf("\n%d row(s) regressed beyond +%.3f%% on %s\n",
+                    regressions, thresholdPct, field.c_str());
+        return 1;
+    }
+    std::printf("\nall %zu row(s) within threshold\n", baseRows.size());
+    return 0;
+}

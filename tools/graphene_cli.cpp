@@ -26,6 +26,12 @@
  *       out-of-bounds, uninitialized shared memory) and print the
  *       report.  Exits non-zero if hazards were found.  Shapes default
  *       to small sanitize-friendly sizes unless overridden.
+ *   graphene-cli explain <kernel> [options] [--json [path]] [--lint]
+ *       Print the annotated decomposition tree: per-statement ids,
+ *       decomposition provenance, and the atomic instruction each leaf
+ *       spec lowers to.  --lint adds the static memory-access lint
+ *       (predicted bank conflicts / uncoalesced moves); --json writes
+ *       the graphene.explain.v1 document instead.
  *
  * Kernels: simple-gemm | gemm | mlp | lstm | fmha | layernorm |
  *          ldmatrix
@@ -45,6 +51,7 @@
 
 #include "baselines/engines.h"
 #include "codegen/cuda_emitter.h"
+#include "inspect/inspect.h"
 #include "ir/printer.h"
 #include "profile/profile.h"
 #include "profile/trace.h"
@@ -76,37 +83,68 @@ struct Options
     std::string epilogue = "none";
     bool swizzle = true;
     bool trap = false;
-    bool json = false;        // profile --json
+    bool json = false;        // profile/explain --json
     std::string jsonPath;     // empty = stdout
     std::string outPath;      // trace --out
     int64_t topN = 5;         // report --top
+    bool lint = false;        // explain --lint
+    std::string lineMapPath;  // emit-cuda --line-map
 };
 
-[[noreturn]] void
-usage()
+/** The verb table: one row per command, the single source for usage
+ *  text and command validation. */
+struct Verb
 {
+    const char *name;
+    bool needsKernel;
+    const char *operands;
+    const char *summary;
+};
+
+const Verb kVerbs[] = {
+    {"list-atomics", false, "",
+     "print the atomic-spec registry (Table 2)"},
+    {"print-ir", true, "", "print the Graphene IR"},
+    {"emit-cuda", true, "[--line-map <path>]",
+     "print the generated CUDA C++ (sidecar stmt line map)"},
+    {"profile", true, "[--json [path]]",
+     "timing simulation; --json writes the machine-readable profile"},
+    {"report", true, "[--top N]",
+     "per-spec cost tree, hot specs, verdict"},
+    {"trace", true, "--out <path>",
+     "Chrome-trace JSON of the profiled block"},
+    {"sanitize", true, "[--trap]",
+     "functional run with the hazard sanitizer"},
+    {"explain", true, "[--json [path]] [--lint]",
+     "annotated decomposition tree with provenance and atomics"},
+};
+
+const Verb *
+findVerb(const std::string &name)
+{
+    for (const Verb &v : kVerbs)
+        if (name == v.name)
+            return &v;
+    return nullptr;
+}
+
+void
+printUsage(std::FILE *to)
+{
+    std::fprintf(to, "usage: graphene-cli <command> [kernel] [options]\n"
+                     "commands:\n");
+    for (const Verb &v : kVerbs) {
+        std::string head = v.name;
+        if (v.needsKernel)
+            head += " <kernel>";
+        if (v.operands[0]) {
+            head += " ";
+            head += v.operands;
+        }
+        std::fprintf(to, "  %-30s %s\n", head.c_str(), v.summary);
+    }
     std::fprintf(
-        stderr,
-        "usage: graphene-cli <command> [kernel] [options]\n"
-        "commands:\n"
-        "  list-atomics                   print the atomic-spec "
-        "registry (Table 2)\n"
-        "  print-ir <kernel>              print the Graphene IR\n"
-        "  emit-cuda <kernel>             print the generated CUDA "
-        "C++\n"
-        "  profile <kernel> [--json [path]]\n"
-        "                                 timing simulation; --json "
-        "writes the\n"
-        "                                 machine-readable profile "
-        "(stdout if no path)\n"
-        "  report <kernel> [--top N]      per-spec cost tree, hot "
-        "specs, verdict\n"
-        "  trace <kernel> --out <path>    Chrome-trace JSON of the "
-        "profiled block\n"
-        "  sanitize <kernel> [--trap]     functional run with the "
-        "hazard sanitizer;\n"
-        "                                 --trap throws on the first "
-        "hazard\n"
+        to,
         "kernels: simple-gemm gemm mlp lstm fmha layernorm ldmatrix\n"
         "options: --arch volta|ampere  --m N --n N --k N  --layers N\n"
         "         --epilogue none|bias|relu|bias+relu|bias+gelu  "
@@ -118,7 +156,14 @@ usage()
         "         --no-plan    interpret the IR tree directly instead "
         "of the\n"
         "                      compiled execution plan (debugging "
-        "fallback)\n");
+        "fallback)\n"
+        "         --help       print this help and exit\n");
+}
+
+[[noreturn]] void
+usage()
+{
+    printUsage(stderr);
     std::exit(2);
 }
 
@@ -128,9 +173,22 @@ parse(int argc, char **argv)
     Options o;
     if (argc < 2)
         usage();
+    for (int j = 1; j < argc; ++j) {
+        const std::string a = argv[j];
+        if (a == "--help" || a == "-h" || a == "help") {
+            printUsage(stdout);
+            std::exit(0);
+        }
+    }
     o.command = argv[1];
+    const Verb *verb = findVerb(o.command);
+    if (!verb) {
+        std::fprintf(stderr, "error: unknown command '%s'\n\n",
+                     o.command.c_str());
+        usage();
+    }
     int i = 2;
-    if (o.command != "list-atomics") {
+    if (verb->needsKernel) {
         if (argc < 3)
             usage();
         o.kernel = argv[2];
@@ -168,6 +226,10 @@ parse(int argc, char **argv)
             sim::setDefaultUsePlan(false);
         } else if (a == "--trap") {
             o.trap = true;
+        } else if (a == "--lint") {
+            o.lint = true;
+        } else if (a == "--line-map") {
+            o.lineMapPath = next();
         } else if (a == "--json") {
             o.json = true;
             // Optional path operand: consume the next argument unless
@@ -344,7 +406,21 @@ main(int argc, char **argv)
         if (o.command == "print-ir") {
             std::printf("%s", printKernel(kernel).c_str());
         } else if (o.command == "emit-cuda") {
-            std::printf("%s", emitCuda(kernel, arch).c_str());
+            if (o.lineMapPath.empty()) {
+                std::printf("%s", emitCuda(kernel, arch).c_str());
+            } else {
+                const CudaEmission em = emitCudaWithLineMap(kernel, arch);
+                std::printf("%s", em.code.c_str());
+                std::ofstream f(o.lineMapPath);
+                if (!f) {
+                    std::fprintf(stderr, "error: cannot write %s\n",
+                                 o.lineMapPath.c_str());
+                    return 1;
+                }
+                f << lineMapToJson(em, kernel, arch).dump(2);
+                std::fprintf(stderr, "line map: wrote %s (%zu entries)\n",
+                             o.lineMapPath.c_str(), em.lineMap.size());
+            }
         } else if (o.command == "profile") {
             auto prof = dev.launch(kernel, LaunchMode::Timing);
             std::printf("kernel   %s on %s\n", kernel.name().c_str(),
@@ -420,6 +496,47 @@ main(int argc, char **argv)
                         (long long)kernel.sharedMemoryBytes());
             std::printf("%s\n", prof.sanitizer.str().c_str());
             return prof.sanitizer.clean() ? 0 : 1;
+        } else if (o.command == "explain") {
+            std::vector<diag::Diagnostic> findings;
+            if (o.lint)
+                findings = inspect::lintKernel(kernel, arch);
+            if (o.json) {
+                const std::string doc =
+                    inspect::explainToJson(kernel, arch, o.lint)
+                        .dump(2);
+                if (o.jsonPath.empty()) {
+                    std::printf("%s\n", doc.c_str());
+                } else {
+                    std::ofstream f(o.jsonPath);
+                    if (!f) {
+                        std::fprintf(stderr, "error: cannot write %s\n",
+                                     o.jsonPath.c_str());
+                        return 1;
+                    }
+                    f << doc;
+                    std::printf("json     wrote %s\n",
+                                o.jsonPath.c_str());
+                }
+            } else {
+                std::printf("%s",
+                            inspect::renderExplain(kernel, arch)
+                                .c_str());
+                if (o.lint) {
+                    if (findings.empty()) {
+                        std::printf("\nlint: clean\n");
+                    } else {
+                        std::printf("\nlint: %zu finding(s)\n",
+                                    findings.size());
+                        for (const auto &d : findings)
+                            std::printf("%s\n", d.str().c_str());
+                    }
+                }
+            }
+            // Warnings are informational; only hard errors (an
+            // unmatched atomic) fail the invocation.
+            for (const auto &d : findings)
+                if (d.severity == diag::Severity::Error)
+                    return 1;
         } else {
             usage();
         }
