@@ -25,6 +25,7 @@
 #include "sim/sim_config.h"
 #include "support/json.h"
 #include "support/run_metadata.h"
+#include "tune/cache.h"
 
 namespace graphene
 {
@@ -63,9 +64,12 @@ archByName(const std::string &name)
  * Enabled by `--json <path>` on the bench command line.
  *
  * Construct BEFORE benchmark::Initialize: google-benchmark rejects
- * flags it does not know, so the constructor strips `--json <path>`
- * plus the simulator flags `--threads <N>` and `--no-plan` (which are
- * applied process-wide via sim::setDefaultThreads/setDefaultUsePlan).
+ * flags it does not know, so the constructor strips `--json <path>`,
+ * the simulator flags `--threads <N>` and `--no-plan` (which are
+ * applied process-wide via sim::setDefaultThreads/setDefaultUsePlan),
+ * and `--tuned <cache>` (a graphene.tune.v1 cache; benches that
+ * support it add tuned rows next to the default-config rows, flagged
+ * with `"tuned": true` so tools/bench_diff can pair or skip them).
  */
 class JsonReport
 {
@@ -89,6 +93,10 @@ class JsonReport
             } else if (std::strcmp(argv[i], "--no-plan") == 0) {
                 sim::setDefaultUsePlan(false);
                 strip(i, 1);
+            } else if (std::strcmp(argv[i], "--tuned") == 0
+                       && i + 1 < *argc) {
+                tunedPath_ = argv[i + 1];
+                strip(i, 2);
             } else {
                 ++i;
             }
@@ -107,10 +115,28 @@ class JsonReport
 
     bool enabled() const { return !path_.empty(); }
 
+    /** Path of the `--tuned` cache, or empty when none was given. */
+    const std::string &tunedPath() const { return tunedPath_; }
+
+    /**
+     * The `--tuned` cache, loaded lazily on first use.  Benches pass
+     * it to tune::applyTuned to patch a config before re-timing; the
+     * resulting row should be added with tuned=true.
+     */
+    const tune::TuningCache &
+    tunedCache()
+    {
+        if (!tunedLoaded_) {
+            tunedCache_ = tune::TuningCache::load(tunedPath_);
+            tunedLoaded_ = true;
+        }
+        return tunedCache_;
+    }
+
     /** Row backed by one simulated kernel launch. */
     void
     addRow(const std::string &label, const std::string &arch,
-           const sim::KernelTiming &t)
+           const sim::KernelTiming &t, bool tuned = false)
     {
         json::Value row = rowCommon(label, arch, t.timeUs);
         row["bound_by"] = t.boundBy;
@@ -120,6 +146,8 @@ class JsonReport
         pipes["dram"] = t.dramPct;
         pipes["smem"] = t.smemPct;
         row["pipes_pct"] = std::move(pipes);
+        if (tuned)
+            row["tuned"] = true;
         doc_["rows"].push(std::move(row));
     }
 
@@ -127,10 +155,12 @@ class JsonReport
      *  pipe, so bound_by is null and pipe percentages are omitted. */
     void
     addRow(const std::string &label, const std::string &arch,
-           double timeUs)
+           double timeUs, bool tuned = false)
     {
         json::Value row = rowCommon(label, arch, timeUs);
         row["bound_by"] = json::Value();
+        if (tuned)
+            row["tuned"] = true;
         doc_["rows"].push(std::move(row));
     }
 
@@ -174,6 +204,9 @@ class JsonReport
 
     std::string figure_;
     std::string path_;
+    std::string tunedPath_;
+    tune::TuningCache tunedCache_;
+    bool tunedLoaded_ = false;
     json::Value doc_ = json::Value::object();
     std::chrono::steady_clock::time_point lastRowTime_;
 };

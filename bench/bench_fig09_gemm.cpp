@@ -120,6 +120,30 @@ main(int argc, char **argv)
         printRow("Graphene", gph.timing.timeUs, extra);
         json.addRow("cublas-like", archName, lib.timing);
         json.addRow("graphene", archName, gph.timing);
+
+        // --tuned <cache>: replay the autotuner's best-found config
+        // next to the default row.  Skipped (with a note) when the
+        // cache has no entry for this arch + problem shape.
+        if (!json.tunedPath().empty()) {
+            ops::TcGemmConfig tcfg = cfg;
+            if (tune::applyTuned(json.tunedCache(), *c.arch, tcfg)) {
+                auto tuned = dev.launch(ops::buildTcGemm(*c.arch, tcfg),
+                                        LaunchMode::Timing);
+                std::snprintf(extra, sizeof extra,
+                              "compute %.0f%%  memory %.0f%%  "
+                              "speedup %.2fx",
+                              tuned.timing.tensorPipePct,
+                              tuned.timing.dramPct,
+                              lib.timing.timeUs / tuned.timing.timeUs);
+                printRow("Graphene (tuned)", tuned.timing.timeUs, extra);
+                json.addRow("graphene-tuned", archName, tuned.timing,
+                            /*tuned=*/true);
+            } else {
+                std::printf("  (no %s tc-gemm entry in %s for this "
+                            "shape)\n",
+                            archName.c_str(), json.tunedPath().c_str());
+            }
+        }
     }
 
     // Functional end-to-end: every block of a real (non-virtual) GEMM

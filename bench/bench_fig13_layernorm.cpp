@@ -124,6 +124,24 @@ main(int argc, char **argv)
             for (int impl = 0; impl < 4; ++impl)
                 json.addRow(impls[impl] + suffix, archName, t[impl]);
             json.addRow("graphene" + suffix, archName, gph.timing);
+
+            // --tuned <cache>: replay the autotuner's best-found
+            // layernorm config for matching (rows, hidden) shapes.
+            if (!json.tunedPath().empty()) {
+                ops::LayernormConfig cfg;
+                cfg.rows = rows;
+                cfg.cols = kHidden;
+                cfg.vectorized = true;
+                if (tune::applyTuned(json.tunedCache(), arch, cfg)) {
+                    const auto tuned = dev->launch(
+                        ops::buildLayernormFused(arch, cfg),
+                        LaunchMode::Timing);
+                    std::printf("    %8s %9s   tuned: %9.1fus\n", "", "",
+                                tuned.timing.timeUs);
+                    json.addRow("graphene-tuned" + suffix, archName,
+                                tuned.timing, /*tuned=*/true);
+                }
+            }
         }
     }
     json.write();

@@ -334,5 +334,41 @@ buildFusedFmha(const GpuArch &arch, const FmhaConfig &cfg)
     return kernel;
 }
 
+bool
+fmhaConfigValid(const GpuArch &arch, const FmhaConfig &cfg)
+{
+    (void)arch;
+    if (cfg.batch <= 0 || cfg.heads <= 0)
+        return false;
+    // The generator is specialized: 64x128 tiles, and the P*V
+    // sub-GEMM's block size only matches for a 64-wide head.
+    if (cfg.qTile != 64 || cfg.kTile != 128 || cfg.headDim != 64)
+        return false;
+    if (cfg.seq <= 0 || cfg.seq % cfg.kTile != 0
+        || cfg.seq % cfg.qTile != 0)
+        return false;
+    return true;
+}
+
+std::vector<FmhaConfig>
+fmhaTuneSpace(const GpuArch &arch, const FmhaConfig &seed)
+{
+    std::vector<FmhaConfig> out;
+    out.push_back(seed);
+    for (int sw = 1; sw >= 0; --sw)
+        for (int hand = 0; hand <= 1; ++hand) {
+            FmhaConfig c = seed;
+            c.swizzle = sw != 0;
+            c.handwrittenLayouts = hand != 0;
+            if (!fmhaConfigValid(arch, c))
+                continue;
+            if (c.swizzle == seed.swizzle
+                && c.handwrittenLayouts == seed.handwrittenLayouts)
+                continue;
+            out.push_back(c);
+        }
+    return out;
+}
+
 } // namespace ops
 } // namespace graphene

@@ -53,6 +53,20 @@ struct FmhaConfig
 
 Kernel buildFusedFmha(const GpuArch &arch, const FmhaConfig &cfg);
 
+/**
+ * True if @p cfg satisfies every constraint buildFusedFmha enforces
+ * (tile sizes, sequence/head-dim granularity).
+ */
+bool fmhaConfigValid(const GpuArch &arch, const FmhaConfig &cfg);
+
+/**
+ * The tunable space around @p seed: shared-memory swizzle and the
+ * single- vs two-stage staging-layout choice (the handwritten-kernel
+ * ablation), filtered by fmhaConfigValid; the seed is candidates[0].
+ */
+std::vector<FmhaConfig> fmhaTuneSpace(const GpuArch &arch,
+                                      const FmhaConfig &seed);
+
 } // namespace ops
 } // namespace graphene
 

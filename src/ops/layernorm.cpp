@@ -302,5 +302,30 @@ buildLayernormApply(const GpuArch &arch, const LayernormConfig &cfg)
     return kernel;
 }
 
+bool
+layernormConfigValid(const GpuArch &arch, const LayernormConfig &cfg)
+{
+    (void)arch;
+    if (cfg.rows <= 0 || cfg.cols <= 0)
+        return false;
+    if (cfg.cols % kBlockSize != 0)
+        return false;
+    if (cfg.vectorized && (cfg.cols / kBlockSize) % 8 != 0)
+        return false;
+    return true;
+}
+
+std::vector<LayernormConfig>
+layernormTuneSpace(const GpuArch &arch, const LayernormConfig &seed)
+{
+    std::vector<LayernormConfig> out;
+    out.push_back(seed);
+    LayernormConfig flipped = seed;
+    flipped.vectorized = !seed.vectorized;
+    if (layernormConfigValid(arch, flipped))
+        out.push_back(flipped);
+    return out;
+}
+
 } // namespace ops
 } // namespace graphene

@@ -53,6 +53,21 @@ Kernel buildLayernormStats(const GpuArch &arch,
 Kernel buildLayernormApply(const GpuArch &arch,
                            const LayernormConfig &cfg);
 
+/**
+ * True if @p cfg satisfies the fused-kernel constraints: cols divides
+ * the 128-thread block, and vectorized loads need 8-wide per-thread
+ * row slices (cols % 1024 == 0).
+ */
+bool layernormConfigValid(const GpuArch &arch,
+                          const LayernormConfig &cfg);
+
+/**
+ * The tunable space around @p seed (vectorized vs scalar loads),
+ * filtered by layernormConfigValid; the seed is always candidates[0].
+ */
+std::vector<LayernormConfig>
+layernormTuneSpace(const GpuArch &arch, const LayernormConfig &seed);
+
 } // namespace ops
 } // namespace graphene
 

@@ -188,5 +188,45 @@ buildFusedMlp(const GpuArch &arch, const FusedMlpConfig &cfg)
     return kernel;
 }
 
+bool
+mlpConfigValid(const GpuArch &arch, const FusedMlpConfig &cfg)
+{
+    (void)arch;
+    const int64_t w = cfg.width;
+    const int64_t mt = cfg.mTile;
+    if (w <= 0 || mt <= 0 || cfg.m <= 0 || cfg.layers < 1)
+        return false;
+    if (w % 16 != 0 || w > 128)
+        return false;
+    if (cfg.m % mt != 0 || mt % 32 != 0)
+        return false;
+    // The derived block size must evenly cover the 8-wide staging and
+    // output-store chunks of one mt x w activation tile.
+    const int64_t wn = w >= 64 ? 64 : w;
+    const int64_t blockSize = (mt / 32) * (w / wn) * 32;
+    if (blockSize > 1024 || (mt * w / 8) % blockSize != 0)
+        return false;
+    return true;
+}
+
+std::vector<FusedMlpConfig>
+mlpTuneSpace(const GpuArch &arch, const FusedMlpConfig &seed)
+{
+    std::vector<FusedMlpConfig> out;
+    out.push_back(seed);
+    for (int64_t mt : {32, 64, 128, 256})
+        for (int sw = 1; sw >= 0; --sw) {
+            FusedMlpConfig c = seed;
+            c.mTile = mt;
+            c.swizzle = sw != 0;
+            if (!mlpConfigValid(arch, c))
+                continue;
+            if (c.mTile == seed.mTile && c.swizzle == seed.swizzle)
+                continue;
+            out.push_back(c);
+        }
+    return out;
+}
+
 } // namespace ops
 } // namespace graphene

@@ -35,6 +35,21 @@ struct FusedMlpConfig
 
 Kernel buildFusedMlp(const GpuArch &arch, const FusedMlpConfig &cfg);
 
+/**
+ * True if @p cfg satisfies every constraint buildFusedMlp enforces:
+ * width granularity, batch divisible by the M tile, warp-tile and
+ * store-chunk divisibility of the derived block size.
+ */
+bool mlpConfigValid(const GpuArch &arch, const FusedMlpConfig &cfg);
+
+/**
+ * The tunable space around @p seed: M tile (rows per block) and
+ * shared-memory swizzle, filtered by mlpConfigValid; the seed is
+ * always candidates[0].
+ */
+std::vector<FusedMlpConfig> mlpTuneSpace(const GpuArch &arch,
+                                         const FusedMlpConfig &seed);
+
 } // namespace ops
 } // namespace graphene
 

@@ -22,6 +22,86 @@ epilogueName(Epilogue e)
     return "?";
 }
 
+bool
+tcGemmConfigValid(const GpuArch &arch, const TcGemmConfig &cfg)
+{
+    const int64_t kStep = arch.hasLdmatrix ? 16 : 8;
+    if (cfg.bm <= 0 || cfg.bn <= 0 || cfg.bk <= 0 || cfg.wm <= 0
+        || cfg.wn <= 0)
+        return false;
+    // N and K must divide the block tile (M tolerates partial tiles).
+    if (cfg.n % cfg.bn != 0 || cfg.k % cfg.bk != 0)
+        return false;
+    if (cfg.bm % cfg.wm != 0 || cfg.bn % cfg.wn != 0)
+        return false;
+    // Warp-tile granularity (BlockGemm): mma.m16n8k16 fragments on
+    // Ampere, quad-pair m8n8k4 on Volta.
+    if (arch.hasLdmatrix) {
+        if (cfg.wm % 16 != 0 || cfg.wn % 16 != 0)
+            return false;
+    } else {
+        if (cfg.wm % 32 != 0 || cfg.wn % 8 != 0)
+            return false;
+        if (cfg.disableLdmatrix)
+            return false; // the ablation knob is Ampere-only
+    }
+    if (cfg.bk % kStep != 0)
+        return false;
+    // Launch limits: staged A and B tiles in shared memory, CUDA's
+    // 1024-thread block ceiling, and the SM occupancy bounds.
+    const int64_t smemBytes = (cfg.bm * cfg.bk + cfg.bk * cfg.bn) * 2;
+    if (smemBytes > arch.maxSharedMemPerBlockBytes)
+        return false;
+    const int64_t blockSize =
+        (cfg.bm / cfg.wm) * (cfg.bn / cfg.wn) * 32;
+    if (blockSize > 1024 || blockSize > arch.maxThreadsPerSm)
+        return false;
+    // The staging copy distributes each tile as 8-element chunks over
+    // the whole block (see stageTileToShared), so both the A (bm x bk)
+    // and B (bk x bn) tiles must split evenly.
+    if ((cfg.bm * cfg.bk / 8) % blockSize != 0
+        || (cfg.bk * cfg.bn / 8) % blockSize != 0)
+        return false;
+    return true;
+}
+
+std::vector<TcGemmConfig>
+tcGemmTuneSpace(const GpuArch &arch, const TcGemmConfig &seed)
+{
+    auto sameKnobs = [](const TcGemmConfig &a, const TcGemmConfig &b) {
+        return a.bm == b.bm && a.bn == b.bn && a.bk == b.bk
+            && a.wm == b.wm && a.wn == b.wn && a.swizzle == b.swizzle
+            && a.disableLdmatrix == b.disableLdmatrix;
+    };
+    std::vector<TcGemmConfig> out;
+    out.push_back(seed); // the seed survives even if it is invalid
+    const bool ldmatrixKnob = arch.hasLdmatrix;
+    for (int64_t bm : {64, 128, 256})
+        for (int64_t bn : {64, 128, 256})
+            for (int64_t bk : {16, 32, 64})
+                for (int64_t wm : {32, 64})
+                    for (int64_t wn : {32, 64})
+                        for (int sw = 1; sw >= 0; --sw)
+                            for (int noLdm = 0;
+                                 noLdm <= (ldmatrixKnob ? 1 : 0);
+                                 ++noLdm) {
+                                TcGemmConfig c = seed;
+                                c.bm = bm;
+                                c.bn = bn;
+                                c.bk = bk;
+                                c.wm = wm;
+                                c.wn = wn;
+                                c.swizzle = sw != 0;
+                                c.disableLdmatrix = noLdm != 0;
+                                if (!tcGemmConfigValid(arch, c))
+                                    continue;
+                                if (sameKnobs(c, seed))
+                                    continue;
+                                out.push_back(c);
+                            }
+    return out;
+}
+
 Kernel
 buildTcGemm(const GpuArch &arch, const TcGemmConfig &cfg)
 {

@@ -78,6 +78,22 @@ struct TcGemmConfig
 /** Build the kernel for @p arch; checks divisibility constraints. */
 Kernel buildTcGemm(const GpuArch &arch, const TcGemmConfig &config);
 
+/**
+ * True if @p config satisfies every constraint buildTcGemm enforces on
+ * @p arch (tile divisibility, warp-tile granularity, shared-memory and
+ * block-size limits) — the candidate filter of the tuning space.
+ */
+bool tcGemmConfigValid(const GpuArch &arch, const TcGemmConfig &config);
+
+/**
+ * The tunable configuration space around @p seed: every combination of
+ * block tile (bm/bn/bk), warp tile (wm/wn), swizzle, and ldmatrix
+ * usage that tcGemmConfigValid accepts for the seed's problem shape.
+ * The seed itself is always candidates[0]; all entries are unique.
+ */
+std::vector<TcGemmConfig> tcGemmTuneSpace(const GpuArch &arch,
+                                          const TcGemmConfig &seed);
+
 } // namespace ops
 } // namespace graphene
 

@@ -1,0 +1,54 @@
+#include "support/fs.h"
+
+#include <filesystem>
+#include <sstream>
+#include <system_error>
+
+#include "support/diag.h"
+
+namespace graphene
+{
+
+std::ofstream
+openOutputFile(const std::string &path)
+{
+    namespace fs = std::filesystem;
+    const fs::path p(path);
+    const fs::path parent = p.parent_path();
+    std::string detail;
+    if (!parent.empty()) {
+        std::error_code ec;
+        fs::create_directories(parent, ec);
+        if (ec)
+            detail = " (cannot create directory " + parent.string()
+                + ": " + ec.message() + ")";
+    }
+    std::ofstream f(path);
+    if (!f) {
+        diag::Diagnostic d;
+        d.severity = diag::Severity::Error;
+        d.code = "output-path";
+        d.message = "cannot open '" + path + "' for writing" + detail;
+        diag::report(std::move(d));
+    }
+    return f;
+}
+
+std::string
+readFileOrThrow(const std::string &path)
+{
+    std::ifstream f(path);
+    if (!f) {
+        diag::Diagnostic d;
+        d.severity = diag::Severity::Error;
+        d.code = "input-path";
+        d.message = "cannot open '" + path + "' for reading";
+        diag::report(std::move(d));
+        return std::string();
+    }
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return ss.str();
+}
+
+} // namespace graphene

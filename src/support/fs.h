@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Filesystem helpers for tools that write report files.
+ *
+ * Every CLI verb that takes an output path (`trace --out`,
+ * `emit-cuda --line-map`, `tune --out`, `--json <path>`, ...) routes
+ * through openOutputFile so a missing parent directory is created
+ * instead of surfacing as a raw stream-open failure, and a genuinely
+ * unwritable path fails with a structured diag::Diagnostic naming the
+ * path.
+ */
+
+#ifndef GRAPHENE_SUPPORT_FS_H
+#define GRAPHENE_SUPPORT_FS_H
+
+#include <fstream>
+#include <string>
+
+namespace graphene
+{
+
+/**
+ * Open @p path for writing, creating missing parent directories
+ * first.  On failure raises a diag::Diagnostic (code "output-path",
+ * Error severity) whose message names the offending path — delivered
+ * through diag::report, so it throws graphene::Error in throw mode
+ * and lands in the innermost Collector in collect mode (in which case
+ * the returned stream's fail state must be checked).
+ */
+std::ofstream openOutputFile(const std::string &path);
+
+/** Read a whole file into a string; raises diag code "input-path"
+ *  naming the path when it cannot be opened. */
+std::string readFileOrThrow(const std::string &path);
+
+} // namespace graphene
+
+#endif // GRAPHENE_SUPPORT_FS_H

@@ -1,0 +1,192 @@
+#include "tune/cache.h"
+
+#include <fstream>
+
+#include "support/diag.h"
+#include "support/fs.h"
+
+#ifndef GRAPHENE_GIT_SHA
+#define GRAPHENE_GIT_SHA "unknown"
+#endif
+
+namespace graphene
+{
+namespace tune
+{
+
+namespace
+{
+
+json::Value
+resultToJson(const CandidateResult &r)
+{
+    json::Value v = json::Value::object();
+    v["params"] = paramsToJson(r.params);
+    v["sim_us"] = r.simUs;
+    v["bound_by"] = r.boundBy;
+    v["stage"] = r.stage;
+    v["lint_clean"] = r.lintClean;
+    return v;
+}
+
+} // namespace
+
+TuningCache
+TuningCache::fromJson(const json::Value &doc)
+{
+    if (!doc.isObject() || !doc.contains("schema")
+        || doc.at("schema").asString() != kSchema) {
+        diag::Diagnostic d;
+        d.code = "tune-cache-schema";
+        d.message = std::string("not a ") + kSchema + " document";
+        diag::report(std::move(d));
+        return TuningCache();
+    }
+    TuningCache cache;
+    const json::Value &entries = doc.at("entries");
+    for (size_t i = 0; i < entries.size(); ++i)
+        cache.entries_.push_back(entries.at(i));
+    return cache;
+}
+
+TuningCache
+TuningCache::load(const std::string &path)
+{
+    std::ifstream f(path);
+    if (!f)
+        return TuningCache();
+    std::string text((std::istreambuf_iterator<char>(f)),
+                     std::istreambuf_iterator<char>());
+    return fromJson(json::Value::parse(text));
+}
+
+json::Value
+TuningCache::toJson() const
+{
+    json::Value doc = json::Value::object();
+    doc["schema"] = kSchema;
+    // Deliberately only the (build-stable) git SHA: no timestamp,
+    // hostname, or thread count, so cache bytes are reproducible.
+    doc["git_sha"] = GRAPHENE_GIT_SHA;
+    doc["entries"] = json::Value::array();
+    for (const json::Value &e : entries_)
+        doc["entries"].push(e);
+    return doc;
+}
+
+void
+TuningCache::save(const std::string &path) const
+{
+    std::ofstream f = openOutputFile(path);
+    f << toJson().dump(2);
+    f << "\n";
+}
+
+void
+TuningCache::put(const TuneResult &result)
+{
+    json::Value e = json::Value::object();
+    e["op"] = result.op;
+    e["arch"] = result.archName;
+    e["shape"] = result.shape;
+    e["space_hash"] = result.spaceHash;
+    e["space_size"] = result.spaceSize;
+    e["lint_rejected"] = result.lintRejected;
+    e["invalid"] = result.invalid;
+    e["evaluated"] = result.evaluated;
+    e["budget"] = result.budget;
+    e["seed"] = static_cast<int64_t>(result.seed);
+    e["default"] = resultToJson(result.defaultResult);
+    e["best"] = resultToJson(result.best);
+    e["speedup"] = result.best.simUs > 0 && result.defaultResult.simUs > 0
+        ? result.defaultResult.simUs / result.best.simUs
+        : 0.0;
+    for (json::Value &old : entries_) {
+        if (old.at("op").asString() == result.op
+            && old.at("arch").asString() == result.archName
+            && old.at("shape").dump() == result.shape.dump()) {
+            old = std::move(e);
+            return;
+        }
+    }
+    entries_.push_back(std::move(e));
+}
+
+const json::Value *
+TuningCache::find(const std::string &op, const std::string &archName,
+                  const json::Value &shape,
+                  const std::string &spaceHash) const
+{
+    const std::string shapeKey = shape.dump();
+    for (const json::Value &e : entries_) {
+        if (e.at("op").asString() != op
+            || e.at("arch").asString() != archName
+            || e.at("shape").dump() != shapeKey)
+            continue;
+        if (!spaceHash.empty()
+            && e.at("space_hash").asString() != spaceHash)
+            return nullptr; // stale: the space definition changed
+        return &e;
+    }
+    return nullptr;
+}
+
+ParamMap
+TuningCache::bestParams(const std::string &op,
+                        const std::string &archName,
+                        const json::Value &shape) const
+{
+    const json::Value *e = find(op, archName, shape);
+    if (e == nullptr)
+        return ParamMap();
+    return paramsFromJson(e->at("best").at("params"));
+}
+
+namespace
+{
+
+template <typename Config>
+bool
+applyTunedImpl(const TuningCache &cache, const GpuArch &arch,
+               const std::string &op, Config &cfg)
+{
+    const ParamMap params =
+        cache.bestParams(op, arch.name, shapeOf(cfg));
+    if (params.empty())
+        return false;
+    applyParams(params, cfg);
+    return true;
+}
+
+} // namespace
+
+bool
+applyTuned(const TuningCache &cache, const GpuArch &arch,
+           ops::TcGemmConfig &cfg)
+{
+    return applyTunedImpl(cache, arch, "tc-gemm", cfg);
+}
+
+bool
+applyTuned(const TuningCache &cache, const GpuArch &arch,
+           ops::LayernormConfig &cfg)
+{
+    return applyTunedImpl(cache, arch, "layernorm", cfg);
+}
+
+bool
+applyTuned(const TuningCache &cache, const GpuArch &arch,
+           ops::FusedMlpConfig &cfg)
+{
+    return applyTunedImpl(cache, arch, "mlp", cfg);
+}
+
+bool
+applyTuned(const TuningCache &cache, const GpuArch &arch,
+           ops::FmhaConfig &cfg)
+{
+    return applyTunedImpl(cache, arch, "fmha", cfg);
+}
+
+} // namespace tune
+} // namespace graphene

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The persistent tuning cache (schema "graphene.tune.v1"): best-found
+ * configs per (op, problem shape, architecture, space hash), written
+ * by `graphene-cli tune` and consumed by `bench`/`profile`/`explain`
+ * via `--tuned <cache>`.
+ *
+ * The serialized document is DETERMINISTIC: it carries no timestamp,
+ * hostname, or thread count, so two tune runs of the same build with
+ * the same seed produce byte-identical caches regardless of the
+ * worker-thread count — which CI exploits to gate on reproducibility.
+ */
+
+#ifndef GRAPHENE_TUNE_CACHE_H
+#define GRAPHENE_TUNE_CACHE_H
+
+#include <string>
+
+#include "tune/tuner.h"
+
+namespace graphene
+{
+namespace tune
+{
+
+class TuningCache
+{
+  public:
+    static constexpr const char *kSchema = "graphene.tune.v1";
+
+    TuningCache() = default;
+
+    /** Parse a cache document; raises diag "tune-cache-schema" when
+     *  the schema tag is missing or wrong. */
+    static TuningCache fromJson(const json::Value &doc);
+
+    /** Load from @p path; a missing file yields an empty cache. */
+    static TuningCache load(const std::string &path);
+
+    /** Deterministic document (see file comment). */
+    json::Value toJson() const;
+
+    /** Write to @p path, creating parent directories. */
+    void save(const std::string &path) const;
+
+    /** Insert @p result, replacing any entry with the same
+     *  (op, arch, shape) key. */
+    void put(const TuneResult &result);
+
+    /**
+     * Entry for (op, arch, shape), or nullptr.  When the entry's
+     * space_hash differs from @p spaceHash (and @p spaceHash is
+     * non-empty) the entry is stale and nullptr is returned.
+     */
+    const json::Value *find(const std::string &op,
+                            const std::string &archName,
+                            const json::Value &shape,
+                            const std::string &spaceHash = "") const;
+
+    /** Best-found params of the matching entry, or an empty map. */
+    ParamMap bestParams(const std::string &op,
+                        const std::string &archName,
+                        const json::Value &shape) const;
+
+    size_t size() const { return entries_.size(); }
+
+  private:
+    std::vector<json::Value> entries_;
+};
+
+/**
+ * Convenience for `--tuned` consumers: look up the cache entry
+ * matching @p cfg's op/shape on @p arch and overwrite its tunable
+ * knobs with the best-found params.  Returns true when an entry was
+ * found and applied.
+ */
+bool applyTuned(const TuningCache &cache, const GpuArch &arch,
+                ops::TcGemmConfig &cfg);
+bool applyTuned(const TuningCache &cache, const GpuArch &arch,
+                ops::LayernormConfig &cfg);
+bool applyTuned(const TuningCache &cache, const GpuArch &arch,
+                ops::FusedMlpConfig &cfg);
+bool applyTuned(const TuningCache &cache, const GpuArch &arch,
+                ops::FmhaConfig &cfg);
+
+} // namespace tune
+} // namespace graphene
+
+#endif // GRAPHENE_TUNE_CACHE_H

@@ -1,0 +1,379 @@
+#include "tune/space.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "baselines/engines.h"
+#include "support/check.h"
+#include "support/diag.h"
+
+namespace graphene
+{
+namespace tune
+{
+
+namespace
+{
+
+std::string
+boolName(bool b)
+{
+    return b ? "on" : "off";
+}
+
+std::string
+intName(int64_t v)
+{
+    return std::to_string(v);
+}
+
+void
+vallocFp16(Device &dev, const std::string &name, int64_t count)
+{
+    dev.allocateVirtual(name, ScalarType::Fp16, count);
+}
+
+ParamMap
+tcGemmParams(const ops::TcGemmConfig &c)
+{
+    return {{"bm", intName(c.bm)},       {"bn", intName(c.bn)},
+            {"bk", intName(c.bk)},       {"wm", intName(c.wm)},
+            {"wn", intName(c.wn)},       {"swizzle", boolName(c.swizzle)},
+            {"ldmatrix", boolName(!c.disableLdmatrix)}};
+}
+
+ParamMap
+layernormParams(const ops::LayernormConfig &c)
+{
+    return {{"vectorized", boolName(c.vectorized)}};
+}
+
+ParamMap
+mlpParams(const ops::FusedMlpConfig &c)
+{
+    return {{"m_tile", intName(c.mTile)},
+            {"swizzle", boolName(c.swizzle)}};
+}
+
+ParamMap
+fmhaParams(const ops::FmhaConfig &c)
+{
+    return {{"swizzle", boolName(c.swizzle)},
+            {"two_stage_layouts", boolName(!c.handwrittenLayouts)}};
+}
+
+TunableSpace
+tcGemmSpace(const GpuArch &arch, const ProblemShape &shape)
+{
+    const int64_t m = shape.m > 0 ? shape.m : 128;
+    const int64_t n = shape.n > 0 ? shape.n : 128;
+    const int64_t k = shape.k > 0 ? shape.k : 64;
+    ops::TcGemmConfig seed;
+    try {
+        seed = baselines::heuristicGemmConfig(arch, m, n, k);
+    } catch (const Error &) {
+        // Shapes outside the library heuristics: tune from the struct
+        // defaults instead.
+        seed.m = m;
+        seed.n = n;
+        seed.k = k;
+    }
+    TunableSpace space;
+    space.op = "tc-gemm";
+    space.shape = shapeOf(seed);
+    for (const ops::TcGemmConfig &c :
+         ops::tcGemmTuneSpace(arch, seed)) {
+        Candidate cand;
+        cand.params = tcGemmParams(c);
+        cand.isSeed = space.candidates.empty();
+        cand.build = [c, &arch]() { return ops::buildTcGemm(arch, c); };
+        cand.allocate = [c](Device &dev) {
+            vallocFp16(dev, c.aName, c.m * c.k);
+            vallocFp16(dev, c.bName, c.k * c.n);
+            vallocFp16(dev, c.cName, c.m * c.n);
+            vallocFp16(dev, c.biasName, c.n);
+        };
+        space.candidates.push_back(std::move(cand));
+    }
+    return space;
+}
+
+TunableSpace
+layernormSpace(const GpuArch &arch, const ProblemShape &shape)
+{
+    ops::LayernormConfig seed;
+    if (shape.m > 0)
+        seed.rows = shape.m;
+    if (shape.n > 0)
+        seed.cols = shape.n;
+    TunableSpace space;
+    space.op = "layernorm";
+    space.shape = shapeOf(seed);
+    for (const ops::LayernormConfig &c :
+         ops::layernormTuneSpace(arch, seed)) {
+        Candidate cand;
+        cand.params = layernormParams(c);
+        cand.isSeed = space.candidates.empty();
+        cand.build = [c, &arch]() {
+            return ops::buildLayernormFused(arch, c);
+        };
+        cand.allocate = [c](Device &dev) {
+            vallocFp16(dev, c.inName, c.rows * c.cols);
+            vallocFp16(dev, c.gammaName, c.cols);
+            vallocFp16(dev, c.betaName, c.cols);
+            vallocFp16(dev, c.outName, c.rows * c.cols);
+        };
+        space.candidates.push_back(std::move(cand));
+    }
+    return space;
+}
+
+TunableSpace
+mlpSpace(const GpuArch &arch, const ProblemShape &shape)
+{
+    ops::FusedMlpConfig seed;
+    if (shape.m > 0)
+        seed.m = shape.m;
+    if (shape.layers > 0)
+        seed.layers = shape.layers;
+    TunableSpace space;
+    space.op = "mlp";
+    space.shape = shapeOf(seed);
+    for (const ops::FusedMlpConfig &c : ops::mlpTuneSpace(arch, seed)) {
+        Candidate cand;
+        cand.params = mlpParams(c);
+        cand.isSeed = space.candidates.empty();
+        cand.build = [c, &arch]() { return ops::buildFusedMlp(arch, c); };
+        cand.allocate = [c](Device &dev) {
+            vallocFp16(dev, c.xName, c.m * c.width);
+            vallocFp16(dev, c.wName, c.layers * c.width * c.width);
+            vallocFp16(dev, c.biasName, c.layers * c.width);
+            vallocFp16(dev, c.outName, c.m * c.width);
+        };
+        space.candidates.push_back(std::move(cand));
+    }
+    return space;
+}
+
+TunableSpace
+fmhaSpace(const GpuArch &arch, const ProblemShape &shape)
+{
+    ops::FmhaConfig seed;
+    // Tuning-friendly defaults (the full BERT shape times identically
+    // per block); --m overrides the batch, --n the sequence length.
+    seed.batch = shape.m > 0 ? shape.m : 2;
+    seed.heads = 2;
+    if (shape.n > 0)
+        seed.seq = shape.n;
+    TunableSpace space;
+    space.op = "fmha";
+    space.shape = shapeOf(seed);
+    for (const ops::FmhaConfig &c : ops::fmhaTuneSpace(arch, seed)) {
+        Candidate cand;
+        cand.params = fmhaParams(c);
+        cand.isSeed = space.candidates.empty();
+        cand.build = [c, &arch]() {
+            return ops::buildFusedFmha(arch, c);
+        };
+        cand.allocate = [c](Device &dev) {
+            const int64_t elems =
+                c.batch * c.heads * c.seq * c.headDim;
+            vallocFp16(dev, c.qName, elems);
+            vallocFp16(dev, c.kName, elems);
+            vallocFp16(dev, c.vName, elems);
+            vallocFp16(dev, c.oName, elems);
+        };
+        space.candidates.push_back(std::move(cand));
+    }
+    return space;
+}
+
+} // namespace
+
+std::vector<std::string>
+tunableOps()
+{
+    return {"tc-gemm", "layernorm", "mlp", "fmha"};
+}
+
+TunableSpace
+buildTunableSpace(const std::string &op, const GpuArch &arch,
+                  const ProblemShape &shape)
+{
+    TunableSpace space;
+    if (op == "tc-gemm") {
+        space = tcGemmSpace(arch, shape);
+    } else if (op == "layernorm") {
+        space = layernormSpace(arch, shape);
+    } else if (op == "mlp") {
+        space = mlpSpace(arch, shape);
+    } else if (op == "fmha") {
+        space = fmhaSpace(arch, shape);
+    } else {
+        diag::Diagnostic d;
+        d.code = "tune-unknown-op";
+        d.message = "no tunable space registered for op '" + op
+            + "' (known: tc-gemm layernorm mlp fmha)";
+        diag::report(std::move(d));
+        return space;
+    }
+    space.archName = arch.name;
+    // Digest the space definition: op + shape + every candidate's
+    // parameter assignment, in enumeration order.
+    std::string canon = space.op + "|" + space.shape.dump();
+    for (const Candidate &c : space.candidates)
+        canon += "|" + paramsToJson(c.params).dump();
+    space.spaceHash = fnv1aHex(canon);
+    return space;
+}
+
+int
+paramDistance(const ParamMap &a, const ParamMap &b)
+{
+    if (a.size() != b.size())
+        return static_cast<int>(std::max(a.size(), b.size()));
+    int d = 0;
+    for (size_t i = 0; i < a.size(); ++i)
+        if (a[i] != b[i])
+            ++d;
+    return d;
+}
+
+json::Value
+paramsToJson(const ParamMap &params)
+{
+    json::Value obj = json::Value::object();
+    for (const auto &kv : params)
+        obj[kv.first] = kv.second;
+    return obj;
+}
+
+ParamMap
+paramsFromJson(const json::Value &obj)
+{
+    ParamMap params;
+    for (const auto &kv : obj.fields())
+        params.emplace_back(kv.first, kv.second.asString());
+    return params;
+}
+
+std::string
+fnv1aHex(const std::string &text)
+{
+    uint64_t h = 14695981039346656037ull;
+    for (unsigned char c : text) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+namespace
+{
+
+const std::string *
+findParam(const ParamMap &params, const char *key)
+{
+    for (const auto &kv : params)
+        if (kv.first == key)
+            return &kv.second;
+    return nullptr;
+}
+
+void
+applyInt(const ParamMap &params, const char *key, int64_t &field)
+{
+    if (const std::string *v = findParam(params, key))
+        field = std::stoll(*v);
+}
+
+void
+applyBool(const ParamMap &params, const char *key, bool &field)
+{
+    if (const std::string *v = findParam(params, key))
+        field = *v == "on";
+}
+
+} // namespace
+
+void
+applyParams(const ParamMap &params, ops::TcGemmConfig &cfg)
+{
+    applyInt(params, "bm", cfg.bm);
+    applyInt(params, "bn", cfg.bn);
+    applyInt(params, "bk", cfg.bk);
+    applyInt(params, "wm", cfg.wm);
+    applyInt(params, "wn", cfg.wn);
+    applyBool(params, "swizzle", cfg.swizzle);
+    if (const std::string *v = findParam(params, "ldmatrix"))
+        cfg.disableLdmatrix = *v != "on";
+}
+
+void
+applyParams(const ParamMap &params, ops::LayernormConfig &cfg)
+{
+    applyBool(params, "vectorized", cfg.vectorized);
+}
+
+void
+applyParams(const ParamMap &params, ops::FusedMlpConfig &cfg)
+{
+    applyInt(params, "m_tile", cfg.mTile);
+    applyBool(params, "swizzle", cfg.swizzle);
+}
+
+void
+applyParams(const ParamMap &params, ops::FmhaConfig &cfg)
+{
+    applyBool(params, "swizzle", cfg.swizzle);
+    if (const std::string *v = findParam(params, "two_stage_layouts"))
+        cfg.handwrittenLayouts = *v != "on";
+}
+
+json::Value
+shapeOf(const ops::TcGemmConfig &cfg)
+{
+    json::Value shape = json::Value::object();
+    shape["m"] = cfg.m;
+    shape["n"] = cfg.n;
+    shape["k"] = cfg.k;
+    shape["batch"] = cfg.batch;
+    shape["epilogue"] = ops::epilogueName(cfg.epilogue);
+    return shape;
+}
+
+json::Value
+shapeOf(const ops::LayernormConfig &cfg)
+{
+    json::Value shape = json::Value::object();
+    shape["rows"] = cfg.rows;
+    shape["cols"] = cfg.cols;
+    return shape;
+}
+
+json::Value
+shapeOf(const ops::FusedMlpConfig &cfg)
+{
+    json::Value shape = json::Value::object();
+    shape["m"] = cfg.m;
+    shape["width"] = cfg.width;
+    shape["layers"] = cfg.layers;
+    return shape;
+}
+
+json::Value
+shapeOf(const ops::FmhaConfig &cfg)
+{
+    json::Value shape = json::Value::object();
+    shape["batch"] = cfg.batch;
+    shape["heads"] = cfg.heads;
+    shape["seq"] = cfg.seq;
+    shape["head_dim"] = cfg.headDim;
+    return shape;
+}
+
+} // namespace tune
+} // namespace graphene

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tunable configuration spaces: the bridge between each op's concrete
+ * config struct (ops/tc_gemm.h, ops/layernorm.h, ...) and the generic
+ * search driver (tune/tuner.h).
+ *
+ * Each op contributes an enumeration function next to its config
+ * struct (e.g. ops::tcGemmTuneSpace) that yields every constraint-
+ * satisfying variant of a seed config.  This module wraps those
+ * enumerations into a uniform Candidate list: an ordered parameter
+ * assignment (for reporting, hashing, and neighborhood search) plus
+ * closures that build the kernel and allocate its virtual timing
+ * buffers.  Candidate 0 is always the op's seed/default config — the
+ * tuner's contract is that pruning never discards it.
+ */
+
+#ifndef GRAPHENE_TUNE_SPACE_H
+#define GRAPHENE_TUNE_SPACE_H
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "arch/gpu_arch.h"
+#include "ir/kernel.h"
+#include "ops/fmha.h"
+#include "ops/layernorm.h"
+#include "ops/mlp.h"
+#include "ops/tc_gemm.h"
+#include "runtime/device.h"
+#include "support/json.h"
+
+namespace graphene
+{
+namespace tune
+{
+
+/** Ordered tunable-parameter assignment, e.g. {{"bm","128"},...}.
+ *  All candidates of one space carry the same keys in the same order,
+ *  so parameter distance is well defined. */
+using ParamMap = std::vector<std::pair<std::string, std::string>>;
+
+/** One point of the configuration space. */
+struct Candidate
+{
+    ParamMap params;
+    /** The op's seed/default config (always candidate index 0). */
+    bool isSeed = false;
+    /** Build the kernel IR for this candidate. */
+    std::function<Kernel()> build;
+    /** Allocate the kernel's buffers as virtual timing buffers. */
+    std::function<void(Device &)> allocate;
+};
+
+/**
+ * Problem shape handed to buildTunableSpace.  A field left at 0 takes
+ * the op's default; ops interpret the fields as in graphene-cli
+ * (layernorm: m=rows, n=cols; mlp: m=batch rows; fmha: m=batch,
+ * n=sequence length).
+ */
+struct ProblemShape
+{
+    int64_t m = 0;
+    int64_t n = 0;
+    int64_t k = 0;
+    int64_t layers = 0;
+};
+
+/** A fully-enumerated tunable space for one (op, shape, arch). */
+struct TunableSpace
+{
+    std::string op;
+    std::string archName;
+    /** Canonical problem-shape object; part of the cache key. */
+    json::Value shape;
+    /** Candidate 0 is the seed/default config. */
+    std::vector<Candidate> candidates;
+    /** Git-stable FNV-1a digest of op + every candidate's params:
+     *  changing the space definition invalidates cached entries. */
+    std::string spaceHash;
+};
+
+/** Ops with a registered tunable space ("tc-gemm", "layernorm",
+ *  "mlp", "fmha"). */
+std::vector<std::string> tunableOps();
+
+/**
+ * Enumerate the tunable space of @p op.  Raises a diag::Diagnostic
+ * (code "tune-unknown-op") for an unregistered op name.
+ */
+TunableSpace buildTunableSpace(const std::string &op,
+                               const GpuArch &arch,
+                               const ProblemShape &shape);
+
+/** Number of parameters whose values differ (same-key maps). */
+int paramDistance(const ParamMap &a, const ParamMap &b);
+
+/** Params as an insertion-ordered JSON object (and back). */
+json::Value paramsToJson(const ParamMap &params);
+ParamMap paramsFromJson(const json::Value &obj);
+
+/** FNV-1a 64-bit hex digest of @p text (stable across builds). */
+std::string fnv1aHex(const std::string &text);
+
+/**
+ * Overwrite the tunable knobs of a concrete config from a cached
+ * parameter assignment (`--tuned` consumers).  Non-tunable fields
+ * (problem shape, buffer names, epilogue) are left untouched.
+ */
+void applyParams(const ParamMap &params, ops::TcGemmConfig &cfg);
+void applyParams(const ParamMap &params, ops::LayernormConfig &cfg);
+void applyParams(const ParamMap &params, ops::FusedMlpConfig &cfg);
+void applyParams(const ParamMap &params, ops::FmhaConfig &cfg);
+
+/** Canonical cache-key shape objects for `--tuned` lookups; must
+ *  match the shapes buildTunableSpace records. */
+json::Value shapeOf(const ops::TcGemmConfig &cfg);
+json::Value shapeOf(const ops::LayernormConfig &cfg);
+json::Value shapeOf(const ops::FusedMlpConfig &cfg);
+json::Value shapeOf(const ops::FmhaConfig &cfg);
+
+} // namespace tune
+} // namespace graphene
+
+#endif // GRAPHENE_TUNE_SPACE_H

@@ -1,0 +1,228 @@
+#include "tune/tuner.h"
+
+#include <algorithm>
+#include <set>
+
+#include "inspect/inspect.h"
+#include "ir/verifier.h"
+#include "sim/sim_config.h"
+#include "support/thread_pool.h"
+
+namespace graphene
+{
+namespace tune
+{
+
+namespace
+{
+
+/** Per-candidate scratch state, indexed by candidate number.  Workers
+ *  write disjoint slots; every decision reads them after a barrier, so
+ *  results are independent of the worker-thread count. */
+struct Slot
+{
+    bool buildOk = false;
+    bool verifyOk = false;
+    int lintFindings = 0;
+    bool timed = false;  // a timed simulation was attempted
+    bool timeOk = false; // ... and produced a time
+    double simUs = 0;
+    std::string boundBy;
+    std::string stage;
+
+    bool lintClean() const
+    {
+        return buildOk && verifyOk && lintFindings == 0;
+    }
+};
+
+double
+timeCandidate(const TunableSpace &space, int64_t i, const GpuArch &arch,
+              std::string *boundBy)
+{
+    Device dev(arch);
+    space.candidates[static_cast<size_t>(i)].allocate(dev);
+    Kernel kernel = space.candidates[static_cast<size_t>(i)].build();
+    const sim::KernelProfile prof =
+        dev.launch(kernel, LaunchMode::Timing);
+    *boundBy = prof.timing.boundBy;
+    return prof.timing.timeUs;
+}
+
+CandidateResult
+toResult(const TunableSpace &space, const Slot &slot, int64_t i)
+{
+    const Candidate &cand = space.candidates[static_cast<size_t>(i)];
+    CandidateResult r;
+    r.index = static_cast<int>(i);
+    r.params = cand.params;
+    r.isSeed = cand.isSeed;
+    r.simUs = slot.timeOk ? slot.simUs : -1; // -1 = evaluation failed
+    r.boundBy = slot.boundBy;
+    r.stage = slot.stage;
+    r.lintClean = slot.lintClean();
+    r.lintFindings = slot.lintFindings;
+    return r;
+}
+
+} // namespace
+
+TuneResult
+runTune(const TunableSpace &space, const GpuArch &arch,
+        const TuneOptions &opts)
+{
+    const int64_t n = static_cast<int64_t>(space.candidates.size());
+    std::vector<Slot> slots(static_cast<size_t>(n));
+    const int workers = sim::resolveThreads(opts.threads);
+    ThreadPool pool(std::max(0, workers - 1));
+
+    // ---- stage 1: static filter (verifier + memory-access lint) ----
+    pool.run(n, [&](int64_t i) {
+        Slot &s = slots[static_cast<size_t>(i)];
+        try {
+            Kernel kernel =
+                space.candidates[static_cast<size_t>(i)].build();
+            s.buildOk = true;
+            s.verifyOk = verifyKernelDiags(kernel).empty();
+            if (s.verifyOk) {
+                int findings = 0;
+                for (const diag::Diagnostic &d :
+                     inspect::lintKernel(kernel, arch))
+                    if (d.severity != diag::Severity::Note)
+                        ++findings;
+                s.lintFindings = findings;
+            }
+        } catch (const std::exception &) {
+            s.buildOk = false;
+        }
+    });
+
+    // A candidate earns a timed simulation if it is structurally valid
+    // and (when the lint filter is on) predicted conflict-free.  The
+    // seed/default config is NEVER pruned: it anchors the comparison.
+    std::vector<int64_t> eligible;
+    int64_t lintRejected = 0, invalid = 0;
+    for (int64_t i = 0; i < n; ++i) {
+        const Slot &s = slots[static_cast<size_t>(i)];
+        const bool seed =
+            space.candidates[static_cast<size_t>(i)].isSeed;
+        if (!s.buildOk || !s.verifyOk) {
+            ++invalid;
+            if (!seed)
+                continue;
+        } else if (opts.lintFilter && s.lintFindings > 0 && !seed) {
+            ++lintRejected;
+            continue;
+        }
+        eligible.push_back(i);
+    }
+
+    auto evaluate = [&](const std::vector<int64_t> &batch,
+                        const char *stage) {
+        pool.run(static_cast<int64_t>(batch.size()), [&](int64_t t) {
+            const int64_t i = batch[static_cast<size_t>(t)];
+            Slot &s = slots[static_cast<size_t>(i)];
+            s.timed = true;
+            s.stage = stage;
+            try {
+                s.simUs = timeCandidate(space, i, arch, &s.boundBy);
+                s.timeOk = true;
+            } catch (const std::exception &) {
+                s.timeOk = false;
+            }
+        });
+    };
+
+    // ---- stage 2: coarse grid -------------------------------------
+    // With a budget, reserve a quarter of it for refinement and spread
+    // the grid evenly over the eligible candidates (always including
+    // the seed at position 0).
+    int64_t budget = opts.budget > 0 ? opts.budget : 0;
+    int64_t gridQuota = static_cast<int64_t>(eligible.size());
+    if (budget > 0 && gridQuota > budget)
+        gridQuota = std::max<int64_t>(1, budget - budget / 4);
+    std::vector<int64_t> grid;
+    std::set<int64_t> picked;
+    for (int64_t i = 0; i < gridQuota; ++i) {
+        const int64_t j =
+            eligible[static_cast<size_t>(
+                i * static_cast<int64_t>(eligible.size()) / gridQuota)];
+        if (picked.insert(j).second)
+            grid.push_back(j);
+    }
+    evaluate(grid, "grid");
+    int64_t evaluated = static_cast<int64_t>(grid.size());
+
+    // ---- stage 3: local neighborhood refinement -------------------
+    auto rankedBest = [&]() {
+        std::vector<int64_t> ranked;
+        for (int64_t i = 0; i < n; ++i)
+            if (slots[static_cast<size_t>(i)].timeOk)
+                ranked.push_back(i);
+        std::sort(ranked.begin(), ranked.end(),
+                  [&](int64_t a, int64_t b) {
+                      const Slot &sa = slots[static_cast<size_t>(a)];
+                      const Slot &sb = slots[static_cast<size_t>(b)];
+                      if (sa.simUs != sb.simUs)
+                          return sa.simUs < sb.simUs;
+                      return a < b;
+                  });
+        return ranked;
+    };
+    for (int round = 0; round < 2; ++round) {
+        const int64_t remaining =
+            budget > 0 ? budget - evaluated
+                       : static_cast<int64_t>(eligible.size());
+        if (remaining <= 0)
+            break;
+        std::vector<int64_t> tops = rankedBest();
+        if (tops.size() > static_cast<size_t>(opts.refineTop))
+            tops.resize(static_cast<size_t>(opts.refineTop));
+        std::vector<int64_t> frontier;
+        for (int64_t i : eligible) {
+            if (slots[static_cast<size_t>(i)].timed)
+                continue;
+            for (int64_t t : tops)
+                if (paramDistance(
+                        space.candidates[static_cast<size_t>(i)].params,
+                        space.candidates[static_cast<size_t>(t)].params)
+                    == 1) {
+                    frontier.push_back(i);
+                    break;
+                }
+            if (static_cast<int64_t>(frontier.size()) >= remaining)
+                break;
+        }
+        if (frontier.empty())
+            break;
+        evaluate(frontier, "refine");
+        evaluated += static_cast<int64_t>(frontier.size());
+    }
+
+    // ---- fold ------------------------------------------------------
+    TuneResult result;
+    result.op = space.op;
+    result.archName = space.archName;
+    result.shape = space.shape;
+    result.spaceHash = space.spaceHash;
+    result.seed = opts.seed;
+    result.budget = opts.budget;
+    result.spaceSize = n;
+    result.lintRejected = lintRejected;
+    result.invalid = invalid;
+    result.evaluated = evaluated;
+    for (int64_t i = 0; i < n; ++i)
+        if (slots[static_cast<size_t>(i)].timed)
+            result.all.push_back(
+                toResult(space, slots[static_cast<size_t>(i)], i));
+    result.defaultResult = toResult(space, slots[0], 0);
+    const std::vector<int64_t> ranked = rankedBest();
+    result.best = ranked.empty()
+        ? result.defaultResult
+        : toResult(space, slots[static_cast<size_t>(ranked[0])],
+                   ranked[0]);
+    return result;
+}
+
+} // namespace tune
+} // namespace graphene

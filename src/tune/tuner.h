@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The simulator-driven config search: staged pruning over a
+ * TunableSpace, evaluated with the timing simulator.
+ *
+ * Stages:
+ *  1. static filter — every candidate's kernel is built and checked
+ *     with the IR verifier plus the static memory-access lint
+ *     (inspect/inspect.h, predicted bank conflicts / uncoalesced
+ *     moves).  Lint-dirty candidates are pruned before a single
+ *     simulated cycle is spent — except the seed/default config,
+ *     which is never discarded.
+ *  2. coarse grid — the surviving candidates (deterministically
+ *     subsampled when a budget is set) are timed with the simulator,
+ *     in parallel on a host thread pool.
+ *  3. neighborhood refinement — the parameter-space neighbors
+ *     (distance 1) of the best grid points are timed, for up to two
+ *     rounds or until the budget is exhausted.
+ *
+ * Everything is deterministic: candidate order is enumeration order,
+ * subsampling is an even stride, results are keyed by candidate index,
+ * and ties break toward the lower index — so two runs with the same
+ * seed produce identical results regardless of the worker-thread
+ * count.
+ */
+
+#ifndef GRAPHENE_TUNE_TUNER_H
+#define GRAPHENE_TUNE_TUNER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tune/space.h"
+
+namespace graphene
+{
+namespace tune
+{
+
+struct TuneOptions
+{
+    /** Maximum number of timed simulations (0 = no cap). */
+    int budget = 64;
+    /** Worker threads for parallel evaluation (0 = auto).  Does not
+     *  affect results. */
+    int threads = 0;
+    /** Seed recorded in the result (reserved for randomized search
+     *  strategies; the staged search itself is deterministic). */
+    uint64_t seed = 0;
+    /** Prune lint-dirty candidates before timing (stage 1). */
+    bool lintFilter = true;
+    /** Number of top grid points whose neighborhoods are refined. */
+    int refineTop = 3;
+};
+
+/** Outcome for one evaluated candidate. */
+struct CandidateResult
+{
+    int index = -1;
+    ParamMap params;
+    bool isSeed = false;
+    /** Simulated kernel time; the search objective. */
+    double simUs = 0;
+    std::string boundBy;
+    /** "grid" or "refine" (the stage that paid for the timing). */
+    std::string stage;
+    /** No verifier errors and no lint findings. */
+    bool lintClean = true;
+    int lintFindings = 0;
+};
+
+struct TuneResult
+{
+    std::string op;
+    std::string archName;
+    json::Value shape;
+    std::string spaceHash;
+    uint64_t seed = 0;
+    int budget = 0;
+    /** Size of the enumerated space. */
+    int64_t spaceSize = 0;
+    /** Candidates pruned by the static filter (stage 1). */
+    int64_t lintRejected = 0;
+    /** Candidates that failed to build or verify. */
+    int64_t invalid = 0;
+    /** Timed simulations actually paid for. */
+    int64_t evaluated = 0;
+    /** The seed/default config's outcome (always evaluated). */
+    CandidateResult defaultResult;
+    /** The best-found config (simUs <= defaultResult.simUs). */
+    CandidateResult best;
+    /** Every evaluated candidate, ordered by candidate index. */
+    std::vector<CandidateResult> all;
+};
+
+/** Run the staged search over @p space on @p arch. */
+TuneResult runTune(const TunableSpace &space, const GpuArch &arch,
+                   const TuneOptions &opts = {});
+
+} // namespace tune
+} // namespace graphene
+
+#endif // GRAPHENE_TUNE_TUNER_H

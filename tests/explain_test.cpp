@@ -238,14 +238,17 @@ checkLineMap(const Kernel &k, const GpuArch &arch, bool expectEntries)
             << e.space;
     }
 
-    for (size_t i = 0; i < lines.size(); ++i)
-        if (std::regex_search(lines[i], memLine))
+    for (size_t i = 0; i < lines.size(); ++i) {
+        if (std::regex_search(lines[i], memLine)) {
             EXPECT_TRUE(mapped[i + 1])
                 << "memory access on line " << (i + 1)
                 << " missing from line map: " << lines[i];
+        }
+    }
 
-    if (expectEntries)
+    if (expectEntries) {
         EXPECT_FALSE(em.lineMap.empty());
+    }
 }
 
 TEST(LineMap, TcGemmAmpereCoversEveryMemoryLine)

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Tests for the autotuning subsystem (src/tune): candidate enumeration
+ * respects the architecture constraints, the seed/default config is
+ * never discarded by pruning, the staged search result is byte-
+ * deterministic across worker-thread counts, and the tuning cache
+ * round-trips through JSON and patches configs via applyTuned.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "ops/layernorm.h"
+#include "ops/mlp.h"
+#include "ops/tc_gemm.h"
+#include "support/check.h"
+#include "tune/cache.h"
+#include "tune/tuner.h"
+
+namespace graphene
+{
+namespace
+{
+
+tune::ProblemShape
+smallGemmShape()
+{
+    tune::ProblemShape s;
+    s.m = 128;
+    s.n = 128;
+    s.k = 64;
+    return s;
+}
+
+std::string
+paramsKey(const tune::ParamMap &params)
+{
+    return tune::paramsToJson(params).dump();
+}
+
+TEST(TuneSpace, TcGemmCandidatesSatisfyArchConstraints)
+{
+    for (const GpuArch *arch : {&GpuArch::ampere(), &GpuArch::volta()}) {
+        ops::TcGemmConfig seed;
+        seed.m = 256;
+        seed.n = 256;
+        seed.k = 128;
+        const auto cfgs = ops::tcGemmTuneSpace(*arch, seed);
+        ASSERT_FALSE(cfgs.empty());
+        for (const ops::TcGemmConfig &c : cfgs) {
+            EXPECT_TRUE(ops::tcGemmConfigValid(*arch, c))
+                << "bm=" << c.bm << " bn=" << c.bn << " bk=" << c.bk
+                << " wm=" << c.wm << " wn=" << c.wn << " on "
+                << arch->name;
+            // Every enumerated candidate must actually build.
+            EXPECT_NO_THROW(ops::buildTcGemm(*arch, c));
+        }
+    }
+}
+
+TEST(TuneSpace, VoltaNeverDisablesLdmatrix)
+{
+    ops::TcGemmConfig seed;
+    seed.m = 128;
+    seed.n = 128;
+    seed.k = 64;
+    for (const ops::TcGemmConfig &c :
+         ops::tcGemmTuneSpace(GpuArch::volta(), seed))
+        EXPECT_FALSE(c.disableLdmatrix);
+}
+
+TEST(TuneSpace, SeedIsFirstAndCandidatesUnique)
+{
+    const tune::TunableSpace space = tune::buildTunableSpace(
+        "tc-gemm", GpuArch::ampere(), smallGemmShape());
+    ASSERT_FALSE(space.candidates.empty());
+    EXPECT_TRUE(space.candidates[0].isSeed);
+    std::set<std::string> seen;
+    for (const tune::Candidate &c : space.candidates) {
+        EXPECT_TRUE(seen.insert(paramsKey(c.params)).second)
+            << "duplicate candidate " << paramsKey(c.params);
+        EXPECT_EQ(c.params.size(), space.candidates[0].params.size());
+    }
+    EXPECT_FALSE(space.spaceHash.empty());
+}
+
+TEST(TuneSpace, UnknownOpRaisesDiagnostic)
+{
+    EXPECT_THROW(tune::buildTunableSpace("nosuch", GpuArch::ampere(),
+                                         tune::ProblemShape{}),
+                 Error);
+}
+
+TEST(TuneSpace, LayernormAndMlpSpacesAreValid)
+{
+    const GpuArch &arch = GpuArch::ampere();
+    ops::LayernormConfig ln;
+    ln.rows = 64;
+    ln.cols = 1024;
+    for (const auto &c : ops::layernormTuneSpace(arch, ln))
+        EXPECT_TRUE(ops::layernormConfigValid(arch, c));
+    ops::FusedMlpConfig mlp;
+    mlp.m = 256;
+    for (const auto &c : ops::mlpTuneSpace(arch, mlp))
+        EXPECT_TRUE(ops::mlpConfigValid(arch, c));
+}
+
+TEST(TuneSpace, ParamDistanceCountsDiffers)
+{
+    const tune::ParamMap a = {{"bm", "64"}, {"swizzle", "on"}};
+    const tune::ParamMap b = {{"bm", "128"}, {"swizzle", "on"}};
+    const tune::ParamMap c = {{"bm", "128"}, {"swizzle", "off"}};
+    EXPECT_EQ(tune::paramDistance(a, a), 0);
+    EXPECT_EQ(tune::paramDistance(a, b), 1);
+    EXPECT_EQ(tune::paramDistance(a, c), 2);
+}
+
+TEST(Tuner, BestNeverWorseThanDefault)
+{
+    const tune::TunableSpace space = tune::buildTunableSpace(
+        "tc-gemm", GpuArch::ampere(), smallGemmShape());
+    tune::TuneOptions opts;
+    opts.budget = 16;
+    opts.threads = 1;
+    const tune::TuneResult res = tune::runTune(space, GpuArch::ampere(),
+                                               opts);
+    ASSERT_GT(res.defaultResult.simUs, 0);
+    ASSERT_GT(res.best.simUs, 0);
+    EXPECT_LE(res.best.simUs, res.defaultResult.simUs);
+    EXPECT_TRUE(res.defaultResult.isSeed);
+    EXPECT_EQ(res.spaceSize,
+              static_cast<int64_t>(space.candidates.size()));
+    EXPECT_LE(res.evaluated, 16);
+}
+
+TEST(Tuner, PruningNeverDiscardsLintDirtySeed)
+{
+    // A no-swizzle seed is lint-dirty (predicted shared-memory bank
+    // conflicts), but the tuner's contract is that the seed/default
+    // config is always timed anyway.
+    const GpuArch &arch = GpuArch::ampere();
+    ops::TcGemmConfig seed;
+    seed.m = 128;
+    seed.n = 128;
+    seed.k = 64;
+    seed.swizzle = false;
+    tune::TunableSpace space;
+    space.op = "tc-gemm";
+    space.archName = arch.name;
+    space.shape = tune::shapeOf(seed);
+    for (const ops::TcGemmConfig &c : ops::tcGemmTuneSpace(arch, seed)) {
+        tune::Candidate cand;
+        cand.params = {{"bm", std::to_string(c.bm)},
+                       {"bn", std::to_string(c.bn)},
+                       {"bk", std::to_string(c.bk)},
+                       {"wm", std::to_string(c.wm)},
+                       {"wn", std::to_string(c.wn)},
+                       {"swizzle", c.swizzle ? "on" : "off"},
+                       {"ldmatrix", c.disableLdmatrix ? "off" : "on"}};
+        cand.isSeed = space.candidates.empty();
+        cand.build = [c, &arch]() { return ops::buildTcGemm(arch, c); };
+        cand.allocate = [c](Device &dev) {
+            dev.allocateVirtual(c.aName, ScalarType::Fp16, c.m * c.k);
+            dev.allocateVirtual(c.bName, ScalarType::Fp16, c.k * c.n);
+            dev.allocateVirtual(c.cName, ScalarType::Fp16, c.m * c.n);
+            dev.allocateVirtual(c.biasName, ScalarType::Fp16, c.n);
+        };
+        space.candidates.push_back(std::move(cand));
+    }
+    space.spaceHash = tune::fnv1aHex("test-space");
+
+    tune::TuneOptions opts;
+    opts.budget = 8;
+    opts.threads = 1;
+    const tune::TuneResult res = tune::runTune(space, arch, opts);
+    // The lint filter rejects dirty candidates, but the seed was still
+    // timed and reported.
+    EXPECT_GT(res.defaultResult.simUs, 0);
+    EXPECT_TRUE(res.defaultResult.isSeed);
+    EXPECT_FALSE(res.defaultResult.lintClean);
+    EXPECT_GT(res.best.simUs, 0);
+}
+
+TEST(Tuner, DeterministicAcrossThreadCounts)
+{
+    const tune::TunableSpace space = tune::buildTunableSpace(
+        "tc-gemm", GpuArch::ampere(), smallGemmShape());
+    tune::TuneOptions opts;
+    opts.budget = 12;
+    opts.seed = 7;
+    opts.threads = 1;
+    const tune::TuneResult r1 = tune::runTune(space, GpuArch::ampere(),
+                                              opts);
+    opts.threads = 4;
+    const tune::TuneResult r4 = tune::runTune(space, GpuArch::ampere(),
+                                              opts);
+    tune::TuningCache c1, c4;
+    c1.put(r1);
+    c4.put(r4);
+    // Byte-identical serialized caches regardless of worker count.
+    EXPECT_EQ(c1.toJson().dump(2), c4.toJson().dump(2));
+}
+
+TEST(TuningCache, RoundTripAndStaleHash)
+{
+    const tune::TunableSpace space = tune::buildTunableSpace(
+        "layernorm", GpuArch::ampere(), tune::ProblemShape{});
+    tune::TuneOptions opts;
+    opts.budget = 4;
+    opts.threads = 1;
+    const tune::TuneResult res = tune::runTune(space, GpuArch::ampere(),
+                                               opts);
+    tune::TuningCache cache;
+    cache.put(res);
+    const std::string path =
+        testing::TempDir() + "/graphene_tune_cache_test.json";
+    cache.save(path);
+    const tune::TuningCache loaded = tune::TuningCache::load(path);
+    ASSERT_EQ(loaded.size(), 1u);
+    EXPECT_NE(loaded.find(res.op, res.archName, res.shape,
+                          res.spaceHash),
+              nullptr);
+    // A different space hash marks the entry stale.
+    EXPECT_EQ(loaded.find(res.op, res.archName, res.shape, "feedbeef"),
+              nullptr);
+    // Re-putting the same (op, arch, shape) replaces, not appends.
+    cache.put(res);
+    EXPECT_EQ(cache.size(), 1u);
+    std::remove(path.c_str());
+}
+
+TEST(TuningCache, MissingFileLoadsEmptyAndBadSchemaThrows)
+{
+    const tune::TuningCache cache =
+        tune::TuningCache::load(testing::TempDir()
+                                + "/graphene_no_such_cache.json");
+    EXPECT_EQ(cache.size(), 0u);
+    json::Value doc = json::Value::object();
+    doc["schema"] = "graphene.bench.v1";
+    EXPECT_THROW(tune::TuningCache::fromJson(doc), Error);
+}
+
+TEST(TuningCache, ApplyTunedPatchesMatchingConfig)
+{
+    const GpuArch &arch = GpuArch::ampere();
+    const tune::TunableSpace space = tune::buildTunableSpace(
+        "tc-gemm", arch, smallGemmShape());
+    tune::TuneOptions opts;
+    opts.budget = 12;
+    opts.threads = 1;
+    const tune::TuneResult res = tune::runTune(space, arch, opts);
+    tune::TuningCache cache;
+    cache.put(res);
+
+    // A config with the tuned problem shape picks up the best params.
+    ops::TcGemmConfig cfg;
+    cfg.m = 128;
+    cfg.n = 128;
+    cfg.k = 64;
+    ASSERT_TRUE(tune::applyTuned(cache, arch, cfg));
+    tune::ParamMap applied;
+    for (const auto &kv : res.best.params)
+        applied.push_back(kv);
+    ops::TcGemmConfig expect = cfg;
+    tune::applyParams(res.best.params, expect);
+    EXPECT_EQ(cfg.bm, expect.bm);
+    EXPECT_EQ(cfg.bn, expect.bn);
+    EXPECT_EQ(cfg.bk, expect.bk);
+    EXPECT_EQ(cfg.swizzle, expect.swizzle);
+    EXPECT_TRUE(ops::tcGemmConfigValid(arch, cfg));
+
+    // A different shape does not match.
+    ops::TcGemmConfig other;
+    other.m = 256;
+    other.n = 256;
+    other.k = 128;
+    EXPECT_FALSE(tune::applyTuned(cache, arch, other));
+}
+
+} // namespace
+} // namespace graphene

@@ -38,12 +38,17 @@ usage(FILE *out)
     std::fprintf(out,
                  "usage: bench_diff <baseline.json> <candidate.json>"
                  " [--field sim_us|host_us]\n"
-                 "                  [--threshold-pct <N>]\n"
+                 "                  [--threshold-pct <N>]"
+                 " [--skip-tuned]\n"
                  "\n"
                  "Compares two graphene.bench.v1 reports row by row"
                  " (matched on label+arch)\n"
                  "and exits 1 when <field> grows by more than N%%"
-                 " (default: sim_us, 0.1%%).\n");
+                 " (default: sim_us, 0.1%%).\n"
+                 "--skip-tuned ignores rows flagged \"tuned\": true"
+                 " (autotuned replays whose\n"
+                 "presence depends on the tuning cache, not the"
+                 " build under test).\n");
 }
 
 Value
@@ -77,13 +82,16 @@ struct Row
 };
 
 std::vector<Row>
-extractRows(const Value &doc, const std::string &field)
+extractRows(const Value &doc, const std::string &field, bool skipTuned)
 {
     std::vector<Row> rows;
     const Value &arr = doc.at("rows");
     for (size_t i = 0; i < arr.size(); ++i) {
         const Value &r = arr.at(i);
         if (!r.contains(field))
+            continue;
+        if (skipTuned && r.contains("tuned")
+            && r.at("tuned").asBool())
             continue;
         rows.push_back({r.at("label").asString(),
                         r.at("arch").asString(),
@@ -109,6 +117,7 @@ main(int argc, char **argv)
     std::vector<std::string> paths;
     std::string field = "sim_us";
     double thresholdPct = 0.1;
+    bool skipTuned = false;
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
         if (a == "--help" || a == "-h") {
@@ -118,6 +127,8 @@ main(int argc, char **argv)
             field = argv[++i];
         } else if (a == "--threshold-pct" && i + 1 < argc) {
             thresholdPct = std::atof(argv[++i]);
+        } else if (a == "--skip-tuned") {
+            skipTuned = true;
         } else if (!a.empty() && a[0] == '-') {
             std::fprintf(stderr, "error: unknown option '%s'\n",
                          a.c_str());
@@ -150,8 +161,10 @@ main(int argc, char **argv)
     std::printf("field    : %s   threshold: +%.3f%%\n\n", field.c_str(),
                 thresholdPct);
 
-    const std::vector<Row> baseRows = extractRows(base, field);
-    const std::vector<Row> candRows = extractRows(cand, field);
+    const std::vector<Row> baseRows =
+        extractRows(base, field, skipTuned);
+    const std::vector<Row> candRows =
+        extractRows(cand, field, skipTuned);
     if (baseRows.empty()) {
         std::fprintf(stderr, "error: %s: no rows carry field '%s'\n",
                      paths[0].c_str(), field.c_str());

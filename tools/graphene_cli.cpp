@@ -32,6 +32,13 @@
  *       spec lowers to.  --lint adds the static memory-access lint
  *       (predicted bank conflicts / uncoalesced moves); --json writes
  *       the graphene.explain.v1 document instead.
+ *   graphene-cli tune --op <op> [options]
+ *       Search the op's tunable configuration space with the timing
+ *       simulator (staged pruning: lint filter, coarse grid, local
+ *       refinement) and record the best-found config in a persistent
+ *       graphene.tune.v1 cache (`--out`, default tune_cache.json).
+ *       `profile`, `explain`, and the benches replay a cache via
+ *       `--tuned <cache>`.
  *
  * Kernels: simple-gemm | gemm | mlp | lstm | fmha | layernorm |
  *          ldmatrix
@@ -41,6 +48,9 @@
  *          --json [path]         --out path        --top N
  *          --threads N (host workers, 0 = auto)
  *          --no-plan (tree-walking interpreter fallback)
+ *          --tuned cache.json (apply the best-found config)
+ *          tune: --op tc-gemm|layernorm|mlp|fmha  --budget N  --seed N
+ *                --no-lint-filter  --report-default p  --report-tuned p
  */
 
 #include <cstdio>
@@ -64,7 +74,12 @@
 #include "ops/tc_gemm.h"
 #include "runtime/device.h"
 #include "sim/sim_config.h"
+#include "support/diag.h"
+#include "support/fs.h"
 #include "support/rng.h"
+#include "support/run_metadata.h"
+#include "tune/cache.h"
+#include "tune/tuner.h"
 
 using namespace graphene;
 
@@ -89,6 +104,13 @@ struct Options
     int64_t topN = 5;         // report --top
     bool lint = false;        // explain --lint
     std::string lineMapPath;  // emit-cuda --line-map
+    std::string op;           // tune --op
+    int64_t budget = 64;      // tune --budget (timed simulations)
+    int64_t tuneSeed = 0;     // tune --seed
+    bool lintFilter = true;   // tune (--no-lint-filter clears)
+    std::string reportDefaultPath; // tune --report-default
+    std::string reportTunedPath;   // tune --report-tuned
+    std::string tunedPath;    // --tuned <cache> (consumers)
 };
 
 /** The verb table: one row per command, the single source for usage
@@ -117,6 +139,8 @@ const Verb kVerbs[] = {
      "functional run with the hazard sanitizer"},
     {"explain", true, "[--json [path]] [--lint]",
      "annotated decomposition tree with provenance and atomics"},
+    {"tune", false, "--op <op> [--budget N] [--out <cache>]",
+     "simulator-driven config search; writes the tuning cache"},
 };
 
 const Verb *
@@ -157,6 +181,17 @@ printUsage(std::FILE *to)
         "of the\n"
         "                      compiled execution plan (debugging "
         "fallback)\n"
+        "         --tuned <cache>  apply the best-found config from a\n"
+        "                      graphene.tune.v1 cache (profile/report/"
+        "explain/...)\n"
+        "tune:    --op tc-gemm|layernorm|mlp|fmha   the op to tune\n"
+        "         --budget N   max timed simulations (default 64)\n"
+        "         --seed N     search seed (recorded in the cache)\n"
+        "         --out <path> tuning cache to write/merge (default\n"
+        "                      tune_cache.json)\n"
+        "         --no-lint-filter  skip the static-lint pruning stage\n"
+        "         --report-default <p> / --report-tuned <p>\n"
+        "                      graphene.bench.v1 rows for bench_diff\n"
         "         --help       print this help and exit\n");
 }
 
@@ -240,6 +275,20 @@ parse(int argc, char **argv)
             o.outPath = next();
         } else if (a == "--top") {
             o.topN = std::stoll(next());
+        } else if (a == "--op") {
+            o.op = next();
+        } else if (a == "--budget") {
+            o.budget = std::stoll(next());
+        } else if (a == "--seed") {
+            o.tuneSeed = std::stoll(next());
+        } else if (a == "--no-lint-filter") {
+            o.lintFilter = false;
+        } else if (a == "--report-default") {
+            o.reportDefaultPath = next();
+        } else if (a == "--report-tuned") {
+            o.reportTunedPath = next();
+        } else if (a == "--tuned") {
+            o.tunedPath = next();
         } else {
             usage();
         }
@@ -261,6 +310,39 @@ epilogueOf(const std::string &name)
     if (it == table.end())
         usage();
     return it->second;
+}
+
+/** Load a `--tuned` cache; a missing file is a structured error. */
+tune::TuningCache
+loadTunedCache(const std::string &path)
+{
+    std::ifstream probe(path);
+    if (!probe) {
+        diag::Diagnostic d;
+        d.code = "input-path";
+        d.message = "cannot open tuning cache '" + path + "'";
+        diag::report(std::move(d));
+    }
+    return tune::TuningCache::load(path);
+}
+
+/** Overwrite @p cfg's tunable knobs from the --tuned cache, if any. */
+template <typename Config>
+void
+maybeApplyTuned(const Options &o, const GpuArch &arch, Config &cfg,
+                const char *op)
+{
+    if (o.tunedPath.empty())
+        return;
+    const tune::TuningCache cache = loadTunedCache(o.tunedPath);
+    if (tune::applyTuned(cache, arch, cfg))
+        std::fprintf(stderr, "tuned: applied %s entry from %s\n", op,
+                     o.tunedPath.c_str());
+    else
+        std::fprintf(stderr,
+                     "tuned: no %s entry in %s matches this shape; "
+                     "using the default config\n",
+                     op, o.tunedPath.c_str());
 }
 
 /**
@@ -306,6 +388,7 @@ buildKernel(const Options &o, const GpuArch &arch, Device &dev)
             baselines::heuristicGemmConfig(arch, m, n, k);
         cfg.epilogue = epilogueOf(o.epilogue);
         cfg.swizzle = o.swizzle;
+        maybeApplyTuned(o, arch, cfg, "tc-gemm");
         valloc("%A", m * k);
         valloc("%B", k * n);
         valloc("%C", m * n);
@@ -317,6 +400,7 @@ buildKernel(const Options &o, const GpuArch &arch, Device &dev)
         cfg.m = dim(o.mSet, o.m, 128);
         cfg.layers = dim(o.layersSet, o.layers, 2);
         cfg.swizzle = o.swizzle;
+        maybeApplyTuned(o, arch, cfg, "mlp");
         valloc("%x", cfg.m * cfg.width);
         valloc("%W", cfg.layers * cfg.width * cfg.width);
         valloc("%b", cfg.layers * cfg.width);
@@ -346,6 +430,7 @@ buildKernel(const Options &o, const GpuArch &arch, Device &dev)
             cfg.seq = 128;
             cfg.headDim = 64;
         }
+        maybeApplyTuned(o, arch, cfg, "fmha");
         const int64_t elems = cfg.batch * cfg.heads * cfg.seq
             * cfg.headDim;
         for (const char *nm : {"%Q", "%K", "%V", "%O"})
@@ -356,6 +441,7 @@ buildKernel(const Options &o, const GpuArch &arch, Device &dev)
         ops::LayernormConfig cfg;
         cfg.rows = dim(o.mSet, o.m, 8);
         cfg.cols = dim(o.nSet, o.n, 1024);
+        maybeApplyTuned(o, arch, cfg, "layernorm");
         valloc("%x", cfg.rows * cfg.cols);
         valloc("%gamma", cfg.cols);
         valloc("%beta", cfg.cols);
@@ -388,6 +474,113 @@ listAtomics(const GpuArch &arch)
     }
 }
 
+std::string
+paramsBrief(const tune::ParamMap &params)
+{
+    std::string s;
+    for (const auto &kv : params) {
+        if (!s.empty())
+            s += " ";
+        s += kv.first + "=" + kv.second;
+    }
+    return s;
+}
+
+/**
+ * Write a one-row graphene.bench.v1 document for the tune gate:
+ * `bench_diff <default> <tuned> --field sim_us` fails iff the tuned
+ * config regressed past the default.  Rows carry identical labels so
+ * bench_diff pairs them.
+ */
+void
+writeTuneReport(const std::string &path, const tune::TuneResult &res,
+                bool tuned)
+{
+    const tune::CandidateResult &r = tuned ? res.best
+                                           : res.defaultResult;
+    json::Value doc = json::Value::object();
+    doc["schema"] = "graphene.bench.v1";
+    doc["figure"] = "tune";
+    doc["meta"] = runMetadata(sim::resolveThreads(sim::defaultThreads()));
+    doc["meta"]["plan"] = sim::defaultUsePlan();
+    json::Value row = json::Value::object();
+    row["label"] = "tune:" + res.op;
+    row["arch"] = res.archName;
+    row["sim_us"] = r.simUs;
+    row["bound_by"] = r.boundBy;
+    row["tuned"] = tuned;
+    row["params"] = tune::paramsToJson(r.params);
+    json::Value rows = json::Value::array();
+    rows.push(std::move(row));
+    doc["rows"] = std::move(rows);
+    std::ofstream f = openOutputFile(path);
+    f << doc.dump(2) << "\n";
+    std::printf("report   wrote %s\n", path.c_str());
+}
+
+int
+runTuneCommand(const Options &o, const GpuArch &arch)
+{
+    if (o.op.empty()) {
+        std::fprintf(stderr, "error: tune requires --op <op>\n\n");
+        usage();
+    }
+    tune::ProblemShape shape;
+    if (o.mSet)
+        shape.m = o.m;
+    if (o.nSet)
+        shape.n = o.n;
+    if (o.kSet)
+        shape.k = o.k;
+    if (o.layersSet)
+        shape.layers = o.layers;
+    const tune::TunableSpace space =
+        tune::buildTunableSpace(o.op, arch, shape);
+    tune::TuneOptions topts;
+    topts.budget = static_cast<int>(o.budget);
+    topts.threads = sim::defaultThreads();
+    topts.seed = static_cast<uint64_t>(o.tuneSeed);
+    topts.lintFilter = o.lintFilter;
+    const tune::TuneResult res = tune::runTune(space, arch, topts);
+
+    std::printf("op       %s on %s  shape %s\n", res.op.c_str(),
+                res.archName.c_str(), res.shape.dump().c_str());
+    std::printf("space    %lld candidate(s), hash %s\n",
+                (long long)res.spaceSize, res.spaceHash.c_str());
+    std::printf("pruned   %lld lint-rejected, %lld invalid\n",
+                (long long)res.lintRejected, (long long)res.invalid);
+    std::printf("timed    %lld simulation(s), budget %lld, threads %d\n",
+                (long long)res.evaluated, (long long)o.budget,
+                sim::resolveThreads(topts.threads));
+    std::printf("default  %10.2f us  %s\n", res.defaultResult.simUs,
+                paramsBrief(res.defaultResult.params).c_str());
+    std::printf("best     %10.2f us  %s  [%s]\n", res.best.simUs,
+                paramsBrief(res.best.params).c_str(),
+                res.best.stage.c_str());
+    if (res.best.simUs > 0 && res.defaultResult.simUs > 0)
+        std::printf("speedup  %.3fx over the default config\n",
+                    res.defaultResult.simUs / res.best.simUs);
+
+    const std::string cachePath =
+        o.outPath.empty() ? "tune_cache.json" : o.outPath;
+    tune::TuningCache cache = tune::TuningCache::load(cachePath);
+    cache.put(res);
+    cache.save(cachePath);
+    std::printf("cache    wrote %s (%zu entr%s)\n", cachePath.c_str(),
+                cache.size(), cache.size() == 1 ? "y" : "ies");
+    if (!o.reportDefaultPath.empty())
+        writeTuneReport(o.reportDefaultPath, res, false);
+    if (!o.reportTunedPath.empty())
+        writeTuneReport(o.reportTunedPath, res, true);
+    // The search contract: the seed is never pruned, so the best-found
+    // config can only tie or beat the default.  A violation means the
+    // tuner regressed — fail the invocation (CI gates on this).
+    const bool ok = res.best.simUs >= 0
+        && (res.defaultResult.simUs < 0
+            || res.best.simUs <= res.defaultResult.simUs);
+    return ok ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -401,6 +594,8 @@ main(int argc, char **argv)
             listAtomics(arch);
             return 0;
         }
+        if (o.command == "tune")
+            return runTuneCommand(o, arch);
         Device dev(arch);
         Kernel kernel = buildKernel(o, arch, dev);
         if (o.command == "print-ir") {
@@ -411,12 +606,7 @@ main(int argc, char **argv)
             } else {
                 const CudaEmission em = emitCudaWithLineMap(kernel, arch);
                 std::printf("%s", em.code.c_str());
-                std::ofstream f(o.lineMapPath);
-                if (!f) {
-                    std::fprintf(stderr, "error: cannot write %s\n",
-                                 o.lineMapPath.c_str());
-                    return 1;
-                }
+                std::ofstream f = openOutputFile(o.lineMapPath);
                 f << lineMapToJson(em, kernel, arch).dump(2);
                 std::fprintf(stderr, "line map: wrote %s (%zu entries)\n",
                              o.lineMapPath.c_str(), em.lineMap.size());
@@ -449,12 +639,7 @@ main(int argc, char **argv)
                 if (o.jsonPath.empty()) {
                     std::printf("%s", doc.c_str());
                 } else {
-                    std::ofstream f(o.jsonPath);
-                    if (!f) {
-                        std::fprintf(stderr, "error: cannot write %s\n",
-                                     o.jsonPath.c_str());
-                        return 1;
-                    }
+                    std::ofstream f = openOutputFile(o.jsonPath);
                     f << doc;
                     std::printf("json     wrote %s\n", o.jsonPath.c_str());
                 }
@@ -474,12 +659,7 @@ main(int argc, char **argv)
             auto prof = dev.launch(kernel, LaunchMode::Timing);
             const json::Value trace =
                 profile::profileToChromeTrace(kernel, arch, prof);
-            std::ofstream f(o.outPath);
-            if (!f) {
-                std::fprintf(stderr, "error: cannot write %s\n",
-                             o.outPath.c_str());
-                return 1;
-            }
+            std::ofstream f = openOutputFile(o.outPath);
             f << trace.dump(1);
             std::printf("trace    wrote %s (%lld events)\n",
                         o.outPath.c_str(),
@@ -507,12 +687,7 @@ main(int argc, char **argv)
                 if (o.jsonPath.empty()) {
                     std::printf("%s\n", doc.c_str());
                 } else {
-                    std::ofstream f(o.jsonPath);
-                    if (!f) {
-                        std::fprintf(stderr, "error: cannot write %s\n",
-                                     o.jsonPath.c_str());
-                        return 1;
-                    }
+                    std::ofstream f = openOutputFile(o.jsonPath);
                     f << doc;
                     std::printf("json     wrote %s\n",
                                 o.jsonPath.c_str());
