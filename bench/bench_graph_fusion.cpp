@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Graph-fusion benchmark: the greedy fusion scheduler's plan vs the
+ * all-unfused per-node library lowering, on the two hand-fused
+ * regression anchors (the Fig. 11 MLP DAG, the Fig. 15 transformer
+ * block DAG) and a pair of seeded random DAGs.  Expected shape: the
+ * scheduled plan is never slower (the cost oracle falls back to the
+ * library lowering when fusion does not pay), and wins big where
+ * launches and activation round trips dominate — the MLP chain
+ * collapses 12 kernels into one.
+ *
+ * `--json <path>` emits paired `scheduled <g>` / `unfused <g>` rows;
+ * CI additionally gates scheduled-vs-unfused via the CLI's
+ * --report-fused/--report-unfused documents and tools/bench_diff.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "graph/graph.h"
+#include "graph/lower.h"
+#include "graph/scheduler.h"
+
+namespace graphene
+{
+namespace
+{
+
+graph::Graph
+graphByName(const std::string &name)
+{
+    if (name == "mlp")
+        return graph::mlpGraph(512, 128, 4);
+    if (name == "fig15")
+        return graph::fig15Graph(4, 12, 384, 768);
+    // "random-N"
+    const uint64_t seed =
+        static_cast<uint64_t>(std::atoll(name.c_str() + 7));
+    return graph::randomGraph(seed);
+}
+
+const char *const kGraphs[] = {"mlp", "fig15", "random-1", "random-4"};
+
+/** Scheduled (fused) or unfused stream time of one graph. */
+double
+runGraph(const GpuArch &arch, const std::string &name, bool fused)
+{
+    const graph::Graph g = graphByName(name);
+    Device dev(arch);
+    graph::allocateGraphTensors(dev, g, /*virtualBuffers=*/true);
+    if (!fused)
+        return graph::runUnfused(dev, g, LaunchMode::Timing);
+    const graph::Schedule s = graph::scheduleGraph(g, arch);
+    return graph::runScheduled(dev, g, s, LaunchMode::Timing);
+}
+
+void
+runBench(benchmark::State &state, const std::string &archName,
+         const std::string &name, bool fused)
+{
+    const GpuArch &arch = bench::archByName(archName);
+    double us = 0;
+    for (auto _ : state) {
+        us = runGraph(arch, name, fused);
+        state.SetIterationTime(us * 1e-6);
+    }
+    state.counters["sim_us"] = us;
+}
+
+BENCHMARK_CAPTURE(runBench, ampere_mlp_scheduled, "ampere", "mlp", true)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(runBench, ampere_mlp_unfused, "ampere", "mlp", false)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(runBench, ampere_fig15_scheduled, "ampere", "fig15",
+                  true)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(runBench, ampere_fig15_unfused, "ampere", "fig15",
+                  false)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+} // namespace graphene
+
+int
+main(int argc, char **argv)
+{
+    graphene::bench::JsonReport json(&argc, argv, "graph-fusion");
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    using namespace graphene;
+    using namespace graphene::bench;
+    printHeader("Graph fusion: scheduled plan vs unfused library "
+                "lowering");
+    for (const std::string archName : {"volta", "ampere"}) {
+        const GpuArch &arch = archByName(archName);
+        std::printf("  %s\n", arch.name.c_str());
+        std::printf("    %-10s %12s %13s %9s %s\n", "graph",
+                    "unfused(us)", "scheduled(us)", "speedup",
+                    "kernels");
+        for (const char *name : kGraphs) {
+            const graph::Graph g = graphByName(name);
+            const graph::Schedule s = graph::scheduleGraph(g, arch);
+            const double unfused = runGraph(arch, name, false);
+            const double fused = runGraph(arch, name, true);
+            std::printf("    %-10s %12.1f %13.1f %8.2fx %lld -> %lld\n",
+                        name, unfused, fused, unfused / fused,
+                        (long long)s.unfusedKernels,
+                        (long long)s.scheduledKernels);
+            json.addRow(std::string("unfused ") + name, archName,
+                        unfused);
+            json.addRow(std::string("scheduled ") + name, archName,
+                        fused);
+        }
+    }
+    json.write();
+    return 0;
+}

@@ -1,0 +1,529 @@
+#include "graph/chain_builder.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "ops/block_gemm.h"
+#include "support/check.h"
+#include "support/diag.h"
+
+namespace graphene
+{
+namespace graph
+{
+
+namespace
+{
+
+int64_t
+chainBlockSize(const GemmChainConfig &cfg)
+{
+    // wm = 32, wn = n/2 for n in {64, 128}: two warps along N on every
+    // stage, so one block size serves the whole chain.
+    return (cfg.mTile / 32) * 2 * 32;
+}
+
+int64_t
+maxActWidth(const GemmChainConfig &cfg)
+{
+    int64_t w = cfg.stages.empty() ? 0 : cfg.stages.front().k;
+    for (const ChainStage &s : cfg.stages)
+        w = std::max(w, s.n);
+    return w;
+}
+
+int64_t
+maxWeightElems(const GemmChainConfig &cfg)
+{
+    int64_t w = 0;
+    for (const ChainStage &s : cfg.stages)
+        w = std::max(w, s.k * s.n);
+    return w;
+}
+
+bool
+uniform128(const GemmChainConfig &cfg)
+{
+    if (cfg.stages.empty() || cfg.stages.front().k != 128)
+        return false;
+    for (const ChainStage &s : cfg.stages)
+        if (s.n != 128)
+            return false;
+    return true;
+}
+
+} // namespace
+
+int64_t
+gemmChainSmemBytes(const GemmChainConfig &cfg)
+{
+    // Two ping-pong activation tiles plus the widest weight tile.
+    return (2 * cfg.mTile * maxActWidth(cfg) + maxWeightElems(cfg)) * 2;
+}
+
+bool
+gemmChainValid(const GpuArch &arch, const GemmChainConfig &cfg,
+               std::string *why)
+{
+    auto fail = [&](const std::string &msg) {
+        if (why != nullptr)
+            *why = msg;
+        return false;
+    };
+    if (cfg.stages.empty())
+        return fail("empty chain");
+    if (cfg.m <= 0 || cfg.mTile <= 0 || cfg.mTile % 32 != 0)
+        return fail("M tile must be a positive multiple of 32");
+    if (cfg.m % cfg.mTile != 0)
+        return fail("batch rows must divide the M tile");
+    int64_t k = cfg.stages.front().k;
+    for (const ChainStage &s : cfg.stages) {
+        if (s.k != k)
+            return fail("stage K does not chain from the previous N");
+        if ((s.k != 64 && s.k != 128) || (s.n != 64 && s.n != 128))
+            return fail("stage widths must be 64 or 128 (weights and "
+                        "activations must fit in shared tiles)");
+        k = s.n;
+    }
+    const int64_t bs = chainBlockSize(cfg);
+    if (bs > 1024)
+        return fail("block size exceeds 1024 threads");
+    const int64_t k0 = cfg.stages.front().k;
+    if ((cfg.mTile * k0 / 8) % bs != 0)
+        return fail("input staging chunks do not divide the block");
+    for (const ChainStage &s : cfg.stages)
+        if ((s.k * s.n / 8) % bs != 0)
+            return fail("weight staging chunks do not divide the block");
+    if ((cfg.mTile * cfg.stages.back().n / 8) % bs != 0)
+        return fail("output store chunks do not divide the block");
+    if (gemmChainSmemBytes(cfg) > arch.maxSharedMemPerBlockBytes)
+        return fail("shared-memory tiles exceed the per-block budget");
+    return true;
+}
+
+Kernel
+buildGemmChain(const GpuArch &arch, const GemmChainConfig &cfg)
+{
+    std::string why;
+    GRAPHENE_CHECK(gemmChainValid(arch, cfg, &why))
+        << "invalid GEMM chain: " << why;
+    diag::Scope rootScope("graph-gemm-chain");
+
+    const int64_t mt = cfg.mTile;
+    const int64_t k0 = cfg.stages.front().k;
+    const int64_t nLast = cfg.stages.back().n;
+    const int64_t maxW = maxActWidth(cfg);
+    const bool ampere = arch.hasLdmatrix;
+    // Swizzled tiles only for the uniform 128-wide chain (the layouts
+    // the hand-fused MLP uses); the oracle judges the rest unswizzled.
+    const bool sw = cfg.swizzle && uniform128(cfg);
+    const Swizzle swz =
+        sw ? Swizzle(3, 3, 3).then(3, 3, 6) : Swizzle();
+
+    // One BlockGemm geometry per distinct stage width.
+    std::map<int64_t, std::unique_ptr<ops::BlockGemm>> geoms;
+    for (const ChainStage &s : cfg.stages) {
+        if (geoms.count(s.n) != 0)
+            continue;
+        auto bg = std::unique_ptr<ops::BlockGemm>(
+            new ops::BlockGemm(arch, mt, s.n, 32, s.n / 2));
+        const std::string suffix = std::to_string(s.n);
+        bg->accName = "%acc" + suffix;
+        bg->afragName = "%afrag" + suffix;
+        bg->bfragName = "%bfrag" + suffix;
+        geoms[s.n] = std::move(bg);
+    }
+    const int64_t blockSize = chainBlockSize(cfg);
+    for (const auto &kv : geoms)
+        GRAPHENE_CHECK(kv.second->blockSize() == blockSize)
+            << "chain stages disagree on the block size";
+    const int64_t grid = cfg.m / mt;
+
+    Kernel kernel(cfg.kernelName, grid, blockSize);
+    kernel.addParam(TensorView::global(
+                        cfg.inName,
+                        Layout::rowMajor(IntTuple{cfg.m, k0}),
+                        ScalarType::Fp16), true);
+    for (const ChainStage &s : cfg.stages) {
+        kernel.addParam(TensorView::global(
+                            s.weightName,
+                            Layout::rowMajor(IntTuple{s.k, s.n}),
+                            ScalarType::Fp16), true);
+        for (const ChainEpi &e : s.epis) {
+            if (e.kind == ChainEpi::Kind::Bias)
+                kernel.addParam(TensorView::global(
+                                    e.operand, Layout::vector(s.n),
+                                    ScalarType::Fp16), true);
+            else if (e.kind == ChainEpi::Kind::Binary)
+                kernel.addParam(
+                    TensorView::global(
+                        e.operand,
+                        Layout::rowMajor(IntTuple{cfg.m, s.n}),
+                        ScalarType::Fp16), true);
+        }
+    }
+    kernel.addParam(TensorView::global(
+                        cfg.outName,
+                        Layout::rowMajor(IntTuple{cfg.m, nLast}),
+                        ScalarType::Fp16), false);
+
+    auto t = ops::tid(blockSize);
+    auto b = ops::bid(grid);
+    auto one = ops::perThread(blockSize);
+    const int64_t accW = geoms.begin()->second->accVectorWidth();
+
+    auto actView = [&](const std::string &buf, int64_t width) {
+        return TensorView::shared(
+            buf, Layout::rowMajor(IntTuple{mt, width}),
+            ScalarType::Fp16, swz);
+    };
+
+    std::vector<StmtPtr> body;
+    body.push_back(alloc("%act0", ScalarType::Fp16, MemorySpace::SH,
+                         mt * maxW, swz));
+    body.push_back(alloc("%act1", ScalarType::Fp16, MemorySpace::SH,
+                         mt * maxW, swz));
+    body.push_back(alloc("%wgt", ScalarType::Fp16, MemorySpace::SH,
+                         maxWeightElems(cfg), swz));
+    body.push_back(alloc("%stg", ScalarType::Fp16, MemorySpace::RF, 8));
+    for (const auto &kv : geoms) {
+        auto frags = kv.second->allocFragments();
+        body.insert(body.end(), frags.begin(), frags.end());
+    }
+    body.push_back(alloc("%cvt", ScalarType::Fp16, MemorySpace::RF,
+                         accW));
+    body.push_back(alloc("%eh", ScalarType::Fp16, MemorySpace::RF, 1));
+
+    // Stage the chain input.
+    {
+        diag::Scope stageScope("stage-input");
+        auto stage = ops::stageTileToShared(
+            arch, blockSize, cfg.inName, mul(b, constant(mt * k0)), k0,
+            mt, k0, actView("%act0", k0), "%stg");
+        body.insert(body.end(), stage.begin(), stage.end());
+        body.push_back(syncThreads());
+    }
+
+    int cur = 0;
+    for (size_t si = 0; si < cfg.stages.size(); ++si) {
+        const ChainStage &s = cfg.stages[si];
+        diag::Scope stageScope("stage-" + std::to_string(si));
+        const ops::BlockGemm &bg = *geoms.at(s.n);
+
+        // Stage this stage's weights ([k, n]; transposed on Volta).
+        if (ampere) {
+            auto wView = TensorView::shared(
+                "%wgt", Layout::rowMajor(IntTuple{s.k, s.n}),
+                ScalarType::Fp16, swz);
+            auto stage = ops::stageTileToShared(
+                arch, blockSize, s.weightName, constant(0), s.n, s.k,
+                s.n, wView, "%stg");
+            body.insert(body.end(), stage.begin(), stage.end());
+        } else {
+            auto wView = TensorView::shared(
+                "%wgt", Layout::rowMajor(IntTuple{s.n, s.k}),
+                ScalarType::Fp16, swz);
+            auto stage = ops::stageTileToSharedTransposed(
+                blockSize, s.weightName, constant(0), s.n, s.k, s.n,
+                wView, "%stg");
+            body.insert(body.end(), stage.begin(), stage.end());
+        }
+        body.push_back(syncThreads());
+
+        body.push_back(bg.initAcc());
+        ops::SmemOperand aOp{cur == 0 ? "%act0" : "%act1", s.k, swz};
+        ops::SmemOperand wOp{"%wgt", ampere ? s.n : s.k, swz};
+        auto compute = bg.tileCompute(aOp, constant(0), constant(0),
+                                      wOp, constant(0), constant(0),
+                                      s.k);
+        body.insert(body.end(), compute.begin(), compute.end());
+        body.push_back(syncThreads());
+
+        // Node-boundary epilogue: round the accumulator to fp16 (the
+        // unfused GEMM's store), then replay each fused elementwise
+        // node on the fp16 registers.
+        const TensorView dstAct =
+            actView(cur == 0 ? "%act1" : "%act0", s.n);
+        bg.forEachAccVector([&](ExprPtr mLocal, ExprPtr nLocal,
+                                int64_t accOff, int64_t width) {
+            body.push_back(call(Spec::move(
+                one,
+                ops::vecReg(bg.accName, width, ScalarType::Fp32,
+                            accOff),
+                ops::vecReg("%cvt", width, ScalarType::Fp16))));
+            for (const ChainEpi &e : s.epis) {
+                for (int64_t el = 0; el < width; ++el) {
+                    ExprPtr nExpr = add(nLocal, constant(el));
+                    auto x = ops::scalarReg("%cvt", el,
+                                            ScalarType::Fp16);
+                    switch (e.kind) {
+                      case ChainEpi::Kind::Bias: {
+                        TensorView biasG("%ebg", e.operand, Layout(),
+                                         ScalarType::Fp16,
+                                         MemorySpace::GL);
+                        body.push_back(call(Spec::move(
+                            one, biasG.offsetBy(nExpr),
+                            ops::scalarReg("%eh", 0,
+                                           ScalarType::Fp16))));
+                        body.push_back(call(Spec::binary(
+                            OpKind::Add, one, x,
+                            ops::scalarReg("%eh", 0,
+                                           ScalarType::Fp16),
+                            x)));
+                        break;
+                      }
+                      case ChainEpi::Kind::Unary:
+                        body.push_back(
+                            call(Spec::unary(e.op, one, x, x)));
+                        break;
+                      case ChainEpi::Kind::Binary: {
+                        TensorView opG("%eog", e.operand, Layout(),
+                                       ScalarType::Fp16,
+                                       MemorySpace::GL);
+                        ExprPtr row = add(mul(b, constant(mt)),
+                                          mLocal);
+                        ExprPtr off = add(mul(row, constant(s.n)),
+                                          nExpr);
+                        body.push_back(call(Spec::move(
+                            one, opG.offsetBy(off),
+                            ops::scalarReg("%eh", 0,
+                                           ScalarType::Fp16))));
+                        body.push_back(call(Spec::binary(
+                            e.op, one, x,
+                            ops::scalarReg("%eh", 0,
+                                           ScalarType::Fp16),
+                            x)));
+                        break;
+                      }
+                      case ChainEpi::Kind::Scale:
+                        body.push_back(call(Spec::binaryScalar(
+                            OpKind::Mul, one, x, e.scalar, x)));
+                        break;
+                    }
+                }
+            }
+            auto dst = dstAct.index({mLocal, nLocal})
+                           .withLayout(Layout::vector(width));
+            body.push_back(call(Spec::move(
+                one, ops::vecReg("%cvt", width, ScalarType::Fp16),
+                dst)));
+        });
+        body.push_back(syncThreads());
+        cur ^= 1;
+    }
+
+    // Copy the final activations to global memory.
+    {
+        diag::Scope storeScope("store-output");
+        const TensorView finalAct =
+            actView(cur == 0 ? "%act0" : "%act1", nLast);
+        const int64_t chunks = mt * nLast / 8 / blockSize;
+        for (int64_t i = 0; i < chunks; ++i) {
+            ExprPtr chunk = add(t, constant(i * blockSize));
+            ExprPtr row = floorDiv(chunk, constant(nLast / 8));
+            ExprPtr col = mul(mod(chunk, constant(nLast / 8)),
+                              constant(8));
+            auto src = finalAct.index({row, col})
+                           .withLayout(Layout::vector(8));
+            TensorView dst("%yg", cfg.outName, Layout::vector(8),
+                           ScalarType::Fp16, MemorySpace::GL);
+            dst = dst.offsetBy(add(mul(b, constant(mt * nLast)),
+                                   add(mul(row, constant(nLast)),
+                                       col)));
+            body.push_back(call(Spec::move(
+                one, src, ops::vecReg("%stg", 8, ScalarType::Fp16))));
+            body.push_back(call(Spec::move(
+                one, ops::vecReg("%stg", 8, ScalarType::Fp16), dst)));
+        }
+    }
+
+    kernel.setBody(std::move(body));
+    double bytes = 2.0 * (cfg.m * k0 + cfg.m * nLast);
+    for (const ChainStage &s : cfg.stages) {
+        bytes += 2.0 * s.k * s.n;
+        for (const ChainEpi &e : s.epis) {
+            if (e.kind == ChainEpi::Kind::Bias)
+                bytes += 2.0 * s.n;
+            else if (e.kind == ChainEpi::Kind::Binary)
+                bytes += 2.0 * cfg.m * s.n;
+        }
+    }
+    kernel.setDramBytesHint(bytes);
+    return kernel;
+}
+
+bool
+pointwiseChainValid(const PointwiseChainConfig &cfg, std::string *why)
+{
+    auto fail = [&](const std::string &msg) {
+        if (why != nullptr)
+            *why = msg;
+        return false;
+    };
+    if (cfg.steps.empty())
+        return fail("empty chain");
+    if (cfg.rows <= 0 || cfg.cols <= 0 || cfg.cols % 8 != 0)
+        return fail("width must be a positive multiple of 8");
+    for (const PwStep &s : cfg.steps)
+        if (s.kind == PwStep::Kind::Binary && !s.chainIsLhs
+            && s.op != OpKind::Add && s.op != OpKind::Mul)
+            return fail("non-commutative binary with the chain value "
+                        "on the right");
+    return true;
+}
+
+Kernel
+buildPointwiseChain(const GpuArch &arch, const PointwiseChainConfig &cfg)
+{
+    (void)arch;
+    std::string why;
+    GRAPHENE_CHECK(pointwiseChainValid(cfg, &why))
+        << "invalid pointwise chain: " << why;
+    diag::Scope rootScope("graph-pw-chain");
+
+    constexpr int64_t kBlockSize = 256;
+    constexpr int64_t kVec = 8;
+    const int64_t count = cfg.rows * cfg.cols;
+    const int64_t perBlock = kBlockSize * kVec;
+    const int64_t grid = ceilDiv(count, perBlock);
+    Kernel kernel(cfg.kernelName, grid, kBlockSize);
+
+    bool needsOperandVec = false;
+    bool needsFp32 = false;
+    for (const PwStep &s : cfg.steps) {
+        if (s.kind == PwStep::Kind::Binary
+            || s.kind == PwStep::Kind::Bias)
+            needsOperandVec = true;
+        if (s.kind == PwStep::Kind::RowBcast)
+            needsFp32 = true;
+    }
+
+    auto one = ops::perThread(kBlockSize);
+    ExprPtr idx8 = mul(add(mul(ops::bid(grid), constant(kBlockSize)),
+                           ops::tid(kBlockSize)),
+                       constant(kVec));
+    auto globalVec = [&](const std::string &buffer, ExprPtr offset,
+                         int64_t n = 8 /* kVec */,
+                         ScalarType scalar = ScalarType::Fp16) {
+        TensorView v("%g", buffer,
+                     n == 1 ? Layout() : Layout::vector(n), scalar,
+                     MemorySpace::GL);
+        return v.offsetBy(std::move(offset));
+    };
+
+    std::vector<StmtPtr> chunk;
+    chunk.push_back(call(Spec::move(
+        one, globalVec(cfg.inName, idx8),
+        ops::vecReg("%x", kVec, ScalarType::Fp16))));
+    for (const PwStep &s : cfg.steps) {
+        switch (s.kind) {
+          case PwStep::Kind::Unary:
+            for (int64_t e = 0; e < kVec; ++e)
+                chunk.push_back(call(Spec::unary(
+                    s.op, one, ops::scalarReg("%x", e, ScalarType::Fp16),
+                    ops::scalarReg("%x", e, ScalarType::Fp16))));
+            break;
+          case PwStep::Kind::Scale:
+            for (int64_t e = 0; e < kVec; ++e)
+                chunk.push_back(call(Spec::binaryScalar(
+                    OpKind::Mul, one,
+                    ops::scalarReg("%x", e, ScalarType::Fp16), s.scalar,
+                    ops::scalarReg("%x", e, ScalarType::Fp16))));
+            break;
+          case PwStep::Kind::Binary:
+            chunk.push_back(call(Spec::move(
+                one, globalVec(s.operand, idx8),
+                ops::vecReg("%y", kVec, ScalarType::Fp16))));
+            for (int64_t e = 0; e < kVec; ++e) {
+                auto x = ops::scalarReg("%x", e, ScalarType::Fp16);
+                auto y = ops::scalarReg("%y", e, ScalarType::Fp16);
+                if (s.chainIsLhs)
+                    chunk.push_back(
+                        call(Spec::binary(s.op, one, x, y, x)));
+                else
+                    chunk.push_back(
+                        call(Spec::binary(s.op, one, y, x, x)));
+            }
+            break;
+          case PwStep::Kind::Bias:
+            chunk.push_back(call(Spec::move(
+                one,
+                globalVec(s.operand, mod(idx8, constant(cfg.cols))),
+                ops::vecReg("%y", kVec, ScalarType::Fp16))));
+            for (int64_t e = 0; e < kVec; ++e)
+                chunk.push_back(call(Spec::binary(
+                    OpKind::Add, one,
+                    ops::scalarReg("%x", e, ScalarType::Fp16),
+                    ops::scalarReg("%y", e, ScalarType::Fp16),
+                    ops::scalarReg("%x", e, ScalarType::Fp16))));
+            break;
+          case PwStep::Kind::RowBcast: {
+            // The unfused kernel's exact precision round trip:
+            // fp16 -> fp32, op against the fp32 row value, -> fp16.
+            ExprPtr row = floorDiv(idx8, constant(cfg.cols));
+            chunk.push_back(call(Spec::move(
+                one, ops::vecReg("%x", kVec, ScalarType::Fp16),
+                ops::vecReg("%xf", kVec, ScalarType::Fp32))));
+            chunk.push_back(call(Spec::move(
+                one, globalVec(s.operand, row, 1, ScalarType::Fp32),
+                ops::scalarReg("%rv"))));
+            for (int64_t e = 0; e < kVec; ++e)
+                chunk.push_back(call(Spec::binary(
+                    s.op, one, ops::scalarReg("%xf", e),
+                    ops::scalarReg("%rv"), ops::scalarReg("%xf", e))));
+            chunk.push_back(call(Spec::move(
+                one, ops::vecReg("%xf", kVec, ScalarType::Fp32),
+                ops::vecReg("%x", kVec, ScalarType::Fp16))));
+            break;
+          }
+        }
+    }
+    chunk.push_back(call(Spec::move(
+        one, ops::vecReg("%x", kVec, ScalarType::Fp16),
+        globalVec(cfg.outName, idx8))));
+
+    std::vector<StmtPtr> body;
+    body.push_back(alloc("%x", ScalarType::Fp16, MemorySpace::RF,
+                         kVec));
+    if (needsOperandVec)
+        body.push_back(alloc("%y", ScalarType::Fp16, MemorySpace::RF,
+                             kVec));
+    if (needsFp32) {
+        body.push_back(alloc("%xf", ScalarType::Fp32, MemorySpace::RF,
+                             kVec));
+        body.push_back(alloc("%rv", ScalarType::Fp32, MemorySpace::RF,
+                             1));
+    }
+    if (grid * perBlock == count)
+        body.insert(body.end(), chunk.begin(), chunk.end());
+    else
+        body.push_back(ifStmt(lessThan(idx8, constant(count)),
+                              std::move(chunk)));
+    kernel.setBody(std::move(body));
+
+    kernel.addParam(TensorView::global(cfg.inName,
+                                       Layout::vector(count),
+                                       ScalarType::Fp16), true);
+    for (const PwStep &s : cfg.steps) {
+        if (s.kind == PwStep::Kind::Binary)
+            kernel.addParam(TensorView::global(s.operand,
+                                               Layout::vector(count),
+                                               ScalarType::Fp16), true);
+        else if (s.kind == PwStep::Kind::Bias)
+            kernel.addParam(TensorView::global(
+                                s.operand, Layout::vector(cfg.cols),
+                                ScalarType::Fp16), true);
+        else if (s.kind == PwStep::Kind::RowBcast)
+            kernel.addParam(TensorView::global(
+                                s.operand, Layout::vector(cfg.rows),
+                                ScalarType::Fp32), true);
+    }
+    kernel.addParam(TensorView::global(cfg.outName,
+                                       Layout::vector(count),
+                                       ScalarType::Fp16), false);
+    return kernel;
+}
+
+} // namespace graph
+} // namespace graphene

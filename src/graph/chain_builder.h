@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Kernel builders for the scheduler's fused subgraphs.
+ *
+ * Both builders replay the *library* per-node numerics inside one
+ * kernel so the fused execution is bit-identical to the unfused
+ * per-kernel sequence:
+ *
+ *  - every elementwise node operates on fp16 registers (the library
+ *    pointwise kernels' register precision), so intermediate values
+ *    round exactly where a DRAM round-trip would have rounded;
+ *  - a MatMul node's accumulator is converted fp32 -> fp16 at the node
+ *    boundary before any fused consumer runs (buildTcGemm's store
+ *    rounding), and the BlockGemm accumulation order is k-ascending in
+ *    kStep chunks — independent of how the unfused kernel tiles K;
+ *  - row-broadcast steps take the fp16 -> fp32 -> op -> fp16 round
+ *    trip of ops/buildRowBroadcast.
+ *
+ * This is what lets tests/graph_differential_test.cpp assert
+ * scheduled-fused == unfused bit-exactly over random DAGs.
+ */
+
+#ifndef GRAPHENE_GRAPH_CHAIN_BUILDER_H
+#define GRAPHENE_GRAPH_CHAIN_BUILDER_H
+
+#include <string>
+#include <vector>
+
+#include "arch/gpu_arch.h"
+#include "ir/kernel.h"
+
+namespace graphene
+{
+namespace graph
+{
+
+/** One elementwise node fused into a GEMM-chain stage's epilogue. */
+struct ChainEpi
+{
+    enum class Kind
+    {
+        Bias,   // += fp16 column vector `operand` [n]
+        Unary,  // op(x) on the fp16 value
+        Binary, // op(x, operand[r, c]) with a global fp16 [m, n] tensor
+        Scale,  // x * scalar
+    };
+    Kind kind = Kind::Unary;
+    OpKind op = OpKind::Identity;
+    double scalar = 1.0;
+    std::string operand;
+};
+
+/** One GEMM stage: activations [m, k] x weights [k, n] + epilogue. */
+struct ChainStage
+{
+    int64_t k = 0;
+    int64_t n = 0;
+    std::string weightName; // [k, n] fp16 global, row-major
+    std::vector<ChainEpi> epis;
+};
+
+/**
+ * A fused producer->consumer GEMM chain (the generalized Fig. 11 MLP):
+ * activations ping-pong between two shared tiles, each stage stages
+ * its weights, runs a BlockGemm, applies its fused elementwise nodes
+ * on fp16 registers, and only the chain input and final output touch
+ * global memory.
+ */
+struct GemmChainConfig
+{
+    std::string kernelName = "graphene_graph_chain";
+    int64_t m = 0;
+    int64_t mTile = 64;
+    bool swizzle = true;
+    std::string inName;  // [m, stages[0].k] fp16
+    std::string outName; // [m, stages.back().n] fp16
+    std::vector<ChainStage> stages;
+};
+
+/** Shared-memory footprint of the chain kernel (bytes). */
+int64_t gemmChainSmemBytes(const GemmChainConfig &cfg);
+
+/**
+ * True if @p cfg satisfies every constraint buildGemmChain enforces
+ * (stage widths in {64, 128}, tile/block divisibility, smem capacity);
+ * when @p why is non-null it receives the first violated constraint.
+ */
+bool gemmChainValid(const GpuArch &arch, const GemmChainConfig &cfg,
+                    std::string *why = nullptr);
+
+Kernel buildGemmChain(const GpuArch &arch, const GemmChainConfig &cfg);
+
+/** One step of a fused flat pointwise chain. */
+struct PwStep
+{
+    enum class Kind
+    {
+        Unary,
+        Scale,
+        Binary,  // operand: fp16 [rows, cols] global tensor
+        Bias,    // operand: fp16 [cols] column vector
+        RowBcast // operand: fp32 [rows] row vector
+    };
+    Kind kind = Kind::Unary;
+    OpKind op = OpKind::Identity;
+    double scalar = 1.0;
+    std::string operand;
+    /** Binary only: the chain value is the op's left operand. */
+    bool chainIsLhs = true;
+};
+
+/**
+ * A fused chain of same-shape elementwise nodes: one flat kernel,
+ * every intermediate stays in fp16 registers (row-broadcast steps
+ * round-trip through fp32 exactly like the unfused kernel).
+ */
+struct PointwiseChainConfig
+{
+    std::string kernelName = "graphene_graph_pwchain";
+    int64_t rows = 0;
+    int64_t cols = 0;
+    std::string inName;
+    std::string outName;
+    std::vector<PwStep> steps;
+};
+
+bool pointwiseChainValid(const PointwiseChainConfig &cfg,
+                         std::string *why = nullptr);
+
+Kernel buildPointwiseChain(const GpuArch &arch,
+                           const PointwiseChainConfig &cfg);
+
+} // namespace graph
+} // namespace graphene
+
+#endif // GRAPHENE_GRAPH_CHAIN_BUILDER_H

@@ -1,0 +1,630 @@
+#include "graph/graph.h"
+
+#include <map>
+
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace graphene
+{
+namespace graph
+{
+
+namespace
+{
+
+const std::map<std::string, NodeKind> &
+kindTable()
+{
+    static const std::map<std::string, NodeKind> table = {
+        {"matmul", NodeKind::MatMul},
+        {"unary", NodeKind::Unary},
+        {"binary", NodeKind::Binary},
+        {"scale", NodeKind::Scale},
+        {"bias_add", NodeKind::BiasAdd},
+        {"row_reduce", NodeKind::RowReduce},
+        {"row_broadcast", NodeKind::RowBroadcast},
+        {"softmax", NodeKind::Softmax},
+        {"layernorm", NodeKind::Layernorm},
+        {"permute", NodeKind::Permute},
+    };
+    return table;
+}
+
+OpKind
+opKindFromName(const std::string &name)
+{
+    static const std::map<std::string, OpKind> table = {
+        {"add", OpKind::Add},       {"sub", OpKind::Sub},
+        {"mul", OpKind::Mul},       {"div", OpKind::Div},
+        {"max", OpKind::Max},       {"min", OpKind::Min},
+        {"exp", OpKind::Exp},       {"relu", OpKind::Relu},
+        {"gelu", OpKind::Gelu},     {"tanh", OpKind::Tanh},
+        {"sigmoid", OpKind::Sigmoid}, {"rsqrt", OpKind::Rsqrt},
+        {"neg", OpKind::Neg},       {"identity", OpKind::Identity},
+    };
+    auto it = table.find(name);
+    GRAPHENE_CHECK(it != table.end())
+        << "unknown op kind '" << name << "' in graph document";
+    return it->second;
+}
+
+ScalarType
+scalarFromName(const std::string &name)
+{
+    if (name == "fp16")
+        return ScalarType::Fp16;
+    if (name == "fp32")
+        return ScalarType::Fp32;
+    GRAPHENE_CHECK(false) << "unsupported tensor scalar '" << name
+                          << "' (fp16 | fp32)";
+    return ScalarType::Fp16;
+}
+
+std::string
+scalarName(ScalarType s)
+{
+    return s == ScalarType::Fp32 ? "fp32" : "fp16";
+}
+
+} // namespace
+
+std::string
+nodeKindName(NodeKind kind)
+{
+    for (const auto &kv : kindTable())
+        if (kv.second == kind)
+            return kv.first;
+    return "?";
+}
+
+NodeKind
+nodeKindFromName(const std::string &name)
+{
+    auto it = kindTable().find(name);
+    GRAPHENE_CHECK(it != kindTable().end())
+        << "unknown node kind '" << name << "' in graph document";
+    return it->second;
+}
+
+int
+Graph::addTensor(const std::string &tname, int64_t rows, int64_t cols,
+                 ScalarType scalar)
+{
+    GRAPHENE_CHECK(tensorId(tname) < 0)
+        << "duplicate tensor '" << tname << "'";
+    tensors.push_back({tname, rows, cols, scalar});
+    return static_cast<int>(tensors.size()) - 1;
+}
+
+int
+Graph::addInput(const std::string &tname, int64_t rows, int64_t cols,
+                ScalarType scalar)
+{
+    const int id = addTensor(tname, rows, cols, scalar);
+    inputs.push_back(id);
+    return id;
+}
+
+int
+Graph::addNode(Node node)
+{
+    nodes.push_back(std::move(node));
+    return static_cast<int>(nodes.size()) - 1;
+}
+
+int
+Graph::tensorId(const std::string &tname) const
+{
+    for (size_t i = 0; i < tensors.size(); ++i)
+        if (tensors[i].name == tname)
+            return static_cast<int>(i);
+    return -1;
+}
+
+int
+Graph::producerOf(int tensor) const
+{
+    for (size_t i = 0; i < nodes.size(); ++i)
+        if (nodes[i].output == tensor)
+            return static_cast<int>(i);
+    return -1;
+}
+
+std::vector<int>
+Graph::consumersOf(int tensor) const
+{
+    std::vector<int> out;
+    for (size_t i = 0; i < nodes.size(); ++i)
+        for (int in : nodes[i].inputs)
+            if (in == tensor) {
+                out.push_back(static_cast<int>(i));
+                break;
+            }
+    return out;
+}
+
+bool
+Graph::isInput(int tensor) const
+{
+    for (int t : inputs)
+        if (t == tensor)
+            return true;
+    return false;
+}
+
+bool
+Graph::isOutput(int tensor) const
+{
+    for (int t : outputs)
+        if (t == tensor)
+            return true;
+    return false;
+}
+
+void
+Graph::inferBoundary()
+{
+    inputs.clear();
+    outputs.clear();
+    for (size_t t = 0; t < tensors.size(); ++t) {
+        const int id = static_cast<int>(t);
+        if (producerOf(id) < 0)
+            inputs.push_back(id);
+        if (producerOf(id) >= 0 && consumersOf(id).empty())
+            outputs.push_back(id);
+    }
+}
+
+void
+Graph::validate() const
+{
+    std::vector<int> producer(tensors.size(), -1);
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        const Node &n = nodes[i];
+        GRAPHENE_CHECK(n.output >= 0
+                       && n.output < static_cast<int>(tensors.size()))
+            << "node '" << n.name << "': bad output tensor id";
+        GRAPHENE_CHECK(producer[n.output] < 0)
+            << "tensor '" << tensors[n.output].name
+            << "' has two producers (SSA violation)";
+        producer[n.output] = static_cast<int>(i);
+        for (int in : n.inputs) {
+            GRAPHENE_CHECK(in >= 0
+                           && in < static_cast<int>(tensors.size()))
+                << "node '" << n.name << "': bad input tensor id";
+            GRAPHENE_CHECK(producer[in] >= 0 || isInput(in))
+                << "node '" << n.name << "': input '"
+                << tensors[in].name
+                << "' is neither an external input nor produced by an "
+                << "earlier node (topological order violation)";
+        }
+
+        auto arity = [&](size_t want) {
+            GRAPHENE_CHECK(n.inputs.size() == want)
+                << "node '" << n.name << "' (" << nodeKindName(n.kind)
+                << "): expected " << want << " input(s), got "
+                << n.inputs.size();
+        };
+        const TensorDef &out = tensors[n.output];
+        auto in = [&](size_t j) -> const TensorDef & {
+            return tensors[n.inputs[j]];
+        };
+        switch (n.kind) {
+          case NodeKind::MatMul: {
+            arity(2);
+            GRAPHENE_CHECK(n.batch >= 1 && out.rows % n.batch == 0
+                           && in(0).rows % n.batch == 0)
+                << "node '" << n.name << "': batch granularity";
+            const int64_t m = in(0).rows / n.batch;
+            const int64_t k = in(0).cols;
+            const int64_t nn = out.cols;
+            const TensorDef &b = in(1);
+            const int64_t bRows = b.rows / n.batch;
+            GRAPHENE_CHECK(b.rows % n.batch == 0
+                           && (n.bTransposed
+                                   ? bRows == nn && b.cols == k
+                                   : bRows == k && b.cols == nn))
+                << "node '" << n.name << "': operand shape mismatch";
+            GRAPHENE_CHECK(out.rows == n.batch * m)
+                << "node '" << n.name << "': output rows";
+            break;
+          }
+          case NodeKind::Unary:
+          case NodeKind::Scale:
+            arity(1);
+            GRAPHENE_CHECK(in(0).rows == out.rows
+                           && in(0).cols == out.cols)
+                << "node '" << n.name << "': shape mismatch";
+            break;
+          case NodeKind::Permute:
+            arity(1);
+            GRAPHENE_CHECK(in(0).count() >= out.count())
+                << "node '" << n.name
+                << "': permute cannot grow the tensor";
+            break;
+          case NodeKind::Binary:
+            arity(2);
+            GRAPHENE_CHECK(in(0).rows == out.rows
+                           && in(0).cols == out.cols
+                           && in(1).rows == out.rows
+                           && in(1).cols == out.cols)
+                << "node '" << n.name << "': shape mismatch";
+            break;
+          case NodeKind::BiasAdd:
+            arity(2);
+            GRAPHENE_CHECK(in(0).rows == out.rows
+                           && in(0).cols == out.cols
+                           && in(1).count() == out.cols)
+                << "node '" << n.name << "': bias shape mismatch";
+            break;
+          case NodeKind::RowReduce:
+            arity(1);
+            GRAPHENE_CHECK(out.cols == 1 && out.rows == in(0).rows
+                           && out.scalar == ScalarType::Fp32)
+                << "node '" << n.name
+                << "': row reduce output must be fp32 [rows, 1]";
+            break;
+          case NodeKind::RowBroadcast:
+            arity(2);
+            GRAPHENE_CHECK(in(0).rows == out.rows
+                           && in(0).cols == out.cols
+                           && in(1).count() == out.rows
+                           && in(1).scalar == ScalarType::Fp32)
+                << "node '" << n.name
+                << "': row vector must be fp32 [rows, 1]";
+            break;
+          case NodeKind::Softmax:
+            arity(1);
+            GRAPHENE_CHECK(in(0).rows == out.rows
+                           && in(0).cols == out.cols)
+                << "node '" << n.name << "': shape mismatch";
+            break;
+          case NodeKind::Layernorm:
+            arity(3);
+            GRAPHENE_CHECK(in(0).rows == out.rows
+                           && in(0).cols == out.cols
+                           && in(1).count() == out.cols
+                           && in(2).count() == out.cols)
+                << "node '" << n.name << "': gamma/beta shape mismatch";
+            break;
+        }
+    }
+    for (int t : outputs)
+        GRAPHENE_CHECK(producer[t] >= 0)
+            << "output tensor '" << tensors[t].name
+            << "' is never produced";
+}
+
+json::Value
+Graph::toJson() const
+{
+    json::Value doc = json::Value::object();
+    doc["schema"] = kSchema;
+    doc["name"] = name;
+    json::Value ts = json::Value::array();
+    for (const TensorDef &t : tensors) {
+        json::Value v = json::Value::object();
+        v["name"] = t.name;
+        v["rows"] = t.rows;
+        v["cols"] = t.cols;
+        v["scalar"] = scalarName(t.scalar);
+        ts.push(std::move(v));
+    }
+    doc["tensors"] = std::move(ts);
+    json::Value ins = json::Value::array();
+    for (int t : inputs)
+        ins.push(tensors[t].name);
+    doc["inputs"] = std::move(ins);
+    json::Value outs = json::Value::array();
+    for (int t : outputs)
+        outs.push(tensors[t].name);
+    doc["outputs"] = std::move(outs);
+    json::Value ns = json::Value::array();
+    for (const Node &n : nodes) {
+        json::Value v = json::Value::object();
+        v["kind"] = nodeKindName(n.kind);
+        v["name"] = n.name;
+        json::Value nin = json::Value::array();
+        for (int t : n.inputs)
+            nin.push(tensors[t].name);
+        v["inputs"] = std::move(nin);
+        v["out"] = tensors[n.output].name;
+        if (n.op != OpKind::Identity)
+            v["op"] = opKindName(n.op);
+        if (n.scalar != 1.0)
+            v["scalar"] = n.scalar;
+        if (n.bTransposed)
+            v["b_transposed"] = true;
+        if (n.batch != 1)
+            v["batch"] = n.batch;
+        ns.push(std::move(v));
+    }
+    doc["nodes"] = std::move(ns);
+    return doc;
+}
+
+Graph
+Graph::fromJson(const json::Value &doc)
+{
+    GRAPHENE_CHECK(doc.isObject() && doc.contains("schema")
+                   && doc.at("schema").asString() == kSchema)
+        << "not a " << kSchema << " document";
+    Graph g;
+    g.name = doc.contains("name") ? doc.at("name").asString() : "graph";
+    const json::Value &ts = doc.at("tensors");
+    for (size_t i = 0; i < ts.size(); ++i) {
+        const json::Value &v = ts.at(i);
+        g.addTensor(v.at("name").asString(),
+                    static_cast<int64_t>(v.at("rows").asNumber()),
+                    static_cast<int64_t>(v.at("cols").asNumber()),
+                    v.contains("scalar")
+                        ? scalarFromName(v.at("scalar").asString())
+                        : ScalarType::Fp16);
+    }
+    auto ids = [&](const json::Value &arr) {
+        std::vector<int> out;
+        for (size_t i = 0; i < arr.size(); ++i) {
+            const int id = g.tensorId(arr.at(i).asString());
+            GRAPHENE_CHECK(id >= 0) << "unknown tensor '"
+                                    << arr.at(i).asString() << "'";
+            out.push_back(id);
+        }
+        return out;
+    };
+    g.inputs = ids(doc.at("inputs"));
+    g.outputs = ids(doc.at("outputs"));
+    const json::Value &ns = doc.at("nodes");
+    for (size_t i = 0; i < ns.size(); ++i) {
+        const json::Value &v = ns.at(i);
+        Node n;
+        n.kind = nodeKindFromName(v.at("kind").asString());
+        n.name = v.at("name").asString();
+        n.inputs = ids(v.at("inputs"));
+        n.output = g.tensorId(v.at("out").asString());
+        GRAPHENE_CHECK(n.output >= 0)
+            << "unknown output tensor '" << v.at("out").asString()
+            << "'";
+        if (v.contains("op"))
+            n.op = opKindFromName(v.at("op").asString());
+        if (v.contains("scalar"))
+            n.scalar = v.at("scalar").asNumber();
+        if (v.contains("b_transposed"))
+            n.bTransposed = v.at("b_transposed").asBool();
+        if (v.contains("batch"))
+            n.batch = static_cast<int64_t>(v.at("batch").asNumber());
+        g.addNode(std::move(n));
+    }
+    g.validate();
+    return g;
+}
+
+Graph
+mlpGraph(int64_t m, int64_t width, int64_t layers)
+{
+    Graph g;
+    g.name = "mlp";
+    int act = g.addInput("%x", m, width);
+    for (int64_t l = 0; l < layers; ++l) {
+        const std::string s = std::to_string(l);
+        const int w = g.addInput("%W" + s, width, width);
+        const int bias = g.addInput("%b" + s, 1, width);
+        const int h = g.addTensor("%h" + s, m, width);
+        const int a = g.addTensor("%a" + s, m, width);
+        const int r = l + 1 == layers ? g.addTensor("%y", m, width)
+                                      : g.addTensor("%r" + s, m, width);
+        g.addNode({NodeKind::MatMul, "fc" + s, {act, w}, h});
+        g.addNode({NodeKind::BiasAdd, "bias" + s, {h, bias}, a});
+        Node relu{NodeKind::Unary, "relu" + s, {a}, r};
+        relu.op = OpKind::Relu;
+        g.addNode(std::move(relu));
+        act = r;
+    }
+    g.outputs = {act};
+    g.validate();
+    return g;
+}
+
+Graph
+fig15Graph(int64_t batch, int64_t heads, int64_t seq, int64_t hidden)
+{
+    GRAPHENE_CHECK(hidden == heads * 64)
+        << "fig15 graph needs headDim 64 (hidden = heads * 64)";
+    GRAPHENE_CHECK(seq % 128 == 0) << "sequence granularity";
+    const int64_t T = batch * seq;
+    const int64_t H = hidden;
+    const int64_t F = 4 * hidden;
+    const int64_t BH = batch * heads;
+    const int64_t D = 64;
+    const double alpha = 0.125; // 1/sqrt(64)
+
+    Graph g;
+    g.name = "fig15";
+    const int act = g.addInput("%act", T, H);
+    const int wqkv = g.addInput("%wqkv", H, 3 * H);
+    const int bqkv = g.addInput("%bqkv", 1, 3 * H);
+    const int qkv0 = g.addTensor("%qkv0", T, 3 * H);
+    const int qkv = g.addTensor("%qkv", T, 3 * H);
+    g.addNode({NodeKind::MatMul, "qkv_proj", {act, wqkv}, qkv0});
+    g.addNode({NodeKind::BiasAdd, "qkv_bias", {qkv0, bqkv}, qkv});
+
+    // [tokens, 3H] -> per-head Q/K/V layouts (identity-copy cost
+    // model, exactly like models/transformer.cpp's permute kernel).
+    const int q = g.addTensor("%q", BH * seq, D);
+    const int k = g.addTensor("%k", BH * seq, D);
+    const int vv = g.addTensor("%vv", BH * seq, D);
+    g.addNode({NodeKind::Permute, "perm_q", {qkv}, q});
+    g.addNode({NodeKind::Permute, "perm_k", {qkv}, k});
+    g.addNode({NodeKind::Permute, "perm_v", {qkv}, vv});
+
+    // Attention: S = alpha Q K^T (batched), P = softmax(S), O = P V.
+    const int scores = g.addTensor("%scores", BH * seq, seq);
+    const int probs = g.addTensor("%probs", BH * seq, seq);
+    const int attn = g.addTensor("%attn", BH * seq, D);
+    Node qk{NodeKind::MatMul, "attn_score", {q, k}, scores};
+    qk.bTransposed = true;
+    qk.batch = BH;
+    qk.scalar = alpha;
+    g.addNode(std::move(qk));
+    g.addNode({NodeKind::Softmax, "attn_prob", {scores}, probs});
+    Node pv{NodeKind::MatMul, "attn_out", {probs, vv}, attn};
+    pv.batch = BH;
+    g.addNode(std::move(pv));
+
+    const int attnT = g.addTensor("%attnT", T, H);
+    g.addNode({NodeKind::Permute, "perm_o", {attn}, attnT});
+
+    // Output projection + bias, residual, layernorm.
+    const int wo = g.addInput("%wo", H, H);
+    const int bo = g.addInput("%bo", 1, H);
+    const int proj0 = g.addTensor("%proj0", T, H);
+    const int proj = g.addTensor("%proj", T, H);
+    const int res1 = g.addTensor("%res1", T, H);
+    const int gamma1 = g.addInput("%gamma1", 1, H);
+    const int beta1 = g.addInput("%beta1", 1, H);
+    const int ln1 = g.addTensor("%ln1", T, H);
+    g.addNode({NodeKind::MatMul, "out_proj", {attnT, wo}, proj0});
+    g.addNode({NodeKind::BiasAdd, "out_bias", {proj0, bo}, proj});
+    Node r1{NodeKind::Binary, "residual1", {proj, act}, res1};
+    r1.op = OpKind::Add;
+    g.addNode(std::move(r1));
+    g.addNode({NodeKind::Layernorm, "ln1", {res1, gamma1, beta1}, ln1});
+
+    // Feed-forward: FC1 (+bias+gelu), FC2 (+bias), residual, layernorm.
+    const int w1 = g.addInput("%w1", H, F);
+    const int b1 = g.addInput("%b1", 1, F);
+    const int ffn1a = g.addTensor("%ffn1a", T, F);
+    const int ffn1b = g.addTensor("%ffn1b", T, F);
+    const int ffn1 = g.addTensor("%ffn1", T, F);
+    g.addNode({NodeKind::MatMul, "fc1", {ln1, w1}, ffn1a});
+    g.addNode({NodeKind::BiasAdd, "fc1_bias", {ffn1a, b1}, ffn1b});
+    Node gelu{NodeKind::Unary, "fc1_gelu", {ffn1b}, ffn1};
+    gelu.op = OpKind::Gelu;
+    g.addNode(std::move(gelu));
+
+    const int w2 = g.addInput("%w2", F, H);
+    const int b2 = g.addInput("%b2", 1, H);
+    const int ffn2a = g.addTensor("%ffn2a", T, H);
+    const int ffn2b = g.addTensor("%ffn2b", T, H);
+    const int res2 = g.addTensor("%res2", T, H);
+    const int gamma2 = g.addInput("%gamma2", 1, H);
+    const int beta2 = g.addInput("%beta2", 1, H);
+    const int out = g.addTensor("%out", T, H);
+    g.addNode({NodeKind::MatMul, "fc2", {ffn1, w2}, ffn2a});
+    g.addNode({NodeKind::BiasAdd, "fc2_bias", {ffn2a, b2}, ffn2b});
+    Node r2{NodeKind::Binary, "residual2", {ffn2b, ln1}, res2};
+    r2.op = OpKind::Add;
+    g.addNode(std::move(r2));
+    g.addNode({NodeKind::Layernorm, "ln2", {res2, gamma2, beta2}, out});
+
+    g.outputs = {out};
+    g.validate();
+    return g;
+}
+
+Graph
+randomGraph(uint64_t seed)
+{
+    Rng rng(seed * 0x9e3779b97f4a7c15ull + 0x243f6a8885a308d3ull);
+    Graph g;
+    g.name = "random-" + std::to_string(seed);
+
+    static const int64_t kRows[] = {64, 128, 192, 256};
+    static const int64_t kWidths[] = {64, 128};
+    const int64_t m = kRows[rng.uniformInt(0, 3)];
+    int64_t target = 3 + rng.uniformInt(0, 7); // 3..10 nodes
+    int64_t made = 0;
+    int fresh = 0; // suffix for generated names
+
+    // Live fp16 [m, c] tensors eligible as operator inputs.
+    std::vector<int> live;
+    live.push_back(
+        g.addInput("%in0", m, kWidths[rng.uniformInt(0, 1)]));
+
+    // Some seeds open with a reduce/broadcast section over a wide
+    // tensor (row-reduce needs cols % 1024 == 0) — it always lowers
+    // unfused, exercising the scheduler's fallback path.
+    if (target >= 5 && rng.uniformInt(0, 3) == 0) {
+        const int64_t wrows = 4 * (1 + rng.uniformInt(0, 3));
+        const int wide = g.addInput("%wide", wrows, 1024);
+        const int red = g.addTensor("%wred", wrows, 1,
+                                    ScalarType::Fp32);
+        const int cen = g.addTensor("%wcen", wrows, 1024);
+        const int wout = g.addTensor("%wout", wrows, 1024);
+        Node rr{NodeKind::RowReduce, "wreduce", {wide}, red};
+        rr.op = OpKind::Add;
+        rr.scalar = 1.0 / 1024.0;
+        g.addNode(std::move(rr));
+        Node rb{NodeKind::RowBroadcast, "wcenter", {wide, red}, cen};
+        rb.op = OpKind::Sub;
+        g.addNode(std::move(rb));
+        Node un{NodeKind::Unary, "wact", {cen}, wout};
+        un.op = OpKind::Tanh;
+        g.addNode(std::move(un));
+        made += 3;
+    }
+
+    static const OpKind kActs[] = {OpKind::Relu, OpKind::Gelu,
+                                   OpKind::Tanh, OpKind::Sigmoid};
+    while (made < target) {
+        const int src = live[static_cast<size_t>(
+            rng.uniformInt(0, static_cast<int64_t>(live.size()) - 1))];
+        const int64_t cols = g.tensors[src].cols;
+        const std::string s = std::to_string(fresh++);
+        const int64_t pick = rng.uniformInt(0, 99);
+        if (pick < 35) {
+            // MatMul against a fresh weight input.
+            const int64_t n = kWidths[rng.uniformInt(0, 1)];
+            const int w = g.addInput("%Wg" + s, cols, n);
+            const int out = g.addTensor("%mm" + s, m, n);
+            g.addNode({NodeKind::MatMul, "mm" + s, {src, w}, out});
+            live.push_back(out);
+        } else if (pick < 55) {
+            const int out = g.addTensor("%un" + s, m, cols);
+            Node n{NodeKind::Unary, "un" + s, {src}, out};
+            n.op = kActs[rng.uniformInt(0, 3)];
+            g.addNode(std::move(n));
+            live.push_back(out);
+        } else if (pick < 70) {
+            const int bias = g.addInput("%bg" + s, 1, cols);
+            const int out = g.addTensor("%ba" + s, m, cols);
+            g.addNode(
+                {NodeKind::BiasAdd, "ba" + s, {src, bias}, out});
+            live.push_back(out);
+        } else if (pick < 85) {
+            // Binary: against a fresh external input, or against
+            // another live tensor of the same width (a diamond, which
+            // forces the scheduler to materialize the shared value).
+            int other = -1;
+            if (rng.uniformInt(0, 1) == 0) {
+                for (int t : live)
+                    if (t != src && g.tensors[t].cols == cols) {
+                        other = t;
+                        break;
+                    }
+            }
+            if (other < 0)
+                other = g.addInput("%eg" + s, m, cols);
+            const int out = g.addTensor("%bi" + s, m, cols);
+            Node n{NodeKind::Binary, "bi" + s, {src, other}, out};
+            n.op = rng.uniformInt(0, 1) == 0 ? OpKind::Add
+                                             : OpKind::Mul;
+            g.addNode(std::move(n));
+            live.push_back(out);
+        } else {
+            const int out = g.addTensor("%sc" + s, m, cols);
+            Node n{NodeKind::Scale, "sc" + s, {src}, out};
+            n.scalar = 0.25 * rng.uniformInt(1, 8); // fp16-exact
+            g.addNode(std::move(n));
+            live.push_back(out);
+        }
+        ++made;
+    }
+
+    g.inferBoundary();
+    g.validate();
+    return g;
+}
+
+} // namespace graph
+} // namespace graphene

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The op-DAG representation the fusion scheduler partitions (ROADMAP
+ * item 1: "graph-level scheduling").
+ *
+ * A Graph is a list of 2-D fp16/fp32 tensors plus an SSA list of
+ * operator nodes (MatMul / pointwise / reduction / normalization);
+ * nodes are stored in topological order (every input of node i is an
+ * external input or the output of a node j < i), which `validate()`
+ * enforces.  Graphs round-trip through a JSON document
+ * ("graphene.graph.v1") so workloads can be fed to `graphene-cli
+ * schedule --graph <file>`, and three built-in builders re-express the
+ * repo's hand-fused pipelines as DAGs: the Fig. 11 MLP, the Fig. 15
+ * transformer encoder layer, and a seeded random DAG generator for the
+ * differential harness.
+ */
+
+#ifndef GRAPHENE_GRAPH_GRAPH_H
+#define GRAPHENE_GRAPH_GRAPH_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/kernel.h"
+#include "support/json.h"
+
+namespace graphene
+{
+namespace graph
+{
+
+/** Operator kinds. Tensors are row-major [rows, cols]. */
+enum class NodeKind
+{
+    MatMul,       // out = alpha * a.b (bTransposed: b is [n,k]); batched
+    Unary,        // out = op(in), elementwise
+    Binary,       // out = op(a, b), elementwise
+    Scale,        // out = in * scalar
+    BiasAdd,      // out[r,c] = in[r,c] + bias[c]  (bias fp16 [1,cols])
+    RowReduce,    // out[r] = scale * reduce_c(op, in[r,:])  (fp32 out)
+    RowBroadcast, // out[r,c] = op(in[r,c], vec[r])  (vec fp32 [rows,1])
+    Softmax,      // out = rowSoftmax(scalar * in)
+    Layernorm,    // out = layernorm(in; gamma, beta)
+    Permute,      // layout change modeled as an identity copy
+};
+
+std::string nodeKindName(NodeKind kind);
+NodeKind nodeKindFromName(const std::string &name);
+
+struct TensorDef
+{
+    std::string name; // doubles as the device buffer name
+    int64_t rows = 0;
+    int64_t cols = 0;
+    ScalarType scalar = ScalarType::Fp16;
+
+    int64_t count() const { return rows * cols; }
+};
+
+/**
+ * One operator.  Input tensor order is fixed per kind:
+ *   MatMul {a, b}; Binary {a, b}; BiasAdd {in, bias};
+ *   RowBroadcast {in, vec}; Layernorm {in, gamma, beta};
+ *   all unary-shaped kinds {in}.
+ */
+struct Node
+{
+    NodeKind kind = NodeKind::Unary;
+    std::string name;
+    std::vector<int> inputs; // tensor ids
+    int output = -1;         // tensor id (single output: SSA)
+    OpKind op = OpKind::Identity; // Unary/Binary/RowReduce/RowBroadcast
+    double scalar = 1.0;     // MatMul alpha / Scale factor / RowReduce
+                             // scale / Softmax pre-scale
+    bool bTransposed = false; // MatMul: b is [n, k]
+    int64_t batch = 1;        // MatMul: batched (rows = batch * m)
+    double epsilon = 1e-5;    // Layernorm
+};
+
+class Graph
+{
+  public:
+    static constexpr const char *kSchema = "graphene.graph.v1";
+
+    std::string name = "graph";
+    std::vector<TensorDef> tensors;
+    std::vector<Node> nodes;
+    std::vector<int> inputs;  // external input tensor ids
+    std::vector<int> outputs; // externally observed output tensor ids
+
+    /** Add a tensor / external input tensor; returns its id. */
+    int addTensor(const std::string &name, int64_t rows, int64_t cols,
+                  ScalarType scalar = ScalarType::Fp16);
+    int addInput(const std::string &name, int64_t rows, int64_t cols,
+                 ScalarType scalar = ScalarType::Fp16);
+
+    /** Append a node (must keep the node list topologically ordered);
+     *  returns the node id. */
+    int addNode(Node node);
+
+    /** Tensor id by name, or -1. */
+    int tensorId(const std::string &name) const;
+
+    /** Producing node id of a tensor, or -1 for external inputs. */
+    int producerOf(int tensor) const;
+
+    /** Consuming node ids of a tensor (each input counted once). */
+    std::vector<int> consumersOf(int tensor) const;
+
+    bool isInput(int tensor) const;
+    bool isOutput(int tensor) const;
+
+    /** Mark every producer-less tensor as an input and every
+     *  consumer-less tensor as an output (builder convenience). */
+    void inferBoundary();
+
+    /**
+     * Check structural invariants: SSA (single producer), topological
+     * node order, per-kind arity/shape/dtype rules.  Raises via
+     * GRAPHENE_CHECK on violation.
+     */
+    void validate() const;
+
+    json::Value toJson() const;
+    static Graph fromJson(const json::Value &doc);
+};
+
+/** The Fig. 11 MLP as a DAG: per layer MatMul + BiasAdd + Relu. */
+Graph mlpGraph(int64_t m = 512, int64_t width = 128, int64_t layers = 4);
+
+/**
+ * One Fig. 15 transformer encoder layer as a DAG: QKV projection,
+ * per-head permutes, the attention triple (batched QK^T, softmax,
+ * batched PV), output projection, residuals, layernorms, and the FFN.
+ * hidden must be heads * 64 and seq a multiple of 128 (the FMHA
+ * specialization).
+ */
+Graph fig15Graph(int64_t batch = 4, int64_t heads = 12,
+                 int64_t seq = 384, int64_t hidden = 768);
+
+/**
+ * Seeded random DAG (3-10 nodes, mixed shapes) for the differential
+ * harness: matmul / pointwise chains over [m, 64|128] tensors plus an
+ * occasional reduce/broadcast section over a wide tensor.  Every node
+ * is legal for the unfused library lowering on both architectures.
+ */
+Graph randomGraph(uint64_t seed);
+
+} // namespace graph
+} // namespace graphene
+
+#endif // GRAPHENE_GRAPH_GRAPH_H

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Graph execution: per-node library lowering (the unfused baseline and
+ * the scheduler's fallback) and scheduled execution of a fusion plan.
+ *
+ * Both paths run on a runtime Device in Functional or Timing mode.
+ * The unfused path launches one library kernel per node with every
+ * intermediate round-tripping through global memory; the scheduled
+ * path launches one kernel per fused subgraph and never allocates
+ * ephemeral tensors.  For any fusion the scheduler emits into random
+ * DAGs (GemmChain / PointwiseChain), the two paths are bit-exact —
+ * the contract tests/graph_differential_test.cpp enforces.
+ */
+
+#ifndef GRAPHENE_GRAPH_LOWER_H
+#define GRAPHENE_GRAPH_LOWER_H
+
+#include <set>
+
+#include "graph/scheduler.h"
+#include "runtime/device.h"
+
+namespace graphene
+{
+namespace graph
+{
+
+/**
+ * Allocate every graph tensor on @p dev (zero-initialized, or virtual
+ * timing windows when @p virtualBuffers).  Tensor ids in @p skip (the
+ * schedule's ephemerals) are not allocated.
+ */
+void allocateGraphTensors(Device &dev, const Graph &g,
+                          bool virtualBuffers,
+                          const std::set<int> *skip = nullptr);
+
+/**
+ * Upload deterministic pseudo-random data into every external input
+ * (uniform [-1, 1], rounded to the tensor's scalar type).  The same
+ * seed produces identical bits on any device.
+ */
+void fillGraphInputs(Device &dev, const Graph &g, uint64_t seed);
+
+/**
+ * Launch one node's library kernel.  @p tuned (optional) replays a
+ * fresh "tc-gemm" tuning-cache entry into non-batched MatMul configs;
+ * a stale or missing entry silently keeps the heuristic defaults.
+ * Sets *tunedApplied when an entry was used.
+ */
+void launchNode(Device &dev, const Graph &g, const Node &node,
+                LaunchMode mode,
+                const tune::TuningCache *tuned = nullptr,
+                bool *tunedApplied = nullptr);
+
+/** Launch every node unfused, in order; returns the stream time of
+ *  this run in microseconds (the device stream is reset first). */
+double runUnfused(Device &dev, const Graph &g, LaunchMode mode,
+                  const tune::TuningCache *tuned = nullptr);
+
+/** Execute a schedule: one kernel per fused subgraph, library kernels
+ *  for the rest; returns this run's stream time in microseconds. */
+double runScheduled(Device &dev, const Graph &g, const Schedule &s,
+                    LaunchMode mode,
+                    const tune::TuningCache *tuned = nullptr);
+
+} // namespace graph
+} // namespace graphene
+
+#endif // GRAPHENE_GRAPH_LOWER_H

@@ -1,0 +1,716 @@
+#include "graph/scheduler.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "graph/lower.h"
+#include "support/check.h"
+
+namespace graphene
+{
+namespace graph
+{
+
+namespace
+{
+
+bool
+isChainWidth(int64_t w)
+{
+    return w == 64 || w == 128;
+}
+
+bool
+isFp16(const Graph &g, int tensor)
+{
+    return g.tensors[static_cast<size_t>(tensor)].scalar
+        == ScalarType::Fp16;
+}
+
+/**
+ * True if the producer->consumer edge through @p tensor may be fused:
+ * exactly one consumer and not an externally observed output (fusing
+ * through an output would make its value unobservable).
+ */
+bool
+fuseThrough(const Graph &g, int tensor, int *consumer)
+{
+    if (g.isOutput(tensor))
+        return false;
+    const std::vector<int> cs = g.consumersOf(tensor);
+    if (cs.size() != 1)
+        return false;
+    *consumer = cs[0];
+    return true;
+}
+
+bool
+producedInside(const Graph &g, const std::set<int> &sgNodes, int tensor)
+{
+    const int p = g.producerOf(tensor);
+    return p >= 0 && sgNodes.count(p) != 0;
+}
+
+bool
+matmulChainEligible(const Graph &g, const Node &n)
+{
+    if (n.kind != NodeKind::MatMul || n.batch != 1 || n.bTransposed
+        || n.scalar != 1.0)
+        return false;
+    const TensorDef &a = g.tensors[static_cast<size_t>(n.inputs[0])];
+    const TensorDef &out = g.tensors[static_cast<size_t>(n.output)];
+    return isChainWidth(a.cols) && isChainWidth(out.cols)
+        && a.rows % 32 == 0 && isFp16(g, n.inputs[0])
+        && isFp16(g, n.inputs[1]) && isFp16(g, n.output);
+}
+
+/** Classify @p cn as a GEMM-chain epilogue on the chain value
+ *  @p chainTensor (shape [m, n]); operands must come from outside. */
+bool
+classifyChainEpi(const Graph &g, const Node &cn, int chainTensor,
+                 const std::set<int> &sgNodes, ChainEpi *epi)
+{
+    if (!isFp16(g, cn.output))
+        return false;
+    switch (cn.kind) {
+      case NodeKind::Unary:
+        epi->kind = ChainEpi::Kind::Unary;
+        epi->op = cn.op;
+        return true;
+      case NodeKind::Scale:
+        epi->kind = ChainEpi::Kind::Scale;
+        epi->scalar = cn.scalar;
+        return true;
+      case NodeKind::BiasAdd:
+        if (cn.inputs[0] != chainTensor
+            || producedInside(g, sgNodes, cn.inputs[1])
+            || !isFp16(g, cn.inputs[1]))
+            return false;
+        epi->kind = ChainEpi::Kind::Bias;
+        epi->operand =
+            g.tensors[static_cast<size_t>(cn.inputs[1])].name;
+        return true;
+      case NodeKind::Binary: {
+        // The fused epilogue computes op(chain, operand): the chain
+        // value must be the lhs unless the op commutes exactly.
+        int other = -1;
+        if (cn.inputs[0] == chainTensor)
+            other = cn.inputs[1];
+        else if (cn.inputs[1] == chainTensor) {
+            if (cn.op != OpKind::Add && cn.op != OpKind::Mul
+                && cn.op != OpKind::Max && cn.op != OpKind::Min)
+                return false;
+            other = cn.inputs[0];
+        } else
+            return false;
+        if (other == chainTensor
+            || producedInside(g, sgNodes, other)
+            || !isFp16(g, other))
+            return false;
+        epi->kind = ChainEpi::Kind::Binary;
+        epi->op = cn.op;
+        epi->operand = g.tensors[static_cast<size_t>(other)].name;
+        return true;
+      }
+      default:
+        return false;
+    }
+}
+
+/** Grow a GEMM chain starting at matmul node @p start.  Returns true
+ *  when at least two nodes fused; fills node list and config (mTile
+ *  still unchosen). */
+bool
+growGemmChain(const Graph &g, int start, std::vector<int> *nodes,
+              GemmChainConfig *cfg)
+{
+    nodes->clear();
+    cfg->stages.clear();
+    std::set<int> sgNodes;
+
+    int mmIndex = start;
+    cfg->m = g.tensors[static_cast<size_t>(g.nodes[start].inputs[0])]
+                 .rows;
+    cfg->inName =
+        g.tensors[static_cast<size_t>(g.nodes[start].inputs[0])].name;
+    cfg->kernelName = "chain_" + g.nodes[start].name;
+
+    int cur = -1;
+    for (;;) {
+        const Node &mm = g.nodes[static_cast<size_t>(mmIndex)];
+        sgNodes.insert(mmIndex);
+        nodes->push_back(mmIndex);
+        ChainStage stage;
+        stage.k = g.tensors[static_cast<size_t>(mm.inputs[0])].cols;
+        stage.n = g.tensors[static_cast<size_t>(mm.output)].cols;
+        stage.weightName =
+            g.tensors[static_cast<size_t>(mm.inputs[1])].name;
+        cur = mm.output;
+
+        // Attach single-consumer elementwise epilogues.
+        for (;;) {
+            int c;
+            if (!fuseThrough(g, cur, &c))
+                break;
+            const Node &cn = g.nodes[static_cast<size_t>(c)];
+            ChainEpi epi;
+            if (!classifyChainEpi(g, cn, cur, sgNodes, &epi))
+                break;
+            stage.epis.push_back(epi);
+            sgNodes.insert(c);
+            nodes->push_back(c);
+            cur = cn.output;
+        }
+        cfg->stages.push_back(std::move(stage));
+
+        // Continue into a next matmul stage when the chain value feeds
+        // its A side and the weights come from outside the subgraph.
+        int c;
+        if (!fuseThrough(g, cur, &c))
+            break;
+        const Node &cn = g.nodes[static_cast<size_t>(c)];
+        if (!matmulChainEligible(g, cn) || cn.inputs[0] != cur
+            || producedInside(g, sgNodes, cn.inputs[1]))
+            break;
+        mmIndex = c;
+    }
+
+    cfg->outName = g.tensors[static_cast<size_t>(cur)].name;
+    return nodes->size() >= 2;
+}
+
+/** Classify @p cn as a pointwise-chain step on @p chainTensor. */
+bool
+classifyPwStep(const Graph &g, const Node &cn, int chainTensor,
+               const std::set<int> &sgNodes, int64_t rows, int64_t cols,
+               PwStep *step)
+{
+    const TensorDef &out = g.tensors[static_cast<size_t>(cn.output)];
+    if (out.rows != rows || out.cols != cols || !isFp16(g, cn.output))
+        return false;
+    switch (cn.kind) {
+      case NodeKind::Unary:
+        if (cn.inputs[0] != chainTensor)
+            return false;
+        step->kind = PwStep::Kind::Unary;
+        step->op = cn.op;
+        return true;
+      case NodeKind::Scale:
+        if (cn.inputs[0] != chainTensor)
+            return false;
+        step->kind = PwStep::Kind::Scale;
+        step->scalar = cn.scalar;
+        return true;
+      case NodeKind::BiasAdd:
+        if (cn.inputs[0] != chainTensor
+            || producedInside(g, sgNodes, cn.inputs[1])
+            || !isFp16(g, cn.inputs[1]))
+            return false;
+        step->kind = PwStep::Kind::Bias;
+        step->operand =
+            g.tensors[static_cast<size_t>(cn.inputs[1])].name;
+        return true;
+      case NodeKind::RowBroadcast:
+        if (cn.inputs[0] != chainTensor
+            || producedInside(g, sgNodes, cn.inputs[1]))
+            return false;
+        step->kind = PwStep::Kind::RowBcast;
+        step->op = cn.op;
+        step->operand =
+            g.tensors[static_cast<size_t>(cn.inputs[1])].name;
+        return true;
+      case NodeKind::Binary: {
+        int other = -1;
+        bool chainIsLhs = true;
+        if (cn.inputs[0] == chainTensor)
+            other = cn.inputs[1];
+        else if (cn.inputs[1] == chainTensor) {
+            chainIsLhs = false;
+            if (cn.op != OpKind::Add && cn.op != OpKind::Mul
+                && cn.op != OpKind::Max && cn.op != OpKind::Min)
+                return false;
+            other = cn.inputs[0];
+        } else
+            return false;
+        if (other == chainTensor
+            || producedInside(g, sgNodes, other)
+            || !isFp16(g, other))
+            return false;
+        step->kind = PwStep::Kind::Binary;
+        step->op = cn.op;
+        step->operand = g.tensors[static_cast<size_t>(other)].name;
+        step->chainIsLhs = chainIsLhs;
+        return true;
+      }
+      default:
+        return false;
+    }
+}
+
+/** True when node @p n can head a pointwise chain; sets the chain
+ *  input tensor and the head step. */
+bool
+pwHeadEligible(const Graph &g, const Node &n, int *chainIn, PwStep *step)
+{
+    static const std::set<int> kEmpty;
+    const TensorDef &out = g.tensors[static_cast<size_t>(n.output)];
+    if (out.cols % 8 != 0 || !isFp16(g, n.output))
+        return false;
+    switch (n.kind) {
+      case NodeKind::Unary:
+      case NodeKind::Scale:
+      case NodeKind::BiasAdd:
+      case NodeKind::RowBroadcast:
+      case NodeKind::Binary:
+        *chainIn = n.inputs[0];
+        if (!isFp16(g, n.inputs[0]))
+            return false;
+        return classifyPwStep(g, n, n.inputs[0], kEmpty, out.rows,
+                              out.cols, step);
+      default:
+        return false;
+    }
+}
+
+bool
+growPointwiseChain(const Graph &g, int start, std::vector<int> *nodes,
+                   PointwiseChainConfig *cfg)
+{
+    nodes->clear();
+    cfg->steps.clear();
+    const Node &head = g.nodes[static_cast<size_t>(start)];
+    int chainIn = -1;
+    PwStep headStep;
+    if (!pwHeadEligible(g, head, &chainIn, &headStep))
+        return false;
+    const TensorDef &out = g.tensors[static_cast<size_t>(head.output)];
+    cfg->rows = out.rows;
+    cfg->cols = out.cols;
+    cfg->inName = g.tensors[static_cast<size_t>(chainIn)].name;
+    cfg->kernelName = "pwchain_" + head.name;
+    cfg->steps.push_back(headStep);
+    std::set<int> sgNodes{start};
+    nodes->push_back(start);
+
+    int cur = head.output;
+    for (;;) {
+        int c;
+        if (!fuseThrough(g, cur, &c))
+            break;
+        const Node &cn = g.nodes[static_cast<size_t>(c)];
+        PwStep step;
+        if (!classifyPwStep(g, cn, cur, sgNodes, cfg->rows, cfg->cols,
+                            &step))
+            break;
+        cfg->steps.push_back(step);
+        sgNodes.insert(c);
+        nodes->push_back(c);
+        cur = cn.output;
+    }
+    cfg->outName = g.tensors[static_cast<size_t>(cur)].name;
+    return nodes->size() >= 2;
+}
+
+/** Match the batched-QK^T -> softmax -> PV attention triple. */
+bool
+matchAttention(const Graph &g, int start, const GpuArch &arch,
+               std::vector<int> *nodes, ops::FmhaConfig *fmha)
+{
+    const Node &qk = g.nodes[static_cast<size_t>(start)];
+    if (qk.kind != NodeKind::MatMul || qk.batch <= 1 || !qk.bTransposed)
+        return false;
+    const TensorDef &q = g.tensors[static_cast<size_t>(qk.inputs[0])];
+    const TensorDef &scores =
+        g.tensors[static_cast<size_t>(qk.output)];
+    const int64_t headDim = q.cols;
+    const int64_t seq = scores.cols;
+    if (std::abs(qk.scalar - 1.0 / std::sqrt(static_cast<double>(
+                                 headDim)))
+        > 1e-12)
+        return false;
+    int smIdx;
+    if (!fuseThrough(g, qk.output, &smIdx))
+        return false;
+    const Node &sm = g.nodes[static_cast<size_t>(smIdx)];
+    if (sm.kind != NodeKind::Softmax || sm.scalar != 1.0)
+        return false;
+    int pvIdx;
+    if (!fuseThrough(g, sm.output, &pvIdx))
+        return false;
+    const Node &pv = g.nodes[static_cast<size_t>(pvIdx)];
+    if (pv.kind != NodeKind::MatMul || pv.batch != qk.batch
+        || pv.bTransposed || pv.scalar != 1.0
+        || pv.inputs[0] != sm.output)
+        return false;
+
+    ops::FmhaConfig f;
+    f.batch = qk.batch; // one flattened (batch, head) per entry
+    f.heads = 1;
+    f.seq = seq;
+    f.headDim = headDim;
+    f.qName = q.name;
+    f.kName = g.tensors[static_cast<size_t>(qk.inputs[1])].name;
+    f.vName = g.tensors[static_cast<size_t>(pv.inputs[1])].name;
+    f.oName = g.tensors[static_cast<size_t>(pv.output)].name;
+    if (!ops::fmhaConfigValid(arch, f))
+        return false;
+    *fmha = f;
+    *nodes = {start, smIdx, pvIdx};
+    return true;
+}
+
+/** Classify every tensor a subgraph touches.  Library subgraphs keep
+ *  all produced tensors as output boundary (their kernels always
+ *  write global memory). */
+void
+classifyTensors(const Graph &g, Subgraph *sg)
+{
+    const std::set<int> sgNodes(sg->nodes.begin(), sg->nodes.end());
+    std::set<int> produced;
+    for (int ni : sg->nodes)
+        produced.insert(g.nodes[static_cast<size_t>(ni)].output);
+    std::set<int> inB;
+    for (int ni : sg->nodes)
+        for (int t : g.nodes[static_cast<size_t>(ni)].inputs)
+            if (produced.count(t) == 0)
+                inB.insert(t);
+    sg->inputBoundary.assign(inB.begin(), inB.end());
+    sg->outputBoundary.clear();
+    sg->ephemeral.clear();
+    for (int t : produced) {
+        bool escapes =
+            sg->kind == SubgraphKind::Library || g.isOutput(t);
+        for (int c : g.consumersOf(t))
+            if (sgNodes.count(c) == 0)
+                escapes = true;
+        (escapes ? sg->outputBoundary : sg->ephemeral).push_back(t);
+    }
+}
+
+/** Virtual-allocate every tensor the subgraph's nodes reference. */
+void
+allocateForNodes(Device &dev, const Graph &g,
+                 const std::vector<int> &nodes)
+{
+    std::set<int> ts;
+    for (int ni : nodes) {
+        const Node &n = g.nodes[static_cast<size_t>(ni)];
+        for (int t : n.inputs)
+            ts.insert(t);
+        ts.insert(n.output);
+    }
+    for (int t : ts) {
+        const TensorDef &td = g.tensors[static_cast<size_t>(t)];
+        dev.allocateVirtual(td.name, td.scalar, td.count());
+    }
+}
+
+/** Cost of the per-node library lowering (timing simulator). */
+double
+timeUnfused(const GpuArch &arch, const Graph &g,
+            const std::vector<int> &nodes,
+            const tune::TuningCache *tuned, bool *tunedApplied)
+{
+    Device dev(arch);
+    allocateForNodes(dev, g, nodes);
+    for (int ni : nodes)
+        launchNode(dev, g, g.nodes[static_cast<size_t>(ni)],
+                   LaunchMode::Timing, tuned, tunedApplied);
+    return dev.streamTimeUs();
+}
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/**
+ * Time the fused candidate.  For GemmChain this also picks the tile
+ * granularity: every legal mTile is timed and the best one is kept.
+ * Returns +inf (and a reason) when no legal lowering exists.
+ */
+double
+timeFused(const GpuArch &arch, const Graph &g, Subgraph *sg,
+          bool oracle, std::string *why)
+{
+    auto timeKernel = [&](const Kernel &kernel) {
+        Device dev(arch);
+        allocateForNodes(dev, g, sg->nodes);
+        dev.launch(kernel, LaunchMode::Timing);
+        return dev.streamTimeUs();
+    };
+    switch (sg->kind) {
+      case SubgraphKind::GemmChain: {
+        double best = kInf;
+        std::string firstWhy;
+        for (int64_t mt : {128, 64, 32}) {
+            GemmChainConfig cand = sg->chain;
+            cand.mTile = mt;
+            std::string candWhy;
+            if (cand.m % mt != 0
+                || !gemmChainValid(arch, cand, &candWhy)) {
+                if (firstWhy.empty())
+                    firstWhy = candWhy.empty()
+                        ? "rows not divisible by the tile"
+                        : candWhy;
+                continue;
+            }
+            const Kernel kernel = buildGemmChain(arch, cand);
+            const double us = oracle ? timeKernel(kernel) : 0.0;
+            if (best == kInf || us < best) {
+                best = us;
+                sg->chain = cand;
+                sg->smemBytes = kernel.sharedMemoryBytes();
+            }
+            if (!oracle)
+                break; // structure only: first legal tile wins
+        }
+        if (best == kInf)
+            *why = firstWhy;
+        return best;
+      }
+      case SubgraphKind::PointwiseChain: {
+        std::string candWhy;
+        if (!pointwiseChainValid(sg->pwChain, &candWhy)) {
+            *why = candWhy;
+            return kInf;
+        }
+        const Kernel kernel = buildPointwiseChain(arch, sg->pwChain);
+        sg->smemBytes = kernel.sharedMemoryBytes();
+        return oracle ? timeKernel(kernel) : 0.0;
+      }
+      case SubgraphKind::Attention: {
+        const Kernel kernel = ops::buildFusedFmha(arch, sg->fmha);
+        sg->smemBytes = kernel.sharedMemoryBytes();
+        return oracle ? timeKernel(kernel) : 0.0;
+      }
+      case SubgraphKind::Library:
+        break;
+    }
+    *why = "library subgraphs have no fused form";
+    return kInf;
+}
+
+std::string
+fmtUs(double us)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2f", us);
+    return buf;
+}
+
+} // namespace
+
+std::string
+subgraphKindName(SubgraphKind kind)
+{
+    switch (kind) {
+      case SubgraphKind::Library:
+        return "library";
+      case SubgraphKind::GemmChain:
+        return "gemm-chain";
+      case SubgraphKind::PointwiseChain:
+        return "pointwise-chain";
+      case SubgraphKind::Attention:
+        return "attention";
+    }
+    return "?";
+}
+
+Schedule
+scheduleGraph(const Graph &g, const GpuArch &arch,
+              const ScheduleOptions &opts)
+{
+    g.validate();
+    Schedule s;
+    s.graphName = g.name;
+    s.archName = arch.name;
+
+    const int n = static_cast<int>(g.nodes.size());
+    std::vector<bool> taken(static_cast<size_t>(n), false);
+    for (int i = 0; i < n; ++i) {
+        if (taken[static_cast<size_t>(i)])
+            continue;
+
+        // Build the best fused candidate rooted at node i.
+        Subgraph sg;
+        std::string noFuse;
+        if (matchAttention(g, i, arch, &sg.nodes, &sg.fmha)) {
+            sg.kind = SubgraphKind::Attention;
+            sg.reason = "attention triple -> fused FMHA";
+        } else if (matmulChainEligible(g, g.nodes[static_cast<size_t>(
+                       i)])
+                   && growGemmChain(g, i, &sg.nodes, &sg.chain)) {
+            sg.kind = SubgraphKind::GemmChain;
+            sg.reason = "producer->consumer GEMM chain";
+        } else if (growPointwiseChain(g, i, &sg.nodes, &sg.pwChain)) {
+            sg.kind = SubgraphKind::PointwiseChain;
+            sg.reason = "same-shape pointwise chain";
+        } else {
+            noFuse = "no fusable consumer chain";
+        }
+
+        bool fused = sg.kind != SubgraphKind::Library;
+        if (fused) {
+            classifyTensors(g, &sg);
+            std::string why;
+            sg.fusedUs = timeFused(arch, g, &sg, opts.costOracle, &why);
+            if (sg.fusedUs == kInf) {
+                fused = false;
+                noFuse = "fusion illegal: " + why;
+            } else if (opts.costOracle) {
+                sg.unfusedUs = timeUnfused(arch, g, sg.nodes,
+                                           opts.tuned,
+                                           &sg.tunedApplied);
+                if (sg.fusedUs >= sg.unfusedUs) {
+                    fused = false;
+                    noFuse = "fusion not profitable: "
+                        + subgraphKindName(sg.kind) + " of "
+                        + std::to_string(sg.nodes.size()) + " nodes, "
+                        + fmtUs(sg.fusedUs) + " us fused vs "
+                        + fmtUs(sg.unfusedUs) + " us unfused";
+                }
+            }
+        }
+
+        if (fused) {
+            for (int ni : sg.nodes)
+                taken[static_cast<size_t>(ni)] = true;
+            s.subgraphs.push_back(std::move(sg));
+            continue;
+        }
+
+        Subgraph lib;
+        lib.kind = SubgraphKind::Library;
+        lib.nodes = {i};
+        lib.reason = noFuse;
+        classifyTensors(g, &lib);
+        if (opts.costOracle)
+            lib.unfusedUs = timeUnfused(arch, g, lib.nodes, opts.tuned,
+                                        &lib.tunedApplied);
+        taken[static_cast<size_t>(i)] = true;
+        s.subgraphs.push_back(std::move(lib));
+    }
+
+    for (const Subgraph &sg : s.subgraphs) {
+        const bool isFused = sg.kind != SubgraphKind::Library;
+        s.unfusedUs += sg.unfusedUs;
+        s.scheduledUs += isFused ? sg.fusedUs : sg.unfusedUs;
+        s.scheduledKernels +=
+            isFused ? 1 : static_cast<int64_t>(sg.nodes.size());
+        s.unfusedKernels += static_cast<int64_t>(sg.nodes.size());
+    }
+    return s;
+}
+
+std::set<int>
+scheduleEphemerals(const Schedule &s)
+{
+    std::set<int> eph;
+    for (const Subgraph &sg : s.subgraphs)
+        eph.insert(sg.ephemeral.begin(), sg.ephemeral.end());
+    return eph;
+}
+
+json::Value
+scheduleToJson(const Graph &g, const Schedule &s)
+{
+    auto names = [&](const std::vector<int> &tensors) {
+        json::Value arr = json::Value::array();
+        for (int t : tensors)
+            arr.push(g.tensors[static_cast<size_t>(t)].name);
+        return arr;
+    };
+    json::Value doc = json::Value::object();
+    doc["schema"] = Schedule::kSchema;
+    doc["graph"] = s.graphName;
+    doc["arch"] = s.archName;
+    doc["nodes"] = static_cast<int64_t>(g.nodes.size());
+    doc["scheduled_kernels"] = s.scheduledKernels;
+    doc["unfused_kernels"] = s.unfusedKernels;
+    doc["scheduled_us"] = s.scheduledUs;
+    doc["unfused_us"] = s.unfusedUs;
+    json::Value sgs = json::Value::array();
+    for (const Subgraph &sg : s.subgraphs) {
+        json::Value v = json::Value::object();
+        v["kind"] = subgraphKindName(sg.kind);
+        json::Value nodeNames = json::Value::array();
+        for (int ni : sg.nodes)
+            nodeNames.push(g.nodes[static_cast<size_t>(ni)].name);
+        v["nodes"] = std::move(nodeNames);
+        v["inputs"] = names(sg.inputBoundary);
+        v["outputs"] = names(sg.outputBoundary);
+        v["ephemeral"] = names(sg.ephemeral);
+        if (sg.kind != SubgraphKind::Library) {
+            v["smem_bytes"] = sg.smemBytes;
+            v["fused_us"] = sg.fusedUs;
+            if (sg.kind == SubgraphKind::GemmChain)
+                v["m_tile"] = sg.chain.mTile;
+        }
+        v["unfused_us"] = sg.unfusedUs;
+        if (sg.tunedApplied)
+            v["tuned"] = true;
+        v["reason"] = sg.reason;
+        sgs.push(std::move(v));
+    }
+    doc["subgraphs"] = std::move(sgs);
+    return doc;
+}
+
+std::string
+renderSchedule(const Graph &g, const Schedule &s)
+{
+    std::ostringstream out;
+    out << "schedule for '" << s.graphName << "' on " << s.archName
+        << "\n";
+    out << "nodes: " << g.nodes.size()
+        << ", subgraphs: " << s.subgraphs.size() << ", kernels: "
+        << s.unfusedKernels << " -> " << s.scheduledKernels << "\n";
+    auto join = [&](const std::vector<int> &tensors) {
+        std::string acc;
+        for (int t : tensors) {
+            if (!acc.empty())
+                acc += ", ";
+            acc += g.tensors[static_cast<size_t>(t)].name;
+        }
+        return acc.empty() ? std::string("-") : acc;
+    };
+    for (size_t i = 0; i < s.subgraphs.size(); ++i) {
+        const Subgraph &sg = s.subgraphs[i];
+        out << "[" << i << "] " << subgraphKindName(sg.kind) << ":";
+        for (int ni : sg.nodes)
+            out << " " << g.nodes[static_cast<size_t>(ni)].name;
+        out << "\n";
+        if (sg.kind == SubgraphKind::GemmChain)
+            out << "    mTile " << sg.chain.mTile << ", smem "
+                << sg.smemBytes << " bytes\n";
+        else if (sg.kind != SubgraphKind::Library
+                 && sg.smemBytes > 0)
+            out << "    smem " << sg.smemBytes << " bytes\n";
+        out << "    inputs: " << join(sg.inputBoundary) << "\n";
+        out << "    outputs: " << join(sg.outputBoundary) << "\n";
+        if (!sg.ephemeral.empty())
+            out << "    ephemeral: " << join(sg.ephemeral) << "\n";
+        if (sg.kind != SubgraphKind::Library)
+            out << "    fused " << fmtUs(sg.fusedUs)
+                << " us vs unfused " << fmtUs(sg.unfusedUs) << " us ("
+                << sg.reason << ")"
+                << (sg.tunedApplied ? " [tuned]" : "") << "\n";
+        else
+            out << "    unfused " << fmtUs(sg.unfusedUs) << " us ("
+                << sg.reason << ")"
+                << (sg.tunedApplied ? " [tuned]" : "") << "\n";
+    }
+    out << "totals: scheduled " << fmtUs(s.scheduledUs)
+        << " us vs unfused " << fmtUs(s.unfusedUs) << " us";
+    if (s.scheduledUs > 0 && s.unfusedUs > 0) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.2fx",
+                      s.unfusedUs / s.scheduledUs);
+        out << ", speedup " << buf;
+    }
+    out << "\n";
+    return out.str();
+}
+
+} // namespace graph
+} // namespace graphene

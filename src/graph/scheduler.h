@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The greedy producer->consumer fusion scheduler (ROADMAP item 1).
+ *
+ * scheduleGraph partitions an op DAG into subgraphs, each lowered as
+ * one of four shapes:
+ *
+ *  - GemmChain      : a MatMul chain with fused elementwise epilogues
+ *                     (the generalized Fig. 11 MLP kernel);
+ *  - PointwiseChain : >= 2 same-shape elementwise nodes in one flat
+ *                     kernel;
+ *  - Attention      : the batched-QK^T / softmax / PV triple as the
+ *                     fused Fig. 14 FMHA kernel (timing-equivalent,
+ *                     NOT bit-exact: the fused kernel restructures the
+ *                     softmax, so it never appears in random DAGs);
+ *  - Library        : one node, one library kernel (the unfused
+ *                     fallback).
+ *
+ * Fusion is greedy along single-consumer producer->consumer edges,
+ * subject to (a) the builder's legality constraints including the
+ * per-arch shared-memory capacity (gemmChainValid), and (b) a
+ * profitability check using the timing simulator as the cost oracle:
+ * each fused candidate and its per-node unfused lowering are timed on
+ * a scratch device with virtual buffers, and the fusion is kept only
+ * when it is strictly faster (launch overheads and intermediate DRAM
+ * round-trips are what it saves).  Tensors touched by a subgraph are
+ * classified input-boundary / output-boundary / ephemeral; ephemeral
+ * tensors exist only inside a fused kernel's registers or shared
+ * memory and are never allocated by the scheduled execution.
+ */
+
+#ifndef GRAPHENE_GRAPH_SCHEDULER_H
+#define GRAPHENE_GRAPH_SCHEDULER_H
+
+#include <set>
+
+#include "graph/chain_builder.h"
+#include "graph/graph.h"
+#include "ops/fmha.h"
+#include "tune/cache.h"
+
+namespace graphene
+{
+namespace graph
+{
+
+enum class SubgraphKind
+{
+    Library,
+    GemmChain,
+    PointwiseChain,
+    Attention,
+};
+
+std::string subgraphKindName(SubgraphKind kind);
+
+struct Subgraph
+{
+    SubgraphKind kind = SubgraphKind::Library;
+    std::vector<int> nodes; // node ids, topological order
+
+    // Tensor classification (tensor ids).
+    std::vector<int> inputBoundary;
+    std::vector<int> outputBoundary;
+    std::vector<int> ephemeral;
+
+    /** Fused kernel's shared-memory footprint (fused kinds only). */
+    int64_t smemBytes = 0;
+    /** Cost-oracle times: the fused candidate (fused kinds; 0 when the
+     *  oracle is disabled) and the per-node library lowering. */
+    double fusedUs = 0;
+    double unfusedUs = 0;
+    /** A fresh tuning-cache entry was applied to this subgraph. */
+    bool tunedApplied = false;
+    /** Why this subgraph is (not) fused, for --explain. */
+    std::string reason;
+
+    // Lowering payload, valid for the matching kind.
+    GemmChainConfig chain;
+    PointwiseChainConfig pwChain;
+    ops::FmhaConfig fmha;
+};
+
+struct Schedule
+{
+    static constexpr const char *kSchema = "graphene.schedule.v1";
+
+    std::string graphName;
+    std::string archName;
+    /** Execution order (subgraph node lists are disjoint and cover the
+     *  graph; concatenated they are a topological order). */
+    std::vector<Subgraph> subgraphs;
+
+    /** Oracle totals: the scheduled plan vs the all-unfused plan. */
+    double scheduledUs = 0;
+    double unfusedUs = 0;
+    /** Kernel launches in the scheduled vs the all-unfused plan. */
+    int64_t scheduledKernels = 0;
+    int64_t unfusedKernels = 0;
+};
+
+struct ScheduleOptions
+{
+    /** Tuning cache for `--tuned` replay (fresh entries only; stale
+     *  space hashes fall back to defaults). */
+    const tune::TuningCache *tuned = nullptr;
+    /**
+     * Use the timing simulator to keep a fused candidate only when it
+     * beats its unfused lowering.  When false every legal fusion is
+     * taken and times stay zero (structure-only scheduling).
+     */
+    bool costOracle = true;
+};
+
+Schedule scheduleGraph(const Graph &g, const GpuArch &arch,
+                       const ScheduleOptions &opts = {});
+
+/** Union of every fused subgraph's ephemeral tensor ids: the tensors
+ *  a scheduled execution never allocates. */
+std::set<int> scheduleEphemerals(const Schedule &s);
+
+/** Machine-readable schedule ("graphene.schedule.v1"). */
+json::Value scheduleToJson(const Graph &g, const Schedule &s);
+
+/** Human-readable --explain rendering (golden-tested). */
+std::string renderSchedule(const Graph &g, const Schedule &s);
+
+} // namespace graph
+} // namespace graphene
+
+#endif // GRAPHENE_GRAPH_SCHEDULER_H

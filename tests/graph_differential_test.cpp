@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Randomized op-DAG differential harness (ROADMAP item 1): seeded
+ * random graphs are executed twice — once unfused (one library kernel
+ * per node, every intermediate through global memory) and once through
+ * the fusion scheduler (fused GEMM / pointwise chains, ephemeral
+ * tensors never allocated) — and every graph output must match
+ * BIT-EXACTLY, with zero sanitizer hazards on either path.
+ *
+ * Fusion legality is structural here (costOracle off): every legal
+ * fusion is taken, maximizing fused-kernel coverage.  The bit-exact
+ * contract must hold for any legal fusion, profitable or not.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/lower.h"
+#include "graph/scheduler.h"
+#include "runtime/device.h"
+#include "sim/sanitizer.h"
+
+namespace graphene
+{
+namespace graph
+{
+namespace
+{
+
+/*
+ * Sweep size.  Each seed is scheduled and executed on both arches, so
+ * the harness covers kSeeds * 2 DAG/arch combinations.
+ */
+constexpr int kSeeds = 25;
+static_assert(kSeeds * 2 >= 50,
+              "graph differential harness must sweep >= 50 combos");
+
+void
+expectBitExact(const std::vector<double> &got,
+               const std::vector<double> &want, const std::string &what)
+{
+    ASSERT_EQ(got.size(), want.size()) << what;
+    size_t mismatches = 0;
+    size_t first = got.size();
+    for (size_t i = 0; i < got.size(); ++i)
+        if (got[i] != want[i]) {
+            if (mismatches == 0)
+                first = i;
+            ++mismatches;
+        }
+    EXPECT_EQ(mismatches, 0u)
+        << what << ": " << mismatches << " mismatching elements, first at ["
+        << first << "] got " << (first < got.size() ? got[first] : 0.0)
+        << " want " << (first < want.size() ? want[first] : 0.0);
+}
+
+struct FusionStats
+{
+    int gemmChains = 0;
+    int pwChains = 0;
+    int fusedNodes = 0;
+};
+
+/** Run one seed/arch combo: unfused vs scheduled, bit-exact + clean. */
+void
+runCombo(uint64_t seed, const GpuArch &arch, FusionStats *stats)
+{
+    const Graph g = randomGraph(seed);
+    const std::string what =
+        "seed=" + std::to_string(seed) + " arch=" + arch.name + " graph='"
+        + g.name + "' nodes=" + std::to_string(g.nodes.size());
+    SCOPED_TRACE(what);
+
+    ScheduleOptions opts;
+    opts.costOracle = false; // take every legal fusion
+    const Schedule s = scheduleGraph(g, arch, opts);
+    for (const Subgraph &sg : s.subgraphs) {
+        if (sg.kind == SubgraphKind::GemmChain)
+            ++stats->gemmChains;
+        else if (sg.kind == SubgraphKind::PointwiseChain)
+            ++stats->pwChains;
+        ASSERT_NE(sg.kind, SubgraphKind::Attention)
+            << "random DAGs must never schedule the (timing-only) "
+               "attention fusion";
+        if (sg.kind != SubgraphKind::Library)
+            stats->fusedNodes += static_cast<int>(sg.nodes.size());
+    }
+
+    // Unfused reference: every tensor lives in global memory.
+    Device ref(arch);
+    ref.setUsePlan(true);
+    ref.setSimThreads(8);
+    ref.setSanitizerMode(sim::SanitizerMode::Report);
+    allocateGraphTensors(ref, g, /*virtualBuffers=*/false);
+    fillGraphInputs(ref, g, seed);
+    runUnfused(ref, g, LaunchMode::Functional);
+
+    // Scheduled execution: ephemeral tensors are never allocated —
+    // a fused kernel that still referenced one would fault here.
+    const std::set<int> eph = scheduleEphemerals(s);
+    Device dev(arch);
+    dev.setUsePlan(true);
+    dev.setSimThreads(8);
+    dev.setSanitizerMode(sim::SanitizerMode::Report);
+    allocateGraphTensors(dev, g, /*virtualBuffers=*/false, &eph);
+    fillGraphInputs(dev, g, seed);
+    runScheduled(dev, g, s, LaunchMode::Functional);
+
+    for (int t : g.outputs) {
+        const std::string &name = g.tensors[static_cast<size_t>(t)].name;
+        expectBitExact(dev.download(name), ref.download(name),
+                       what + " output " + name);
+    }
+    EXPECT_TRUE(ref.sanitizerReport().clean())
+        << what << " unfused hazards:\n"
+        << ref.sanitizerReport().str();
+    EXPECT_TRUE(dev.sanitizerReport().clean())
+        << what << " scheduled hazards:\n"
+        << dev.sanitizerReport().str();
+}
+
+TEST(GraphDifferentialTest, ScheduledMatchesUnfusedBitExact)
+{
+    FusionStats stats;
+    for (int seed = 0; seed < kSeeds; ++seed) {
+        runCombo(static_cast<uint64_t>(seed), GpuArch::ampere(), &stats);
+        runCombo(static_cast<uint64_t>(seed), GpuArch::volta(), &stats);
+        if (::testing::Test::HasFatalFailure())
+            return;
+    }
+    // The sweep must actually exercise the fused paths: both chain
+    // kinds, and a meaningful share of nodes executing fused.
+    EXPECT_GE(stats.gemmChains, 5);
+    EXPECT_GE(stats.pwChains, 5);
+    EXPECT_GE(stats.fusedNodes, 40);
+}
+
+/** The hand-written MLP DAG must also hold the contract end to end. */
+TEST(GraphDifferentialTest, MlpScheduledMatchesUnfused)
+{
+    FusionStats stats;
+    runCombo(/*seed=*/0, GpuArch::ampere(), &stats); // warm coverage
+    for (const GpuArch &arch : {GpuArch::ampere(), GpuArch::volta()}) {
+        const Graph g = mlpGraph(512, 128, 4);
+        const std::string what = "mlp arch=" + arch.name;
+        SCOPED_TRACE(what);
+
+        ScheduleOptions opts;
+        opts.costOracle = false;
+        const Schedule s = scheduleGraph(g, arch, opts);
+
+        Device ref(arch);
+        ref.setSanitizerMode(sim::SanitizerMode::Report);
+        allocateGraphTensors(ref, g, false);
+        fillGraphInputs(ref, g, 7);
+        runUnfused(ref, g, LaunchMode::Functional);
+
+        const std::set<int> eph = scheduleEphemerals(s);
+        Device dev(arch);
+        dev.setSanitizerMode(sim::SanitizerMode::Report);
+        allocateGraphTensors(dev, g, false, &eph);
+        fillGraphInputs(dev, g, 7);
+        runScheduled(dev, g, s, LaunchMode::Functional);
+
+        for (int t : g.outputs) {
+            const std::string &name =
+                g.tensors[static_cast<size_t>(t)].name;
+            expectBitExact(dev.download(name), ref.download(name),
+                           what + " output " + name);
+        }
+        EXPECT_TRUE(ref.sanitizerReport().clean());
+        EXPECT_TRUE(dev.sanitizerReport().clean())
+            << dev.sanitizerReport().str();
+    }
+}
+
+} // namespace
+} // namespace graph
+} // namespace graphene

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Golden snapshots of `schedule --explain` for the two hand-fused
+ * regression anchors — the Fig. 11 MLP DAG and the Fig. 15 end-to-end
+ * transformer block — on Ampere.  The snapshots pin the scheduler's
+ * decomposition (which nodes fuse, tile choice, boundary
+ * classification, cost-oracle verdicts); regenerate intentional
+ * changes with `graph_golden_test --update-golden` and review the
+ * diff.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "graph/graph.h"
+#include "graph/scheduler.h"
+
+namespace
+{
+
+/** Set from argv in main: rewrite snapshots instead of comparing. */
+bool updateGolden = false;
+
+} // namespace
+
+namespace graphene
+{
+namespace graph
+{
+namespace
+{
+
+std::string
+goldenPath(const std::string &name)
+{
+    return std::string(GRAPHENE_GOLDEN_DIR) + "/" + name;
+}
+
+void
+checkGolden(const std::string &name, const std::string &actual)
+{
+    const std::string path = goldenPath(name);
+    if (updateGolden) {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << actual;
+        return;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing golden file " << path
+        << "; run graph_golden_test --update-golden to create it";
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_EQ(buf.str(), actual)
+        << "schedule explain output diverges from " << path
+        << "; if the change is intentional, rerun with --update-golden "
+        << "and review the snapshot diff";
+}
+
+TEST(GraphGoldenTest, MlpScheduleExplain)
+{
+    const Graph g = mlpGraph(512, 128, 4);
+    const Schedule s = scheduleGraph(g, GpuArch::ampere());
+    checkGolden("schedule_mlp.txt", renderSchedule(g, s));
+}
+
+TEST(GraphGoldenTest, Fig15ScheduleExplain)
+{
+    const Graph g = fig15Graph(4, 12, 384, 768);
+    const Schedule s = scheduleGraph(g, GpuArch::ampere());
+    checkGolden("schedule_fig15.txt", renderSchedule(g, s));
+}
+
+} // namespace
+} // namespace graph
+} // namespace graphene
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == "--update-golden")
+            updateGolden = true;
+    return RUN_ALL_TESTS();
+}

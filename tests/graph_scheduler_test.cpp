@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Property tests for the fusion scheduler:
+ *
+ *  - every fused subgraph's shared-memory footprint fits the target
+ *    arch's per-block capacity, and the analytic gemmChainSmemBytes
+ *    estimate agrees with the built kernel's actual footprint;
+ *  - tensor classification is consistent: boundaries and ephemerals
+ *    partition exactly the tensors a subgraph touches, ephemerals
+ *    never escape (no outside consumer, never a graph output), and
+ *    subgraphs cover every node exactly once in topological order;
+ *  - schedules are deterministic: the same graph/arch yields an
+ *    identical scheduleToJson under --threads 1 and 4, and the graph
+ *    JSON round-trips losslessly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/scheduler.h"
+#include "sim/sim_config.h"
+
+namespace graphene
+{
+namespace graph
+{
+namespace
+{
+
+constexpr int kPropertySeeds = 12;
+
+const GpuArch &
+archFor(int pick)
+{
+    return pick % 2 == 0 ? GpuArch::ampere() : GpuArch::volta();
+}
+
+/** Every structural invariant a schedule must satisfy. */
+void
+checkScheduleInvariants(const Graph &g, const GpuArch &arch,
+                        const Schedule &s)
+{
+    // Node cover: subgraphs are disjoint and exhaustive.
+    std::vector<int> covered;
+    for (const Subgraph &sg : s.subgraphs) {
+        ASSERT_FALSE(sg.nodes.empty());
+        for (int ni : sg.nodes)
+            covered.push_back(ni);
+        if (sg.kind == SubgraphKind::Library) {
+            EXPECT_TRUE(sg.ephemeral.empty())
+                << "library kernels always write global memory";
+        }
+
+        // Smem budget: fused kernels must fit the arch.
+        if (sg.kind != SubgraphKind::Library) {
+            EXPECT_LE(sg.smemBytes, arch.maxSharedMemPerBlockBytes)
+                << subgraphKindName(sg.kind) << " over smem budget";
+            if (sg.kind == SubgraphKind::GemmChain) {
+                EXPECT_EQ(sg.smemBytes, gemmChainSmemBytes(sg.chain))
+                    << "analytic smem estimate diverges from the "
+                       "built kernel";
+            }
+        }
+
+        // Classification: inputBoundary/outputBoundary/ephemeral
+        // partition the touched tensors; ephemerals never escape.
+        const std::set<int> sgNodes(sg.nodes.begin(), sg.nodes.end());
+        std::set<int> produced, inputs;
+        for (int ni : sg.nodes)
+            produced.insert(g.nodes[static_cast<size_t>(ni)].output);
+        for (int ni : sg.nodes)
+            for (int t : g.nodes[static_cast<size_t>(ni)].inputs)
+                if (produced.count(t) == 0)
+                    inputs.insert(t);
+        std::set<int> classified;
+        for (int t : sg.inputBoundary) {
+            EXPECT_TRUE(inputs.count(t)) << "input boundary not an input";
+            classified.insert(t);
+        }
+        for (int t : sg.outputBoundary) {
+            EXPECT_TRUE(produced.count(t))
+                << "output boundary not produced here";
+            classified.insert(t);
+        }
+        for (int t : sg.ephemeral) {
+            EXPECT_TRUE(produced.count(t)) << "ephemeral not produced";
+            EXPECT_FALSE(g.isOutput(t)) << "ephemeral escapes as output";
+            for (int c : g.consumersOf(t))
+                EXPECT_TRUE(sgNodes.count(c))
+                    << "ephemeral tensor "
+                    << g.tensors[static_cast<size_t>(t)].name
+                    << " consumed outside its subgraph";
+            classified.insert(t);
+        }
+        std::set<int> touched = inputs;
+        touched.insert(produced.begin(), produced.end());
+        EXPECT_EQ(classified, touched)
+            << "classification must partition the touched tensors";
+    }
+    std::vector<int> sorted = covered;
+    std::sort(sorted.begin(), sorted.end());
+    ASSERT_EQ(sorted.size(), g.nodes.size());
+    for (size_t i = 0; i < sorted.size(); ++i)
+        EXPECT_EQ(sorted[i], static_cast<int>(i))
+            << "schedule must cover every node exactly once";
+
+    // Kernel accounting.
+    int64_t scheduledKernels = 0, nodes = 0;
+    for (const Subgraph &sg : s.subgraphs) {
+        scheduledKernels += sg.kind == SubgraphKind::Library
+            ? static_cast<int64_t>(sg.nodes.size())
+            : 1;
+        nodes += static_cast<int64_t>(sg.nodes.size());
+    }
+    EXPECT_EQ(s.scheduledKernels, scheduledKernels);
+    EXPECT_EQ(s.unfusedKernels, nodes);
+}
+
+TEST(GraphSchedulerTest, RandomGraphInvariants)
+{
+    for (int seed = 0; seed < kPropertySeeds; ++seed) {
+        const GpuArch &arch = archFor(seed);
+        const Graph g = randomGraph(static_cast<uint64_t>(seed));
+        SCOPED_TRACE("seed=" + std::to_string(seed)
+                     + " arch=" + arch.name);
+        const Schedule s = scheduleGraph(g, arch);
+        checkScheduleInvariants(g, arch, s);
+        // The oracle keeps a fusion only when strictly faster.
+        for (const Subgraph &sg : s.subgraphs)
+            if (sg.kind != SubgraphKind::Library) {
+                EXPECT_LT(sg.fusedUs, sg.unfusedUs);
+            }
+        EXPECT_LE(s.scheduledUs, s.unfusedUs);
+    }
+}
+
+TEST(GraphSchedulerTest, MlpFusesToSingleChain)
+{
+    for (const GpuArch &arch : {GpuArch::ampere(), GpuArch::volta()}) {
+        SCOPED_TRACE(arch.name);
+        const Graph g = mlpGraph(512, 128, 4);
+        const Schedule s = scheduleGraph(g, arch);
+        checkScheduleInvariants(g, arch, s);
+        // The hand-fused Fig. 11 decomposition: one kernel, all 12
+        // nodes, only %x/weights/biases at the boundary.
+        ASSERT_EQ(s.subgraphs.size(), 1u);
+        EXPECT_EQ(s.subgraphs[0].kind, SubgraphKind::GemmChain);
+        EXPECT_EQ(s.subgraphs[0].nodes.size(), g.nodes.size());
+        EXPECT_EQ(s.subgraphs[0].outputBoundary.size(), 1u);
+        EXPECT_EQ(s.subgraphs[0].ephemeral.size(), g.nodes.size() - 1);
+        EXPECT_EQ(s.scheduledKernels, 1);
+        EXPECT_LT(s.scheduledUs, s.unfusedUs);
+    }
+}
+
+TEST(GraphSchedulerTest, Fig15RecoversAttentionAndPointwiseChains)
+{
+    const Graph g = fig15Graph(4, 12, 384, 768);
+    const Schedule s = scheduleGraph(g, GpuArch::ampere());
+    checkScheduleInvariants(g, GpuArch::ampere(), s);
+    int attention = 0, pwChains = 0;
+    for (const Subgraph &sg : s.subgraphs) {
+        if (sg.kind == SubgraphKind::Attention)
+            ++attention;
+        if (sg.kind == SubgraphKind::PointwiseChain)
+            ++pwChains;
+    }
+    // The hand-fused transformer block: the QKt/softmax/PV triple as
+    // one FMHA kernel, plus bias+residual / bias+gelu epilogues.
+    EXPECT_EQ(attention, 1);
+    EXPECT_EQ(pwChains, 3);
+    EXPECT_LT(s.scheduledUs, s.unfusedUs);
+}
+
+TEST(GraphSchedulerTest, DeterministicAcrossSimThreads)
+{
+    const int saved = sim::defaultThreads();
+    for (int seed : {3, 11}) {
+        const Graph g = randomGraph(static_cast<uint64_t>(seed));
+        const GpuArch &arch = archFor(seed);
+        sim::setDefaultThreads(1);
+        const std::string serial =
+            scheduleToJson(g, scheduleGraph(g, arch)).dump(2);
+        sim::setDefaultThreads(4);
+        const std::string parallel =
+            scheduleToJson(g, scheduleGraph(g, arch)).dump(2);
+        EXPECT_EQ(serial, parallel)
+            << "schedule depends on the sim thread count (seed " << seed
+            << ")";
+    }
+    sim::setDefaultThreads(saved);
+}
+
+TEST(GraphSchedulerTest, GraphJsonRoundTrip)
+{
+    for (uint64_t seed : {0ull, 5ull, 9ull}) {
+        const Graph g = randomGraph(seed);
+        const Graph back = Graph::fromJson(g.toJson());
+        EXPECT_EQ(g.toJson().dump(2), back.toJson().dump(2));
+        back.validate();
+    }
+    const Graph mlp = mlpGraph(512, 128, 4);
+    EXPECT_EQ(mlp.toJson().dump(2),
+              Graph::fromJson(mlp.toJson()).toJson().dump(2));
+    const Graph fig15 = fig15Graph(4, 12, 384, 768);
+    EXPECT_EQ(fig15.toJson().dump(2),
+              Graph::fromJson(fig15.toJson()).toJson().dump(2));
+}
+
+} // namespace
+} // namespace graph
+} // namespace graphene

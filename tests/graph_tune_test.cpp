@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tuning-cache interaction with the graph scheduler: a fresh
+ * "graphene.tune.v1" tc-gemm entry must be replayed into the
+ * scheduler's library MatMul lowering (`schedule --tuned`), while an
+ * entry with a stale space_hash must silently fall back to the
+ * heuristic defaults — never an error, never a half-applied config.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "graph/graph.h"
+#include "graph/lower.h"
+#include "graph/scheduler.h"
+#include "runtime/device.h"
+#include "tune/cache.h"
+#include "tune/space.h"
+
+namespace graphene
+{
+namespace graph
+{
+namespace
+{
+
+/** A graph whose only node is a tunable-shaped MatMul: it schedules
+ *  as a single library subgraph, the `--tuned` replay target. */
+Graph
+singleMatmulGraph()
+{
+    Graph g;
+    g.name = "tuned-mm";
+    const int a = g.addInput("%a", 256, 128);
+    const int w = g.addInput("%w", 128, 128);
+    const int c = g.addTensor("%c", 256, 128);
+    Node mm;
+    mm.kind = NodeKind::MatMul;
+    mm.name = "mm";
+    mm.inputs = {a, w};
+    mm.output = c;
+    g.addNode(mm);
+    g.inferBoundary();
+    g.validate();
+    return g;
+}
+
+/** Cache holding a non-default best config for the graph's MatMul,
+ *  stamped with @p spaceHash. */
+tune::TuningCache
+cacheFor(const GpuArch &arch, const std::string &spaceHash,
+         const tune::TunableSpace &space)
+{
+    tune::TuneResult res;
+    res.op = "tc-gemm";
+    res.archName = arch.name;
+    res.shape = space.shape;
+    res.spaceHash = spaceHash;
+    res.best.index = 1;
+    // A real (buildable) non-seed point of the space, so the replayed
+    // config is valid and visibly different from the heuristic.
+    bool found = false;
+    for (size_t i = 1; i < space.candidates.size(); ++i)
+        if (space.candidates[i].params != space.candidates[0].params) {
+            res.best.params = space.candidates[i].params;
+            found = true;
+            break;
+        }
+    EXPECT_TRUE(found) << "tc-gemm space has only one candidate";
+    res.best.simUs = 1.0;
+    res.defaultResult = res.best;
+    tune::TuningCache cache;
+    cache.put(res);
+    return cache;
+}
+
+tune::TunableSpace
+spaceFor(const GpuArch &arch)
+{
+    tune::ProblemShape shape;
+    shape.m = 256;
+    shape.n = 128;
+    shape.k = 128;
+    return tune::buildTunableSpace("tc-gemm", arch, shape);
+}
+
+TEST(GraphTuneTest, FreshEntryIsApplied)
+{
+    const GpuArch &arch = GpuArch::ampere();
+    const Graph g = singleMatmulGraph();
+    const tune::TunableSpace space = spaceFor(arch);
+    const tune::TuningCache cache =
+        cacheFor(arch, space.spaceHash, space);
+
+    ScheduleOptions opts;
+    opts.tuned = &cache;
+    const Schedule s = scheduleGraph(g, arch, opts);
+    ASSERT_EQ(s.subgraphs.size(), 1u);
+    EXPECT_TRUE(s.subgraphs[0].tunedApplied)
+        << "fresh tc-gemm entry must reach the MatMul lowering";
+
+    const std::string doc = scheduleToJson(g, s).dump(2);
+    EXPECT_NE(doc.find("\"tuned\": true"), std::string::npos) << doc;
+
+    // The tuned config must also execute: functional run, all buffers.
+    Device dev(arch);
+    allocateGraphTensors(dev, g, /*virtualBuffers=*/false);
+    fillGraphInputs(dev, g, 42);
+    runUnfused(dev, g, LaunchMode::Functional, &cache);
+    EXPECT_EQ(dev.download("%c").size(), 256u * 128u);
+}
+
+TEST(GraphTuneTest, StaleSpaceHashFallsBackToDefaults)
+{
+    const GpuArch &arch = GpuArch::ampere();
+    const Graph g = singleMatmulGraph();
+    const tune::TunableSpace space = spaceFor(arch);
+    const tune::TuningCache stale =
+        cacheFor(arch, "deadbeefdeadbeef", space);
+
+    ScheduleOptions opts;
+    opts.tuned = &stale;
+    const Schedule withStale = scheduleGraph(g, arch, opts);
+    ASSERT_EQ(withStale.subgraphs.size(), 1u);
+    EXPECT_FALSE(withStale.subgraphs[0].tunedApplied)
+        << "stale entries must not be replayed";
+
+    // ... and the schedule is byte-identical to an untuned one.
+    const Schedule untuned = scheduleGraph(g, arch);
+    EXPECT_EQ(scheduleToJson(g, withStale).dump(2),
+              scheduleToJson(g, untuned).dump(2));
+}
+
+TEST(GraphTuneTest, CacheSurvivesDiskRoundTrip)
+{
+    const GpuArch &arch = GpuArch::ampere();
+    const Graph g = singleMatmulGraph();
+    const tune::TunableSpace space = spaceFor(arch);
+    const tune::TuningCache cache =
+        cacheFor(arch, space.spaceHash, space);
+
+    const std::string path =
+        ::testing::TempDir() + "graph_tune_cache.json";
+    cache.save(path);
+    const tune::TuningCache loaded = tune::TuningCache::load(path);
+    ASSERT_EQ(loaded.size(), 1u);
+
+    ScheduleOptions opts;
+    opts.tuned = &loaded;
+    const Schedule s = scheduleGraph(g, arch, opts);
+    ASSERT_EQ(s.subgraphs.size(), 1u);
+    EXPECT_TRUE(s.subgraphs[0].tunedApplied);
+}
+
+/** Tuned replay must never change WHAT is computed, only how fast:
+ *  functional outputs are bit-identical with and without the cache. */
+TEST(GraphTuneTest, TunedReplayPreservesResults)
+{
+    const GpuArch &arch = GpuArch::volta();
+    const Graph g = singleMatmulGraph();
+    const tune::TunableSpace space = spaceFor(arch);
+    const tune::TuningCache cache =
+        cacheFor(arch, space.spaceHash, space);
+
+    auto run = [&](const tune::TuningCache *tuned) {
+        Device dev(arch);
+        allocateGraphTensors(dev, g, false);
+        fillGraphInputs(dev, g, 7);
+        runUnfused(dev, g, LaunchMode::Functional, tuned);
+        return dev.download("%c");
+    };
+    const auto untuned = run(nullptr);
+    const auto tuned = run(&cache);
+    ASSERT_EQ(untuned.size(), tuned.size());
+    for (size_t i = 0; i < untuned.size(); ++i)
+        ASSERT_EQ(untuned[i], tuned[i]) << "first mismatch at " << i;
+}
+
+} // namespace
+} // namespace graph
+} // namespace graphene

@@ -39,6 +39,16 @@
  *       graphene.tune.v1 cache (`--out`, default tune_cache.json).
  *       `profile`, `explain`, and the benches replay a cache via
  *       `--tuned <cache>`.
+ *   graphene-cli schedule <mlp|fig15|random|file> [options]
+ *       Partition an op DAG with the greedy fusion scheduler and time
+ *       the plan against the all-unfused lowering.  `random` takes
+ *       --seed; `file` takes --graph <graphene.graph.v1 JSON>.
+ *       --explain prints the per-subgraph decomposition, --json writes
+ *       the graphene.schedule.v1 document, --verify re-runs both paths
+ *       functionally and checks outputs bit-exactly (sanitizer on),
+ *       --tuned replays a tuning cache into the library MatMuls, and
+ *       --report-fused/--report-unfused write paired graphene.bench.v1
+ *       rows for the bench_diff fusion gate.
  *
  * Kernels: simple-gemm | gemm | mlp | lstm | fmha | layernorm |
  *          ldmatrix
@@ -57,10 +67,15 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <set>
+#include <sstream>
 #include <string>
 
 #include "baselines/engines.h"
 #include "codegen/cuda_emitter.h"
+#include "graph/graph.h"
+#include "graph/lower.h"
+#include "graph/scheduler.h"
 #include "inspect/inspect.h"
 #include "ir/printer.h"
 #include "profile/profile.h"
@@ -111,6 +126,11 @@ struct Options
     std::string reportDefaultPath; // tune --report-default
     std::string reportTunedPath;   // tune --report-tuned
     std::string tunedPath;    // --tuned <cache> (consumers)
+    std::string graphPath;    // schedule file --graph
+    bool explain = false;     // schedule --explain
+    bool verify = false;      // schedule --verify
+    std::string reportFusedPath;   // schedule --report-fused
+    std::string reportUnfusedPath; // schedule --report-unfused
 };
 
 /** The verb table: one row per command, the single source for usage
@@ -141,6 +161,9 @@ const Verb kVerbs[] = {
      "annotated decomposition tree with provenance and atomics"},
     {"tune", false, "--op <op> [--budget N] [--out <cache>]",
      "simulator-driven config search; writes the tuning cache"},
+    {"schedule", true,
+     "[--seed N] [--graph <path>] [--explain] [--verify]",
+     "fuse an op DAG (mlp|fig15|random|file) and time the plan"},
 };
 
 const Verb *
@@ -192,6 +215,16 @@ printUsage(std::FILE *to)
         "         --no-lint-filter  skip the static-lint pruning stage\n"
         "         --report-default <p> / --report-tuned <p>\n"
         "                      graphene.bench.v1 rows for bench_diff\n"
+        "schedule: <mlp|fig15|random|file>  the op DAG to schedule\n"
+        "         --seed N     random-DAG seed (kernel `random`)\n"
+        "         --graph <p>  graphene.graph.v1 JSON (kernel `file`)\n"
+        "         --explain    per-subgraph fusion decomposition\n"
+        "         --json [p]   graphene.schedule.v1 document\n"
+        "         --verify     functional fused-vs-unfused bit-exact\n"
+        "                      check with the sanitizer enabled\n"
+        "         --report-fused <p> / --report-unfused <p>\n"
+        "                      paired graphene.bench.v1 rows for the\n"
+        "                      bench_diff fusion gate\n"
         "         --help       print this help and exit\n");
 }
 
@@ -289,6 +322,16 @@ parse(int argc, char **argv)
             o.reportTunedPath = next();
         } else if (a == "--tuned") {
             o.tunedPath = next();
+        } else if (a == "--graph") {
+            o.graphPath = next();
+        } else if (a == "--explain") {
+            o.explain = true;
+        } else if (a == "--verify") {
+            o.verify = true;
+        } else if (a == "--report-fused") {
+            o.reportFusedPath = next();
+        } else if (a == "--report-unfused") {
+            o.reportUnfusedPath = next();
         } else {
             usage();
         }
@@ -581,6 +624,170 @@ runTuneCommand(const Options &o, const GpuArch &arch)
     return ok ? 0 : 1;
 }
 
+/** One row of the paired fused/unfused bench documents: identical
+ *  (label, arch) so bench_diff matches them, sim_us carries the plan
+ *  time being gated. */
+void
+writeScheduleReport(const std::string &path, const graph::Graph &g,
+                    const graph::Schedule &s, bool fused)
+{
+    json::Value doc = json::Value::object();
+    doc["schema"] = "graphene.bench.v1";
+    doc["figure"] = "graph-fusion";
+    doc["meta"] = runMetadata(sim::resolveThreads(sim::defaultThreads()));
+    doc["meta"]["plan"] = sim::defaultUsePlan();
+    json::Value row = json::Value::object();
+    row["label"] = "graph:" + g.name;
+    row["arch"] = s.archName;
+    row["sim_us"] = fused ? s.scheduledUs : s.unfusedUs;
+    row["kernels"] = fused ? s.scheduledKernels : s.unfusedKernels;
+    row["fused"] = fused;
+    json::Value rows = json::Value::array();
+    rows.push(std::move(row));
+    doc["rows"] = std::move(rows);
+    std::ofstream f = openOutputFile(path);
+    f << doc.dump(2) << "\n";
+    std::printf("report   wrote %s\n", path.c_str());
+}
+
+/**
+ * Functional differential: run the graph unfused and scheduled with
+ * the sanitizer on, compare every output bit-exactly.  Returns 0 on a
+ * clean match.  Schedules containing the attention fusion are skipped:
+ * the fused FMHA kernel restructures the softmax, so it is
+ * timing-equivalent but deliberately not bit-exact.
+ */
+int
+verifySchedule(const graph::Graph &g, const graph::Schedule &s,
+               const GpuArch &arch, uint64_t seed)
+{
+    for (const graph::Subgraph &sg : s.subgraphs)
+        if (sg.kind == graph::SubgraphKind::Attention) {
+            std::printf("verify   skipped: schedule contains the "
+                        "attention fusion (timing-equivalent, not "
+                        "bit-exact)\n");
+            return 0;
+        }
+
+    Device ref(arch);
+    ref.setSanitizerMode(sim::SanitizerMode::Report);
+    graph::allocateGraphTensors(ref, g, /*virtualBuffers=*/false);
+    graph::fillGraphInputs(ref, g, seed);
+    graph::runUnfused(ref, g, LaunchMode::Functional);
+
+    const std::set<int> eph = graph::scheduleEphemerals(s);
+    Device dev(arch);
+    dev.setSanitizerMode(sim::SanitizerMode::Report);
+    graph::allocateGraphTensors(dev, g, /*virtualBuffers=*/false, &eph);
+    graph::fillGraphInputs(dev, g, seed);
+    graph::runScheduled(dev, g, s, LaunchMode::Functional);
+
+    int64_t checked = 0;
+    for (int t : g.outputs) {
+        const std::string &name =
+            g.tensors[static_cast<size_t>(t)].name;
+        const auto want = ref.download(name);
+        const auto got = dev.download(name);
+        for (size_t i = 0; i < want.size(); ++i)
+            if (got[i] != want[i]) {
+                std::fprintf(stderr,
+                             "verify   FAILED: output %s diverges at "
+                             "[%zu]: fused %g vs unfused %g\n",
+                             name.c_str(), i, got[i], want[i]);
+                return 1;
+            }
+        checked += static_cast<int64_t>(want.size());
+    }
+    if (!ref.sanitizerReport().clean()
+        || !dev.sanitizerReport().clean()) {
+        std::fprintf(stderr, "verify   FAILED: sanitizer hazards\n%s%s",
+                     ref.sanitizerReport().str().c_str(),
+                     dev.sanitizerReport().str().c_str());
+        return 1;
+    }
+    std::printf("verify   OK: %lld output element(s) bit-exact, "
+                "sanitizer clean on both paths\n",
+                (long long)checked);
+    return 0;
+}
+
+int
+runScheduleCommand(const Options &o, const GpuArch &arch)
+{
+    graph::Graph g;
+    if (o.kernel == "mlp") {
+        g = graph::mlpGraph(o.mSet ? o.m : 512, 128,
+                            o.layersSet ? o.layers : 4);
+    } else if (o.kernel == "fig15") {
+        g = graph::fig15Graph(4, 12, 384, 768);
+    } else if (o.kernel == "random") {
+        g = graph::randomGraph(static_cast<uint64_t>(o.tuneSeed));
+    } else if (o.kernel == "file") {
+        if (o.graphPath.empty()) {
+            std::fprintf(stderr,
+                         "error: schedule file requires --graph\n\n");
+            usage();
+        }
+        std::ifstream in(o.graphPath);
+        if (!in) {
+            diag::Diagnostic d;
+            d.code = "input-path";
+            d.message = "cannot open graph '" + o.graphPath + "'";
+            diag::report(std::move(d));
+        }
+        std::stringstream buf;
+        buf << in.rdbuf();
+        g = graph::Graph::fromJson(json::Value::parse(buf.str()));
+    } else {
+        std::fprintf(stderr,
+                     "error: unknown graph '%s' (mlp|fig15|random|"
+                     "file)\n\n",
+                     o.kernel.c_str());
+        usage();
+    }
+
+    tune::TuningCache cache;
+    graph::ScheduleOptions sopts;
+    if (!o.tunedPath.empty()) {
+        cache = loadTunedCache(o.tunedPath);
+        sopts.tuned = &cache;
+    }
+    const graph::Schedule s = graph::scheduleGraph(g, arch, sopts);
+
+    std::printf("graph    %s on %s: %zu node(s), %zu tensor(s)\n",
+                g.name.c_str(), arch.name.c_str(), g.nodes.size(),
+                g.tensors.size());
+    std::printf("plan     %lld kernel(s) vs %lld unfused, %zu "
+                "subgraph(s)\n",
+                (long long)s.scheduledKernels,
+                (long long)s.unfusedKernels, s.subgraphs.size());
+    std::printf("time     %.2f us scheduled vs %.2f us unfused",
+                s.scheduledUs, s.unfusedUs);
+    if (s.scheduledUs > 0)
+        std::printf("  (%.2fx)", s.unfusedUs / s.scheduledUs);
+    std::printf("\n");
+    if (o.explain)
+        std::printf("\n%s", graph::renderSchedule(g, s).c_str());
+    if (o.json) {
+        const std::string doc = graph::scheduleToJson(g, s).dump(2);
+        if (o.jsonPath.empty()) {
+            std::printf("%s\n", doc.c_str());
+        } else {
+            std::ofstream f = openOutputFile(o.jsonPath);
+            f << doc;
+            std::printf("json     wrote %s\n", o.jsonPath.c_str());
+        }
+    }
+    if (!o.reportFusedPath.empty())
+        writeScheduleReport(o.reportFusedPath, g, s, true);
+    if (!o.reportUnfusedPath.empty())
+        writeScheduleReport(o.reportUnfusedPath, g, s, false);
+    if (o.verify)
+        return verifySchedule(g, s, arch,
+                              static_cast<uint64_t>(o.tuneSeed));
+    return 0;
+}
+
 } // namespace
 
 int
@@ -596,6 +803,8 @@ main(int argc, char **argv)
         }
         if (o.command == "tune")
             return runTuneCommand(o, arch);
+        if (o.command == "schedule")
+            return runScheduleCommand(o, arch);
         Device dev(arch);
         Kernel kernel = buildKernel(o, arch, dev);
         if (o.command == "print-ir") {
