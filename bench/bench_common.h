@@ -23,6 +23,7 @@
 
 #include "runtime/device.h"
 #include "sim/sim_config.h"
+#include "support/fs.h"
 #include "support/json.h"
 #include "support/run_metadata.h"
 #include "tune/cache.h"
@@ -164,19 +165,38 @@ class JsonReport
         doc_["rows"].push(std::move(row));
     }
 
+    /** Aggregate row with extra fields (traffic bytes, fusion counts,
+     *  ...) merged in after the common columns. */
+    void
+    addRow(const std::string &label, const std::string &arch,
+           double timeUs, const json::Value &extra, bool tuned = false)
+    {
+        json::Value row = rowCommon(label, arch, timeUs);
+        row["bound_by"] = json::Value();
+        for (const auto &kv : extra.fields())
+            row[kv.first] = kv.second;
+        if (tuned)
+            row["tuned"] = true;
+        doc_["rows"].push(std::move(row));
+    }
+
     /** Write the document if --json was given; no-op otherwise. */
     void
     write()
     {
         if (!enabled())
             return;
-        std::ofstream f(path_);
-        if (!f) {
-            std::fprintf(stderr, "error: cannot write %s\n",
-                         path_.c_str());
+        // Counter totals are stamped at write time, when the run's
+        // event-log activity (fusions tried, kernels launched, cache
+        // hits) has all happened; bench_diff --counters gates on them.
+        stampEventCounters(doc_["meta"]);
+        try {
+            std::ofstream f = openOutputFile(path_);
+            f << doc_.dump(2);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
             return;
         }
-        f << doc_.dump(2);
         std::printf("  wrote %s (%lld rows)\n", path_.c_str(),
                     (long long)doc_["rows"].size());
     }

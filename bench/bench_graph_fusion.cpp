@@ -19,6 +19,7 @@
 #include "bench/bench_common.h"
 #include "graph/graph.h"
 #include "graph/lower.h"
+#include "graph/profile.h"
 #include "graph/scheduler.h"
 
 namespace graphene
@@ -102,16 +103,30 @@ main(int argc, char **argv)
         for (const char *name : kGraphs) {
             const graph::Graph g = graphByName(name);
             const graph::Schedule s = graph::scheduleGraph(g, arch);
+            const graph::ScheduleProfile prof =
+                graph::profileSchedule(g, arch, s);
             const double unfused = runGraph(arch, name, false);
             const double fused = runGraph(arch, name, true);
             std::printf("    %-10s %12.1f %13.1f %8.2fx %lld -> %lld\n",
                         name, unfused, fused, unfused / fused,
                         (long long)s.unfusedKernels,
                         (long long)s.scheduledKernels);
+            json::Value uextra = json::Value::object();
+            uextra["kernels"] = s.unfusedKernels;
+            uextra["global_bytes"] = prof.unfusedBytes;
             json.addRow(std::string("unfused ") + name, archName,
-                        unfused);
+                        unfused, uextra);
+            json::Value sextra = json::Value::object();
+            sextra["kernels"] = s.scheduledKernels;
+            sextra["global_bytes"] = prof.scheduledBytes;
+            sextra["ephemeral_bytes"] = prof.ephemeralBytes;
+            int64_t fusions = 0;
+            for (const graph::Subgraph &sg : s.subgraphs)
+                if (sg.kind != graph::SubgraphKind::Library)
+                    ++fusions;
+            sextra["fusions"] = fusions;
             json.addRow(std::string("scheduled ") + name, archName,
-                        fused);
+                        fused, sextra);
         }
     }
     json.write();

@@ -8,6 +8,7 @@
 #include "ops/softmax.h"
 #include "ops/tc_gemm.h"
 #include "support/check.h"
+#include "support/events.h"
 #include "support/rng.h"
 #include "tune/space.h"
 
@@ -87,10 +88,13 @@ launchNode(Device &dev, const Graph &g, const Node &node, LaunchMode mode,
                 shape.k = k;
                 const tune::TunableSpace space =
                     tune::buildTunableSpace("tc-gemm", arch, shape);
-                if (tuned->find("tc-gemm", arch.name, tune::shapeOf(cfg),
+                const bool hit =
+                    tuned->find("tc-gemm", arch.name, tune::shapeOf(cfg),
                                 space.spaceHash)
-                        != nullptr
-                    && tune::applyTuned(*tuned, arch, cfg)
+                    != nullptr;
+                events::global().add(hit ? "tune.cache_hits"
+                                         : "tune.cache_misses");
+                if (hit && tune::applyTuned(*tuned, arch, cfg)
                     && tunedApplied != nullptr)
                     *tunedApplied = true;
             } catch (const std::exception &) {

@@ -1,0 +1,282 @@
+#include "graph/profile.h"
+
+#include <cstdio>
+
+#include "graph/lower.h"
+#include "support/events.h"
+
+namespace graphene
+{
+namespace graph
+{
+
+namespace
+{
+
+std::string
+fmt2(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2f", v);
+    return buf;
+}
+
+/** Launch one subgraph's kernels on @p dev (timing mode). */
+void
+launchSubgraph(Device &dev, const Graph &g, const Subgraph &sg,
+               const tune::TuningCache *tuned)
+{
+    const GpuArch &arch = dev.arch();
+    switch (sg.kind) {
+      case SubgraphKind::Library:
+        for (int ni : sg.nodes)
+            launchNode(dev, g, g.nodes[static_cast<size_t>(ni)],
+                       LaunchMode::Timing, tuned, nullptr);
+        break;
+      case SubgraphKind::GemmChain:
+        dev.launch(buildGemmChain(arch, sg.chain), LaunchMode::Timing);
+        break;
+      case SubgraphKind::PointwiseChain:
+        dev.launch(buildPointwiseChain(arch, sg.pwChain),
+                   LaunchMode::Timing);
+        break;
+      case SubgraphKind::Attention:
+        dev.launch(ops::buildFusedFmha(arch, sg.fmha),
+                   LaunchMode::Timing);
+        break;
+    }
+}
+
+} // namespace
+
+int64_t
+tensorBytes(const TensorDef &td)
+{
+    return td.count() * scalarSizeBytes(td.scalar);
+}
+
+ScheduleProfile
+profileSchedule(const Graph &g, const GpuArch &arch, const Schedule &s,
+                const tune::TuningCache *tuned)
+{
+    ScheduleProfile p;
+    p.graphName = s.graphName;
+    p.archName = s.archName;
+
+    // The all-unfused plan reads every node input and writes every
+    // node output through global memory.
+    for (const Node &node : g.nodes) {
+        for (int t : node.inputs)
+            p.unfusedBytes += tensorBytes(g.tensors[static_cast<size_t>(t)]);
+        p.unfusedBytes += tensorBytes(g.tensors[static_cast<size_t>(node.output)]);
+        ++p.unfusedKernels;
+    }
+
+    // One scratch timing device for the whole plan; ephemerals are
+    // never allocated, matching scheduled execution.
+    const std::set<int> eph = scheduleEphemerals(s);
+    Device dev(arch);
+    allocateGraphTensors(dev, g, /*virtualBuffers=*/true, &eph);
+
+    for (const Subgraph &sg : s.subgraphs) {
+        SubgraphProfile sp;
+        sp.kind = sg.kind;
+        sp.nodes = sg.nodes;
+        if (sg.kind == SubgraphKind::Library) {
+            for (int ni : sg.nodes) {
+                const Node &node = g.nodes[static_cast<size_t>(ni)];
+                for (int t : node.inputs)
+                    sp.readBytes +=
+                        tensorBytes(g.tensors[static_cast<size_t>(t)]);
+                sp.writeBytes += tensorBytes(
+                    g.tensors[static_cast<size_t>(node.output)]);
+            }
+        } else {
+            for (int t : sg.inputBoundary)
+                sp.readBytes +=
+                    tensorBytes(g.tensors[static_cast<size_t>(t)]);
+            for (int t : sg.outputBoundary)
+                sp.writeBytes +=
+                    tensorBytes(g.tensors[static_cast<size_t>(t)]);
+            for (int t : sg.ephemeral)
+                sp.ephemeralBytes +=
+                    tensorBytes(g.tensors[static_cast<size_t>(t)]);
+        }
+
+        dev.resetStream();
+        launchSubgraph(dev, g, sg, tuned);
+        sp.simUs = dev.streamTimeUs();
+        sp.kernels = dev.launchCount();
+
+        p.scheduledUs += sp.simUs;
+        p.scheduledKernels += sp.kernels;
+        p.scheduledBytes += sp.readBytes + sp.writeBytes;
+        p.ephemeralBytes += sp.ephemeralBytes;
+        p.subgraphs.push_back(std::move(sp));
+    }
+
+    events::EventLog &log = events::global();
+    log.add("profile.scheduled_bytes", p.scheduledBytes);
+    log.add("profile.unfused_bytes", p.unfusedBytes);
+    log.add("profile.ephemeral_bytes", p.ephemeralBytes);
+    return p;
+}
+
+json::Value
+scheduleProfileToJson(const Graph &g, const ScheduleProfile &p)
+{
+    json::Value doc = json::Value::object();
+    doc["schema"] = ScheduleProfile::kSchema;
+    doc["graph"] = p.graphName;
+    doc["arch"] = p.archName;
+    doc["scheduled_us"] = p.scheduledUs;
+    doc["scheduled_kernels"] = p.scheduledKernels;
+    doc["unfused_kernels"] = p.unfusedKernels;
+    doc["scheduled_bytes"] = p.scheduledBytes;
+    doc["unfused_bytes"] = p.unfusedBytes;
+    doc["ephemeral_bytes"] = p.ephemeralBytes;
+    json::Value sgs = json::Value::array();
+    for (const SubgraphProfile &sp : p.subgraphs) {
+        json::Value v = json::Value::object();
+        v["kind"] = subgraphKindName(sp.kind);
+        json::Value nodeNames = json::Value::array();
+        for (int ni : sp.nodes)
+            nodeNames.push(g.nodes[static_cast<size_t>(ni)].name);
+        v["nodes"] = std::move(nodeNames);
+        v["kernels"] = sp.kernels;
+        v["sim_us"] = sp.simUs;
+        v["read_bytes"] = sp.readBytes;
+        v["write_bytes"] = sp.writeBytes;
+        if (sp.ephemeralBytes > 0)
+            v["ephemeral_bytes"] = sp.ephemeralBytes;
+        sgs.push(std::move(v));
+    }
+    doc["subgraphs"] = std::move(sgs);
+    return doc;
+}
+
+std::string
+renderScheduleProfile(const Graph &g, const ScheduleProfile &p)
+{
+    std::ostringstream out;
+    out << "profile for schedule of '" << p.graphName << "' on "
+        << p.archName << "\n";
+    out << "kernels: " << p.unfusedKernels << " -> "
+        << p.scheduledKernels << "\n";
+    for (size_t i = 0; i < p.subgraphs.size(); ++i) {
+        const SubgraphProfile &sp = p.subgraphs[i];
+        out << "[" << i << "] " << subgraphKindName(sp.kind) << ":";
+        for (int ni : sp.nodes)
+            out << " " << g.nodes[static_cast<size_t>(ni)].name;
+        out << "\n";
+        out << "    sim " << fmt2(sp.simUs) << " us, " << sp.kernels
+            << (sp.kernels == 1 ? " kernel" : " kernels") << "\n";
+        out << "    global: read " << sp.readBytes << " bytes, write "
+            << sp.writeBytes << " bytes\n";
+        if (sp.ephemeralBytes > 0)
+            out << "    ephemeral: " << sp.ephemeralBytes
+                << " bytes never allocated\n";
+    }
+    out << "totals: scheduled " << fmt2(p.scheduledUs) << " us\n";
+    out << "global traffic: scheduled " << p.scheduledBytes
+        << " bytes vs unfused " << p.unfusedBytes << " bytes (saved "
+        << (p.unfusedBytes - p.scheduledBytes) << ")\n";
+    if (p.ephemeralBytes > 0)
+        out << "ephemeral allocation avoided: " << p.ephemeralBytes
+            << " bytes\n";
+    return out.str();
+}
+
+json::Value
+scheduleProfileToChromeTrace(const Graph &g, const ScheduleProfile &p)
+{
+    json::Value events = json::Value::array();
+    const int pid = 1;
+
+    auto meta = [&](int tid, const std::string &name) {
+        json::Value e = json::Value::object();
+        e["ph"] = "M";
+        e["name"] = "thread_name";
+        e["pid"] = pid;
+        e["tid"] = tid;
+        json::Value args = json::Value::object();
+        args["name"] = name;
+        e["args"] = std::move(args);
+        events.push(std::move(e));
+    };
+
+    json::Value pm = json::Value::object();
+    pm["ph"] = "M";
+    pm["name"] = "process_name";
+    pm["pid"] = pid;
+    pm["tid"] = 0;
+    json::Value pmArgs = json::Value::object();
+    pmArgs["name"] = "graphene schedule '" + p.graphName + "' on "
+        + p.archName;
+    pm["args"] = std::move(pmArgs);
+    events.push(std::move(pm));
+    meta(0, "stream");
+
+    double cursor = 0;
+    int64_t cumBytes = 0;
+    for (size_t i = 0; i < p.subgraphs.size(); ++i) {
+        const SubgraphProfile &sp = p.subgraphs[i];
+        std::string label = subgraphKindName(sp.kind) + ":";
+        for (int ni : sp.nodes)
+            label += " " + g.nodes[static_cast<size_t>(ni)].name;
+
+        // Lane 0 carries the serial stream; each subgraph also gets
+        // its own lane so the plan's shape reads at a glance.
+        for (int tid : {0, static_cast<int>(i) + 1}) {
+            json::Value e = json::Value::object();
+            e["ph"] = "X";
+            e["name"] = label;
+            e["cat"] = subgraphKindName(sp.kind);
+            e["pid"] = pid;
+            e["tid"] = tid;
+            e["ts"] = cursor;
+            e["dur"] = sp.simUs;
+            json::Value args = json::Value::object();
+            args["kernels"] = sp.kernels;
+            args["read_bytes"] = sp.readBytes;
+            args["write_bytes"] = sp.writeBytes;
+            if (sp.ephemeralBytes > 0)
+                args["ephemeral_bytes"] = sp.ephemeralBytes;
+            e["args"] = std::move(args);
+            events.push(std::move(e));
+        }
+
+        cumBytes += sp.readBytes + sp.writeBytes;
+        json::Value c = json::Value::object();
+        c["ph"] = "C";
+        c["name"] = "global bytes";
+        c["pid"] = pid;
+        c["tid"] = 0;
+        c["ts"] = cursor;
+        json::Value cargs = json::Value::object();
+        cargs["cumulative"] = static_cast<double>(cumBytes);
+        c["args"] = std::move(cargs);
+        events.push(std::move(c));
+
+        cursor += sp.simUs;
+    }
+    for (size_t i = 0; i < p.subgraphs.size(); ++i)
+        meta(static_cast<int>(i) + 1,
+             "subgraph " + std::to_string(i));
+
+    json::Value doc = json::Value::object();
+    doc["traceEvents"] = std::move(events);
+    doc["displayTimeUnit"] = "ns";
+    json::Value other = json::Value::object();
+    other["schema"] = ScheduleProfile::kSchema;
+    other["graph"] = p.graphName;
+    other["arch"] = p.archName;
+    other["scheduled_us"] = p.scheduledUs;
+    other["scheduled_bytes"] = p.scheduledBytes;
+    other["unfused_bytes"] = p.unfusedBytes;
+    doc["otherData"] = std::move(other);
+    return doc;
+}
+
+} // namespace graph
+} // namespace graphene

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Schedule-level profiling (ROADMAP item 3 at graph granularity): time
+ * each subgraph of a fusion plan on a scratch timing device and account
+ * the plan's global-memory traffic statically from tensor shapes.
+ *
+ * Traffic accounting is exact for the simulator's execution model: an
+ * unfused node reads each input tensor once and writes its output once,
+ * so the all-unfused plan moves every intermediate through global
+ * memory twice (producer write + consumer read).  A fused subgraph only
+ * touches its boundary tensors; its ephemeral tensors live in registers
+ * or shared memory, so the scheduled plan's traffic is the boundary
+ * bytes, and the delta to the unfused plan is the fusion's DRAM-traffic
+ * saving.  `ephemeral_bytes` counts allocation bytes the scheduled
+ * execution never materializes (each such tensor also saves one write
+ * plus one read of traffic).
+ */
+
+#ifndef GRAPHENE_GRAPH_PROFILE_H
+#define GRAPHENE_GRAPH_PROFILE_H
+
+#include "graph/scheduler.h"
+
+namespace graphene
+{
+namespace graph
+{
+
+/** One scheduled subgraph's timing and traffic. */
+struct SubgraphProfile
+{
+    SubgraphKind kind = SubgraphKind::Library;
+    std::vector<int> nodes; // node ids
+    /** Kernel launches this subgraph contributes (1 when fused). */
+    int64_t kernels = 0;
+    /** Simulated stream time of this subgraph (microseconds). */
+    double simUs = 0;
+    /** Global bytes read / written by this subgraph's kernels. */
+    int64_t readBytes = 0;
+    int64_t writeBytes = 0;
+    /** Allocation bytes of tensors fused away inside this subgraph. */
+    int64_t ephemeralBytes = 0;
+};
+
+/**
+ * A schedule's execution profile ("graphene.graphprofile.v1"): one
+ * entry per subgraph in execution order plus plan-level totals,
+ * including what the same graph would move unfused.
+ */
+struct ScheduleProfile
+{
+    static constexpr const char *kSchema = "graphene.graphprofile.v1";
+
+    std::string graphName;
+    std::string archName;
+    std::vector<SubgraphProfile> subgraphs;
+
+    double scheduledUs = 0;
+    int64_t scheduledKernels = 0;
+    int64_t unfusedKernels = 0;
+    /** Global traffic (read + write bytes) of the scheduled plan and
+     *  of the all-unfused plan; scheduled <= unfused always, strictly
+     *  less whenever any subgraph fused an intermediate away. */
+    int64_t scheduledBytes = 0;
+    int64_t unfusedBytes = 0;
+    /** Allocation bytes of every ephemeral tensor (never allocated). */
+    int64_t ephemeralBytes = 0;
+};
+
+/** Global-memory bytes of one tensor (count * scalar size). */
+int64_t tensorBytes(const TensorDef &td);
+
+/**
+ * Profile a schedule: each subgraph is timed separately on a scratch
+ * timing device with virtual buffers (ephemerals never allocated), and
+ * traffic is accounted statically from tensor shapes.  @p tuned replays
+ * fresh tuning-cache entries into library GEMMs, mirroring execution.
+ */
+ScheduleProfile profileSchedule(const Graph &g, const GpuArch &arch,
+                                const Schedule &s,
+                                const tune::TuningCache *tuned = nullptr);
+
+/** Machine-readable profile ("graphene.graphprofile.v1"). */
+json::Value scheduleProfileToJson(const Graph &g,
+                                  const ScheduleProfile &p);
+
+/** Human-readable rendering (golden-tested). */
+std::string renderScheduleProfile(const Graph &g,
+                                  const ScheduleProfile &p);
+
+/**
+ * Chrome-trace document for a scheduled run: lane 0 carries the serial
+ * execution timeline (one "X" span per subgraph laid out in stream
+ * order), one additional lane per subgraph shows where its span sits,
+ * and a counter track plots cumulative global bytes moved.  Loads in
+ * chrome://tracing / Perfetto; otherData.schema is
+ * "graphene.graphprofile.v1".
+ */
+json::Value scheduleProfileToChromeTrace(const Graph &g,
+                                         const ScheduleProfile &p);
+
+} // namespace graph
+} // namespace graphene
+
+#endif // GRAPHENE_GRAPH_PROFILE_H

@@ -7,6 +7,7 @@
 
 #include "graph/lower.h"
 #include "support/check.h"
+#include "support/events.h"
 
 namespace graphene
 {
@@ -413,6 +414,7 @@ timeUnfused(const GpuArch &arch, const Graph &g,
             const std::vector<int> &nodes,
             const tune::TuningCache *tuned, bool *tunedApplied)
 {
+    events::global().add("schedule.oracle_evals");
     Device dev(arch);
     allocateForNodes(dev, g, nodes);
     for (int ni : nodes)
@@ -433,6 +435,7 @@ timeFused(const GpuArch &arch, const Graph &g, Subgraph *sg,
           bool oracle, std::string *why)
 {
     auto timeKernel = [&](const Kernel &kernel) {
+        events::global().add("schedule.oracle_evals");
         Device dev(arch);
         allocateForNodes(dev, g, sg->nodes);
         dev.launch(kernel, LaunchMode::Timing);
@@ -498,7 +501,52 @@ fmtUs(double us)
     return buf;
 }
 
+/** Map a gemmChainValid/pointwiseChainValid constraint message to a
+ *  machine-readable reason code. */
+std::string
+legalityCode(const std::string &why)
+{
+    if (why.find("shared-memory") != std::string::npos)
+        return kReasonSmemOverBudget;
+    return kReasonShapeIllegal;
+}
+
+/** Record one considered candidate in the schedule's decision trace
+ *  and mirror it into the global event log. */
+void
+recordDecision(Schedule *s, const Graph &g, FusionDecision d)
+{
+    events::EventLog &log = events::global();
+    if (d.kind != SubgraphKind::Library) {
+        log.add("schedule.fusions_tried");
+        log.add(d.accepted ? "schedule.fusions_kept"
+                           : "schedule.fusions_rejected");
+    }
+    json::Value f = json::Value::object();
+    f["kind"] = subgraphKindName(d.kind);
+    json::Value nodeNames = json::Value::array();
+    for (int ni : d.nodes)
+        nodeNames.push(g.nodes[static_cast<size_t>(ni)].name);
+    f["nodes"] = std::move(nodeNames);
+    f["accepted"] = d.accepted;
+    f["reason_code"] = d.reasonCode;
+    if (d.smemBytes > 0)
+        f["smem_bytes"] = d.smemBytes;
+    if (d.fusedUs > 0)
+        f["fused_us"] = d.fusedUs;
+    if (d.unfusedUs > 0)
+        f["unfused_us"] = d.unfusedUs;
+    log.emit("fusion.candidate", std::move(f));
+    s->decisions.push_back(std::move(d));
+}
+
 } // namespace
+
+const char *const kReasonFused = "fused";
+const char *const kReasonOracleSlower = "oracle-slower";
+const char *const kReasonSmemOverBudget = "smem-over-budget";
+const char *const kReasonShapeIllegal = "shape-illegal";
+const char *const kReasonNoMatcher = "no-matcher";
 
 std::string
 subgraphKindName(SubgraphKind kind)
@@ -533,7 +581,7 @@ scheduleGraph(const Graph &g, const GpuArch &arch,
 
         // Build the best fused candidate rooted at node i.
         Subgraph sg;
-        std::string noFuse;
+        std::string noFuse, noFuseCode;
         if (matchAttention(g, i, arch, &sg.nodes, &sg.fmha)) {
             sg.kind = SubgraphKind::Attention;
             sg.reason = "attention triple -> fused FMHA";
@@ -547,7 +595,14 @@ scheduleGraph(const Graph &g, const GpuArch &arch,
             sg.reason = "same-shape pointwise chain";
         } else {
             noFuse = "no fusable consumer chain";
+            noFuseCode = kReasonNoMatcher;
         }
+
+        FusionDecision dec;
+        dec.kind = sg.kind;
+        dec.nodes = sg.kind == SubgraphKind::Library
+            ? std::vector<int>{i}
+            : sg.nodes;
 
         bool fused = sg.kind != SubgraphKind::Library;
         if (fused) {
@@ -557,6 +612,8 @@ scheduleGraph(const Graph &g, const GpuArch &arch,
             if (sg.fusedUs == kInf) {
                 fused = false;
                 noFuse = "fusion illegal: " + why;
+                noFuseCode = legalityCode(why);
+                sg.fusedUs = 0;
             } else if (opts.costOracle) {
                 sg.unfusedUs = timeUnfused(arch, g, sg.nodes,
                                            opts.tuned,
@@ -568,11 +625,21 @@ scheduleGraph(const Graph &g, const GpuArch &arch,
                         + std::to_string(sg.nodes.size()) + " nodes, "
                         + fmtUs(sg.fusedUs) + " us fused vs "
                         + fmtUs(sg.unfusedUs) + " us unfused";
+                    noFuseCode = kReasonOracleSlower;
                 }
             }
         }
 
+        dec.accepted = fused;
+        dec.reasonCode = fused ? kReasonFused : noFuseCode;
+        dec.detail = fused ? sg.reason : noFuse;
+        dec.smemBytes = sg.smemBytes;
+        dec.fusedUs = sg.fusedUs;
+        dec.unfusedUs = sg.unfusedUs;
+        recordDecision(&s, g, std::move(dec));
+
         if (fused) {
+            sg.reasonCode = kReasonFused;
             for (int ni : sg.nodes)
                 taken[static_cast<size_t>(ni)] = true;
             s.subgraphs.push_back(std::move(sg));
@@ -583,6 +650,7 @@ scheduleGraph(const Graph &g, const GpuArch &arch,
         lib.kind = SubgraphKind::Library;
         lib.nodes = {i};
         lib.reason = noFuse;
+        lib.reasonCode = noFuseCode;
         classifyTensors(g, &lib);
         if (opts.costOracle)
             lib.unfusedUs = timeUnfused(arch, g, lib.nodes, opts.tuned,
@@ -590,6 +658,8 @@ scheduleGraph(const Graph &g, const GpuArch &arch,
         taken[static_cast<size_t>(i)] = true;
         s.subgraphs.push_back(std::move(lib));
     }
+    events::global().add("schedule.subgraphs",
+                         static_cast<int64_t>(s.subgraphs.size()));
 
     for (const Subgraph &sg : s.subgraphs) {
         const bool isFused = sg.kind != SubgraphKind::Library;
@@ -650,9 +720,30 @@ scheduleToJson(const Graph &g, const Schedule &s)
         if (sg.tunedApplied)
             v["tuned"] = true;
         v["reason"] = sg.reason;
+        v["reason_code"] = sg.reasonCode;
         sgs.push(std::move(v));
     }
     doc["subgraphs"] = std::move(sgs);
+    json::Value decs = json::Value::array();
+    for (const FusionDecision &d : s.decisions) {
+        json::Value v = json::Value::object();
+        v["kind"] = subgraphKindName(d.kind);
+        json::Value nodeNames = json::Value::array();
+        for (int ni : d.nodes)
+            nodeNames.push(g.nodes[static_cast<size_t>(ni)].name);
+        v["nodes"] = std::move(nodeNames);
+        v["accepted"] = d.accepted;
+        v["reason_code"] = d.reasonCode;
+        v["detail"] = d.detail;
+        if (d.smemBytes > 0)
+            v["smem_bytes"] = d.smemBytes;
+        if (d.fusedUs > 0)
+            v["fused_us"] = d.fusedUs;
+        if (d.unfusedUs > 0)
+            v["unfused_us"] = d.unfusedUs;
+        decs.push(std::move(v));
+    }
+    doc["decisions"] = std::move(decs);
     return doc;
 }
 
@@ -693,11 +784,11 @@ renderSchedule(const Graph &g, const Schedule &s)
         if (sg.kind != SubgraphKind::Library)
             out << "    fused " << fmtUs(sg.fusedUs)
                 << " us vs unfused " << fmtUs(sg.unfusedUs) << " us ("
-                << sg.reason << ")"
+                << sg.reason << ") [" << sg.reasonCode << "]"
                 << (sg.tunedApplied ? " [tuned]" : "") << "\n";
         else
             out << "    unfused " << fmtUs(sg.unfusedUs) << " us ("
-                << sg.reason << ")"
+                << sg.reason << ") [" << sg.reasonCode << "]"
                 << (sg.tunedApplied ? " [tuned]" : "") << "\n";
     }
     out << "totals: scheduled " << fmtUs(s.scheduledUs)
@@ -709,6 +800,35 @@ renderSchedule(const Graph &g, const Schedule &s)
         out << ", speedup " << buf;
     }
     out << "\n";
+    return out.str();
+}
+
+std::string
+renderDecisions(const Graph &g, const Schedule &s)
+{
+    std::ostringstream out;
+    out << "fusion decisions for '" << s.graphName << "' on "
+        << s.archName << "\n";
+    int kept = 0, rejected = 0;
+    for (size_t i = 0; i < s.decisions.size(); ++i) {
+        const FusionDecision &d = s.decisions[i];
+        (d.accepted ? kept : rejected)++;
+        out << "[" << i << "] "
+            << (d.accepted ? "keep   " : "reject ")
+            << subgraphKindName(d.kind) << ":";
+        for (int ni : d.nodes)
+            out << " " << g.nodes[static_cast<size_t>(ni)].name;
+        out << "\n";
+        out << "    code: " << d.reasonCode << "\n";
+        out << "    why:  " << d.detail << "\n";
+        if (d.smemBytes > 0)
+            out << "    smem: " << d.smemBytes << " bytes\n";
+        if (d.fusedUs > 0 || d.unfusedUs > 0)
+            out << "    oracle: fused " << fmtUs(d.fusedUs)
+                << " us, unfused " << fmtUs(d.unfusedUs) << " us\n";
+    }
+    out << "totals: " << s.decisions.size() << " candidates, " << kept
+        << " kept, " << rejected << " rejected\n";
     return out.str();
 }
 

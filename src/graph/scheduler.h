@@ -54,6 +54,46 @@ enum class SubgraphKind
 
 std::string subgraphKindName(SubgraphKind kind);
 
+/**
+ * Machine-readable verdict codes for fusion decisions and subgraph
+ * reasons:
+ *   "fused"           the candidate was kept;
+ *   "oracle-slower"   legal but the cost oracle timed it slower than
+ *                     its per-node library lowering;
+ *   "smem-over-budget" the fused kernel's shared-memory tiles exceed
+ *                     the per-arch per-block capacity;
+ *   "shape-illegal"   a builder legality constraint failed (tile
+ *                     divisibility, stage widths, block size, ...);
+ *   "no-matcher"      no fusion matcher produced a candidate rooted
+ *                     at this node (the silent-library case).
+ */
+extern const char *const kReasonFused;
+extern const char *const kReasonOracleSlower;
+extern const char *const kReasonSmemOverBudget;
+extern const char *const kReasonShapeIllegal;
+extern const char *const kReasonNoMatcher;
+
+/**
+ * One fusion candidate the scheduler considered — accepted or not.
+ * The decision trace is the scheduler's search log: every candidate
+ * appears exactly once, with the oracle numbers that decided it, so
+ * a future search-based partitioner (ROADMAP item 1) has ground truth
+ * for what greedy tried and why it lost.
+ */
+struct FusionDecision
+{
+    SubgraphKind kind = SubgraphKind::Library;
+    std::vector<int> nodes; // node ids of the candidate
+    bool accepted = false;
+    /** One of the kReason* codes above. */
+    std::string reasonCode;
+    /** Human-readable detail (constraint text, oracle numbers). */
+    std::string detail;
+    int64_t smemBytes = 0;
+    double fusedUs = 0;
+    double unfusedUs = 0;
+};
+
 struct Subgraph
 {
     SubgraphKind kind = SubgraphKind::Library;
@@ -72,8 +112,11 @@ struct Subgraph
     double unfusedUs = 0;
     /** A fresh tuning-cache entry was applied to this subgraph. */
     bool tunedApplied = false;
-    /** Why this subgraph is (not) fused, for --explain. */
+    /** Why this subgraph is (not) fused, for --explain.  Never empty:
+     *  library fallbacks carry the rejection that produced them. */
     std::string reason;
+    /** Machine-readable kReason* code matching `reason`. */
+    std::string reasonCode;
 
     // Lowering payload, valid for the matching kind.
     GemmChainConfig chain;
@@ -90,6 +133,9 @@ struct Schedule
     /** Execution order (subgraph node lists are disjoint and cover the
      *  graph; concatenated they are a topological order). */
     std::vector<Subgraph> subgraphs;
+
+    /** Every fusion candidate considered, in consideration order. */
+    std::vector<FusionDecision> decisions;
 
     /** Oracle totals: the scheduled plan vs the all-unfused plan. */
     double scheduledUs = 0;
@@ -124,6 +170,10 @@ json::Value scheduleToJson(const Graph &g, const Schedule &s);
 
 /** Human-readable --explain rendering (golden-tested). */
 std::string renderSchedule(const Graph &g, const Schedule &s);
+
+/** Human-readable --decisions rendering: one line per candidate the
+ *  scheduler considered, with its accept/reject verdict and code. */
+std::string renderDecisions(const Graph &g, const Schedule &s);
 
 } // namespace graph
 } // namespace graphene

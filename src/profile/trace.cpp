@@ -92,6 +92,20 @@ struct TraceBuilder
         events.push(std::move(e));
     }
 
+    /** Laid-out span of a subtree: leaf cost, or the recursive sum of
+     *  child spans (a node's own cycle count can undercount nested
+     *  work, so the recursive sum is what keeps nesting exact). */
+    double
+    spanOf(const AttributionNode &n) const
+    {
+        if (n.children.empty())
+            return cyclesToUs(n.cycles, arch);
+        double sum = 0;
+        for (const AttributionNode &c : n.children)
+            sum += spanOf(c);
+        return sum;
+    }
+
     /**
      * Lay the subtree out in program order starting at @p tsUs.  A
      * parent's span is the sum of its children's spans (self cost for
@@ -102,15 +116,7 @@ struct TraceBuilder
     emit(const AttributionNode &n, double tsUs, double cumSmem,
          double cumSectors)
     {
-        double durUs;
-        if (n.children.empty()) {
-            durUs = cyclesToUs(n.cycles, arch);
-        } else {
-            double childSum = 0;
-            for (const AttributionNode &c : n.children)
-                childSum += cyclesToUs(c.cycles, arch);
-            durUs = childSum;
-        }
+        const double durUs = spanOf(n);
         duration(0, n.label, tsUs, durUs, n);
         if (n.children.empty()) {
             if (n.kind == "spec" || n.kind == "sync")

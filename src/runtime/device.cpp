@@ -1,6 +1,7 @@
 #include "runtime/device.h"
 
 #include "support/check.h"
+#include "support/events.h"
 
 namespace graphene
 {
@@ -60,10 +61,15 @@ Device::launch(const Kernel &kernel, LaunchMode mode)
                 << "re-upload it first";
         }
     }
+    events::global().add("sim.kernels_launched");
     switch (mode) {
       case LaunchMode::Functional:
         executor_.run(kernel);
         prof.sanitizer = executor_.sanitizerReport();
+        if (!prof.sanitizer.findings.empty())
+            events::global().add(
+                "sim.sanitizer_findings",
+                static_cast<int64_t>(prof.sanitizer.findings.size()));
         return prof;
       case LaunchMode::Timing:
         prof = executor_.profile(kernel);

@@ -1,0 +1,159 @@
+#include "support/events.h"
+
+namespace graphene
+{
+namespace events
+{
+
+EventLog::EventLog() : epoch_(std::chrono::steady_clock::now()) {}
+
+void
+EventLog::setDeterministic(bool on)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    deterministic_ = on;
+}
+
+bool
+EventLog::deterministic() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return deterministic_;
+}
+
+void
+EventLog::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    records_.clear();
+    counters_.clear();
+    epoch_ = std::chrono::steady_clock::now();
+}
+
+void
+EventLog::add(const std::string &name, int64_t delta)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_[name] += delta;
+}
+
+int64_t
+EventLog::value(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+json::Value
+EventLog::countersToJson() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    json::Value obj = json::Value::object();
+    for (const auto &kv : counters_) // std::map: sorted, deterministic
+        obj[kv.first] = kv.second;
+    return obj;
+}
+
+double
+EventLog::nowUsLocked() const
+{
+    if (deterministic_)
+        return 0;
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+}
+
+int64_t
+EventLog::beginSpan(const std::string &phase)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Record r;
+    r.seq = static_cast<int64_t>(records_.size());
+    r.isSpan = true;
+    r.name = phase;
+    r.startUs = nowUsLocked();
+    records_.push_back(std::move(r));
+    return records_.back().seq;
+}
+
+void
+EventLog::endSpan(int64_t id)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (id < 0 || id >= static_cast<int64_t>(records_.size()))
+        return;
+    Record &r = records_[static_cast<size_t>(id)];
+    if (!r.isSpan || r.closed)
+        return;
+    r.durUs = deterministic_ ? 0 : nowUsLocked() - r.startUs;
+    r.closed = true;
+}
+
+void
+EventLog::emit(const std::string &name, json::Value fields)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Record r;
+    r.seq = static_cast<int64_t>(records_.size());
+    r.name = name;
+    r.startUs = nowUsLocked();
+    r.fields = std::move(fields);
+    records_.push_back(std::move(r));
+}
+
+size_t
+EventLog::recordCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_.size();
+}
+
+json::Value
+EventLog::toJson() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    json::Value doc = json::Value::object();
+    doc["schema"] = kSchema;
+    doc["deterministic"] = deterministic_;
+    json::Value events = json::Value::array();
+    for (const Record &r : records_) {
+        json::Value e = json::Value::object();
+        e["seq"] = r.seq;
+        e["type"] = r.isSpan ? "span" : "event";
+        e["name"] = r.name;
+        e["ts_us"] = r.startUs;
+        if (r.isSpan) {
+            e["dur_us"] = r.durUs;
+            if (!r.closed)
+                e["open"] = true;
+        } else if (r.fields.isObject() && r.fields.size() > 0) {
+            e["fields"] = r.fields;
+        }
+        events.push(std::move(e));
+    }
+    doc["events"] = std::move(events);
+    json::Value counters = json::Value::object();
+    for (const auto &kv : counters_)
+        counters[kv.first] = kv.second;
+    doc["counters"] = std::move(counters);
+    return doc;
+}
+
+EventLog &
+global()
+{
+    static EventLog log;
+    return log;
+}
+
+Span::Span(const std::string &phase, EventLog &log)
+    : log_(log), id_(log.beginSpan(phase))
+{
+}
+
+Span::~Span() { log_.endSpan(id_); }
+
+} // namespace events
+} // namespace graphene

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Pipeline-wide structured event log and counter registry
+ * (schema "graphene.events.v1").
+ *
+ * Every decision-making subsystem reports here: the CLI wraps the
+ * pipeline phases (parse -> decompose -> verify -> plan-compile ->
+ * tune -> schedule -> execute) in wall-clock spans, the fusion
+ * scheduler emits one event per candidate considered, the tuner one
+ * per enumerated config, and hot paths (kernel launches, tune-cache
+ * lookups, sanitizer findings) bump named counters.  The log makes
+ * the optimizer's behavior *inspectable*: what was tried, what was
+ * rejected, and why — the search/decision log Roller- and Ansor-style
+ * tuners ship to make cost-model behavior debuggable.
+ *
+ * Determinism contract: ordered records (spans, events) are only ever
+ * appended from the controlling thread — worker threads touch nothing
+ * but counters, which are commutative sums — so the emitted document
+ * is independent of the worker-thread count.  Under deterministic
+ * mode (`--deterministic`) every timestamp is zeroed as well, making
+ * the output byte-identical across runs and thread counts; goldens
+ * and CI `cmp` checks rely on this.
+ */
+
+#ifndef GRAPHENE_SUPPORT_EVENTS_H
+#define GRAPHENE_SUPPORT_EVENTS_H
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/json.h"
+
+namespace graphene
+{
+namespace events
+{
+
+/**
+ * Thread-safe event log: ordered records (phase spans and instant
+ * events with structured fields) plus a registry of named counters.
+ * All methods may be called concurrently; see the file comment for
+ * what ordering is guaranteed.
+ */
+class EventLog
+{
+  public:
+    static constexpr const char *kSchema = "graphene.events.v1";
+
+    EventLog();
+
+    /** Zero all timestamps so the document bytes depend only on the
+     *  sequence of calls, not on the wall clock. */
+    void setDeterministic(bool on);
+    bool deterministic() const;
+
+    /** Drop every record and counter (tests; the CLI never clears). */
+    void clear();
+
+    // ---- counters -------------------------------------------------
+    /** Add @p delta to counter @p name (created at zero). */
+    void add(const std::string &name, int64_t delta = 1);
+    /** Current value of @p name (0 if never bumped). */
+    int64_t value(const std::string &name) const;
+    /** All counters as a sorted JSON object. */
+    json::Value countersToJson() const;
+
+    // ---- ordered records ------------------------------------------
+    /** Open a phase span; returns its record id for endSpan. */
+    int64_t beginSpan(const std::string &phase);
+    /** Close a span previously opened with beginSpan. */
+    void endSpan(int64_t id);
+
+    /** Append an instant event carrying a JSON object payload. */
+    void emit(const std::string &name, json::Value fields);
+
+    /** Number of ordered records so far. */
+    size_t recordCount() const;
+
+    /** The graphene.events.v1 document. */
+    json::Value toJson() const;
+
+  private:
+    struct Record
+    {
+        int64_t seq = 0;
+        bool isSpan = false;
+        std::string name;
+        double startUs = 0;
+        double durUs = 0;
+        bool closed = false; // spans only
+        json::Value fields;  // events only
+    };
+
+    double nowUsLocked() const;
+
+    mutable std::mutex mu_;
+    bool deterministic_ = false;
+    std::chrono::steady_clock::time_point epoch_;
+    std::vector<Record> records_;
+    std::map<std::string, int64_t> counters_;
+};
+
+/** The process-wide log every subsystem reports to by default. */
+EventLog &global();
+
+/** RAII phase span on the global log. */
+class Span
+{
+  public:
+    explicit Span(const std::string &phase, EventLog &log = global());
+    ~Span();
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+  private:
+    EventLog &log_;
+    int64_t id_;
+};
+
+} // namespace events
+} // namespace graphene
+
+#endif // GRAPHENE_SUPPORT_EVENTS_H

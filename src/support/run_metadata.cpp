@@ -4,6 +4,8 @@
 
 #include <unistd.h>
 
+#include "support/events.h"
+
 #ifndef GRAPHENE_GIT_SHA
 #define GRAPHENE_GIT_SHA "unknown"
 #endif
@@ -34,6 +36,12 @@ runMetadata(int threads)
 
     meta["threads"] = threads;
     return meta;
+}
+
+void
+stampEventCounters(json::Value &meta)
+{
+    meta["counters"] = events::global().countersToJson();
 }
 
 } // namespace graphene

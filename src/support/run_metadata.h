@@ -25,6 +25,16 @@ namespace graphene
  */
 json::Value runMetadata(int threads);
 
+/**
+ * Stamp the global event log's counter totals into @p meta as
+ * meta["counters"] (a sorted object, possibly empty).  Benches call
+ * this when writing BENCH_*.json so tools/bench_diff --counters can
+ * flag counter regressions (a dropped fusion count, fewer kernels
+ * verified) alongside timing ones.  Counters are sums, so the stamp
+ * is deterministic across worker-thread counts.
+ */
+void stampEventCounters(json::Value &meta);
+
 } // namespace graphene
 
 #endif // GRAPHENE_SUPPORT_RUN_METADATA_H

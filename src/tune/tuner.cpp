@@ -6,6 +6,7 @@
 #include "inspect/inspect.h"
 #include "ir/verifier.h"
 #include "sim/sim_config.h"
+#include "support/events.h"
 #include "support/thread_pool.h"
 
 namespace graphene
@@ -71,6 +72,7 @@ TuneResult
 runTune(const TunableSpace &space, const GpuArch &arch,
         const TuneOptions &opts)
 {
+    events::Span tuneSpan("tune");
     const int64_t n = static_cast<int64_t>(space.candidates.size());
     std::vector<Slot> slots(static_cast<size_t>(n));
     const int workers = sim::resolveThreads(opts.threads);
@@ -221,6 +223,43 @@ runTune(const TunableSpace &space, const GpuArch &arch,
         ? result.defaultResult
         : toResult(space, slots[static_cast<size_t>(ranked[0])],
                    ranked[0]);
+
+    // Search trace: counters plus one "tune.candidate" event per
+    // candidate.  Emitted here, after the parallel stages, in index
+    // order — the event log is byte-identical for any worker count.
+    events::EventLog &log = events::global();
+    log.add("tune.space", n);
+    log.add("tune.pruned_invalid", invalid);
+    log.add("tune.pruned_lint", lintRejected);
+    log.add("tune.evaluated", evaluated);
+    int64_t budgetPruned = 0;
+    for (int64_t i = 0; i < n; ++i) {
+        const Slot &s = slots[static_cast<size_t>(i)];
+        const Candidate &cand = space.candidates[static_cast<size_t>(i)];
+        json::Value f = json::Value::object();
+        f["index"] = i;
+        f["params"] = paramsToJson(cand.params);
+        if (cand.isSeed)
+            f["seed"] = true;
+        if (s.timed) {
+            f["stage"] = s.stage;
+            if (s.timeOk) {
+                f["sim_us"] = s.simUs;
+                f["bound_by"] = s.boundBy;
+            } else {
+                f["pruned_by"] = "sim-error";
+            }
+        } else if (!s.buildOk || !s.verifyOk) {
+            f["pruned_by"] = "invalid";
+        } else if (opts.lintFilter && s.lintFindings > 0) {
+            f["pruned_by"] = "lint";
+        } else {
+            f["pruned_by"] = "budget";
+            ++budgetPruned;
+        }
+        log.emit("tune.candidate", std::move(f));
+    }
+    log.add("tune.pruned_budget", budgetPruned);
     return result;
 }
 

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Unit tests for the pipeline event log (support/events): counter
+ * semantics, span nesting, deterministic-mode zeroing, document shape,
+ * and the cross-thread determinism contract — the same work produces a
+ * byte-identical graphene.events.v1 document whatever the worker-thread
+ * count, which is what lets CI `cmp` event logs across --threads
+ * settings.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "support/events.h"
+#include "tune/space.h"
+#include "tune/tuner.h"
+
+namespace graphene
+{
+namespace events
+{
+namespace
+{
+
+TEST(EventLogTest, CountersAccumulateAndSort)
+{
+    EventLog log;
+    EXPECT_EQ(log.value("z.missing"), 0);
+    log.add("b.second");
+    log.add("a.first", 5);
+    log.add("b.second", 2);
+    EXPECT_EQ(log.value("a.first"), 5);
+    EXPECT_EQ(log.value("b.second"), 3);
+    // countersToJson is sorted by name regardless of bump order.
+    EXPECT_EQ(log.countersToJson().dump(),
+              "{\"a.first\":5,\"b.second\":3}");
+}
+
+TEST(EventLogTest, CountersAreThreadSafeSums)
+{
+    EventLog log;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < 8; ++t)
+        workers.emplace_back([&log] {
+            for (int i = 0; i < 1000; ++i)
+                log.add("hits");
+        });
+    for (std::thread &w : workers)
+        w.join();
+    EXPECT_EQ(log.value("hits"), 8000);
+}
+
+TEST(EventLogTest, SpansRecordInOrderAndClose)
+{
+    EventLog log;
+    log.setDeterministic(true);
+    {
+        Span outer("parse", log);
+        log.emit("inside", json::Value::object());
+    }
+    const int64_t open = log.beginSpan("execute");
+    (void)open;
+    ASSERT_EQ(log.recordCount(), 3u);
+
+    const json::Value doc = log.toJson();
+    EXPECT_EQ(doc.at("schema").asString(), "graphene.events.v1");
+    EXPECT_TRUE(doc.at("deterministic").asBool());
+    const json::Value &events = doc.at("events");
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_EQ(events.at(0).at("type").asString(), "span");
+    EXPECT_EQ(events.at(0).at("name").asString(), "parse");
+    EXPECT_FALSE(events.at(0).contains("open"));
+    EXPECT_EQ(events.at(1).at("type").asString(), "event");
+    EXPECT_EQ(events.at(2).at("name").asString(), "execute");
+    EXPECT_TRUE(events.at(2).contains("open"))
+        << "an unclosed span must say so";
+    for (size_t i = 0; i < events.size(); ++i)
+        EXPECT_EQ(events.at(i).at("seq").asNumber(),
+                  static_cast<double>(i));
+}
+
+TEST(EventLogTest, DeterministicModeZeroesTimestamps)
+{
+    EventLog log;
+    log.setDeterministic(true);
+    {
+        Span span("schedule", log);
+    }
+    json::Value fields = json::Value::object();
+    fields["k"] = 1;
+    log.emit("decision", std::move(fields));
+    const json::Value doc = log.toJson();
+    for (size_t i = 0; i < doc.at("events").size(); ++i) {
+        const json::Value &e = doc.at("events").at(i);
+        EXPECT_EQ(e.at("ts_us").asNumber(), 0.0);
+        if (e.at("type").asString() == "span")
+            EXPECT_EQ(e.at("dur_us").asNumber(), 0.0);
+    }
+    // The document round-trips through the strict parser.
+    EXPECT_EQ(json::Value::parse(doc.dump(2)).dump(2), doc.dump(2));
+}
+
+TEST(EventLogTest, ClearDropsEverything)
+{
+    EventLog log;
+    log.add("c", 7);
+    log.emit("e", json::Value::object());
+    log.clear();
+    EXPECT_EQ(log.value("c"), 0);
+    EXPECT_EQ(log.recordCount(), 0u);
+}
+
+TEST(EventLogTest, EmitPreservesFieldOrder)
+{
+    EventLog log;
+    log.setDeterministic(true);
+    json::Value fields = json::Value::object();
+    fields["zeta"] = 1;
+    fields["alpha"] = 2;
+    log.emit("ordered", std::move(fields));
+    const json::Value doc = log.toJson();
+    const json::Value &e = doc.at("events").at(0);
+    // Event payloads keep insertion order (they mirror the emitting
+    // code), unlike counters which sort.
+    EXPECT_EQ(e.at("fields").dump(), "{\"zeta\":1,\"alpha\":2}");
+}
+
+/**
+ * The flagship determinism contract: a tuner run logs its search trace
+ * after its parallel stages, in candidate-index order, so the global
+ * event document is byte-identical across worker-thread counts.
+ */
+TEST(EventLogTest, TuneEventsIdenticalAcrossThreads)
+{
+    const GpuArch &arch = GpuArch::ampere();
+    const tune::TunableSpace space =
+        tune::buildTunableSpace("layernorm", arch, {});
+
+    auto traceWith = [&](int threads) {
+        global().clear();
+        global().setDeterministic(true);
+        tune::TuneOptions opts;
+        opts.budget = 8;
+        opts.threads = threads;
+        tune::runTune(space, arch, opts);
+        const std::string doc = global().toJson().dump(2);
+        global().clear();
+        global().setDeterministic(false);
+        return doc;
+    };
+
+    const std::string serial = traceWith(1);
+    const std::string parallel = traceWith(4);
+    EXPECT_EQ(serial, parallel)
+        << "tune event log depends on the worker-thread count";
+    // The trace carries the per-candidate events and stage counters.
+    const json::Value doc = json::Value::parse(serial);
+    EXPECT_GT(doc.at("counters").at("tune.space").asNumber(), 0.0);
+    bool sawCandidate = false;
+    for (size_t i = 0; i < doc.at("events").size(); ++i)
+        if (doc.at("events").at(i).at("name").asString()
+            == "tune.candidate")
+            sawCandidate = true;
+    EXPECT_TRUE(sawCandidate);
+}
+
+} // namespace
+} // namespace events
+} // namespace graphene

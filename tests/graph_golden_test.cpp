@@ -16,6 +16,7 @@
 #include <string>
 
 #include "graph/graph.h"
+#include "graph/profile.h"
 #include "graph/scheduler.h"
 
 namespace
@@ -73,6 +74,28 @@ TEST(GraphGoldenTest, Fig15ScheduleExplain)
     const Graph g = fig15Graph(4, 12, 384, 768);
     const Schedule s = scheduleGraph(g, GpuArch::ampere());
     checkGolden("schedule_fig15.txt", renderSchedule(g, s));
+}
+
+TEST(GraphGoldenTest, MlpScheduleDecisions)
+{
+    const Graph g = mlpGraph(512, 128, 4);
+    const Schedule s = scheduleGraph(g, GpuArch::ampere());
+    checkGolden("schedule_decisions_mlp.txt", renderDecisions(g, s));
+}
+
+// The traffic-accounting anchor: fusing the MLP chain must shrink
+// global traffic (ephemeral activations stop round-tripping through
+// DRAM), and the rendered profile is snapshot-pinned.
+TEST(GraphGoldenTest, MlpScheduleProfile)
+{
+    const Graph g = mlpGraph(512, 128, 4);
+    const Schedule s = scheduleGraph(g, GpuArch::ampere());
+    const ScheduleProfile p = profileSchedule(g, GpuArch::ampere(), s);
+    EXPECT_LT(p.scheduledBytes, p.unfusedBytes);
+    EXPECT_GT(p.ephemeralBytes, 0);
+    EXPECT_DOUBLE_EQ(p.scheduledUs, s.scheduledUs);
+    checkGolden("schedule_profile_mlp.txt",
+                renderScheduleProfile(g, p));
 }
 
 } // namespace

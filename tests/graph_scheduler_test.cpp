@@ -24,6 +24,7 @@
 #include "graph/graph.h"
 #include "graph/scheduler.h"
 #include "sim/sim_config.h"
+#include "support/events.h"
 
 namespace graphene
 {
@@ -194,6 +195,87 @@ TEST(GraphSchedulerTest, DeterministicAcrossSimThreads)
             << ")";
     }
     sim::setDefaultThreads(saved);
+}
+
+TEST(GraphSchedulerTest, DecisionTraceAndReasonCodes)
+{
+    const std::set<std::string> codes = {
+        kReasonFused, kReasonOracleSlower, kReasonSmemOverBudget,
+        kReasonShapeIllegal, kReasonNoMatcher};
+    int rejected = 0;
+    for (int seed = 0; seed < kPropertySeeds; ++seed) {
+        const GpuArch &arch = archFor(seed);
+        const Graph g = randomGraph(static_cast<uint64_t>(seed));
+        SCOPED_TRACE("seed=" + std::to_string(seed)
+                     + " arch=" + arch.name);
+        const Schedule s = scheduleGraph(g, arch);
+
+        // Every subgraph explains itself, human- and machine-readably.
+        for (const Subgraph &sg : s.subgraphs) {
+            EXPECT_FALSE(sg.reason.empty());
+            EXPECT_TRUE(codes.count(sg.reasonCode))
+                << "unknown reason code '" << sg.reasonCode << "'";
+            if (sg.kind != SubgraphKind::Library)
+                EXPECT_EQ(sg.reasonCode, kReasonFused);
+            else
+                EXPECT_NE(sg.reasonCode, kReasonFused);
+        }
+
+        // The decision trace covers every node exactly once: each
+        // candidate was considered at one root, accepted or not.
+        std::set<int> decided;
+        for (const FusionDecision &d : s.decisions) {
+            EXPECT_TRUE(codes.count(d.reasonCode))
+                << "unknown decision code '" << d.reasonCode << "'";
+            EXPECT_FALSE(d.detail.empty());
+            EXPECT_EQ(d.accepted, d.reasonCode == kReasonFused);
+            if (d.accepted)
+                for (int ni : d.nodes)
+                    EXPECT_TRUE(decided.insert(ni).second)
+                        << "node decided twice";
+            else
+                ++rejected;
+            if (d.reasonCode == kReasonOracleSlower) {
+                EXPECT_GT(d.fusedUs, 0);
+                EXPECT_GE(d.fusedUs, d.unfusedUs);
+            }
+        }
+        // Accepted decisions mirror the fused subgraphs.
+        int fusedSubgraphs = 0;
+        for (const Subgraph &sg : s.subgraphs)
+            if (sg.kind != SubgraphKind::Library)
+                ++fusedSubgraphs;
+        int accepted = 0;
+        for (const FusionDecision &d : s.decisions)
+            accepted += d.accepted ? 1 : 0;
+        EXPECT_EQ(accepted, fusedSubgraphs);
+
+        // The rendered trace lists every candidate.
+        const std::string text = renderDecisions(g, s);
+        EXPECT_NE(text.find(std::to_string(s.decisions.size())
+                            + " candidates"),
+                  std::string::npos);
+    }
+    // Across the property seeds the scheduler must have said "no" at
+    // least once with a machine-readable why (the observability
+    // contract: rejections are never silent).
+    EXPECT_GT(rejected, 0);
+}
+
+TEST(GraphSchedulerTest, SchedulerBumpsEventCounters)
+{
+    events::global().clear();
+    const Graph g = mlpGraph(512, 128, 4);
+    const Schedule s = scheduleGraph(g, GpuArch::ampere());
+    ASSERT_EQ(s.subgraphs.size(), 1u);
+    EXPECT_EQ(events::global().value("schedule.fusions_tried"), 1);
+    EXPECT_EQ(events::global().value("schedule.fusions_kept"), 1);
+    EXPECT_EQ(events::global().value("schedule.fusions_rejected"), 0);
+    EXPECT_EQ(events::global().value("schedule.subgraphs"), 1);
+    EXPECT_GT(events::global().value("schedule.oracle_evals"), 0);
+    // One ordered record per candidate considered.
+    EXPECT_EQ(events::global().recordCount(), s.decisions.size());
+    events::global().clear();
 }
 
 TEST(GraphSchedulerTest, GraphJsonRoundTrip)

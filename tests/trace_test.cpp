@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Tests for the Chrome-trace exporter (profile/trace): structural
+ * invariants of the emitted document — metadata events name the
+ * process and every lane, duration events nest exactly (children tile
+ * their parent's span in program order), pid/tid values are consistent
+ * — plus a golden snapshot of the full trace for the small ldmatrix
+ * kernel (timing costs are deterministic, so the document is too;
+ * regenerate with trace_test --update-golden).
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ops/ldmatrix_move.h"
+#include "ops/tc_gemm.h"
+#include "profile/trace.h"
+#include "runtime/device.h"
+
+namespace
+{
+
+/** Set from argv in main: rewrite snapshots instead of comparing. */
+bool updateGolden = false;
+
+} // namespace
+
+namespace graphene
+{
+namespace
+{
+
+std::string
+goldenPath(const std::string &name)
+{
+    return std::string(GRAPHENE_GOLDEN_DIR) + "/" + name;
+}
+
+void
+checkGolden(const std::string &name, const std::string &actual)
+{
+    const std::string path = goldenPath(name);
+    if (updateGolden) {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << actual;
+        return;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing golden file " << path
+        << "; run trace_test --update-golden to create it";
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_EQ(buf.str(), actual)
+        << "trace output diverges from " << path
+        << "; if the change is intentional, rerun with --update-golden "
+        << "and review the snapshot diff";
+}
+
+json::Value
+traceFor(Kernel kernel, const GpuArch &arch, Device &dev)
+{
+    const sim::KernelProfile prof =
+        dev.launch(kernel, LaunchMode::Timing);
+    return profile::profileToChromeTrace(kernel, arch, prof);
+}
+
+json::Value
+ldmatrixTrace(const GpuArch &arch)
+{
+    Device dev(arch);
+    dev.allocateVirtual("%in", ScalarType::Fp16, 256);
+    dev.allocateVirtual("%out", ScalarType::Fp16, 256);
+    return traceFor(ops::buildLdmatrixMoveKernel(), arch, dev);
+}
+
+json::Value
+tcGemmTrace(const GpuArch &arch)
+{
+    Device dev(arch);
+    ops::TcGemmConfig cfg; // 128x128x64 defaults
+    dev.allocateVirtual("%A", ScalarType::Fp16, cfg.m * cfg.k);
+    dev.allocateVirtual("%B", ScalarType::Fp16, cfg.k * cfg.n);
+    dev.allocateVirtual("%C", ScalarType::Fp16, cfg.m * cfg.n);
+    return traceFor(ops::buildTcGemm(arch, cfg), arch, dev);
+}
+
+TEST(TraceTest, MetadataNamesProcessAndEveryLane)
+{
+    const json::Value doc = tcGemmTrace(GpuArch::ampere());
+    ASSERT_TRUE(doc.contains("traceEvents"));
+    const json::Value &events = doc.at("traceEvents");
+
+    bool processNamed = false;
+    std::set<int> usedTids, namedTids;
+    for (size_t i = 0; i < events.size(); ++i) {
+        const json::Value &e = events.at(i);
+        const std::string ph = e.at("ph").asString();
+        if (ph == "M") {
+            if (e.at("name").asString() == "process_name")
+                processNamed = true;
+            else if (e.at("name").asString() == "thread_name")
+                namedTids.insert(
+                    static_cast<int>(e.at("tid").asNumber()));
+        } else if (ph == "X") {
+            usedTids.insert(static_cast<int>(e.at("tid").asNumber()));
+        }
+        // One process: every event shares a pid.
+        EXPECT_EQ(e.at("pid").asNumber(), 1.0);
+    }
+    EXPECT_TRUE(processNamed);
+    for (int tid : usedTids)
+        EXPECT_TRUE(namedTids.count(tid))
+            << "lane tid " << tid << " has no thread_name metadata";
+    EXPECT_TRUE(usedTids.count(0))
+        << "the decomposition hierarchy lane must exist";
+    EXPECT_EQ(doc.at("otherData").at("schema").asString(),
+              "graphene.trace.v1");
+}
+
+TEST(TraceTest, DurationsNestWithinLaneZero)
+{
+    const json::Value doc = tcGemmTrace(GpuArch::ampere());
+    const json::Value &events = doc.at("traceEvents");
+
+    // Collect lane-0 duration events in emission order: the emitter
+    // walks the attribution tree parent-before-child, so each event
+    // must lie within the span of every still-open ancestor.
+    struct Interval
+    {
+        double start, end;
+    };
+    std::vector<Interval> stack;
+    size_t durations = 0;
+    const double slack = 1e-6;
+    for (size_t i = 0; i < events.size(); ++i) {
+        const json::Value &e = events.at(i);
+        if (e.at("ph").asString() != "X"
+            || e.at("tid").asNumber() != 0.0)
+            continue;
+        ++durations;
+        const double ts = e.at("ts").asNumber();
+        const double dur = e.at("dur").asNumber();
+        EXPECT_GE(dur, 0.0);
+        while (!stack.empty() && ts >= stack.back().end - slack)
+            stack.pop_back();
+        if (!stack.empty()) {
+            EXPECT_GE(ts, stack.back().start - slack)
+                << "child starts before its parent";
+            EXPECT_LE(ts + dur, stack.back().end + slack)
+                << "child overruns its parent's span";
+        }
+        stack.push_back({ts, ts + dur});
+    }
+    EXPECT_GT(durations, 1u);
+}
+
+TEST(TraceTest, CounterTracksAreCumulative)
+{
+    const json::Value doc = tcGemmTrace(GpuArch::ampere());
+    const json::Value &events = doc.at("traceEvents");
+    double lastSmem = -1, lastDram = -1;
+    for (size_t i = 0; i < events.size(); ++i) {
+        const json::Value &e = events.at(i);
+        if (e.at("ph").asString() != "C")
+            continue;
+        const double v = e.at("args").at("cumulative").asNumber();
+        if (e.at("name").asString() == "smem wavefronts") {
+            EXPECT_GE(v, lastSmem) << "counter must not decrease";
+            lastSmem = v;
+        } else if (e.at("name").asString() == "dram sectors") {
+            EXPECT_GE(v, lastDram) << "counter must not decrease";
+            lastDram = v;
+        }
+    }
+    EXPECT_GE(lastSmem, 0.0);
+    EXPECT_GE(lastDram, 0.0);
+}
+
+TEST(TraceTest, LdmatrixTraceGolden)
+{
+    // The simulator's cost model is deterministic, so the whole trace
+    // document is a stable golden for the small ldmatrix mover.
+    const json::Value doc = ldmatrixTrace(GpuArch::ampere());
+    checkGolden("trace_ldmatrix.json", doc.dump(1) + "\n");
+    // And it parses back through the strict parser.
+    EXPECT_EQ(json::Value::parse(doc.dump(1)).dump(1), doc.dump(1));
+}
+
+} // namespace
+} // namespace graphene
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == "--update-golden")
+            updateGolden = true;
+    return RUN_ALL_TESTS();
+}

@@ -39,7 +39,7 @@ usage(FILE *out)
                  "usage: bench_diff <baseline.json> <candidate.json>"
                  " [--field sim_us|host_us]\n"
                  "                  [--threshold-pct <N>]"
-                 " [--skip-tuned]\n"
+                 " [--skip-tuned] [--counters]\n"
                  "\n"
                  "Compares two graphene.bench.v1 reports row by row"
                  " (matched on label+arch)\n"
@@ -48,7 +48,15 @@ usage(FILE *out)
                  "--skip-tuned ignores rows flagged \"tuned\": true"
                  " (autotuned replays whose\n"
                  "presence depends on the tuning cache, not the"
-                 " build under test).\n");
+                 " build under test).\n"
+                 "--counters compares meta.counters (the event-log"
+                 " totals stamped into the\n"
+                 "report) instead of rows: a baseline counter missing"
+                 " from the candidate, or\n"
+                 "dropped by more than N%%, fails — a vanished fusion"
+                 " or verification count\n"
+                 "is a silent-regression signal.  Increases never"
+                 " fail.\n");
 }
 
 Value
@@ -109,6 +117,56 @@ findRow(const std::vector<Row> &rows, const Row &key)
     return nullptr;
 }
 
+/**
+ * Counter regression gate: every baseline meta.counters entry must be
+ * present in the candidate and not have dropped by more than
+ * @p thresholdPct.  New or increased counters are fine (more fusions,
+ * more kernels verified); only disappearance or shrinkage fails.
+ */
+int
+diffCounters(const Value &base, const Value &cand, double thresholdPct)
+{
+    if (!base.contains("meta") || !base.at("meta").contains("counters")) {
+        std::fprintf(stderr,
+                     "error: baseline carries no meta.counters\n");
+        return 2;
+    }
+    const Value &bc = base.at("meta").at("counters");
+    const bool candHas =
+        cand.contains("meta") && cand.at("meta").contains("counters");
+    int regressions = 0;
+    std::printf("  %-42s %12s %12s %9s\n", "counter", "baseline",
+                "candidate", "delta");
+    for (const auto &kv : bc.fields()) {
+        const std::string &key = kv.first;
+        const double b = kv.second.asNumber();
+        if (!candHas || !cand.at("meta").at("counters").contains(key)) {
+            std::printf("  %-42s %12.0f %12s %9s\n", key.c_str(), b,
+                        "missing", "FAIL");
+            ++regressions;
+            continue;
+        }
+        const double c =
+            cand.at("meta").at("counters").at(key).asNumber();
+        const double deltaPct =
+            b == 0 ? 0 : (c - b) / b * 100.0;
+        const bool bad = deltaPct < -thresholdPct;
+        std::printf("  %-42s %12.0f %12.0f %+8.2f%%%s\n", key.c_str(),
+                    b, c, deltaPct, bad ? "  FAIL" : "");
+        if (bad)
+            ++regressions;
+    }
+    if (regressions > 0) {
+        std::printf("\n%d counter(s) missing or dropped beyond "
+                    "-%.3f%%\n",
+                    regressions, thresholdPct);
+        return 1;
+    }
+    std::printf("\nall %zu counter(s) within threshold\n",
+                bc.fields().size());
+    return 0;
+}
+
 } // namespace
 
 int
@@ -118,6 +176,7 @@ main(int argc, char **argv)
     std::string field = "sim_us";
     double thresholdPct = 0.1;
     bool skipTuned = false;
+    bool counters = false;
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
         if (a == "--help" || a == "-h") {
@@ -129,6 +188,8 @@ main(int argc, char **argv)
             thresholdPct = std::atof(argv[++i]);
         } else if (a == "--skip-tuned") {
             skipTuned = true;
+        } else if (a == "--counters") {
+            counters = true;
         } else if (!a.empty() && a[0] == '-') {
             std::fprintf(stderr, "error: unknown option '%s'\n",
                          a.c_str());
@@ -158,6 +219,11 @@ main(int argc, char **argv)
     std::printf("candidate: %s (%s, commit %s)\n", paths[1].c_str(),
                 cand.at("figure").asString().c_str(),
                 metaSha(cand).c_str());
+    if (counters) {
+        std::printf("field    : meta.counters   threshold: -%.3f%%\n\n",
+                    thresholdPct);
+        return diffCounters(base, cand, thresholdPct);
+    }
     std::printf("field    : %s   threshold: +%.3f%%\n\n", field.c_str(),
                 thresholdPct);
 

@@ -75,6 +75,7 @@
 #include "codegen/cuda_emitter.h"
 #include "graph/graph.h"
 #include "graph/lower.h"
+#include "graph/profile.h"
 #include "graph/scheduler.h"
 #include "inspect/inspect.h"
 #include "ir/printer.h"
@@ -90,6 +91,7 @@
 #include "runtime/device.h"
 #include "sim/sim_config.h"
 #include "support/diag.h"
+#include "support/events.h"
 #include "support/fs.h"
 #include "support/rng.h"
 #include "support/run_metadata.h"
@@ -131,6 +133,11 @@ struct Options
     bool verify = false;      // schedule --verify
     std::string reportFusedPath;   // schedule --report-fused
     std::string reportUnfusedPath; // schedule --report-unfused
+    bool decisions = false;   // schedule --decisions
+    bool profile = false;     // schedule --profile
+    std::string tracePath;    // schedule --trace <path>
+    std::string eventsPath;   // --events <path> (any command)
+    bool deterministic = false; // --deterministic (zero timestamps)
 };
 
 /** The verb table: one row per command, the single source for usage
@@ -162,7 +169,8 @@ const Verb kVerbs[] = {
     {"tune", false, "--op <op> [--budget N] [--out <cache>]",
      "simulator-driven config search; writes the tuning cache"},
     {"schedule", true,
-     "[--seed N] [--graph <path>] [--explain] [--verify]",
+     "[--seed N] [--graph <path>] [--explain] [--decisions] "
+     "[--profile] [--trace <path>] [--verify]",
      "fuse an op DAG (mlp|fig15|random|file) and time the plan"},
 };
 
@@ -219,12 +227,23 @@ printUsage(std::FILE *to)
         "         --seed N     random-DAG seed (kernel `random`)\n"
         "         --graph <p>  graphene.graph.v1 JSON (kernel `file`)\n"
         "         --explain    per-subgraph fusion decomposition\n"
+        "         --decisions  every fusion candidate the scheduler\n"
+        "                      considered, with accept/reject codes\n"
+        "         --profile    time each subgraph and account global-\n"
+        "                      memory traffic (fused vs unfused bytes)\n"
+        "         --trace <p>  Chrome-trace JSON of the scheduled run\n"
+        "                      (one lane per subgraph)\n"
         "         --json [p]   graphene.schedule.v1 document\n"
         "         --verify     functional fused-vs-unfused bit-exact\n"
         "                      check with the sanitizer enabled\n"
         "         --report-fused <p> / --report-unfused <p>\n"
         "                      paired graphene.bench.v1 rows for the\n"
         "                      bench_diff fusion gate\n"
+        "observability (any command):\n"
+        "         --events <p> write the graphene.events.v1 pipeline\n"
+        "                      event log (phase spans, counters)\n"
+        "         --deterministic  zero event timestamps so logs are\n"
+        "                      byte-identical across runs and threads\n"
         "         --help       print this help and exit\n");
 }
 
@@ -332,6 +351,16 @@ parse(int argc, char **argv)
             o.reportFusedPath = next();
         } else if (a == "--report-unfused") {
             o.reportUnfusedPath = next();
+        } else if (a == "--decisions") {
+            o.decisions = true;
+        } else if (a == "--profile") {
+            o.profile = true;
+        } else if (a == "--trace") {
+            o.tracePath = next();
+        } else if (a == "--events") {
+            o.eventsPath = next();
+        } else if (a == "--deterministic") {
+            o.deterministic = true;
         } else {
             usage();
         }
@@ -546,6 +575,7 @@ writeTuneReport(const std::string &path, const tune::TuneResult &res,
     doc["figure"] = "tune";
     doc["meta"] = runMetadata(sim::resolveThreads(sim::defaultThreads()));
     doc["meta"]["plan"] = sim::defaultUsePlan();
+    stampEventCounters(doc["meta"]);
     json::Value row = json::Value::object();
     row["label"] = "tune:" + res.op;
     row["arch"] = res.archName;
@@ -636,6 +666,7 @@ writeScheduleReport(const std::string &path, const graph::Graph &g,
     doc["figure"] = "graph-fusion";
     doc["meta"] = runMetadata(sim::resolveThreads(sim::defaultThreads()));
     doc["meta"]["plan"] = sim::defaultUsePlan();
+    stampEventCounters(doc["meta"]);
     json::Value row = json::Value::object();
     row["label"] = "graph:" + g.name;
     row["arch"] = s.archName;
@@ -715,35 +746,38 @@ int
 runScheduleCommand(const Options &o, const GpuArch &arch)
 {
     graph::Graph g;
-    if (o.kernel == "mlp") {
-        g = graph::mlpGraph(o.mSet ? o.m : 512, 128,
-                            o.layersSet ? o.layers : 4);
-    } else if (o.kernel == "fig15") {
-        g = graph::fig15Graph(4, 12, 384, 768);
-    } else if (o.kernel == "random") {
-        g = graph::randomGraph(static_cast<uint64_t>(o.tuneSeed));
-    } else if (o.kernel == "file") {
-        if (o.graphPath.empty()) {
+    {
+        events::Span span("parse");
+        if (o.kernel == "mlp") {
+            g = graph::mlpGraph(o.mSet ? o.m : 512, 128,
+                                o.layersSet ? o.layers : 4);
+        } else if (o.kernel == "fig15") {
+            g = graph::fig15Graph(4, 12, 384, 768);
+        } else if (o.kernel == "random") {
+            g = graph::randomGraph(static_cast<uint64_t>(o.tuneSeed));
+        } else if (o.kernel == "file") {
+            if (o.graphPath.empty()) {
+                std::fprintf(stderr,
+                             "error: schedule file requires --graph\n\n");
+                usage();
+            }
+            std::ifstream in(o.graphPath);
+            if (!in) {
+                diag::Diagnostic d;
+                d.code = "input-path";
+                d.message = "cannot open graph '" + o.graphPath + "'";
+                diag::report(std::move(d));
+            }
+            std::stringstream buf;
+            buf << in.rdbuf();
+            g = graph::Graph::fromJson(json::Value::parse(buf.str()));
+        } else {
             std::fprintf(stderr,
-                         "error: schedule file requires --graph\n\n");
+                         "error: unknown graph '%s' (mlp|fig15|random|"
+                         "file)\n\n",
+                         o.kernel.c_str());
             usage();
         }
-        std::ifstream in(o.graphPath);
-        if (!in) {
-            diag::Diagnostic d;
-            d.code = "input-path";
-            d.message = "cannot open graph '" + o.graphPath + "'";
-            diag::report(std::move(d));
-        }
-        std::stringstream buf;
-        buf << in.rdbuf();
-        g = graph::Graph::fromJson(json::Value::parse(buf.str()));
-    } else {
-        std::fprintf(stderr,
-                     "error: unknown graph '%s' (mlp|fig15|random|"
-                     "file)\n\n",
-                     o.kernel.c_str());
-        usage();
     }
 
     tune::TuningCache cache;
@@ -752,7 +786,11 @@ runScheduleCommand(const Options &o, const GpuArch &arch)
         cache = loadTunedCache(o.tunedPath);
         sopts.tuned = &cache;
     }
-    const graph::Schedule s = graph::scheduleGraph(g, arch, sopts);
+    graph::Schedule s;
+    {
+        events::Span span("schedule");
+        s = graph::scheduleGraph(g, arch, sopts);
+    }
 
     std::printf("graph    %s on %s: %zu node(s), %zu tensor(s)\n",
                 g.name.c_str(), arch.name.c_str(), g.nodes.size(),
@@ -768,8 +806,32 @@ runScheduleCommand(const Options &o, const GpuArch &arch)
     std::printf("\n");
     if (o.explain)
         std::printf("\n%s", graph::renderSchedule(g, s).c_str());
+    if (o.decisions)
+        std::printf("\n%s", graph::renderDecisions(g, s).c_str());
+
+    graph::ScheduleProfile prof;
+    const bool wantProfile = o.profile || !o.tracePath.empty();
+    if (wantProfile) {
+        events::Span span("execute");
+        prof = graph::profileSchedule(g, arch, s, sopts.tuned);
+    }
+    if (o.profile)
+        std::printf("\n%s",
+                    graph::renderScheduleProfile(g, prof).c_str());
+    if (!o.tracePath.empty()) {
+        const json::Value trace =
+            graph::scheduleProfileToChromeTrace(g, prof);
+        std::ofstream f = openOutputFile(o.tracePath);
+        f << trace.dump(1);
+        std::printf("trace    wrote %s (%lld events)\n",
+                    o.tracePath.c_str(),
+                    (long long)trace.at("traceEvents").size());
+    }
     if (o.json) {
-        const std::string doc = graph::scheduleToJson(g, s).dump(2);
+        json::Value docJson = graph::scheduleToJson(g, s);
+        if (o.profile)
+            docJson["profile"] = graph::scheduleProfileToJson(g, prof);
+        const std::string doc = docJson.dump(2);
         if (o.jsonPath.empty()) {
             std::printf("%s\n", doc.c_str());
         } else {
@@ -782,21 +844,18 @@ runScheduleCommand(const Options &o, const GpuArch &arch)
         writeScheduleReport(o.reportFusedPath, g, s, true);
     if (!o.reportUnfusedPath.empty())
         writeScheduleReport(o.reportUnfusedPath, g, s, false);
-    if (o.verify)
+    if (o.verify) {
+        events::Span span("verify");
         return verifySchedule(g, s, arch,
                               static_cast<uint64_t>(o.tuneSeed));
+    }
     return 0;
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+dispatch(const Options &o, const GpuArch &arch)
 {
-    const Options o = parse(argc, argv);
-    const GpuArch &arch = o.arch == "volta" ? GpuArch::volta()
-                                            : GpuArch::ampere();
-    try {
+    {
         if (o.command == "list-atomics") {
             listAtomics(arch);
             return 0;
@@ -806,7 +865,14 @@ main(int argc, char **argv)
         if (o.command == "schedule")
             return runScheduleCommand(o, arch);
         Device dev(arch);
-        Kernel kernel = buildKernel(o, arch, dev);
+        Kernel kernel = [&] {
+            events::Span span("decompose");
+            return buildKernel(o, arch, dev);
+        }();
+        auto timedLaunch = [&](LaunchMode mode) {
+            events::Span span("execute");
+            return dev.launch(kernel, mode);
+        };
         if (o.command == "print-ir") {
             std::printf("%s", printKernel(kernel).c_str());
         } else if (o.command == "emit-cuda") {
@@ -821,7 +887,7 @@ main(int argc, char **argv)
                              o.lineMapPath.c_str(), em.lineMap.size());
             }
         } else if (o.command == "profile") {
-            auto prof = dev.launch(kernel, LaunchMode::Timing);
+            auto prof = timedLaunch(LaunchMode::Timing);
             std::printf("kernel   %s on %s\n", kernel.name().c_str(),
                         arch.name.c_str());
             std::printf("launch   grid=%lld block=%lld smem=%lldB\n",
@@ -854,7 +920,7 @@ main(int argc, char **argv)
                 }
             }
         } else if (o.command == "report") {
-            auto prof = dev.launch(kernel, LaunchMode::Timing);
+            auto prof = timedLaunch(LaunchMode::Timing);
             std::printf("%s",
                         profile::renderReport(kernel, arch, prof,
                                               static_cast<int>(o.topN))
@@ -865,7 +931,7 @@ main(int argc, char **argv)
                              "error: trace requires --out <path>\n");
                 usage();
             }
-            auto prof = dev.launch(kernel, LaunchMode::Timing);
+            auto prof = timedLaunch(LaunchMode::Timing);
             const json::Value trace =
                 profile::profileToChromeTrace(kernel, arch, prof);
             std::ofstream f = openOutputFile(o.outPath);
@@ -876,7 +942,7 @@ main(int argc, char **argv)
         } else if (o.command == "sanitize") {
             dev.setSanitizerMode(o.trap ? sim::SanitizerMode::Trap
                                         : sim::SanitizerMode::Report);
-            auto prof = dev.launch(kernel, LaunchMode::Functional);
+            auto prof = timedLaunch(LaunchMode::Functional);
             std::printf("kernel   %s on %s\n", kernel.name().c_str(),
                         arch.name.c_str());
             std::printf("launch   grid=%lld block=%lld smem=%lldB\n",
@@ -924,9 +990,37 @@ main(int argc, char **argv)
         } else {
             usage();
         }
-    } catch (const std::exception &e) {
-        std::fprintf(stderr, "error: %s\n", e.what());
-        return 1;
     }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options o = parse(argc, argv);
+    events::global().setDeterministic(o.deterministic);
+    const GpuArch &arch = o.arch == "volta" ? GpuArch::volta()
+                                            : GpuArch::ampere();
+    int rc = 0;
+    try {
+        rc = dispatch(o, arch);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        rc = 1;
+    }
+    // The event log is written on every exit path (including command
+    // failures) so a red CI run still uploads its pipeline trace.
+    if (!o.eventsPath.empty()) {
+        try {
+            std::ofstream f = openOutputFile(o.eventsPath);
+            f << events::global().toJson().dump(2) << "\n";
+            std::printf("events   wrote %s\n", o.eventsPath.c_str());
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            rc = 1;
+        }
+    }
+    return rc;
 }
