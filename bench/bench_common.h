@@ -26,6 +26,7 @@
 #include "support/fs.h"
 #include "support/json.h"
 #include "support/run_metadata.h"
+#include "support/schemas.h"
 #include "tune/cache.h"
 
 namespace graphene
@@ -102,7 +103,7 @@ class JsonReport
                 ++i;
             }
         }
-        doc_["schema"] = "graphene.bench.v1";
+        doc_["schema"] = schemas::kBench;
         doc_["figure"] = figure_;
         // Environment stamp: git SHA of the build, ISO timestamp,
         // hostname, plus the simulator execution configuration — so a
@@ -134,7 +135,9 @@ class JsonReport
         return tunedCache_;
     }
 
-    /** Row backed by one simulated kernel launch. */
+    /** Row backed by one simulated kernel launch.  Carries the
+     *  headline roofline metrics so bench_diff --metrics can gate on
+     *  efficiency (pct_of_peak may not drop, dram_bytes may not grow). */
     void
     addRow(const std::string &label, const std::string &arch,
            const sim::KernelTiming &t, bool tuned = false)
@@ -147,6 +150,12 @@ class JsonReport
         pipes["dram"] = t.dramPct;
         pipes["smem"] = t.smemPct;
         row["pipes_pct"] = std::move(pipes);
+        row["achieved_tflops"] = t.achievedTflops;
+        row["dram_gbs"] = t.dramGbs;
+        row["dram_bytes"] = t.dramBytes;
+        row["intensity"] = t.intensity;
+        row["roofline_bound_by"] = t.rooflineBoundBy;
+        row["pct_of_peak"] = t.pctOfPeak;
         if (tuned)
             row["tuned"] = true;
         doc_["rows"].push(std::move(row));

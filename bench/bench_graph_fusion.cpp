@@ -120,6 +120,8 @@ main(int argc, char **argv)
             sextra["kernels"] = s.scheduledKernels;
             sextra["global_bytes"] = prof.scheduledBytes;
             sextra["ephemeral_bytes"] = prof.ephemeralBytes;
+            sextra["achieved_tflops"] = prof.achievedTflops;
+            sextra["pct_of_peak"] = prof.pctOfPeak;
             int64_t fusions = 0;
             for (const graph::Subgraph &sg : s.subgraphs)
                 if (sg.kind != graph::SubgraphKind::Library)

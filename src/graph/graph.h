@@ -24,6 +24,7 @@
 
 #include "ir/kernel.h"
 #include "support/json.h"
+#include "support/schemas.h"
 
 namespace graphene
 {
@@ -81,7 +82,7 @@ struct Node
 class Graph
 {
   public:
-    static constexpr const char *kSchema = "graphene.graph.v1";
+    static constexpr const char *kSchema = schemas::kGraph;
 
     std::string name = "graph";
     std::vector<TensorDef> tensors;

@@ -108,11 +108,35 @@ profileSchedule(const Graph &g, const GpuArch &arch, const Schedule &s,
         sp.simUs = dev.streamTimeUs();
         sp.kernels = dev.launchCount();
 
+        // Roofline placement: sum work over the subgraph's launches;
+        // the longest-running launch names the binding resource.
+        const sim::KernelTiming *longest = nullptr;
+        for (const sim::KernelTiming &t : dev.streamTimings()) {
+            sp.flops += t.flopsTotal;
+            sp.dramBytes += t.dramBytes;
+            if (longest == nullptr || t.timeUs > longest->timeUs)
+                longest = &t;
+        }
+        if (longest != nullptr) {
+            sp.boundBy = longest->rooflineBoundBy;
+            sp.pctOfPeak = longest->pctOfPeak;
+        }
+        if (sp.simUs > 0)
+            sp.achievedTflops = sp.flops / (sp.simUs * 1e6);
+
         p.scheduledUs += sp.simUs;
         p.scheduledKernels += sp.kernels;
         p.scheduledBytes += sp.readBytes + sp.writeBytes;
         p.ephemeralBytes += sp.ephemeralBytes;
+        p.flops += sp.flops;
+        p.pctOfPeak += sp.pctOfPeak * sp.simUs;
         p.subgraphs.push_back(std::move(sp));
+    }
+    if (p.scheduledUs > 0) {
+        p.achievedTflops = p.flops / (p.scheduledUs * 1e6);
+        p.pctOfPeak /= p.scheduledUs;
+    } else {
+        p.pctOfPeak = 0;
     }
 
     events::EventLog &log = events::global();
@@ -135,6 +159,9 @@ scheduleProfileToJson(const Graph &g, const ScheduleProfile &p)
     doc["scheduled_bytes"] = p.scheduledBytes;
     doc["unfused_bytes"] = p.unfusedBytes;
     doc["ephemeral_bytes"] = p.ephemeralBytes;
+    doc["flops"] = p.flops;
+    doc["achieved_tflops"] = p.achievedTflops;
+    doc["pct_of_peak"] = p.pctOfPeak;
     json::Value sgs = json::Value::array();
     for (const SubgraphProfile &sp : p.subgraphs) {
         json::Value v = json::Value::object();
@@ -149,6 +176,11 @@ scheduleProfileToJson(const Graph &g, const ScheduleProfile &p)
         v["write_bytes"] = sp.writeBytes;
         if (sp.ephemeralBytes > 0)
             v["ephemeral_bytes"] = sp.ephemeralBytes;
+        v["flops"] = sp.flops;
+        v["dram_bytes"] = sp.dramBytes;
+        v["achieved_tflops"] = sp.achievedTflops;
+        v["bound_by"] = sp.boundBy;
+        v["pct_of_peak"] = sp.pctOfPeak;
         sgs.push(std::move(v));
     }
     doc["subgraphs"] = std::move(sgs);
@@ -176,8 +208,13 @@ renderScheduleProfile(const Graph &g, const ScheduleProfile &p)
         if (sp.ephemeralBytes > 0)
             out << "    ephemeral: " << sp.ephemeralBytes
                 << " bytes never allocated\n";
+        out << "    roofline: " << sp.boundBy << "-bound at "
+            << fmt2(sp.pctOfPeak) << "% of peak ("
+            << fmt2(sp.achievedTflops) << " TFLOP/s)\n";
     }
-    out << "totals: scheduled " << fmt2(p.scheduledUs) << " us\n";
+    out << "totals: scheduled " << fmt2(p.scheduledUs) << " us, "
+        << fmt2(p.achievedTflops) << " TFLOP/s, "
+        << fmt2(p.pctOfPeak) << "% of peak (time-weighted)\n";
     out << "global traffic: scheduled " << p.scheduledBytes
         << " bytes vs unfused " << p.unfusedBytes << " bytes (saved "
         << (p.unfusedBytes - p.scheduledBytes) << ")\n";

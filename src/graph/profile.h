@@ -20,6 +20,7 @@
 #define GRAPHENE_GRAPH_PROFILE_H
 
 #include "graph/scheduler.h"
+#include "support/schemas.h"
 
 namespace graphene
 {
@@ -40,6 +41,17 @@ struct SubgraphProfile
     int64_t writeBytes = 0;
     /** Allocation bytes of tensors fused away inside this subgraph. */
     int64_t ephemeralBytes = 0;
+
+    // Roofline placement, folded from the per-launch timing estimates.
+    /** Total flops across this subgraph's launches (all pipes). */
+    double flops = 0;
+    /** Modeled DRAM traffic of this subgraph's launches (bytes). */
+    double dramBytes = 0;
+    double achievedTflops = 0;
+    /** Roofline classification of the longest-running launch. */
+    std::string boundBy;
+    /** Percent-of-peak of the longest-running launch. */
+    double pctOfPeak = 0;
 };
 
 /**
@@ -49,7 +61,7 @@ struct SubgraphProfile
  */
 struct ScheduleProfile
 {
-    static constexpr const char *kSchema = "graphene.graphprofile.v1";
+    static constexpr const char *kSchema = schemas::kGraphProfile;
 
     std::string graphName;
     std::string archName;
@@ -65,6 +77,13 @@ struct ScheduleProfile
     int64_t unfusedBytes = 0;
     /** Allocation bytes of every ephemeral tensor (never allocated). */
     int64_t ephemeralBytes = 0;
+
+    // Plan-level roofline totals.
+    /** Total flops of the scheduled plan across all launches. */
+    double flops = 0;
+    double achievedTflops = 0;
+    /** Time-weighted mean percent-of-peak over the subgraphs. */
+    double pctOfPeak = 0;
 };
 
 /** Global-memory bytes of one tensor (count * scalar size). */

@@ -38,6 +38,7 @@
 #include "graph/graph.h"
 #include "ops/fmha.h"
 #include "tune/cache.h"
+#include "support/schemas.h"
 
 namespace graphene
 {
@@ -126,7 +127,7 @@ struct Subgraph
 
 struct Schedule
 {
-    static constexpr const char *kSchema = "graphene.schedule.v1";
+    static constexpr const char *kSchema = schemas::kSchedule;
 
     std::string graphName;
     std::string archName;

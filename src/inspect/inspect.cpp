@@ -11,6 +11,7 @@
 #include "ir/printer.h"
 #include "sim/leaf_exec.h"
 #include "support/check.h"
+#include "support/schemas.h"
 
 namespace graphene
 {
@@ -476,7 +477,7 @@ explainToJson(const Kernel &kernel, const GpuArch &arch, bool withLint,
     const int64_t stmtCount = numberStmts(kernel.body());
     ExplainContext ctx{arch, AtomicSpecRegistry::forArch(arch), {}};
     json::Value doc = json::Value::object();
-    doc["schema"] = "graphene.explain.v1";
+    doc["schema"] = schemas::kExplain;
     json::Value k = json::Value::object();
     k["name"] = kernel.name();
     k["arch"] = arch.name;

@@ -1,0 +1,304 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <sstream>
+
+#include "ir/scalar_type.h"
+#include "profile/profile.h"
+#include "support/check.h"
+#include "support/schemas.h"
+
+namespace graphene
+{
+namespace metrics
+{
+
+namespace
+{
+
+/** Relative tolerance of the hint consistency check.  Hand-computed
+ *  hints use exact element counts, so anything past rounding noise is
+ *  a real bookkeeping bug. */
+constexpr double kHintTolerance = 0.01;
+
+std::string
+classifyHint(const HintCheck &h)
+{
+    if (h.hintBytes <= 0)
+        return "unset";
+    if (h.hintBytes < h.compulsoryBytes * (1.0 - kHintTolerance))
+        return "below-compulsory";
+    if (h.hintBytes > h.requestedBytes * (1.0 + kHintTolerance))
+        return "above-requested";
+    return "ok";
+}
+
+/** Collect the attribution tree's leaf specs, hottest first. */
+void
+collectSpecs(const profile::AttributionNode &node,
+             std::vector<SpecMetrics> &out)
+{
+    if (node.children.empty() && node.kind == "spec") {
+        SpecMetrics s;
+        s.stmtId = node.stmtId;
+        s.label = node.label;
+        s.provenance = node.provenance;
+        s.boundBy = node.boundBy;
+        s.flops = node.total.tensorFlops + node.total.fp32Flops
+            + node.total.fp16Flops;
+        s.globalBytes = node.total.globalLoadBytes
+            + node.total.globalStoreBytes;
+        s.smemWavefronts = node.total.smemWavefronts;
+        s.pctOfBlock = node.pctOfBlock;
+        out.push_back(std::move(s));
+    }
+    for (const profile::AttributionNode &c : node.children)
+        collectSpecs(c, out);
+}
+
+/** "1.23 KB" / "4.56 MB" / "7.89 GB" with a fixed precision so report
+ *  goldens stay stable. */
+std::string
+formatBytes(double bytes)
+{
+    char buf[48];
+    if (bytes >= 1e9)
+        std::snprintf(buf, sizeof buf, "%.2f GB", bytes / 1e9);
+    else if (bytes >= 1e6)
+        std::snprintf(buf, sizeof buf, "%.2f MB", bytes / 1e6);
+    else if (bytes >= 1e3)
+        std::snprintf(buf, sizeof buf, "%.2f KB", bytes / 1e3);
+    else
+        std::snprintf(buf, sizeof buf, "%.0f B", bytes);
+    return buf;
+}
+
+} // namespace
+
+double
+paramFootprintBytes(const Kernel &kernel)
+{
+    double bytes = 0;
+    for (const TensorView &p : kernel.params())
+        bytes += static_cast<double>(p.totalSize())
+            * static_cast<double>(scalarSizeBytes(p.scalar()));
+    return bytes;
+}
+
+KernelMetrics
+computeKernelMetrics(const Kernel &kernel, const GpuArch &arch,
+                     const sim::KernelProfile &prof)
+{
+    KernelMetrics m;
+    m.kernel = kernel.name();
+    m.arch = arch.name;
+    m.grid = kernel.gridSize();
+    m.block = kernel.blockSize();
+    m.smemBytes = kernel.sharedMemoryBytes();
+    m.perBlock = prof.perBlock;
+    m.timing = prof.timing;
+
+    // Ridge point: the binding compute pipe's peak over DRAM bandwidth.
+    const double computePeakTflops = prof.perBlock.tensorFlops > 0
+        ? arch.tensorPeakTflops()
+        : arch.fp32PeakTflops();
+    m.ridgeIntensity =
+        computePeakTflops * 1e3 / arch.dramBandwidthGBs;
+
+    m.hint.hintBytes = kernel.dramBytesHint();
+    m.hint.compulsoryBytes = paramFootprintBytes(kernel);
+    m.hint.requestedBytes = (prof.perBlock.globalLoadBytes
+                             + prof.perBlock.globalStoreBytes)
+        * static_cast<double>(kernel.gridSize());
+    m.hint.status = classifyHint(m.hint);
+
+    if (!prof.byStmt.empty()) {
+        const profile::AttributionNode tree =
+            profile::buildAttributionTree(kernel, arch, prof);
+        collectSpecs(tree, m.specs);
+        std::sort(m.specs.begin(), m.specs.end(),
+                  [](const SpecMetrics &a, const SpecMetrics &b) {
+                      if (a.pctOfBlock != b.pctOfBlock)
+                          return a.pctOfBlock > b.pctOfBlock;
+                      return a.stmtId < b.stmtId;
+                  });
+    }
+    return m;
+}
+
+json::Value
+metricsToJson(const KernelMetrics &m)
+{
+    const sim::KernelTiming &t = m.timing;
+    json::Value doc = json::Value::object();
+    doc["schema"] = schemas::kMetrics;
+
+    json::Value k = json::Value::object();
+    k["name"] = m.kernel;
+    k["arch"] = m.arch;
+    k["grid"] = m.grid;
+    k["block"] = m.block;
+    k["smem_bytes"] = m.smemBytes;
+    doc["kernel"] = std::move(k);
+
+    const double g = static_cast<double>(m.grid);
+    json::Value flops = json::Value::object();
+    flops["total"] = t.flopsTotal;
+    flops["tensor"] = m.perBlock.tensorFlops * g;
+    flops["fp32"] = m.perBlock.fp32Flops * g;
+    flops["fp16"] = m.perBlock.fp16Flops * g;
+    doc["flops"] = std::move(flops);
+
+    json::Value dram = json::Value::object();
+    dram["bytes"] = t.dramBytes;
+    dram["compulsory_bytes"] = m.hint.compulsoryBytes;
+    dram["requested_bytes"] = m.hint.requestedBytes;
+    dram["useful_bytes"] = m.perBlock.globalUsefulBytes * g;
+    dram["coalescing_pct"] = m.perBlock.coalescingPct();
+    doc["dram"] = std::move(dram);
+
+    json::Value smem = json::Value::object();
+    smem["wavefronts"] = m.perBlock.smemWavefronts * g;
+    smem["accesses"] = m.perBlock.smemAccesses * g;
+    smem["avg_conflict"] = m.perBlock.avgSmemConflict();
+    doc["smem"] = std::move(smem);
+
+    doc["occupancy_pct"] = t.occupancyPct;
+    doc["intensity"] = t.intensity;
+    doc["ridge_intensity"] = m.ridgeIntensity;
+
+    json::Value roof = json::Value::object();
+    roof["bound_by"] = t.rooflineBoundBy;
+    roof["pct_of_peak"] = t.pctOfPeak;
+    roof["achieved_tflops"] = t.achievedTflops;
+    roof["dram_gbs"] = t.dramGbs;
+    doc["roofline"] = std::move(roof);
+
+    json::Value pipes = json::Value::object();
+    pipes["tensor"] = t.tensorPipePct;
+    pipes["fp32"] = t.fp32PipePct;
+    pipes["dram"] = t.dramPct;
+    pipes["smem"] = t.smemPct;
+    doc["pipes_pct"] = std::move(pipes);
+
+    json::Value timing = json::Value::object();
+    timing["time_us"] = t.timeUs;
+    timing["sm_time_us"] = t.smTimeUs;
+    timing["dram_time_us"] = t.dramTimeUs;
+    timing["launch_overhead_us"] = t.launchOverheadUs;
+    timing["waves"] = t.waves;
+    timing["blocks_per_sm"] = t.blocksPerSm;
+    doc["timing"] = std::move(timing);
+
+    json::Value hint = json::Value::object();
+    hint["status"] = m.hint.status;
+    hint["hint_bytes"] = m.hint.hintBytes;
+    hint["compulsory_bytes"] = m.hint.compulsoryBytes;
+    hint["requested_bytes"] = m.hint.requestedBytes;
+    doc["hint_check"] = std::move(hint);
+
+    json::Value specs = json::Value::array();
+    for (const SpecMetrics &s : m.specs) {
+        json::Value o = json::Value::object();
+        o["stmt"] = s.stmtId;
+        o["label"] = s.label;
+        o["provenance"] = s.provenance;
+        o["bound_by"] = s.boundBy;
+        o["flops"] = s.flops;
+        o["global_bytes"] = s.globalBytes;
+        o["smem_wavefronts"] = s.smemWavefronts;
+        o["pct_of_block"] = s.pctOfBlock;
+        specs.push(std::move(o));
+    }
+    doc["specs"] = std::move(specs);
+    return doc;
+}
+
+std::string
+renderRoofline(const KernelMetrics &m)
+{
+    const sim::KernelTiming &t = m.timing;
+    std::ostringstream out;
+    char buf[224];
+
+    out << "kernel     " << m.kernel << " on " << m.arch << "\n";
+    std::snprintf(buf, sizeof buf,
+                  "launch     grid=%lld block=%lld smem=%lldB  "
+                  "occupancy %.1f%% (%lld blocks/SM)\n",
+                  (long long)m.grid, (long long)m.block,
+                  (long long)m.smemBytes, t.occupancyPct,
+                  (long long)t.blocksPerSm);
+    out << buf;
+
+    const double g = static_cast<double>(m.grid);
+    const double tensorF = m.perBlock.tensorFlops * g;
+    const double fp32F = m.perBlock.fp32Flops * g;
+    const double fp16F = m.perBlock.fp16Flops * g;
+    std::snprintf(buf, sizeof buf,
+                  "flops      %.4g total  (tensor %.4g, fp32 %.4g, "
+                  "fp16 %.4g)\n",
+                  t.flopsTotal, tensorF, fp32F, fp16F);
+    out << buf;
+    std::snprintf(buf, sizeof buf,
+                  "dram       %s moved  (compulsory %s, requested %s, "
+                  "coalescing %.1f%%)\n",
+                  formatBytes(t.dramBytes).c_str(),
+                  formatBytes(m.hint.compulsoryBytes).c_str(),
+                  formatBytes(m.hint.requestedBytes).c_str(),
+                  m.perBlock.coalescingPct());
+    out << buf;
+    std::snprintf(buf, sizeof buf,
+                  "smem       %.4g wavefronts  (avg conflict %.2fx)\n",
+                  m.perBlock.smemWavefronts * g,
+                  m.perBlock.avgSmemConflict());
+    out << buf;
+
+    std::snprintf(buf, sizeof buf,
+                  "roofline   intensity %.1f flops/B  ridge %.1f "
+                  "flops/B  -> %s side\n",
+                  t.intensity, m.ridgeIntensity,
+                  t.intensity >= m.ridgeIntensity ? "compute"
+                                                  : "memory");
+    out << buf;
+    std::snprintf(buf, sizeof buf,
+                  "pipes      tensor %.1f%%  fp32 %.1f%%  dram %.1f%%  "
+                  "smem %.1f%%\n",
+                  t.tensorPipePct, t.fp32PipePct, t.dramPct, t.smemPct);
+    out << buf;
+    std::snprintf(buf, sizeof buf,
+                  "hint       %s (hint %.4g, compulsory %.4g, "
+                  "requested %.4g)\n",
+                  m.hint.status.c_str(), m.hint.hintBytes,
+                  m.hint.compulsoryBytes, m.hint.requestedBytes);
+    out << buf;
+
+    if (!m.specs.empty()) {
+        out << "\nper-spec counters (block 0; hottest first):\n";
+        const size_t n = std::min<size_t>(m.specs.size(), 8);
+        for (size_t i = 0; i < n; ++i) {
+            const SpecMetrics &s = m.specs[i];
+            std::snprintf(buf, sizeof buf,
+                          "  %5.1f%%  [%-6s]  flops %.4g  gl %.4g B  "
+                          "smem %.4g  ",
+                          s.pctOfBlock, s.boundBy.c_str(), s.flops,
+                          s.globalBytes, s.smemWavefronts);
+            out << buf << s.label << "\n";
+        }
+        if (m.specs.size() > n)
+            out << "  ... " << (m.specs.size() - n)
+                << " more spec(s)\n";
+    }
+
+    std::snprintf(buf, sizeof buf,
+                  "\nverdict    %s-bound at %.0f%% of peak  "
+                  "(%.2f TFLOP/s, %.1f GB/s, %.2f us)\n",
+                  t.rooflineBoundBy.c_str(), t.pctOfPeak,
+                  t.achievedTflops, t.dramGbs, t.timeUs);
+    out << buf;
+    return out.str();
+}
+
+} // namespace metrics
+} // namespace graphene

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Simulated hardware-counter metrics: the nsight-compute-style view of
+ * a profiled kernel launch.
+ *
+ * The executor already counts everything a hardware profiler would
+ * sample — flops per pipe, global sectors and bytes, shared-memory
+ * wavefronts, barrier counts — and the timing model knows the
+ * architecture's peaks.  This module folds those raw counts into one
+ * per-kernel counter document: work per pipe, DRAM traffic vs the
+ * compulsory footprint, bank-conflict degree, achieved occupancy,
+ * arithmetic intensity, and a roofline classification with
+ * percent-of-peak for the binding resource.  Emitted as
+ * "graphene.metrics.v1" (schemas::kMetrics) by the `metrics` CLI verb
+ * and embedded in `profile --json`.
+ *
+ * Everything here is a pure function of the profile the simulator
+ * produced, so the document is bit-identical across `--threads`
+ * settings and across the plan engine and the interpreter — the same
+ * determinism contract the event log gives.
+ */
+
+#ifndef GRAPHENE_METRICS_METRICS_H
+#define GRAPHENE_METRICS_METRICS_H
+
+#include <string>
+#include <vector>
+
+#include "sim/executor.h"
+#include "support/json.h"
+
+namespace graphene
+{
+namespace metrics
+{
+
+/**
+ * Consistency check of the kernel's DRAM-traffic hint against what the
+ * executor actually measured.  The hint is a hand-computed compulsory
+ * footprint set by each op generator; a wrong hint silently skews every
+ * bandwidth number downstream, so the metrics layer validates it:
+ *
+ *  - "unset":            hint == 0 (raw request volume is used);
+ *  - "ok":               compulsory <= hint <= requested (within tol);
+ *  - "below-compulsory": hint claims less traffic than the kernel's
+ *                        parameter tensors occupy — impossible, every
+ *                        byte must cross DRAM at least once;
+ *  - "above-requested":  hint exceeds the raw request volume — the
+ *                        model would ignore it (it caps at requested),
+ *                        so the hand calculation is stale.
+ */
+struct HintCheck
+{
+    double hintBytes = 0;
+    /** Sum of the kernel's parameter-tensor footprints (bytes). */
+    double compulsoryBytes = 0;
+    /** Grid-wide raw request volume (load + store bytes x grid). */
+    double requestedBytes = 0;
+    std::string status;
+};
+
+/** Counter summary of one leaf spec (from the attribution tree). */
+struct SpecMetrics
+{
+    int64_t stmtId = -1;
+    std::string label;
+    std::string provenance;
+    std::string boundBy;
+    /** Per-block flops across all pipes attributed to this spec. */
+    double flops = 0;
+    /** Per-block global load+store bytes attributed to this spec. */
+    double globalBytes = 0;
+    double smemWavefronts = 0;
+    double pctOfBlock = 0;
+};
+
+/** The full per-kernel counter document. */
+struct KernelMetrics
+{
+    std::string kernel;
+    std::string arch;
+    int64_t grid = 0;
+    int64_t block = 0;
+    int64_t smemBytes = 0;
+
+    /** Counters of one (representative) block. */
+    sim::CostStats perBlock;
+    /** Timing estimate incl. the headline roofline fields. */
+    sim::KernelTiming timing;
+
+    /** Ridge point of the roofline: binding compute-pipe peak over
+     *  DRAM bandwidth, in flops per byte.  Intensity above the ridge
+     *  means the compute side of the roof applies. */
+    double ridgeIntensity = 0;
+
+    HintCheck hint;
+    /** Leaf specs of the attribution tree, hottest first. */
+    std::vector<SpecMetrics> specs;
+};
+
+/** Grid-wide parameter footprint of a kernel in bytes (the compulsory
+ *  DRAM traffic: every parameter element crosses DRAM at least once). */
+double paramFootprintBytes(const Kernel &kernel);
+
+/**
+ * Fold a profiled launch into the counter document.  @p prof must
+ * carry per-statement attribution (Executor::profile() or
+ * runAndProfile()); the same-IR requirement of
+ * profile::buildAttributionTree applies.
+ */
+KernelMetrics computeKernelMetrics(const Kernel &kernel,
+                                   const GpuArch &arch,
+                                   const sim::KernelProfile &prof);
+
+/** Machine-readable document (schema "graphene.metrics.v1"). */
+json::Value metricsToJson(const KernelMetrics &m);
+
+/** Human-readable roofline report. */
+std::string renderRoofline(const KernelMetrics &m);
+
+} // namespace metrics
+} // namespace graphene
+
+#endif // GRAPHENE_METRICS_METRICS_H

@@ -8,6 +8,7 @@
 
 #include "ir/printer.h"
 #include "support/check.h"
+#include "support/schemas.h"
 
 namespace graphene
 {
@@ -226,7 +227,7 @@ profileToJson(const Kernel &kernel, const GpuArch &arch,
 {
     const AttributionNode tree = buildAttributionTree(kernel, arch, prof);
     json::Value doc = json::Value::object();
-    doc["schema"] = "graphene.profile.v1";
+    doc["schema"] = schemas::kProfile;
 
     json::Value k = json::Value::object();
     k["name"] = kernel.name();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include "support/schemas.h"
 
 namespace graphene
 {
@@ -171,7 +172,7 @@ profileToChromeTrace(const Kernel &kernel, const GpuArch &arch,
     doc["traceEvents"] = std::move(tb.events);
     doc["displayTimeUnit"] = "ns";
     json::Value other = json::Value::object();
-    other["schema"] = "graphene.trace.v1";
+    other["schema"] = schemas::kTrace;
     other["kernel"] = kernel.name();
     other["arch"] = arch.name;
     other["clock_ghz"] = arch.clockGhz;

@@ -80,6 +80,7 @@ Device::launch(const Kernel &kernel, LaunchMode mode)
     }
     streamTimeUs_ += prof.timing.timeUs;
     ++launchCount_;
+    streamTimings_.push_back(prof.timing);
     return prof;
 }
 
@@ -106,6 +107,7 @@ Device::resetStream()
 {
     streamTimeUs_ = 0;
     launchCount_ = 0;
+    streamTimings_.clear();
 }
 
 } // namespace graphene

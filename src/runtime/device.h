@@ -89,6 +89,14 @@ class Device
     /** Number of kernel launches accounted so far. */
     int64_t launchCount() const { return launchCount_; }
 
+    /** Timing estimate of every launch since the last resetStream(),
+     *  in launch order — the per-launch roofline metrics the schedule
+     *  profiler folds into per-subgraph placements. */
+    const std::vector<sim::KernelTiming> &streamTimings() const
+    {
+        return streamTimings_;
+    }
+
     /** Reset the stream accounting (not the memory). */
     void resetStream();
 
@@ -98,6 +106,7 @@ class Device
     sim::Executor executor_;
     double streamTimeUs_ = 0;
     int64_t launchCount_ = 0;
+    std::vector<sim::KernelTiming> streamTimings_;
 };
 
 } // namespace graphene

@@ -249,6 +249,51 @@ estimateKernelTiming(const GpuArch &arch, const CostStats &perBlock,
         t.dramPct = std::min(t.dramPct, 100.0);
         t.smemPct = std::min(t.smemPct, 100.0);
     }
+
+    // Headline roofline metrics.  These derive from values already
+    // fixed above and never feed back into timeUs, so adding them
+    // cannot perturb the simulated time.
+    t.flopsTotal = (perBlock.tensorFlops + perBlock.fp32Flops
+                    + perBlock.fp16Flops) * gridSize;
+    t.dramBytes = totalBytes;
+    if (t.timeUs > 0) {
+        t.achievedTflops = t.flopsTotal / (t.timeUs * 1e6);
+        t.dramGbs = t.dramBytes / (t.timeUs * 1e3);
+    }
+    t.intensity = t.dramBytes > 0 ? t.flopsTotal / t.dramBytes : 0;
+    t.occupancyPct = 100.0 * static_cast<double>(blocksPerSm * blockSize)
+        / static_cast<double>(arch.maxThreadsPerSm);
+    t.occupancyPct = std::min(t.occupancyPct, 100.0);
+
+    if (t.launchOverheadUs > body) {
+        t.rooflineBoundBy = "launch";
+        t.pctOfPeak = t.timeUs > 0
+            ? 100.0 * body / t.timeUs : 0;
+    } else if (t.boundBy == "dram") {
+        t.rooflineBoundBy = "dram";
+        t.pctOfPeak = t.dramPct;
+    } else if (t.boundBy == "tensor") {
+        t.rooflineBoundBy = "tensor-pipe";
+        t.pctOfPeak = t.tensorPipePct;
+    } else if (t.boundBy == "fp32") {
+        t.rooflineBoundBy = "fp32-pipe";
+        t.pctOfPeak = t.fp32PipePct;
+    } else if (t.boundBy == "fp16") {
+        t.rooflineBoundBy = "fp16-pipe";
+        t.pctOfPeak = 100.0 * (perBlock.fp16Flops * gridSize)
+            / (arch.fp16FlopsPerCycle * arch.numSms * arch.clockGhz * 1e9
+               * std::max(body, 1e-12) * 1e-6);
+        t.pctOfPeak = std::min(t.pctOfPeak, 100.0);
+    } else if (t.boundBy == "smem") {
+        t.rooflineBoundBy = "smem";
+        t.pctOfPeak = t.smemPct;
+    } else {
+        // sfu / issue / l1 / sync: no dedicated pct is tracked; report
+        // the strongest of the tracked resources as the utilization.
+        t.rooflineBoundBy = t.boundBy;
+        t.pctOfPeak = std::max({t.tensorPipePct, t.fp32PipePct,
+                                t.dramPct, t.smemPct});
+    }
     return t;
 }
 

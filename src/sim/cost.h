@@ -115,6 +115,22 @@ struct KernelTiming
 
     /** The pipe that bounds the per-block time ("tensor", "dram", ...). */
     std::string boundBy;
+
+    // Headline roofline metrics (the counter document's summary line).
+    double flopsTotal = 0;    // kernel-wide flops across all pipes
+    double dramBytes = 0;     // modeled DRAM traffic (hint-capped)
+    double achievedTflops = 0;
+    double dramGbs = 0;
+    /** Arithmetic intensity in flops per DRAM byte (0 if no traffic). */
+    double intensity = 0;
+    /** Achieved occupancy from the launch shape, percent of the SM's
+     *  thread capacity. */
+    double occupancyPct = 0;
+    /** Roofline classification: "tensor-pipe", "fp32-pipe", "fp16-pipe",
+     *  "dram", "launch", or the raw pipe name (smem/sfu/issue/l1/sync). */
+    std::string rooflineBoundBy;
+    /** Percent-of-peak of the binding resource (0..100). */
+    double pctOfPeak = 0;
 };
 
 /**

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "support/json.h"
+#include "support/schemas.h"
 
 namespace graphene
 {
@@ -48,7 +49,7 @@ namespace events
 class EventLog
 {
   public:
-    static constexpr const char *kSchema = "graphene.events.v1";
+    static constexpr const char *kSchema = schemas::kEvents;
 
     EventLog();
 

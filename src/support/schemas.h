@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The single registry of machine-readable document schema versions.
+ *
+ * Every JSON surface the toolchain emits is stamped with a
+ * "graphene.<kind>.v1" schema string; CI jobs grep emitted documents
+ * for these exact literals and tools (bench_diff, external dashboards)
+ * dispatch on them.  Defining them in one place keeps the emitters,
+ * the parsers, and the CI checks from drifting apart: bump a version
+ * here and every producer/consumer pair moves together (or fails to
+ * compile, which is the point).
+ */
+
+#ifndef GRAPHENE_SUPPORT_SCHEMAS_H
+#define GRAPHENE_SUPPORT_SCHEMAS_H
+
+namespace graphene
+{
+namespace schemas
+{
+
+/** Benchmark row documents (BENCH_*.json, --report-* flags). */
+inline constexpr const char *kBench = "graphene.bench.v1";
+
+/** Per-kernel timing profile with the attribution tree. */
+inline constexpr const char *kProfile = "graphene.profile.v1";
+
+/** Chrome-trace export of a profiled kernel block. */
+inline constexpr const char *kTrace = "graphene.trace.v1";
+
+/** CUDA line-number -> IR statement sidecar (emit-cuda --line-map). */
+inline constexpr const char *kLinemap = "graphene.linemap.v1";
+
+/** Annotated decomposition tree (explain --json). */
+inline constexpr const char *kExplain = "graphene.explain.v1";
+
+/** Pipeline-wide event log (--events on any verb). */
+inline constexpr const char *kEvents = "graphene.events.v1";
+
+/** Persistent autotuning cache (tune --out). */
+inline constexpr const char *kTune = "graphene.tune.v1";
+
+/** Op-DAG workload description (schedule file --graph). */
+inline constexpr const char *kGraph = "graphene.graph.v1";
+
+/** Fusion schedule with decision traces (schedule --json). */
+inline constexpr const char *kSchedule = "graphene.schedule.v1";
+
+/** Schedule-level execution profile (schedule --profile). */
+inline constexpr const char *kGraphProfile = "graphene.graphprofile.v1";
+
+/** Simulated hardware-counter metrics and roofline placement
+ *  (metrics --json, embedded in profile --json). */
+inline constexpr const char *kMetrics = "graphene.metrics.v1";
+
+} // namespace schemas
+} // namespace graphene
+
+#endif // GRAPHENE_SUPPORT_SCHEMAS_H

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "tune/tuner.h"
+#include "support/schemas.h"
 
 namespace graphene
 {
@@ -26,7 +27,7 @@ namespace tune
 class TuningCache
 {
   public:
-    static constexpr const char *kSchema = "graphene.tune.v1";
+    static constexpr const char *kSchema = schemas::kTune;
 
     TuningCache() = default;
 

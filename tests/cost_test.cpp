@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Unit tests for the timing model's primitive accounting in sim/cost.h:
+ * shared-memory wavefront counting (broadcast, 2-way, 32-way bank
+ * conflicts), conflict-free ideals, global-sector coalescing, CostStats
+ * arithmetic round-trips, and the roofline fields estimateKernelTiming
+ * derives from already-fixed timing values.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cost.h"
+
+namespace graphene
+{
+namespace
+{
+
+using namespace sim;
+
+using Accesses = std::vector<std::pair<int64_t, int64_t>>;
+
+/** One 4-byte access per lane at @p addr(lane). */
+template <typename Fn>
+Accesses
+warpAccess(Fn addr, int64_t bytes = 4)
+{
+    Accesses a;
+    for (int64_t lane = 0; lane < 32; ++lane)
+        a.emplace_back(addr(lane), bytes);
+    return a;
+}
+
+TEST(SmemWavefronts, BroadcastIsFree)
+{
+    // All 32 lanes read the same word: a broadcast, one wavefront.
+    const GpuArch &arch = GpuArch::ampere();
+    const Accesses a = warpAccess([](int64_t) { return int64_t(0); });
+    EXPECT_EQ(smemWavefronts(a, arch), 1);
+    EXPECT_EQ(smemIdealWavefronts(a, arch), 1);
+}
+
+TEST(SmemWavefronts, UnitStrideIsConflictFree)
+{
+    // Lane i reads word i: 32 distinct words over 32 distinct banks.
+    const GpuArch &arch = GpuArch::ampere();
+    const Accesses a =
+        warpAccess([](int64_t lane) { return lane * 4; });
+    EXPECT_EQ(smemWavefronts(a, arch), 1);
+    EXPECT_EQ(smemIdealWavefronts(a, arch), 1);
+}
+
+TEST(SmemWavefronts, TwoWayConflict)
+{
+    // Stride of 2 words: lanes i and i+16 land on the same bank with
+    // different words -> 2-way conflict, but a perfect layout could
+    // still do it in one wavefront (32 distinct words).
+    const GpuArch &arch = GpuArch::ampere();
+    const Accesses a =
+        warpAccess([](int64_t lane) { return lane * 8; });
+    EXPECT_EQ(smemWavefronts(a, arch), 2);
+    EXPECT_EQ(smemIdealWavefronts(a, arch), 1);
+}
+
+TEST(SmemWavefronts, ThirtyTwoWayConflict)
+{
+    // Stride of 32 words (a 128-byte row): every lane hits bank 0 with
+    // a distinct word -> full serialization.
+    const GpuArch &arch = GpuArch::ampere();
+    const Accesses a =
+        warpAccess([](int64_t lane) { return lane * 128; });
+    EXPECT_EQ(smemWavefronts(a, arch), 32);
+    EXPECT_EQ(smemIdealWavefronts(a, arch), 1);
+}
+
+TEST(SmemWavefronts, WideAccessSpansWords)
+{
+    // 8-byte accesses at unit stride: 64 distinct words across the 32
+    // banks, two words per bank -> 2 wavefronts, and the ideal is also
+    // 2 (64 words cannot move in fewer than 2 cycles).
+    const GpuArch &arch = GpuArch::ampere();
+    const Accesses a =
+        warpAccess([](int64_t lane) { return lane * 8; }, 8);
+    EXPECT_EQ(smemWavefronts(a, arch), 2);
+    EXPECT_EQ(smemIdealWavefronts(a, arch), 2);
+}
+
+TEST(GlobalSectors, CoalescedWarpTouchesFourSectors)
+{
+    // 32 lanes x 4 bytes contiguous = 128 bytes = 4 x 32-byte sectors.
+    const GpuArch &arch = GpuArch::ampere();
+    const Accesses a =
+        warpAccess([](int64_t lane) { return lane * 4; });
+    EXPECT_EQ(globalSectors(a, arch), 4);
+}
+
+TEST(GlobalSectors, StridedWarpTouchesOneSectorPerLane)
+{
+    // 32-byte stride: each lane lands in its own sector.
+    const GpuArch &arch = GpuArch::ampere();
+    const Accesses a =
+        warpAccess([](int64_t lane) { return lane * 32; });
+    EXPECT_EQ(globalSectors(a, arch), 32);
+}
+
+CostStats
+sampleStats()
+{
+    CostStats s;
+    s.tensorFlops = 1000;
+    s.fp32Flops = 200;
+    s.fp16Flops = 40;
+    s.sfuOps = 8;
+    s.issueSlots = 500;
+    s.smemWavefronts = 64;
+    s.smemAccesses = 32;
+    s.smemIdealWavefronts = 32;
+    s.globalSectors = 16;
+    s.globalAccesses = 4;
+    s.globalLoadBytes = 512;
+    s.globalStoreBytes = 256;
+    s.globalUsefulBytes = 640;
+    s.syncCount = 3;
+    return s;
+}
+
+void
+expectStatsEq(const CostStats &a, const CostStats &b)
+{
+    EXPECT_DOUBLE_EQ(a.tensorFlops, b.tensorFlops);
+    EXPECT_DOUBLE_EQ(a.fp32Flops, b.fp32Flops);
+    EXPECT_DOUBLE_EQ(a.fp16Flops, b.fp16Flops);
+    EXPECT_DOUBLE_EQ(a.sfuOps, b.sfuOps);
+    EXPECT_DOUBLE_EQ(a.issueSlots, b.issueSlots);
+    EXPECT_DOUBLE_EQ(a.smemWavefronts, b.smemWavefronts);
+    EXPECT_DOUBLE_EQ(a.smemAccesses, b.smemAccesses);
+    EXPECT_DOUBLE_EQ(a.smemIdealWavefronts, b.smemIdealWavefronts);
+    EXPECT_DOUBLE_EQ(a.globalSectors, b.globalSectors);
+    EXPECT_DOUBLE_EQ(a.globalAccesses, b.globalAccesses);
+    EXPECT_DOUBLE_EQ(a.globalLoadBytes, b.globalLoadBytes);
+    EXPECT_DOUBLE_EQ(a.globalStoreBytes, b.globalStoreBytes);
+    EXPECT_DOUBLE_EQ(a.globalUsefulBytes, b.globalUsefulBytes);
+    EXPECT_DOUBLE_EQ(a.syncCount, b.syncCount);
+}
+
+TEST(CostStats, AddThenSubtractRoundTrips)
+{
+    const CostStats a = sampleStats();
+    const CostStats b = sampleStats().scaled(0.25);
+    CostStats sum = a;
+    sum += b;
+    expectStatsEq(sum - b, a);
+    expectStatsEq(sum - a, b);
+}
+
+TEST(CostStats, ScaledRoundTrips)
+{
+    const CostStats a = sampleStats();
+    expectStatsEq(a.scaled(4).scaled(0.25), a);
+    // scaled(0) zeroes every counter.
+    expectStatsEq(a.scaled(0), CostStats{});
+}
+
+TEST(CostStats, ConflictAndCoalescingRatios)
+{
+    const CostStats s = sampleStats();
+    // 64 wavefronts over an ideal of 32 -> average 2-way conflict.
+    EXPECT_DOUBLE_EQ(s.avgSmemConflict(), 2.0);
+    // 640 useful of 768 fetched bytes.
+    EXPECT_NEAR(s.coalescingPct(), 100.0 * 640 / 768, 1e-9);
+    // No traffic reports as fully coalesced / conflict-free.
+    EXPECT_DOUBLE_EQ(CostStats{}.avgSmemConflict(), 1.0);
+    EXPECT_DOUBLE_EQ(CostStats{}.coalescingPct(), 100.0);
+}
+
+TEST(PipeCycles, NamesTheLimitingPipe)
+{
+    const GpuArch &arch = GpuArch::ampere();
+    CostStats s;
+    s.tensorFlops = 100 * arch.tensorFlopsPerCycle; // 100 cycles
+    s.fp32Flops = 10 * arch.fp32FlopsPerCycle;      // 10 cycles
+    s.syncCount = 2;                                // +40 cycles
+    std::string boundBy;
+    EXPECT_DOUBLE_EQ(pipeCycles(s, arch, &boundBy), 140.0);
+    EXPECT_EQ(boundBy, "tensor");
+}
+
+TEST(KernelTiming, RooflineFieldsTensorBound)
+{
+    const GpuArch &arch = GpuArch::ampere();
+    CostStats s;
+    s.tensorFlops = 1e6;
+    s.globalLoadBytes = 1024;
+    s.globalStoreBytes = 512;
+    const sim::KernelTiming t = sim::estimateKernelTiming(
+        arch, s, /*gridSize=*/arch.numSms * 4, /*blockSize=*/256,
+        /*smemBytes=*/0);
+    EXPECT_EQ(t.rooflineBoundBy, "tensor-pipe");
+    EXPECT_DOUBLE_EQ(t.pctOfPeak, t.tensorPipePct);
+    EXPECT_DOUBLE_EQ(t.flopsTotal, 1e6 * arch.numSms * 4);
+    EXPECT_DOUBLE_EQ(t.dramBytes, 1536.0 * arch.numSms * 4);
+    EXPECT_NEAR(t.intensity, t.flopsTotal / t.dramBytes, 1e-9);
+    EXPECT_GT(t.achievedTflops, 0);
+    EXPECT_GT(t.occupancyPct, 0);
+    EXPECT_LE(t.occupancyPct, 100.0);
+    EXPECT_NEAR(t.achievedTflops, t.flopsTotal / (t.timeUs * 1e6),
+                1e-9);
+}
+
+TEST(KernelTiming, RooflineFieldsDramBound)
+{
+    const GpuArch &arch = GpuArch::ampere();
+    CostStats s;
+    s.fp32Flops = 64; // negligible compute
+    s.globalLoadBytes = 1 << 20;
+    const sim::KernelTiming t = sim::estimateKernelTiming(
+        arch, s, /*gridSize=*/arch.numSms * 64, /*blockSize=*/256,
+        /*smemBytes=*/0);
+    EXPECT_EQ(t.rooflineBoundBy, "dram");
+    EXPECT_DOUBLE_EQ(t.pctOfPeak, t.dramPct);
+    EXPECT_GT(t.dramGbs, 0);
+}
+
+TEST(KernelTiming, RooflineFieldsLaunchBound)
+{
+    // A tiny kernel: the fixed launch overhead dwarfs the body, so the
+    // verdict is "launch" and pct-of-peak is the body's share of the
+    // wall time.
+    const GpuArch &arch = GpuArch::ampere();
+    CostStats s;
+    s.fp32Flops = 32;
+    const sim::KernelTiming t = sim::estimateKernelTiming(
+        arch, s, /*gridSize=*/1, /*blockSize=*/32, /*smemBytes=*/0);
+    EXPECT_EQ(t.rooflineBoundBy, "launch");
+    EXPECT_LT(t.pctOfPeak, 50.0);
+    EXPECT_GT(t.launchOverheadUs, t.timeUs - t.launchOverheadUs);
+}
+
+TEST(KernelTiming, DramBytesHintCapsTraffic)
+{
+    const GpuArch &arch = GpuArch::ampere();
+    CostStats s;
+    s.globalLoadBytes = 4096;
+    const int64_t grid = 100;
+    // Hint below the request: modeled traffic is the hint.
+    sim::KernelTiming capped = sim::estimateKernelTiming(
+        arch, s, grid, 256, 0, /*dramBytesHint=*/1e5);
+    EXPECT_DOUBLE_EQ(capped.dramBytes, 1e5);
+    // Hint above the request: the raw request wins.
+    sim::KernelTiming uncapped = sim::estimateKernelTiming(
+        arch, s, grid, 256, 0, /*dramBytesHint=*/1e9);
+    EXPECT_DOUBLE_EQ(uncapped.dramBytes, 4096.0 * grid);
+}
+
+TEST(KernelTiming, OccupancyTracksBlockSize)
+{
+    const GpuArch &arch = GpuArch::ampere();
+    CostStats s;
+    s.fp32Flops = 1e5;
+    // 512-thread blocks: 3 fit in SM86's 1536-thread budget -> 100%.
+    const sim::KernelTiming full = sim::estimateKernelTiming(
+        arch, s, arch.numSms, /*blockSize=*/512, 0);
+    // A block-filling shared-memory footprint forces one block per SM.
+    const sim::KernelTiming limited = sim::estimateKernelTiming(
+        arch, s, arch.numSms, /*blockSize=*/512,
+        /*smemBytes=*/arch.maxSharedMemPerBlockBytes);
+    EXPECT_DOUBLE_EQ(full.occupancyPct, 100.0);
+    EXPECT_DOUBLE_EQ(limited.occupancyPct,
+                     100.0 * 512 / arch.maxThreadsPerSm);
+}
+
+} // namespace
+} // namespace graphene

@@ -1,0 +1,351 @@
+/**
+ * @file
+ * Tests for the simulated hardware-counter metrics layer: golden
+ * roofline reports for the three headline kernels on both
+ * architectures (regenerate with metrics_test --update-golden), the
+ * tensor-pipe-bound verdict for the large Ampere GEMM, the
+ * hint-vs-measured DRAM-traffic consistency check across every op
+ * generator, JSON schema shape, and byte-identical output across
+ * worker-thread counts and functional engines.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "baselines/engines.h"
+#include "metrics/metrics.h"
+#include "ops/fmha.h"
+#include "ops/layernorm.h"
+#include "ops/ldmatrix_move.h"
+#include "ops/lstm.h"
+#include "ops/mlp.h"
+#include "ops/simple_gemm.h"
+#include "ops/tc_gemm.h"
+#include "runtime/device.h"
+#include "support/schemas.h"
+
+namespace
+{
+
+/** Set from argv in main: rewrite snapshots instead of comparing. */
+bool updateGolden = false;
+
+} // namespace
+
+namespace graphene
+{
+namespace
+{
+
+Kernel
+tcGemmKernel(const GpuArch &arch, Device &dev, int64_t m, int64_t n,
+             int64_t k)
+{
+    const ops::TcGemmConfig cfg =
+        baselines::heuristicGemmConfig(arch, m, n, k);
+    dev.allocateVirtual("%A", ScalarType::Fp16, m * k);
+    dev.allocateVirtual("%B", ScalarType::Fp16, k * n);
+    dev.allocateVirtual("%C", ScalarType::Fp16, m * n);
+    return ops::buildTcGemm(arch, cfg);
+}
+
+Kernel
+layernormKernel(const GpuArch &arch, Device &dev)
+{
+    ops::LayernormConfig cfg; // 1024 x 1024 defaults
+    dev.allocateVirtual("%x", ScalarType::Fp16, cfg.rows * cfg.cols);
+    dev.allocateVirtual("%gamma", ScalarType::Fp16, cfg.cols);
+    dev.allocateVirtual("%beta", ScalarType::Fp16, cfg.cols);
+    dev.allocateVirtual("%y", ScalarType::Fp16, cfg.rows * cfg.cols);
+    return ops::buildLayernormFused(arch, cfg);
+}
+
+Kernel
+fmhaKernel(const GpuArch &arch, Device &dev)
+{
+    ops::FmhaConfig cfg; // the MLPerf BERT shape defaults
+    const int64_t elems = cfg.batch * cfg.heads * cfg.seq * cfg.headDim;
+    for (const char *nm : {"%Q", "%K", "%V", "%O"})
+        dev.allocateVirtual(nm, ScalarType::Fp16, elems);
+    return ops::buildFusedFmha(arch, cfg);
+}
+
+/** Profile @p kernel and fold the launch into the counter document. */
+metrics::KernelMetrics
+metricsFor(const GpuArch &arch, Device &dev, const Kernel &kernel)
+{
+    const sim::KernelProfile prof =
+        dev.launch(kernel, LaunchMode::Timing);
+    return metrics::computeKernelMetrics(kernel, arch, prof);
+}
+
+std::string
+goldenPath(const std::string &name)
+{
+    return std::string(GRAPHENE_GOLDEN_DIR) + "/" + name;
+}
+
+void
+checkGolden(const std::string &name, const std::string &actual)
+{
+    const std::string path = goldenPath(name);
+    if (updateGolden) {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << actual;
+        return;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing golden file " << path
+        << "; run metrics_test --update-golden to create it";
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_EQ(buf.str(), actual)
+        << "roofline report diverges from " << path
+        << "; if the change is intentional, rerun with --update-golden "
+        << "and review the snapshot diff";
+}
+
+void
+rooflineGolden(const std::string &name, const GpuArch &arch,
+               Kernel (*build)(const GpuArch &, Device &))
+{
+    Device dev(arch);
+    const Kernel kernel = build(arch, dev);
+    checkGolden(name, metrics::renderRoofline(
+                          metricsFor(arch, dev, kernel)));
+}
+
+Kernel
+tcGemm1024(const GpuArch &arch, Device &dev)
+{
+    return tcGemmKernel(arch, dev, 1024, 1024, 1024);
+}
+
+TEST(RooflineGolden, TcGemmVolta)
+{
+    rooflineGolden("metrics_tc_gemm_volta.txt", GpuArch::volta(),
+                   tcGemm1024);
+}
+
+TEST(RooflineGolden, TcGemmAmpere)
+{
+    rooflineGolden("metrics_tc_gemm_ampere.txt", GpuArch::ampere(),
+                   tcGemm1024);
+}
+
+TEST(RooflineGolden, LayernormVolta)
+{
+    rooflineGolden("metrics_layernorm_volta.txt", GpuArch::volta(),
+                   layernormKernel);
+}
+
+TEST(RooflineGolden, LayernormAmpere)
+{
+    rooflineGolden("metrics_layernorm_ampere.txt", GpuArch::ampere(),
+                   layernormKernel);
+}
+
+TEST(RooflineGolden, FmhaVolta)
+{
+    rooflineGolden("metrics_fmha_volta.txt", GpuArch::volta(),
+                   fmhaKernel);
+}
+
+TEST(RooflineGolden, FmhaAmpere)
+{
+    rooflineGolden("metrics_fmha_ampere.txt", GpuArch::ampere(),
+                   fmhaKernel);
+}
+
+TEST(Roofline, LargeAmpereGemmIsTensorPipeBound)
+{
+    // The acceptance anchor: a 4096^3 tensor-core GEMM on SM86 sits on
+    // the compute side of the roof, bound by the tensor pipe at a high
+    // fraction of peak.
+    const GpuArch &arch = GpuArch::ampere();
+    Device dev(arch);
+    const Kernel kernel = tcGemmKernel(arch, dev, 4096, 4096, 4096);
+    const metrics::KernelMetrics m = metricsFor(arch, dev, kernel);
+    EXPECT_EQ(m.timing.rooflineBoundBy, "tensor-pipe");
+    EXPECT_GT(m.timing.pctOfPeak, 50.0);
+    EXPECT_LE(m.timing.pctOfPeak, 100.0);
+    EXPECT_GT(m.timing.intensity, m.ridgeIntensity)
+        << "a compute-bound kernel must sit right of the ridge point";
+    EXPECT_GT(m.timing.achievedTflops, 0);
+}
+
+TEST(Roofline, RidgePointMatchesArchPeaks)
+{
+    const GpuArch &arch = GpuArch::ampere();
+    Device dev(arch);
+    const Kernel kernel = tcGemmKernel(arch, dev, 1024, 1024, 1024);
+    const metrics::KernelMetrics m = metricsFor(arch, dev, kernel);
+    // Tensor-core kernel: ridge = tensor peak over DRAM bandwidth.
+    EXPECT_NEAR(m.ridgeIntensity,
+                arch.tensorPeakTflops() * 1e3 / arch.dramBandwidthGBs,
+                1e-9);
+}
+
+TEST(Roofline, SpecAttributionSumsSensibly)
+{
+    const GpuArch &arch = GpuArch::ampere();
+    Device dev(arch);
+    const Kernel kernel = tcGemmKernel(arch, dev, 1024, 1024, 1024);
+    const metrics::KernelMetrics m = metricsFor(arch, dev, kernel);
+    ASSERT_FALSE(m.specs.empty());
+    // Hottest-first ordering, every spec labeled and within the block.
+    double prev = 1e9;
+    for (const metrics::SpecMetrics &s : m.specs) {
+        EXPECT_LE(s.pctOfBlock, prev * (1 + 1e-9));
+        EXPECT_GE(s.stmtId, 0);
+        EXPECT_FALSE(s.label.empty());
+        prev = s.pctOfBlock;
+    }
+}
+
+/**
+ * Satellite check: every op generator's hand-computed DRAM-traffic
+ * hint must be consistent with what the executor measured — at least
+ * the compulsory parameter footprint, at most the raw request volume.
+ * A kernel with no hint reports "unset" (the model then uses the raw
+ * request volume), which is also acceptable.
+ */
+TEST(HintConsistency, AllOpsOnBothArches)
+{
+    struct Case {
+        const char *name;
+        Kernel (*build)(const GpuArch &, Device &);
+        bool amperOnly;
+    };
+    const auto simpleGemm = [](const GpuArch &, Device &dev) {
+        ops::SimpleGemmConfig cfg;
+        dev.allocateVirtual("%A", ScalarType::Fp16, cfg.m * cfg.k);
+        dev.allocateVirtual("%B", ScalarType::Fp16, cfg.k * cfg.n);
+        dev.allocateVirtual("%C", ScalarType::Fp16, cfg.m * cfg.n);
+        return ops::buildSimpleGemm(cfg);
+    };
+    const auto mlp = [](const GpuArch &arch, Device &dev) {
+        ops::FusedMlpConfig cfg;
+        dev.allocateVirtual("%x", ScalarType::Fp16,
+                            cfg.m * cfg.width);
+        dev.allocateVirtual("%W", ScalarType::Fp16,
+                            cfg.layers * cfg.width * cfg.width);
+        dev.allocateVirtual("%b", ScalarType::Fp16,
+                            cfg.layers * cfg.width);
+        dev.allocateVirtual("%y", ScalarType::Fp16,
+                            cfg.m * cfg.width);
+        return ops::buildFusedMlp(arch, cfg);
+    };
+    const auto lstm = [](const GpuArch &arch, Device &dev) {
+        ops::FusedLstmConfig cfg;
+        dev.allocateVirtual("%x", ScalarType::Fp16, cfg.m * cfg.k);
+        dev.allocateVirtual("%h", ScalarType::Fp16, cfg.m * cfg.k);
+        dev.allocateVirtual("%Wx", ScalarType::Fp16, cfg.k * cfg.n);
+        dev.allocateVirtual("%Wh", ScalarType::Fp16, cfg.k * cfg.n);
+        dev.allocateVirtual("%bias", ScalarType::Fp16, cfg.n);
+        dev.allocateVirtual("%out", ScalarType::Fp16, cfg.m * cfg.n);
+        return ops::buildFusedLstm(arch, cfg);
+    };
+    const auto ldmatrix = [](const GpuArch &, Device &dev) {
+        dev.allocateVirtual("%in", ScalarType::Fp16, 256);
+        dev.allocateVirtual("%out", ScalarType::Fp16, 256);
+        return ops::buildLdmatrixMoveKernel();
+    };
+    const Case cases[] = {
+        {"simple-gemm", +simpleGemm, false},
+        {"tc-gemm", tcGemm1024, false},
+        {"mlp", +mlp, false},
+        {"lstm", +lstm, false},
+        {"fmha", fmhaKernel, false},
+        {"layernorm", layernormKernel, false},
+        // ldmatrix requires SM75+ (no volta lowering exists).
+        {"ldmatrix", +ldmatrix, true},
+    };
+    for (const GpuArch *arch : {&GpuArch::volta(), &GpuArch::ampere()}) {
+        for (const Case &c : cases) {
+            if (c.amperOnly && arch->smVersion < 75)
+                continue;
+            Device dev(*arch);
+            const Kernel kernel = c.build(*arch, dev);
+            const metrics::KernelMetrics m =
+                metricsFor(*arch, dev, kernel);
+            EXPECT_TRUE(m.hint.status == "ok"
+                        || m.hint.status == "unset")
+                << c.name << " on " << arch->name << ": hint "
+                << m.hint.hintBytes << " vs compulsory "
+                << m.hint.compulsoryBytes << " vs requested "
+                << m.hint.requestedBytes << " -> " << m.hint.status;
+        }
+    }
+}
+
+TEST(MetricsJson, SchemaAndShape)
+{
+    const GpuArch &arch = GpuArch::ampere();
+    Device dev(arch);
+    const Kernel kernel = tcGemmKernel(arch, dev, 1024, 1024, 1024);
+    const std::string text =
+        metrics::metricsToJson(metricsFor(arch, dev, kernel)).dump(2);
+    const json::Value doc = json::Value::parse(text);
+
+    EXPECT_EQ(doc.at("schema").asString(), schemas::kMetrics);
+    EXPECT_EQ(doc.at("kernel").at("arch").asString(), arch.name);
+    EXPECT_GT(doc.at("flops").at("total").asNumber(), 0);
+    EXPECT_GT(doc.at("flops").at("tensor").asNumber(), 0);
+    EXPECT_GT(doc.at("dram").at("bytes").asNumber(), 0);
+    EXPECT_GT(doc.at("dram").at("compulsory_bytes").asNumber(), 0);
+    EXPECT_GT(doc.at("intensity").asNumber(), 0);
+    EXPECT_GT(doc.at("ridge_intensity").asNumber(), 0);
+    EXPECT_FALSE(
+        doc.at("roofline").at("bound_by").asString().empty());
+    EXPECT_GT(doc.at("roofline").at("pct_of_peak").asNumber(), 0);
+    EXPECT_LE(doc.at("roofline").at("pct_of_peak").asNumber(), 100.0);
+    EXPECT_GT(doc.at("occupancy_pct").asNumber(), 0);
+    EXPECT_TRUE(doc.at("pipes_pct").isObject());
+    EXPECT_TRUE(doc.at("hint_check").contains("status"));
+    EXPECT_TRUE(doc.at("specs").isArray());
+    EXPECT_GT(doc.at("specs").size(), 0u);
+    EXPECT_GT(doc.at("timing").at("time_us").asNumber(), 0);
+}
+
+TEST(MetricsJson, DeterministicAcrossThreadsAndEngines)
+{
+    // The determinism contract: the counter document is a pure function
+    // of the profiled launch, and timing-mode profiling itself is
+    // single-block and engine-independent, so the JSON text must be
+    // byte-identical across worker-thread counts and across the plan
+    // engine vs the interpreter.
+    const GpuArch &arch = GpuArch::ampere();
+    std::vector<std::string> dumps;
+    for (const int threads : {1, 4}) {
+        for (const bool usePlan : {true, false}) {
+            Device dev(arch);
+            dev.setSimThreads(threads);
+            dev.setUsePlan(usePlan);
+            const Kernel kernel =
+                tcGemmKernel(arch, dev, 1024, 1024, 1024);
+            dumps.push_back(
+                metrics::metricsToJson(metricsFor(arch, dev, kernel))
+                    .dump(2));
+        }
+    }
+    for (size_t i = 1; i < dumps.size(); ++i)
+        EXPECT_EQ(dumps[0], dumps[i]) << "variant " << i;
+}
+
+} // namespace
+} // namespace graphene
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == "--update-golden")
+            updateGolden = true;
+    return RUN_ALL_TESTS();
+}

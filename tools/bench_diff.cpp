@@ -26,6 +26,7 @@
 
 #include "support/check.h"
 #include "support/json.h"
+#include "support/schemas.h"
 
 using graphene::json::Value;
 
@@ -39,7 +40,7 @@ usage(FILE *out)
                  "usage: bench_diff <baseline.json> <candidate.json>"
                  " [--field sim_us|host_us]\n"
                  "                  [--threshold-pct <N>]"
-                 " [--skip-tuned] [--counters]\n"
+                 " [--skip-tuned] [--counters] [--metrics]\n"
                  "\n"
                  "Compares two graphene.bench.v1 reports row by row"
                  " (matched on label+arch)\n"
@@ -56,7 +57,16 @@ usage(FILE *out)
                  "dropped by more than N%%, fails — a vanished fusion"
                  " or verification count\n"
                  "is a silent-regression signal.  Increases never"
-                 " fail.\n");
+                 " fail.\n"
+                 "--metrics gates on per-row efficiency instead of"
+                 " time: a row fails when\n"
+                 "its pct_of_peak drops by more than N%%, or when its"
+                 " DRAM traffic\n"
+                 "(dram_bytes, or global_bytes for aggregate rows)"
+                 " grows by more than N%% —\n"
+                 "bytes may not silently grow even when the modeled"
+                 " time holds.  Rows\n"
+                 "carrying neither field are skipped.\n");
 }
 
 Value
@@ -69,7 +79,7 @@ loadReport(const std::string &path)
     ss << f.rdbuf();
     Value doc = Value::parse(ss.str());
     if (!doc.isObject() || !doc.contains("schema")
-        || doc.at("schema").asString() != "graphene.bench.v1")
+        || doc.at("schema").asString() != graphene::schemas::kBench)
         throw graphene::Error(path + ": not a graphene.bench.v1 report");
     return doc;
 }
@@ -167,6 +177,119 @@ diffCounters(const Value &base, const Value &cand, double thresholdPct)
     return 0;
 }
 
+/** One row of the efficiency gate: the optional metric fields a
+ *  graphene.bench.v1 row may carry. */
+struct MetricRow
+{
+    std::string label;
+    std::string arch;
+    bool hasPct = false;
+    double pctOfPeak = 0;
+    bool hasBytes = false;
+    double bytes = 0; // dram_bytes, or global_bytes for aggregates
+};
+
+std::vector<MetricRow>
+extractMetricRows(const Value &doc, bool skipTuned)
+{
+    std::vector<MetricRow> rows;
+    const Value &arr = doc.at("rows");
+    for (size_t i = 0; i < arr.size(); ++i) {
+        const Value &r = arr.at(i);
+        if (skipTuned && r.contains("tuned") && r.at("tuned").asBool())
+            continue;
+        MetricRow m;
+        m.label = r.at("label").asString();
+        m.arch = r.at("arch").asString();
+        if (r.contains("pct_of_peak")) {
+            m.hasPct = true;
+            m.pctOfPeak = r.at("pct_of_peak").asNumber();
+        }
+        if (r.contains("dram_bytes")) {
+            m.hasBytes = true;
+            m.bytes = r.at("dram_bytes").asNumber();
+        } else if (r.contains("global_bytes")) {
+            m.hasBytes = true;
+            m.bytes = r.at("global_bytes").asNumber();
+        }
+        if (m.hasPct || m.hasBytes)
+            rows.push_back(std::move(m));
+    }
+    return rows;
+}
+
+/**
+ * Efficiency regression gate: for every baseline row carrying metric
+ * fields, the candidate's pct_of_peak may not drop by more than
+ * @p thresholdPct (relative) and its DRAM traffic may not grow by more
+ * than @p thresholdPct.  A baseline row missing from the candidate
+ * fails.  Unmatched candidate rows (new benchmarks) are fine.
+ */
+int
+diffMetrics(const Value &base, const Value &cand, double thresholdPct,
+            bool skipTuned)
+{
+    const std::vector<MetricRow> baseRows =
+        extractMetricRows(base, skipTuned);
+    const std::vector<MetricRow> candRows =
+        extractMetricRows(cand, skipTuned);
+    if (baseRows.empty()) {
+        std::fprintf(stderr,
+                     "error: baseline has no rows with pct_of_peak or "
+                     "dram_bytes/global_bytes\n");
+        return 2;
+    }
+    int regressions = 0;
+    std::printf("  %-42s %-7s %-11s %12s %12s %9s\n", "label", "arch",
+                "metric", "baseline", "candidate", "delta");
+    for (const MetricRow &b : baseRows) {
+        const MetricRow *c = nullptr;
+        for (const MetricRow &r : candRows)
+            if (r.label == b.label && r.arch == b.arch) {
+                c = &r;
+                break;
+            }
+        if (c == nullptr) {
+            std::printf("  %-42s %-7s %-11s %12s %12s %9s\n",
+                        b.label.c_str(), b.arch.c_str(), "-", "-",
+                        "missing", "FAIL");
+            ++regressions;
+            continue;
+        }
+        if (b.hasPct && c->hasPct) {
+            const double deltaPct = b.pctOfPeak == 0
+                ? 0
+                : (c->pctOfPeak - b.pctOfPeak) / b.pctOfPeak * 100.0;
+            const bool bad = deltaPct < -thresholdPct;
+            std::printf("  %-42s %-7s %-11s %12.2f %12.2f %+8.2f%%%s\n",
+                        b.label.c_str(), b.arch.c_str(), "pct_of_peak",
+                        b.pctOfPeak, c->pctOfPeak, deltaPct,
+                        bad ? "  FAIL" : "");
+            if (bad)
+                ++regressions;
+        }
+        if (b.hasBytes && c->hasBytes) {
+            const double deltaPct = b.bytes == 0
+                ? (c->bytes == 0 ? 0 : 100.0)
+                : (c->bytes - b.bytes) / b.bytes * 100.0;
+            const bool bad = deltaPct > thresholdPct;
+            std::printf("  %-42s %-7s %-11s %12.0f %12.0f %+8.2f%%%s\n",
+                        b.label.c_str(), b.arch.c_str(), "bytes",
+                        b.bytes, c->bytes, deltaPct,
+                        bad ? "  FAIL" : "");
+            if (bad)
+                ++regressions;
+        }
+    }
+    if (regressions > 0) {
+        std::printf("\n%d efficiency regression(s) beyond %.3f%%\n",
+                    regressions, thresholdPct);
+        return 1;
+    }
+    std::printf("\nall %zu row(s) within threshold\n", baseRows.size());
+    return 0;
+}
+
 } // namespace
 
 int
@@ -177,6 +300,7 @@ main(int argc, char **argv)
     double thresholdPct = 0.1;
     bool skipTuned = false;
     bool counters = false;
+    bool metricsMode = false;
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
         if (a == "--help" || a == "-h") {
@@ -190,6 +314,8 @@ main(int argc, char **argv)
             skipTuned = true;
         } else if (a == "--counters") {
             counters = true;
+        } else if (a == "--metrics") {
+            metricsMode = true;
         } else if (!a.empty() && a[0] == '-') {
             std::fprintf(stderr, "error: unknown option '%s'\n",
                          a.c_str());
@@ -223,6 +349,12 @@ main(int argc, char **argv)
         std::printf("field    : meta.counters   threshold: -%.3f%%\n\n",
                     thresholdPct);
         return diffCounters(base, cand, thresholdPct);
+    }
+    if (metricsMode) {
+        std::printf("field    : metrics (pct_of_peak -%.3f%%, "
+                    "bytes +%.3f%%)\n\n",
+                    thresholdPct, thresholdPct);
+        return diffMetrics(base, cand, thresholdPct, skipTuned);
     }
     std::printf("field    : %s   threshold: +%.3f%%\n\n", field.c_str(),
                 thresholdPct);

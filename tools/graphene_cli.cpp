@@ -13,6 +13,12 @@
  *       Run the timing simulation and print the profile; with --json,
  *       write the machine-readable profile (per-spec attribution tree,
  *       roofline numbers) to path, or stdout if no path is given.
+ *   graphene-cli metrics <kernel> [options] [--json [path]]
+ *       Run the timing simulation and print the simulated
+ *       hardware-counter document: flops per pipe, DRAM traffic vs the
+ *       compulsory footprint, bank conflicts, occupancy, arithmetic
+ *       intensity, and the roofline verdict with percent-of-peak.
+ *       --json writes the graphene.metrics.v1 document instead.
  *   graphene-cli report <kernel> [options] [--top N]
  *       Run the timing simulation and print the hierarchical per-spec
  *       cost tree (percent of block cycles per decomposition node),
@@ -79,6 +85,7 @@
 #include "graph/scheduler.h"
 #include "inspect/inspect.h"
 #include "ir/printer.h"
+#include "metrics/metrics.h"
 #include "profile/profile.h"
 #include "profile/trace.h"
 #include "ops/fmha.h"
@@ -94,6 +101,7 @@
 #include "support/events.h"
 #include "support/fs.h"
 #include "support/rng.h"
+#include "support/schemas.h"
 #include "support/run_metadata.h"
 #include "tune/cache.h"
 #include "tune/tuner.h"
@@ -158,6 +166,8 @@ const Verb kVerbs[] = {
      "print the generated CUDA C++ (sidecar stmt line map)"},
     {"profile", true, "[--json [path]]",
      "timing simulation; --json writes the machine-readable profile"},
+    {"metrics", true, "[--json [path]]",
+     "simulated hardware counters and the roofline verdict"},
     {"report", true, "[--top N]",
      "per-spec cost tree, hot specs, verdict"},
     {"trace", true, "--out <path>",
@@ -571,7 +581,7 @@ writeTuneReport(const std::string &path, const tune::TuneResult &res,
     const tune::CandidateResult &r = tuned ? res.best
                                            : res.defaultResult;
     json::Value doc = json::Value::object();
-    doc["schema"] = "graphene.bench.v1";
+    doc["schema"] = schemas::kBench;
     doc["figure"] = "tune";
     doc["meta"] = runMetadata(sim::resolveThreads(sim::defaultThreads()));
     doc["meta"]["plan"] = sim::defaultUsePlan();
@@ -662,7 +672,7 @@ writeScheduleReport(const std::string &path, const graph::Graph &g,
                     const graph::Schedule &s, bool fused)
 {
     json::Value doc = json::Value::object();
-    doc["schema"] = "graphene.bench.v1";
+    doc["schema"] = schemas::kBench;
     doc["figure"] = "graph-fusion";
     doc["meta"] = runMetadata(sim::resolveThreads(sim::defaultThreads()));
     doc["meta"]["plan"] = sim::defaultUsePlan();
@@ -909,8 +919,11 @@ dispatch(const Options &o, const GpuArch &arch)
                         prof.perBlock.smemWavefronts,
                         prof.perBlock.globalSectors);
             if (o.json) {
-                const std::string doc =
-                    profile::profileToJson(kernel, arch, prof).dump(2);
+                json::Value docJson =
+                    profile::profileToJson(kernel, arch, prof);
+                docJson["metrics"] = metrics::metricsToJson(
+                    metrics::computeKernelMetrics(kernel, arch, prof));
+                const std::string doc = docJson.dump(2);
                 if (o.jsonPath.empty()) {
                     std::printf("%s", doc.c_str());
                 } else {
@@ -918,6 +931,24 @@ dispatch(const Options &o, const GpuArch &arch)
                     f << doc;
                     std::printf("json     wrote %s\n", o.jsonPath.c_str());
                 }
+            }
+        } else if (o.command == "metrics") {
+            auto prof = timedLaunch(LaunchMode::Timing);
+            const metrics::KernelMetrics m =
+                metrics::computeKernelMetrics(kernel, arch, prof);
+            if (o.json) {
+                const std::string doc =
+                    metrics::metricsToJson(m).dump(2);
+                if (o.jsonPath.empty()) {
+                    std::printf("%s\n", doc.c_str());
+                } else {
+                    std::ofstream f = openOutputFile(o.jsonPath);
+                    f << doc << "\n";
+                    std::printf("json     wrote %s\n",
+                                o.jsonPath.c_str());
+                }
+            } else {
+                std::printf("%s", metrics::renderRoofline(m).c_str());
             }
         } else if (o.command == "report") {
             auto prof = timedLaunch(LaunchMode::Timing);
