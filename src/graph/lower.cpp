@@ -92,7 +92,7 @@ launchNode(Device &dev, const Graph &g, const Node &node, LaunchMode mode,
                     tuned->find("tc-gemm", arch.name, tune::shapeOf(cfg),
                                 space.spaceHash)
                     != nullptr;
-                events::global().add(hit ? "tune.cache_hits"
+                events::current().add(hit ? "tune.cache_hits"
                                          : "tune.cache_misses");
                 if (hit && tune::applyTuned(*tuned, arch, cfg)
                     && tunedApplied != nullptr)

@@ -139,7 +139,7 @@ profileSchedule(const Graph &g, const GpuArch &arch, const Schedule &s,
         p.pctOfPeak = 0;
     }
 
-    events::EventLog &log = events::global();
+    events::EventLog &log = events::current();
     log.add("profile.scheduled_bytes", p.scheduledBytes);
     log.add("profile.unfused_bytes", p.unfusedBytes);
     log.add("profile.ephemeral_bytes", p.ephemeralBytes);

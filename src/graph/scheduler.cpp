@@ -414,7 +414,7 @@ timeUnfused(const GpuArch &arch, const Graph &g,
             const std::vector<int> &nodes,
             const tune::TuningCache *tuned, bool *tunedApplied)
 {
-    events::global().add("schedule.oracle_evals");
+    events::current().add("schedule.oracle_evals");
     Device dev(arch);
     allocateForNodes(dev, g, nodes);
     for (int ni : nodes)
@@ -435,7 +435,7 @@ timeFused(const GpuArch &arch, const Graph &g, Subgraph *sg,
           bool oracle, std::string *why)
 {
     auto timeKernel = [&](const Kernel &kernel) {
-        events::global().add("schedule.oracle_evals");
+        events::current().add("schedule.oracle_evals");
         Device dev(arch);
         allocateForNodes(dev, g, sg->nodes);
         dev.launch(kernel, LaunchMode::Timing);
@@ -516,7 +516,7 @@ legalityCode(const std::string &why)
 void
 recordDecision(Schedule *s, const Graph &g, FusionDecision d)
 {
-    events::EventLog &log = events::global();
+    events::EventLog &log = events::current();
     if (d.kind != SubgraphKind::Library) {
         log.add("schedule.fusions_tried");
         log.add(d.accepted ? "schedule.fusions_kept"
@@ -658,7 +658,7 @@ scheduleGraph(const Graph &g, const GpuArch &arch,
         taken[static_cast<size_t>(i)] = true;
         s.subgraphs.push_back(std::move(lib));
     }
-    events::global().add("schedule.subgraphs",
+    events::current().add("schedule.subgraphs",
                          static_cast<int64_t>(s.subgraphs.size()));
 
     for (const Subgraph &sg : s.subgraphs) {

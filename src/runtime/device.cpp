@@ -61,13 +61,13 @@ Device::launch(const Kernel &kernel, LaunchMode mode)
                 << "re-upload it first";
         }
     }
-    events::global().add("sim.kernels_launched");
+    events::current().add("sim.kernels_launched");
     switch (mode) {
       case LaunchMode::Functional:
         executor_.run(kernel);
         prof.sanitizer = executor_.sanitizerReport();
         if (!prof.sanitizer.findings.empty())
-            events::global().add(
+            events::current().add(
                 "sim.sanitizer_findings",
                 static_cast<int64_t>(prof.sanitizer.findings.size()));
         return prof;

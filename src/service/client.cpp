@@ -1,0 +1,163 @@
+#include "service/client.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "support/diag.h"
+
+namespace graphene
+{
+namespace service
+{
+
+namespace
+{
+
+[[noreturn]] void
+ioError(const std::string &what)
+{
+    diag::Diagnostic d;
+    d.code = "service-io";
+    d.message = what;
+    diag::raise(std::move(d));
+}
+
+} // namespace
+
+ServiceClient::~ServiceClient()
+{
+    close();
+}
+
+bool
+ServiceClient::connect(const std::string &socketPath)
+{
+    close();
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (socketPath.size() >= sizeof(addr.sun_path))
+        return false;
+    std::memcpy(addr.sun_path, socketPath.c_str(),
+                socketPath.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return false;
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr))
+        < 0) {
+        ::close(fd);
+        return false;
+    }
+    fd_ = fd;
+    buffer_.clear();
+    return true;
+}
+
+bool
+ServiceClient::connectWithRetry(const std::string &socketPath,
+                                int timeoutMs)
+{
+    const auto deadline = std::chrono::steady_clock::now()
+        + std::chrono::milliseconds(timeoutMs);
+    while (true) {
+        if (connect(socketPath))
+            return true;
+        if (std::chrono::steady_clock::now() >= deadline)
+            return false;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+}
+
+void
+ServiceClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    buffer_.clear();
+}
+
+std::string
+ServiceClient::readLine()
+{
+    char chunk[16 * 1024];
+    while (true) {
+        const size_t nl = buffer_.find('\n');
+        if (nl != std::string::npos) {
+            std::string line = buffer_.substr(0, nl);
+            buffer_.erase(0, nl + 1);
+            return line;
+        }
+        const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            ioError("connection closed while awaiting a response");
+    // note: a 0-byte read with a partial line buffered is still a
+    // broken response — the daemon always terminates lines.
+        buffer_.append(chunk, static_cast<size_t>(n));
+    }
+}
+
+std::string
+ServiceClient::callLine(const std::string &requestLine)
+{
+    if (fd_ < 0)
+        ioError("not connected");
+    const std::string data = requestLine + "\n";
+    size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n = ::send(fd_, data.data() + off,
+                                 data.size() - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            ioError("connection closed while sending a request");
+        }
+        off += static_cast<size_t>(n);
+    }
+    return readLine();
+}
+
+std::vector<std::string>
+ServiceClient::callLines(const std::vector<std::string> &requestLines)
+{
+    if (fd_ < 0)
+        ioError("not connected");
+    std::string data;
+    for (const std::string &line : requestLines)
+        data += line + "\n";
+    size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n = ::send(fd_, data.data() + off,
+                                 data.size() - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            ioError("connection closed while sending a batch");
+        }
+        off += static_cast<size_t>(n);
+    }
+    std::vector<std::string> responses;
+    responses.reserve(requestLines.size());
+    for (size_t i = 0; i < requestLines.size(); ++i)
+        responses.push_back(readLine());
+    return responses;
+}
+
+json::Value
+ServiceClient::call(const json::Value &request)
+{
+    return json::Value::parse(callLine(request.dump(0)));
+}
+
+} // namespace service
+} // namespace graphene

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Blocking unix-socket client for the compilation service: connect,
+ * send newline-delimited graphene.request.v1 lines, read the
+ * graphene.response.v1 lines back in order.  One client per thread —
+ * the load generator (tools/bench_service) opens one per simulated
+ * closed-loop client; the `request` CLI verb opens one for a single
+ * call.
+ */
+
+#ifndef GRAPHENE_SERVICE_CLIENT_H
+#define GRAPHENE_SERVICE_CLIENT_H
+
+#include <string>
+#include <vector>
+
+#include "support/json.h"
+
+namespace graphene
+{
+namespace service
+{
+
+class ServiceClient
+{
+  public:
+    ServiceClient() = default;
+    ~ServiceClient();
+
+    ServiceClient(const ServiceClient &) = delete;
+    ServiceClient &operator=(const ServiceClient &) = delete;
+
+    /** Connect to the daemon's socket; false when nothing listens. */
+    bool connect(const std::string &socketPath);
+    void close();
+    bool connected() const { return fd_ >= 0; }
+
+    /**
+     * Retry connect() until the daemon answers or @p timeoutMs
+     * elapses — the "wait for the daemon to come up" handshake used
+     * by tests and the CI smoke job.
+     */
+    bool connectWithRetry(const std::string &socketPath,
+                          int timeoutMs);
+
+    /** Send one raw request line, read one response line.  Raises a
+     *  diag ("service-io") on a broken connection. */
+    std::string callLine(const std::string &requestLine);
+
+    /** Pipelined: write all lines, then read as many back. */
+    std::vector<std::string>
+    callLines(const std::vector<std::string> &requestLines);
+
+    /** Document-level convenience over callLine. */
+    json::Value call(const json::Value &request);
+
+  private:
+    std::string readLine();
+
+    int fd_ = -1;
+    std::string buffer_;
+};
+
+} // namespace service
+} // namespace graphene
+
+#endif // GRAPHENE_SERVICE_CLIENT_H

@@ -1,0 +1,198 @@
+#include "service/protocol.h"
+
+#include <algorithm>
+
+#include "support/diag.h"
+#include "tune/space.h"
+
+namespace graphene
+{
+namespace service
+{
+
+namespace
+{
+
+[[noreturn]] void
+badRequest(const std::string &code, const std::string &message)
+{
+    diag::Diagnostic d;
+    d.code = code;
+    d.message = message;
+    diag::raise(std::move(d));
+}
+
+int64_t
+intField(const json::Value &doc, const char *key, int64_t fallback)
+{
+    if (!doc.contains(key))
+        return fallback;
+    const json::Value &v = doc.at(key);
+    if (!v.isNumber())
+        badRequest("request-field",
+                   std::string("field '") + key + "' must be a number");
+    return static_cast<int64_t>(v.asNumber());
+}
+
+std::string
+stringField(const json::Value &doc, const char *key,
+            const std::string &fallback)
+{
+    if (!doc.contains(key))
+        return fallback;
+    const json::Value &v = doc.at(key);
+    if (!v.isString())
+        badRequest("request-field",
+                   std::string("field '") + key + "' must be a string");
+    return v.asString();
+}
+
+bool
+boolField(const json::Value &doc, const char *key, bool fallback)
+{
+    if (!doc.contains(key))
+        return fallback;
+    const json::Value &v = doc.at(key);
+    if (!v.isBool())
+        badRequest("request-field",
+                   std::string("field '") + key + "' must be a bool");
+    return v.asBool();
+}
+
+} // namespace
+
+Request
+Request::fromJson(const json::Value &doc)
+{
+    if (!doc.isObject() || !doc.contains("schema")
+        || !doc.at("schema").isString()
+        || doc.at("schema").asString() != kSchema)
+        badRequest("request-schema",
+                   std::string("not a ") + kSchema + " document");
+    Request r;
+    r.id = stringField(doc, "id", "");
+    r.verb = stringField(doc, "verb", "compile");
+    static const char *kVerbs[] = {"compile", "schedule", "tune",
+                                   "stats",   "ping",     "shutdown"};
+    if (std::find_if(std::begin(kVerbs), std::end(kVerbs),
+                     [&](const char *v) { return r.verb == v; })
+        == std::end(kVerbs))
+        badRequest("request-verb", "unknown verb '" + r.verb
+                       + "' (compile|schedule|tune|stats|ping|"
+                         "shutdown)");
+    r.op = stringField(doc, "op", "");
+    r.arch = stringField(doc, "arch", "ampere");
+    r.m = intField(doc, "m", 0);
+    r.n = intField(doc, "n", 0);
+    r.k = intField(doc, "k", 0);
+    r.layers = intField(doc, "layers", 0);
+    r.epilogue = stringField(doc, "epilogue", "none");
+    r.swizzle = boolField(doc, "swizzle", true);
+    r.tuned = boolField(doc, "tuned", false);
+    r.budget = intField(doc, "budget", 0);
+    if (doc.contains("graph"))
+        r.graph = doc.at("graph");
+    if (doc.contains("artifacts")) {
+        const json::Value &arts = doc.at("artifacts");
+        if (!arts.isArray())
+            badRequest("request-field",
+                       "field 'artifacts' must be an array of strings");
+        for (size_t i = 0; i < arts.size(); ++i)
+            r.artifacts.push_back(arts.at(i).asString());
+    }
+    return r;
+}
+
+json::Value
+Request::toJson() const
+{
+    json::Value doc = json::Value::object();
+    doc["schema"] = kSchema;
+    if (!id.empty())
+        doc["id"] = id;
+    doc["verb"] = verb;
+    if (!op.empty())
+        doc["op"] = op;
+    doc["arch"] = arch;
+    if (m)
+        doc["m"] = m;
+    if (n)
+        doc["n"] = n;
+    if (k)
+        doc["k"] = k;
+    if (layers)
+        doc["layers"] = layers;
+    if (epilogue != "none")
+        doc["epilogue"] = epilogue;
+    if (!swizzle)
+        doc["swizzle"] = false;
+    if (tuned)
+        doc["tuned"] = true;
+    if (budget)
+        doc["budget"] = budget;
+    if (!graph.isNull())
+        doc["graph"] = graph;
+    if (!artifacts.empty()) {
+        json::Value arts = json::Value::array();
+        for (const std::string &a : artifacts)
+            arts.push(a);
+        doc["artifacts"] = std::move(arts);
+    }
+    return doc;
+}
+
+std::string
+Request::cacheKey() const
+{
+    std::string key = verb + "|" + op + "|" + arch;
+    if (verb == "schedule") {
+        // Graph requests key on a digest of the canonical document:
+        // two textually different but field-identical graphs share an
+        // entry, anything else does not.
+        key += "|graph=" + tune::fnv1aHex(graph.dump());
+    } else {
+        key += "|m=" + std::to_string(m) + "|n=" + std::to_string(n)
+            + "|k=" + std::to_string(k)
+            + "|layers=" + std::to_string(layers) + "|" + epilogue
+            + "|swz=" + (swizzle ? "1" : "0");
+        if (verb == "tune")
+            key += "|budget=" + std::to_string(budget);
+    }
+    key += std::string("|tuned=") + (tuned ? "1" : "0");
+    return key;
+}
+
+bool
+Request::wantsArtifact(const std::string &name) const
+{
+    if (artifacts.empty())
+        return true;
+    return std::find(artifacts.begin(), artifacts.end(), name)
+        != artifacts.end();
+}
+
+json::Value
+makeResponse(const Request &req, bool ok)
+{
+    json::Value doc = json::Value::object();
+    doc["schema"] = schemas::kResponse;
+    doc["id"] = req.id;
+    doc["verb"] = req.verb;
+    doc["ok"] = ok;
+    return doc;
+}
+
+json::Value
+makeErrorResponse(const Request &req, const std::string &code,
+                  const std::string &message)
+{
+    json::Value doc = makeResponse(req, false);
+    json::Value err = json::Value::object();
+    err["code"] = code;
+    err["message"] = message;
+    doc["error"] = std::move(err);
+    return doc;
+}
+
+} // namespace service
+} // namespace graphene

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The compilation-service wire protocol: newline-delimited JSON over a
+ * unix-domain socket, one graphene.request.v1 document per line in,
+ * one graphene.response.v1 document per line out, answered in request
+ * order per connection.
+ *
+ * Verbs:
+ *   compile   build one kernel op (parse -> decompose -> verify ->
+ *             plan-compile -> timing sim) and return its artifacts
+ *             (IR text, CUDA C++, launch geometry, simulated time).
+ *   schedule  run the graph fusion scheduler on an inline
+ *             graphene.graph.v1 document and return the schedule.
+ *   tune      search the op's tunable config space (or hit the
+ *             persistent graphene.tune.v1 cache) and return the
+ *             best-found params; write-through to the daemon's cache.
+ *   stats     hit/miss/in-flight counters and per-shard occupancy.
+ *   ping      liveness probe.
+ *   shutdown  drain and stop the daemon.
+ *
+ * Responses echo the request id, carry "ok" plus either the artifact
+ * fields or a structured "error" {code, message}, and flag "cached"
+ * when the answer came from the in-memory plan cache.
+ */
+
+#ifndef GRAPHENE_SERVICE_PROTOCOL_H
+#define GRAPHENE_SERVICE_PROTOCOL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/json.h"
+#include "support/schemas.h"
+
+namespace graphene
+{
+namespace service
+{
+
+struct Request
+{
+    static constexpr const char *kSchema = schemas::kRequest;
+
+    /** Client-chosen correlation id, echoed verbatim ("" = none). */
+    std::string id;
+    std::string verb = "compile";
+    /** compile: simple-gemm|gemm|mlp|lstm|fmha|layernorm|ldmatrix;
+     *  tune: tc-gemm|layernorm|mlp|fmha. */
+    std::string op;
+    std::string arch = "ampere";
+    /** Problem shape; 0 = the op's one-shot CLI default. */
+    int64_t m = 0, n = 0, k = 0, layers = 0;
+    std::string epilogue = "none";
+    bool swizzle = true;
+    /** Apply the daemon's tuning cache to the op config. */
+    bool tuned = false;
+    /** tune verb: timed-simulation budget (0 = daemon default). */
+    int64_t budget = 0;
+    /** schedule verb: inline graphene.graph.v1 document. */
+    json::Value graph;
+    /** compile artifacts to return: "ir", "cuda", "timing"
+     *  (empty = all). */
+    std::vector<std::string> artifacts;
+
+    /**
+     * Parse and validate one request document.  Raises a
+     * diag::Diagnostic (code "request-schema" / "request-verb") on a
+     * missing/wrong schema tag or unknown verb.
+     */
+    static Request fromJson(const json::Value &doc);
+
+    /** The request document (what a client puts on the wire). */
+    json::Value toJson() const;
+
+    /**
+     * Deterministic memoization key: verb, op, arch, canonical shape,
+     * op options, and the tuned flag.  Graph requests key on an
+     * FNV-1a digest of the canonical graph document.
+     */
+    std::string cacheKey() const;
+
+    /** True when the artifact @p name was requested (or no filter). */
+    bool wantsArtifact(const std::string &name) const;
+};
+
+/** Response skeleton: schema, echoed id, verb, ok flag. */
+json::Value makeResponse(const Request &req, bool ok);
+
+/** Failed-response document with a structured error {code, message}. */
+json::Value makeErrorResponse(const Request &req,
+                              const std::string &code,
+                              const std::string &message);
+
+} // namespace service
+} // namespace graphene
+
+#endif // GRAPHENE_SERVICE_PROTOCOL_H

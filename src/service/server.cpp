@@ -1,0 +1,219 @@
+#include "service/server.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "support/diag.h"
+#include "support/thread_pool.h"
+
+namespace graphene
+{
+namespace service
+{
+
+namespace
+{
+
+[[noreturn]] void
+socketError(const std::string &what, const std::string &path)
+{
+    diag::Diagnostic d;
+    d.code = "socket-path";
+    d.message = what + " '" + path + "': " + std::strerror(errno);
+    diag::raise(std::move(d));
+}
+
+/** Write all of @p data, riding out partial writes; returns false on
+ *  a peer hangup (EPIPE — MSG_NOSIGNAL keeps it an errno). */
+bool
+writeAll(int fd, const std::string &data)
+{
+    size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n = ::send(fd, data.data() + off,
+                                 data.size() - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+SocketServer::SocketServer(CompileService &service,
+                           std::string socketPath)
+    : service_(service), path_(std::move(socketPath))
+{}
+
+SocketServer::~SocketServer()
+{
+    stop();
+    joinHandlers(/*finishedOnly=*/false);
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        ::unlink(path_.c_str());
+    }
+}
+
+void
+SocketServer::joinHandlers(bool finishedOnly)
+{
+    std::lock_guard<std::mutex> lk(threadsMu_);
+    for (auto it = handlers_.begin(); it != handlers_.end();) {
+        if (finishedOnly && !it->done->load(std::memory_order_acquire)) {
+            ++it;
+            continue;
+        }
+        if (it->thread.joinable())
+            it->thread.join();
+        it = handlers_.erase(it);
+    }
+}
+
+bool
+SocketServer::stopping() const
+{
+    return stop_.load(std::memory_order_acquire)
+        || service_.shutdownRequested();
+}
+
+void
+SocketServer::listen()
+{
+    if (listenFd_ >= 0)
+        return;
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (path_.size() >= sizeof(addr.sun_path)) {
+        errno = ENAMETOOLONG;
+        socketError("socket path too long", path_);
+    }
+    std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        socketError("cannot create socket", path_);
+    ::unlink(path_.c_str()); // a stale socket file from a dead daemon
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr))
+        < 0) {
+        ::close(fd);
+        socketError("cannot bind", path_);
+    }
+    if (::listen(fd, 64) < 0) {
+        ::close(fd);
+        socketError("cannot listen on", path_);
+    }
+    listenFd_ = fd;
+}
+
+int64_t
+SocketServer::serve()
+{
+    listen();
+    int64_t accepted = 0;
+    while (!stopping()) {
+        pollfd pfd{listenFd_, POLLIN, 0};
+        const int rc = ::poll(&pfd, 1, 200);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (rc == 0 || !(pfd.revents & POLLIN))
+            continue;
+        const int conn = ::accept(listenFd_, nullptr, nullptr);
+        if (conn < 0)
+            continue;
+        ++accepted;
+        // Reap finished handlers so a long-lived daemon does not
+        // accumulate one parked thread per past connection.
+        joinHandlers(/*finishedOnly=*/true);
+        Handler h;
+        h.done = std::make_shared<std::atomic<bool>>(false);
+        auto done = h.done;
+        h.thread = std::thread([this, conn, done] {
+            handleConnection(conn);
+            done->store(true, std::memory_order_release);
+        });
+        std::lock_guard<std::mutex> lk(threadsMu_);
+        handlers_.push_back(std::move(h));
+    }
+    // Drain: connection handlers observe stopping() within one tick.
+    joinHandlers(/*finishedOnly=*/false);
+    return accepted;
+}
+
+void
+SocketServer::stop()
+{
+    stop_.store(true, std::memory_order_release);
+}
+
+void
+SocketServer::handleConnection(int fd)
+{
+    std::string buffer;
+    char chunk[16 * 1024];
+    bool open = true;
+    while (open) {
+        pollfd pfd{fd, POLLIN, 0};
+        const int rc = ::poll(&pfd, 1, 200);
+        if (rc < 0 && errno != EINTR)
+            break;
+        if (stopping() && rc <= 0)
+            break;
+        if (rc <= 0 || !(pfd.revents & (POLLIN | POLLHUP)))
+            continue;
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n <= 0)
+            break; // peer closed (or error): done
+        buffer.append(chunk, static_cast<size_t>(n));
+
+        // Every complete line available right now is one batch.
+        std::vector<std::string> lines;
+        size_t start = 0;
+        for (size_t nl = buffer.find('\n', start);
+             nl != std::string::npos;
+             nl = buffer.find('\n', start)) {
+            lines.emplace_back(buffer, start, nl - start);
+            start = nl + 1;
+        }
+        buffer.erase(0, start);
+        if (lines.empty())
+            continue;
+
+        std::vector<std::string> responses(lines.size());
+        if (lines.size() == 1) {
+            // The warm-cache fast path: no pool handoff.
+            responses[0] = service_.handleLine(lines[0]);
+        } else {
+            ThreadPool::global().run(
+                static_cast<int64_t>(lines.size()), [&](int64_t i) {
+                    responses[static_cast<size_t>(i)] =
+                        service_.handleLine(
+                            lines[static_cast<size_t>(i)]);
+                });
+        }
+        for (const std::string &resp : responses)
+            if (!writeAll(fd, resp + "\n")) {
+                open = false;
+                break;
+            }
+        if (service_.shutdownRequested())
+            break;
+    }
+    ::close(fd);
+}
+
+} // namespace service
+} // namespace graphene

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The unix-domain-socket transport of the compilation service.
+ *
+ * Wire format: newline-delimited JSON — clients write one
+ * graphene.request.v1 document per line and read one
+ * graphene.response.v1 document per line, in request order per
+ * connection.  Clients may pipeline: every complete line available in
+ * one read is executed as a batch on the shared support/thread_pool
+ * (a single line runs inline, keeping the warm-cache path free of
+ * handoff latency), and the responses are written back in order.
+ *
+ * Lifecycle: serve() blocks in a poll/accept loop (200 ms tick) until
+ * the service accepts a `shutdown` request or stop() is called, then
+ * joins every connection thread and removes the socket file.
+ * Connection handlers poll with the same tick so an idle client never
+ * delays shutdown.
+ */
+
+#ifndef GRAPHENE_SERVICE_SERVER_H
+#define GRAPHENE_SERVICE_SERVER_H
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/service.h"
+
+namespace graphene
+{
+namespace service
+{
+
+class SocketServer
+{
+  public:
+    SocketServer(CompileService &service, std::string socketPath);
+    ~SocketServer();
+
+    SocketServer(const SocketServer &) = delete;
+    SocketServer &operator=(const SocketServer &) = delete;
+
+    /**
+     * Bind and listen on the socket path (raises a diag on failure:
+     * "socket-path" for an over-long or unbindable path).  Must be
+     * called before serve(); separate so a host can confirm the
+     * socket exists before clients race to connect.
+     */
+    void listen();
+
+    /** Accept-and-dispatch until shutdown; returns the number of
+     *  connections served.  Calls listen() if not yet listening. */
+    int64_t serve();
+
+    /** Ask serve() to return (same effect as a `shutdown` request). */
+    void stop();
+
+    const std::string &socketPath() const { return path_; }
+
+  private:
+    /** One connection handler; `done` flips when the thread is about
+     *  to exit so the accept loop can join (reap) it cheaply. */
+    struct Handler
+    {
+        std::thread thread;
+        std::shared_ptr<std::atomic<bool>> done;
+    };
+
+    void handleConnection(int fd);
+    bool stopping() const;
+    void joinHandlers(bool finishedOnly);
+
+    CompileService &service_;
+    std::string path_;
+    int listenFd_ = -1;
+    std::atomic<bool> stop_{false};
+
+    std::mutex threadsMu_;
+    std::vector<Handler> handlers_;
+};
+
+} // namespace service
+} // namespace graphene
+
+#endif // GRAPHENE_SERVICE_SERVER_H

@@ -1,0 +1,650 @@
+#include "service/service.h"
+
+#include <functional>
+#include <utility>
+
+#include "baselines/engines.h"
+#include "codegen/cuda_emitter.h"
+#include "graph/graph.h"
+#include "graph/scheduler.h"
+#include "ir/printer.h"
+#include "ops/fmha.h"
+#include "ops/layernorm.h"
+#include "ops/ldmatrix_move.h"
+#include "ops/lstm.h"
+#include "ops/mlp.h"
+#include "ops/simple_gemm.h"
+#include "ops/tc_gemm.h"
+#include "runtime/device.h"
+#include "sim/sim_config.h"
+#include "support/check.h"
+#include "support/diag.h"
+#include "support/events.h"
+#include "tune/space.h"
+#include "tune/tuner.h"
+
+namespace graphene
+{
+namespace service
+{
+
+namespace
+{
+
+[[noreturn]] void
+reject(const std::string &code, const std::string &message)
+{
+    diag::Diagnostic d;
+    d.code = code;
+    d.message = message;
+    diag::raise(std::move(d));
+}
+
+const GpuArch &
+archOf(const std::string &name)
+{
+    if (name == "volta")
+        return GpuArch::volta();
+    if (name == "ampere")
+        return GpuArch::ampere();
+    reject("request-arch",
+           "unknown arch '" + name + "' (volta|ampere)");
+}
+
+ops::Epilogue
+epilogueOf(const std::string &name)
+{
+    if (name == "none")
+        return ops::Epilogue::None;
+    if (name == "bias")
+        return ops::Epilogue::Bias;
+    if (name == "relu")
+        return ops::Epilogue::Relu;
+    if (name == "bias+relu")
+        return ops::Epilogue::BiasRelu;
+    if (name == "bias+gelu")
+        return ops::Epilogue::BiasGelu;
+    reject("request-epilogue",
+           "unknown epilogue '" + name
+               + "' (none|bias|relu|bias+relu|bias+gelu)");
+}
+
+/** The resolved problem shape of a compile request: a 0 field takes
+ *  the same default the one-shot CLI uses, so `request --op gemm`
+ *  and `graphene-cli profile gemm` describe the same kernel. */
+struct ResolvedShape
+{
+    int64_t m, n, k, layers;
+};
+
+ResolvedShape
+resolveShape(const Request &req)
+{
+    ResolvedShape s;
+    s.m = req.m > 0 ? req.m : 1024;
+    s.n = req.n > 0 ? req.n : 1024;
+    s.k = req.k > 0 ? req.k : 1024;
+    s.layers = req.layers > 0 ? req.layers : 4;
+    return s;
+}
+
+/**
+ * Build the requested op kernel with virtual (timing-only) buffers —
+ * the exact config-construction path of the one-shot CLI's
+ * buildKernel(), so artifacts (IR text, CUDA C++) are byte-identical
+ * between the daemon and `graphene-cli print-ir`/`emit-cuda`.
+ */
+Kernel
+buildOpKernel(const Request &req, const GpuArch &arch, Device &dev,
+              const tune::TuningCache *tuned)
+{
+    const ResolvedShape s = resolveShape(req);
+    auto valloc = [&](const std::string &name, int64_t count) {
+        dev.allocateVirtual(name, ScalarType::Fp16, count);
+    };
+    auto applyTunedTo = [&](auto &cfg) {
+        if (tuned)
+            tune::applyTuned(*tuned, arch, cfg);
+    };
+    if (req.op == "simple-gemm") {
+        ops::SimpleGemmConfig cfg;
+        cfg.m = s.m;
+        cfg.n = s.n;
+        cfg.k = s.k;
+        valloc("%A", cfg.m * cfg.k);
+        valloc("%B", cfg.k * cfg.n);
+        valloc("%C", cfg.m * cfg.n);
+        return ops::buildSimpleGemm(cfg);
+    }
+    if (req.op == "gemm") {
+        ops::TcGemmConfig cfg =
+            baselines::heuristicGemmConfig(arch, s.m, s.n, s.k);
+        cfg.epilogue = epilogueOf(req.epilogue);
+        cfg.swizzle = req.swizzle;
+        applyTunedTo(cfg);
+        valloc("%A", s.m * s.k);
+        valloc("%B", s.k * s.n);
+        valloc("%C", s.m * s.n);
+        valloc("%bias", s.n);
+        return ops::buildTcGemm(arch, cfg);
+    }
+    if (req.op == "mlp") {
+        ops::FusedMlpConfig cfg;
+        cfg.m = s.m;
+        cfg.layers = s.layers;
+        cfg.swizzle = req.swizzle;
+        applyTunedTo(cfg);
+        valloc("%x", cfg.m * cfg.width);
+        valloc("%W", cfg.layers * cfg.width * cfg.width);
+        valloc("%b", cfg.layers * cfg.width);
+        valloc("%y", cfg.m * cfg.width);
+        return ops::buildFusedMlp(arch, cfg);
+    }
+    if (req.op == "lstm") {
+        ops::FusedLstmConfig cfg;
+        cfg.m = s.m;
+        cfg.n = s.n;
+        cfg.k = s.k;
+        cfg.swizzle = req.swizzle;
+        valloc("%x", cfg.m * cfg.k);
+        valloc("%h", cfg.m * cfg.k);
+        valloc("%Wx", cfg.k * cfg.n);
+        valloc("%Wh", cfg.k * cfg.n);
+        valloc("%bias", cfg.n);
+        valloc("%out", cfg.m * cfg.n);
+        return ops::buildFusedLstm(arch, cfg);
+    }
+    if (req.op == "fmha") {
+        ops::FmhaConfig cfg;
+        cfg.swizzle = req.swizzle;
+        applyTunedTo(cfg);
+        const int64_t elems =
+            cfg.batch * cfg.heads * cfg.seq * cfg.headDim;
+        for (const char *nm : {"%Q", "%K", "%V", "%O"})
+            valloc(nm, elems);
+        return ops::buildFusedFmha(arch, cfg);
+    }
+    if (req.op == "layernorm") {
+        ops::LayernormConfig cfg;
+        cfg.rows = s.m;
+        cfg.cols = s.n;
+        applyTunedTo(cfg);
+        valloc("%x", cfg.rows * cfg.cols);
+        valloc("%gamma", cfg.cols);
+        valloc("%beta", cfg.cols);
+        valloc("%y", cfg.rows * cfg.cols);
+        return ops::buildLayernormFused(arch, cfg);
+    }
+    if (req.op == "ldmatrix") {
+        valloc("%in", 256);
+        valloc("%out", 256);
+        return ops::buildLdmatrixMoveKernel();
+    }
+    reject("request-op",
+           "unknown op '" + req.op
+               + "' (simple-gemm|gemm|mlp|lstm|fmha|layernorm|"
+                 "ldmatrix)");
+}
+
+json::Value
+diagnosticsToJson(const std::vector<diag::Diagnostic> &diags)
+{
+    json::Value arr = json::Value::array();
+    for (const diag::Diagnostic &d : diags) {
+        json::Value o = json::Value::object();
+        o["severity"] = diag::severityName(d.severity);
+        o["code"] = d.code;
+        o["message"] = d.message;
+        if (!d.provenance.empty())
+            o["provenance"] = d.provenance;
+        arr.push(std::move(o));
+    }
+    return arr;
+}
+
+} // namespace
+
+CompileService::CompileService(ServiceOptions opts)
+    : opts_(std::move(opts))
+{
+    if (!opts_.tuneCachePath.empty())
+        tuneCache_ = tune::TuningCache::load(opts_.tuneCachePath);
+}
+
+CompileService::Shard &
+CompileService::shardFor(const std::string &key)
+{
+    // FNV-1a over the key; any stable spread works, reuse the tuner's.
+    const std::string hex = tune::fnv1aHex(key);
+    // Low hex nibble of the digest picks one of the 16 shards.
+    const char c = hex.empty() ? '0' : hex.back();
+    const int idx = c >= 'a' ? 10 + (c - 'a') : c - '0';
+    return shards_[idx & (kShards - 1)];
+}
+
+std::shared_ptr<const CompileService::Entry>
+CompileService::memoize(const std::string &key,
+                        const std::function<json::Value()> &compute,
+                        bool *cached)
+{
+    Shard &sh = shardFor(key);
+    std::shared_ptr<Entry> entry;
+    bool owner = false;
+    {
+        std::unique_lock<std::mutex> lk(sh.mu);
+        auto it = sh.entries.find(key);
+        if (it == sh.entries.end()) {
+            entry = std::make_shared<Entry>();
+            sh.entries.emplace(key, entry);
+            owner = true;
+        } else {
+            entry = it->second;
+        }
+        if (!owner) {
+            // Single-flight: ride the in-progress (or finished)
+            // computation.  Waiting on a Pending entry still counts
+            // as a hit — the compile ran once for all of us.
+            sh.cv.wait(lk, [&] {
+                return entry->state != Entry::State::Pending;
+            });
+            *cached = true;
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            return entry;
+        }
+    }
+
+    *cached = false;
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    inFlight_.fetch_add(1, std::memory_order_relaxed);
+    std::string payloadText, code, message;
+    bool ok = true;
+    try {
+        payloadText = compute().dump(0);
+    } catch (const InternalError &e) {
+        ok = false;
+        code = "internal";
+        message = e.what();
+    } catch (const Error &e) {
+        ok = false;
+        code = "error";
+        message = e.what();
+    } catch (const std::exception &e) {
+        ok = false;
+        code = "exception";
+        message = e.what();
+    }
+    inFlight_.fetch_sub(1, std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lk(sh.mu);
+        if (ok) {
+            entry->payloadText = std::move(payloadText);
+            entry->state = Entry::State::Ready;
+        } else {
+            entry->code = std::move(code);
+            entry->message = std::move(message);
+            entry->state = Entry::State::Failed;
+        }
+    }
+    sh.cv.notify_all();
+    return entry;
+}
+
+void
+CompileService::invalidateTuned()
+{
+    for (Shard &sh : shards_) {
+        std::lock_guard<std::mutex> lk(sh.mu);
+        for (auto it = sh.entries.begin(); it != sh.entries.end();) {
+            const bool tunedKey =
+                it->first.find("|tuned=1") != std::string::npos;
+            // Pending entries stay: their owner is mid-compute and
+            // waiters are parked on the shard cv; erasing the slot
+            // would fork the single flight.
+            if (tunedKey
+                && it->second->state != Entry::State::Pending)
+                it = sh.entries.erase(it);
+            else
+                ++it;
+        }
+    }
+}
+
+json::Value
+CompileService::runCompile(const Request &req)
+{
+    const GpuArch &arch = archOf(req.arch);
+    tune::TuningCache snapshot;
+    if (req.tuned) {
+        std::lock_guard<std::mutex> lk(tuneMu_);
+        snapshot = tuneCache_;
+    }
+    Device dev(arch);
+    Kernel kernel = [&] {
+        events::Span span("decompose");
+        return buildOpKernel(req, arch, dev,
+                             req.tuned ? &snapshot : nullptr);
+    }();
+    sim::KernelProfile prof;
+    {
+        events::Span span("execute");
+        prof = dev.launch(kernel, LaunchMode::Timing);
+    }
+
+    const ResolvedShape s = resolveShape(req);
+    json::Value result = json::Value::object();
+    result["op"] = req.op;
+    result["arch"] = arch.name;
+    json::Value shape = json::Value::object();
+    shape["m"] = s.m;
+    shape["n"] = s.n;
+    shape["k"] = s.k;
+    shape["layers"] = s.layers;
+    result["shape"] = std::move(shape);
+    result["epilogue"] = req.epilogue;
+    result["swizzle"] = req.swizzle;
+    result["tuned"] = req.tuned;
+    json::Value launch = json::Value::object();
+    launch["kernel"] = kernel.name();
+    launch["grid"] = kernel.gridSize();
+    launch["block"] = kernel.blockSize();
+    launch["smem_bytes"] = kernel.sharedMemoryBytes();
+    result["launch"] = std::move(launch);
+    // Every artifact is computed and memoized regardless of the
+    // request's filter — the filter is applied at response-assembly
+    // time, so requests that differ only in `artifacts` share one
+    // compile (and one cache entry).
+    result["sim_us"] = prof.timing.timeUs;
+    result["bound_by"] = prof.timing.boundBy;
+    result["waves"] = prof.timing.waves;
+    result["ir"] = printKernel(kernel);
+    result["cuda"] = emitCuda(kernel, arch);
+    return result;
+}
+
+json::Value
+CompileService::runSchedule(const Request &req)
+{
+    if (!req.graph.isObject())
+        reject("request-graph",
+               "schedule requests carry an inline graphene.graph.v1 "
+               "object in field 'graph'");
+    const GpuArch &arch = archOf(req.arch);
+    graph::Graph g;
+    {
+        events::Span span("parse");
+        g = graph::Graph::fromJson(req.graph);
+    }
+    tune::TuningCache snapshot;
+    graph::ScheduleOptions sopts;
+    if (req.tuned) {
+        std::lock_guard<std::mutex> lk(tuneMu_);
+        snapshot = tuneCache_;
+        sopts.tuned = &snapshot;
+    }
+    graph::Schedule sched;
+    {
+        events::Span span("schedule");
+        sched = graph::scheduleGraph(g, arch, sopts);
+    }
+    json::Value result = json::Value::object();
+    result["graph"] = g.name;
+    result["arch"] = arch.name;
+    result["scheduled_us"] = sched.scheduledUs;
+    result["unfused_us"] = sched.unfusedUs;
+    result["scheduled_kernels"] = sched.scheduledKernels;
+    result["unfused_kernels"] = sched.unfusedKernels;
+    result["schedule"] = graph::scheduleToJson(g, sched);
+    return result;
+}
+
+json::Value
+CompileService::runTune(const Request &req)
+{
+    const GpuArch &arch = archOf(req.arch);
+    tune::ProblemShape shape;
+    shape.m = req.m;
+    shape.n = req.n;
+    shape.k = req.k;
+    shape.layers = req.layers;
+    const tune::TunableSpace space =
+        tune::buildTunableSpace(req.op, arch, shape);
+    if (space.candidates.empty())
+        reject("request-op",
+               "no tunable space registered for op '" + req.op
+                   + "' (tc-gemm|layernorm|mlp|fmha)");
+
+    json::Value result = json::Value::object();
+    result["op"] = space.op;
+    result["arch"] = space.archName;
+    result["shape"] = space.shape;
+    result["space_hash"] = space.spaceHash;
+    result["space_size"] =
+        static_cast<int64_t>(space.candidates.size());
+
+    // A fresh persistent entry (same space hash) short-circuits the
+    // search: the daemon answers tune requests it has already solved
+    // — across restarts, when a cache path is configured — at memo
+    // speed.
+    {
+        std::lock_guard<std::mutex> lk(tuneMu_);
+        const json::Value *have = tuneCache_.find(
+            space.op, space.archName, space.shape, space.spaceHash);
+        if (have) {
+            result["cache_hit"] = true;
+            result["best"] = have->at("best");
+            return result;
+        }
+    }
+
+    tune::TuneOptions topts;
+    topts.budget = static_cast<int>(
+        req.budget > 0 ? req.budget : opts_.tuneBudget);
+    topts.threads = sim::defaultThreads();
+    const tune::TuneResult res = tune::runTune(space, arch, topts);
+    {
+        std::lock_guard<std::mutex> lk(tuneMu_);
+        tuneCache_.put(res);
+        if (!opts_.tuneCachePath.empty())
+            tuneCache_.save(opts_.tuneCachePath);
+    }
+    // Memoized tuned=1 compiles were built against the old best
+    // params; drop them so the next request recompiles.
+    invalidateTuned();
+
+    result["cache_hit"] = false;
+    result["evaluated"] = res.evaluated;
+    json::Value best = json::Value::object();
+    best["params"] = tune::paramsToJson(res.best.params);
+    best["sim_us"] = res.best.simUs;
+    best["bound_by"] = res.best.boundBy;
+    result["best"] = std::move(best);
+    json::Value dflt = json::Value::object();
+    dflt["params"] = tune::paramsToJson(res.defaultResult.params);
+    dflt["sim_us"] = res.defaultResult.simUs;
+    result["default"] = std::move(dflt);
+    return result;
+}
+
+json::Value
+CompileService::statsToJson() const
+{
+    const ServiceStats s = stats();
+    json::Value o = json::Value::object();
+    o["requests"] = s.requests;
+    o["hits"] = s.hits;
+    o["misses"] = s.misses;
+    o["errors"] = s.errors;
+    o["in_flight"] = s.inFlight;
+    json::Value shards = json::Value::array();
+    for (int64_t n : s.shardEntries)
+        shards.push(n);
+    o["shard_entries"] = std::move(shards);
+    {
+        std::lock_guard<std::mutex> lk(tuneMu_);
+        o["tune_entries"] = static_cast<int64_t>(tuneCache_.size());
+    }
+    return o;
+}
+
+ServiceStats
+CompileService::stats() const
+{
+    ServiceStats s;
+    s.requests = requests_.load(std::memory_order_relaxed);
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.errors = errors_.load(std::memory_order_relaxed);
+    s.inFlight = inFlight_.load(std::memory_order_relaxed);
+    for (const Shard &sh : shards_) {
+        std::lock_guard<std::mutex> lk(sh.mu);
+        s.shardEntries.push_back(
+            static_cast<int64_t>(sh.entries.size()));
+    }
+    return s;
+}
+
+bool
+CompileService::shutdownRequested() const
+{
+    return shutdown_.load(std::memory_order_acquire);
+}
+
+std::string
+CompileService::handleToText(const json::Value &doc)
+{
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    Request req;
+    try {
+        req = Request::fromJson(doc);
+    } catch (const std::exception &e) {
+        // Best-effort id echo for the malformed document.
+        if (doc.isObject() && doc.contains("id")
+            && doc.at("id").isString())
+            req.id = doc.at("id").asString();
+        req.verb = "";
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        return makeErrorResponse(req, "bad-request", e.what()).dump(0);
+    }
+
+    if (req.verb == "ping")
+        return makeResponse(req, true).dump(0);
+    if (req.verb == "stats") {
+        json::Value resp = makeResponse(req, true);
+        resp["stats"] = statsToJson();
+        return resp.dump(0);
+    }
+    if (req.verb == "shutdown") {
+        shutdown_.store(true, std::memory_order_release);
+        json::Value resp = makeResponse(req, true);
+        resp["stopping"] = true;
+        return resp.dump(0);
+    }
+
+    const std::string key = req.cacheKey();
+    bool cached = false;
+    std::shared_ptr<const Entry> entry =
+        memoize(key, [&]() -> json::Value {
+            // Per-request isolation: warnings/notes collect into the
+            // response, library events land in a request-local log,
+            // and the block simulator runs single-threaded (the pool
+            // parallelizes across requests instead).
+            events::EventLog log;
+            log.setDeterministic(true);
+            events::ScopedLog scopedLog(log);
+            sim::ScopedThreads scopedThreads(opts_.requestThreads);
+            diag::Collector collector;
+
+            json::Value result;
+            if (req.verb == "schedule")
+                result = runSchedule(req);
+            else if (req.verb == "tune")
+                result = runTune(req);
+            else
+                result = runCompile(req);
+
+            // The graceful-degradation report() sites collect their
+            // errors instead of throwing; surface them as a failure.
+            for (const diag::Diagnostic &d : collector.all())
+                if (d.severity == diag::Severity::Error)
+                    throw Error(d.str());
+            if (!collector.all().empty())
+                result["diagnostics"] =
+                    diagnosticsToJson(collector.all());
+            result["counters"] = log.countersToJson();
+            return result;
+        }, &cached);
+
+    if (entry->state == Entry::State::Failed) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        json::Value resp =
+            makeErrorResponse(req, entry->code, entry->message);
+        resp["cached"] = cached;
+        resp["key"] = key;
+        return resp.dump(0);
+    }
+    // An artifact filter prunes the payload at assembly time (a
+    // parse + refilter; rare — `request --print` traffic).
+    if (!req.artifacts.empty()) {
+        const json::Value full =
+            json::Value::parse(entry->payloadText);
+        json::Value result = json::Value::object();
+        for (const auto &kv : full.fields()) {
+            // Map payload fields back to their artifact group; every
+            // non-artifact field always travels.
+            const std::string &f = kv.first;
+            const char *group = (f == "ir")     ? "ir"
+                : (f == "cuda")                 ? "cuda"
+                : (f == "sim_us" || f == "bound_by" || f == "waves")
+                ? "timing"
+                : nullptr;
+            if (!group || req.wantsArtifact(group))
+                result[f] = kv.second;
+        }
+        json::Value resp = makeResponse(req, true);
+        resp["cached"] = cached;
+        resp["key"] = key;
+        resp["result"] = std::move(result);
+        return resp.dump(0);
+    }
+    // Hot path: splice the pre-serialized payload into the envelope.
+    // Field order matches makeResponse so cached and computed
+    // responses differ only in the "cached" flag.
+    std::string out = "{\"schema\":";
+    out += json::quote(schemas::kResponse);
+    out += ",\"id\":";
+    out += json::quote(req.id);
+    out += ",\"verb\":";
+    out += json::quote(req.verb);
+    out += ",\"ok\":true,\"cached\":";
+    out += cached ? "true" : "false";
+    out += ",\"key\":";
+    out += json::quote(key);
+    out += ",\"result\":";
+    out += entry->payloadText;
+    out += "}";
+    return out;
+}
+
+json::Value
+CompileService::handle(const json::Value &doc)
+{
+    return json::Value::parse(handleToText(doc));
+}
+
+std::string
+CompileService::handleLine(const std::string &line)
+{
+    json::Value doc;
+    try {
+        doc = json::Value::parse(line);
+    } catch (const std::exception &e) {
+        Request req;
+        req.verb = "";
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        return makeErrorResponse(req, "bad-json", e.what()).dump(0);
+    }
+    return handleToText(doc);
+}
+
+} // namespace service
+} // namespace graphene

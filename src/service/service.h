@@ -1,0 +1,167 @@
+/**
+ * @file
+ * The compilation service core: request execution, the sharded
+ * single-flight plan/tune memo, and the persistent tuning cache
+ * behind it.  Transport-independent — the unix-socket server
+ * (service/server.h), the `request` CLI verb, and the tests all drive
+ * the same CompileService::handle entry point.
+ *
+ * Concurrency model.  handle() is safe to call from any number of
+ * threads at once.  Results are memoized in a sharded in-memory cache
+ * keyed by Request::cacheKey() — (verb, op, arch, shape, options,
+ * tuned) — with single-flight deduplication: N concurrent requests
+ * for the same key block on one computation and all observe its
+ * result (the N-1 waiters count as cache hits).  Failures are
+ * negatively cached under the same discipline, so a poisoned request
+ * storm compiles (and fails) once.
+ *
+ * Isolation model.  Each computed request runs under a per-request
+ * diag::Collector (warnings/notes captured into the response instead
+ * of process state), a per-request events::ScopedLog (library event
+ * counters land in the response's "counters" object), and
+ * sim::ScopedThreads(1) (block-level simulator parallelism is
+ * replaced by request-level parallelism across pool threads).
+ *
+ * Tuning.  `tune` requests search the op's config space and
+ * write-through to the daemon's graphene.tune.v1 cache (persisted to
+ * ServiceOptions::tuneCachePath when set); a fresh persistent entry
+ * (matching space hash) short-circuits the search.  A completed tune
+ * invalidates memoized `tuned=1` compile entries so later compiles
+ * observe the new best-found config.
+ */
+
+#ifndef GRAPHENE_SERVICE_SERVICE_H
+#define GRAPHENE_SERVICE_SERVICE_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "service/protocol.h"
+#include "support/json.h"
+#include "tune/cache.h"
+
+namespace graphene
+{
+namespace service
+{
+
+struct ServiceOptions
+{
+    /** graphene.tune.v1 cache to preload and write-through ("" =
+     *  in-memory only). */
+    std::string tuneCachePath;
+    /** Default timed-simulation budget for `tune` requests that do
+     *  not set one. */
+    int64_t tuneBudget = 16;
+    /** Simulator worker threads per request (see file comment). */
+    int requestThreads = 1;
+};
+
+/** A point-in-time snapshot of the daemon's counters. */
+struct ServiceStats
+{
+    int64_t requests = 0;  // total requests handled
+    int64_t hits = 0;      // answered from the memo (incl. waiters)
+    int64_t misses = 0;    // computed fresh
+    int64_t errors = 0;    // failed responses (incl. cached failures)
+    int64_t inFlight = 0;  // computations running right now
+    std::vector<int64_t> shardEntries; // memo occupancy per shard
+};
+
+class CompileService
+{
+  public:
+    static constexpr int kShards = 16;
+
+    explicit CompileService(ServiceOptions opts = ServiceOptions());
+
+    /** Execute one request document; always returns a
+     *  graphene.response.v1 document (never throws). */
+    json::Value handle(const json::Value &request);
+
+    /** Parse one wire line, execute it, serialize the response as one
+     *  compact line (no trailing newline).  This is the hot path: a
+     *  memo hit splices the entry's pre-serialized payload into the
+     *  response envelope without ever materializing a document. */
+    std::string handleLine(const std::string &line);
+
+    /** True once a `shutdown` request was accepted. */
+    bool shutdownRequested() const;
+
+    ServiceStats stats() const;
+
+    const ServiceOptions &options() const { return opts_; }
+
+  private:
+    /** One memo slot; lives under its shard's mutex except for the
+     *  owner's unlocked compute window. */
+    struct Entry
+    {
+        enum class State
+        {
+            Pending,
+            Ready,  // payloadText holds the serialized response body
+            Failed, // code/message hold the structured error
+        };
+        State state = State::Pending;
+        /** The result object, pre-serialized (compact) by the owner
+         *  so hits splice bytes instead of deep-copying a tree. */
+        std::string payloadText;
+        std::string code;
+        std::string message;
+    };
+
+    struct Shard
+    {
+        mutable std::mutex mu;
+        std::condition_variable cv;
+        std::map<std::string, std::shared_ptr<Entry>> entries;
+    };
+
+    Shard &shardFor(const std::string &key);
+
+    /**
+     * The single-flight memo: look up @p key; the first caller
+     * computes via @p compute (unlocked), everyone else blocks until
+     * the entry resolves.  @p cached reports whether this caller was
+     * served from the memo.
+     */
+    std::shared_ptr<const Entry>
+    memoize(const std::string &key,
+            const std::function<json::Value()> &compute, bool *cached);
+
+    /** Drop resolved `tuned=1` compile/schedule entries (post-tune). */
+    void invalidateTuned();
+
+    /** The shared implementation: returns the response as one compact
+     *  serialized line. */
+    std::string handleToText(const json::Value &request);
+
+    json::Value runCompile(const Request &req);
+    json::Value runSchedule(const Request &req);
+    json::Value runTune(const Request &req);
+    json::Value statsToJson() const;
+
+    ServiceOptions opts_;
+    Shard shards_[kShards];
+
+    /** Guards tuneCache_ (lookups copy, tune write-through mutates). */
+    mutable std::mutex tuneMu_;
+    tune::TuningCache tuneCache_;
+
+    std::atomic<bool> shutdown_{false};
+    mutable std::atomic<int64_t> requests_{0}, hits_{0}, misses_{0},
+        errors_{0}, inFlight_{0};
+};
+
+} // namespace service
+} // namespace graphene
+
+#endif // GRAPHENE_SERVICE_SERVICE_H

@@ -13,12 +13,26 @@ namespace
 {
 std::atomic<int> gThreads{0};
 std::atomic<bool> gUsePlan{true};
+/** Innermost ScopedThreads override of this thread; <0 = none. */
+thread_local int tlThreads = -1;
 } // namespace
 
 int
 defaultThreads()
 {
+    if (tlThreads >= 0)
+        return tlThreads;
     return gThreads.load(std::memory_order_relaxed);
+}
+
+ScopedThreads::ScopedThreads(int threads) : prev_(tlThreads)
+{
+    tlThreads = threads < 0 ? 0 : threads;
+}
+
+ScopedThreads::~ScopedThreads()
+{
+    tlThreads = prev_;
 }
 
 void

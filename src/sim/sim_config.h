@@ -18,9 +18,30 @@ namespace sim
 {
 
 /** Default worker count for parallel block execution; 0 = auto
- *  (hardware concurrency). */
+ *  (hardware concurrency).  Returns the innermost ScopedThreads
+ *  override of the calling thread when one is active. */
 int defaultThreads();
 void setDefaultThreads(int threads);
+
+/**
+ * RAII thread-local override of defaultThreads(): while alive, new
+ * Executors constructed on this thread snapshot @p threads instead of
+ * the process default.  The compilation service wraps each request in
+ * ScopedThreads(1) so N concurrent requests occupy N pool slots
+ * instead of N×cores — request-level parallelism replaces block-level
+ * parallelism.  Nestable; restores the previous override on exit.
+ */
+class ScopedThreads
+{
+  public:
+    explicit ScopedThreads(int threads);
+    ~ScopedThreads();
+    ScopedThreads(const ScopedThreads &) = delete;
+    ScopedThreads &operator=(const ScopedThreads &) = delete;
+
+  private:
+    int prev_;
+};
 
 /** Whether new executors compile launch plans (true) or interpret the
  *  IR tree directly (false, the `--no-plan` fallback). */

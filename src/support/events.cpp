@@ -148,6 +148,28 @@ global()
     return log;
 }
 
+namespace
+{
+/** Innermost ScopedLog override of this thread (null = global()). */
+thread_local EventLog *tlCurrent = nullptr;
+} // namespace
+
+EventLog &
+current()
+{
+    return tlCurrent != nullptr ? *tlCurrent : global();
+}
+
+ScopedLog::ScopedLog(EventLog &log) : prev_(tlCurrent)
+{
+    tlCurrent = &log;
+}
+
+ScopedLog::~ScopedLog()
+{
+    tlCurrent = prev_;
+}
+
 Span::Span(const std::string &phase, EventLog &log)
     : log_(log), id_(log.beginSpan(phase))
 {

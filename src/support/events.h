@@ -108,11 +108,38 @@ class EventLog
 /** The process-wide log every subsystem reports to by default. */
 EventLog &global();
 
-/** RAII phase span on the global log. */
+/**
+ * The log the calling thread should report to: the innermost
+ * ScopedLog override, or global() when none is active.  Library code
+ * (device launches, the scheduler, the tuner) reports here so a host
+ * — e.g. the compilation service — can capture one request's events
+ * in isolation instead of interleaving them into process state.
+ */
+EventLog &current();
+
+/**
+ * RAII thread-local log override: while alive, current() on this
+ * thread returns @p log.  Nestable; restores the previous override on
+ * destruction.  The override is per-thread — work handed to other
+ * threads (pool workers) still reports to their current() log.
+ */
+class ScopedLog
+{
+  public:
+    explicit ScopedLog(EventLog &log);
+    ~ScopedLog();
+    ScopedLog(const ScopedLog &) = delete;
+    ScopedLog &operator=(const ScopedLog &) = delete;
+
+  private:
+    EventLog *prev_;
+};
+
+/** RAII phase span on the thread's current log. */
 class Span
 {
   public:
-    explicit Span(const std::string &phase, EventLog &log = global());
+    explicit Span(const std::string &phase, EventLog &log = current());
     ~Span();
     Span(const Span &) = delete;
     Span &operator=(const Span &) = delete;

@@ -53,6 +53,14 @@ inline constexpr const char *kGraphProfile = "graphene.graphprofile.v1";
  *  (metrics --json, embedded in profile --json). */
 inline constexpr const char *kMetrics = "graphene.metrics.v1";
 
+/** One compilation-service request line (newline-delimited JSON over
+ *  the unix socket; `request` CLI verb, bench_service). */
+inline constexpr const char *kRequest = "graphene.request.v1";
+
+/** One compilation-service response line (the daemon's answer to a
+ *  kRequest; carries artifacts, cache state, or a structured error). */
+inline constexpr const char *kResponse = "graphene.response.v1";
+
 } // namespace schemas
 } // namespace graphene
 

@@ -17,20 +17,51 @@ ThreadPool::ThreadPool(int workers)
 
 ThreadPool::~ThreadPool()
 {
+    shutdown();
+}
+
+void
+ThreadPool::shutdown()
+{
     {
         std::lock_guard<std::mutex> lk(mutex_);
+        if (stop_)
+            return;
         stop_ = true;
     }
     wake_.notify_all();
     for (auto &w : workers_)
         w.join();
+    workers_.clear();
 }
+
+bool
+ThreadPool::isShutdown() const
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    return stop_;
+}
+
+namespace
+{
+/** Worker-count hint consumed by global()'s first construction. */
+std::atomic<int> gGlobalWorkers{-1};
+} // namespace
 
 ThreadPool &
 ThreadPool::global()
 {
-    static ThreadPool pool;
+    static ThreadPool pool([] {
+        const int hint = gGlobalWorkers.load(std::memory_order_relaxed);
+        return hint >= 0 ? hint : hardwareThreads() - 1;
+    }());
     return pool;
+}
+
+void
+ThreadPool::setGlobalWorkers(int workers)
+{
+    gGlobalWorkers.store(workers, std::memory_order_relaxed);
 }
 
 int
@@ -50,41 +81,59 @@ ThreadPool::run(int64_t n, const std::function<void(int64_t)> &fn)
     job->fn = &fn;
     job->pending.store(n, std::memory_order_relaxed);
     job->errors.resize(static_cast<size_t>(n));
+    bool queued = false;
     {
         std::lock_guard<std::mutex> lk(mutex_);
-        job_ = job;
-        ++generation_;
+        // After shutdown (or with zero workers) nobody would ever pick
+        // the job up, so skip the queue entirely: the caller runs every
+        // task inline below and the wait degenerates to a no-op.
+        if (!stop_ && !workers_.empty()) {
+            queue_.push_back(job);
+            queued = true;
+        }
     }
-    wake_.notify_all();
+    if (queued)
+        wake_.notify_all();
     runTasks(*job);
-    {
+    if (queued) {
         std::unique_lock<std::mutex> lk(mutex_);
         idle_.wait(lk, [&] {
             return job->pending.load(std::memory_order_acquire) == 0;
         });
-        if (job_ == job)
-            job_ = nullptr;
+        const auto it = std::find(queue_.begin(), queue_.end(), job);
+        if (it != queue_.end())
+            queue_.erase(it);
     }
     for (auto &err : job->errors)
         if (err)
             std::rethrow_exception(err);
 }
 
+/** First queued job with unclaimed tasks (caller must hold mutex_). */
+std::shared_ptr<ThreadPool::Job>
+ThreadPool::claimableLocked() const
+{
+    for (const auto &job : queue_)
+        if (job->next.load(std::memory_order_relaxed) < job->n)
+            return job;
+    return nullptr;
+}
+
 void
 ThreadPool::workerLoop()
 {
-    uint64_t seenGeneration = 0;
     for (;;) {
         std::shared_ptr<Job> job;
         {
             std::unique_lock<std::mutex> lk(mutex_);
             wake_.wait(lk, [&] {
-                return stop_ || (job_ && generation_ != seenGeneration);
+                return stop_ || claimableLocked() != nullptr;
             });
             if (stop_)
-                return;
-            seenGeneration = generation_;
-            job = job_;
+                return; // unclaimed tasks are finished by their caller
+            job = claimableLocked();
+            if (!job)
+                continue; // raced with another worker; re-wait
         }
         runTasks(*job);
     }

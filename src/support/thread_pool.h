@@ -1,19 +1,24 @@
 /**
  * @file
- * A minimal persistent host thread pool for the simulator's parallel
- * block execution.
+ * A persistent host thread pool for the simulator's parallel block
+ * execution and the compilation service's request handling.
  *
- * Semantics are deliberately narrow: run(n, fn) executes fn(0..n-1)
- * with the *caller participating*, blocks until every task finished,
- * and rethrows the exception of the lowest-indexed failed task.  Tasks
- * are claimed from an atomic counter, so n may exceed the worker count
- * (tasks queue implicitly).  Determinism is the caller's contract: the
- * simulator shards blocks into contiguous per-task ranges keyed by the
+ * Semantics: run(n, fn) executes fn(0..n-1) with the *caller
+ * participating*, blocks until every task finished, and rethrows the
+ * exception of the lowest-indexed failed task.  Tasks are claimed from
+ * an atomic counter, so n may exceed the worker count (tasks queue
+ * implicitly).  Determinism is the caller's contract: the simulator
+ * shards blocks into contiguous per-task ranges keyed by the
  * *requested* thread count, never by the physical worker count, so
  * results do not depend on the machine.
  *
- * run() is not reentrant and must be driven from one thread at a time
- * (the simulator's launch path is single-threaded).
+ * Concurrency: run() may be driven from any number of threads at once,
+ * including from a task running inside this very pool (nested jobs) —
+ * concurrent jobs queue and share the workers, and every caller helps
+ * execute its own job so forward progress never depends on a free
+ * worker.  After shutdown() (or during destruction) run() degrades to
+ * inline execution on the calling thread instead of failing, so
+ * late-arriving work during teardown completes instead of crashing.
  */
 
 #ifndef GRAPHENE_SUPPORT_THREAD_POOL_H
@@ -22,6 +27,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
@@ -49,6 +55,14 @@ class ThreadPool
     /** Process-wide shared pool (lazily constructed). */
     static ThreadPool &global();
 
+    /**
+     * Size hint for global(): the first global() call constructs the
+     * pool with @p workers background threads instead of the hardware
+     * default (`serve --threads N`).  A no-op once the global pool
+     * exists; negative restores the default.
+     */
+    static void setGlobalWorkers(int workers);
+
     /** max(1, std::thread::hardware_concurrency()). */
     static int hardwareThreads();
 
@@ -57,9 +71,22 @@ class ThreadPool
     /**
      * Run fn(i) for i in [0, n); the caller participates and the call
      * returns only when all tasks completed.  If tasks threw, the
-     * exception of the lowest task index is rethrown.
+     * exception of the lowest task index is rethrown.  Safe to call
+     * concurrently from multiple threads and from inside pool tasks;
+     * after shutdown() the tasks execute inline on the caller.
      */
     void run(int64_t n, const std::function<void(int64_t)> &fn);
+
+    /**
+     * Stop and join the workers (idempotent).  In-flight jobs finish
+     * first — their callers participate until completion — and later
+     * run() calls execute inline.  Must not be called from a pool
+     * task.
+     */
+    void shutdown();
+
+    /** True once shutdown() has been requested. */
+    bool isShutdown() const;
 
   private:
     struct Job
@@ -73,12 +100,14 @@ class ThreadPool
 
     void workerLoop();
     void runTasks(Job &job);
+    std::shared_ptr<Job> claimableLocked() const;
 
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
     std::condition_variable wake_;
     std::condition_variable idle_;
-    std::shared_ptr<Job> job_;
-    uint64_t generation_ = 0;
+    /** Jobs with unclaimed or unfinished tasks, in arrival order.
+     *  Each run() call removes its own job once it completed. */
+    std::deque<std::shared_ptr<Job>> queue_;
     bool stop_ = false;
     std::vector<std::thread> workers_;
 };

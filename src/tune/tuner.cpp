@@ -227,7 +227,7 @@ runTune(const TunableSpace &space, const GpuArch &arch,
     // Search trace: counters plus one "tune.candidate" event per
     // candidate.  Emitted here, after the parallel stages, in index
     // order — the event log is byte-identical for any worker count.
-    events::EventLog &log = events::global();
+    events::EventLog &log = events::current();
     log.add("tune.space", n);
     log.add("tune.pruned_invalid", invalid);
     log.add("tune.pruned_lint", lintRejected);

@@ -1,0 +1,403 @@
+/**
+ * @file
+ * Tests for the compilation service (src/service): protocol
+ * round-trip and validation, cache-key canonicalization, single-flight
+ * deduplication (N concurrent requests compile once), per-request
+ * diagnostic isolation, negative caching of failures, the
+ * artifact-filter/memo interaction, stats correctness, persistent
+ * tune-cache write-through across daemon instances, and one full
+ * unix-socket round trip through SocketServer/ServiceClient.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/client.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "service/service.h"
+#include "support/check.h"
+#include "support/json.h"
+
+namespace graphene
+{
+namespace service
+{
+namespace
+{
+
+json::Value
+compileDoc(const std::string &op, int64_t m, int64_t n, int64_t k)
+{
+    Request r;
+    r.verb = "compile";
+    r.op = op;
+    r.m = m;
+    r.n = n;
+    r.k = k;
+    return r.toJson();
+}
+
+// ---------------------------------------------------------------------
+// Protocol
+
+TEST(ServiceProtocolTest, RequestRoundTripsThroughJson)
+{
+    Request r;
+    r.id = "abc";
+    r.verb = "compile";
+    r.op = "gemm";
+    r.arch = "volta";
+    r.m = 512;
+    r.n = 256;
+    r.k = 128;
+    r.epilogue = "relu";
+    r.swizzle = false;
+    r.tuned = true;
+    r.artifacts = {"cuda", "timing"};
+
+    const Request back = Request::fromJson(r.toJson());
+    EXPECT_EQ(back.id, "abc");
+    EXPECT_EQ(back.verb, "compile");
+    EXPECT_EQ(back.op, "gemm");
+    EXPECT_EQ(back.arch, "volta");
+    EXPECT_EQ(back.m, 512);
+    EXPECT_EQ(back.n, 256);
+    EXPECT_EQ(back.k, 128);
+    EXPECT_EQ(back.epilogue, "relu");
+    EXPECT_FALSE(back.swizzle);
+    EXPECT_TRUE(back.tuned);
+    ASSERT_EQ(back.artifacts.size(), 2u);
+    EXPECT_TRUE(back.wantsArtifact("cuda"));
+    EXPECT_TRUE(back.wantsArtifact("timing"));
+    EXPECT_FALSE(back.wantsArtifact("ir"));
+    EXPECT_EQ(back.cacheKey(), r.cacheKey());
+}
+
+TEST(ServiceProtocolTest, RejectsBadSchemaVerbAndFieldTypes)
+{
+    json::Value doc = json::Value::object();
+    doc["schema"] = "graphene.bench.v1";
+    EXPECT_THROW(Request::fromJson(doc), Error);
+
+    doc["schema"] = Request::kSchema;
+    doc["verb"] = "explode";
+    EXPECT_THROW(Request::fromJson(doc), Error);
+
+    doc["verb"] = "compile";
+    doc["m"] = "not-a-number";
+    EXPECT_THROW(Request::fromJson(doc), Error);
+}
+
+TEST(ServiceProtocolTest, CacheKeyIgnoresIdAndArtifacts)
+{
+    Request a;
+    a.op = "simple-gemm";
+    a.m = a.n = a.k = 256;
+    Request b = a;
+    b.id = "different";
+    b.artifacts = {"ir"};
+    // The artifact filter is response-assembly-only: requests that
+    // differ only in id/artifacts must share one compile.
+    EXPECT_EQ(a.cacheKey(), b.cacheKey());
+
+    b.k = 512;
+    EXPECT_NE(a.cacheKey(), b.cacheKey());
+}
+
+TEST(ServiceProtocolTest, ScheduleKeyDigestsTheGraphDocument)
+{
+    Request a;
+    a.verb = "schedule";
+    a.graph = json::Value::parse(
+        "{\"schema\":\"graphene.graph.v1\",\"name\":\"g\"}");
+    Request b = a;
+    EXPECT_EQ(a.cacheKey(), b.cacheKey());
+    b.graph["name"] = "h";
+    EXPECT_NE(a.cacheKey(), b.cacheKey());
+}
+
+// ---------------------------------------------------------------------
+// Service core
+
+TEST(ServiceTest, CompileReturnsAllArtifacts)
+{
+    CompileService svc;
+    const json::Value resp =
+        svc.handle(compileDoc("simple-gemm", 256, 256, 256));
+    ASSERT_TRUE(resp.at("ok").asBool()) << resp.dump(2);
+    EXPECT_EQ(resp.at("schema").asString(), "graphene.response.v1");
+    EXPECT_FALSE(resp.at("cached").asBool());
+    const json::Value &result = resp.at("result");
+    EXPECT_FALSE(result.at("ir").asString().empty());
+    EXPECT_FALSE(result.at("cuda").asString().empty());
+    EXPECT_GT(result.at("sim_us").asNumber(), 0.0);
+    EXPECT_TRUE(result.contains("launch"));
+    EXPECT_TRUE(result.contains("counters"))
+        << "per-request event counters must land in the response";
+}
+
+TEST(ServiceTest, SingleFlightDedupCompilesOnce)
+{
+    CompileService svc;
+    const std::string line = compileDoc("gemm", 512, 512, 512).dump(0);
+
+    constexpr int kThreads = 8;
+    std::vector<std::string> responses(kThreads);
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t)
+        workers.emplace_back(
+            [&, t] { responses[t] = svc.handleLine(line); });
+    for (std::thread &w : workers)
+        w.join();
+
+    const ServiceStats s = svc.stats();
+    EXPECT_EQ(s.requests, kThreads);
+    EXPECT_EQ(s.misses, 1) << "N racing requests must compile once";
+    EXPECT_EQ(s.hits, kThreads - 1);
+    EXPECT_EQ(s.errors, 0);
+    EXPECT_EQ(s.inFlight, 0);
+
+    // All responses carry the identical payload; they differ only in
+    // the "cached" flag, and exactly one (the owner) says false.
+    int fresh = 0;
+    std::string payload;
+    for (const std::string &text : responses) {
+        const json::Value resp = json::Value::parse(text);
+        ASSERT_TRUE(resp.at("ok").asBool()) << text;
+        if (!resp.at("cached").asBool())
+            ++fresh;
+        const std::string p = resp.at("result").dump(0);
+        if (payload.empty())
+            payload = p;
+        else
+            EXPECT_EQ(payload, p);
+    }
+    EXPECT_EQ(fresh, 1);
+
+    // One more call is a pure memo hit, byte-cached payload included.
+    const json::Value warm = svc.handle(json::Value::parse(line));
+    EXPECT_TRUE(warm.at("cached").asBool());
+    EXPECT_EQ(warm.at("result").dump(0), payload);
+    EXPECT_EQ(svc.stats().hits, kThreads);
+}
+
+TEST(ServiceTest, ArtifactFilterDoesNotPoisonTheMemo)
+{
+    CompileService svc;
+    json::Value doc = compileDoc("simple-gemm", 256, 256, 256);
+    json::Value arts = json::Value::array();
+    arts.push("cuda");
+    doc["artifacts"] = arts;
+    const json::Value first = svc.handle(doc);
+    ASSERT_TRUE(first.at("ok").asBool());
+    EXPECT_TRUE(first.at("result").contains("cuda"));
+    EXPECT_FALSE(first.at("result").contains("ir"));
+    EXPECT_FALSE(first.at("result").contains("sim_us"));
+
+    // A later request for a *different* artifact of the same compile
+    // must be served (cached) with that artifact intact.
+    json::Value irOnly = json::Value::array();
+    irOnly.push("ir");
+    doc["artifacts"] = irOnly;
+    const json::Value second = svc.handle(doc);
+    ASSERT_TRUE(second.at("ok").asBool());
+    EXPECT_TRUE(second.at("cached").asBool());
+    EXPECT_TRUE(second.at("result").contains("ir"));
+    EXPECT_FALSE(second.at("result").contains("cuda"));
+    EXPECT_EQ(svc.stats().misses, 1);
+}
+
+TEST(ServiceTest, FailuresAreNegativelyCachedAndIsolated)
+{
+    CompileService svc;
+    const json::Value bad = compileDoc("no-such-op", 0, 0, 0);
+
+    const json::Value first = svc.handle(bad);
+    EXPECT_FALSE(first.at("ok").asBool());
+    EXPECT_FALSE(first.at("cached").asBool());
+    EXPECT_FALSE(
+        first.at("error").at("message").asString().empty());
+
+    const json::Value second = svc.handle(bad);
+    EXPECT_FALSE(second.at("ok").asBool());
+    EXPECT_TRUE(second.at("cached").asBool())
+        << "a poisoned request storm must compile (and fail) once";
+
+    ServiceStats s = svc.stats();
+    EXPECT_EQ(s.misses, 1);
+    EXPECT_EQ(s.hits, 1);
+    EXPECT_EQ(s.errors, 2);
+
+    // The failure stayed in its request: a good compile on the same
+    // service is clean, with no leaked diagnostics.
+    const json::Value good =
+        svc.handle(compileDoc("simple-gemm", 256, 256, 256));
+    ASSERT_TRUE(good.at("ok").asBool()) << good.dump(2);
+    EXPECT_FALSE(good.at("result").contains("diagnostics"));
+    EXPECT_EQ(svc.stats().errors, 2);
+}
+
+TEST(ServiceTest, StatsVerbReportsCountersAndShards)
+{
+    CompileService svc;
+    svc.handle(compileDoc("simple-gemm", 256, 256, 256));
+    svc.handle(compileDoc("simple-gemm", 256, 256, 256));
+
+    json::Value statsReq = json::Value::object();
+    statsReq["schema"] = Request::kSchema;
+    statsReq["verb"] = "stats";
+    const json::Value resp = svc.handle(statsReq);
+    ASSERT_TRUE(resp.at("ok").asBool());
+    const json::Value &st = resp.at("stats");
+    // The stats request itself is request #3.
+    EXPECT_EQ(st.at("requests").asNumber(), 3.0);
+    EXPECT_EQ(st.at("hits").asNumber(), 1.0);
+    EXPECT_EQ(st.at("misses").asNumber(), 1.0);
+    EXPECT_EQ(st.at("in_flight").asNumber(), 0.0);
+    const json::Value &shards = st.at("shard_entries");
+    ASSERT_EQ(shards.size(),
+              static_cast<size_t>(CompileService::kShards));
+    double occupancy = 0;
+    for (size_t i = 0; i < shards.size(); ++i)
+        occupancy += shards.at(i).asNumber();
+    EXPECT_EQ(occupancy, 1.0);
+}
+
+TEST(ServiceTest, MalformedLinesAnswerStructuredErrors)
+{
+    CompileService svc;
+    const json::Value notJson =
+        json::Value::parse(svc.handleLine("this is not json"));
+    EXPECT_FALSE(notJson.at("ok").asBool());
+    EXPECT_EQ(notJson.at("error").at("code").asString(), "bad-json");
+
+    const json::Value wrongSchema = svc.handle(
+        json::Value::parse("{\"schema\":\"nope\",\"id\":\"x\"}"));
+    EXPECT_FALSE(wrongSchema.at("ok").asBool());
+    EXPECT_EQ(wrongSchema.at("id").asString(), "x")
+        << "malformed requests still echo their id";
+    EXPECT_EQ(wrongSchema.at("error").at("code").asString(),
+              "bad-request");
+}
+
+TEST(ServiceTest, TuneWritesThroughAndNextDaemonHitsTheCache)
+{
+    const std::string path = "/tmp/graphene_service_test_tune_"
+        + std::to_string(::getpid()) + ".json";
+    std::remove(path.c_str());
+
+    json::Value tuneReq = json::Value::object();
+    tuneReq["schema"] = Request::kSchema;
+    tuneReq["verb"] = "tune";
+    tuneReq["op"] = "layernorm";
+    tuneReq["budget"] = static_cast<int64_t>(4);
+
+    json::Value firstBest;
+    {
+        ServiceOptions opts;
+        opts.tuneCachePath = path;
+        CompileService svc(opts);
+        const json::Value resp = svc.handle(tuneReq);
+        ASSERT_TRUE(resp.at("ok").asBool()) << resp.dump(2);
+        EXPECT_FALSE(resp.at("result").at("cache_hit").asBool());
+        firstBest = resp.at("result").at("best");
+    }
+
+    // The entry must have been written through to disk: a fresh
+    // daemon instance answers the same tune without searching.
+    {
+        ServiceOptions opts;
+        opts.tuneCachePath = path;
+        CompileService svc(opts);
+        const json::Value resp = svc.handle(tuneReq);
+        ASSERT_TRUE(resp.at("ok").asBool()) << resp.dump(2);
+        EXPECT_TRUE(resp.at("result").at("cache_hit").asBool())
+            << "persistent graphene.tune.v1 entry must short-circuit "
+               "the search across restarts";
+        EXPECT_EQ(resp.at("result").at("best").at("params").dump(0),
+                  firstBest.at("params").dump(0));
+    }
+    std::remove(path.c_str());
+}
+
+TEST(ServiceTest, TuneInvalidatesMemoizedTunedCompiles)
+{
+    CompileService svc;
+    json::Value tunedCompile = compileDoc("layernorm", 0, 0, 0);
+    tunedCompile["tuned"] = true;
+    ASSERT_TRUE(svc.handle(tunedCompile).at("ok").asBool());
+    EXPECT_TRUE(
+        svc.handle(tunedCompile).at("cached").asBool());
+
+    json::Value tuneReq = json::Value::object();
+    tuneReq["schema"] = Request::kSchema;
+    tuneReq["verb"] = "tune";
+    tuneReq["op"] = "layernorm";
+    tuneReq["budget"] = static_cast<int64_t>(4);
+    ASSERT_TRUE(svc.handle(tuneReq).at("ok").asBool());
+
+    // The tuned=1 memo entry was dropped: the next tuned compile
+    // rebuilds against the freshly tuned config.
+    const json::Value after = svc.handle(tunedCompile);
+    ASSERT_TRUE(after.at("ok").asBool());
+    EXPECT_FALSE(after.at("cached").asBool())
+        << "a completed tune must invalidate tuned compile entries";
+}
+
+// ---------------------------------------------------------------------
+// Socket transport
+
+TEST(ServiceSocketTest, FullRoundTripOverUnixSocket)
+{
+    const std::string path = "/tmp/graphene_service_test_"
+        + std::to_string(::getpid()) + ".sock";
+    CompileService svc;
+    SocketServer server(svc, path);
+    server.listen();
+    std::thread host([&] { server.serve(); });
+
+    ServiceClient client;
+    ASSERT_TRUE(client.connectWithRetry(path, 5000));
+
+    json::Value ping = json::Value::object();
+    ping["schema"] = Request::kSchema;
+    ping["verb"] = "ping";
+    ping["id"] = "p1";
+    const json::Value pong = client.call(ping);
+    EXPECT_TRUE(pong.at("ok").asBool());
+    EXPECT_EQ(pong.at("id").asString(), "p1");
+
+    // Pipelined batch: both lines land in one write; responses come
+    // back in order, and the duplicate is a memo hit.
+    const std::string compile =
+        compileDoc("simple-gemm", 256, 256, 256).dump(0);
+    const std::vector<std::string> replies =
+        client.callLines({compile, compile});
+    ASSERT_EQ(replies.size(), 2u);
+    const json::Value r0 = json::Value::parse(replies[0]);
+    const json::Value r1 = json::Value::parse(replies[1]);
+    EXPECT_TRUE(r0.at("ok").asBool());
+    EXPECT_TRUE(r1.at("ok").asBool());
+    EXPECT_TRUE(r0.at("cached").asBool()
+                || r1.at("cached").asBool());
+    EXPECT_EQ(r0.at("result").dump(0), r1.at("result").dump(0));
+
+    json::Value bye = json::Value::object();
+    bye["schema"] = Request::kSchema;
+    bye["verb"] = "shutdown";
+    EXPECT_TRUE(client.call(bye).at("ok").asBool());
+    host.join();
+    EXPECT_TRUE(svc.shutdownRequested());
+}
+
+} // namespace
+} // namespace service
+} // namespace graphene

@@ -1,15 +1,20 @@
 /**
  * @file
  * Unit tests for the support utilities: error handling, string helpers,
- * deterministic RNG.
+ * deterministic RNG, and the shared thread pool.
  */
 
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
 
 #include "support/check.h"
 #include "support/rng.h"
 #include "support/run_metadata.h"
 #include "support/string_utils.h"
+#include "support/thread_pool.h"
 
 namespace graphene
 {
@@ -164,6 +169,88 @@ TEST(RunMetadata, CarriesEnvironmentStamp)
     }
     EXPECT_FALSE(m.at("hostname").asString().empty());
     EXPECT_EQ(m.at("threads").asNumber(), 4);
+}
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce)
+{
+    ThreadPool pool(3);
+    std::vector<std::atomic<int>> hits(100);
+    pool.run(100, [&](int64_t i) { ++hits[static_cast<size_t>(i)]; });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, RethrowsLowestIndexedError)
+{
+    ThreadPool pool(2);
+    try {
+        pool.run(8, [](int64_t i) {
+            if (i == 3 || i == 6)
+                throw Error("task " + std::to_string(i));
+        });
+        FAIL() << "expected Error";
+    } catch (const Error &e) {
+        EXPECT_STREQ(e.what(), "task 3");
+    }
+}
+
+// The compilation service drives the shared pool from many request
+// threads at once; every concurrent run() must see all of its own
+// tasks and only its own tasks.
+TEST(ThreadPool, ConcurrentRunFromManyThreads)
+{
+    ThreadPool pool(3);
+    constexpr int kCallers = 8;
+    std::atomic<int64_t> total{0};
+    std::vector<std::thread> callers;
+    for (int c = 0; c < kCallers; ++c)
+        callers.emplace_back([&pool, &total, c] {
+            std::atomic<int64_t> mine{0};
+            pool.run(50 + c, [&](int64_t) { ++mine; });
+            EXPECT_EQ(mine.load(), 50 + c);
+            total += mine.load();
+        });
+    for (auto &t : callers)
+        t.join();
+    int64_t want = 0;
+    for (int c = 0; c < kCallers; ++c)
+        want += 50 + c;
+    EXPECT_EQ(total.load(), want);
+}
+
+// Requests spawn nested compile work: a task running on the pool may
+// itself call run() on the same pool without deadlocking.
+TEST(ThreadPool, NestedRunFromPoolTask)
+{
+    ThreadPool pool(2);
+    std::atomic<int64_t> inner{0};
+    pool.run(4, [&](int64_t) {
+        pool.run(16, [&](int64_t) { ++inner; });
+    });
+    EXPECT_EQ(inner.load(), 4 * 16);
+}
+
+// Enqueue-after-shutdown must degrade to inline execution, not crash:
+// teardown paths (static destructor order, daemon drain) may still
+// launch simulator work.
+TEST(ThreadPool, RunAfterShutdownExecutesInline)
+{
+    ThreadPool pool(2);
+    pool.shutdown();
+    EXPECT_TRUE(pool.isShutdown());
+    std::atomic<int64_t> n{0};
+    pool.run(32, [&](int64_t) { ++n; });
+    EXPECT_EQ(n.load(), 32);
+    pool.shutdown(); // idempotent
+    EXPECT_EQ(pool.workerCount(), 0);
+}
+
+TEST(ThreadPool, ZeroWorkerPoolRunsInline)
+{
+    ThreadPool pool(0);
+    std::atomic<int64_t> n{0};
+    pool.run(7, [&](int64_t) { ++n; });
+    EXPECT_EQ(n.load(), 7);
 }
 
 } // namespace

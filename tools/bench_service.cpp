@@ -1,0 +1,483 @@
+/**
+ * @file
+ * Load generator for the compilation service (ROADMAP item 3's
+ * measurement harness).
+ *
+ * Drives a daemon — an external one via --socket, or a self-hosted
+ * in-process server otherwise — with a deterministic mixed-shape
+ * request set:
+ *
+ *   1. COLD pass: every distinct request once, sequentially; each one
+ *      is a compile miss, so the p50 is the full parse -> decompose ->
+ *      verify -> plan-compile -> simulate latency.
+ *   2. WARM sweep: closed-loop clients (1, 2, 4, ... up to --clients)
+ *      issue --requests requests round-robin over the same key set;
+ *      every one should be a memo hit.
+ *
+ * Emits graphene.bench.v1 rows (--json): `service:cold`,
+ * `service:warm:cN` per sweep point, and a `service:warm` summary row
+ * for the highest concurrency — each with p50/p99 latency and
+ * throughput.  CI gates sit in-binary too: --min-hit-rate fails the
+ * run when the warm hit rate sags, --min-speedup when the warm p50
+ * stops being dramatically faster than the cold p50.  Response
+ * stability is always enforced: the `result` payload of every warm
+ * response must be byte-identical to its cold counterpart.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "service/client.h"
+#include "service/server.h"
+#include "support/fs.h"
+#include "support/run_metadata.h"
+#include "support/schemas.h"
+
+using namespace graphene;
+
+namespace
+{
+
+struct Args
+{
+    std::string socketPath; // empty = self-host an in-process daemon
+    std::string jsonPath;
+    std::string arch = "ampere";
+    int64_t requests = 3000; // warm requests per sweep point
+    int maxClients = 8;
+    bool quick = false;
+    double minHitRate = -1;
+    double minSpeedup = -1;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: bench_service [--socket <path>] [--json <path>]\n"
+        "                     [--requests N] [--clients N] [--quick]\n"
+        "                     [--arch volta|ampere]\n"
+        "                     [--min-hit-rate X] [--min-speedup X]\n"
+        "  --socket <p>      drive a running daemon (default: self-\n"
+        "                    host an in-process one)\n"
+        "  --requests N      warm requests per sweep point (3000)\n"
+        "  --clients N       top of the closed-loop sweep 1,2,4..N (8)\n"
+        "  --quick           CI smoke sizing (300 requests, sweep to 4)\n"
+        "  --min-hit-rate X  fail when the warm hit rate is below X\n"
+        "  --min-speedup X   fail when cold_p50/warm_p50 is below X\n"
+        "  --json <p>        write the graphene.bench.v1 report\n");
+    std::exit(2);
+}
+
+Args
+parseArgs(int argc, char **argv)
+{
+    Args a;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--socket")
+            a.socketPath = next();
+        else if (arg == "--json")
+            a.jsonPath = next();
+        else if (arg == "--arch")
+            a.arch = next();
+        else if (arg == "--requests")
+            a.requests = std::stoll(next());
+        else if (arg == "--clients")
+            a.maxClients = static_cast<int>(std::stoll(next()));
+        else if (arg == "--quick")
+            a.quick = true;
+        else if (arg == "--min-hit-rate")
+            a.minHitRate = std::stod(next());
+        else if (arg == "--min-speedup")
+            a.minSpeedup = std::stod(next());
+        else
+            usage();
+    }
+    if (a.quick) {
+        a.requests = std::min<int64_t>(a.requests, 300);
+        a.maxClients = std::min(a.maxClients, 4);
+    }
+    return a;
+}
+
+/** The deterministic mixed-shape workload: every entry is one wire
+ *  line (compact graphene.request.v1) with a distinct cache key. */
+std::vector<std::string>
+buildWorkload(const std::string &arch)
+{
+    std::vector<service::Request> reqs;
+    auto compile = [&](const std::string &op, int64_t m, int64_t n,
+                       int64_t k) {
+        service::Request r;
+        r.verb = "compile";
+        r.op = op;
+        r.arch = arch;
+        r.m = m;
+        r.n = n;
+        r.k = k;
+        return r;
+    };
+    // GEMMs across shapes and epilogues (the bulk of real traffic).
+    for (int64_t s : {512, 1024, 2048})
+        reqs.push_back(compile("gemm", s, s, s));
+    for (const char *ep : {"bias", "relu", "bias+relu", "bias+gelu"}) {
+        service::Request r = compile("gemm", 1024, 1024, 1024);
+        r.epilogue = ep;
+        reqs.push_back(r);
+    }
+    {
+        service::Request r = compile("gemm", 2048, 1024, 512);
+        reqs.push_back(r);
+        r.swizzle = false;
+        reqs.push_back(r);
+    }
+    for (int64_t s : {256, 512})
+        reqs.push_back(compile("simple-gemm", s, s, s));
+    // Layernorm rows/cols spread.
+    for (int64_t rows : {256, 1024})
+        for (int64_t cols : {1024, 4096})
+            reqs.push_back(compile("layernorm", rows, cols, 0));
+    // Fused-op kernels.
+    for (int64_t layers : {2, 4}) {
+        service::Request r = compile("mlp", 512, 0, 0);
+        r.layers = layers;
+        reqs.push_back(r);
+    }
+    reqs.push_back(compile("lstm", 256, 256, 128));
+    reqs.push_back(compile("fmha", 0, 0, 0));
+    reqs.push_back(compile("ldmatrix", 0, 0, 0));
+    // A schedule request: the daemon's graph path, exercised with the
+    // builtin MLP op-DAG serialized inline.
+    // (Kept out for compile-only workloads: schedule responses embed
+    //  full per-subgraph detail and dwarf the compile rows.)
+
+    std::vector<std::string> lines;
+    lines.reserve(reqs.size());
+    for (const service::Request &r : reqs)
+        lines.push_back(r.toJson().dump(0));
+    return lines;
+}
+
+double
+percentile(std::vector<double> sorted, double p)
+{
+    if (sorted.empty())
+        return 0;
+    std::sort(sorted.begin(), sorted.end());
+    const size_t idx = static_cast<size_t>(
+        p * static_cast<double>(sorted.size() - 1));
+    return sorted[idx];
+}
+
+struct PhaseResult
+{
+    std::vector<double> latenciesUs;
+    int64_t requests = 0;
+    int64_t hits = 0;
+    int64_t failures = 0;
+    double wallUs = 0;
+
+    double p50() const { return percentile(latenciesUs, 0.50); }
+    double p99() const { return percentile(latenciesUs, 0.99); }
+    double hitRate() const
+    {
+        return requests ? static_cast<double>(hits)
+                / static_cast<double>(requests)
+                        : 0;
+    }
+    double rps() const
+    {
+        return wallUs > 0
+            ? static_cast<double>(requests) * 1e6 / wallUs
+            : 0;
+    }
+};
+
+/** result-payload bytes per cache key, captured cold, checked warm. */
+using GoldenMap = std::map<std::string, std::string>;
+
+/** Issue requests [first, last) of the round-robin stream on one
+ *  connection, recording latency/hit/stability per response. */
+void
+clientLoop(const std::string &socket,
+           const std::vector<std::string> &workload, int64_t first,
+           int64_t last, const GoldenMap &golden, PhaseResult &out,
+           std::string *stabilityError)
+{
+    service::ServiceClient client;
+    if (!client.connectWithRetry(socket, 10000)) {
+        out.failures += last - first;
+        return;
+    }
+    for (int64_t i = first; i < last; ++i) {
+        const std::string &line =
+            workload[static_cast<size_t>(i)
+                     % workload.size()];
+        const auto t0 = std::chrono::steady_clock::now();
+        json::Value resp;
+        try {
+            resp = json::Value::parse(client.callLine(line));
+        } catch (const std::exception &) {
+            ++out.failures;
+            continue;
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        out.latenciesUs.push_back(
+            std::chrono::duration<double, std::micro>(t1 - t0)
+                .count());
+        ++out.requests;
+        if (!resp.contains("ok") || !resp.at("ok").asBool()) {
+            ++out.failures;
+            continue;
+        }
+        if (resp.contains("cached") && resp.at("cached").asBool())
+            ++out.hits;
+        if (!golden.empty() && resp.contains("key")
+            && resp.contains("result")) {
+            const auto it = golden.find(resp.at("key").asString());
+            if (it != golden.end()
+                && it->second != resp.at("result").dump(0)
+                && stabilityError->empty())
+                *stabilityError = "response for key '"
+                    + resp.at("key").asString()
+                    + "' diverged from its cold-pass bytes";
+        }
+    }
+}
+
+json::Value
+phaseRow(const std::string &label, const std::string &arch,
+         const PhaseResult &r, int clients)
+{
+    json::Value row = json::Value::object();
+    row["label"] = label;
+    row["arch"] = arch;
+    // sim_us carries the headline metric (p50 host latency) so the
+    // generic bench_diff pairing/threshold machinery applies as-is.
+    row["sim_us"] = r.p50();
+    row["p50_us"] = r.p50();
+    row["p99_us"] = r.p99();
+    row["rps"] = r.rps();
+    row["requests"] = r.requests;
+    row["failures"] = r.failures;
+    row["hit_rate"] = r.hitRate();
+    row["clients"] = clients;
+    return row;
+}
+
+void
+printPhase(const std::string &label, const PhaseResult &r)
+{
+    std::printf("  %-18s %8lld req  p50 %9.1f us  p99 %9.1f us  "
+                "%8.0f req/s  hit %.3f  fail %lld\n",
+                label.c_str(), (long long)r.requests, r.p50(),
+                r.p99(), r.rps(), r.hitRate(),
+                (long long)r.failures);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Args args = parseArgs(argc, argv);
+
+    // Self-host unless an external daemon was named.
+    std::string socket = args.socketPath;
+    service::CompileService *svc = nullptr;
+    std::unique_ptr<service::CompileService> ownedSvc;
+    std::unique_ptr<service::SocketServer> server;
+    std::thread serverThread;
+    if (socket.empty()) {
+        socket = "/tmp/graphene-bench-"
+            + std::to_string(static_cast<long long>(::getpid()))
+            + ".sock";
+        ownedSvc.reset(new service::CompileService());
+        svc = ownedSvc.get();
+        server.reset(new service::SocketServer(*svc, socket));
+        server->listen();
+        serverThread = std::thread([&] { server->serve(); });
+        std::printf("daemon   self-hosted on %s\n", socket.c_str());
+    } else {
+        std::printf("daemon   external at %s\n", socket.c_str());
+    }
+
+    const std::vector<std::string> workload = buildWorkload(args.arch);
+    std::printf("workload %zu distinct request(s) on %s\n",
+                workload.size(), args.arch.c_str());
+
+    int exitCode = 0;
+    std::string stabilityError;
+    GoldenMap golden;
+    PhaseResult cold;
+    std::vector<std::pair<int, PhaseResult>> warmPhases;
+
+    {
+        // ---- cold pass: every distinct key once, sequentially ----
+        service::ServiceClient client;
+        if (!client.connectWithRetry(socket, 10000)) {
+            std::fprintf(stderr, "error: cannot connect to %s\n",
+                         socket.c_str());
+            return 1;
+        }
+        const auto w0 = std::chrono::steady_clock::now();
+        for (const std::string &line : workload) {
+            const auto t0 = std::chrono::steady_clock::now();
+            json::Value resp;
+            try {
+                resp = json::Value::parse(client.callLine(line));
+            } catch (const std::exception &e) {
+                std::fprintf(stderr, "error: cold request failed: %s\n",
+                             e.what());
+                return 1;
+            }
+            const auto t1 = std::chrono::steady_clock::now();
+            cold.latenciesUs.push_back(
+                std::chrono::duration<double, std::micro>(t1 - t0)
+                    .count());
+            ++cold.requests;
+            if (!resp.contains("ok") || !resp.at("ok").asBool()) {
+                std::fprintf(stderr, "error: cold request rejected:\n%s\n",
+                             resp.dump(2).c_str());
+                ++cold.failures;
+                exitCode = 1;
+                continue;
+            }
+            if (resp.at("cached").asBool())
+                ++cold.hits; // an already-warm external daemon
+            golden[resp.at("key").asString()] =
+                resp.at("result").dump(0);
+        }
+        const auto w1 = std::chrono::steady_clock::now();
+        cold.wallUs =
+            std::chrono::duration<double, std::micro>(w1 - w0).count();
+        printPhase("cold", cold);
+    }
+
+    // ---- warm sweep: closed-loop clients over the hot key set ----
+    for (int clients = 1; clients <= args.maxClients; clients *= 2) {
+        std::vector<PhaseResult> parts(
+            static_cast<size_t>(clients));
+        std::vector<std::thread> threads;
+        const int64_t perClient = args.requests / clients;
+        const auto w0 = std::chrono::steady_clock::now();
+        for (int c = 0; c < clients; ++c)
+            threads.emplace_back(
+                clientLoop, socket, std::cref(workload),
+                static_cast<int64_t>(c) * perClient,
+                static_cast<int64_t>(c + 1) * perClient,
+                std::cref(golden),
+                std::ref(parts[static_cast<size_t>(c)]),
+                &stabilityError);
+        for (std::thread &t : threads)
+            t.join();
+        const auto w1 = std::chrono::steady_clock::now();
+        PhaseResult merged;
+        for (PhaseResult &p : parts) {
+            merged.latenciesUs.insert(merged.latenciesUs.end(),
+                                      p.latenciesUs.begin(),
+                                      p.latenciesUs.end());
+            merged.requests += p.requests;
+            merged.hits += p.hits;
+            merged.failures += p.failures;
+        }
+        merged.wallUs =
+            std::chrono::duration<double, std::micro>(w1 - w0).count();
+        printPhase("warm:c" + std::to_string(clients), merged);
+        warmPhases.emplace_back(clients, merged);
+    }
+
+    // ---- shut the self-hosted daemon down -------------------------
+    if (server) {
+        server->stop();
+        serverThread.join();
+        const service::ServiceStats st = svc->stats();
+        std::printf("daemon   %lld request(s), %lld hit(s), %lld "
+                    "miss(es), %lld error(s)\n",
+                    (long long)st.requests, (long long)st.hits,
+                    (long long)st.misses, (long long)st.errors);
+    }
+
+    // The speedup gate compares matched concurrency: cold ran with
+    // one closed-loop client, so warm:c1 is the apples-to-apples
+    // latency — higher sweep points measure queueing under load, not
+    // cache performance.
+    const PhaseResult &warm = warmPhases.front().second;
+    PhaseResult warmAll;
+    int64_t warmFailures = 0;
+    for (const auto &ph : warmPhases) {
+        warmAll.requests += ph.second.requests;
+        warmAll.hits += ph.second.hits;
+        warmFailures += ph.second.failures;
+    }
+    const double speedup =
+        warm.p50() > 0 ? cold.p50() / warm.p50() : 0;
+    std::printf("summary  cold p50 %.1f us, warm p50 %.1f us "
+                "(%.1fx), warm hit rate %.3f\n",
+                cold.p50(), warm.p50(), speedup,
+                warmAll.hitRate());
+
+    // ---- gates ----------------------------------------------------
+    if (!stabilityError.empty()) {
+        std::fprintf(stderr, "FAIL: %s\n", stabilityError.c_str());
+        exitCode = 1;
+    }
+    if (cold.failures || warmFailures) {
+        std::fprintf(stderr, "FAIL: %lld request(s) failed\n",
+                     (long long)(cold.failures + warmFailures));
+        exitCode = 1;
+    }
+    if (args.minHitRate >= 0 && warmAll.hitRate() < args.minHitRate) {
+        std::fprintf(stderr,
+                     "FAIL: warm hit rate %.3f below the %.3f gate\n",
+                     warmAll.hitRate(), args.minHitRate);
+        exitCode = 1;
+    }
+    if (args.minSpeedup >= 0 && speedup < args.minSpeedup) {
+        std::fprintf(stderr,
+                     "FAIL: warm speedup %.1fx below the %.1fx gate\n",
+                     speedup, args.minSpeedup);
+        exitCode = 1;
+    }
+
+    // ---- report ---------------------------------------------------
+    if (!args.jsonPath.empty()) {
+        json::Value doc = json::Value::object();
+        doc["schema"] = schemas::kBench;
+        doc["figure"] = "service";
+        doc["meta"] = runMetadata(1);
+        json::Value rows = json::Value::array();
+        rows.push(phaseRow("service:cold", args.arch, cold, 1));
+        for (const auto &ph : warmPhases)
+            rows.push(phaseRow(
+                "service:warm:c" + std::to_string(ph.first),
+                args.arch, ph.second, ph.first));
+        json::Value summary =
+            phaseRow("service:warm", args.arch, warm,
+                     warmPhases.front().first);
+        summary["speedup_vs_cold"] = speedup;
+        rows.push(std::move(summary));
+        doc["rows"] = std::move(rows);
+        std::ofstream f = openOutputFile(args.jsonPath);
+        f << doc.dump(2) << "\n";
+        std::printf("report   wrote %s\n", args.jsonPath.c_str());
+    }
+    return exitCode;
+}
